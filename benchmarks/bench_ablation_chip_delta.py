@@ -1,0 +1,80 @@
+"""Ablation benchmark: what the framework's additions over C-HIP buy.
+
+Section 4 argues the framework adds a capabilities component and an
+interference component to C-HIP because computer-security failures often
+originate exactly there.  This ablation re-runs failure identification over
+every modeled system with those components' failures filtered out —
+approximating an analysis that only had C-HIP's vocabulary — and measures
+how many identified failure modes (and how much aggregate risk) the
+C-HIP-only analysis misses, per system and in total.
+
+Expected shape: the password-policy system loses its dominant failure
+(memorability is a capability failure), and the SSL-indicator system loses
+its spoofing failure (interference), so the ablated analysis under-reports
+risk substantially on exactly the systems the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.chip.comparison import compare_with_framework
+from repro.core.analysis import analyze_system
+from repro.core.components import Component
+from repro.systems import all_systems
+
+ADDED_COMPONENTS = (Component.CAPABILITIES, Component.INTERFERENCE)
+
+
+def _run_ablation() -> Dict[str, Tuple[float, float, int, int]]:
+    """Per system: (full risk, C-HIP-only risk, full failure count, missed count)."""
+    outcome: Dict[str, Tuple[float, float, int, int]] = {}
+    for name, system in all_systems().items():
+        analysis = analyze_system(system)
+        full_risk = analysis.failures.total_risk()
+        missed = [
+            failure
+            for failure in analysis.failures
+            if failure.component in ADDED_COMPONENTS
+        ]
+        chip_only_risk = full_risk - sum(failure.risk_score for failure in missed)
+        outcome[name] = (full_risk, chip_only_risk, len(analysis.failures), len(missed))
+    return outcome
+
+
+def test_ablation_chip_delta(benchmark, record):
+    # The delta computed from the structural comparison is exactly the
+    # component set this ablation removes.
+    comparison = compare_with_framework()
+    assert set(comparison.added_components()) == set(ADDED_COMPONENTS)
+
+    outcome = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+
+    total_full = sum(full for full, _chip, _n, _m in outcome.values())
+    total_chip = sum(chip for _full, chip, _n, _m in outcome.values())
+    total_missed = sum(missed for _full, _chip, _n, missed in outcome.values())
+
+    # Shape checks: the added components carry a meaningful share of the
+    # identified risk overall, and are decisive for the password and SSL
+    # systems specifically.
+    assert total_missed >= 3
+    assert total_chip < total_full
+    passwords_full, passwords_chip, _n, passwords_missed = outcome["passwords"]
+    assert passwords_missed >= 1
+    assert passwords_chip < passwords_full
+    ssl_full, ssl_chip, _n2, ssl_missed = outcome["ssl-indicator"]
+    assert ssl_missed >= 1
+    assert ssl_chip < ssl_full
+
+    rows = {
+        "total.full_risk": total_full,
+        "total.chip_only_risk": total_chip,
+        "total.risk_missed_fraction": (total_full - total_chip) / total_full,
+        "total.failures_missed": float(total_missed),
+    }
+    for name, (full, chip, count, missed) in sorted(outcome.items()):
+        rows[f"{name}.risk_missed_fraction"] = (full - chip) / full if full else 0.0
+        rows[f"{name}.failures_missed"] = float(missed)
+    record(rows)

@@ -1,0 +1,113 @@
+"""Benchmark: case study 3.1 — anti-phishing browser warnings.
+
+Regenerates the quantitative reading of the Section-3.1 case study: a
+simulated general-web population encounters a phishing page under four
+warning conditions (Firefox active, IE active, IE passive, no warning).
+The paper's conclusions — grounded in Egelman et al. and Wu et al. — that
+this benchmark checks as *shape* (orderings and rough factors, not absolute
+numbers):
+
+* the active, blocking warnings protect the large majority of users;
+* the passive IE warning protects only a small minority (many users never
+  notice it) and should be replaced by an active warning;
+* without any warning, almost nobody is protected;
+* active-warning failures are dominated by users who decide to override,
+  not by users who never notice the warning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.simulation import HumanLoopSimulator, SimulationConfig
+from repro.simulation.metrics import SimulationResult, render_comparison_markdown
+from repro.studies.registry import registry
+from repro.systems import antiphishing
+from repro.systems.antiphishing import WarningVariant
+
+N_RECEIVERS = 600
+SEED = 20080124
+
+
+def _simulate_all_variants() -> Dict[str, SimulationResult]:
+    simulator = HumanLoopSimulator(
+        SimulationConfig(
+            n_receivers=N_RECEIVERS, seed=SEED, calibration=antiphishing.calibration()
+        )
+    )
+    population = antiphishing.population()
+    return {
+        variant.value: simulator.simulate_task(antiphishing.task_for(variant), population)
+        for variant in WarningVariant
+    }
+
+
+def test_case_antiphishing_protection_rates(benchmark, record):
+    results = benchmark.pedantic(_simulate_all_variants, rounds=1, iterations=1)
+
+    firefox = results[WarningVariant.FIREFOX.value]
+    ie_active = results[WarningVariant.IE_ACTIVE.value]
+    ie_passive = results[WarningVariant.IE_PASSIVE.value]
+    no_warning = results[WarningVariant.NO_WARNING.value]
+
+    # Shape check 1: active warnings protect the large majority.
+    assert firefox.protection_rate() > 0.6
+    assert ie_active.protection_rate() > 0.55
+    # Shape check 2: the passive warning protects only a small minority.
+    assert ie_passive.protection_rate() < 0.3
+    # Shape check 3: ordering and rough factors (who wins, by how much).
+    assert firefox.protection_rate() >= ie_active.protection_rate() - 0.05
+    assert ie_active.protection_rate() > 2 * ie_passive.protection_rate()
+    assert ie_passive.protection_rate() >= no_warning.protection_rate() - 0.02
+    # Shape check 4: passive failures are attention failures; active failures
+    # are intention (override) failures.
+    assert ie_passive.notice_rate() < 0.6
+    assert firefox.notice_rate() > 0.9
+    from repro.core.stages import Stage
+
+    firefox_attention_failures = firefox.stage_failure_fractions().get(Stage.ATTENTION_SWITCH, 0.0)
+    assert firefox.intention_failure_rate() > firefox_attention_failures
+
+    record(
+        {
+            "firefox.protection": firefox.protection_rate(),
+            "ie_active.protection": ie_active.protection_rate(),
+            "ie_passive.protection": ie_passive.protection_rate(),
+            "no_warning.protection": no_warning.protection_rate(),
+            "firefox.notice": firefox.notice_rate(),
+            "ie_passive.notice": ie_passive.notice_rate(),
+            "paper.active_protection_target": registry.value(
+                "egelman2008", "active_warning_protection_rate"
+            ),
+            "paper.passive_protection_target": registry.value(
+                "egelman2008", "passive_warning_protection_rate"
+            ),
+        }
+    )
+    print()
+    print(render_comparison_markdown(results))
+
+
+def test_case_antiphishing_failure_identification(benchmark, record):
+    """The framework analysis singles out the passive warning's attention failure."""
+
+    from repro.core.analysis import analyze_system
+    from repro.core.components import Component
+
+    system = antiphishing.build_system()
+    analysis = benchmark(lambda: analyze_system(system))
+
+    passive_task = antiphishing.task_for(WarningVariant.IE_PASSIVE).name
+    passive_analysis = analysis.analysis_for(passive_task)
+    assert passive_analysis.failures.by_component(Component.ATTENTION_SWITCH)
+    assert "ie_passive" in analysis.weakest_task()
+
+    record(
+        {
+            "tasks_analyzed": float(len(analysis.task_analyses)),
+            "total_failures": float(len(analysis.failures)),
+            "weakest_task_is_passive": float("ie_passive" in analysis.weakest_task()),
+        }
+    )

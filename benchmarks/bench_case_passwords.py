@@ -1,0 +1,136 @@
+"""Benchmark: case study 3.2 — organizational password policies.
+
+Regenerates the quantitative reading of the Section-3.2 case study: a
+simulated employee population lives under a strict password policy and its
+mitigation variants (no expiry, rationale training, single sign-on, a
+password vault).  The paper's conclusions that this benchmark checks as
+*shape*:
+
+* "the most critical failure appears to be a capabilities failure: people
+  are not capable of remembering large numbers of policy-compliant
+  passwords" — for the baseline policy, the capability failure dominates
+  every other failure bucket;
+* reducing the number of passwords to remember (single sign-on, password
+  vaults) is the mitigation that moves compliance the most — more than
+  rationale training alone;
+* password *creation* is not the problem (users are capable of composing
+  compliant passwords), but their choices retain predictable structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.simulation import HumanLoopSimulator, SimulationConfig
+from repro.simulation.metrics import SimulationResult, render_comparison_markdown
+from repro.studies.registry import registry
+from repro.systems import passwords
+
+N_RECEIVERS = 500
+SEED = 3200
+
+
+def _simulate_recall_across_variants() -> Dict[str, SimulationResult]:
+    results: Dict[str, SimulationResult] = {}
+    for name, policy in passwords.policy_variants().items():
+        simulator = HumanLoopSimulator(
+            SimulationConfig(
+                n_receivers=N_RECEIVERS, seed=SEED, calibration=passwords.calibration(policy)
+            )
+        )
+        results[name] = simulator.simulate_task(
+            passwords.recall_task(policy), passwords.population(policy)
+        )
+    return results
+
+
+def test_case_passwords_policy_sweep(benchmark, record):
+    results = benchmark.pedantic(_simulate_recall_across_variants, rounds=1, iterations=1)
+
+    baseline = results["baseline"]
+    sso = results["single-sign-on"]
+    vault = results["password-vault"]
+    training = results["rationale-training"]
+    no_expiry = results["no-expiry"]
+
+    # Shape check 1: baseline compliance is poor and the capability
+    # (memorability) failure dominates every other failure bucket.
+    assert baseline.protection_rate() < 0.5
+    assert baseline.capability_failure_rate() > baseline.intention_failure_rate()
+    assert all(
+        baseline.capability_failure_rate() >= fraction
+        for fraction in baseline.stage_failure_fractions().values()
+    )
+
+    # Shape check 2: memory offloading (SSO / vault) is the big win.
+    assert sso.protection_rate() > baseline.protection_rate() + 0.15
+    assert vault.protection_rate() > baseline.protection_rate() + 0.15
+    assert sso.capability_failure_rate() < baseline.capability_failure_rate() / 2
+    assert vault.capability_failure_rate() < baseline.capability_failure_rate() / 2
+
+    # Shape check 3: training alone moves compliance less than SSO/vault;
+    # dropping expiry helps modestly.
+    training_gain = training.protection_rate() - baseline.protection_rate()
+    sso_gain = sso.protection_rate() - baseline.protection_rate()
+    assert sso_gain > training_gain
+    assert no_expiry.protection_rate() >= baseline.protection_rate() - 0.02
+
+    record(
+        {
+            "baseline.compliance": baseline.protection_rate(),
+            "no_expiry.compliance": no_expiry.protection_rate(),
+            "training.compliance": training.protection_rate(),
+            "sso.compliance": sso.protection_rate(),
+            "vault.compliance": vault.protection_rate(),
+            "baseline.capability_failures": baseline.capability_failure_rate(),
+            "sso.capability_failures": sso.capability_failure_rate(),
+            "paper.reuse_rate_reference": registry.value("gaw_felten2006", "password_reuse_rate"),
+        }
+    )
+    print()
+    print(render_comparison_markdown(results))
+
+
+def test_case_passwords_creation_vs_recall(benchmark, record):
+    """Creation succeeds where recall fails; creation choices stay predictable."""
+
+    from repro.core.analysis import analyze_task
+    from repro.core.components import Component
+
+    policy = passwords.baseline_policy()
+
+    def analyze_both():
+        return (
+            analyze_task(passwords.creation_task(policy)),
+            analyze_task(passwords.recall_task(policy)),
+        )
+
+    creation_analysis, recall_analysis = benchmark(analyze_both)
+
+    # Creation is easier than recall (Kuo et al.: users can create compliant
+    # passwords; Gaw & Felten: they cannot remember many of them).
+    assert creation_analysis.success_probability > recall_analysis.success_probability
+    # The recall task's top failure is the capability failure.
+    assert Component.CAPABILITIES in [
+        failure.component for failure in recall_analysis.failures.top(3)
+    ]
+    # The creation task carries a predictability finding at the behavior stage.
+    assert any(
+        failure.behavior_kind is not None
+        for failure in creation_analysis.failures.by_component(Component.BEHAVIOR)
+    )
+
+    record(
+        {
+            "creation.success_probability": creation_analysis.success_probability,
+            "recall.success_probability": recall_analysis.success_probability,
+            "recall.capability_risk": recall_analysis.failures.risk_by_component().get(
+                Component.CAPABILITIES, 0.0
+            ),
+            "paper.creation_capability_reference": registry.value(
+                "kuo2006", "can_create_compliant_passwords"
+            ),
+        }
+    )

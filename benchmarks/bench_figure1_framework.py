@@ -1,0 +1,70 @@
+"""Benchmark: regenerate Figure 1 (the human-in-the-loop framework).
+
+Figure 1 is the framework's structural diagram: the communication, the
+impediments, the human receiver (personal variables, intentions,
+capabilities, and the three information-processing steps), and the
+behavior.  The benchmark regenerates the influence graph and the ASCII
+rendering, verifies the structural inventory (node/edge counts, receiver
+membership, acyclicity, communication-to-behavior reachability), and times
+one full end-to-end framework analysis pass that exercises every component.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.analysis import analyze_task
+from repro.core.components import Component, ComponentGroup
+from repro.core.framework import HumanInTheLoopFramework
+from repro.systems import antiphishing
+from repro.viz.diagrams import render_figure_1
+from repro.viz.graphs import assign_layers, framework_graph, graph_statistics
+
+
+def test_figure1_graph_structure(benchmark, record):
+    graph = benchmark(framework_graph)
+
+    stats = graph_statistics(graph)
+    assert stats["nodes"] == 11.0
+    assert stats["is_dag_without_feedback"] == 1.0
+    # The communication must reach behavior through the receiver.
+    assert nx.has_path(graph, ComponentGroup.COMMUNICATION.value, ComponentGroup.BEHAVIOR.value)
+    layers = assign_layers(graph)
+    assert layers[ComponentGroup.COMMUNICATION.value] < layers[ComponentGroup.BEHAVIOR.value]
+
+    rendering = render_figure_1()
+    assert "HUMAN RECEIVER" in rendering
+    for component in Component:
+        if component.group.is_receiver_group:
+            assert component.title in rendering
+
+    record(
+        {
+            "nodes": stats["nodes"],
+            "edges": stats["edges"],
+            "receiver_groups": stats["receiver_nodes"],
+            "rendering_lines": float(len(rendering.splitlines())),
+        }
+    )
+    print()
+    print(rendering)
+
+
+def test_figure1_full_analysis_pass(benchmark, record):
+    """Time one complete walk of a task through every framework component."""
+
+    framework = HumanInTheLoopFramework()
+    task = antiphishing.task_for(antiphishing.WarningVariant.FIREFOX)
+
+    analysis = benchmark(lambda: framework.analyze_task(task))
+
+    assert set(analysis.assessments) == set(Component)
+    assert analysis.checklist.completion() == pytest.approx(1.0)
+    record(
+        {
+            "components_assessed": float(len(analysis.assessments)),
+            "failures_identified": float(len(analysis.failures)),
+            "success_probability": analysis.success_probability,
+        }
+    )

@@ -1,0 +1,76 @@
+"""Benchmark: regenerate Figure 2 (the human threat identification and
+mitigation process).
+
+Figure 2 defines the four-step iterative process.  The benchmark runs the
+full process — task identification, task automation, failure
+identification, failure mitigation, plus a second pass — over every
+modeled secure system, checks the process-level invariants (all
+security-critical tasks identified, every remaining human task gets a
+mitigation plan, residual risk does not increase across passes), and
+reports the per-system residual-risk trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core.process import HumanThreatProcess
+from repro.mitigations.catalog import full_catalog
+from repro.systems import all_systems
+from repro.viz.diagrams import render_figure_2
+
+
+def _run_process_over_all_systems() -> Dict[str, object]:
+    results = {}
+    for name, system in all_systems().items():
+        process = HumanThreatProcess(
+            system, mitigation_catalog=full_catalog(), acceptable_risk=0.25
+        )
+        results[name] = process.run(max_passes=2)
+    return results
+
+
+def test_figure2_process_over_all_systems(benchmark, record):
+    results = benchmark.pedantic(_run_process_over_all_systems, rounds=1, iterations=1)
+
+    rows = {}
+    for name, result in results.items():
+        final = result.final_pass
+        # Step 1: every security-critical task identified.
+        assert final.identified_tasks
+        # Step 4: every remaining human task has a mitigation plan.
+        for task_name in final.remaining_human_tasks:
+            assert final.mitigation_plan_for(task_name) is not None
+        # Iteration: residual risk never increases.
+        trajectory = result.risk_trajectory()
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(trajectory, trajectory[1:]))
+        rows[f"{name}.passes"] = float(result.pass_count)
+        rows[f"{name}.final_risk"] = trajectory[-1]
+
+    record(rows)
+    print()
+    print(render_figure_2())
+
+
+def test_figure2_single_pass_latency(benchmark, record):
+    """Time one pass of the process on the anti-phishing system."""
+
+    from repro.systems import antiphishing
+
+    system = antiphishing.build_system()
+
+    def one_pass():
+        return HumanThreatProcess(system, mitigation_catalog=full_catalog()).run_pass()
+
+    process_pass = benchmark(one_pass)
+    assert len(process_pass.identified_tasks) == 3
+    assert set(process_pass.mitigation_plans) == set(process_pass.analysis.task_analyses)
+    record(
+        {
+            "identified_tasks": float(len(process_pass.identified_tasks)),
+            "failures": float(len(process_pass.analysis.failures)),
+            "residual_risk": process_pass.residual_risk,
+        }
+    )

@@ -1,0 +1,74 @@
+"""Benchmark: regenerate Figure 3 (the C-HIP model) and the Section-4 delta.
+
+Figure 3 reproduces Wogalter's C-HIP model, which the framework extends.
+The benchmark regenerates the C-HIP graph, verifies its structure (linear
+receiver chain, feedback to the source), computes the structural comparison
+with the framework, and checks the Section-4 claims: exactly two components
+(capabilities, interference) are additions with no C-HIP counterpart, the
+knowledge stages are refinements of C-HIP's comprehension/memory stage, and
+the communication component generalizes C-HIP's warning-specific source.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.chip.comparison import MappingKind, compare_with_framework
+from repro.chip.model import CHIP_STAGE_ORDER, CHIPModel, CHIPStage
+from repro.core.components import Component
+from repro.viz.diagrams import render_figure_3
+from repro.viz.graphs import chip_graph, graph_statistics
+
+
+def test_figure3_chip_structure(benchmark, record):
+    graph = benchmark(chip_graph)
+
+    stats = graph_statistics(graph)
+    assert stats["nodes"] == 10.0
+    assert stats["receiver_nodes"] == 5.0
+    assert stats["is_dag_without_feedback"] == 1.0
+    # The receiver chain is strictly linear in C-HIP.
+    for earlier, later in zip(CHIP_STAGE_ORDER, CHIP_STAGE_ORDER[1:]):
+        assert graph.has_edge(earlier.value, later.value)
+    assert graph.has_edge(CHIPStage.BEHAVIOR.value, CHIPStage.SOURCE.value)
+
+    rendering = render_figure_3()
+    assert "SOURCE" in rendering and "BEHAVIOR" in rendering
+
+    record(
+        {
+            "nodes": stats["nodes"],
+            "edges": stats["edges"],
+            "receiver_stages": stats["receiver_nodes"],
+        }
+    )
+    print()
+    print(rendering)
+
+
+def test_figure3_framework_delta(benchmark, record):
+    comparison = benchmark(compare_with_framework)
+
+    added = set(comparison.added_components())
+    assert added == {Component.CAPABILITIES, Component.INTERFERENCE}
+    counts = comparison.coverage_counts()
+    assert counts[MappingKind.ADDED] == 2
+    assert counts[MappingKind.DIRECT] >= 4
+    assert counts[MappingKind.SPLIT] >= 5
+    assert comparison.mapping_for(Component.COMMUNICATION).kind is MappingKind.GENERALIZED
+    # Every framework component maps somewhere.
+    assert len(comparison.mappings) == len(list(Component))
+
+    record(
+        {
+            "framework_components": float(len(comparison.mappings)),
+            "chip_elements": float(len(list(CHIPStage))),
+            "added": float(counts[MappingKind.ADDED]),
+            "direct": float(counts[MappingKind.DIRECT]),
+            "split": float(counts[MappingKind.SPLIT]),
+            "generalized": float(counts[MappingKind.GENERALIZED]),
+        }
+    )
+    print()
+    print(comparison.summary())

@@ -1,0 +1,73 @@
+"""Benchmark: regenerate Table 1 (the framework checklist).
+
+The paper's Table 1 lists, for every framework component, the questions to
+ask and the factors to consider.  This benchmark regenerates the table from
+the structured encoding, checks its inventory (15 components, every
+component covered, the paper's signature factors present), and times the
+generation plus an automated checklist fill-in over every modeled system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import analyze_task
+from repro.core.checklist import TABLE_1, all_questions, build_checklist
+from repro.core.components import Component
+from repro.io.tabular import render_table_1
+from repro.systems import all_systems
+
+
+def _regenerate_table() -> str:
+    return render_table_1()
+
+
+def test_table1_regeneration(benchmark, record):
+    rendered = benchmark(_regenerate_table)
+
+    # Inventory checks: one row per component, signature content present.
+    assert len(TABLE_1) == 15
+    assert {entry.component for entry in TABLE_1} == set(Component)
+    assert "Severity of hazard" in rendered
+    assert "Habituation" in rendered
+    assert "Memorability" in rendered
+    assert "GEMS" in rendered
+
+    record(
+        {
+            "components": float(len(TABLE_1)),
+            "questions": float(len(all_questions())),
+            "factors": float(sum(len(entry.factors) for entry in TABLE_1)),
+            "rendered_rows": float(len(rendered.splitlines()) - 2),
+        }
+    )
+    print()
+    print(rendered)
+
+
+def test_table1_checklist_filled_for_every_system(benchmark, record):
+    """Fill the Table-1 checklist automatically for every modeled task."""
+
+    systems = all_systems()
+
+    def fill_all() -> int:
+        answered = 0
+        for system in systems.values():
+            for task in system.security_critical_tasks():
+                analysis = analyze_task(task)
+                answered += len(analysis.checklist.answered())
+        return answered
+
+    answered = benchmark(fill_all)
+    blank = build_checklist()
+    tasks = sum(len(system.security_critical_tasks()) for system in systems.values())
+    assert answered == tasks * len(blank.answers)
+
+    record(
+        {
+            "systems": float(len(systems)),
+            "tasks": float(tasks),
+            "questions_per_task": float(len(blank.answers)),
+            "questions_answered": float(answered),
+        }
+    )

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a table, a figure,
+or a case-study conclusion), asserts the *shape* of the result (orderings,
+rough factors — not absolute numbers), prints the regenerated rows, and
+stores the headline numbers in ``benchmark.extra_info`` so they appear in
+pytest-benchmark's JSON output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+
+def record_rows(benchmark, rows: Dict[str, float]) -> None:
+    """Attach headline metrics to the benchmark record and print them."""
+    for key, value in rows.items():
+        benchmark.extra_info[key] = value
+    width = max(len(key) for key in rows) if rows else 0
+    print()
+    for key, value in rows.items():
+        if isinstance(value, float):
+            print(f"  {key.ljust(width)}  {value:.3f}")
+        else:
+            print(f"  {key.ljust(width)}  {value}")
+
+
+@pytest.fixture
+def record(benchmark):
+    """Fixture returning a helper that records headline rows on the benchmark."""
+
+    def _record(rows: Dict[str, float]) -> None:
+        record_rows(benchmark, rows)
+
+    return _record

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Habituation and the active–passive spectrum.
+
+Section 2.1 warns that "frequent, active warnings about relatively low-risk
+hazards ... may lead users to start ignoring not only these warnings, but
+also similar warnings about more severe hazards", and Section 2.3.1 that
+"over time users may ignore security indicators that they observe
+frequently".  This example traces notice probability over repeated
+exposures for three communications — the SSL lock icon, the passive IE
+anti-phishing warning, and the blocking Firefox warning — and prints the
+§2.1 design advice for a few contrasting hazard profiles.
+
+Run with::
+
+    python examples/habituation_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+    advise,
+)
+from repro.simulation.habituation import simulate_exposure_series
+from repro.simulation.rng import SimulationRng
+from repro.systems import antiphishing, ssl_indicators
+
+
+def trace_habituation() -> None:
+    print("Notice probability over repeated exposures")
+    print("-" * 60)
+    communications = {
+        "ssl-lock-icon (passive indicator)": ssl_indicators.lock_icon_indicator(
+            habituation_exposures=0
+        ),
+        "ie-passive warning": antiphishing.ie_passive_warning(),
+        "firefox blocking warning": antiphishing.firefox_warning(),
+    }
+    checkpoints = (0, 5, 10, 20, 29)
+    header = "exposure".ljust(34) + "".join(f"{index:>8d}" for index in checkpoints)
+    print(header)
+    for label, communication in communications.items():
+        series = simulate_exposure_series(communication, exposures=30, rng=SimulationRng(7))
+        row = label.ljust(34)
+        for index in checkpoints:
+            row += f"{series[index].notice_probability:8.2f}"
+        print(row)
+    print()
+
+
+def show_design_advice() -> None:
+    print("§2.1 design advice for contrasting hazards")
+    print("-" * 60)
+    hazards = {
+        "phishing page (severe, occasional, actionable)": HazardProfile(
+            severity=HazardSeverity.HIGH,
+            frequency=HazardFrequency.OCCASIONAL,
+            user_action_necessity=0.9,
+        ),
+        "mixed-content resource (low risk, constant)": HazardProfile(
+            severity=HazardSeverity.LOW,
+            frequency=HazardFrequency.CONSTANT,
+            user_action_necessity=0.3,
+        ),
+        "unpatched kernel (critical, user cannot act)": HazardProfile(
+            severity=HazardSeverity.CRITICAL,
+            frequency=HazardFrequency.FREQUENT,
+            user_action_necessity=0.1,
+        ),
+    }
+    for label, hazard in hazards.items():
+        advice = advise(hazard)
+        print(f"{label}:")
+        print(
+            f"    -> {advice.recommended_type.value}, "
+            f"{advice.recommended_activeness.value}, "
+            f"habituation risk {advice.habituation_risk:.2f}"
+        )
+    print()
+
+
+def main() -> None:
+    trace_habituation()
+    show_design_advice()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Case study 3.2: organizational password policies, end to end.
+
+Reproduces the paper's password-policy case study:
+
+* analyses the three human tasks a password policy creates (create,
+  recall, refrain from sharing) with the framework,
+* sweeps the mitigation variants the case study discusses (no expiry,
+  rationale training, single sign-on, a password vault) through the
+  simulation substrate, and
+* prints the mitigation ranking for the recall task, which should put
+  memory-offloading mitigations (SSO, vault) above training-only ones.
+
+Run with::
+
+    python examples/password_policy_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core import HumanInTheLoopFramework
+from repro.mitigations import catalog_for, recommend_for_system
+from repro.simulation import HumanLoopSimulator, SimulationConfig
+from repro.simulation.metrics import render_comparison_markdown
+from repro.systems import passwords
+
+
+def run_framework_analysis() -> None:
+    framework = HumanInTheLoopFramework(mitigation_catalog=catalog_for("passwords"))
+    system = passwords.build_system()
+
+    print("=" * 72)
+    print("Framework analysis of the baseline policy's three human tasks")
+    print("=" * 72)
+    analysis = framework.analyze_system(system)
+    for task_name, task_analysis in sorted(analysis.task_analyses.items()):
+        weakest = task_analysis.weakest_component()
+        print(
+            f"  {task_name}: success ≈ {task_analysis.success_probability:.0%}, "
+            f"weakest component = {weakest.title}"
+        )
+    print()
+
+    print("=" * 72)
+    print("Mitigation ranking for the recall task")
+    print("=" * 72)
+    recommendations = recommend_for_system(system, domain="passwords")
+    recall_name = passwords.recall_task(passwords.baseline_policy()).name
+    plan = recommendations.tasks[recall_name].mitigation_plan
+    for rank, (mitigation, score) in enumerate(plan.recommendations[:6], start=1):
+        print(f"  {rank}. {mitigation.name:38s} priority={score:5.2f} ({mitigation.strategy.value})")
+    print()
+
+
+def run_policy_sweep() -> None:
+    print("=" * 72)
+    print("Simulated recall-task compliance across policy variants")
+    print("=" * 72)
+    results = {}
+    for name, policy in passwords.policy_variants().items():
+        simulator = HumanLoopSimulator(
+            SimulationConfig(n_receivers=500, seed=3200, calibration=passwords.calibration(policy))
+        )
+        results[name] = simulator.simulate_task(
+            passwords.recall_task(policy), passwords.population(policy)
+        )
+    print(render_comparison_markdown(results))
+    print()
+    baseline = results["baseline"]
+    print(
+        "Binding failure under the baseline policy: "
+        f"capability (memorability) failures hit {baseline.capability_failure_rate():.0%} of "
+        f"employees vs {baseline.intention_failure_rate():.0%} who simply choose not to comply — "
+        "exactly the capability failure the case study calls the most critical one."
+    )
+
+
+def main() -> None:
+    run_framework_analysis()
+    run_policy_sweep()
+
+
+if __name__ == "__main__":
+    main()

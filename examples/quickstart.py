@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Quickstart: analyse a custom human-in-the-loop security task.
+
+This example walks the shortest useful path through the library:
+
+1. describe a security communication, the environment it is delivered in,
+   and the human task it is supposed to trigger;
+2. run the framework analysis (the Table-1 checklist, automated);
+3. ask for mitigation suggestions; and
+4. print the same kind of per-component report the paper's case studies use.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    Communication,
+    CommunicationType,
+    Environment,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+    HumanInTheLoopFramework,
+    HumanSecurityTask,
+    SecureSystem,
+    StimulusKind,
+    TaskDesign,
+    novice_receiver,
+    typical_receiver,
+)
+
+
+def build_task() -> HumanSecurityTask:
+    """An OS update prompt: a warning the user can postpone indefinitely."""
+    hazard = HazardProfile(
+        severity=HazardSeverity.HIGH,
+        frequency=HazardFrequency.FREQUENT,
+        user_action_necessity=0.8,
+        description="Running with known-vulnerable, unpatched software.",
+    )
+    update_prompt = Communication(
+        name="os-update-prompt",
+        comm_type=CommunicationType.WARNING,
+        activeness=0.55,
+        hazard=hazard,
+        clarity=0.6,
+        includes_instructions=True,
+        explains_risk=False,
+        length_words=45,
+        conspicuity=0.6,
+        allows_override=True,
+        habituation_exposures=12,
+        description="The periodic 'updates are available, restart now?' prompt.",
+    )
+    environment = Environment(description="User mid-task on a work laptop")
+    environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.7, "the document they are editing")
+
+    return HumanSecurityTask(
+        name="apply-os-update",
+        description="Decide to apply the pending security update rather than postponing it.",
+        communication=update_prompt,
+        task_design=TaskDesign(steps=2, controls_discoverable=0.85, feedback_quality=0.7),
+        environment=environment,
+        receivers=[typical_receiver(), novice_receiver()],
+        desired_action="Accept the update and restart promptly.",
+        failure_consequence="The machine keeps running a known-vulnerable OS build.",
+    )
+
+
+def main() -> None:
+    framework = HumanInTheLoopFramework()
+    task = build_task()
+
+    # 1. Ask the §2.1 design guidance what kind of communication fits the hazard.
+    advice = framework.advise_communication(task.communication.hazard)
+    print("Design guidance for this hazard:")
+    print(advice.summary())
+    print()
+
+    # 2. Run the framework analysis (failure identification).
+    analysis = framework.analyze_task(task)
+    print(framework.report_task(analysis))
+    print()
+
+    # 3. Ask for mitigation suggestions ranked by the risk they address.
+    plan = framework.suggest_mitigations(analysis.failures)
+    print("Top mitigation suggestions:")
+    for rank, mitigation in enumerate(plan.top(3), start=1):
+        print(f"  {rank}. {mitigation.name} ({mitigation.strategy.value}): {mitigation.description}")
+    print()
+
+    # 4. Run the full four-step process over a one-task system.
+    result = framework.run_process(SecureSystem(name="os-updates", tasks=[task]), max_passes=2)
+    print(
+        f"Process finished after {result.pass_count} pass(es); residual risk trajectory: "
+        + " -> ".join(f"{risk:.2f}" for risk in result.risk_trajectory())
+    )
+
+
+if __name__ == "__main__":
+    main()

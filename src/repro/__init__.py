@@ -1,0 +1,48 @@
+"""repro — an executable reproduction of Cranor's human-in-the-loop framework.
+
+The package reproduces *A Framework for Reasoning About the Human in the
+Loop* (CMU-CyLab-08-001, 2008) as a Python library:
+
+* :mod:`repro.core` — the framework itself: components, Table-1 checklist,
+  task/system models, failure identification, mitigation suggestion, and
+  the four-step human threat identification and mitigation process.
+* :mod:`repro.chip`, :mod:`repro.gems`, :mod:`repro.norman` — the theory
+  the framework builds on (C-HIP, GEMS, Norman's action cycle and gulfs).
+* :mod:`repro.simulation` — the Monte-Carlo human-receiver substrate that
+  stands in for the cited user studies.
+* :mod:`repro.systems` — concrete secure-system models (anti-phishing
+  warnings, password policies, SSL indicators, ...).
+* :mod:`repro.studies` — encoded findings from the cited user studies.
+* :mod:`repro.mitigations` — concrete mitigation catalogs and automation
+  analysis.
+* :mod:`repro.io`, :mod:`repro.viz` — serialization, tables, figures.
+
+Quick start::
+
+    from repro.core import HumanInTheLoopFramework
+    from repro.systems import antiphishing
+
+    framework = HumanInTheLoopFramework()
+    analysis = framework.analyze_system(antiphishing.build_system())
+    print(framework.report_system(analysis))
+"""
+
+from . import chip, core, gems, io, mitigations, norman, simulation, studies, systems, viz
+from .core import HumanInTheLoopFramework
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HumanInTheLoopFramework",
+    "core",
+    "chip",
+    "gems",
+    "norman",
+    "simulation",
+    "systems",
+    "studies",
+    "mitigations",
+    "io",
+    "viz",
+    "__version__",
+]

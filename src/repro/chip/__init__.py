@@ -1,0 +1,28 @@
+"""The Communication-Human Information Processing (C-HIP) model.
+
+Wogalter's C-HIP model (Figure 3 of the paper) is the warnings-science
+baseline on which the human-in-the-loop framework is built.  This package
+encodes the C-HIP model itself and the structural comparison with the
+paper's framework described in Section 4: the framework adds a
+*capabilities* component, an *interference* component, splits the personal
+variables, generalizes to five communication types, and restructures the
+receiver representation "to emphasize related concepts over temporal flow".
+"""
+
+from .model import CHIP_STAGE_ORDER, CHIPModel, CHIPStage
+from .comparison import (
+    ComparisonResult,
+    MappingKind,
+    StageMapping,
+    compare_with_framework,
+)
+
+__all__ = [
+    "CHIPModel",
+    "CHIPStage",
+    "CHIP_STAGE_ORDER",
+    "compare_with_framework",
+    "ComparisonResult",
+    "StageMapping",
+    "MappingKind",
+]

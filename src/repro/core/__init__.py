@@ -1,0 +1,237 @@
+"""Core of the reproduction: the human-in-the-loop security framework.
+
+This package encodes the paper's primary contribution — the framework of
+Figure 1 / Table 1, the behavior-stage theory it builds on, and the
+four-step human threat identification and mitigation process of Figure 2 —
+as an executable, queryable Python library.
+
+Typical use::
+
+    from repro.core import HumanInTheLoopFramework
+    from repro.systems import antiphishing
+
+    framework = HumanInTheLoopFramework()
+    system = antiphishing.build_system()
+    analysis = framework.analyze_system(system)
+    print(framework.report_system(analysis))
+"""
+
+from .analysis import (
+    ComponentAssessment,
+    ComponentRating,
+    SystemAnalysis,
+    TaskAnalysis,
+    analyze_system,
+    analyze_task,
+)
+from .behavior import (
+    BehaviorAssessment,
+    BehaviorFailureKind,
+    BehaviorOutcome,
+    TaskDesign,
+    assess_behavior_design,
+)
+from .checklist import (
+    TABLE_1,
+    Checklist,
+    ChecklistAnswer,
+    ChecklistEntry,
+    ChecklistQuestion,
+    all_questions,
+    build_checklist,
+    entry_for,
+    iter_entries,
+)
+from .communication import (
+    ActivenessLevel,
+    Communication,
+    CommunicationAdvice,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+    advise,
+    recommend_activeness,
+    recommend_communication_type,
+)
+from .components import (
+    Component,
+    ComponentGroup,
+    component_group,
+    components_in_group,
+    influence_edges,
+    ordered_components,
+)
+from .exceptions import (
+    AnalysisError,
+    CalibrationError,
+    ModelError,
+    ProcessError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    UnknownComponentError,
+    ValidationError,
+)
+from .failure import (
+    FailureInventory,
+    FailureLikelihood,
+    FailureMode,
+    FailureSeverity,
+)
+from .framework import HumanInTheLoopFramework
+from .impediments import (
+    Environment,
+    EnvironmentalStimulus,
+    Interference,
+    InterferenceSource,
+    StimulusKind,
+)
+from .mitigation import (
+    GENERIC_MITIGATIONS,
+    Mitigation,
+    MitigationPlan,
+    MitigationStrategy,
+    suggest_mitigations,
+)
+from .process import (
+    AutomationDecision,
+    HumanThreatProcess,
+    ProcessPass,
+    ProcessResult,
+    ProcessStep,
+    TaskAutomationOutcome,
+)
+from .receiver import (
+    AttitudesBeliefs,
+    Capabilities,
+    Demographics,
+    EducationLevel,
+    HumanReceiver,
+    Intentions,
+    KnowledgeExperience,
+    Motivation,
+    PersonalVariables,
+    expert_receiver,
+    novice_receiver,
+    typical_receiver,
+)
+from .report import (
+    render_failure_table,
+    render_mitigation_plan,
+    render_process_result,
+    render_system_analysis,
+    render_task_analysis,
+)
+from .stages import STAGE_ORDER, Stage, StageOutcome, StageTrace, stage_component
+from .task import AutomationProfile, HumanSecurityTask, SecureSystem
+
+__all__ = [
+    # framework facade
+    "HumanInTheLoopFramework",
+    # components
+    "Component",
+    "ComponentGroup",
+    "component_group",
+    "components_in_group",
+    "influence_edges",
+    "ordered_components",
+    # communication
+    "Communication",
+    "CommunicationType",
+    "CommunicationAdvice",
+    "ActivenessLevel",
+    "DeliveryChannel",
+    "HazardProfile",
+    "HazardSeverity",
+    "HazardFrequency",
+    "advise",
+    "recommend_activeness",
+    "recommend_communication_type",
+    # impediments
+    "Environment",
+    "EnvironmentalStimulus",
+    "Interference",
+    "InterferenceSource",
+    "StimulusKind",
+    # receiver
+    "HumanReceiver",
+    "PersonalVariables",
+    "Demographics",
+    "EducationLevel",
+    "KnowledgeExperience",
+    "Intentions",
+    "AttitudesBeliefs",
+    "Motivation",
+    "Capabilities",
+    "novice_receiver",
+    "typical_receiver",
+    "expert_receiver",
+    # stages / behavior
+    "Stage",
+    "STAGE_ORDER",
+    "StageOutcome",
+    "StageTrace",
+    "stage_component",
+    "BehaviorOutcome",
+    "BehaviorFailureKind",
+    "BehaviorAssessment",
+    "TaskDesign",
+    "assess_behavior_design",
+    # checklist
+    "TABLE_1",
+    "Checklist",
+    "ChecklistAnswer",
+    "ChecklistEntry",
+    "ChecklistQuestion",
+    "all_questions",
+    "build_checklist",
+    "entry_for",
+    "iter_entries",
+    # task / system
+    "HumanSecurityTask",
+    "SecureSystem",
+    "AutomationProfile",
+    # analysis
+    "TaskAnalysis",
+    "SystemAnalysis",
+    "ComponentAssessment",
+    "ComponentRating",
+    "analyze_task",
+    "analyze_system",
+    # failures
+    "FailureMode",
+    "FailureInventory",
+    "FailureSeverity",
+    "FailureLikelihood",
+    # mitigation
+    "Mitigation",
+    "MitigationPlan",
+    "MitigationStrategy",
+    "GENERIC_MITIGATIONS",
+    "suggest_mitigations",
+    # process
+    "HumanThreatProcess",
+    "ProcessResult",
+    "ProcessPass",
+    "ProcessStep",
+    "AutomationDecision",
+    "TaskAutomationOutcome",
+    # reporting
+    "render_task_analysis",
+    "render_system_analysis",
+    "render_mitigation_plan",
+    "render_process_result",
+    "render_failure_table",
+    # exceptions
+    "ReproError",
+    "ModelError",
+    "ValidationError",
+    "AnalysisError",
+    "UnknownComponentError",
+    "SimulationError",
+    "CalibrationError",
+    "SerializationError",
+    "ProcessError",
+]

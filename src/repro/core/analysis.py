@@ -1,0 +1,788 @@
+"""Framework analysis: walking a task through the Table-1 checklist.
+
+This is the *failure identification* machinery of the framework.  Given a
+:class:`~repro.core.task.HumanSecurityTask` (and optionally a specific
+receiver profile), :func:`analyze_task` walks every framework component,
+rates it, records findings, and emits :class:`~repro.core.failure.FailureMode`
+entries for the problems it detects.  :func:`analyze_system` applies the
+same analysis to every security-critical task of a
+:class:`~repro.core.task.SecureSystem` and merges the results.
+
+The rules encode the guidance scattered through Sections 2 and 3 of the
+paper — e.g. missing communications are themselves the likely root cause,
+passive indicators in distracting environments fail at attention switch,
+override options plus false positives erode intentions, and capability
+gaps (password memorability) are first-class failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import probabilities
+from .behavior import BehaviorFailureKind, assess_behavior_design
+from .checklist import Checklist, build_checklist
+from .communication import (
+    Communication,
+    CommunicationType,
+    recommend_activeness,
+    recommend_communication_type,
+)
+from .components import Component, ComponentGroup
+from .exceptions import AnalysisError
+from .failure import FailureInventory, FailureLikelihood, FailureMode, FailureSeverity
+from .impediments import Environment
+from .receiver import HumanReceiver
+from .stages import Stage
+from .task import HumanSecurityTask, SecureSystem
+
+__all__ = [
+    "ComponentRating",
+    "ComponentAssessment",
+    "TaskAnalysis",
+    "SystemAnalysis",
+    "analyze_task",
+    "analyze_system",
+]
+
+
+class ComponentRating(enum.Enum):
+    """Qualitative rating of a framework component for a given task."""
+
+    STRONG = "strong"
+    ADEQUATE = "adequate"
+    WEAK = "weak"
+    CRITICAL = "critical"
+
+    @classmethod
+    def from_score(cls, score: float) -> "ComponentRating":
+        """Map a 0–1 health score (1 = healthy) to a rating."""
+        if score >= 0.8:
+            return cls.STRONG
+        if score >= 0.6:
+            return cls.ADEQUATE
+        if score >= 0.35:
+            return cls.WEAK
+        return cls.CRITICAL
+
+    @property
+    def is_problematic(self) -> bool:
+        return self in (ComponentRating.WEAK, ComponentRating.CRITICAL)
+
+
+@dataclasses.dataclass
+class ComponentAssessment:
+    """Assessment of a single framework component for one task."""
+
+    component: Component
+    score: float
+    rating: ComponentRating
+    findings: List[str] = dataclasses.field(default_factory=list)
+    failures: List[FailureMode] = dataclasses.field(default_factory=list)
+
+    @property
+    def satisfactory(self) -> bool:
+        return not self.rating.is_problematic
+
+
+@dataclasses.dataclass
+class TaskAnalysis:
+    """Complete framework analysis of one human security task."""
+
+    task: HumanSecurityTask
+    receiver: HumanReceiver
+    assessments: Dict[Component, ComponentAssessment]
+    failures: FailureInventory
+    checklist: Checklist
+    stage_probabilities: Dict[Stage, float]
+    success_probability: float
+
+    def assessment(self, component: Component) -> ComponentAssessment:
+        return self.assessments[component]
+
+    def problematic_components(self) -> List[Component]:
+        """Components rated weak or critical, in Table-1 order."""
+        return [
+            component
+            for component in Component
+            if component in self.assessments
+            and self.assessments[component].rating.is_problematic
+        ]
+
+    def weakest_component(self) -> Component:
+        """The component with the lowest health score."""
+        return min(self.assessments.values(), key=lambda item: item.score).component
+
+    def findings(self) -> List[str]:
+        """All findings across components, in Table-1 order."""
+        collected: List[str] = []
+        for component in Component:
+            if component in self.assessments:
+                collected.extend(self.assessments[component].findings)
+        return collected
+
+
+@dataclasses.dataclass
+class SystemAnalysis:
+    """Framework analysis of every security-critical task in a system."""
+
+    system: SecureSystem
+    task_analyses: Dict[str, TaskAnalysis]
+    failures: FailureInventory
+
+    def analysis_for(self, task_name: str) -> TaskAnalysis:
+        if task_name not in self.task_analyses:
+            raise AnalysisError(f"no analysis for task {task_name!r}")
+        return self.task_analyses[task_name]
+
+    def weakest_task(self) -> Optional[str]:
+        """The task with the lowest end-to-end success probability."""
+        if not self.task_analyses:
+            return None
+        return min(
+            self.task_analyses,
+            key=lambda name: self.task_analyses[name].success_probability,
+        )
+
+    def mean_success_probability(self) -> float:
+        if not self.task_analyses:
+            return 1.0
+        values = [analysis.success_probability for analysis in self.task_analyses.values()]
+        return sum(values) / len(values)
+
+
+# ---------------------------------------------------------------------------
+# Per-component assessment rules
+# ---------------------------------------------------------------------------
+
+
+def _failure_id(task: HumanSecurityTask, component: Component, suffix: str = "") -> str:
+    tail = f".{suffix}" if suffix else ""
+    return f"{task.name}.{component.value}{tail}"
+
+
+def _assess_communication(task: HumanSecurityTask) -> ComponentAssessment:
+    communication = task.communication
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+
+    if communication is None:
+        findings.append(
+            "No communication is associated with this security-critical task; "
+            "the lack of communication is likely at least partially responsible "
+            "for any observed failure."
+        )
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.COMMUNICATION, "missing"),
+                component=Component.COMMUNICATION,
+                description=(
+                    "The task relies on the human acting without any triggering "
+                    "communication (warning, notice, training, or policy)."
+                ),
+                severity=FailureSeverity.MAJOR,
+                likelihood=FailureLikelihood.LIKELY,
+                evidence="Section 2: absence of a triggering communication",
+                task_name=task.name,
+            )
+        )
+        return ComponentAssessment(
+            component=Component.COMMUNICATION,
+            score=0.1,
+            rating=ComponentRating.CRITICAL,
+            findings=findings,
+            failures=failures,
+        )
+
+    score = 1.0
+    recommended_type = recommend_communication_type(communication.hazard)
+    if recommended_type is not communication.comm_type and communication.comm_type in (
+        CommunicationType.WARNING,
+        CommunicationType.NOTICE,
+        CommunicationType.STATUS_INDICATOR,
+    ):
+        score -= 0.2
+        findings.append(
+            f"A {recommended_type.value} may fit this hazard better than the "
+            f"current {communication.comm_type.value}."
+        )
+
+    recommended_activeness = recommend_activeness(communication.hazard)
+    activeness_gap = recommended_activeness.score - communication.activeness
+    if activeness_gap > 0.3:
+        score -= 0.3
+        findings.append(
+            "The communication is substantially more passive than the hazard "
+            "severity warrants; users are unlikely to notice it in time."
+        )
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.COMMUNICATION, "too-passive"),
+                component=Component.COMMUNICATION,
+                description=(
+                    "Communication is too passive for the severity of the hazard "
+                    "and the necessity of user action."
+                ),
+                severity=FailureSeverity.MAJOR,
+                likelihood=FailureLikelihood.LIKELY,
+                evidence="Section 2.1 active-passive guidance",
+                task_name=task.name,
+            )
+        )
+    elif activeness_gap < -0.4:
+        score -= 0.15
+        findings.append(
+            "The communication is more interruptive than the hazard warrants; "
+            "frequent active interruptions about low-risk hazards breed habituation."
+        )
+
+    if communication.false_positive_rate >= 0.2:
+        score -= 0.2
+        findings.append(
+            "The communication has a noticeable false-positive history, which "
+            "will erode users' trust in it."
+        )
+    if communication.resembles_low_risk_communications:
+        score -= 0.15
+        findings.append(
+            "The communication resembles frequently-encountered, non-critical "
+            "communications and may be confused with them."
+        )
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.COMMUNICATION, "lookalike"),
+                component=Component.COMMUNICATION,
+                description=(
+                    "Communication looks similar to routine, non-critical "
+                    "communications (e.g. generic browser error pages)."
+                ),
+                severity=FailureSeverity.MODERATE,
+                likelihood=FailureLikelihood.POSSIBLE,
+                evidence="Anti-phishing case study: IE warning mistaken for 404",
+                task_name=task.name,
+            )
+        )
+    if (
+        communication.comm_type is CommunicationType.WARNING
+        and not communication.includes_instructions
+    ):
+        score -= 0.15
+        findings.append(
+            "The warning does not include specific hazard-avoidance instructions; "
+            "good warnings tell users exactly what to do."
+        )
+
+    score = max(0.0, min(1.0, score))
+    return ComponentAssessment(
+        component=Component.COMMUNICATION,
+        score=score,
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+def _assess_environmental_stimuli(task: HumanSecurityTask) -> ComponentAssessment:
+    environment = task.environment
+    communication = task.communication
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+
+    distraction = environment.distraction_level
+    passivity = 1.0 - (communication.activeness if communication else 0.0)
+    exposure = distraction * (0.4 + 0.6 * passivity)
+    score = 1.0 - exposure
+
+    if distraction >= 0.5:
+        findings.append(
+            "The environment is distracting (primary task, competing "
+            "communications); passive communications are likely to be missed."
+        )
+    if environment.competing_indicator_count >= 3:
+        findings.append(
+            "Multiple security indicators compete for attention in the same "
+            "chrome; users will have difficulty focusing on any particular one."
+        )
+    if exposure >= 0.45:
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.ENVIRONMENTAL_STIMULI, "distraction"),
+                component=Component.ENVIRONMENTAL_STIMULI,
+                description=(
+                    "Environmental stimuli (primary task, other communications) "
+                    "are likely to divert attention from the communication."
+                ),
+                severity=FailureSeverity.MODERATE,
+                likelihood=FailureLikelihood.from_probability(exposure),
+                evidence="Section 2.2 environmental stimuli",
+                task_name=task.name,
+            )
+        )
+
+    score = max(0.0, min(1.0, score))
+    return ComponentAssessment(
+        component=Component.ENVIRONMENTAL_STIMULI,
+        score=score,
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+def _assess_interference(task: HumanSecurityTask) -> ComponentAssessment:
+    environment = task.environment
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+
+    block = environment.block_probability
+    degrade = environment.degrade_probability
+    spoof = environment.spoof_probability
+    disruption = 1.0 - (1.0 - block) * (1.0 - degrade) * (1.0 - spoof)
+    score = 1.0 - disruption
+
+    if block > 0.05:
+        findings.append("The communication can be blocked before it reaches the user.")
+    if degrade > 0.05:
+        findings.append(
+            "The communication can arrive degraded (delayed, partially obscured, "
+            "or inadvertently dismissed)."
+        )
+    if spoof > 0.05:
+        findings.append(
+            "An attacker can spoof or manipulate the indicator so users rely on "
+            "an attacker-controlled communication."
+        )
+    if disruption >= 0.1:
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.INTERFERENCE, "disruption"),
+                component=Component.INTERFERENCE,
+                description=(
+                    "Interference (attacker action, technology failure, or "
+                    "obscuring stimuli) can prevent the communication from being "
+                    "received as intended."
+                ),
+                severity=FailureSeverity.MAJOR if spoof > 0.05 else FailureSeverity.MODERATE,
+                likelihood=FailureLikelihood.from_probability(disruption),
+                evidence="Section 2.2 interference",
+                task_name=task.name,
+            )
+        )
+
+    score = max(0.0, min(1.0, score))
+    return ComponentAssessment(
+        component=Component.INTERFERENCE,
+        score=score,
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+def _assess_demographics(task: HumanSecurityTask, receiver: HumanReceiver) -> ComponentAssessment:
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+    demographics = receiver.personal_variables.demographics
+
+    score = 0.8
+    if demographics.has_disabilities:
+        score -= 0.2
+        findings.append(
+            "Some expected users have disabilities; verify the communication "
+            "remains perceivable and the action remains performable for them."
+        )
+    spread = len({profile.personal_variables.is_expert for profile in task.receivers})
+    if spread > 1:
+        findings.append(
+            "The expected population spans novices through experts; a single "
+            "communication design is unlikely to serve both well."
+        )
+        score -= 0.1
+
+    score = max(0.0, min(1.0, score))
+    return ComponentAssessment(
+        component=Component.DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS,
+        score=score,
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+def _assess_knowledge_experience(
+    task: HumanSecurityTask, receiver: HumanReceiver
+) -> ComponentAssessment:
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+    knowledge = receiver.personal_variables.knowledge
+
+    score = 0.4 + 0.6 * knowledge.expertise
+    if knowledge.domain_knowledge < 0.3:
+        findings.append(
+            "Many expected users lack a mental model of this hazard and may "
+            "misinterpret the communication."
+        )
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.KNOWLEDGE_AND_EXPERIENCE, "mental-model"),
+                component=Component.KNOWLEDGE_AND_EXPERIENCE,
+                description=(
+                    "Users without prior knowledge of the hazard form inaccurate "
+                    "mental models and misinterpret the communication."
+                ),
+                severity=FailureSeverity.MODERATE,
+                likelihood=FailureLikelihood.LIKELY,
+                evidence="Anti-phishing case study: users assumed the emailed link was legitimate",
+                task_name=task.name,
+            )
+        )
+    if receiver.is_expert:
+        findings.append(
+            "Expert users may second-guess the communication and erroneously "
+            "conclude the situation is less risky than it actually is."
+        )
+
+    score = max(0.0, min(1.0, score))
+    return ComponentAssessment(
+        component=Component.KNOWLEDGE_AND_EXPERIENCE,
+        score=score,
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+def _assess_attitudes(task: HumanSecurityTask, receiver: HumanReceiver) -> ComponentAssessment:
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+    communication = task.communication
+
+    belief = receiver.intentions.attitudes.belief_score
+    score = belief
+    if communication is not None:
+        if communication.false_positive_rate >= 0.2:
+            score -= 0.15
+            findings.append(
+                "Past false positives make users less inclined to take the "
+                "communication seriously."
+            )
+        if communication.allows_override and communication.comm_type is CommunicationType.WARNING:
+            findings.append(
+                "The override option itself signals to users that the hazard "
+                "cannot be that serious."
+            )
+    if score < 0.5:
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.ATTITUDES_AND_BELIEFS, "disbelief"),
+                component=Component.ATTITUDES_AND_BELIEFS,
+                description=(
+                    "Users do not believe the communication is accurate or worth "
+                    "acting on (low trust, low perceived risk, or low efficacy)."
+                ),
+                severity=FailureSeverity.MODERATE,
+                likelihood=FailureLikelihood.from_probability(1.0 - score),
+                evidence="Section 2.3.5 attitudes and beliefs",
+                task_name=task.name,
+            )
+        )
+
+    score = max(0.0, min(1.0, score))
+    return ComponentAssessment(
+        component=Component.ATTITUDES_AND_BELIEFS,
+        score=score,
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+def _assess_motivation(task: HumanSecurityTask, receiver: HumanReceiver) -> ComponentAssessment:
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+    motivation = receiver.intentions.motivation
+
+    score = motivation.motivation_score
+    if motivation.conflicting_goals >= 0.5:
+        findings.append(
+            "The security task conflicts with users' other goals (e.g. sharing "
+            "passwords to collaborate, completing the primary task quickly)."
+        )
+    if motivation.primary_task_pressure >= 0.6:
+        findings.append(
+            "Users under primary-task pressure will view delays as more "
+            "important to avoid than security risks."
+        )
+    if score < 0.5:
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.MOTIVATION, "unmotivated"),
+                component=Component.MOTIVATION,
+                description=(
+                    "Users are not motivated to take the appropriate action or to "
+                    "do it carefully (conflicting goals, inconvenience, weak "
+                    "perceived consequences)."
+                ),
+                severity=FailureSeverity.MODERATE,
+                likelihood=FailureLikelihood.from_probability(1.0 - score),
+                evidence="Section 2.3.5 motivation",
+                task_name=task.name,
+            )
+        )
+
+    score = max(0.0, min(1.0, score))
+    return ComponentAssessment(
+        component=Component.MOTIVATION,
+        score=score,
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+def _assess_capabilities(task: HumanSecurityTask, receiver: HumanReceiver) -> ComponentAssessment:
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+
+    gaps = task.capability_gap(receiver)
+    probability = probabilities.capability_probability(task, receiver)
+    score = probability
+
+    if gaps:
+        dimension_list = ", ".join(sorted(gaps))
+        findings.append(
+            f"The task demands capabilities the expected users lack ({dimension_list})."
+        )
+        severity = (
+            FailureSeverity.MAJOR
+            if "memory_capacity" in gaps or sum(gaps.values()) >= 0.3
+            else FailureSeverity.MODERATE
+        )
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.CAPABILITIES, "gap"),
+                component=Component.CAPABILITIES,
+                description=(
+                    "Users are not capable of performing the required action "
+                    f"(shortfall in: {dimension_list})."
+                ),
+                severity=severity,
+                likelihood=FailureLikelihood.from_probability(1.0 - probability),
+                evidence="Section 2.3.6 capabilities",
+                task_name=task.name,
+            )
+        )
+    if "memory_capacity" in gaps:
+        findings.append(
+            "The task relies on memorizing random-looking or numerous secrets, a "
+            "memory task most users cannot perform."
+        )
+
+    score = max(0.0, min(1.0, score))
+    return ComponentAssessment(
+        component=Component.CAPABILITIES,
+        score=score,
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+_STAGE_FAILURE_DESCRIPTIONS: Dict[Stage, str] = {
+    Stage.ATTENTION_SWITCH: "Users do not notice the communication.",
+    Stage.ATTENTION_MAINTENANCE: (
+        "Users do not attend to the communication long enough to process it."
+    ),
+    Stage.COMPREHENSION: "Users do not understand what the communication means.",
+    Stage.KNOWLEDGE_ACQUISITION: (
+        "Users do not know what they are supposed to do in response to the communication."
+    ),
+    Stage.KNOWLEDGE_RETENTION: (
+        "Users do not remember the communication when the situation requiring it arises."
+    ),
+    Stage.KNOWLEDGE_TRANSFER: (
+        "Users fail to recognize new situations where the communication applies."
+    ),
+    Stage.BEHAVIOR: (
+        "Users fail to complete the desired action correctly even after deciding to act."
+    ),
+}
+
+_STAGE_SEVERITIES: Dict[Stage, FailureSeverity] = {
+    Stage.ATTENTION_SWITCH: FailureSeverity.MAJOR,
+    Stage.ATTENTION_MAINTENANCE: FailureSeverity.MODERATE,
+    Stage.COMPREHENSION: FailureSeverity.MAJOR,
+    Stage.KNOWLEDGE_ACQUISITION: FailureSeverity.MODERATE,
+    Stage.KNOWLEDGE_RETENTION: FailureSeverity.MODERATE,
+    Stage.KNOWLEDGE_TRANSFER: FailureSeverity.MODERATE,
+    Stage.BEHAVIOR: FailureSeverity.MAJOR,
+}
+
+
+def _assess_stage(
+    task: HumanSecurityTask,
+    stage: Stage,
+    probability: Optional[float],
+) -> ComponentAssessment:
+    findings: List[str] = []
+    failures: List[FailureMode] = []
+
+    if probability is None:
+        # Stage not applicable for this communication type.
+        return ComponentAssessment(
+            component=stage.component,
+            score=1.0,
+            rating=ComponentRating.STRONG,
+            findings=["Not applicable for this communication type."],
+            failures=[],
+        )
+
+    score = probability
+    if probability < 0.6:
+        findings.append(
+            f"Estimated {stage.value.replace('_', ' ')} success is only "
+            f"{probability:.0%} for the expected receiver population."
+        )
+        failures.append(
+            FailureMode(
+                identifier=_failure_id(task, stage.component, "low-probability"),
+                component=stage.component,
+                description=_STAGE_FAILURE_DESCRIPTIONS[stage],
+                severity=_STAGE_SEVERITIES[stage],
+                likelihood=FailureLikelihood.from_probability(1.0 - probability),
+                stage=stage,
+                evidence="Stage probability model over the task attributes",
+                task_name=task.name,
+            )
+        )
+
+    return ComponentAssessment(
+        component=stage.component,
+        score=max(0.0, min(1.0, score)),
+        rating=ComponentRating.from_score(score),
+        findings=findings,
+        failures=failures,
+    )
+
+
+def _assess_behavior(
+    task: HumanSecurityTask,
+    receiver: HumanReceiver,
+    probability: Optional[float],
+) -> ComponentAssessment:
+    base = _assess_stage(task, Stage.BEHAVIOR, probability)
+    design_assessment = assess_behavior_design(
+        task.task_design,
+        receiver_capability=receiver.capability_score,
+        receiver_knowledge=receiver.capabilities.knowledge_to_act,
+    )
+    base.findings.extend(design_assessment.notes)
+
+    predictability = design_assessment.risk_for(BehaviorFailureKind.PREDICTABLE_BEHAVIOR)
+    if predictability >= 0.3:
+        base.failures.append(
+            FailureMode(
+                identifier=_failure_id(task, Component.BEHAVIOR, "predictable"),
+                component=Component.BEHAVIOR,
+                description=(
+                    "Users complete the action successfully but in predictable "
+                    "patterns an attacker can exploit."
+                ),
+                severity=FailureSeverity.MODERATE,
+                likelihood=FailureLikelihood.from_probability(predictability),
+                stage=Stage.BEHAVIOR,
+                behavior_kind=BehaviorFailureKind.PREDICTABLE_BEHAVIOR,
+                evidence="Section 2.4 predictable behavior (graphical-password hot spots)",
+                task_name=task.name,
+            )
+        )
+        base.score = max(0.0, base.score - 0.2)
+        base.rating = ComponentRating.from_score(base.score)
+    return base
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def analyze_task(
+    task: HumanSecurityTask,
+    receiver: Optional[HumanReceiver] = None,
+) -> TaskAnalysis:
+    """Run the full framework analysis for one task.
+
+    Parameters
+    ----------
+    task:
+        The human security task to analyse.
+    receiver:
+        The receiver profile to analyse against; defaults to the task's
+        primary receiver.
+    """
+    receiver = receiver or task.primary_receiver
+    stage_probs = probabilities.stage_probabilities(task, receiver)
+
+    assessments: Dict[Component, ComponentAssessment] = {}
+    assessments[Component.COMMUNICATION] = _assess_communication(task)
+    assessments[Component.ENVIRONMENTAL_STIMULI] = _assess_environmental_stimuli(task)
+    assessments[Component.INTERFERENCE] = _assess_interference(task)
+    assessments[Component.DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS] = _assess_demographics(
+        task, receiver
+    )
+    assessments[Component.KNOWLEDGE_AND_EXPERIENCE] = _assess_knowledge_experience(task, receiver)
+    assessments[Component.ATTITUDES_AND_BELIEFS] = _assess_attitudes(task, receiver)
+    assessments[Component.MOTIVATION] = _assess_motivation(task, receiver)
+    assessments[Component.CAPABILITIES] = _assess_capabilities(task, receiver)
+
+    for stage in (
+        Stage.ATTENTION_SWITCH,
+        Stage.ATTENTION_MAINTENANCE,
+        Stage.COMPREHENSION,
+        Stage.KNOWLEDGE_ACQUISITION,
+        Stage.KNOWLEDGE_RETENTION,
+        Stage.KNOWLEDGE_TRANSFER,
+    ):
+        assessments[stage.component] = _assess_stage(task, stage, stage_probs.get(stage))
+    assessments[Component.BEHAVIOR] = _assess_behavior(
+        task, receiver, stage_probs.get(Stage.BEHAVIOR)
+    )
+
+    failures = FailureInventory(subject=task.name)
+    for assessment in assessments.values():
+        for failure in assessment.failures:
+            failures.add(failure)
+
+    checklist = build_checklist(subject=task.name)
+    for component, assessment in assessments.items():
+        notes = "; ".join(assessment.findings)
+        checklist.answer(component, satisfactory=assessment.satisfactory, notes=notes)
+
+    success = probabilities.end_to_end_success_probability(task, receiver)
+
+    return TaskAnalysis(
+        task=task,
+        receiver=receiver,
+        assessments=assessments,
+        failures=failures,
+        checklist=checklist,
+        stage_probabilities=stage_probs,
+        success_probability=success,
+    )
+
+
+def analyze_system(system: SecureSystem) -> SystemAnalysis:
+    """Run the framework analysis over every security-critical task."""
+    system.validate()
+    task_analyses: Dict[str, TaskAnalysis] = {}
+    merged = FailureInventory(subject=system.name)
+    for task in system.security_critical_tasks():
+        analysis = analyze_task(task)
+        task_analyses[task.name] = analysis
+        for failure in analysis.failures:
+            merged.add(
+                dataclasses.replace(failure, system_name=system.name)
+            )
+    return SystemAnalysis(system=system, task_analyses=task_analyses, failures=merged)

@@ -1,0 +1,285 @@
+"""The behavior component: outcomes, error types, gulfs, and predictability.
+
+Section 2.4 of the paper describes what can go wrong even after a receiver
+has noticed, understood, and decided to act on a security communication:
+
+* the **Gulf of Execution** — the receiver cannot find or operate the
+  mechanism needed to carry out the intended action (Norman),
+* the **Gulf of Evaluation** — the receiver cannot tell whether the action
+  achieved the desired outcome (Norman),
+* **mistakes, lapses and slips** — the three error types of Reason's
+  Generic Error-Modeling System (GEMS), and
+* **predictable behavior** — the receiver succeeds, but in a way an
+  attacker can predict and exploit (e.g. graphical-password hot spots).
+
+This module defines the behavior-stage vocabulary used by the analysis and
+simulation layers.  The deeper GEMS and Norman sub-models live in
+:mod:`repro.gems` and :mod:`repro.norman`; this module intentionally keeps
+only the pieces the framework itself references.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from .exceptions import ModelError
+
+__all__ = [
+    "BehaviorOutcome",
+    "BehaviorFailureKind",
+    "TaskDesign",
+    "BehaviorAssessment",
+    "assess_behavior_design",
+]
+
+
+class BehaviorFailureKind(enum.Enum):
+    """Ways the behavior stage can fail (Section 2.4)."""
+
+    MISTAKE = "mistake"
+    LAPSE = "lapse"
+    SLIP = "slip"
+    GULF_OF_EXECUTION = "gulf_of_execution"
+    GULF_OF_EVALUATION = "gulf_of_evaluation"
+    PREDICTABLE_BEHAVIOR = "predictable_behavior"
+
+    @property
+    def description(self) -> str:
+        return _FAILURE_DESCRIPTIONS[self]
+
+
+_FAILURE_DESCRIPTIONS: Dict[BehaviorFailureKind, str] = {
+    BehaviorFailureKind.MISTAKE: (
+        "The receiver formulated an action plan that will not achieve the "
+        "desired goal (GEMS mistake)."
+    ),
+    BehaviorFailureKind.LAPSE: (
+        "The receiver formulated a suitable plan but forgot to perform a "
+        "planned action, e.g. skipped a step (GEMS lapse)."
+    ),
+    BehaviorFailureKind.SLIP: (
+        "The receiver performed an action incorrectly, e.g. pressed the "
+        "wrong button or selected the wrong menu item (GEMS slip)."
+    ),
+    BehaviorFailureKind.GULF_OF_EXECUTION: (
+        "The receiver intends to act but cannot find or operate the "
+        "mechanism the system provides for the action (Norman)."
+    ),
+    BehaviorFailureKind.GULF_OF_EVALUATION: (
+        "The receiver completed an action but cannot determine whether it "
+        "achieved the desired outcome (Norman)."
+    ),
+    BehaviorFailureKind.PREDICTABLE_BEHAVIOR: (
+        "The receiver completed the action, but in a predictable way an "
+        "attacker can exploit (e.g. graphical-password hot spots)."
+    ),
+}
+
+
+class BehaviorOutcome(enum.Enum):
+    """Terminal outcome of one receiver-communication pass."""
+
+    SUCCESS = "success"
+    SUCCESS_BUT_PREDICTABLE = "success_but_predictable"
+    FAILED_SAFE = "failed_safe"
+    FAILURE = "failure"
+    NO_ACTION = "no_action"
+
+    @property
+    def hazard_avoided(self) -> bool:
+        """Whether the security goal was nevertheless achieved.
+
+        The anti-phishing case study observes that users who repeatedly
+        clicked the emailed link were "actually making a mistake" yet the
+        system still "fail[ed] safely": the hazard was avoided.  That is the
+        ``FAILED_SAFE`` outcome.
+        """
+        return self in (
+            BehaviorOutcome.SUCCESS,
+            BehaviorOutcome.SUCCESS_BUT_PREDICTABLE,
+            BehaviorOutcome.FAILED_SAFE,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskDesign:
+    """Design attributes of the action a communication asks the receiver to take.
+
+    These attributes drive the behavior-stage failure likelihoods:
+
+    ``steps``
+        Number of discrete steps required; more steps mean more
+        opportunities for lapses.
+    ``controls_discoverable``
+        How easy it is to find the interface components or hardware that
+        must be manipulated (small values widen the gulf of execution).
+    ``feedback_quality``
+        How clearly the system communicates whether the action succeeded
+        (small values widen the gulf of evaluation).
+    ``controls_distinguishable``
+        How hard it is to confuse the relevant control with a neighboring
+        one (small values invite slips).
+    ``guidance_through_steps``
+        Whether the system provides cues guiding the receiver through the
+        step sequence (prevents lapses).
+    ``requires_unpredictable_choice``
+        Whether the task asks the receiver to produce something that should
+        be unpredictable (a password, click points); only then is
+        predictability a relevant failure mode.
+    ``choice_predictability``
+        How predictable typical receiver choices are when
+        ``requires_unpredictable_choice`` is set (e.g. hot-spot
+        concentration in click-based graphical passwords).
+    """
+
+    steps: int = 1
+    controls_discoverable: float = 0.8
+    feedback_quality: float = 0.7
+    controls_distinguishable: float = 0.8
+    guidance_through_steps: bool = False
+    requires_unpredictable_choice: bool = False
+    choice_predictability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise ModelError("steps must be non-negative")
+        for name in (
+            "controls_discoverable",
+            "feedback_quality",
+            "controls_distinguishable",
+            "choice_predictability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def gulf_of_execution(self) -> float:
+        """Width of the gulf of execution (0 = no gulf, 1 = impassable)."""
+        return 1.0 - self.controls_discoverable
+
+    @property
+    def gulf_of_evaluation(self) -> float:
+        """Width of the gulf of evaluation (0 = no gulf, 1 = impassable)."""
+        return 1.0 - self.feedback_quality
+
+    @property
+    def lapse_exposure(self) -> float:
+        """Exposure to lapses from multi-step sequences without guidance."""
+        if self.steps <= 1:
+            return 0.0
+        per_step = 0.03 if self.guidance_through_steps else 0.08
+        return min(1.0, per_step * (self.steps - 1))
+
+    @property
+    def slip_exposure(self) -> float:
+        """Exposure to slips from confusable controls."""
+        return 0.5 * (1.0 - self.controls_distinguishable)
+
+
+@dataclasses.dataclass(frozen=True)
+class BehaviorAssessment:
+    """Design-time assessment of the behavior stage for a task."""
+
+    success_likelihood: float
+    dominant_risks: Tuple[BehaviorFailureKind, ...]
+    risk_scores: Dict[BehaviorFailureKind, float]
+    notes: Tuple[str, ...] = ()
+
+    def risk_for(self, kind: BehaviorFailureKind) -> float:
+        return self.risk_scores.get(kind, 0.0)
+
+
+def assess_behavior_design(design: TaskDesign, receiver_capability: float = 0.6,
+                           receiver_knowledge: float = 0.5) -> BehaviorAssessment:
+    """Assess the behavior-stage risks of a task design.
+
+    Parameters
+    ----------
+    design:
+        The task design under analysis.
+    receiver_capability:
+        Composite capability score of the expected receiver population
+        (0–1); low capability amplifies execution-gulf and slip risks.
+    receiver_knowledge:
+        Knowledge-to-act score; low knowledge amplifies mistake risk.
+
+    Returns
+    -------
+    BehaviorAssessment
+        Per-failure-kind risk scores, the dominant risks (those above a
+        0.2 threshold, ordered by score), and an overall success
+        likelihood.
+    """
+    if not 0.0 <= receiver_capability <= 1.0:
+        raise ModelError("receiver_capability must be in [0, 1]")
+    if not 0.0 <= receiver_knowledge <= 1.0:
+        raise ModelError("receiver_knowledge must be in [0, 1]")
+
+    capability_penalty = 1.0 + (0.5 - receiver_capability)
+
+    risks: Dict[BehaviorFailureKind, float] = {
+        BehaviorFailureKind.MISTAKE: min(1.0, 0.6 * (1.0 - receiver_knowledge)),
+        BehaviorFailureKind.LAPSE: min(1.0, design.lapse_exposure * capability_penalty),
+        BehaviorFailureKind.SLIP: min(1.0, design.slip_exposure * capability_penalty),
+        BehaviorFailureKind.GULF_OF_EXECUTION: min(
+            1.0, design.gulf_of_execution * capability_penalty
+        ),
+        BehaviorFailureKind.GULF_OF_EVALUATION: design.gulf_of_evaluation,
+    }
+    if design.requires_unpredictable_choice:
+        risks[BehaviorFailureKind.PREDICTABLE_BEHAVIOR] = design.choice_predictability
+    else:
+        risks[BehaviorFailureKind.PREDICTABLE_BEHAVIOR] = 0.0
+
+    failure_mass = 1.0
+    for kind in (
+        BehaviorFailureKind.MISTAKE,
+        BehaviorFailureKind.LAPSE,
+        BehaviorFailureKind.SLIP,
+        BehaviorFailureKind.GULF_OF_EXECUTION,
+    ):
+        failure_mass *= 1.0 - 0.6 * risks[kind]
+    success_likelihood = max(0.0, min(1.0, failure_mass))
+
+    dominant = tuple(
+        kind
+        for kind, score in sorted(risks.items(), key=lambda item: item[1], reverse=True)
+        if score >= 0.2
+    )
+
+    notes: List[str] = []
+    if risks[BehaviorFailureKind.GULF_OF_EXECUTION] >= 0.3:
+        notes.append(
+            "Gulf of execution is wide: include clear instructions and make the "
+            "controls needed for the action readily apparent."
+        )
+    if risks[BehaviorFailureKind.GULF_OF_EVALUATION] >= 0.3:
+        notes.append(
+            "Gulf of evaluation is wide: provide feedback so users can tell "
+            "whether their action achieved the desired outcome."
+        )
+    if risks[BehaviorFailureKind.LAPSE] >= 0.2:
+        notes.append(
+            "Multi-step task without guidance: provide cues through the step "
+            "sequence to prevent lapses."
+        )
+    if risks[BehaviorFailureKind.SLIP] >= 0.2:
+        notes.append(
+            "Controls are confusable: arrange and label them so they are not "
+            "mistaken for one another."
+        )
+    if risks[BehaviorFailureKind.PREDICTABLE_BEHAVIOR] >= 0.3:
+        notes.append(
+            "User choices are predictable: encourage less predictable behavior "
+            "or prohibit choices that fit known patterns."
+        )
+
+    return BehaviorAssessment(
+        success_likelihood=success_likelihood,
+        dominant_risks=dominant,
+        risk_scores=risks,
+        notes=tuple(notes),
+    )

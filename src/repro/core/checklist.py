@@ -1,0 +1,392 @@
+"""Table 1: the framework checklist of questions and factors.
+
+The paper summarizes the framework as a table (Table 1) that lists, for
+every component, the *questions to ask* and the *factors to consider*.
+This module encodes that table verbatim as structured data and provides a
+small query API: look up the entry for a component, iterate entries in
+Table-1 order, and build an answerable checklist for an analysis session.
+
+The text of each question and factor follows the paper's wording (with
+minor normalization of capitalization and the correction of the obvious
+"thy"→"they" typo).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .components import Component, ComponentGroup
+from .exceptions import UnknownComponentError
+
+__all__ = [
+    "ChecklistEntry",
+    "ChecklistQuestion",
+    "ChecklistAnswer",
+    "Checklist",
+    "TABLE_1",
+    "entry_for",
+    "iter_entries",
+    "all_questions",
+    "build_checklist",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChecklistEntry:
+    """One row of Table 1: a component with its questions and factors."""
+
+    component: Component
+    questions: Tuple[str, ...]
+    factors: Tuple[str, ...]
+
+    @property
+    def group(self) -> ComponentGroup:
+        return self.component.group
+
+    def question_count(self) -> int:
+        return len(self.questions)
+
+
+TABLE_1: Tuple[ChecklistEntry, ...] = (
+    ChecklistEntry(
+        component=Component.COMMUNICATION,
+        questions=(
+            "What type of communication is it (warning, notice, status indicator, policy, training)?",
+            "Is the communication active or passive?",
+            "Is this the best type of communication for this situation?",
+        ),
+        factors=(
+            "Severity of hazard",
+            "Frequency with which hazard is encountered",
+            "Extent to which appropriate user action is necessary to avoid hazard",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.ENVIRONMENTAL_STIMULI,
+        questions=(
+            "What other environmental stimuli are likely to be present?",
+        ),
+        factors=(
+            "Other related and unrelated communications",
+            "User's primary task",
+            "Ambient light",
+            "Noise",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.INTERFERENCE,
+        questions=(
+            "Will anything interfere with the communication being delivered as intended?",
+        ),
+        factors=(
+            "Malicious attackers",
+            "Technology failures",
+            "Environmental stimuli that obscure the communication",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS,
+        questions=(
+            "Who are the users?",
+            "What do their personal characteristics suggest about how they are likely to behave?",
+        ),
+        factors=(
+            "Age",
+            "Gender",
+            "Culture",
+            "Education",
+            "Occupation",
+            "Disabilities",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.KNOWLEDGE_AND_EXPERIENCE,
+        questions=(
+            "What relevant knowledge or experience do the users or recipients have?",
+        ),
+        factors=(
+            "Education",
+            "Occupation",
+            "Prior experience",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.ATTITUDES_AND_BELIEFS,
+        questions=(
+            "Do users believe the communication is accurate?",
+            "Do they believe they should pay attention to it?",
+            "Do they have a positive attitude about it?",
+        ),
+        factors=(
+            "Reliability",
+            "Conflicting goals",
+            "Distraction from primary task",
+            "Risk perception",
+            "Self-efficacy",
+            "Response efficacy",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.MOTIVATION,
+        questions=(
+            "Are users motivated to take the appropriate action?",
+            "Are they motivated to do it carefully or properly?",
+        ),
+        factors=(
+            "Conflicting goals",
+            "Distraction from primary task",
+            "Convenience",
+            "Risk perception",
+            "Consequences",
+            "Incentives/disincentives",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.CAPABILITIES,
+        questions=(
+            "Are users capable of taking the appropriate action?",
+        ),
+        factors=(
+            "Knowledge",
+            "Cognitive or physical skills",
+            "Memorability",
+            "Required software or devices",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.ATTENTION_SWITCH,
+        questions=(
+            "Do users notice the communication?",
+            "Are they aware of rules, procedures, or training messages?",
+        ),
+        factors=(
+            "Environmental stimuli",
+            "Interference",
+            "Format",
+            "Font size",
+            "Length",
+            "Delivery channel",
+            "Habituation",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.ATTENTION_MAINTENANCE,
+        questions=(
+            "Do users pay attention to the communication long enough to process it?",
+            "Do they read, watch, or listen to it fully?",
+        ),
+        factors=(
+            "Environmental stimuli",
+            "Format",
+            "Font size",
+            "Length",
+            "Delivery channel",
+            "Habituation",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.COMPREHENSION,
+        questions=(
+            "Do users understand what the communication means?",
+        ),
+        factors=(
+            "Symbols",
+            "Vocabulary and sentence structure",
+            "Conceptual complexity",
+            "Personal variables",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.KNOWLEDGE_ACQUISITION,
+        questions=(
+            "Have users learned how to apply it in practice?",
+            "Do they know what they are supposed to do?",
+        ),
+        factors=(
+            "Exposure or training time",
+            "Involvement during training",
+            "Personal characteristics",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.KNOWLEDGE_RETENTION,
+        questions=(
+            "Do users remember the communication when a situation arises in which they need to apply it?",
+            "Do they recognize and recall the meaning of symbols or instructions?",
+        ),
+        factors=(
+            "Frequency",
+            "Familiarity",
+            "Long term memory",
+            "Involvement during training",
+            "Personal characteristics",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.KNOWLEDGE_TRANSFER,
+        questions=(
+            "Can users recognize situations where the communication is applicable and figure out how to apply it?",
+        ),
+        factors=(
+            "Involvement during training",
+            "Similarity of training",
+            "Personal characteristics",
+        ),
+    ),
+    ChecklistEntry(
+        component=Component.BEHAVIOR,
+        questions=(
+            "Does behavior result in successful completion of desired action?",
+            "Does behavior follow predictable patterns that an attacker might exploit?",
+        ),
+        factors=(
+            "See Norman's Stages of Action, GEMS",
+            "Type of behavior",
+            "Ability of people to act randomly in this context",
+            "Usefulness of prediction to attacker",
+        ),
+    ),
+)
+
+_ENTRIES_BY_COMPONENT: Dict[Component, ChecklistEntry] = {
+    entry.component: entry for entry in TABLE_1
+}
+
+
+def entry_for(component: Component) -> ChecklistEntry:
+    """Return the Table-1 entry for a component."""
+    try:
+        return _ENTRIES_BY_COMPONENT[component]
+    except KeyError as error:
+        raise UnknownComponentError(component) from error
+
+
+def iter_entries(group: Optional[ComponentGroup] = None) -> Iterator[ChecklistEntry]:
+    """Iterate Table-1 entries, optionally filtered to one component group."""
+    for entry in TABLE_1:
+        if group is None or entry.group is group:
+            yield entry
+
+
+def all_questions() -> List[Tuple[Component, str]]:
+    """Return every (component, question) pair in Table-1 order."""
+    questions: List[Tuple[Component, str]] = []
+    for entry in TABLE_1:
+        for question in entry.questions:
+            questions.append((entry.component, question))
+    return questions
+
+
+@dataclasses.dataclass(frozen=True)
+class ChecklistQuestion:
+    """A single answerable question from the checklist."""
+
+    component: Component
+    text: str
+    factors: Tuple[str, ...]
+
+
+@dataclasses.dataclass
+class ChecklistAnswer:
+    """An analyst's answer to a checklist question."""
+
+    question: ChecklistQuestion
+    satisfactory: Optional[bool] = None
+    notes: str = ""
+    evidence: str = ""
+
+    @property
+    def answered(self) -> bool:
+        return self.satisfactory is not None
+
+
+@dataclasses.dataclass
+class Checklist:
+    """An answerable instantiation of Table 1 for one analysis session.
+
+    A :class:`Checklist` is what a designer or operator fills in while
+    walking a system through the framework; the analysis layer can also
+    fill one in automatically from a task model.
+    """
+
+    answers: List[ChecklistAnswer] = dataclasses.field(default_factory=list)
+    subject: str = ""
+
+    def pending(self) -> List[ChecklistQuestion]:
+        """Questions that have not been answered yet."""
+        return [answer.question for answer in self.answers if not answer.answered]
+
+    def answered(self) -> List[ChecklistAnswer]:
+        return [answer for answer in self.answers if answer.answered]
+
+    def unsatisfactory(self) -> List[ChecklistAnswer]:
+        """Answers flagged unsatisfactory — candidate failure areas."""
+        return [
+            answer
+            for answer in self.answers
+            if answer.answered and answer.satisfactory is False
+        ]
+
+    def answer(
+        self,
+        component: Component,
+        satisfactory: bool,
+        notes: str = "",
+        evidence: str = "",
+    ) -> int:
+        """Answer every pending question for ``component``.
+
+        Returns the number of questions answered.  Designed for the common
+        case where the analyst assesses a component as a whole rather than
+        question-by-question.
+        """
+        count = 0
+        for item in self.answers:
+            if item.question.component is component and not item.answered:
+                item.satisfactory = satisfactory
+                item.notes = notes
+                item.evidence = evidence
+                count += 1
+        if count == 0 and component not in _ENTRIES_BY_COMPONENT:
+            raise UnknownComponentError(component)
+        return count
+
+    def completion(self) -> float:
+        """Fraction of questions answered."""
+        if not self.answers:
+            return 1.0
+        return len(self.answered()) / len(self.answers)
+
+    def components_flagged(self) -> List[Component]:
+        """Components with at least one unsatisfactory answer, in Table-1 order."""
+        flagged = {answer.question.component for answer in self.unsatisfactory()}
+        return [component for component in Component if component in flagged]
+
+
+def build_checklist(subject: str = "", components: Optional[Sequence[Component]] = None) -> Checklist:
+    """Build an empty answerable checklist covering Table 1.
+
+    Parameters
+    ----------
+    subject:
+        Free-text description of the system or task being analysed.
+    components:
+        Restrict the checklist to a subset of components (defaults to all).
+    """
+    selected = set(components) if components is not None else set(Component)
+    answers: List[ChecklistAnswer] = []
+    for entry in TABLE_1:
+        if entry.component not in selected:
+            continue
+        for question in entry.questions:
+            answers.append(
+                ChecklistAnswer(
+                    question=ChecklistQuestion(
+                        component=entry.component,
+                        text=question,
+                        factors=entry.factors,
+                    )
+                )
+            )
+    return Checklist(answers=answers, subject=subject)

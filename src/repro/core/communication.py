@@ -1,0 +1,429 @@
+"""Security communications: the first component of the framework.
+
+Section 2.1 of the paper distinguishes five types of security
+communications — warnings, notices, status indicators, training, and
+policies — and additionally classifies communications on an
+*active–passive* spectrum.  This module provides:
+
+* :class:`CommunicationType` — the five-way taxonomy,
+* :class:`ActivenessLevel` — named points on the active–passive spectrum,
+* :class:`HazardProfile` — severity / frequency / user-action-necessity of
+  the hazard the communication addresses,
+* :class:`Communication` — a fully attributed security communication, and
+* :func:`recommend_communication_type` /
+  :func:`recommend_activeness` — advisory functions that encode the
+  paper's design guidance ("frequent, active warnings about relatively
+  low-risk hazards ... may lead users to start ignoring not only these
+  warnings, but also similar warnings about more severe hazards").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from .exceptions import ModelError
+
+__all__ = [
+    "CommunicationType",
+    "ActivenessLevel",
+    "DeliveryChannel",
+    "HazardSeverity",
+    "HazardFrequency",
+    "HazardProfile",
+    "Communication",
+    "CommunicationAdvice",
+    "recommend_communication_type",
+    "recommend_activeness",
+    "advise",
+]
+
+
+class CommunicationType(enum.Enum):
+    """The five types of security communications (Section 2.1)."""
+
+    WARNING = "warning"
+    NOTICE = "notice"
+    STATUS_INDICATOR = "status_indicator"
+    TRAINING = "training"
+    POLICY = "policy"
+
+    @property
+    def description(self) -> str:
+        return _TYPE_DESCRIPTIONS[self]
+
+    @property
+    def triggers_immediate_action(self) -> bool:
+        """Whether this type is meant to trigger immediate hazard avoidance."""
+        return self is CommunicationType.WARNING
+
+    @property
+    def requires_knowledge_transfer(self) -> bool:
+        """Whether the application stages (retention / transfer) are central.
+
+        The paper notes the knowledge acquisition, retention and transfer
+        steps are "especially applicable to training and policy
+        communications"; automatically-displayed warnings largely do not
+        need transfer because the system decides when they apply.
+        """
+        return self in (CommunicationType.TRAINING, CommunicationType.POLICY)
+
+
+_TYPE_DESCRIPTIONS: Dict[CommunicationType, str] = {
+    CommunicationType.WARNING: (
+        "Alerts users to take immediate action to avoid a hazard; most "
+        "effective when it includes clear hazard-avoidance instructions."
+    ),
+    CommunicationType.NOTICE: (
+        "Informs users about characteristics of an entity or object so they "
+        "can judge whether interacting with it is hazardous (e.g. privacy "
+        "policies, SSL certificates)."
+    ),
+    CommunicationType.STATUS_INDICATOR: (
+        "Informs users about system status; usually has a small number of "
+        "possible states (e.g. Bluetooth enabled, anti-virus up to date)."
+    ),
+    CommunicationType.TRAINING: (
+        "Teaches users about security threats and how to respond to them "
+        "(tutorials, games, manuals, seminars, videos)."
+    ),
+    CommunicationType.POLICY: (
+        "Documents informing users about system or organizational policies "
+        "they are expected to comply with (e.g. password policies)."
+    ),
+}
+
+
+class ActivenessLevel(enum.Enum):
+    """Named points on the active–passive spectrum (Section 2.1).
+
+    Levels are ordered from most active to most passive; each maps to a
+    numeric score in ``[0, 1]`` where 1.0 is maximally active.
+    """
+
+    BLOCKING = "blocking"
+    INTERRUPTING = "interrupting"
+    SALIENT_NON_BLOCKING = "salient_non_blocking"
+    PASSIVE_NOTICEABLE = "passive_noticeable"
+    PASSIVE_SUBTLE = "passive_subtle"
+
+    @property
+    def score(self) -> float:
+        return _ACTIVENESS_SCORES[self]
+
+    @property
+    def interrupts_primary_task(self) -> bool:
+        return self in (ActivenessLevel.BLOCKING, ActivenessLevel.INTERRUPTING)
+
+    @classmethod
+    def from_score(cls, score: float) -> "ActivenessLevel":
+        """Map a numeric activeness score back to the nearest named level."""
+        if not 0.0 <= score <= 1.0:
+            raise ModelError(f"activeness score must be in [0, 1], got {score}")
+        best_level = ActivenessLevel.PASSIVE_SUBTLE
+        best_distance = float("inf")
+        for level in cls:
+            distance = abs(level.score - score)
+            if distance < best_distance:
+                best_distance = distance
+                best_level = level
+        return best_level
+
+
+_ACTIVENESS_SCORES: Dict[ActivenessLevel, float] = {
+    ActivenessLevel.BLOCKING: 1.0,
+    ActivenessLevel.INTERRUPTING: 0.8,
+    ActivenessLevel.SALIENT_NON_BLOCKING: 0.6,
+    ActivenessLevel.PASSIVE_NOTICEABLE: 0.35,
+    ActivenessLevel.PASSIVE_SUBTLE: 0.1,
+}
+
+
+class DeliveryChannel(enum.Enum):
+    """Channel through which a communication reaches the receiver."""
+
+    DIALOG = "dialog"
+    IN_PAGE = "in_page"
+    BROWSER_CHROME = "browser_chrome"
+    TOOLBAR = "toolbar"
+    SYSTEM_TRAY = "system_tray"
+    EMAIL = "email"
+    DOCUMENT = "document"
+    IN_PERSON = "in_person"
+    AUDIO = "audio"
+    VIDEO = "video"
+    WEB_PAGE = "web_page"
+
+
+class HazardSeverity(enum.Enum):
+    """Severity of the hazard a communication addresses."""
+
+    NEGLIGIBLE = 0
+    LOW = 1
+    MODERATE = 2
+    HIGH = 3
+    CRITICAL = 4
+
+    @property
+    def weight(self) -> float:
+        """Severity expressed on a 0–1 scale."""
+        return self.value / 4.0
+
+
+class HazardFrequency(enum.Enum):
+    """How often the hazard (and hence the communication) is encountered."""
+
+    RARE = 0
+    OCCASIONAL = 1
+    FREQUENT = 2
+    CONSTANT = 3
+
+    @property
+    def weight(self) -> float:
+        """Frequency expressed on a 0–1 scale."""
+        return self.value / 3.0
+
+
+@dataclasses.dataclass(frozen=True)
+class HazardProfile:
+    """Attributes of the hazard a communication is meant to avert.
+
+    These are exactly the "factors to consider" Table 1 lists for the
+    communication component: severity of hazard, frequency with which the
+    hazard is encountered, and the extent to which appropriate user action
+    is necessary to avoid the hazard.
+    """
+
+    severity: HazardSeverity = HazardSeverity.MODERATE
+    frequency: HazardFrequency = HazardFrequency.OCCASIONAL
+    user_action_necessity: float = 0.5
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.user_action_necessity <= 1.0:
+            raise ModelError(
+                "user_action_necessity must be in [0, 1], got "
+                f"{self.user_action_necessity}"
+            )
+
+    @property
+    def risk_score(self) -> float:
+        """Combined risk weight in [0, 1] used by the advisory functions."""
+        return (
+            0.5 * self.severity.weight
+            + 0.2 * self.frequency.weight
+            + 0.3 * self.user_action_necessity
+        )
+
+
+@dataclasses.dataclass
+class Communication:
+    """A fully attributed security communication.
+
+    Parameters
+    ----------
+    name:
+        Short identifier, e.g. ``"firefox-antiphishing-warning"``.
+    comm_type:
+        One of the five communication types.
+    activeness:
+        Position on the active–passive spectrum, either a named level or a
+        numeric score in ``[0, 1]``.
+    hazard:
+        Profile of the hazard the communication addresses.
+    clarity:
+        How clear and jargon-free the communication text is (0–1).
+    includes_instructions:
+        Whether the communication contains specific hazard-avoidance
+        instructions (a property of good warnings per Section 2.3.2).
+    explains_risk:
+        Whether the communication explains *why* the receiver is at risk;
+        the anti-phishing case study notes the IE/Firefox warnings "did not
+        explain to users why they were being presented with this choice".
+    resembles_low_risk_communications:
+        Whether the communication looks similar to frequently-encountered,
+        non-critical communications (a failure source in the IE warning).
+    length_words:
+        Approximate length of the message; long messages hurt attention
+        maintenance.
+    channel:
+        Delivery channel.
+    conspicuity:
+        Visual salience of the communication independent of activeness
+        (format, font size, placement), 0–1.
+    allows_override:
+        Whether the user can dismiss/override and proceed anyway.
+    false_positive_rate:
+        Historical rate at which the communication fires when no hazard is
+        present; drives the attitudes/beliefs component ("if the indicator
+        has displayed erroneous warnings in the past, users may be less
+        inclined to take it seriously").
+    habituation_exposures:
+        Number of times a typical receiver has already seen this
+        communication; drives habituation.
+    """
+
+    name: str
+    comm_type: CommunicationType
+    activeness: float = ActivenessLevel.PASSIVE_NOTICEABLE.score
+    hazard: HazardProfile = dataclasses.field(default_factory=HazardProfile)
+    clarity: float = 0.5
+    includes_instructions: bool = False
+    explains_risk: bool = False
+    resembles_low_risk_communications: bool = False
+    length_words: int = 30
+    channel: DeliveryChannel = DeliveryChannel.DIALOG
+    conspicuity: float = 0.5
+    allows_override: bool = True
+    false_positive_rate: float = 0.0
+    habituation_exposures: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.activeness, ActivenessLevel):
+            self.activeness = self.activeness.score
+        for field_name in ("activeness", "clarity", "conspicuity", "false_positive_rate"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{field_name} must be in [0, 1], got {value}")
+        if self.length_words < 0:
+            raise ModelError("length_words must be non-negative")
+        if self.habituation_exposures < 0:
+            raise ModelError("habituation_exposures must be non-negative")
+        if not self.name:
+            raise ModelError("communication name must be non-empty")
+
+    @property
+    def activeness_level(self) -> ActivenessLevel:
+        """The nearest named activeness level."""
+        return ActivenessLevel.from_score(self.activeness)
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the communication is on the active half of the spectrum."""
+        return self.activeness >= 0.5
+
+    @property
+    def is_passive(self) -> bool:
+        return not self.is_active
+
+    @property
+    def interrupts_primary_task(self) -> bool:
+        return self.activeness_level.interrupts_primary_task
+
+    def with_activeness(self, activeness: float) -> "Communication":
+        """Return a copy of this communication with a different activeness."""
+        return dataclasses.replace(self, activeness=activeness)
+
+    def with_exposures(self, exposures: int) -> "Communication":
+        """Return a copy with a different habituation exposure count."""
+        return dataclasses.replace(self, habituation_exposures=exposures)
+
+
+@dataclasses.dataclass(frozen=True)
+class CommunicationAdvice:
+    """Result of the §2.1 design-guidance advisory functions."""
+
+    recommended_type: CommunicationType
+    recommended_activeness: ActivenessLevel
+    habituation_risk: float
+    rationale: List[str]
+
+    def summary(self) -> str:
+        lines = [
+            f"Recommended type: {self.recommended_type.value}",
+            f"Recommended activeness: {self.recommended_activeness.value}",
+            f"Habituation risk: {self.habituation_risk:.2f}",
+        ]
+        lines.extend(f"- {reason}" for reason in self.rationale)
+        return "\n".join(lines)
+
+
+def recommend_communication_type(hazard: HazardProfile) -> CommunicationType:
+    """Recommend a communication type for a hazard per the §2.1 guidance.
+
+    Severe hazards where user action is critical call for warnings; hazards
+    that users cannot act on, or low-risk situations, call for notices or
+    status indicators that "provide information that may be of use to
+    expert users without interrupting ordinary users".
+    """
+    if hazard.user_action_necessity < 0.25:
+        # Users can do little about the hazard; interrupting them only
+        # breeds habituation.
+        return CommunicationType.STATUS_INDICATOR
+    if hazard.severity.weight >= 0.5 and hazard.user_action_necessity >= 0.5:
+        return CommunicationType.WARNING
+    return CommunicationType.NOTICE
+
+
+def recommend_activeness(hazard: HazardProfile) -> ActivenessLevel:
+    """Recommend a point on the active–passive spectrum for a hazard.
+
+    High-severity, action-critical, rarely encountered hazards justify
+    blocking warnings.  Frequently-encountered or low-severity hazards get
+    progressively more passive treatments to avoid habituating users.
+    """
+    risk = hazard.risk_score
+    frequency_penalty = hazard.frequency.weight * (1.0 - hazard.severity.weight)
+    effective = risk - 0.35 * frequency_penalty
+    if effective >= 0.7:
+        return ActivenessLevel.BLOCKING
+    if effective >= 0.55:
+        return ActivenessLevel.INTERRUPTING
+    if effective >= 0.4:
+        return ActivenessLevel.SALIENT_NON_BLOCKING
+    if effective >= 0.2:
+        return ActivenessLevel.PASSIVE_NOTICEABLE
+    return ActivenessLevel.PASSIVE_SUBTLE
+
+
+def _habituation_risk(hazard: HazardProfile, activeness: ActivenessLevel) -> float:
+    """Estimate habituation risk of pairing a hazard with an activeness level.
+
+    Frequent, active communications about low-severity hazards carry the
+    highest habituation risk (§2.1 and §2.3.1).
+    """
+    frequency = hazard.frequency.weight
+    mismatch = max(0.0, activeness.score - hazard.severity.weight)
+    return min(1.0, frequency * (0.4 + 0.6 * mismatch))
+
+
+def advise(hazard: HazardProfile) -> CommunicationAdvice:
+    """Produce a full design recommendation for a hazard profile."""
+    recommended_type = recommend_communication_type(hazard)
+    recommended_activeness = recommend_activeness(hazard)
+    habituation_risk = _habituation_risk(hazard, recommended_activeness)
+
+    rationale: List[str] = []
+    if recommended_type is CommunicationType.WARNING:
+        rationale.append(
+            "Hazard is severe and user action is necessary: use a warning "
+            "with explicit avoidance instructions."
+        )
+    elif recommended_type is CommunicationType.STATUS_INDICATOR:
+        rationale.append(
+            "Users cannot meaningfully act on this hazard: prefer a status "
+            "indicator over an interrupting warning."
+        )
+    else:
+        rationale.append(
+            "Hazard is moderate: a notice gives users the information they "
+            "need without interrupting the primary task."
+        )
+    if hazard.frequency.weight >= HazardFrequency.FREQUENT.weight:
+        rationale.append(
+            "Hazard is encountered frequently: keep the communication "
+            "passive enough to limit habituation, or ensure rate limiting."
+        )
+    if habituation_risk > 0.5:
+        rationale.append(
+            "High habituation risk: repeated active interruptions for this "
+            "hazard will train users to ignore similar, more severe warnings."
+        )
+    return CommunicationAdvice(
+        recommended_type=recommended_type,
+        recommended_activeness=recommended_activeness,
+        habituation_risk=habituation_risk,
+        rationale=rationale,
+    )

@@ -1,0 +1,215 @@
+"""Framework components and component groups.
+
+This module encodes the structure shown in Figure 1 and the left-most two
+columns of Table 1 of the paper: the named components of the
+human-in-the-loop security framework and the groups they belong to.
+
+Components fall into four top-level blocks:
+
+* the **communication** itself,
+* **communication impediments** (environmental stimuli, interference),
+* the **human receiver** (personal variables, intentions, capabilities and
+  the three information-processing steps: communication delivery,
+  communication processing, application), and
+* the resulting **behavior**.
+
+The relationships are intentionally loose — the paper stresses the framework
+is "a conceptual framework that can be used much like a checklist" rather
+than a strict temporal model — so the graph exposed by
+:func:`component_graph` captures the influence edges of Figure 1 without
+imposing a single linear ordering.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "Component",
+    "ComponentGroup",
+    "COMPONENT_GROUPS",
+    "GROUP_MEMBERS",
+    "RECEIVER_COMPONENTS",
+    "PROCESSING_STEP_COMPONENTS",
+    "component_group",
+    "components_in_group",
+    "ordered_components",
+    "influence_edges",
+]
+
+
+class ComponentGroup(enum.Enum):
+    """Top-level blocks of the framework (Figure 1)."""
+
+    COMMUNICATION = "communication"
+    COMMUNICATION_IMPEDIMENTS = "communication_impediments"
+    PERSONAL_VARIABLES = "personal_variables"
+    INTENTIONS = "intentions"
+    CAPABILITIES = "capabilities"
+    COMMUNICATION_DELIVERY = "communication_delivery"
+    COMMUNICATION_PROCESSING = "communication_processing"
+    APPLICATION = "application"
+    BEHAVIOR = "behavior"
+
+    @property
+    def is_receiver_group(self) -> bool:
+        """Whether this group sits inside the human receiver box."""
+        return self not in (
+            ComponentGroup.COMMUNICATION,
+            ComponentGroup.COMMUNICATION_IMPEDIMENTS,
+            ComponentGroup.BEHAVIOR,
+        )
+
+    @property
+    def is_processing_step(self) -> bool:
+        """Whether this group is one of the three information-processing steps."""
+        return self in (
+            ComponentGroup.COMMUNICATION_DELIVERY,
+            ComponentGroup.COMMUNICATION_PROCESSING,
+            ComponentGroup.APPLICATION,
+        )
+
+
+class Component(enum.Enum):
+    """Individual components of the framework (rows of Table 1)."""
+
+    COMMUNICATION = "communication"
+    ENVIRONMENTAL_STIMULI = "environmental_stimuli"
+    INTERFERENCE = "interference"
+    DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS = "demographics_and_personal_characteristics"
+    KNOWLEDGE_AND_EXPERIENCE = "knowledge_and_experience"
+    ATTITUDES_AND_BELIEFS = "attitudes_and_beliefs"
+    MOTIVATION = "motivation"
+    CAPABILITIES = "capabilities"
+    ATTENTION_SWITCH = "attention_switch"
+    ATTENTION_MAINTENANCE = "attention_maintenance"
+    COMPREHENSION = "comprehension"
+    KNOWLEDGE_ACQUISITION = "knowledge_acquisition"
+    KNOWLEDGE_RETENTION = "knowledge_retention"
+    KNOWLEDGE_TRANSFER = "knowledge_transfer"
+    BEHAVIOR = "behavior"
+
+    @property
+    def group(self) -> ComponentGroup:
+        """The top-level block this component belongs to."""
+        return COMPONENT_GROUPS[self]
+
+    @property
+    def title(self) -> str:
+        """Human-readable title as used in Table 1."""
+        return _TITLES[self]
+
+
+COMPONENT_GROUPS: Dict[Component, ComponentGroup] = {
+    Component.COMMUNICATION: ComponentGroup.COMMUNICATION,
+    Component.ENVIRONMENTAL_STIMULI: ComponentGroup.COMMUNICATION_IMPEDIMENTS,
+    Component.INTERFERENCE: ComponentGroup.COMMUNICATION_IMPEDIMENTS,
+    Component.DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS: ComponentGroup.PERSONAL_VARIABLES,
+    Component.KNOWLEDGE_AND_EXPERIENCE: ComponentGroup.PERSONAL_VARIABLES,
+    Component.ATTITUDES_AND_BELIEFS: ComponentGroup.INTENTIONS,
+    Component.MOTIVATION: ComponentGroup.INTENTIONS,
+    Component.CAPABILITIES: ComponentGroup.CAPABILITIES,
+    Component.ATTENTION_SWITCH: ComponentGroup.COMMUNICATION_DELIVERY,
+    Component.ATTENTION_MAINTENANCE: ComponentGroup.COMMUNICATION_DELIVERY,
+    Component.COMPREHENSION: ComponentGroup.COMMUNICATION_PROCESSING,
+    Component.KNOWLEDGE_ACQUISITION: ComponentGroup.COMMUNICATION_PROCESSING,
+    Component.KNOWLEDGE_RETENTION: ComponentGroup.APPLICATION,
+    Component.KNOWLEDGE_TRANSFER: ComponentGroup.APPLICATION,
+    Component.BEHAVIOR: ComponentGroup.BEHAVIOR,
+}
+
+_TITLES: Dict[Component, str] = {
+    Component.COMMUNICATION: "Communication",
+    Component.ENVIRONMENTAL_STIMULI: "Environmental Stimuli",
+    Component.INTERFERENCE: "Interference",
+    Component.DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS: "Demographics and personal characteristics",
+    Component.KNOWLEDGE_AND_EXPERIENCE: "Knowledge and experience",
+    Component.ATTITUDES_AND_BELIEFS: "Attitudes and beliefs",
+    Component.MOTIVATION: "Motivation",
+    Component.CAPABILITIES: "Capabilities",
+    Component.ATTENTION_SWITCH: "Attention switch",
+    Component.ATTENTION_MAINTENANCE: "Attention maintenance",
+    Component.COMPREHENSION: "Comprehension",
+    Component.KNOWLEDGE_ACQUISITION: "Knowledge acquisition",
+    Component.KNOWLEDGE_RETENTION: "Knowledge retention",
+    Component.KNOWLEDGE_TRANSFER: "Knowledge transfer",
+    Component.BEHAVIOR: "Behavior",
+}
+
+GROUP_MEMBERS: Dict[ComponentGroup, Tuple[Component, ...]] = {}
+for _component, _group in COMPONENT_GROUPS.items():
+    GROUP_MEMBERS.setdefault(_group, tuple())
+    GROUP_MEMBERS[_group] = GROUP_MEMBERS[_group] + (_component,)
+
+RECEIVER_COMPONENTS: Tuple[Component, ...] = tuple(
+    component
+    for component in Component
+    if component.group.is_receiver_group
+)
+
+PROCESSING_STEP_COMPONENTS: Tuple[Component, ...] = tuple(
+    component
+    for component in Component
+    if component.group.is_processing_step
+)
+
+
+def component_group(component: Component) -> ComponentGroup:
+    """Return the group a component belongs to."""
+    return COMPONENT_GROUPS[component]
+
+
+def components_in_group(group: ComponentGroup) -> Tuple[Component, ...]:
+    """Return the components that belong to ``group`` in Table-1 order."""
+    return GROUP_MEMBERS[group]
+
+
+def ordered_components() -> List[Component]:
+    """Return every component in the row order used by Table 1."""
+    return list(Component)
+
+
+def influence_edges() -> List[Tuple[str, str]]:
+    """Return the influence edges of Figure 1 as ``(source, target)`` names.
+
+    Node names are either component-group values (for the receiver-internal
+    boxes) or the strings ``"communication"``, ``"environmental_stimuli"``,
+    ``"interference"`` and ``"behavior"``.  The edge set captures:
+
+    * the communication flowing (possibly degraded by impediments) to the
+      receiver's communication-delivery step,
+    * the chain of information-processing steps,
+    * personal variables, intentions and capabilities influencing the
+      processing steps and the final behavior, and
+    * impediments influencing delivery directly.
+    """
+    delivery = ComponentGroup.COMMUNICATION_DELIVERY.value
+    processing = ComponentGroup.COMMUNICATION_PROCESSING.value
+    application = ComponentGroup.APPLICATION.value
+    behavior = ComponentGroup.BEHAVIOR.value
+    personal = ComponentGroup.PERSONAL_VARIABLES.value
+    intentions = ComponentGroup.INTENTIONS.value
+    capabilities = ComponentGroup.CAPABILITIES.value
+    communication = ComponentGroup.COMMUNICATION.value
+    stimuli = Component.ENVIRONMENTAL_STIMULI.value
+    interference = Component.INTERFERENCE.value
+
+    return [
+        (communication, interference),
+        (communication, delivery),
+        (stimuli, delivery),
+        (interference, delivery),
+        (stimuli, behavior),
+        (delivery, processing),
+        (processing, application),
+        (application, behavior),
+        (personal, processing),
+        (personal, application),
+        (personal, intentions),
+        (personal, capabilities),
+        (intentions, behavior),
+        (capabilities, behavior),
+        (delivery, behavior),
+        (processing, behavior),
+    ]

@@ -1,0 +1,218 @@
+"""Failure modes identified by the framework analysis.
+
+The purpose of the framework is "a systematic approach to identifying
+potential causes for human failure".  This module defines the vocabulary
+the analysis layer produces: a :class:`FailureMode` ties a framework
+component (and optionally a pipeline stage or behavior failure kind) to a
+description, a severity, a likelihood, and the evidence behind it.  A
+:class:`FailureInventory` collects the failure modes found for a task or a
+whole system and supports the ranking and filtering operations the
+mitigation step needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .behavior import BehaviorFailureKind
+from .components import Component, ComponentGroup
+from .exceptions import ModelError
+from .stages import Stage
+
+__all__ = [
+    "FailureSeverity",
+    "FailureLikelihood",
+    "FailureMode",
+    "FailureInventory",
+]
+
+
+class FailureSeverity(enum.Enum):
+    """How bad the security consequence of a failure mode is."""
+
+    NEGLIGIBLE = 0
+    MINOR = 1
+    MODERATE = 2
+    MAJOR = 3
+    CRITICAL = 4
+
+    @property
+    def weight(self) -> float:
+        return self.value / 4.0
+
+
+class FailureLikelihood(enum.Enum):
+    """How likely a failure mode is to occur in the expected population."""
+
+    RARE = 0
+    UNLIKELY = 1
+    POSSIBLE = 2
+    LIKELY = 3
+    ALMOST_CERTAIN = 4
+
+    @property
+    def weight(self) -> float:
+        return self.value / 4.0
+
+    @classmethod
+    def from_probability(cls, probability: float) -> "FailureLikelihood":
+        """Map a probability to the nearest likelihood band."""
+        if not 0.0 <= probability <= 1.0:
+            raise ModelError(f"probability must be in [0, 1], got {probability}")
+        if probability < 0.05:
+            return cls.RARE
+        if probability < 0.2:
+            return cls.UNLIKELY
+        if probability < 0.45:
+            return cls.POSSIBLE
+        if probability < 0.75:
+            return cls.LIKELY
+        return cls.ALMOST_CERTAIN
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureMode:
+    """A potential cause of human security failure.
+
+    Attributes
+    ----------
+    identifier:
+        Short stable identifier (useful when mapping mitigations to
+        failures), e.g. ``"antiphishing.ie-passive.attention_switch"``.
+    component:
+        The framework component where the failure originates.
+    description:
+        What goes wrong.
+    severity / likelihood:
+        Qualitative ratings combined into :attr:`risk_score`.
+    stage:
+        The information-processing stage involved, when applicable.
+    behavior_kind:
+        For behavior-stage failures, the GEMS/Norman/predictability kind.
+    evidence:
+        Provenance: user-study findings, simulation output, or analyst
+        judgment supporting this failure mode.
+    task_name / system_name:
+        Where the failure mode was identified.
+    """
+
+    identifier: str
+    component: Component
+    description: str
+    severity: FailureSeverity = FailureSeverity.MODERATE
+    likelihood: FailureLikelihood = FailureLikelihood.POSSIBLE
+    stage: Optional[Stage] = None
+    behavior_kind: Optional[BehaviorFailureKind] = None
+    evidence: str = ""
+    task_name: str = ""
+    system_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.identifier:
+            raise ModelError("failure mode identifier must be non-empty")
+        if not self.description:
+            raise ModelError("failure mode description must be non-empty")
+        if self.stage is not None and self.stage.component is not self.component:
+            # Stages map one-to-one onto components; a mismatch indicates a
+            # construction bug in the caller.
+            raise ModelError(
+                f"stage {self.stage} does not belong to component {self.component}"
+            )
+
+    @property
+    def group(self) -> ComponentGroup:
+        return self.component.group
+
+    @property
+    def risk_score(self) -> float:
+        """Severity-weighted likelihood in [0, 1]."""
+        return self.severity.weight * self.likelihood.weight
+
+    def is_critical(self) -> bool:
+        """Whether this failure mode needs attention before shipping."""
+        return self.risk_score >= 0.5 or (
+            self.severity is FailureSeverity.CRITICAL
+            and self.likelihood.weight >= FailureLikelihood.POSSIBLE.weight
+        )
+
+
+@dataclasses.dataclass
+class FailureInventory:
+    """A collection of failure modes with ranking and filtering helpers."""
+
+    failures: List[FailureMode] = dataclasses.field(default_factory=list)
+    subject: str = ""
+
+    def __iter__(self) -> Iterator[FailureMode]:
+        return iter(self.failures)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def add(self, failure: FailureMode) -> "FailureInventory":
+        """Add a failure mode, rejecting duplicate identifiers."""
+        if any(existing.identifier == failure.identifier for existing in self.failures):
+            raise ModelError(f"duplicate failure identifier {failure.identifier!r}")
+        self.failures.append(failure)
+        return self
+
+    def extend(self, failures: Iterable[FailureMode]) -> "FailureInventory":
+        for failure in failures:
+            self.add(failure)
+        return self
+
+    def by_component(self, component: Component) -> List[FailureMode]:
+        return [failure for failure in self.failures if failure.component is component]
+
+    def by_group(self, group: ComponentGroup) -> List[FailureMode]:
+        return [failure for failure in self.failures if failure.group is group]
+
+    def by_task(self, task_name: str) -> List[FailureMode]:
+        return [failure for failure in self.failures if failure.task_name == task_name]
+
+    def critical(self) -> List[FailureMode]:
+        return [failure for failure in self.failures if failure.is_critical()]
+
+    def ranked(self) -> List[FailureMode]:
+        """Failure modes ordered from highest to lowest risk score."""
+        return sorted(self.failures, key=lambda failure: failure.risk_score, reverse=True)
+
+    def top(self, count: int) -> List[FailureMode]:
+        if count < 0:
+            raise ModelError("count must be non-negative")
+        return self.ranked()[:count]
+
+    def dominant_component(self) -> Optional[Component]:
+        """The component carrying the most aggregate risk, if any."""
+        totals = self.risk_by_component()
+        if not totals:
+            return None
+        return max(totals, key=lambda component: totals[component])
+
+    def risk_by_component(self) -> Dict[Component, float]:
+        """Aggregate risk score per component."""
+        totals: Dict[Component, float] = {}
+        for failure in self.failures:
+            totals[failure.component] = totals.get(failure.component, 0.0) + failure.risk_score
+        return totals
+
+    def risk_by_group(self) -> Dict[ComponentGroup, float]:
+        """Aggregate risk score per component group."""
+        totals: Dict[ComponentGroup, float] = {}
+        for failure in self.failures:
+            totals[failure.group] = totals.get(failure.group, 0.0) + failure.risk_score
+        return totals
+
+    def total_risk(self) -> float:
+        return sum(failure.risk_score for failure in self.failures)
+
+    def merge(self, other: "FailureInventory") -> "FailureInventory":
+        """Return a new inventory combining this one with ``other``."""
+        merged = FailureInventory(subject=self.subject or other.subject)
+        merged.extend(self.failures)
+        for failure in other.failures:
+            if all(existing.identifier != failure.identifier for existing in merged.failures):
+                merged.add(failure)
+        return merged

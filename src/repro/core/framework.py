@@ -1,0 +1,142 @@
+"""The human-in-the-loop framework facade (Figure 1).
+
+:class:`HumanInTheLoopFramework` ties the pieces of :mod:`repro.core`
+together behind one object: the component inventory and influence graph of
+Figure 1, the Table-1 checklist, the per-task and per-system analyses, the
+mitigation suggestion engine, and the four-step process driver.  Most users
+interact with the library through this class (see ``examples/quickstart.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from .analysis import SystemAnalysis, TaskAnalysis, analyze_system, analyze_task
+from .checklist import TABLE_1, Checklist, ChecklistEntry, build_checklist, entry_for
+from .communication import CommunicationAdvice, HazardProfile, advise
+from .components import (
+    Component,
+    ComponentGroup,
+    GROUP_MEMBERS,
+    influence_edges,
+    ordered_components,
+)
+from .exceptions import AnalysisError
+from .failure import FailureInventory
+from .mitigation import GENERIC_MITIGATIONS, Mitigation, MitigationPlan, suggest_mitigations
+from .process import HumanThreatProcess, ProcessResult
+from .receiver import HumanReceiver
+from .report import render_system_analysis, render_task_analysis
+from .task import HumanSecurityTask, SecureSystem
+
+__all__ = ["HumanInTheLoopFramework"]
+
+
+class HumanInTheLoopFramework:
+    """Facade over the human-in-the-loop security framework.
+
+    Parameters
+    ----------
+    mitigation_catalog:
+        Extra mitigations (beyond the generic catalog) to consider when
+        suggesting mitigations and running the process.
+    """
+
+    def __init__(self, mitigation_catalog: Optional[Sequence[Mitigation]] = None) -> None:
+        extra = list(mitigation_catalog) if mitigation_catalog else []
+        self.mitigation_catalog: List[Mitigation] = list(GENERIC_MITIGATIONS) + extra
+
+    # -- structure -------------------------------------------------------------
+
+    @staticmethod
+    def components() -> List[Component]:
+        """Every framework component in Table-1 order."""
+        return ordered_components()
+
+    @staticmethod
+    def component_groups() -> Dict[ComponentGroup, tuple]:
+        """Mapping from component group to its member components."""
+        return dict(GROUP_MEMBERS)
+
+    @staticmethod
+    def checklist_entry(component: Component) -> ChecklistEntry:
+        """The Table-1 entry (questions and factors) for a component."""
+        return entry_for(component)
+
+    @staticmethod
+    def checklist(subject: str = "") -> Checklist:
+        """An empty, answerable instantiation of the Table-1 checklist."""
+        return build_checklist(subject=subject)
+
+    @staticmethod
+    def table_1() -> tuple:
+        """The full Table-1 encoding."""
+        return TABLE_1
+
+    @staticmethod
+    def influence_graph() -> "nx.DiGraph":
+        """The Figure-1 influence graph as a :class:`networkx.DiGraph`.
+
+        Nodes are component-group names plus the impediment components;
+        edges are the influence relationships depicted in Figure 1.
+        """
+        graph = nx.DiGraph(name="human-in-the-loop framework")
+        for group in ComponentGroup:
+            graph.add_node(group.value, kind="group",
+                           receiver=group.is_receiver_group)
+        graph.add_node(Component.ENVIRONMENTAL_STIMULI.value, kind="impediment", receiver=False)
+        graph.add_node(Component.INTERFERENCE.value, kind="impediment", receiver=False)
+        graph.add_edges_from(influence_edges())
+        return graph
+
+    # -- design guidance -------------------------------------------------------
+
+    @staticmethod
+    def advise_communication(hazard: HazardProfile) -> CommunicationAdvice:
+        """Apply the §2.1 guidance on communication type and activeness."""
+        return advise(hazard)
+
+    # -- analysis --------------------------------------------------------------
+
+    def analyze_task(
+        self, task: HumanSecurityTask, receiver: Optional[HumanReceiver] = None
+    ) -> TaskAnalysis:
+        """Run the framework checklist analysis over a single task."""
+        return analyze_task(task, receiver=receiver)
+
+    def analyze_system(self, system: SecureSystem) -> SystemAnalysis:
+        """Analyse every security-critical task of a system."""
+        return analyze_system(system)
+
+    def suggest_mitigations(self, failures: FailureInventory) -> MitigationPlan:
+        """Suggest mitigations for a failure inventory using the full catalog."""
+        return suggest_mitigations(failures, catalog=self.mitigation_catalog)
+
+    # -- process ---------------------------------------------------------------
+
+    def run_process(
+        self,
+        system: SecureSystem,
+        max_passes: int = 3,
+        acceptable_risk: float = 0.5,
+    ) -> ProcessResult:
+        """Run the Figure-2 human threat identification and mitigation process."""
+        process = HumanThreatProcess(
+            system,
+            mitigation_catalog=self.mitigation_catalog,
+            acceptable_risk=acceptable_risk,
+        )
+        return process.run(max_passes=max_passes)
+
+    # -- reporting -------------------------------------------------------------
+
+    def report_task(self, analysis: TaskAnalysis) -> str:
+        """Render a task analysis as a Markdown report."""
+        return render_task_analysis(analysis)
+
+    def report_system(self, analysis: SystemAnalysis) -> str:
+        """Render a system analysis as a Markdown report."""
+        return render_system_analysis(analysis)

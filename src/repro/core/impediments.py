@@ -1,0 +1,234 @@
+"""Communication impediments: environmental stimuli and interference.
+
+Section 2.2 of the paper identifies two classes of impediments that may
+cause a partial or full communication failure:
+
+* **Environmental stimuli** — other communications and activities that
+  divert the receiver's attention (related/unrelated communications, the
+  primary task, ambient light and noise).
+* **Interference** — anything that prevents the communication from being
+  received as the sender intended (malicious attackers, technology
+  failures, or environmental stimuli that physically obscure it).
+
+The :class:`Environment` aggregate combines both and exposes the derived
+quantities the analysis and simulation layers need: a *distraction level*
+and the probabilities that the communication is blocked, degraded, or
+spoofed before it ever reaches the receiver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, List, Optional, Tuple
+
+from .exceptions import ModelError
+
+__all__ = [
+    "StimulusKind",
+    "EnvironmentalStimulus",
+    "InterferenceSource",
+    "Interference",
+    "Environment",
+]
+
+
+class StimulusKind(enum.Enum):
+    """Kinds of environmental stimuli competing for attention."""
+
+    RELATED_COMMUNICATION = "related_communication"
+    UNRELATED_COMMUNICATION = "unrelated_communication"
+    PRIMARY_TASK = "primary_task"
+    AMBIENT_NOISE = "ambient_noise"
+    AMBIENT_LIGHT = "ambient_light"
+    OTHER = "other"
+
+
+@dataclasses.dataclass(frozen=True)
+class EnvironmentalStimulus:
+    """A single stimulus competing with the security communication.
+
+    ``intensity`` expresses how strongly the stimulus competes for the
+    receiver's attention on a 0–1 scale.  The anti-phishing case study, for
+    example, lists "the user's email client and/or other applications
+    related to the user's primary task" as stimuli.
+    """
+
+    kind: StimulusKind
+    intensity: float = 0.5
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ModelError(f"stimulus intensity must be in [0, 1], got {self.intensity}")
+
+
+class InterferenceSource(enum.Enum):
+    """Sources of interference (Table 1, interference row)."""
+
+    MALICIOUS_ATTACKER = "malicious_attacker"
+    TECHNOLOGY_FAILURE = "technology_failure"
+    ENVIRONMENTAL_OBSCURING = "environmental_obscuring"
+
+
+@dataclasses.dataclass(frozen=True)
+class Interference:
+    """A single interference channel acting on the communication.
+
+    Parameters
+    ----------
+    source:
+        Who or what causes the interference.
+    block_probability:
+        Probability the communication never reaches the receiver at all
+        (e.g. a popup suppressed by a technology failure, an audio alert
+        drowned out by noise).
+    degrade_probability:
+        Probability the communication arrives but degraded (delayed,
+        partially obscured).  The IE passive anti-phishing warning that
+        "usually loads a few seconds after the page loads" and can be
+        dismissed inadvertently is modeled as degradation.
+    spoof_probability:
+        Probability an attacker substitutes or manipulates the indicator so
+        the receiver sees an attacker-controlled communication instead
+        (e.g. the SSL lock-icon spoofing attacks of Ye et al.).
+    """
+
+    source: InterferenceSource
+    block_probability: float = 0.0
+    degrade_probability: float = 0.0
+    spoof_probability: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in ("block_probability", "degrade_probability", "spoof_probability"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{field_name} must be in [0, 1], got {value}")
+
+    @property
+    def total_disruption(self) -> float:
+        """Probability the communication is disrupted in some way."""
+        intact = (
+            (1.0 - self.block_probability)
+            * (1.0 - self.degrade_probability)
+            * (1.0 - self.spoof_probability)
+        )
+        return 1.0 - intact
+
+
+@dataclasses.dataclass
+class Environment:
+    """The full impediment context surrounding a communication.
+
+    Combines the set of environmental stimuli with any interference
+    channels, and derives the aggregate quantities consumed by the
+    analysis and simulation layers.
+    """
+
+    stimuli: List[EnvironmentalStimulus] = dataclasses.field(default_factory=list)
+    interference: List[Interference] = dataclasses.field(default_factory=list)
+    competing_indicator_count: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.competing_indicator_count < 0:
+            raise ModelError("competing_indicator_count must be non-negative")
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_stimulus(
+        self,
+        kind: StimulusKind,
+        intensity: float = 0.5,
+        description: str = "",
+    ) -> "Environment":
+        """Append a stimulus and return ``self`` for chaining."""
+        self.stimuli.append(
+            EnvironmentalStimulus(kind=kind, intensity=intensity, description=description)
+        )
+        return self
+
+    def add_interference(self, interference: Interference) -> "Environment":
+        """Append an interference channel and return ``self`` for chaining."""
+        self.interference.append(interference)
+        return self
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def distraction_level(self) -> float:
+        """Aggregate distraction from all stimuli, on a 0–1 scale.
+
+        Stimuli combine sub-additively: each additional stimulus eats into
+        the remaining attention budget, mirroring the observation that
+        passive indicators "compete with each other for the user's
+        attention".  Competing security indicators in the chrome add a
+        small extra penalty each.
+        """
+        remaining = 1.0
+        for stimulus in self.stimuli:
+            remaining *= 1.0 - 0.8 * stimulus.intensity
+        clutter_penalty = min(0.3, 0.05 * self.competing_indicator_count)
+        distraction = 1.0 - remaining + clutter_penalty
+        return min(1.0, max(0.0, distraction))
+
+    @property
+    def block_probability(self) -> float:
+        """Probability the communication is blocked before delivery."""
+        intact = 1.0
+        for channel in self.interference:
+            intact *= 1.0 - channel.block_probability
+        return 1.0 - intact
+
+    @property
+    def degrade_probability(self) -> float:
+        """Probability the communication arrives degraded (given not blocked)."""
+        intact = 1.0
+        for channel in self.interference:
+            intact *= 1.0 - channel.degrade_probability
+        return 1.0 - intact
+
+    @property
+    def spoof_probability(self) -> float:
+        """Probability the receiver sees an attacker-controlled indicator."""
+        intact = 1.0
+        for channel in self.interference:
+            intact *= 1.0 - channel.spoof_probability
+        return 1.0 - intact
+
+    @property
+    def has_active_attacker(self) -> bool:
+        """Whether any interference channel is attributed to an attacker."""
+        return any(
+            channel.source is InterferenceSource.MALICIOUS_ATTACKER
+            for channel in self.interference
+        )
+
+    def primary_task_intensity(self) -> float:
+        """Intensity of the primary-task stimulus, if one is present."""
+        intensities = [
+            stimulus.intensity
+            for stimulus in self.stimuli
+            if stimulus.kind is StimulusKind.PRIMARY_TASK
+        ]
+        return max(intensities) if intensities else 0.0
+
+    @classmethod
+    def quiet(cls) -> "Environment":
+        """An environment with no impediments (useful in tests/baselines)."""
+        return cls(stimuli=[], interference=[], competing_indicator_count=0)
+
+    @classmethod
+    def typical_desktop(cls) -> "Environment":
+        """A typical desktop-browsing environment.
+
+        The receiver is engaged in a primary task of moderate intensity and
+        is surrounded by a handful of unrelated notifications.
+        """
+        environment = cls()
+        environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.6, "primary browsing/email task")
+        environment.add_stimulus(
+            StimulusKind.UNRELATED_COMMUNICATION, 0.2, "background notifications"
+        )
+        return environment

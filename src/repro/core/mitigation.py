@@ -1,0 +1,443 @@
+"""Failure mitigation: strategies and a recommendation engine.
+
+The failure-mitigation step of the Figure-2 process "tries to find ways to
+prevent failures by determining how humans might be better supported in
+performing these tasks".  Section 3 and Section 5 of the paper enumerate
+the kinds of support available — automation, better-designed warnings,
+decision support, training, workflow-compatible task design, incentives —
+and the case studies rank them for two concrete systems.
+
+This module defines:
+
+* :class:`MitigationStrategy` — the three high-level strategies of
+  Section 5 (get the human out of the loop, make the task easy and
+  intuitive, teach the human), plus the incentive lever the motivation
+  discussion adds,
+* :class:`Mitigation` — one concrete mitigation, tagged with the framework
+  components and failure kinds it addresses, and
+* :func:`suggest_mitigations` — a rule-based engine mapping an identified
+  failure inventory to a ranked list of applicable mitigations.
+
+The full catalog of concrete mitigations (single sign-on, password vaults,
+anti-phishing training games, warning redesign, ...) lives in
+:mod:`repro.mitigations.catalog`; this module provides the framework-level
+vocabulary and the generic suggestion rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .components import Component, ComponentGroup
+from .exceptions import ModelError
+from .failure import FailureInventory, FailureMode
+
+__all__ = [
+    "MitigationStrategy",
+    "Mitigation",
+    "MitigationPlan",
+    "GENERIC_MITIGATIONS",
+    "suggest_mitigations",
+]
+
+
+class MitigationStrategy(enum.Enum):
+    """High-level strategies for reducing human security failures."""
+
+    AUTOMATE = "automate"
+    SUPPORT = "support"
+    TRAIN = "train"
+    MOTIVATE = "motivate"
+
+    @property
+    def description(self) -> str:
+        return _STRATEGY_DESCRIPTIONS[self]
+
+
+_STRATEGY_DESCRIPTIONS: Dict[MitigationStrategy, str] = {
+    MitigationStrategy.AUTOMATE: (
+        "Get the human out of the loop: automate the function or replace the "
+        "decision with a well-chosen default."
+    ),
+    MitigationStrategy.SUPPORT: (
+        "Engineer the human task so it is intuitive and easy to perform "
+        "successfully: better warnings, decision support, feedback, fewer steps."
+    ),
+    MitigationStrategy.TRAIN: (
+        "Teach humans how to perform the security-critical task and correct "
+        "inaccurate mental models."
+    ),
+    MitigationStrategy.MOTIVATE: (
+        "Align incentives: reduce the burden of compliance, explain consequences, "
+        "and reward or require compliance within an organization."
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Mitigation:
+    """A concrete mitigation for one or more failure modes.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"single-sign-on"``.
+    strategy:
+        Which of the high-level strategies this mitigation belongs to.
+    description:
+        What the mitigation does.
+    addresses_components:
+        Framework components whose failures this mitigation targets.
+    effectiveness:
+        Expected reduction in the targeted failures' likelihood (0–1).
+    cost:
+        Relative deployment cost/disruption (0–1); used as a tie-breaker.
+    residual_risks:
+        New or remaining risks introduced by the mitigation (e.g. a single
+        sign-on system concentrates risk in one credential).
+    """
+
+    name: str
+    strategy: MitigationStrategy
+    description: str
+    addresses_components: Tuple[Component, ...]
+    effectiveness: float = 0.5
+    cost: float = 0.3
+    residual_risks: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("mitigation name must be non-empty")
+        if not 0.0 <= self.effectiveness <= 1.0:
+            raise ModelError("effectiveness must be in [0, 1]")
+        if not 0.0 <= self.cost <= 1.0:
+            raise ModelError("cost must be in [0, 1]")
+        if not self.addresses_components:
+            raise ModelError(f"mitigation {self.name!r} must address at least one component")
+
+    def addresses(self, failure: FailureMode) -> bool:
+        """Whether this mitigation targets the component of ``failure``."""
+        return failure.component in self.addresses_components
+
+    def priority_score(self, addressed_risk: float) -> float:
+        """Ranking score: risk addressed × effectiveness, discounted by cost."""
+        return addressed_risk * self.effectiveness * (1.0 - 0.3 * self.cost)
+
+
+@dataclasses.dataclass
+class MitigationPlan:
+    """A ranked set of mitigations recommended for a failure inventory."""
+
+    recommendations: List[Tuple[Mitigation, float]] = dataclasses.field(default_factory=list)
+    unaddressed: List[FailureMode] = dataclasses.field(default_factory=list)
+    subject: str = ""
+
+    def ranked_mitigations(self) -> List[Mitigation]:
+        return [mitigation for mitigation, _score in self.recommendations]
+
+    def top(self, count: int) -> List[Mitigation]:
+        return self.ranked_mitigations()[:count]
+
+    def score_for(self, name: str) -> Optional[float]:
+        for mitigation, score in self.recommendations:
+            if mitigation.name == name:
+                return score
+        return None
+
+    def covers_component(self, component: Component) -> bool:
+        return any(
+            component in mitigation.addresses_components
+            for mitigation, _score in self.recommendations
+        )
+
+
+# Generic mitigations derived from the guidance in Sections 2, 3, and 5.
+# Concrete, system-specific mitigations (single sign-on, Anti-Phishing Phil,
+# ...) are added on top of these by repro.mitigations.catalog.
+GENERIC_MITIGATIONS: Tuple[Mitigation, ...] = (
+    Mitigation(
+        name="automate-or-default",
+        strategy=MitigationStrategy.AUTOMATE,
+        description=(
+            "Replace the human decision with automated decision making or a "
+            "well-chosen default setting."
+        ),
+        addresses_components=(
+            Component.COMMUNICATION,
+            Component.ATTITUDES_AND_BELIEFS,
+            Component.MOTIVATION,
+            Component.CAPABILITIES,
+            Component.BEHAVIOR,
+        ),
+        effectiveness=0.85,
+        cost=0.5,
+        residual_risks=(
+            "Automation that is wrong removes the human's chance to catch the error.",
+            "May be too restrictive, inconvenient, or expensive for some deployments.",
+        ),
+    ),
+    Mitigation(
+        name="make-communication-active",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Move the communication toward the active end of the spectrum so "
+            "users cannot proceed without engaging with it."
+        ),
+        addresses_components=(
+            Component.COMMUNICATION,
+            Component.ATTENTION_SWITCH,
+            Component.ENVIRONMENTAL_STIMULI,
+        ),
+        effectiveness=0.7,
+        cost=0.2,
+        residual_risks=(
+            "Overuse breeds habituation and annoyance for low-severity hazards.",
+        ),
+    ),
+    Mitigation(
+        name="distinguish-from-routine-warnings",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Make the communication look clearly different from routine, "
+            "non-critical communications so it is not dismissed reflexively."
+        ),
+        addresses_components=(
+            Component.COMMUNICATION,
+            Component.COMPREHENSION,
+            Component.ATTITUDES_AND_BELIEFS,
+        ),
+        effectiveness=0.5,
+        cost=0.15,
+    ),
+    Mitigation(
+        name="clarify-instructions",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Rewrite the communication with short jargon-free sentences, familiar "
+            "symbols, unambiguous risk statements, and explicit avoidance steps."
+        ),
+        addresses_components=(
+            Component.COMPREHENSION,
+            Component.KNOWLEDGE_ACQUISITION,
+            Component.ATTENTION_MAINTENANCE,
+            Component.BEHAVIOR,
+        ),
+        effectiveness=0.6,
+        cost=0.15,
+    ),
+    Mitigation(
+        name="explain-why-at-decision-time",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Give users the information they need to decide at the moment of the "
+            "decision: why the situation is suspicious and what the safe "
+            "alternative is."
+        ),
+        addresses_components=(
+            Component.ATTITUDES_AND_BELIEFS,
+            Component.COMPREHENSION,
+            Component.KNOWLEDGE_AND_EXPERIENCE,
+        ),
+        effectiveness=0.55,
+        cost=0.2,
+    ),
+    Mitigation(
+        name="decision-support-tools",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Provide context-sensitive help, automated error checking, reminders, "
+            "and visualizations that make anomalies and system state visible."
+        ),
+        addresses_components=(
+            Component.CAPABILITIES,
+            Component.KNOWLEDGE_ACQUISITION,
+            Component.BEHAVIOR,
+        ),
+        effectiveness=0.55,
+        cost=0.35,
+    ),
+    Mitigation(
+        name="reduce-task-burden",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Redesign the security task so it is easy, quick, and minimally "
+            "disruptive to the user's workflow."
+        ),
+        addresses_components=(
+            Component.MOTIVATION,
+            Component.CAPABILITIES,
+            Component.BEHAVIOR,
+        ),
+        effectiveness=0.6,
+        cost=0.4,
+    ),
+    Mitigation(
+        name="close-execution-gulf",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Make the controls needed for the action readily apparent and include "
+            "clear execution instructions in the communication."
+        ),
+        addresses_components=(Component.BEHAVIOR, Component.KNOWLEDGE_ACQUISITION),
+        effectiveness=0.55,
+        cost=0.25,
+    ),
+    Mitigation(
+        name="provide-outcome-feedback",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Provide feedback that lets users determine whether their action "
+            "achieved the desired outcome (closes the gulf of evaluation)."
+        ),
+        addresses_components=(Component.BEHAVIOR,),
+        effectiveness=0.5,
+        cost=0.25,
+    ),
+    Mitigation(
+        name="protect-communication-channel",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Harden the indicator against spoofing, obscuring, and technology "
+            "failures (trusted paths, unspoofable indicators, reliable delivery)."
+        ),
+        addresses_components=(Component.INTERFERENCE,),
+        effectiveness=0.65,
+        cost=0.45,
+    ),
+    Mitigation(
+        name="reduce-indicator-clutter",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Reduce the number of competing indicators and other stimuli presented "
+            "alongside the communication."
+        ),
+        addresses_components=(Component.ENVIRONMENTAL_STIMULI, Component.ATTENTION_SWITCH),
+        effectiveness=0.4,
+        cost=0.2,
+    ),
+    Mitigation(
+        name="training-and-mental-models",
+        strategy=MitigationStrategy.TRAIN,
+        description=(
+            "Deliver engaging training (tutorials, games, embedded training) that "
+            "builds accurate mental models of the hazard and how to avoid it."
+        ),
+        addresses_components=(
+            Component.KNOWLEDGE_AND_EXPERIENCE,
+            Component.COMPREHENSION,
+            Component.KNOWLEDGE_ACQUISITION,
+            Component.KNOWLEDGE_RETENTION,
+            Component.KNOWLEDGE_TRANSFER,
+        ),
+        effectiveness=0.5,
+        cost=0.4,
+        residual_risks=(
+            "Users may not be receptive to learning complicated security concepts.",
+        ),
+    ),
+    Mitigation(
+        name="explain-policy-rationale",
+        strategy=MitigationStrategy.MOTIVATE,
+        description=(
+            "Explain the rationale behind policies and the consequences of "
+            "security failures so users appreciate why compliance matters."
+        ),
+        addresses_components=(Component.MOTIVATION, Component.ATTITUDES_AND_BELIEFS),
+        effectiveness=0.4,
+        cost=0.15,
+    ),
+    Mitigation(
+        name="incentives-and-sanctions",
+        strategy=MitigationStrategy.MOTIVATE,
+        description=(
+            "Within an organization, reward compliance and sanction non-compliance "
+            "with security policies."
+        ),
+        addresses_components=(Component.MOTIVATION,),
+        effectiveness=0.45,
+        cost=0.3,
+        residual_risks=(
+            "Sanctions can drive non-compliance underground rather than eliminate it.",
+        ),
+    ),
+    Mitigation(
+        name="reduce-false-positives",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Reduce the false-positive rate of the detector behind the "
+            "communication so that users' trust in it is preserved."
+        ),
+        addresses_components=(Component.ATTITUDES_AND_BELIEFS, Component.COMMUNICATION),
+        effectiveness=0.55,
+        cost=0.5,
+    ),
+    Mitigation(
+        name="constrain-predictable-choices",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Prevent users from making choices that fit known patterns (e.g. "
+            "prohibit dictionary passwords, steer click points away from hot spots)."
+        ),
+        addresses_components=(Component.BEHAVIOR,),
+        effectiveness=0.5,
+        cost=0.25,
+    ),
+)
+
+
+def suggest_mitigations(
+    failures: FailureInventory,
+    catalog: Optional[Sequence[Mitigation]] = None,
+    minimum_score: float = 0.0,
+) -> MitigationPlan:
+    """Map an identified failure inventory to a ranked mitigation plan.
+
+    Parameters
+    ----------
+    failures:
+        The failure inventory produced by the analysis layer.
+    catalog:
+        Mitigations to consider; defaults to :data:`GENERIC_MITIGATIONS`.
+        System-specific catalogs (see :mod:`repro.mitigations.catalog`) can
+        be concatenated with the generic ones.
+    minimum_score:
+        Drop recommendations whose priority score falls below this value.
+
+    Returns
+    -------
+    MitigationPlan
+        Mitigations ranked by (risk addressed × effectiveness, discounted
+        by cost), plus the failure modes no catalog entry addresses.
+    """
+    catalog = list(catalog) if catalog is not None else list(GENERIC_MITIGATIONS)
+    risk_by_component = failures.risk_by_component()
+
+    scored: List[Tuple[Mitigation, float]] = []
+    for mitigation in catalog:
+        addressed_risk = sum(
+            risk_by_component.get(component, 0.0)
+            for component in mitigation.addresses_components
+        )
+        if addressed_risk <= 0.0:
+            continue
+        score = mitigation.priority_score(addressed_risk)
+        if score >= minimum_score:
+            scored.append((mitigation, score))
+    scored.sort(key=lambda item: item[1], reverse=True)
+
+    addressed_components = {
+        component
+        for mitigation, _score in scored
+        for component in mitigation.addresses_components
+    }
+    unaddressed = [
+        failure for failure in failures if failure.component not in addressed_components
+    ]
+
+    return MitigationPlan(
+        recommendations=scored,
+        unaddressed=unaddressed,
+        subject=failures.subject,
+    )

@@ -1,0 +1,335 @@
+"""Shared stage-success probability model.
+
+The framework itself is qualitative, but both the analysis layer (which
+flags components whose expected success is low) and the simulation
+substrate (which realizes stochastic outcomes for populations of simulated
+receivers) need a common quantitative reading of the factors Table 1
+enumerates.  This module provides that reading: for every pipeline stage it
+computes a success probability from the attributes of the communication,
+the impediment environment, the receiver, and the task design.
+
+The functional forms are deliberately simple (bounded linear combinations
+of the Table-1 factors) and every constant is documented.  They are not
+fitted models of human behavior; they are the minimal quantitative
+commitment needed to turn the paper's qualitative guidance — "the more
+passive the communication, the more likely environmental stimuli will
+prevent users from noticing it", "over time users may ignore security
+indicators that they observe frequently" — into something executable.
+Calibrations for the case-study experiments (which anchor specific
+communications to the effect sizes reported in the cited user studies)
+live in :mod:`repro.studies` and :mod:`repro.simulation.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from .behavior import TaskDesign
+from .communication import Communication, CommunicationType
+from .exceptions import ModelError
+from .impediments import Environment
+from .receiver import HumanReceiver
+from .stages import STAGE_ORDER, Stage
+from .task import HumanSecurityTask
+
+__all__ = [
+    "clamp_probability",
+    "habituation_factor",
+    "delivery_intact_probability",
+    "attention_switch_probability",
+    "attention_maintenance_probability",
+    "comprehension_probability",
+    "knowledge_acquisition_probability",
+    "knowledge_retention_probability",
+    "knowledge_transfer_probability",
+    "intention_probability",
+    "capability_probability",
+    "behavior_success_probability",
+    "applicable_stages",
+    "stage_probabilities",
+    "end_to_end_success_probability",
+]
+
+# Floor and ceiling applied to every stage probability.  Humans are never
+# perfectly reliable nor perfectly unreliable; keeping probabilities off the
+# boundaries also keeps downstream likelihood bands meaningful.
+_FLOOR = 0.02
+_CEILING = 0.98
+
+
+def clamp_probability(value: float) -> float:
+    """Clamp a raw score into the [_FLOOR, _CEILING] probability band."""
+    return max(_FLOOR, min(_CEILING, value))
+
+
+def habituation_factor(exposures: int, activeness: float) -> float:
+    """Attention multiplier after repeated exposures (Section 2.3.1).
+
+    Habituation decays attention exponentially with the number of prior
+    exposures.  Active, task-blocking communications habituate more slowly
+    than passive indicators because they force at least a dismissal action
+    each time.  The factor is bounded below so that even heavily habituated
+    users occasionally notice a communication.
+    """
+    if exposures < 0:
+        raise ModelError("exposures must be non-negative")
+    if not 0.0 <= activeness <= 1.0:
+        raise ModelError("activeness must be in [0, 1]")
+    # Passive indicators lose ~8% of remaining attention per exposure,
+    # blocking dialogs ~2.5%.
+    decay_rate = 0.08 - 0.055 * activeness
+    factor = math.exp(-decay_rate * exposures)
+    return max(0.25, factor)
+
+
+def delivery_intact_probability(environment: Environment) -> float:
+    """Probability the communication survives interference intact."""
+    return (1.0 - environment.block_probability) * (1.0 - 0.5 * environment.degrade_probability)
+
+
+def attention_switch_probability(
+    communication: Communication,
+    environment: Environment,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the receiver notices the communication at all.
+
+    Drivers (Table 1, attention-switch row): environmental stimuli,
+    interference, format/conspicuity, length, delivery channel, and
+    habituation.  Activeness dominates: a blocking dialog is nearly always
+    noticed, a subtle chrome indicator frequently is not (user studies find
+    some users have *never* noticed the SSL lock icon).
+    """
+    base = 0.15 + 0.8 * communication.activeness
+    salience_bonus = 0.15 * communication.conspicuity
+    distraction_penalty = (
+        0.45 * environment.distraction_level * (1.0 - communication.activeness)
+    )
+    exposure_bonus = 0.1 * receiver.personal_variables.knowledge.prior_exposure * (
+        1.0 - communication.activeness
+    )
+    raw = base + salience_bonus + exposure_bonus - distraction_penalty
+    raw *= habituation_factor(communication.habituation_exposures, communication.activeness)
+    raw *= delivery_intact_probability(environment)
+    return clamp_probability(raw)
+
+
+def attention_maintenance_probability(
+    communication: Communication,
+    environment: Environment,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the receiver attends long enough to process the message."""
+    # Long messages lose readers; 30 words is the comfortable baseline.
+    length_penalty = min(0.4, 0.004 * max(0, communication.length_words - 30))
+    base = 0.75 + 0.15 * communication.activeness - length_penalty
+    base -= 0.25 * environment.distraction_level * (1.0 - communication.activeness)
+    base += 0.1 * receiver.intentions.attitudes.perceived_relevance
+    return clamp_probability(base)
+
+
+def comprehension_probability(
+    communication: Communication,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the receiver understands what the communication means.
+
+    Drivers: clarity (symbols, vocabulary, conceptual complexity) and the
+    receiver's knowledge.  Resemblance to frequently-encountered,
+    non-critical communications hurts: Egelman et al. found users who
+    mistook the IE phishing warning for a 404 page.
+    """
+    expertise = receiver.personal_variables.expertise
+    base = 0.25 + 0.5 * communication.clarity + 0.3 * expertise
+    if communication.resembles_low_risk_communications:
+        base -= 0.2
+    domain = receiver.personal_variables.knowledge.domain_knowledge
+    # Receivers with no mental model of the hazard misinterpret even clear
+    # warnings (the "transient problem with the web site" misreading).
+    base -= 0.25 * max(0.0, 0.4 - domain)
+    return clamp_probability(base)
+
+
+def knowledge_acquisition_probability(
+    communication: Communication,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the receiver knows what to *do* in response."""
+    base = 0.3 + 0.3 * receiver.personal_variables.expertise
+    if communication.includes_instructions:
+        base += 0.35
+    if communication.explains_risk:
+        base += 0.1
+    if receiver.personal_variables.knowledge.has_received_training:
+        base += 0.15
+    return clamp_probability(base)
+
+
+def knowledge_retention_probability(
+    communication: Communication,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the receiver remembers the communication when needed.
+
+    Only meaningful for training and policy communications — warnings that
+    appear at hazard time do not need to be remembered.
+    """
+    knowledge = receiver.personal_variables.knowledge
+    base = 0.35 + 0.3 * knowledge.prior_exposure + 0.2 * knowledge.expertise
+    base += 0.1 * receiver.capabilities.memory_capacity
+    if receiver.personal_variables.knowledge.has_received_training:
+        base += 0.1
+    return clamp_probability(base)
+
+
+def knowledge_transfer_probability(
+    communication: Communication,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the receiver recognizes new situations where the
+    communication applies and figures out how to apply it there."""
+    knowledge = receiver.personal_variables.knowledge
+    base = 0.3 + 0.35 * knowledge.expertise + 0.2 * knowledge.domain_knowledge
+    if knowledge.has_received_training:
+        base += 0.15
+    return clamp_probability(base)
+
+
+def intention_probability(
+    communication: Communication,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the receiver decides the communication is worth acting on.
+
+    Combines the receiver's attitudes/beliefs and motivation with
+    communication-side factors that modulate them: a history of false
+    positives erodes trust, and the mere availability of an override lowers
+    perceived risk ("since it gave me the option of still proceeding to the
+    website, I figured it couldn't be that bad").
+    """
+    base = receiver.intentions.intention_score
+    base -= 0.35 * communication.false_positive_rate
+    if communication.allows_override and communication.comm_type is CommunicationType.WARNING:
+        base -= 0.07
+    if communication.explains_risk:
+        base += 0.08
+    if communication.resembles_low_risk_communications:
+        base -= 0.1
+    return clamp_probability(base)
+
+
+def capability_probability(
+    task: HumanSecurityTask,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the receiver is capable of carrying out the action."""
+    gaps = task.capability_gap(receiver)
+    if not gaps:
+        return clamp_probability(0.6 + 0.4 * receiver.capability_score)
+    shortfall = sum(gaps.values())
+    return clamp_probability(0.85 - 1.2 * shortfall)
+
+
+def behavior_success_probability(
+    design: TaskDesign,
+    receiver: HumanReceiver,
+) -> float:
+    """Probability the intended action is executed correctly (Section 2.4)."""
+    base = 0.95
+    base -= 0.5 * design.gulf_of_execution
+    base -= 0.4 * design.lapse_exposure
+    base -= 0.4 * design.slip_exposure
+    base -= 0.1 * design.gulf_of_evaluation
+    base += 0.1 * (receiver.capability_score - 0.5)
+    return clamp_probability(base)
+
+
+def applicable_stages(communication: Optional[Communication]) -> Dict[Stage, bool]:
+    """Which pipeline stages apply for a given communication type.
+
+    Warnings, notices and status indicators are presented at hazard time,
+    so knowledge retention and transfer are "not applicable" (exactly the
+    judgment the anti-phishing case study records for its Application
+    row).  Training and policies are delivered ahead of time, so retention
+    and transfer are central.
+    """
+    stages = {stage: True for stage in STAGE_ORDER}
+    if communication is None:
+        return {stage: False for stage in STAGE_ORDER}
+    if not communication.comm_type.requires_knowledge_transfer:
+        stages[Stage.KNOWLEDGE_RETENTION] = False
+        stages[Stage.KNOWLEDGE_TRANSFER] = False
+    return stages
+
+
+def stage_probabilities(
+    task: HumanSecurityTask,
+    receiver: Optional[HumanReceiver] = None,
+) -> Dict[Stage, float]:
+    """Success probability for every *applicable* stage of a task.
+
+    Stages that do not apply for the task's communication type are omitted
+    from the result.  A task with no communication at all yields an empty
+    mapping — the caller is expected to flag the missing communication as
+    the root cause rather than reason about stages.
+    """
+    receiver = receiver or task.primary_receiver
+    communication = task.communication
+    if communication is None:
+        return {}
+
+    applicability = applicable_stages(communication)
+    probabilities: Dict[Stage, float] = {}
+    if applicability[Stage.ATTENTION_SWITCH]:
+        probabilities[Stage.ATTENTION_SWITCH] = attention_switch_probability(
+            communication, task.environment, receiver
+        )
+    if applicability[Stage.ATTENTION_MAINTENANCE]:
+        probabilities[Stage.ATTENTION_MAINTENANCE] = attention_maintenance_probability(
+            communication, task.environment, receiver
+        )
+    if applicability[Stage.COMPREHENSION]:
+        probabilities[Stage.COMPREHENSION] = comprehension_probability(communication, receiver)
+    if applicability[Stage.KNOWLEDGE_ACQUISITION]:
+        probabilities[Stage.KNOWLEDGE_ACQUISITION] = knowledge_acquisition_probability(
+            communication, receiver
+        )
+    if applicability[Stage.KNOWLEDGE_RETENTION]:
+        probabilities[Stage.KNOWLEDGE_RETENTION] = knowledge_retention_probability(
+            communication, receiver
+        )
+    if applicability[Stage.KNOWLEDGE_TRANSFER]:
+        probabilities[Stage.KNOWLEDGE_TRANSFER] = knowledge_transfer_probability(
+            communication, receiver
+        )
+    if applicability[Stage.BEHAVIOR]:
+        probabilities[Stage.BEHAVIOR] = behavior_success_probability(task.task_design, receiver)
+    return probabilities
+
+
+def end_to_end_success_probability(
+    task: HumanSecurityTask,
+    receiver: Optional[HumanReceiver] = None,
+) -> float:
+    """Probability the whole pipeline — including intention and capability
+    gates — succeeds for one receiver.
+
+    The pipeline multiplies the applicable stage probabilities with the
+    intention and capability gate probabilities.  A task with no
+    communication is given a small residual success probability to reflect
+    experts who initiate security actions on their own.
+    """
+    receiver = receiver or task.primary_receiver
+    if task.communication is None:
+        return clamp_probability(0.1 * receiver.personal_variables.expertise)
+
+    probability = 1.0
+    for stage_probability in stage_probabilities(task, receiver).values():
+        probability *= stage_probability
+    probability *= intention_probability(task.communication, receiver)
+    probability *= capability_probability(task, receiver)
+    # The individual factors are already floored, so the product is strictly
+    # positive; only the ceiling is applied here to avoid masking real
+    # differences between long pipelines with low end-to-end success.
+    return min(_CEILING, probability)

@@ -1,0 +1,313 @@
+"""The human threat identification and mitigation process (Figure 2).
+
+Section 3 describes a four-step iterative process built around the
+framework:
+
+1. **Task identification** — enumerate the points where the system relies
+   on humans to perform security-critical functions.
+2. **Task automation** — attempt to partially or fully automate some of
+   those tasks (replace decisions with defaults or automated decision
+   making).
+3. **Failure identification** — apply the framework to identify potential
+   failure modes for the remaining human tasks.
+4. **Failure mitigation** — find ways to prevent those failures by better
+   supporting the humans.
+
+The process can be run at design time or on a deployed system, and can be
+iterated: "if after completing the mitigation step designers are unable to
+reduce human failure rates to an acceptable level, they might return to the
+automation step and explore whether it is feasible to develop an automated
+approach that would perform more reliably than humans."
+
+:class:`HumanThreatProcess` drives the four steps over a
+:class:`~repro.core.task.SecureSystem` and records a full, inspectable
+trace of every pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .analysis import SystemAnalysis, TaskAnalysis, analyze_system
+from .exceptions import ProcessError
+from .failure import FailureInventory
+from .mitigation import (
+    GENERIC_MITIGATIONS,
+    Mitigation,
+    MitigationPlan,
+    suggest_mitigations,
+)
+from .task import HumanSecurityTask, SecureSystem
+
+__all__ = [
+    "ProcessStep",
+    "AutomationDecision",
+    "TaskAutomationOutcome",
+    "ProcessPass",
+    "ProcessResult",
+    "HumanThreatProcess",
+]
+
+
+class ProcessStep(enum.Enum):
+    """The four steps of the Figure-2 process."""
+
+    TASK_IDENTIFICATION = "task_identification"
+    TASK_AUTOMATION = "task_automation"
+    FAILURE_IDENTIFICATION = "failure_identification"
+    FAILURE_MITIGATION = "failure_mitigation"
+
+
+class AutomationDecision(enum.Enum):
+    """Outcome of the task-automation step for one task."""
+
+    AUTOMATE = "automate"
+    PARTIALLY_AUTOMATE = "partially_automate"
+    KEEP_HUMAN = "keep_human"
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskAutomationOutcome:
+    """Automation decision for a single task, with rationale."""
+
+    task_name: str
+    decision: AutomationDecision
+    rationale: str
+    human_reliability_estimate: float
+
+    @property
+    def human_remains_in_loop(self) -> bool:
+        return self.decision is not AutomationDecision.AUTOMATE
+
+
+@dataclasses.dataclass
+class ProcessPass:
+    """Record of one full pass through the four steps."""
+
+    pass_number: int
+    identified_tasks: List[str]
+    tasks_without_communication: List[str]
+    automation_outcomes: Dict[str, TaskAutomationOutcome]
+    analysis: SystemAnalysis
+    mitigation_plans: Dict[str, MitigationPlan]
+    residual_risk: float
+
+    @property
+    def remaining_human_tasks(self) -> List[str]:
+        """Tasks that still rely on a human after the automation step."""
+        return [
+            name
+            for name, outcome in self.automation_outcomes.items()
+            if outcome.human_remains_in_loop
+        ]
+
+    def mitigation_plan_for(self, task_name: str) -> MitigationPlan:
+        if task_name not in self.mitigation_plans:
+            raise ProcessError(f"no mitigation plan for task {task_name!r}")
+        return self.mitigation_plans[task_name]
+
+
+@dataclasses.dataclass
+class ProcessResult:
+    """Complete result of running the process (possibly multiple passes)."""
+
+    system_name: str
+    passes: List[ProcessPass]
+
+    @property
+    def final_pass(self) -> ProcessPass:
+        if not self.passes:
+            raise ProcessError("process produced no passes")
+        return self.passes[-1]
+
+    @property
+    def pass_count(self) -> int:
+        return len(self.passes)
+
+    def risk_trajectory(self) -> List[float]:
+        """Residual risk after each pass (should be non-increasing)."""
+        return [process_pass.residual_risk for process_pass in self.passes]
+
+    def converged(self, tolerance: float = 1e-6) -> bool:
+        """Whether the last pass no longer reduced the residual risk."""
+        if len(self.passes) < 2:
+            return False
+        return (
+            self.passes[-2].residual_risk - self.passes[-1].residual_risk
+        ) <= tolerance
+
+
+class HumanThreatProcess:
+    """Driver for the human threat identification and mitigation process.
+
+    Parameters
+    ----------
+    system:
+        The secure system under analysis.
+    mitigation_catalog:
+        Mitigations to consider in the failure-mitigation step; defaults to
+        the generic catalog plus nothing system-specific.
+    acceptable_risk:
+        Residual-risk threshold below which iteration stops.
+    mitigation_discount:
+        Fraction by which an applied top mitigation is assumed to reduce
+        the risk it addresses when estimating residual risk for the next
+        pass.  This is a planning estimate, not a claim about real-world
+        effectiveness.
+    """
+
+    def __init__(
+        self,
+        system: SecureSystem,
+        mitigation_catalog: Optional[Sequence[Mitigation]] = None,
+        acceptable_risk: float = 0.5,
+        mitigation_discount: float = 0.5,
+    ) -> None:
+        if not 0.0 <= mitigation_discount <= 1.0:
+            raise ProcessError("mitigation_discount must be in [0, 1]")
+        if acceptable_risk < 0.0:
+            raise ProcessError("acceptable_risk must be non-negative")
+        self.system = system
+        self.mitigation_catalog = (
+            list(mitigation_catalog) if mitigation_catalog is not None else list(GENERIC_MITIGATIONS)
+        )
+        self.acceptable_risk = acceptable_risk
+        self.mitigation_discount = mitigation_discount
+
+    # -- individual steps -----------------------------------------------------
+
+    def identify_tasks(self) -> List[HumanSecurityTask]:
+        """Step 1: enumerate the security-critical human tasks."""
+        return self.system.security_critical_tasks()
+
+    def evaluate_automation(self, analysis: SystemAnalysis) -> Dict[str, TaskAutomationOutcome]:
+        """Step 2: decide, per task, whether automation beats the human."""
+        outcomes: Dict[str, TaskAutomationOutcome] = {}
+        for task in self.identify_tasks():
+            task_analysis = analysis.task_analyses.get(task.name)
+            human_reliability = (
+                task_analysis.success_probability if task_analysis is not None else 0.5
+            )
+            profile = task.automation
+            if profile.automation_advisable(human_reliability):
+                decision = AutomationDecision.AUTOMATE
+                rationale = (
+                    "A feasible automated alternative is more reliable than the "
+                    f"human (human reliability ≈ {human_reliability:.0%}, automation "
+                    f"accuracy ≈ {profile.automation_accuracy:.0%})."
+                )
+            elif profile.can_fully_automate:
+                decision = AutomationDecision.PARTIALLY_AUTOMATE
+                rationale = (
+                    "Automation is feasible but either the human holds an "
+                    "information advantage or constraints require keeping an "
+                    "override; keep the human in the loop with automated support."
+                )
+                if profile.vendor_constraints:
+                    rationale += f" Constraint: {profile.vendor_constraints}"
+            else:
+                decision = AutomationDecision.KEEP_HUMAN
+                rationale = (
+                    "No feasible or cost-effective automated alternative exists; "
+                    "the human must remain in the loop."
+                )
+            outcomes[task.name] = TaskAutomationOutcome(
+                task_name=task.name,
+                decision=decision,
+                rationale=rationale,
+                human_reliability_estimate=human_reliability,
+            )
+        return outcomes
+
+    def identify_failures(self) -> SystemAnalysis:
+        """Step 3: apply the framework to identify failure modes."""
+        return analyze_system(self.system)
+
+    def plan_mitigations(
+        self,
+        analysis: SystemAnalysis,
+        automation_outcomes: Dict[str, TaskAutomationOutcome],
+    ) -> Dict[str, MitigationPlan]:
+        """Step 4: produce a mitigation plan per remaining human task."""
+        plans: Dict[str, MitigationPlan] = {}
+        for task_name, task_analysis in analysis.task_analyses.items():
+            outcome = automation_outcomes.get(task_name)
+            if outcome is not None and not outcome.human_remains_in_loop:
+                # Fully automated away: no human-facing mitigation needed.
+                plans[task_name] = MitigationPlan(subject=task_name)
+                continue
+            plans[task_name] = suggest_mitigations(
+                task_analysis.failures, catalog=self.mitigation_catalog
+            )
+        return plans
+
+    # -- full process ---------------------------------------------------------
+
+    def _residual_risk(
+        self,
+        analysis: SystemAnalysis,
+        automation_outcomes: Dict[str, TaskAutomationOutcome],
+        plans: Dict[str, MitigationPlan],
+    ) -> float:
+        """Planning estimate of the risk remaining after this pass."""
+        residual = 0.0
+        for task_name, task_analysis in analysis.task_analyses.items():
+            outcome = automation_outcomes.get(task_name)
+            task_risk = task_analysis.failures.total_risk()
+            if outcome is not None and not outcome.human_remains_in_loop:
+                # Automated tasks retain a small residual for automation error.
+                automation = self.system.task_named(task_name).automation
+                residual += task_risk * (1.0 - automation.automation_accuracy) * 0.5
+                continue
+            plan = plans.get(task_name)
+            if plan is not None and plan.recommendations:
+                residual += task_risk * (1.0 - self.mitigation_discount)
+            else:
+                residual += task_risk
+        return residual
+
+    def run_pass(self, pass_number: int = 1) -> ProcessPass:
+        """Run a single pass through the four steps."""
+        tasks = self.identify_tasks()
+        analysis = self.identify_failures()
+        automation_outcomes = self.evaluate_automation(analysis)
+        plans = self.plan_mitigations(analysis, automation_outcomes)
+        residual = self._residual_risk(analysis, automation_outcomes, plans)
+        return ProcessPass(
+            pass_number=pass_number,
+            identified_tasks=[task.name for task in tasks],
+            tasks_without_communication=[
+                task.name for task in self.system.tasks_without_communication()
+            ],
+            automation_outcomes=automation_outcomes,
+            analysis=analysis,
+            mitigation_plans=plans,
+            residual_risk=residual,
+        )
+
+    def run(self, max_passes: int = 3) -> ProcessResult:
+        """Run the iterative process until risk is acceptable or it converges.
+
+        After the first pass, later passes model the designer "revisit[ing]
+        some or all of the steps": each applied top mitigation discounts the
+        corresponding risk, and tasks whose human reliability remains below
+        the best automated alternative get reconsidered for automation.
+        """
+        if max_passes < 1:
+            raise ProcessError("max_passes must be at least 1")
+        passes: List[ProcessPass] = []
+        previous_residual: Optional[float] = None
+        discount = self.mitigation_discount
+        for pass_number in range(1, max_passes + 1):
+            self.mitigation_discount = min(0.95, discount * pass_number)
+            process_pass = self.run_pass(pass_number)
+            passes.append(process_pass)
+            if process_pass.residual_risk <= self.acceptable_risk:
+                break
+            if previous_residual is not None and process_pass.residual_risk >= previous_residual:
+                break
+            previous_residual = process_pass.residual_risk
+        self.mitigation_discount = discount
+        return ProcessResult(system_name=self.system.name, passes=passes)

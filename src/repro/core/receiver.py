@@ -1,0 +1,419 @@
+"""The human receiver: personal variables, intentions, and capabilities.
+
+Section 2.3 of the paper describes the human receiver as bringing "a set of
+personal variables, intentions, and capabilities that impact a set of
+information processing steps".  This module models those receiver-side
+attributes:
+
+* :class:`Demographics` and :class:`KnowledgeExperience` — the two kinds of
+  **personal variables** (Section 2.3.4),
+* :class:`AttitudesBeliefs` and :class:`Motivation` — the two kinds of
+  **intentions** (Section 2.3.5),
+* :class:`Capabilities` — whether the receiver can actually perform the
+  required action (Section 2.3.6), and
+* :class:`HumanReceiver` — the aggregate, plus a small library of receiver
+  profiles (novice, typical, expert) used throughout the examples, tests,
+  and case studies.
+
+Numeric attributes are expressed on a 0–1 scale so they can feed directly
+into the analysis heuristics and the stochastic simulation substrate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from .exceptions import ModelError
+
+__all__ = [
+    "EducationLevel",
+    "Demographics",
+    "KnowledgeExperience",
+    "PersonalVariables",
+    "AttitudesBeliefs",
+    "Motivation",
+    "Intentions",
+    "Capabilities",
+    "HumanReceiver",
+    "novice_receiver",
+    "typical_receiver",
+    "expert_receiver",
+]
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ModelError(f"{name} must be in [0, 1], got {value}")
+
+
+class EducationLevel(enum.Enum):
+    """Coarse education levels used in the demographic profile."""
+
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+    UNDERGRADUATE = "undergraduate"
+    GRADUATE = "graduate"
+
+    @property
+    def weight(self) -> float:
+        order = [
+            EducationLevel.PRIMARY,
+            EducationLevel.SECONDARY,
+            EducationLevel.UNDERGRADUATE,
+            EducationLevel.GRADUATE,
+        ]
+        return order.index(self) / (len(order) - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Demographics:
+    """Demographics and personal characteristics (Table 1).
+
+    The factors Table 1 lists are age, gender, culture, education,
+    occupation, and disabilities.  Gender and culture are carried as
+    free-text descriptors because the framework treats them as context for
+    the designer rather than as quantities; the remaining attributes carry
+    the fields the analysis heuristics actually consult.
+    """
+
+    age: int = 35
+    gender: str = ""
+    culture: str = ""
+    education: EducationLevel = EducationLevel.UNDERGRADUATE
+    occupation: str = ""
+    disabilities: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.age < 0 or self.age > 130:
+            raise ModelError(f"age must be plausible (0-130), got {self.age}")
+
+    @property
+    def has_disabilities(self) -> bool:
+        return bool(self.disabilities)
+
+
+@dataclasses.dataclass(frozen=True)
+class KnowledgeExperience:
+    """Relevant knowledge and experience (Table 1).
+
+    ``security_knowledge`` captures general computer-security literacy,
+    ``domain_knowledge`` captures familiarity with the specific hazard the
+    communication addresses (e.g. whether the user has heard of phishing),
+    and ``prior_exposure`` captures how often the user has previously seen
+    this particular kind of communication.
+    """
+
+    security_knowledge: float = 0.3
+    domain_knowledge: float = 0.3
+    computer_proficiency: float = 0.5
+    prior_exposure: float = 0.3
+    has_received_training: bool = False
+
+    def __post_init__(self) -> None:
+        _check_unit("security_knowledge", self.security_knowledge)
+        _check_unit("domain_knowledge", self.domain_knowledge)
+        _check_unit("computer_proficiency", self.computer_proficiency)
+        _check_unit("prior_exposure", self.prior_exposure)
+
+    @property
+    def expertise(self) -> float:
+        """Overall expertise score combining the knowledge dimensions."""
+        return (
+            0.4 * self.security_knowledge
+            + 0.35 * self.domain_knowledge
+            + 0.25 * self.computer_proficiency
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PersonalVariables:
+    """The personal-variables block of the framework (Section 2.3.4)."""
+
+    demographics: Demographics = dataclasses.field(default_factory=Demographics)
+    knowledge: KnowledgeExperience = dataclasses.field(default_factory=KnowledgeExperience)
+
+    @property
+    def expertise(self) -> float:
+        return self.knowledge.expertise
+
+    @property
+    def is_expert(self) -> bool:
+        """Whether the receiver counts as a security expert.
+
+        The paper notes experts "may be more likely to second-guess
+        security warnings and, perhaps erroneously, conclude that the
+        situation is less risky than it actually is" — so expertise is not
+        purely protective, and the analysis layer treats it accordingly.
+        """
+        return self.knowledge.security_knowledge >= 0.75
+
+
+@dataclasses.dataclass(frozen=True)
+class AttitudesBeliefs:
+    """Attitudes and beliefs that gate whether a communication is heeded.
+
+    The factors Table 1 lists are reliability (of the communication),
+    conflicting goals, distraction from primary task, risk perception,
+    self-efficacy and response-efficacy.  ``trust`` expresses the
+    receiver's belief that the communication is accurate; both false
+    positives and resemblance to low-risk warnings erode it.
+    """
+
+    trust: float = 0.6
+    perceived_relevance: float = 0.6
+    risk_perception: float = 0.5
+    self_efficacy: float = 0.6
+    response_efficacy: float = 0.6
+    perceived_time_cost: float = 0.3
+    annoyance: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "trust",
+            "perceived_relevance",
+            "risk_perception",
+            "self_efficacy",
+            "response_efficacy",
+            "perceived_time_cost",
+            "annoyance",
+        ):
+            _check_unit(name, getattr(self, name))
+
+    @property
+    def belief_score(self) -> float:
+        """Composite belief that the communication deserves action (0–1)."""
+        positive = (
+            0.30 * self.trust
+            + 0.20 * self.perceived_relevance
+            + 0.20 * self.risk_perception
+            + 0.15 * self.self_efficacy
+            + 0.15 * self.response_efficacy
+        )
+        negative = 0.5 * self.perceived_time_cost + 0.5 * self.annoyance
+        return max(0.0, min(1.0, positive - 0.3 * negative))
+
+
+@dataclasses.dataclass(frozen=True)
+class Motivation:
+    """Motivation to take the appropriate action carefully (Section 2.3.5)."""
+
+    conflicting_goals: float = 0.3
+    primary_task_pressure: float = 0.4
+    perceived_consequences: float = 0.5
+    incentives: float = 0.0
+    disincentives: float = 0.0
+    convenience_cost: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "conflicting_goals",
+            "primary_task_pressure",
+            "perceived_consequences",
+            "incentives",
+            "disincentives",
+            "convenience_cost",
+        ):
+            _check_unit(name, getattr(self, name))
+
+    @property
+    def motivation_score(self) -> float:
+        """Composite motivation score (0–1).
+
+        Perceived consequences and organizational incentives/disincentives
+        push motivation up; goal conflict, primary-task pressure, and the
+        sheer inconvenience of the security task push it down.
+        """
+        positive = (
+            0.5 * self.perceived_consequences
+            + 0.25 * self.incentives
+            + 0.25 * self.disincentives
+        )
+        negative = (
+            0.4 * self.conflicting_goals
+            + 0.3 * self.primary_task_pressure
+            + 0.3 * self.convenience_cost
+        )
+        return max(0.0, min(1.0, 0.3 + 0.7 * positive - 0.5 * negative))
+
+
+@dataclasses.dataclass(frozen=True)
+class Intentions:
+    """The intentions block: attitudes and beliefs plus motivation."""
+
+    attitudes: AttitudesBeliefs = dataclasses.field(default_factory=AttitudesBeliefs)
+    motivation: Motivation = dataclasses.field(default_factory=Motivation)
+
+    @property
+    def intention_score(self) -> float:
+        """Probability-like score that the receiver intends to comply."""
+        return max(
+            0.0,
+            min(1.0, 0.6 * self.attitudes.belief_score + 0.4 * self.motivation.motivation_score),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Capabilities:
+    """Whether the receiver is capable of taking the appropriate action.
+
+    The paper added this component to C-HIP specifically because "human
+    security failures are sometimes attributed to humans being asked to
+    complete tasks that they are not capable of completing" — the
+    motivating example being the memorability demands of password policies.
+    """
+
+    knowledge_to_act: float = 0.6
+    cognitive_skill: float = 0.6
+    physical_skill: float = 0.9
+    memory_capacity: float = 0.5
+    has_required_software: bool = True
+    has_required_device: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("knowledge_to_act", "cognitive_skill", "physical_skill", "memory_capacity"):
+            _check_unit(name, getattr(self, name))
+
+    @property
+    def capability_score(self) -> float:
+        """Composite capability score (0–1)."""
+        score = (
+            0.3 * self.knowledge_to_act
+            + 0.3 * self.cognitive_skill
+            + 0.2 * self.physical_skill
+            + 0.2 * self.memory_capacity
+        )
+        if not self.has_required_software:
+            score *= 0.5
+        if not self.has_required_device:
+            score *= 0.5
+        return score
+
+    def meets(self, requirements: "Capabilities") -> bool:
+        """Whether this receiver meets a set of capability requirements.
+
+        ``requirements`` is interpreted as the minimum level demanded along
+        each dimension.
+        """
+        return (
+            self.knowledge_to_act >= requirements.knowledge_to_act
+            and self.cognitive_skill >= requirements.cognitive_skill
+            and self.physical_skill >= requirements.physical_skill
+            and self.memory_capacity >= requirements.memory_capacity
+            and (self.has_required_software or not requirements.has_required_software)
+            and (self.has_required_device or not requirements.has_required_device)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class HumanReceiver:
+    """The complete human receiver: "the user", "the human in the loop"."""
+
+    name: str = "user"
+    personal_variables: PersonalVariables = dataclasses.field(default_factory=PersonalVariables)
+    intentions: Intentions = dataclasses.field(default_factory=Intentions)
+    capabilities: Capabilities = dataclasses.field(default_factory=Capabilities)
+
+    @property
+    def expertise(self) -> float:
+        return self.personal_variables.expertise
+
+    @property
+    def is_expert(self) -> bool:
+        return self.personal_variables.is_expert
+
+    @property
+    def intention_score(self) -> float:
+        return self.intentions.intention_score
+
+    @property
+    def capability_score(self) -> float:
+        return self.capabilities.capability_score
+
+
+def novice_receiver(name: str = "novice") -> HumanReceiver:
+    """A receiver with little security knowledge or domain awareness.
+
+    Matches the anti-phishing case-study population: "people with a wide
+    range of knowledge, abilities, and other personal characteristics, many
+    of whom have little or no knowledge about phishing".
+    """
+    return HumanReceiver(
+        name=name,
+        personal_variables=PersonalVariables(
+            demographics=Demographics(age=30, education=EducationLevel.SECONDARY),
+            knowledge=KnowledgeExperience(
+                security_knowledge=0.15,
+                domain_knowledge=0.1,
+                computer_proficiency=0.4,
+                prior_exposure=0.1,
+            ),
+        ),
+        intentions=Intentions(
+            attitudes=AttitudesBeliefs(trust=0.55, risk_perception=0.35, self_efficacy=0.4),
+            motivation=Motivation(primary_task_pressure=0.6, perceived_consequences=0.35),
+        ),
+        capabilities=Capabilities(
+            knowledge_to_act=0.35,
+            cognitive_skill=0.5,
+            memory_capacity=0.45,
+        ),
+    )
+
+
+def typical_receiver(name: str = "typical") -> HumanReceiver:
+    """A receiver representative of the general computer-using population."""
+    return HumanReceiver(
+        name=name,
+        personal_variables=PersonalVariables(
+            demographics=Demographics(age=35, education=EducationLevel.UNDERGRADUATE),
+            knowledge=KnowledgeExperience(
+                security_knowledge=0.35,
+                domain_knowledge=0.3,
+                computer_proficiency=0.6,
+                prior_exposure=0.4,
+            ),
+        ),
+        intentions=Intentions(
+            attitudes=AttitudesBeliefs(trust=0.6, risk_perception=0.45, self_efficacy=0.55),
+            motivation=Motivation(primary_task_pressure=0.5, perceived_consequences=0.45),
+        ),
+        capabilities=Capabilities(
+            knowledge_to_act=0.55,
+            cognitive_skill=0.6,
+            memory_capacity=0.5,
+        ),
+    )
+
+
+def expert_receiver(name: str = "expert") -> HumanReceiver:
+    """A security-expert receiver.
+
+    Experts comprehend complicated instructions more readily, but the
+    analysis layer also flags their tendency to second-guess warnings.
+    """
+    return HumanReceiver(
+        name=name,
+        personal_variables=PersonalVariables(
+            demographics=Demographics(age=40, education=EducationLevel.GRADUATE,
+                                      occupation="security engineer"),
+            knowledge=KnowledgeExperience(
+                security_knowledge=0.9,
+                domain_knowledge=0.85,
+                computer_proficiency=0.95,
+                prior_exposure=0.9,
+                has_received_training=True,
+            ),
+        ),
+        intentions=Intentions(
+            attitudes=AttitudesBeliefs(trust=0.5, risk_perception=0.6, self_efficacy=0.9,
+                                       response_efficacy=0.8),
+            motivation=Motivation(primary_task_pressure=0.5, perceived_consequences=0.7),
+        ),
+        capabilities=Capabilities(
+            knowledge_to_act=0.9,
+            cognitive_skill=0.85,
+            memory_capacity=0.6,
+        ),
+    )

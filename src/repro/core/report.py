@@ -1,0 +1,187 @@
+"""Report generation for framework analyses and process runs.
+
+The framework is meant to be used by designers and operators; the output of
+an analysis therefore needs to be readable.  This module renders
+:class:`~repro.core.analysis.TaskAnalysis`,
+:class:`~repro.core.analysis.SystemAnalysis`, and
+:class:`~repro.core.process.ProcessResult` objects as plain-text /
+Markdown reports mirroring the structure of the case studies in Section 3
+of the paper (one bullet per framework component, followed by the failure
+identification summary and the mitigation recommendations).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .analysis import SystemAnalysis, TaskAnalysis
+from .components import Component, ComponentGroup
+from .failure import FailureMode
+from .mitigation import MitigationPlan
+from .process import ProcessResult
+
+__all__ = [
+    "render_task_analysis",
+    "render_system_analysis",
+    "render_mitigation_plan",
+    "render_process_result",
+    "render_failure_table",
+]
+
+
+def _heading(text: str, level: int = 2) -> str:
+    return f"{'#' * level} {text}"
+
+
+def _format_failure(failure: FailureMode) -> str:
+    stage = f", stage: {failure.stage.value}" if failure.stage else ""
+    return (
+        f"- **{failure.identifier}** ({failure.component.title}{stage}) — "
+        f"{failure.description} "
+        f"[severity: {failure.severity.name.lower()}, "
+        f"likelihood: {failure.likelihood.name.lower()}, "
+        f"risk: {failure.risk_score:.2f}]"
+    )
+
+
+def render_failure_table(failures: Iterable[FailureMode]) -> str:
+    """Render failure modes as a Markdown table ranked by risk."""
+    rows = sorted(failures, key=lambda failure: failure.risk_score, reverse=True)
+    lines = [
+        "| Failure | Component | Severity | Likelihood | Risk |",
+        "|---|---|---|---|---|",
+    ]
+    for failure in rows:
+        lines.append(
+            f"| {failure.identifier} | {failure.component.title} | "
+            f"{failure.severity.name.lower()} | {failure.likelihood.name.lower()} | "
+            f"{failure.risk_score:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def render_task_analysis(analysis: TaskAnalysis, heading_level: int = 2) -> str:
+    """Render a per-component analysis in the style of the paper's case studies."""
+    lines: List[str] = []
+    task = analysis.task
+    lines.append(_heading(f"Framework analysis: {task.name}", heading_level))
+    if task.description:
+        lines.append(task.description)
+    lines.append("")
+    lines.append(
+        f"End-to-end success probability for the analysed receiver "
+        f"({analysis.receiver.name}): **{analysis.success_probability:.1%}**"
+    )
+    lines.append("")
+
+    for component in Component:
+        if component not in analysis.assessments:
+            continue
+        assessment = analysis.assessments[component]
+        lines.append(f"- **{component.title}** — rating: {assessment.rating.value} "
+                     f"(score {assessment.score:.2f})")
+        for finding in assessment.findings:
+            lines.append(f"  - {finding}")
+    lines.append("")
+
+    if len(analysis.failures) > 0:
+        lines.append(_heading("Identified failure modes", heading_level + 1))
+        for failure in analysis.failures.ranked():
+            lines.append(_format_failure(failure))
+    else:
+        lines.append("No failure modes identified.")
+    lines.append("")
+
+    if analysis.stage_probabilities:
+        lines.append(_heading("Stage success probabilities", heading_level + 1))
+        for stage, probability in analysis.stage_probabilities.items():
+            lines.append(f"- {stage.value.replace('_', ' ')}: {probability:.1%}")
+    return "\n".join(lines)
+
+
+def render_mitigation_plan(plan: MitigationPlan, heading_level: int = 2) -> str:
+    """Render a ranked mitigation plan."""
+    lines: List[str] = []
+    subject = f" for {plan.subject}" if plan.subject else ""
+    lines.append(_heading(f"Mitigation plan{subject}", heading_level))
+    if not plan.recommendations:
+        lines.append("No mitigations recommended (no addressable risk identified).")
+        return "\n".join(lines)
+    for rank, (mitigation, score) in enumerate(plan.recommendations, start=1):
+        lines.append(
+            f"{rank}. **{mitigation.name}** ({mitigation.strategy.value}, "
+            f"priority {score:.2f}) — {mitigation.description}"
+        )
+        for risk in mitigation.residual_risks:
+            lines.append(f"   - residual risk: {risk}")
+    if plan.unaddressed:
+        lines.append("")
+        lines.append("Unaddressed failure modes:")
+        for failure in plan.unaddressed:
+            lines.append(_format_failure(failure))
+    return "\n".join(lines)
+
+
+def render_system_analysis(analysis: SystemAnalysis, heading_level: int = 1) -> str:
+    """Render the analysis of every task in a system."""
+    lines: List[str] = []
+    lines.append(_heading(f"System analysis: {analysis.system.name}", heading_level))
+    if analysis.system.description:
+        lines.append(analysis.system.description)
+    lines.append("")
+    lines.append(
+        f"Mean end-to-end success probability across tasks: "
+        f"{analysis.mean_success_probability():.1%}"
+    )
+    weakest = analysis.weakest_task()
+    if weakest is not None:
+        lines.append(f"Weakest task: **{weakest}**")
+    lines.append("")
+    for task_name in sorted(analysis.task_analyses):
+        lines.append(render_task_analysis(analysis.task_analyses[task_name], heading_level + 1))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_process_result(result: ProcessResult, heading_level: int = 1) -> str:
+    """Render the trace of a human threat identification and mitigation run."""
+    lines: List[str] = []
+    lines.append(_heading(
+        f"Human threat identification and mitigation: {result.system_name}", heading_level
+    ))
+    lines.append(f"Passes completed: {result.pass_count}")
+    lines.append(
+        "Residual risk trajectory: "
+        + " → ".join(f"{risk:.2f}" for risk in result.risk_trajectory())
+    )
+    lines.append("")
+    for process_pass in result.passes:
+        lines.append(_heading(f"Pass {process_pass.pass_number}", heading_level + 1))
+        lines.append(
+            f"Identified security-critical tasks: {', '.join(process_pass.identified_tasks) or 'none'}"
+        )
+        if process_pass.tasks_without_communication:
+            lines.append(
+                "Tasks with no associated communication (likely root cause of failures): "
+                + ", ".join(process_pass.tasks_without_communication)
+            )
+        lines.append("")
+        lines.append("Task automation decisions:")
+        for task_name, outcome in sorted(process_pass.automation_outcomes.items()):
+            lines.append(
+                f"- {task_name}: **{outcome.decision.value}** "
+                f"(human reliability ≈ {outcome.human_reliability_estimate:.0%}) — "
+                f"{outcome.rationale}"
+            )
+        lines.append("")
+        lines.append(
+            f"Failure modes identified: {len(process_pass.analysis.failures)} "
+            f"(total risk {process_pass.analysis.failures.total_risk():.2f})"
+        )
+        for task_name, plan in sorted(process_pass.mitigation_plans.items()):
+            if plan.recommendations:
+                top = plan.recommendations[0][0]
+                lines.append(f"- {task_name}: top mitigation **{top.name}** ({top.strategy.value})")
+        lines.append(f"Residual risk after this pass: {process_pass.residual_risk:.2f}")
+        lines.append("")
+    return "\n".join(lines)

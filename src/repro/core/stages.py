@@ -1,0 +1,170 @@
+"""Information-processing stages of the human receiver.
+
+The framework groups the receiver's information processing into three
+steps, each with two stages (Sections 2.3.1–2.3.3):
+
+* **Communication delivery** — attention switch, attention maintenance.
+* **Communication processing** — comprehension, knowledge acquisition.
+* **Application** — knowledge retention, knowledge transfer.
+
+The behavior stage (Section 2.4) closes the pipeline.  This module defines
+the stage enumeration, the mapping between stages and framework
+components, and the :class:`StageOutcome` / :class:`StageTrace` records the
+simulation and analysis layers use to report where in the pipeline a
+receiver failed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .components import Component, ComponentGroup
+from .exceptions import ModelError
+
+__all__ = [
+    "Stage",
+    "STAGE_ORDER",
+    "STAGE_COMPONENTS",
+    "stage_component",
+    "stages_for_group",
+    "StageOutcome",
+    "StageTrace",
+]
+
+
+class Stage(enum.Enum):
+    """The seven pipeline stages a security communication passes through."""
+
+    ATTENTION_SWITCH = "attention_switch"
+    ATTENTION_MAINTENANCE = "attention_maintenance"
+    COMPREHENSION = "comprehension"
+    KNOWLEDGE_ACQUISITION = "knowledge_acquisition"
+    KNOWLEDGE_RETENTION = "knowledge_retention"
+    KNOWLEDGE_TRANSFER = "knowledge_transfer"
+    BEHAVIOR = "behavior"
+
+    @property
+    def component(self) -> Component:
+        """The Table-1 component this stage corresponds to."""
+        return STAGE_COMPONENTS[self]
+
+    @property
+    def group(self) -> ComponentGroup:
+        """The processing-step group (delivery/processing/application/behavior)."""
+        return self.component.group
+
+    @property
+    def index(self) -> int:
+        """Position of the stage in the nominal pipeline order."""
+        return STAGE_ORDER.index(self)
+
+
+STAGE_ORDER: Tuple[Stage, ...] = (
+    Stage.ATTENTION_SWITCH,
+    Stage.ATTENTION_MAINTENANCE,
+    Stage.COMPREHENSION,
+    Stage.KNOWLEDGE_ACQUISITION,
+    Stage.KNOWLEDGE_RETENTION,
+    Stage.KNOWLEDGE_TRANSFER,
+    Stage.BEHAVIOR,
+)
+
+STAGE_COMPONENTS: Dict[Stage, Component] = {
+    Stage.ATTENTION_SWITCH: Component.ATTENTION_SWITCH,
+    Stage.ATTENTION_MAINTENANCE: Component.ATTENTION_MAINTENANCE,
+    Stage.COMPREHENSION: Component.COMPREHENSION,
+    Stage.KNOWLEDGE_ACQUISITION: Component.KNOWLEDGE_ACQUISITION,
+    Stage.KNOWLEDGE_RETENTION: Component.KNOWLEDGE_RETENTION,
+    Stage.KNOWLEDGE_TRANSFER: Component.KNOWLEDGE_TRANSFER,
+    Stage.BEHAVIOR: Component.BEHAVIOR,
+}
+
+
+def stage_component(stage: Stage) -> Component:
+    """Return the framework component that owns ``stage``."""
+    return STAGE_COMPONENTS[stage]
+
+
+def stages_for_group(group: ComponentGroup) -> Tuple[Stage, ...]:
+    """Return the stages belonging to a processing-step group."""
+    return tuple(stage for stage in STAGE_ORDER if stage.group is group)
+
+
+@dataclasses.dataclass(frozen=True)
+class StageOutcome:
+    """Outcome of a single stage for a single receiver.
+
+    ``probability`` records the modeled success probability at this stage
+    (useful for analysis and debugging), while ``succeeded`` records the
+    realized outcome for a simulated receiver.
+    """
+
+    stage: Stage
+    succeeded: bool
+    probability: float = 1.0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ModelError(f"probability must be in [0, 1], got {self.probability}")
+
+
+@dataclasses.dataclass
+class StageTrace:
+    """Ordered record of stage outcomes for one receiver-communication pass.
+
+    The trace stops at the first failed stage (downstream stages are not
+    evaluated), mirroring the way a receiver who never notices a warning
+    can never comprehend it.  ``skipped`` records stages the pipeline
+    deliberately did not evaluate (e.g. knowledge transfer for an
+    automatically displayed warning).
+    """
+
+    outcomes: List[StageOutcome] = dataclasses.field(default_factory=list)
+    skipped: List[Stage] = dataclasses.field(default_factory=list)
+
+    def record(self, outcome: StageOutcome) -> None:
+        """Append a stage outcome, enforcing pipeline order."""
+        if self.outcomes and outcome.stage.index <= self.outcomes[-1].stage.index:
+            raise ModelError(
+                "stage outcomes must be recorded in pipeline order: "
+                f"{outcome.stage} after {self.outcomes[-1].stage}"
+            )
+        self.outcomes.append(outcome)
+
+    def skip(self, stage: Stage) -> None:
+        """Mark a stage as deliberately skipped (not applicable)."""
+        self.skipped.append(stage)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every evaluated stage succeeded."""
+        return all(outcome.succeeded for outcome in self.outcomes)
+
+    @property
+    def failed_stage(self) -> Optional[Stage]:
+        """The first stage that failed, or ``None`` if all succeeded."""
+        for outcome in self.outcomes:
+            if not outcome.succeeded:
+                return outcome.stage
+        return None
+
+    @property
+    def evaluated_stages(self) -> List[Stage]:
+        return [outcome.stage for outcome in self.outcomes]
+
+    def outcome_for(self, stage: Stage) -> Optional[StageOutcome]:
+        """Return the outcome recorded for ``stage`` if it was evaluated."""
+        for outcome in self.outcomes:
+            if outcome.stage is stage:
+                return outcome
+        return None
+
+    def success_probability(self) -> float:
+        """Product of modeled stage probabilities over evaluated stages."""
+        probability = 1.0
+        for outcome in self.outcomes:
+            probability *= outcome.probability
+        return probability

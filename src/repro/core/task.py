@@ -1,0 +1,274 @@
+"""Task and system models: where humans enter the loop.
+
+The framework is applied to *security-critical human tasks*: points where a
+secure system relies on a human to perform a function whose failure would
+compromise security.  This module defines:
+
+* :class:`AutomationProfile` — how amenable a task is to partial or full
+  automation (consulted in the task-automation step of the Figure-2
+  process),
+* :class:`HumanSecurityTask` — one human task, with its triggering
+  communication, the design of the action the human must take, the
+  capability requirements, the impediment environment and the receiver
+  population expected to perform it, and
+* :class:`SecureSystem` — a named collection of tasks representing the
+  whole secure system under analysis.
+
+Concrete system models (anti-phishing warnings, password policies, SSL
+indicators, ...) are built from these types in :mod:`repro.systems`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .behavior import TaskDesign
+from .communication import Communication
+from .exceptions import ModelError, ValidationError
+from .impediments import Environment
+from .receiver import Capabilities, HumanReceiver, typical_receiver
+
+__all__ = [
+    "AutomationProfile",
+    "HumanSecurityTask",
+    "SecureSystem",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class AutomationProfile:
+    """How amenable a human task is to automation.
+
+    The task-automation step of the human threat identification and
+    mitigation process asks whether a human decision can be "replace[d]
+    ... with well-chosen defaults or automated decision making".  The
+    profile captures the considerations the paper and Edwards et al. raise:
+
+    ``can_fully_automate``
+        Whether a fully automated alternative is technically feasible.
+    ``automation_accuracy``
+        Accuracy of the best available automated alternative (0–1); the
+        anti-phishing case hinges on "the false positive rate associated
+        with the automated phishing detection tool".
+    ``automation_false_positive_rate``
+        False-positive rate of the automated alternative.
+    ``human_information_advantage``
+        Degree to which the human has context or knowledge the software
+        cannot capture (0–1).  High values argue against automation.
+    ``automation_cost``
+        Relative cost/inconvenience of deploying the automated alternative
+        (0–1).
+    ``vendor_constraints``
+        Free-text note on constraints such as "browser vendors believe they
+        must offer users the override option".
+    """
+
+    can_fully_automate: bool = False
+    automation_accuracy: float = 0.5
+    automation_false_positive_rate: float = 0.1
+    human_information_advantage: float = 0.5
+    automation_cost: float = 0.3
+    vendor_constraints: str = ""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "automation_accuracy",
+            "automation_false_positive_rate",
+            "human_information_advantage",
+            "automation_cost",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{name} must be in [0, 1], got {value}")
+
+    def automation_advisable(self, human_reliability: float) -> bool:
+        """Whether automating beats keeping the human in the loop.
+
+        ``human_reliability`` is the estimated probability that the human
+        performs the task successfully.  Automation is advisable when a
+        feasible automated alternative is more reliable than the human,
+        the human holds no decisive information advantage, and the false
+        positive cost is tolerable.
+        """
+        if not 0.0 <= human_reliability <= 1.0:
+            raise ModelError("human_reliability must be in [0, 1]")
+        if not self.can_fully_automate:
+            return False
+        if self.human_information_advantage >= 0.7:
+            return False
+        effective_automation = self.automation_accuracy * (
+            1.0 - 0.5 * self.automation_false_positive_rate
+        )
+        return effective_automation > human_reliability
+
+
+@dataclasses.dataclass
+class HumanSecurityTask:
+    """A single point where a secure system relies on a human.
+
+    Parameters
+    ----------
+    name:
+        Short identifier, e.g. ``"heed-antiphishing-warning"``.
+    description:
+        What the human is being relied on to do.
+    communication:
+        The security communication expected to trigger the behavior.  The
+        paper notes that when a failure has *no* associated communication,
+        the missing communication is itself the likely root cause; model
+        that situation by passing ``None``.
+    task_design:
+        Design attributes of the action the human must perform.
+    capability_requirements:
+        Minimum capabilities the action demands (interpreted as thresholds
+        by :meth:`repro.core.receiver.Capabilities.meets`).
+    environment:
+        Impediment context in which the communication is delivered.
+    receivers:
+        Representative receiver profiles for the expected population.
+    security_critical:
+        Whether failure of this task compromises security (task
+        identification keeps only the critical ones).
+    automation:
+        Automation profile consulted by the task-automation step.
+    desired_action:
+        Short statement of the action that constitutes success.
+    failure_consequence:
+        Short statement of what goes wrong when the task fails.
+    """
+
+    name: str
+    description: str = ""
+    communication: Optional[Communication] = None
+    task_design: TaskDesign = dataclasses.field(default_factory=TaskDesign)
+    capability_requirements: Capabilities = dataclasses.field(
+        default_factory=lambda: Capabilities(
+            knowledge_to_act=0.0,
+            cognitive_skill=0.0,
+            physical_skill=0.0,
+            memory_capacity=0.0,
+            has_required_software=False,
+            has_required_device=False,
+        )
+    )
+    environment: Environment = dataclasses.field(default_factory=Environment)
+    receivers: List[HumanReceiver] = dataclasses.field(default_factory=list)
+    security_critical: bool = True
+    automation: AutomationProfile = dataclasses.field(default_factory=AutomationProfile)
+    desired_action: str = ""
+    failure_consequence: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("task name must be non-empty")
+        if not self.receivers:
+            self.receivers = [typical_receiver()]
+
+    @property
+    def has_communication(self) -> bool:
+        return self.communication is not None
+
+    @property
+    def primary_receiver(self) -> HumanReceiver:
+        """The first (most representative) receiver profile."""
+        return self.receivers[0]
+
+    def receiver_named(self, name: str) -> HumanReceiver:
+        """Look up a receiver profile by name."""
+        for receiver in self.receivers:
+            if receiver.name == name:
+                return receiver
+        raise ModelError(f"no receiver named {name!r} in task {self.name!r}")
+
+    def capability_gap(self, receiver: Optional[HumanReceiver] = None) -> Dict[str, float]:
+        """Per-dimension shortfall of a receiver against the requirements.
+
+        Returns a mapping from capability dimension to the (non-negative)
+        amount by which the receiver falls short; empty when the receiver
+        meets every requirement.
+        """
+        receiver = receiver or self.primary_receiver
+        capabilities = receiver.capabilities
+        requirements = self.capability_requirements
+        gaps: Dict[str, float] = {}
+        for dimension in ("knowledge_to_act", "cognitive_skill", "physical_skill", "memory_capacity"):
+            shortfall = getattr(requirements, dimension) - getattr(capabilities, dimension)
+            if shortfall > 1e-9:
+                gaps[dimension] = shortfall
+        if requirements.has_required_software and not capabilities.has_required_software:
+            gaps["has_required_software"] = 1.0
+        if requirements.has_required_device and not capabilities.has_required_device:
+            gaps["has_required_device"] = 1.0
+        return gaps
+
+    def validate(self) -> None:
+        """Raise :class:`ValidationError` on inconsistencies."""
+        if self.security_critical and not self.desired_action:
+            raise ValidationError(
+                f"security-critical task {self.name!r} must state its desired action"
+            )
+        if not self.receivers:
+            raise ValidationError(f"task {self.name!r} has no receiver profiles")
+
+
+@dataclasses.dataclass
+class SecureSystem:
+    """A secure system: a named collection of human security tasks."""
+
+    name: str
+    description: str = ""
+    tasks: List[HumanSecurityTask] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("system name must be non-empty")
+        names = [task.name for task in self.tasks]
+        if len(names) != len(set(names)):
+            raise ModelError(f"duplicate task names in system {self.name!r}")
+
+    def __iter__(self) -> Iterator[HumanSecurityTask]:
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def add_task(self, task: HumanSecurityTask) -> "SecureSystem":
+        """Add a task, enforcing name uniqueness; returns ``self``."""
+        if any(existing.name == task.name for existing in self.tasks):
+            raise ModelError(f"task {task.name!r} already present in system {self.name!r}")
+        self.tasks.append(task)
+        return self
+
+    def task_named(self, name: str) -> HumanSecurityTask:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise ModelError(f"no task named {name!r} in system {self.name!r}")
+
+    def security_critical_tasks(self) -> List[HumanSecurityTask]:
+        """The subset of tasks whose failure compromises security.
+
+        This is the output of the *task identification* step of the
+        Figure-2 process.
+        """
+        return [task for task in self.tasks if task.security_critical]
+
+    def tasks_without_communication(self) -> List[HumanSecurityTask]:
+        """Security-critical tasks with no associated communication.
+
+        The paper singles these out: "if a human security failure occurs
+        and there is no associated communication that should have triggered
+        a security-critical action, the lack of communication is likely at
+        least partially responsible for the failure."
+        """
+        return [
+            task
+            for task in self.security_critical_tasks()
+            if not task.has_communication
+        ]
+
+    def validate(self) -> None:
+        """Validate the system and every task in it."""
+        for task in self.tasks:
+            task.validate()

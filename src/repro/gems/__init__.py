@@ -1,0 +1,27 @@
+"""Reason's Generic Error-Modeling System (GEMS).
+
+The behavior stage of the framework distinguishes mistakes, lapses, and
+slips — the three error types of James Reason's GEMS.  This package
+provides the GEMS taxonomy, a rule-based classifier that maps an observed
+error description (planning correctness, execution correctness, omission)
+to an error type, and the performance-level taxonomy (skill-, rule-, and
+knowledge-based behavior) GEMS builds on.
+"""
+
+from .errors import (
+    ErrorObservation,
+    ErrorType,
+    GEMSError,
+    PerformanceLevel,
+    classify_error,
+    design_countermeasures,
+)
+
+__all__ = [
+    "ErrorType",
+    "PerformanceLevel",
+    "GEMSError",
+    "ErrorObservation",
+    "classify_error",
+    "design_countermeasures",
+]

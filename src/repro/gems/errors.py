@@ -1,0 +1,180 @@
+"""GEMS error types, classification, and design countermeasures.
+
+Section 2.4 of the paper summarizes Reason's Generic Error-Modeling System:
+
+* **Mistakes** occur when people formulate action plans that will not
+  achieve the desired goal (the naïve "it's from someone I know so the
+  attachment is safe" plan).
+* **Lapses** occur when people formulate suitable plans but forget to
+  perform a planned action (skip a step).
+* **Slips** occur when people perform an action incorrectly (press the
+  wrong button, select the wrong menu item).
+
+The paper then gives the corresponding design guidance: clear, specific
+instructions to prevent mistakes; fewer steps and sequence cues to prevent
+lapses; accessible, well-labelled, distinguishable controls to prevent
+slips.  :func:`design_countermeasures` returns exactly that mapping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import ModelError
+
+__all__ = [
+    "ErrorType",
+    "PerformanceLevel",
+    "GEMSError",
+    "ErrorObservation",
+    "classify_error",
+    "design_countermeasures",
+]
+
+
+class ErrorType(enum.Enum):
+    """The three GEMS error types referenced by the framework."""
+
+    MISTAKE = "mistake"
+    LAPSE = "lapse"
+    SLIP = "slip"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+    @property
+    def is_planning_error(self) -> bool:
+        """Mistakes are planning errors; lapses and slips are execution errors."""
+        return self is ErrorType.MISTAKE
+
+
+_DESCRIPTIONS: Dict[ErrorType, str] = {
+    ErrorType.MISTAKE: (
+        "The action plan itself will not achieve the desired goal, even if "
+        "executed perfectly."
+    ),
+    ErrorType.LAPSE: (
+        "The plan is suitable, but a planned action is forgotten or a step is skipped."
+    ),
+    ErrorType.SLIP: (
+        "The plan is suitable, but an action is performed incorrectly "
+        "(wrong button, wrong menu item)."
+    ),
+}
+
+
+class PerformanceLevel(enum.Enum):
+    """Rasmussen performance levels on which GEMS situates its error types.
+
+    Slips and lapses occur during skill-based (largely automatic)
+    performance; mistakes occur during rule-based or knowledge-based
+    performance, when the person is consciously selecting or constructing a
+    plan.
+    """
+
+    SKILL_BASED = "skill_based"
+    RULE_BASED = "rule_based"
+    KNOWLEDGE_BASED = "knowledge_based"
+
+    @classmethod
+    def typical_for(cls, error_type: ErrorType) -> Tuple["PerformanceLevel", ...]:
+        if error_type is ErrorType.MISTAKE:
+            return (cls.RULE_BASED, cls.KNOWLEDGE_BASED)
+        return (cls.SKILL_BASED,)
+
+
+@dataclasses.dataclass(frozen=True)
+class GEMSError:
+    """A classified error: type, performance level, and narrative."""
+
+    error_type: ErrorType
+    performance_level: PerformanceLevel
+    narrative: str = ""
+
+    def __post_init__(self) -> None:
+        allowed = PerformanceLevel.typical_for(self.error_type)
+        if self.performance_level not in allowed:
+            raise ModelError(
+                f"{self.error_type.value} errors occur at "
+                f"{[level.value for level in allowed]} performance, "
+                f"not {self.performance_level.value}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorObservation:
+    """An observed human error, described by what actually happened.
+
+    Attributes
+    ----------
+    plan_would_achieve_goal:
+        Whether the plan the person formulated would have achieved the
+        security goal if executed perfectly.
+    action_omitted:
+        Whether a planned action (or step) was skipped entirely.
+    action_performed_incorrectly:
+        Whether an action was attempted but executed wrongly.
+    knowledge_gap:
+        Whether the person lacked the knowledge needed to form a correct
+        plan (pushes mistakes toward the knowledge-based level).
+    narrative:
+        Free-text description of the incident.
+    """
+
+    plan_would_achieve_goal: bool
+    action_omitted: bool = False
+    action_performed_incorrectly: bool = False
+    knowledge_gap: bool = False
+    narrative: str = ""
+
+
+def classify_error(observation: ErrorObservation) -> GEMSError:
+    """Classify an observed error into the GEMS taxonomy.
+
+    The classification is hierarchical, mirroring how GEMS is applied in
+    practice: a faulty plan is a mistake regardless of execution; given a
+    sound plan, an omitted action is a lapse and an incorrectly performed
+    action is a slip.
+
+    Raises
+    ------
+    ModelError
+        If the observation describes no error at all (sound plan, nothing
+        omitted, nothing performed incorrectly).
+    """
+    if not observation.plan_would_achieve_goal:
+        level = (
+            PerformanceLevel.KNOWLEDGE_BASED
+            if observation.knowledge_gap
+            else PerformanceLevel.RULE_BASED
+        )
+        return GEMSError(ErrorType.MISTAKE, level, observation.narrative)
+    if observation.action_omitted:
+        return GEMSError(ErrorType.LAPSE, PerformanceLevel.SKILL_BASED, observation.narrative)
+    if observation.action_performed_incorrectly:
+        return GEMSError(ErrorType.SLIP, PerformanceLevel.SKILL_BASED, observation.narrative)
+    raise ModelError("observation describes no error (plan sound, execution complete and correct)")
+
+
+def design_countermeasures(error_type: ErrorType) -> List[str]:
+    """Design guidance for preventing each error type (Section 2.4)."""
+    if error_type is ErrorType.MISTAKE:
+        return [
+            "Develop clear communications that convey specific instructions so "
+            "users form correct action plans.",
+            "Correct inaccurate mental models through training and explanations "
+            "of why the hazard is dangerous.",
+        ]
+    if error_type is ErrorType.LAPSE:
+        return [
+            "Minimize the number of steps necessary to complete the task.",
+            "Provide cues that guide users through the sequence of steps.",
+            "Remind users when a task remains to be done.",
+        ]
+    return [
+        "Locate the necessary controls where they are accessible.",
+        "Arrange and label controls so they will not be mistaken for one another.",
+    ]

@@ -1,0 +1,44 @@
+"""Serialization and tabular rendering."""
+
+from .json_io import (
+    analysis_to_dict,
+    communication_from_dict,
+    communication_to_dict,
+    dumps_system,
+    environment_from_dict,
+    environment_to_dict,
+    failure_to_dict,
+    load_system,
+    loads_system,
+    receiver_from_dict,
+    receiver_to_dict,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+from .tabular import format_cell, render_markdown_table, render_rows, render_table_1
+
+__all__ = [
+    "communication_to_dict",
+    "communication_from_dict",
+    "environment_to_dict",
+    "environment_from_dict",
+    "receiver_to_dict",
+    "receiver_from_dict",
+    "task_to_dict",
+    "task_from_dict",
+    "system_to_dict",
+    "system_from_dict",
+    "failure_to_dict",
+    "analysis_to_dict",
+    "dumps_system",
+    "loads_system",
+    "save_system",
+    "load_system",
+    "render_table_1",
+    "render_rows",
+    "render_markdown_table",
+    "format_cell",
+]

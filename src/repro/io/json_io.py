@@ -1,0 +1,391 @@
+"""JSON serialization of the framework model objects.
+
+Secure-system models are meant to be shared, versioned, and diffed; this
+module round-trips the core model objects (communications, environments,
+receivers, task designs, tasks, systems) through plain JSON-compatible
+dictionaries.  Enumerations are stored by value, nested dataclasses by
+structure, so the files are readable and stable.
+
+Analysis results (failure inventories, mitigation plans) serialize one-way
+(:func:`failure_to_dict`, :func:`analysis_to_dict`) for reporting; they are
+derived artifacts and are recomputed rather than parsed back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core.analysis import TaskAnalysis
+from ..core.behavior import TaskDesign
+from ..core.communication import (
+    Communication,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+)
+from ..core.exceptions import ModelError, SerializationError
+from ..core.failure import FailureMode
+from ..core.impediments import (
+    Environment,
+    EnvironmentalStimulus,
+    Interference,
+    InterferenceSource,
+    StimulusKind,
+)
+from ..core.receiver import (
+    AttitudesBeliefs,
+    Capabilities,
+    Demographics,
+    EducationLevel,
+    HumanReceiver,
+    Intentions,
+    KnowledgeExperience,
+    Motivation,
+    PersonalVariables,
+)
+from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+
+__all__ = [
+    "communication_to_dict",
+    "communication_from_dict",
+    "environment_to_dict",
+    "environment_from_dict",
+    "receiver_to_dict",
+    "receiver_from_dict",
+    "task_to_dict",
+    "task_from_dict",
+    "system_to_dict",
+    "system_from_dict",
+    "failure_to_dict",
+    "analysis_to_dict",
+    "dumps_system",
+    "loads_system",
+    "save_system",
+    "load_system",
+]
+
+
+# ---------------------------------------------------------------------------
+# Communication
+# ---------------------------------------------------------------------------
+
+
+def communication_to_dict(communication: Communication) -> Dict[str, Any]:
+    """Serialize a communication to a JSON-compatible dictionary."""
+    return {
+        "name": communication.name,
+        "comm_type": communication.comm_type.value,
+        "activeness": communication.activeness,
+        "hazard": {
+            "severity": communication.hazard.severity.name,
+            "frequency": communication.hazard.frequency.name,
+            "user_action_necessity": communication.hazard.user_action_necessity,
+            "description": communication.hazard.description,
+        },
+        "clarity": communication.clarity,
+        "includes_instructions": communication.includes_instructions,
+        "explains_risk": communication.explains_risk,
+        "resembles_low_risk_communications": communication.resembles_low_risk_communications,
+        "length_words": communication.length_words,
+        "channel": communication.channel.value,
+        "conspicuity": communication.conspicuity,
+        "allows_override": communication.allows_override,
+        "false_positive_rate": communication.false_positive_rate,
+        "habituation_exposures": communication.habituation_exposures,
+        "description": communication.description,
+    }
+
+
+def communication_from_dict(payload: Dict[str, Any]) -> Communication:
+    """Parse a communication from its dictionary form."""
+    try:
+        hazard_payload = payload.get("hazard", {})
+        hazard = HazardProfile(
+            severity=HazardSeverity[hazard_payload.get("severity", "MODERATE")],
+            frequency=HazardFrequency[hazard_payload.get("frequency", "OCCASIONAL")],
+            user_action_necessity=hazard_payload.get("user_action_necessity", 0.5),
+            description=hazard_payload.get("description", ""),
+        )
+        return Communication(
+            name=payload["name"],
+            comm_type=CommunicationType(payload["comm_type"]),
+            activeness=payload.get("activeness", 0.35),
+            hazard=hazard,
+            clarity=payload.get("clarity", 0.5),
+            includes_instructions=payload.get("includes_instructions", False),
+            explains_risk=payload.get("explains_risk", False),
+            resembles_low_risk_communications=payload.get(
+                "resembles_low_risk_communications", False
+            ),
+            length_words=payload.get("length_words", 30),
+            channel=DeliveryChannel(payload.get("channel", DeliveryChannel.DIALOG.value)),
+            conspicuity=payload.get("conspicuity", 0.5),
+            allows_override=payload.get("allows_override", True),
+            false_positive_rate=payload.get("false_positive_rate", 0.0),
+            habituation_exposures=payload.get("habituation_exposures", 0),
+            description=payload.get("description", ""),
+        )
+    except (KeyError, ValueError, ModelError) as error:
+        raise SerializationError(f"invalid communication payload: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Environment
+# ---------------------------------------------------------------------------
+
+
+def environment_to_dict(environment: Environment) -> Dict[str, Any]:
+    return {
+        "stimuli": [
+            {
+                "kind": stimulus.kind.value,
+                "intensity": stimulus.intensity,
+                "description": stimulus.description,
+            }
+            for stimulus in environment.stimuli
+        ],
+        "interference": [
+            {
+                "source": channel.source.value,
+                "block_probability": channel.block_probability,
+                "degrade_probability": channel.degrade_probability,
+                "spoof_probability": channel.spoof_probability,
+                "description": channel.description,
+            }
+            for channel in environment.interference
+        ],
+        "competing_indicator_count": environment.competing_indicator_count,
+        "description": environment.description,
+    }
+
+
+def environment_from_dict(payload: Dict[str, Any]) -> Environment:
+    try:
+        stimuli = [
+            EnvironmentalStimulus(
+                kind=StimulusKind(item["kind"]),
+                intensity=item.get("intensity", 0.5),
+                description=item.get("description", ""),
+            )
+            for item in payload.get("stimuli", [])
+        ]
+        interference = [
+            Interference(
+                source=InterferenceSource(item["source"]),
+                block_probability=item.get("block_probability", 0.0),
+                degrade_probability=item.get("degrade_probability", 0.0),
+                spoof_probability=item.get("spoof_probability", 0.0),
+                description=item.get("description", ""),
+            )
+            for item in payload.get("interference", [])
+        ]
+        return Environment(
+            stimuli=stimuli,
+            interference=interference,
+            competing_indicator_count=payload.get("competing_indicator_count", 0),
+            description=payload.get("description", ""),
+        )
+    except (KeyError, ValueError, ModelError) as error:
+        raise SerializationError(f"invalid environment payload: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Receiver
+# ---------------------------------------------------------------------------
+
+
+def receiver_to_dict(receiver: HumanReceiver) -> Dict[str, Any]:
+    demographics = receiver.personal_variables.demographics
+    knowledge = receiver.personal_variables.knowledge
+    attitudes = receiver.intentions.attitudes
+    motivation = receiver.intentions.motivation
+    capabilities = receiver.capabilities
+    return {
+        "name": receiver.name,
+        "demographics": {
+            "age": demographics.age,
+            "gender": demographics.gender,
+            "culture": demographics.culture,
+            "education": demographics.education.value,
+            "occupation": demographics.occupation,
+            "disabilities": list(demographics.disabilities),
+        },
+        "knowledge": dataclasses.asdict(knowledge),
+        "attitudes": dataclasses.asdict(attitudes),
+        "motivation": dataclasses.asdict(motivation),
+        "capabilities": dataclasses.asdict(capabilities),
+    }
+
+
+def receiver_from_dict(payload: Dict[str, Any]) -> HumanReceiver:
+    try:
+        demographics_payload = payload.get("demographics", {})
+        demographics = Demographics(
+            age=demographics_payload.get("age", 35),
+            gender=demographics_payload.get("gender", ""),
+            culture=demographics_payload.get("culture", ""),
+            education=EducationLevel(
+                demographics_payload.get("education", EducationLevel.UNDERGRADUATE.value)
+            ),
+            occupation=demographics_payload.get("occupation", ""),
+            disabilities=tuple(demographics_payload.get("disabilities", ())),
+        )
+        return HumanReceiver(
+            name=payload.get("name", "user"),
+            personal_variables=PersonalVariables(
+                demographics=demographics,
+                knowledge=KnowledgeExperience(**payload.get("knowledge", {})),
+            ),
+            intentions=Intentions(
+                attitudes=AttitudesBeliefs(**payload.get("attitudes", {})),
+                motivation=Motivation(**payload.get("motivation", {})),
+            ),
+            capabilities=Capabilities(**payload.get("capabilities", {})),
+        )
+    except (KeyError, ValueError, TypeError, ModelError) as error:
+        raise SerializationError(f"invalid receiver payload: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Task and system
+# ---------------------------------------------------------------------------
+
+
+def task_to_dict(task: HumanSecurityTask) -> Dict[str, Any]:
+    return {
+        "name": task.name,
+        "description": task.description,
+        "communication": (
+            communication_to_dict(task.communication) if task.communication else None
+        ),
+        "task_design": dataclasses.asdict(task.task_design),
+        "capability_requirements": dataclasses.asdict(task.capability_requirements),
+        "environment": environment_to_dict(task.environment),
+        "receivers": [receiver_to_dict(receiver) for receiver in task.receivers],
+        "security_critical": task.security_critical,
+        "automation": dataclasses.asdict(task.automation),
+        "desired_action": task.desired_action,
+        "failure_consequence": task.failure_consequence,
+    }
+
+
+def task_from_dict(payload: Dict[str, Any]) -> HumanSecurityTask:
+    try:
+        communication_payload = payload.get("communication")
+        return HumanSecurityTask(
+            name=payload["name"],
+            description=payload.get("description", ""),
+            communication=(
+                communication_from_dict(communication_payload)
+                if communication_payload
+                else None
+            ),
+            task_design=TaskDesign(**payload.get("task_design", {})),
+            capability_requirements=Capabilities(**payload.get("capability_requirements", {})),
+            environment=environment_from_dict(payload.get("environment", {})),
+            receivers=[
+                receiver_from_dict(item) for item in payload.get("receivers", [])
+            ],
+            security_critical=payload.get("security_critical", True),
+            automation=AutomationProfile(**payload.get("automation", {})),
+            desired_action=payload.get("desired_action", ""),
+            failure_consequence=payload.get("failure_consequence", ""),
+        )
+    except (KeyError, ValueError, TypeError, ModelError) as error:
+        raise SerializationError(f"invalid task payload: {error}") from error
+
+
+def system_to_dict(system: SecureSystem) -> Dict[str, Any]:
+    return {
+        "name": system.name,
+        "description": system.description,
+        "tasks": [task_to_dict(task) for task in system.tasks],
+    }
+
+
+def system_from_dict(payload: Dict[str, Any]) -> SecureSystem:
+    try:
+        return SecureSystem(
+            name=payload["name"],
+            description=payload.get("description", ""),
+            tasks=[task_from_dict(item) for item in payload.get("tasks", [])],
+        )
+    except (KeyError, ValueError, TypeError, ModelError) as error:
+        raise SerializationError(f"invalid system payload: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# One-way serialization of analysis artifacts
+# ---------------------------------------------------------------------------
+
+
+def failure_to_dict(failure: FailureMode) -> Dict[str, Any]:
+    return {
+        "identifier": failure.identifier,
+        "component": failure.component.value,
+        "description": failure.description,
+        "severity": failure.severity.name,
+        "likelihood": failure.likelihood.name,
+        "stage": failure.stage.value if failure.stage else None,
+        "behavior_kind": failure.behavior_kind.value if failure.behavior_kind else None,
+        "evidence": failure.evidence,
+        "task_name": failure.task_name,
+        "system_name": failure.system_name,
+        "risk_score": failure.risk_score,
+    }
+
+
+def analysis_to_dict(analysis: TaskAnalysis) -> Dict[str, Any]:
+    return {
+        "task": analysis.task.name,
+        "receiver": analysis.receiver.name,
+        "success_probability": analysis.success_probability,
+        "stage_probabilities": {
+            stage.value: probability
+            for stage, probability in analysis.stage_probabilities.items()
+        },
+        "assessments": {
+            component.value: {
+                "score": assessment.score,
+                "rating": assessment.rating.value,
+                "findings": list(assessment.findings),
+            }
+            for component, assessment in analysis.assessments.items()
+        },
+        "failures": [failure_to_dict(failure) for failure in analysis.failures],
+    }
+
+
+# ---------------------------------------------------------------------------
+# String / file helpers
+# ---------------------------------------------------------------------------
+
+
+def dumps_system(system: SecureSystem, indent: int = 2) -> str:
+    """Serialize a system to a JSON string."""
+    return json.dumps(system_to_dict(system), indent=indent, sort_keys=True)
+
+
+def loads_system(payload: str) -> SecureSystem:
+    """Parse a system from a JSON string."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return system_from_dict(data)
+
+
+def save_system(system: SecureSystem, path: str) -> None:
+    """Write a system to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_system(system))
+
+
+def load_system(path: str) -> SecureSystem:
+    """Read a system from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_system(handle.read())

@@ -1,0 +1,106 @@
+"""Tabular rendering: Table 1 and generic result tables.
+
+Benchmarks and examples print their results as tables; this module keeps
+the formatting in one place.  :func:`render_table_1` reproduces the paper's
+Table 1 layout (component / questions to ask / factors to consider) from
+the structured encoding, and :func:`render_rows` formats arbitrary
+list-of-dict rows as aligned plain text or Markdown.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.checklist import TABLE_1, ChecklistEntry
+from ..core.components import ComponentGroup
+from ..core.exceptions import ReproError
+
+__all__ = ["render_table_1", "render_rows", "render_markdown_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Format a table cell: percentages for small floats, str() otherwise."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if 0.0 <= value <= 1.0:
+            return f"{value:.1%}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table_1(group: Optional[ComponentGroup] = None) -> str:
+    """Render the Table-1 encoding as Markdown.
+
+    Parameters
+    ----------
+    group:
+        Restrict to one component group (defaults to the full table).
+    """
+    lines = [
+        "| Component | Questions to ask | Factors to consider |",
+        "|---|---|---|",
+    ]
+    for entry in TABLE_1:
+        if group is not None and entry.group is not group:
+            continue
+        questions = "<br>".join(entry.questions)
+        factors = ", ".join(entry.factors)
+        lines.append(f"| {entry.component.title} | {questions} | {factors} |")
+    return "\n".join(lines)
+
+
+def _column_order(rows: Sequence[Mapping[str, Any]], columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    ordered: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in ordered:
+                ordered.append(key)
+    return ordered
+
+
+def render_markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows (list of dicts) as a Markdown table."""
+    if not rows:
+        return "(no rows)"
+    ordered = _column_order(rows, columns)
+    lines = [
+        "| " + " | ".join(ordered) + " |",
+        "|" + "---|" * len(ordered),
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_cell(row.get(column, "")) for column in ordered) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_rows(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    padding: int = 2,
+) -> str:
+    """Render rows as aligned plain text (for terminal output)."""
+    if padding < 0:
+        raise ReproError("padding must be non-negative")
+    if not rows:
+        return "(no rows)"
+    ordered = _column_order(rows, columns)
+    formatted = [
+        {column: format_cell(row.get(column, "")) for column in ordered} for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in formatted))
+        for column in ordered
+    }
+    separator = " " * padding
+    lines = [separator.join(column.ljust(widths[column]) for column in ordered)]
+    lines.append(separator.join("-" * widths[column] for column in ordered))
+    for row in formatted:
+        lines.append(separator.join(row[column].ljust(widths[column]) for column in ordered))
+    return "\n".join(lines)

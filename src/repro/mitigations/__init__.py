@@ -1,0 +1,39 @@
+"""Mitigation catalogs, automation analysis, and recommendation assembly."""
+
+from .automation import (
+    AutomationEvaluation,
+    AutomationGuideline,
+    AutomationRecommendation,
+    GuidelineAssessment,
+    evaluate_automation,
+)
+from .catalog import (
+    ANTIPHISHING_MITIGATIONS,
+    DOMAIN_MITIGATIONS,
+    INDICATOR_MITIGATIONS,
+    PASSWORD_MITIGATIONS,
+    catalog_for,
+    full_catalog,
+)
+from .recommendations import (
+    SystemRecommendations,
+    TaskRecommendation,
+    recommend_for_system,
+)
+
+__all__ = [
+    "AutomationGuideline",
+    "AutomationRecommendation",
+    "AutomationEvaluation",
+    "GuidelineAssessment",
+    "evaluate_automation",
+    "PASSWORD_MITIGATIONS",
+    "ANTIPHISHING_MITIGATIONS",
+    "INDICATOR_MITIGATIONS",
+    "DOMAIN_MITIGATIONS",
+    "catalog_for",
+    "full_catalog",
+    "TaskRecommendation",
+    "SystemRecommendations",
+    "recommend_for_system",
+]

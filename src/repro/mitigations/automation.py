@@ -1,0 +1,201 @@
+"""Security-automation analysis (the task-automation step, elaborated).
+
+Section 3 points designers to Edwards, Poole & Stoll's "Security Automation
+Considered Harmful?" for the limits of automation, and to Ross's
+"Firefox and the Worry-Free Web" for the default-settings argument.  This
+module encodes those considerations as an explicit checklist:
+:func:`evaluate_automation` scores a task's
+:class:`~repro.core.task.AutomationProfile` against each guideline and
+produces a recommendation with the reasons laid out, which the process
+driver and the reports can surface verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+from ..core.exceptions import AnalysisError
+from ..core.task import AutomationProfile, HumanSecurityTask
+
+__all__ = [
+    "AutomationGuideline",
+    "GuidelineAssessment",
+    "AutomationRecommendation",
+    "AutomationEvaluation",
+    "evaluate_automation",
+]
+
+
+class AutomationGuideline(enum.Enum):
+    """Considerations for deciding whether to automate a human security task."""
+
+    ACCURACY_BEATS_HUMAN = "accuracy_beats_human"
+    HUMAN_HOLDS_CONTEXT = "human_holds_context"
+    FALSE_POSITIVES_TOLERABLE = "false_positives_tolerable"
+    COST_ACCEPTABLE = "cost_acceptable"
+    POLICY_NUANCE_ENCODABLE = "policy_nuance_encodable"
+
+    @property
+    def question(self) -> str:
+        return _QUESTIONS[self]
+
+
+_QUESTIONS = {
+    AutomationGuideline.ACCURACY_BEATS_HUMAN: (
+        "Would the automated alternative decide more reliably than the expected users?"
+    ),
+    AutomationGuideline.HUMAN_HOLDS_CONTEXT: (
+        "Do users hold context or knowledge the software cannot capture?"
+    ),
+    AutomationGuideline.FALSE_POSITIVES_TOLERABLE: (
+        "Is the automated alternative's false-positive rate tolerable for this hazard?"
+    ),
+    AutomationGuideline.COST_ACCEPTABLE: (
+        "Is the automated alternative affordable and deployable in this setting?"
+    ),
+    AutomationGuideline.POLICY_NUANCE_ENCODABLE: (
+        "Can the relevant policy, including its special cases, actually be encoded?"
+    ),
+}
+
+
+class AutomationRecommendation(enum.Enum):
+    """Overall recommendation produced by the evaluation."""
+
+    AUTOMATE_FULLY = "automate_fully"
+    AUTOMATE_WITH_OVERRIDE = "automate_with_override"
+    USE_BETTER_DEFAULTS = "use_better_defaults"
+    KEEP_HUMAN_WITH_SUPPORT = "keep_human_with_support"
+
+
+@dataclasses.dataclass(frozen=True)
+class GuidelineAssessment:
+    """One guideline's verdict for a specific task."""
+
+    guideline: AutomationGuideline
+    favors_automation: bool
+    note: str
+
+
+@dataclasses.dataclass(frozen=True)
+class AutomationEvaluation:
+    """Full automation evaluation for one task."""
+
+    task_name: str
+    recommendation: AutomationRecommendation
+    assessments: Tuple[GuidelineAssessment, ...]
+    human_reliability: float
+
+    def favorable_count(self) -> int:
+        return sum(1 for assessment in self.assessments if assessment.favors_automation)
+
+    def reasons(self) -> List[str]:
+        return [assessment.note for assessment in self.assessments]
+
+
+def evaluate_automation(
+    task: HumanSecurityTask,
+    human_reliability: float,
+    false_positive_tolerance: float = 0.1,
+) -> AutomationEvaluation:
+    """Evaluate whether (and how) to automate a human security task.
+
+    Parameters
+    ----------
+    task:
+        The task under consideration.
+    human_reliability:
+        Estimated probability the human performs the task successfully
+        (typically the analysis layer's end-to-end success probability).
+    false_positive_tolerance:
+        Maximum automated false-positive rate considered tolerable for
+        this hazard.
+    """
+    if not 0.0 <= human_reliability <= 1.0:
+        raise AnalysisError("human_reliability must be in [0, 1]")
+    profile: AutomationProfile = task.automation
+
+    assessments: List[GuidelineAssessment] = []
+
+    accuracy_favors = (
+        profile.can_fully_automate and profile.automation_accuracy > human_reliability
+    )
+    assessments.append(
+        GuidelineAssessment(
+            guideline=AutomationGuideline.ACCURACY_BEATS_HUMAN,
+            favors_automation=accuracy_favors,
+            note=(
+                f"automation accuracy ≈ {profile.automation_accuracy:.0%} vs human "
+                f"reliability ≈ {human_reliability:.0%}"
+            ),
+        )
+    )
+
+    context_favors = profile.human_information_advantage < 0.5
+    assessments.append(
+        GuidelineAssessment(
+            guideline=AutomationGuideline.HUMAN_HOLDS_CONTEXT,
+            favors_automation=context_favors,
+            note=(
+                "the human holds little decisive context"
+                if context_favors
+                else "the human holds context the software cannot capture"
+            ),
+        )
+    )
+
+    fp_favors = profile.automation_false_positive_rate <= false_positive_tolerance
+    assessments.append(
+        GuidelineAssessment(
+            guideline=AutomationGuideline.FALSE_POSITIVES_TOLERABLE,
+            favors_automation=fp_favors,
+            note=(
+                f"automated false-positive rate ≈ "
+                f"{profile.automation_false_positive_rate:.0%} "
+                f"(tolerance {false_positive_tolerance:.0%})"
+            ),
+        )
+    )
+
+    cost_favors = profile.automation_cost <= 0.5
+    assessments.append(
+        GuidelineAssessment(
+            guideline=AutomationGuideline.COST_ACCEPTABLE,
+            favors_automation=cost_favors,
+            note=f"relative automation cost ≈ {profile.automation_cost:.0%}",
+        )
+    )
+
+    nuance_favors = profile.can_fully_automate and profile.human_information_advantage < 0.7
+    assessments.append(
+        GuidelineAssessment(
+            guideline=AutomationGuideline.POLICY_NUANCE_ENCODABLE,
+            favors_automation=nuance_favors,
+            note=(
+                "the decision rule can plausibly be encoded"
+                if nuance_favors
+                else "the policy's nuances and special cases resist encoding"
+            ),
+        )
+    )
+
+    favorable = sum(1 for assessment in assessments if assessment.favors_automation)
+    if not profile.can_fully_automate:
+        recommendation = AutomationRecommendation.KEEP_HUMAN_WITH_SUPPORT
+    elif favorable >= 4 and accuracy_favors and not profile.vendor_constraints:
+        recommendation = AutomationRecommendation.AUTOMATE_FULLY
+    elif favorable >= 3:
+        recommendation = AutomationRecommendation.AUTOMATE_WITH_OVERRIDE
+    elif accuracy_favors:
+        recommendation = AutomationRecommendation.USE_BETTER_DEFAULTS
+    else:
+        recommendation = AutomationRecommendation.KEEP_HUMAN_WITH_SUPPORT
+
+    return AutomationEvaluation(
+        task_name=task.name,
+        recommendation=recommendation,
+        assessments=tuple(assessments),
+        human_reliability=human_reliability,
+    )

@@ -1,0 +1,242 @@
+"""Concrete, system-specific mitigations beyond the generic catalog.
+
+The generic strategy-level mitigations live in
+:data:`repro.core.mitigation.GENERIC_MITIGATIONS`.  This module adds the
+concrete mitigations the paper's case studies and related-work discussion
+name explicitly — single sign-on, password vaults, feedback-at-creation
+password meters, anti-phishing training games, warning redesign, spoofing-
+resistant trusted paths — grouped by the system they apply to, so the
+failure-mitigation step can rank them alongside the generic ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.components import Component
+from ..core.mitigation import GENERIC_MITIGATIONS, Mitigation, MitigationStrategy
+
+__all__ = [
+    "PASSWORD_MITIGATIONS",
+    "ANTIPHISHING_MITIGATIONS",
+    "INDICATOR_MITIGATIONS",
+    "DOMAIN_MITIGATIONS",
+    "catalog_for",
+    "full_catalog",
+]
+
+
+PASSWORD_MITIGATIONS: Tuple[Mitigation, ...] = (
+    Mitigation(
+        name="single-sign-on",
+        strategy=MitigationStrategy.AUTOMATE,
+        description=(
+            "Deploy single sign-on so employees authenticate once instead of "
+            "remembering a distinct password per system."
+        ),
+        addresses_components=(Component.CAPABILITIES, Component.MOTIVATION),
+        effectiveness=0.8,
+        cost=0.55,
+        residual_risks=(
+            "Concentrates risk in a single credential and a single infrastructure component.",
+        ),
+    ),
+    Mitigation(
+        name="password-vault",
+        strategy=MitigationStrategy.AUTOMATE,
+        description=(
+            "Provide an approved secure password vault so humans remember one "
+            "master secret instead of many policy-compliant passwords."
+        ),
+        addresses_components=(Component.CAPABILITIES, Component.MOTIVATION),
+        effectiveness=0.75,
+        cost=0.35,
+        residual_risks=(
+            "The master secret and the vault itself become high-value targets.",
+        ),
+    ),
+    Mitigation(
+        name="password-creation-feedback",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Give feedback on password quality and concrete improvement "
+            "suggestions at creation time (Conlan & Tarasewich)."
+        ),
+        addresses_components=(Component.BEHAVIOR, Component.KNOWLEDGE_ACQUISITION),
+        effectiveness=0.5,
+        cost=0.2,
+    ),
+    Mitigation(
+        name="relax-expiry-requirements",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Drop frequent mandatory password changes whose memory cost drives "
+            "users to violate the rest of the policy."
+        ),
+        addresses_components=(Component.CAPABILITIES, Component.MOTIVATION),
+        effectiveness=0.45,
+        cost=0.15,
+        residual_risks=(
+            "Long-lived credentials stay valid longer after an undetected compromise.",
+        ),
+    ),
+    Mitigation(
+        name="alternative-authentication",
+        strategy=MitigationStrategy.AUTOMATE,
+        description=(
+            "Replace memorized secrets with alternative authentication "
+            "mechanisms (tokens, biometrics) where appropriate."
+        ),
+        addresses_components=(Component.CAPABILITIES,),
+        effectiveness=0.7,
+        cost=0.7,
+        residual_risks=("New capability demands: carrying tokens, enrolling biometrics.",),
+    ),
+    Mitigation(
+        name="explain-password-policy-rationale",
+        strategy=MitigationStrategy.TRAIN,
+        description=(
+            "Training that explains why the password policy exists and what an "
+            "attacker can do with a reused or shared password."
+        ),
+        addresses_components=(Component.MOTIVATION, Component.ATTITUDES_AND_BELIEFS),
+        effectiveness=0.35,
+        cost=0.2,
+    ),
+)
+
+
+ANTIPHISHING_MITIGATIONS: Tuple[Mitigation, ...] = (
+    Mitigation(
+        name="replace-passive-with-active-warning",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Replace the passive in-page warning with an active, blocking "
+            "warning that interrupts the primary task."
+        ),
+        addresses_components=(
+            Component.COMMUNICATION,
+            Component.ATTENTION_SWITCH,
+            Component.ENVIRONMENTAL_STIMULI,
+        ),
+        effectiveness=0.8,
+        cost=0.2,
+        residual_risks=("Habituation if the underlying detector produces false positives.",),
+    ),
+    Mitigation(
+        name="distinct-warning-appearance",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Make the anti-phishing warning look clearly different from routine "
+            "error pages so it is not dismissed reflexively."
+        ),
+        addresses_components=(Component.COMPREHENSION, Component.ATTITUDES_AND_BELIEFS),
+        effectiveness=0.55,
+        cost=0.1,
+    ),
+    Mitigation(
+        name="explain-why-site-is-suspicious",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Explain in the warning why the site is suspicious and offer a link "
+            "to the legitimate site it appears to spoof (Wu et al.'s Web Wallet)."
+        ),
+        addresses_components=(
+            Component.ATTITUDES_AND_BELIEFS,
+            Component.KNOWLEDGE_AND_EXPERIENCE,
+            Component.COMPREHENSION,
+        ),
+        effectiveness=0.55,
+        cost=0.25,
+    ),
+    Mitigation(
+        name="embedded-antiphishing-training",
+        strategy=MitigationStrategy.TRAIN,
+        description=(
+            "Deliver engaging anti-phishing training (Anti-Phishing Phil, "
+            "PhishGuru embedded training) to correct inaccurate mental models."
+        ),
+        addresses_components=(
+            Component.KNOWLEDGE_AND_EXPERIENCE,
+            Component.COMPREHENSION,
+            Component.KNOWLEDGE_ACQUISITION,
+            Component.KNOWLEDGE_RETENTION,
+            Component.KNOWLEDGE_TRANSFER,
+        ),
+        effectiveness=0.5,
+        cost=0.35,
+    ),
+    Mitigation(
+        name="block-without-override",
+        strategy=MitigationStrategy.AUTOMATE,
+        description=(
+            "Block access to detected phishing sites outright instead of "
+            "offering an override, when the detector's false-positive rate is low."
+        ),
+        addresses_components=(
+            Component.ATTITUDES_AND_BELIEFS,
+            Component.MOTIVATION,
+            Component.BEHAVIOR,
+            Component.COMMUNICATION,
+        ),
+        effectiveness=0.9,
+        cost=0.4,
+        residual_risks=(
+            "False positives become hard failures; vendors currently insist on an override.",
+        ),
+    ),
+)
+
+
+INDICATOR_MITIGATIONS: Tuple[Mitigation, ...] = (
+    Mitigation(
+        name="trusted-path-indicator",
+        strategy=MitigationStrategy.SUPPORT,
+        description=(
+            "Render security indicators in a trusted, unspoofable part of the "
+            "interface (trusted paths, synchronized random dynamic boundaries)."
+        ),
+        addresses_components=(Component.INTERFERENCE,),
+        effectiveness=0.7,
+        cost=0.5,
+    ),
+    Mitigation(
+        name="enforce-https-automatically",
+        strategy=MitigationStrategy.AUTOMATE,
+        description=(
+            "Enforce protected connections automatically rather than relying on "
+            "users to check a lock icon before submitting data."
+        ),
+        addresses_components=(
+            Component.COMMUNICATION,
+            Component.ATTENTION_SWITCH,
+            Component.CAPABILITIES,
+        ),
+        effectiveness=0.85,
+        cost=0.4,
+    ),
+)
+
+
+DOMAIN_MITIGATIONS: Dict[str, Tuple[Mitigation, ...]] = {
+    "passwords": PASSWORD_MITIGATIONS,
+    "antiphishing": ANTIPHISHING_MITIGATIONS,
+    "indicators": INDICATOR_MITIGATIONS,
+}
+
+
+def catalog_for(domain: str) -> List[Mitigation]:
+    """Generic catalog plus the mitigations specific to ``domain``.
+
+    ``domain`` is one of ``"passwords"``, ``"antiphishing"``,
+    ``"indicators"``; unknown domains get the generic catalog only.
+    """
+    return list(GENERIC_MITIGATIONS) + list(DOMAIN_MITIGATIONS.get(domain, ()))
+
+
+def full_catalog() -> List[Mitigation]:
+    """Every mitigation known to the library."""
+    catalog = list(GENERIC_MITIGATIONS)
+    for domain_mitigations in DOMAIN_MITIGATIONS.values():
+        catalog.extend(domain_mitigations)
+    return catalog

@@ -1,0 +1,108 @@
+"""End-to-end recommendation assembly for a secure system.
+
+Glues the pieces of the failure-mitigation step together for callers who
+want a single call: analyse the system, evaluate automation for each task,
+rank mitigations from the right domain catalog, and return one
+:class:`SystemRecommendations` object that the reports and examples can
+render.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..core.analysis import SystemAnalysis, analyze_system
+from ..core.mitigation import Mitigation, MitigationPlan, suggest_mitigations
+from ..core.task import SecureSystem
+from .automation import AutomationEvaluation, evaluate_automation
+from .catalog import catalog_for, full_catalog
+
+__all__ = ["TaskRecommendation", "SystemRecommendations", "recommend_for_system"]
+
+
+@dataclasses.dataclass
+class TaskRecommendation:
+    """Everything the mitigation step produces for one task."""
+
+    task_name: str
+    automation: AutomationEvaluation
+    mitigation_plan: MitigationPlan
+    success_probability: float
+
+    def top_mitigation(self) -> Optional[Mitigation]:
+        mitigations = self.mitigation_plan.ranked_mitigations()
+        return mitigations[0] if mitigations else None
+
+
+@dataclasses.dataclass
+class SystemRecommendations:
+    """Recommendations for every security-critical task of a system."""
+
+    system_name: str
+    analysis: SystemAnalysis
+    tasks: Dict[str, TaskRecommendation]
+
+    def recommendation_for(self, task_name: str) -> TaskRecommendation:
+        return self.tasks[task_name]
+
+    def ranked_tasks_by_risk(self) -> List[str]:
+        """Task names ordered from most to least total identified risk."""
+        return sorted(
+            self.tasks,
+            key=lambda name: self.analysis.task_analyses[name].failures.total_risk(),
+            reverse=True,
+        )
+
+    def summary_lines(self) -> List[str]:
+        """One line per task: reliability, automation verdict, top mitigation."""
+        lines: List[str] = []
+        for task_name in self.ranked_tasks_by_risk():
+            recommendation = self.tasks[task_name]
+            top = recommendation.top_mitigation()
+            top_name = top.name if top is not None else "none"
+            lines.append(
+                f"{task_name}: reliability ≈ {recommendation.success_probability:.0%}, "
+                f"automation → {recommendation.automation.recommendation.value}, "
+                f"top mitigation → {top_name}"
+            )
+        return lines
+
+
+def recommend_for_system(
+    system: SecureSystem,
+    domain: Optional[str] = None,
+    catalog: Optional[Sequence[Mitigation]] = None,
+) -> SystemRecommendations:
+    """Run analysis + automation evaluation + mitigation ranking for a system.
+
+    Parameters
+    ----------
+    system:
+        The system to analyse.
+    domain:
+        Domain catalog to include (``"passwords"``, ``"antiphishing"``,
+        ``"indicators"``); when omitted, the full catalog is used.
+    catalog:
+        Explicit mitigation catalog overriding ``domain``.
+    """
+    if catalog is not None:
+        effective_catalog = list(catalog)
+    elif domain is not None:
+        effective_catalog = catalog_for(domain)
+    else:
+        effective_catalog = full_catalog()
+
+    analysis = analyze_system(system)
+    tasks: Dict[str, TaskRecommendation] = {}
+    for task in system.security_critical_tasks():
+        task_analysis = analysis.task_analyses[task.name]
+        automation = evaluate_automation(task, task_analysis.success_probability)
+        plan = suggest_mitigations(task_analysis.failures, catalog=effective_catalog)
+        tasks[task.name] = TaskRecommendation(
+            task_name=task.name,
+            automation=automation,
+            mitigation_plan=plan,
+            success_probability=task_analysis.success_probability,
+        )
+    return SystemRecommendations(system_name=system.name, analysis=analysis, tasks=tasks)

@@ -1,0 +1,26 @@
+"""Norman's action cycle and the gulfs of execution and evaluation.
+
+The behavior stage of the framework leans on Don Norman's seven-stage
+action cycle and his gulfs of execution and evaluation (The Design of
+Everyday Things).  This package encodes the seven stages, classifies where
+in the cycle a described breakdown occurs, and scores the two gulfs for a
+task design.
+"""
+
+from .action_cycle import (
+    ActionCycle,
+    ActionStage,
+    StageBreakdown,
+    locate_breakdown,
+)
+from .gulfs import Gulf, GulfAssessment, assess_gulfs
+
+__all__ = [
+    "ActionStage",
+    "ActionCycle",
+    "StageBreakdown",
+    "locate_breakdown",
+    "Gulf",
+    "GulfAssessment",
+    "assess_gulfs",
+]

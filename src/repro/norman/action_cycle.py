@@ -1,0 +1,153 @@
+"""Norman's seven-stage action cycle.
+
+The cycle runs from forming a goal, through planning and executing an
+action, to perceiving, interpreting, and evaluating the outcome.  The paper
+uses it (together with GEMS) as the theory behind the behavior component:
+"He described how the action cycle can be used as a check-list for design
+so as to avoid the gulfs of execution and evaluation."
+
+:func:`locate_breakdown` maps a described breakdown onto the cycle stage
+where it occurred and reports which gulf (if any) it falls into.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import ModelError
+
+__all__ = ["ActionStage", "ActionCycle", "StageBreakdown", "locate_breakdown"]
+
+
+class ActionStage(enum.Enum):
+    """The seven stages of Norman's action cycle, in order."""
+
+    FORM_GOAL = "form_goal"
+    FORM_INTENTION = "form_intention"
+    SPECIFY_ACTION = "specify_action"
+    EXECUTE_ACTION = "execute_action"
+    PERCEIVE_STATE = "perceive_state"
+    INTERPRET_STATE = "interpret_state"
+    EVALUATE_OUTCOME = "evaluate_outcome"
+
+    @property
+    def index(self) -> int:
+        return _ORDER.index(self)
+
+    @property
+    def side(self) -> str:
+        """Which side of the cycle the stage sits on.
+
+        Stages between intention and execution form the *execution* side
+        (crossing the gulf of execution); stages from perception to
+        evaluation form the *evaluation* side (crossing the gulf of
+        evaluation).  Goal formation sits outside both gulfs.
+        """
+        if self is ActionStage.FORM_GOAL:
+            return "goal"
+        if self in (ActionStage.FORM_INTENTION, ActionStage.SPECIFY_ACTION,
+                    ActionStage.EXECUTE_ACTION):
+            return "execution"
+        return "evaluation"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_ORDER: Tuple[ActionStage, ...] = (
+    ActionStage.FORM_GOAL,
+    ActionStage.FORM_INTENTION,
+    ActionStage.SPECIFY_ACTION,
+    ActionStage.EXECUTE_ACTION,
+    ActionStage.PERCEIVE_STATE,
+    ActionStage.INTERPRET_STATE,
+    ActionStage.EVALUATE_OUTCOME,
+)
+
+_DESCRIPTIONS: Dict[ActionStage, str] = {
+    ActionStage.FORM_GOAL: "Form the goal (what state do I want to achieve?).",
+    ActionStage.FORM_INTENTION: "Form the intention to act toward the goal.",
+    ActionStage.SPECIFY_ACTION: "Specify the sequence of actions that will achieve it.",
+    ActionStage.EXECUTE_ACTION: "Execute the action sequence.",
+    ActionStage.PERCEIVE_STATE: "Perceive the resulting system state.",
+    ActionStage.INTERPRET_STATE: "Interpret the perceived state.",
+    ActionStage.EVALUATE_OUTCOME: "Evaluate the outcome against the goal.",
+}
+
+
+@dataclasses.dataclass
+class ActionCycle:
+    """A queryable instance of the seven-stage action cycle."""
+
+    name: str = "Norman action cycle"
+
+    @staticmethod
+    def stages() -> Tuple[ActionStage, ...]:
+        """All stages in cycle order."""
+        return _ORDER
+
+    @staticmethod
+    def execution_stages() -> Tuple[ActionStage, ...]:
+        return tuple(stage for stage in _ORDER if stage.side == "execution")
+
+    @staticmethod
+    def evaluation_stages() -> Tuple[ActionStage, ...]:
+        return tuple(stage for stage in _ORDER if stage.side == "evaluation")
+
+    @staticmethod
+    def checklist() -> List[str]:
+        """The cycle phrased as a design checklist, one question per stage."""
+        return [
+            "Can users tell what goal the system expects them to form?",
+            "Will users form the intention to act when they should?",
+            "Can users determine which actions will achieve the goal?",
+            "Can users physically perform those actions?",
+            "Can users perceive what state the system is in afterwards?",
+            "Can users interpret that state correctly?",
+            "Can users tell whether the goal has been achieved?",
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class StageBreakdown:
+    """A breakdown located on the action cycle."""
+
+    stage: ActionStage
+    gulf: Optional[str]
+    narrative: str = ""
+
+
+def locate_breakdown(
+    knew_goal: bool,
+    knew_which_action: bool,
+    could_perform_action: bool,
+    could_perceive_result: bool,
+    could_interpret_result: bool,
+    narrative: str = "",
+) -> StageBreakdown:
+    """Locate a described breakdown on the action cycle.
+
+    Each flag answers the corresponding checklist question for the specific
+    incident; the first ``False`` locates the breakdown.  Raises
+    :class:`~repro.core.exceptions.ModelError` when every flag is ``True``
+    (no breakdown described).
+
+    Example: a user who knows their anti-virus is out of date (goal formed)
+    but "may be unable to find the menu item ... that facilitates this
+    update" breaks down at ``SPECIFY_ACTION`` — inside the gulf of
+    execution.
+    """
+    if not knew_goal:
+        return StageBreakdown(ActionStage.FORM_GOAL, None, narrative)
+    if not knew_which_action:
+        return StageBreakdown(ActionStage.SPECIFY_ACTION, "execution", narrative)
+    if not could_perform_action:
+        return StageBreakdown(ActionStage.EXECUTE_ACTION, "execution", narrative)
+    if not could_perceive_result:
+        return StageBreakdown(ActionStage.PERCEIVE_STATE, "evaluation", narrative)
+    if not could_interpret_result:
+        return StageBreakdown(ActionStage.INTERPRET_STATE, "evaluation", narrative)
+    raise ModelError("no breakdown described: every action-cycle stage succeeded")

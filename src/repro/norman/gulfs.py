@@ -1,0 +1,108 @@
+"""The gulfs of execution and evaluation.
+
+Norman's gulf of execution is "the gap between a person's intentions to
+carry out an action and the mechanisms provided by a system to facilitate
+that action"; the gulf of evaluation is the difficulty of determining what
+state the system is in after acting.  The paper's design guidance: close
+the execution gulf with clear instructions and readily apparent controls,
+close the evaluation gulf with relevant feedback (the Piazzalunga et al.
+smartcard study is the worked example).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Tuple
+
+from ..core.behavior import TaskDesign
+from ..core.exceptions import ModelError
+
+__all__ = ["Gulf", "GulfAssessment", "assess_gulfs"]
+
+
+class Gulf(enum.Enum):
+    """The two gulfs of Norman's model."""
+
+    EXECUTION = "execution"
+    EVALUATION = "evaluation"
+
+    @property
+    def description(self) -> str:
+        if self is Gulf.EXECUTION:
+            return (
+                "Gap between the user's intention and the mechanisms the system "
+                "provides to carry it out."
+            )
+        return (
+            "Gap between the system's actual state and the user's ability to "
+            "perceive and interpret it."
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class GulfAssessment:
+    """Widths of the two gulfs for a task design, with recommendations."""
+
+    execution_width: float
+    evaluation_width: float
+    recommendations: Tuple[str, ...]
+
+    def width(self, gulf: Gulf) -> float:
+        return self.execution_width if gulf is Gulf.EXECUTION else self.evaluation_width
+
+    @property
+    def wider_gulf(self) -> Gulf:
+        """The gulf most in need of attention."""
+        if self.execution_width >= self.evaluation_width:
+            return Gulf.EXECUTION
+        return Gulf.EVALUATION
+
+    def acceptable(self, threshold: float = 0.3) -> bool:
+        """Whether both gulfs are narrower than ``threshold``."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ModelError("threshold must be in [0, 1]")
+        return self.execution_width < threshold and self.evaluation_width < threshold
+
+
+def assess_gulfs(design: TaskDesign, instructions_included: bool = False) -> GulfAssessment:
+    """Assess both gulfs for a task design.
+
+    Parameters
+    ----------
+    design:
+        The task design (control discoverability, feedback quality, ...).
+    instructions_included:
+        Whether the triggering communication includes explicit execution
+        instructions; good instructions narrow the execution gulf even when
+        controls are not self-evident.
+    """
+    execution = design.gulf_of_execution
+    if instructions_included:
+        execution *= 0.6
+    evaluation = design.gulf_of_evaluation
+
+    recommendations: List[str] = []
+    if execution >= 0.3:
+        recommendations.append(
+            "Include clear instructions about how to execute the desired action "
+            "and make the proper use of the required controls readily apparent "
+            "(e.g. print visual cues on the smartcard itself)."
+        )
+    if evaluation >= 0.3:
+        recommendations.append(
+            "Provide relevant feedback so users can determine whether their "
+            "action achieved the desired outcome (e.g. have the card reader "
+            "indicate when a card has been properly inserted)."
+        )
+    if design.steps > 3 and not design.guidance_through_steps:
+        recommendations.append(
+            "Guide users through the multi-step sequence to keep intermediate "
+            "system state visible."
+        )
+
+    return GulfAssessment(
+        execution_width=max(0.0, min(1.0, execution)),
+        evaluation_width=max(0.0, min(1.0, evaluation)),
+        recommendations=tuple(recommendations),
+    )

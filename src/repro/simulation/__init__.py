@@ -1,0 +1,49 @@
+"""Human-receiver simulation substrate.
+
+The paper grounds its case studies in human-subject studies we cannot
+re-run; this package substitutes a calibrated Monte-Carlo simulation of
+receiver populations processing security communications through the
+framework pipeline (see DESIGN.md for the substitution rationale).
+"""
+
+from .attacker import AttackerModel, AttackVector, no_attacker, spoofing_attacker
+from .calibration import StageCalibration
+from .engine import HumanLoopSimulator, SimulationConfig
+from .habituation import ExposurePoint, HabituationState, simulate_exposure_series
+from .metrics import (
+    ReceiverRecord,
+    SimulationResult,
+    comparison_table,
+    render_comparison_markdown,
+)
+from .population import (
+    PopulationSpec,
+    TraitDistribution,
+    expert_population,
+    general_web_population,
+    organization_population,
+)
+from .rng import SimulationRng
+
+__all__ = [
+    "SimulationRng",
+    "TraitDistribution",
+    "PopulationSpec",
+    "general_web_population",
+    "organization_population",
+    "expert_population",
+    "StageCalibration",
+    "AttackerModel",
+    "AttackVector",
+    "no_attacker",
+    "spoofing_attacker",
+    "HabituationState",
+    "ExposurePoint",
+    "simulate_exposure_series",
+    "SimulationConfig",
+    "HumanLoopSimulator",
+    "ReceiverRecord",
+    "SimulationResult",
+    "comparison_table",
+    "render_comparison_markdown",
+]

@@ -1,0 +1,103 @@
+"""Attacker models for the interference component.
+
+Section 2.2 notes that interference "may be caused by malicious attackers,
+technology failures, or environmental stimuli that obscure the
+communication", and Section 4 adds that the interference component was
+added to C-HIP precisely because "computer security communications may be
+impeded by an active attacker".  This module provides attacker models that
+translate an attacker's capabilities into
+:class:`~repro.core.impediments.Interference` channels, plus the classic
+attacks the paper cites (indicator spoofing à la Ye et al., obscuring, and
+suppression), so experiments can toggle an active attacker on and off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+from ..core.exceptions import SimulationError
+from ..core.impediments import Environment, Interference, InterferenceSource
+
+__all__ = ["AttackVector", "AttackerModel", "no_attacker", "spoofing_attacker"]
+
+
+class AttackVector(enum.Enum):
+    """Ways an attacker can interfere with a security communication."""
+
+    SUPPRESS = "suppress"
+    OBSCURE = "obscure"
+    SPOOF = "spoof"
+
+    @property
+    def description(self) -> str:
+        if self is AttackVector.SUPPRESS:
+            return "Prevent the communication from being displayed at all."
+        if self is AttackVector.OBSCURE:
+            return "Degrade or partially hide the communication."
+        return (
+            "Present an attacker-controlled look-alike indicator so users rely "
+            "on it instead of the genuine one (Ye et al.'s SSL spoofing)."
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackerModel:
+    """An attacker characterized by capability along each vector.
+
+    Each capability is the per-encounter probability that the attacker
+    successfully exercises the corresponding vector against the
+    communication.
+    """
+
+    name: str = "attacker"
+    suppress_capability: float = 0.0
+    obscure_capability: float = 0.0
+    spoof_capability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("suppress_capability", "obscure_capability", "spoof_capability"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{field_name} must be in [0, 1], got {value}")
+
+    @property
+    def is_active(self) -> bool:
+        return (
+            self.suppress_capability > 0.0
+            or self.obscure_capability > 0.0
+            or self.spoof_capability > 0.0
+        )
+
+    def interference(self) -> Interference:
+        """The interference channel this attacker contributes."""
+        return Interference(
+            source=InterferenceSource.MALICIOUS_ATTACKER,
+            block_probability=self.suppress_capability,
+            degrade_probability=self.obscure_capability,
+            spoof_probability=self.spoof_capability,
+            description=f"attacker model {self.name!r}",
+        )
+
+    def apply_to(self, environment: Environment) -> Environment:
+        """Return a copy of ``environment`` with this attacker's interference added."""
+        updated = Environment(
+            stimuli=list(environment.stimuli),
+            interference=list(environment.interference),
+            competing_indicator_count=environment.competing_indicator_count,
+            description=environment.description,
+        )
+        if self.is_active:
+            updated.add_interference(self.interference())
+        return updated
+
+
+def no_attacker() -> AttackerModel:
+    """The benign baseline: no interference from an attacker."""
+    return AttackerModel(name="none")
+
+
+def spoofing_attacker(capability: float = 0.5) -> AttackerModel:
+    """An attacker who spoofs indicators but does not suppress them."""
+    return AttackerModel(name="spoofing", spoof_capability=capability)

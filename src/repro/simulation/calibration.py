@@ -1,0 +1,96 @@
+"""Scenario calibrations for the human-receiver simulation.
+
+The stage-probability model in :mod:`repro.core.probabilities` is generic.
+To reproduce the *shape* of the findings the paper's case studies lean on
+(Egelman et al.'s warning study, Wu et al.'s toolbar study, Gaw & Felten's
+password-reuse survey, ...), each simulated scenario can supply a
+:class:`StageCalibration` that rescales stage probabilities and sets the
+behavioural constants the engine needs (e.g. how likely a user who
+misunderstands a blocking warning is to override it anyway).
+
+Calibrations deliberately stay simple: one multiplicative factor per stage,
+clamped back into the valid probability band.  The provenance of every
+non-neutral constant used by the case-study experiments is documented in
+:mod:`repro.studies`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+from ..core.exceptions import CalibrationError
+from ..core.probabilities import clamp_probability
+from ..core.stages import Stage
+
+__all__ = ["StageCalibration"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StageCalibration:
+    """Multiplicative calibration of the stage-probability model.
+
+    Parameters
+    ----------
+    stage_multipliers:
+        Per-stage multiplicative factors applied to the generic stage
+        probabilities (1.0 = leave unchanged).
+    intention_multiplier / capability_multiplier:
+        Factors applied to the intention and capability gate probabilities.
+    override_given_misunderstanding:
+        For blocking communications: probability that a receiver who fails
+        comprehension or knowledge acquisition nevertheless finds and uses
+        the override, reaching the hazard.  Egelman et al. observed that
+        most confused users retried the original link instead and "failed
+        safely"; the default reflects that.
+    user_noise_std:
+        Standard deviation of per-user noise added to stage probabilities,
+        modelling heterogeneity the trait distributions do not capture.
+    label:
+        Name for reports.
+    """
+
+    stage_multipliers: Mapping[Stage, float] = dataclasses.field(default_factory=dict)
+    intention_multiplier: float = 1.0
+    capability_multiplier: float = 1.0
+    override_given_misunderstanding: float = 0.3
+    user_noise_std: float = 0.05
+    label: str = "neutral"
+
+    def __post_init__(self) -> None:
+        for stage, multiplier in self.stage_multipliers.items():
+            if not isinstance(stage, Stage):
+                raise CalibrationError(f"stage multipliers must be keyed by Stage, got {stage!r}")
+            if multiplier < 0:
+                raise CalibrationError(f"multiplier for {stage} must be non-negative")
+        for name in ("intention_multiplier", "capability_multiplier"):
+            if getattr(self, name) < 0:
+                raise CalibrationError(f"{name} must be non-negative")
+        if not 0.0 <= self.override_given_misunderstanding <= 1.0:
+            raise CalibrationError("override_given_misunderstanding must be in [0, 1]")
+        if self.user_noise_std < 0:
+            raise CalibrationError("user_noise_std must be non-negative")
+
+    @classmethod
+    def neutral(cls) -> "StageCalibration":
+        """A calibration that leaves the generic model untouched."""
+        return cls()
+
+    def multiplier_for(self, stage: Stage) -> float:
+        return self.stage_multipliers.get(stage, 1.0)
+
+    def apply_stage(self, stage: Stage, probability: float) -> float:
+        """Apply the calibration to one stage probability."""
+        return clamp_probability(probability * self.multiplier_for(stage))
+
+    def apply_intention(self, probability: float) -> float:
+        return clamp_probability(probability * self.intention_multiplier)
+
+    def apply_capability(self, probability: float) -> float:
+        return clamp_probability(probability * self.capability_multiplier)
+
+    def with_multiplier(self, stage: Stage, multiplier: float) -> "StageCalibration":
+        """Return a copy with one stage multiplier replaced."""
+        updated = dict(self.stage_multipliers)
+        updated[stage] = multiplier
+        return dataclasses.replace(self, stage_multipliers=updated)

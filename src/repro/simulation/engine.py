@@ -1,0 +1,327 @@
+"""The human-receiver simulation engine.
+
+The engine is the substrate that stands in for the human-subject studies
+the paper cites: it draws receivers from a :class:`PopulationSpec`, walks
+each one through the framework pipeline (communication delivery →
+communication processing → application → intention and capability gates →
+behavior) with stage probabilities from
+:mod:`repro.core.probabilities` (optionally rescaled by a
+:class:`~repro.simulation.calibration.StageCalibration`), and records where
+each receiver failed and whether the hazard was ultimately avoided.
+
+Outcome semantics mirror the case studies:
+
+* For **blocking** communications (the Firefox and active IE anti-phishing
+  warnings), the safe outcome is the default: a receiver only reaches the
+  hazard by explicitly overriding.  Receivers who never understand the
+  warning mostly "fail safely"; receivers who decide to ignore it override
+  and are unprotected.
+* For **passive** communications (the passive IE warning, toolbar
+  indicators), the hazard proceeds by default: any failure before a
+  successful protective action leaves the receiver unprotected.
+* A receiver facing a **spoofed** indicator (attacker interference) is
+  unprotected regardless of their own processing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..core import probabilities
+from ..core.behavior import BehaviorOutcome
+from ..core.communication import ActivenessLevel, Communication
+from ..core.exceptions import SimulationError
+from ..core.impediments import Environment
+from ..core.receiver import HumanReceiver
+from ..core.stages import Stage, StageOutcome, StageTrace
+from ..core.task import HumanSecurityTask
+from .attacker import AttackerModel
+from .calibration import StageCalibration
+from .metrics import ReceiverRecord, SimulationResult
+from .population import PopulationSpec
+from .rng import SimulationRng
+
+__all__ = ["SimulationConfig", "HumanLoopSimulator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration for one simulation run."""
+
+    n_receivers: int = 500
+    seed: int = 0
+    calibration: StageCalibration = dataclasses.field(default_factory=StageCalibration.neutral)
+    attacker: Optional[AttackerModel] = None
+
+    def __post_init__(self) -> None:
+        if self.n_receivers < 0:
+            raise SimulationError("n_receivers must be non-negative")
+        if self.seed < 0:
+            raise SimulationError("seed must be non-negative")
+
+
+class HumanLoopSimulator:
+    """Monte-Carlo simulator of humans in the loop of a secure system."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+
+    # -- public API -------------------------------------------------------------
+
+    def simulate_task(
+        self,
+        task: HumanSecurityTask,
+        population: PopulationSpec,
+        n_receivers: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> SimulationResult:
+        """Simulate ``n_receivers`` independent receivers encountering the task."""
+        count = self.config.n_receivers if n_receivers is None else n_receivers
+        if count < 0:
+            raise SimulationError("n_receivers must be non-negative")
+        base_seed = self.config.seed if seed is None else seed
+        rng = SimulationRng(base_seed)
+
+        result = SimulationResult(
+            task_name=task.name,
+            population_name=population.name,
+            seed=base_seed,
+            calibration_label=self.config.calibration.label,
+        )
+        for index in range(count):
+            receiver_rng = rng.spawn(index)
+            receiver = population.sample(receiver_rng, name=f"{population.name}-{index}")
+            record = self.simulate_receiver(task, receiver, receiver_rng, index=index)
+            result.records.append(record)
+        return result
+
+    def simulate_receiver(
+        self,
+        task: HumanSecurityTask,
+        receiver: HumanReceiver,
+        rng: SimulationRng,
+        index: int = 0,
+    ) -> ReceiverRecord:
+        """Simulate a single receiver's encounter with the task."""
+        calibration = self.config.calibration
+        environment = self._effective_environment(task.environment)
+        communication = task.communication
+        trace = StageTrace()
+
+        if communication is None:
+            return self._simulate_without_communication(task, receiver, rng, index, trace)
+
+        # Attacker spoofing defeats the receiver regardless of processing.
+        if rng.bernoulli(environment.spoof_probability):
+            return ReceiverRecord(
+                index=index,
+                receiver_name=receiver.name,
+                trace=trace,
+                outcome=BehaviorOutcome.FAILURE,
+                protected=False,
+                spoofed=True,
+                note="indicator spoofed by attacker",
+            )
+
+        default_safe = self._default_safe(communication)
+        noise = rng.truncated_normal(0.0, calibration.user_noise_std, -0.2, 0.2)
+
+        # -- pipeline stages ---------------------------------------------------
+        applicability = probabilities.applicable_stages(communication)
+        for stage, applies in applicability.items():
+            if not applies and stage is not Stage.BEHAVIOR:
+                trace.skip(stage)
+        stage_functions = {
+            Stage.ATTENTION_SWITCH: lambda: probabilities.attention_switch_probability(
+                communication, environment, receiver
+            ),
+            Stage.ATTENTION_MAINTENANCE: lambda: probabilities.attention_maintenance_probability(
+                communication, environment, receiver
+            ),
+            Stage.COMPREHENSION: lambda: probabilities.comprehension_probability(
+                communication, receiver
+            ),
+            Stage.KNOWLEDGE_ACQUISITION: lambda: probabilities.knowledge_acquisition_probability(
+                communication, receiver
+            ),
+            Stage.KNOWLEDGE_RETENTION: lambda: probabilities.knowledge_retention_probability(
+                communication, receiver
+            ),
+            Stage.KNOWLEDGE_TRANSFER: lambda: probabilities.knowledge_transfer_probability(
+                communication, receiver
+            ),
+        }
+
+        for stage in (
+            Stage.ATTENTION_SWITCH,
+            Stage.ATTENTION_MAINTENANCE,
+            Stage.COMPREHENSION,
+            Stage.KNOWLEDGE_ACQUISITION,
+            Stage.KNOWLEDGE_RETENTION,
+            Stage.KNOWLEDGE_TRANSFER,
+        ):
+            if not applicability[stage]:
+                continue
+            probability = calibration.apply_stage(
+                stage, probabilities.clamp_probability(stage_functions[stage]() + noise)
+            )
+            succeeded = rng.bernoulli(probability)
+            trace.record(StageOutcome(stage=stage, succeeded=succeeded, probability=probability))
+            if not succeeded:
+                return self._resolve_stage_failure(
+                    task, receiver, rng, index, trace, stage, default_safe
+                )
+
+        # -- intention gate -----------------------------------------------------
+        intention_p = calibration.apply_intention(
+            probabilities.clamp_probability(
+                probabilities.intention_probability(communication, receiver) + noise
+            )
+        )
+        if not rng.bernoulli(intention_p):
+            # The receiver understood but decided not to comply: with a
+            # blocking communication this means deliberately overriding.
+            return ReceiverRecord(
+                index=index,
+                receiver_name=receiver.name,
+                trace=trace,
+                outcome=BehaviorOutcome.FAILURE,
+                protected=False,
+                intention_failed=True,
+                note="decided not to comply",
+            )
+
+        # -- capability gate ----------------------------------------------------
+        capability_p = calibration.apply_capability(
+            probabilities.capability_probability(task, receiver)
+        )
+        if not rng.bernoulli(capability_p):
+            outcome = BehaviorOutcome.FAILED_SAFE if default_safe else BehaviorOutcome.FAILURE
+            return ReceiverRecord(
+                index=index,
+                receiver_name=receiver.name,
+                trace=trace,
+                outcome=outcome,
+                protected=outcome.hazard_avoided,
+                capability_failed=True,
+                note="not capable of completing the action",
+            )
+
+        # -- behavior stage -----------------------------------------------------
+        behavior_p = calibration.apply_stage(
+            Stage.BEHAVIOR,
+            probabilities.behavior_success_probability(task.task_design, receiver),
+        )
+        behavior_ok = rng.bernoulli(behavior_p)
+        trace.record(
+            StageOutcome(stage=Stage.BEHAVIOR, succeeded=behavior_ok, probability=behavior_p)
+        )
+        if behavior_ok:
+            return ReceiverRecord(
+                index=index,
+                receiver_name=receiver.name,
+                trace=trace,
+                outcome=BehaviorOutcome.SUCCESS,
+                protected=True,
+            )
+        outcome = BehaviorOutcome.FAILED_SAFE if default_safe else BehaviorOutcome.FAILURE
+        return ReceiverRecord(
+            index=index,
+            receiver_name=receiver.name,
+            trace=trace,
+            outcome=outcome,
+            protected=outcome.hazard_avoided,
+            failed_stage=Stage.BEHAVIOR,
+            note="behavior-stage error (slip, lapse, or execution gulf)",
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _effective_environment(self, environment: Environment) -> Environment:
+        if self.config.attacker is None:
+            return environment
+        return self.config.attacker.apply_to(environment)
+
+    @staticmethod
+    def _default_safe(communication: Communication) -> bool:
+        """Whether the hazard is blocked unless the receiver overrides."""
+        return communication.activeness_level is ActivenessLevel.BLOCKING
+
+    def _simulate_without_communication(
+        self,
+        task: HumanSecurityTask,
+        receiver: HumanReceiver,
+        rng: SimulationRng,
+        index: int,
+        trace: StageTrace,
+    ) -> ReceiverRecord:
+        """No triggering communication: only self-motivated experts act."""
+        self_initiated = probabilities.clamp_probability(
+            0.1 * receiver.personal_variables.expertise
+        )
+        if rng.bernoulli(self_initiated):
+            return ReceiverRecord(
+                index=index,
+                receiver_name=receiver.name,
+                trace=trace,
+                outcome=BehaviorOutcome.SUCCESS,
+                protected=True,
+                note="self-initiated protective action (no communication)",
+            )
+        return ReceiverRecord(
+            index=index,
+            receiver_name=receiver.name,
+            trace=trace,
+            outcome=BehaviorOutcome.NO_ACTION,
+            protected=False,
+            note="no communication; no protective action taken",
+        )
+
+    def _resolve_stage_failure(
+        self,
+        task: HumanSecurityTask,
+        receiver: HumanReceiver,
+        rng: SimulationRng,
+        index: int,
+        trace: StageTrace,
+        stage: Stage,
+        default_safe: bool,
+    ) -> ReceiverRecord:
+        """Translate a failed pipeline stage into an outcome."""
+        calibration = self.config.calibration
+
+        if stage is Stage.ATTENTION_SWITCH:
+            if default_safe:
+                # A blocking communication cannot really go unnoticed; the
+                # hazard remains blocked even for an inattentive receiver.
+                outcome = BehaviorOutcome.FAILED_SAFE
+            else:
+                outcome = BehaviorOutcome.NO_ACTION
+        elif stage in (
+            Stage.ATTENTION_MAINTENANCE,
+            Stage.COMPREHENSION,
+            Stage.KNOWLEDGE_ACQUISITION,
+        ):
+            if default_safe:
+                # Misunderstanding a blocking warning usually fails safe
+                # (Egelman et al.: confused users retried the link and never
+                # reached the site); a minority find the override anyway.
+                overrode = rng.bernoulli(calibration.override_given_misunderstanding)
+                outcome = BehaviorOutcome.FAILURE if overrode else BehaviorOutcome.FAILED_SAFE
+            else:
+                outcome = BehaviorOutcome.FAILURE
+        else:
+            # Retention / transfer failures (training and policy): the
+            # knowledge is simply not applied when needed.
+            outcome = BehaviorOutcome.FAILURE
+
+        return ReceiverRecord(
+            index=index,
+            receiver_name=receiver.name,
+            trace=trace,
+            outcome=outcome,
+            protected=outcome.hazard_avoided,
+            failed_stage=stage,
+            note=f"failed at {stage.value}",
+        )

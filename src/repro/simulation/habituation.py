@@ -1,0 +1,112 @@
+"""Habituation dynamics over repeated exposures.
+
+Section 2.3.1: "communication delivery may also be impacted by habituation,
+the tendency for the impact of a stimuli to decrease over time as people
+become more accustomed to it.  In practice this means that over time users
+may ignore security indicators that they observe frequently."
+
+The static habituation factor lives in
+:func:`repro.core.probabilities.habituation_factor`; this module adds the
+*dynamics*: a per-user :class:`HabituationState` that tracks exposures per
+communication (with recovery during exposure-free gaps) and a
+:func:`simulate_exposure_series` helper used by the active-vs-passive
+ablation benchmark to trace how notice rates decay over a sequence of
+exposures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..core.communication import Communication
+from ..core.exceptions import SimulationError
+from ..core.impediments import Environment
+from ..core.probabilities import attention_switch_probability, habituation_factor
+from ..core.receiver import HumanReceiver, typical_receiver
+from .rng import SimulationRng
+
+__all__ = ["HabituationState", "ExposurePoint", "simulate_exposure_series"]
+
+
+@dataclasses.dataclass
+class HabituationState:
+    """Per-user habituation bookkeeping.
+
+    Exposure counts are tracked per communication name.  ``recover`` models
+    the partial recovery of attention after a period without exposures
+    (habituation is not permanent): each recovery step removes a fraction
+    of the accumulated exposures.
+    """
+
+    exposures: Dict[str, float] = dataclasses.field(default_factory=dict)
+    recovery_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.recovery_rate <= 1.0:
+            raise SimulationError("recovery_rate must be in [0, 1]")
+
+    def exposure_count(self, communication: Communication) -> float:
+        """Effective exposure count, including any baked-in prior exposures."""
+        return self.exposures.get(communication.name, float(communication.habituation_exposures))
+
+    def record_exposure(self, communication: Communication) -> None:
+        """Record one more exposure to the communication."""
+        current = self.exposure_count(communication)
+        self.exposures[communication.name] = current + 1.0
+
+    def recover(self, periods: int = 1) -> None:
+        """Apply ``periods`` exposure-free recovery steps to every communication."""
+        if periods < 0:
+            raise SimulationError("periods must be non-negative")
+        factor = (1.0 - self.recovery_rate) ** periods
+        for name in list(self.exposures):
+            self.exposures[name] *= factor
+
+    def attention_factor(self, communication: Communication) -> float:
+        """Current habituation multiplier for a communication."""
+        count = self.exposure_count(communication)
+        return habituation_factor(int(round(count)), communication.activeness)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExposurePoint:
+    """One point of an exposure series: notice probability and realization."""
+
+    exposure_index: int
+    notice_probability: float
+    noticed: bool
+
+
+def simulate_exposure_series(
+    communication: Communication,
+    environment: Optional[Environment] = None,
+    receiver: Optional[HumanReceiver] = None,
+    exposures: int = 20,
+    rng: Optional[SimulationRng] = None,
+) -> List[ExposurePoint]:
+    """Trace notice probability and outcomes over repeated exposures.
+
+    Each exposure updates the habituation state before the next notice
+    probability is computed, so the series shows the decay the paper warns
+    about — and shows that the decay is much steeper for passive
+    communications than for blocking ones.
+    """
+    if exposures < 0:
+        raise SimulationError("exposures must be non-negative")
+    environment = environment or Environment.typical_desktop()
+    receiver = receiver or typical_receiver()
+    rng = rng or SimulationRng(0)
+    state = HabituationState()
+
+    series: List[ExposurePoint] = []
+    for index in range(exposures):
+        count = state.exposure_count(communication)
+        exposed_communication = communication.with_exposures(int(round(count)))
+        probability = attention_switch_probability(exposed_communication, environment, receiver)
+        noticed = rng.bernoulli(probability)
+        series.append(
+            ExposurePoint(exposure_index=index, notice_probability=probability, noticed=noticed)
+        )
+        state.record_exposure(communication)
+    return series

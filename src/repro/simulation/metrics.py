@@ -1,0 +1,170 @@
+"""Simulation results and aggregate metrics.
+
+A :class:`SimulationResult` collects the per-receiver records produced by
+the engine and exposes the aggregates the benchmarks report: protection
+rate, heed rate, outcome distribution, and the per-stage failure breakdown
+that mirrors the way the paper's case studies walk through the framework
+components.  :func:`comparison_table` renders several results side by side
+(e.g. Firefox vs. IE-active vs. IE-passive vs. no warning).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.behavior import BehaviorOutcome
+from ..core.exceptions import SimulationError
+from ..core.stages import Stage, StageTrace
+
+__all__ = ["ReceiverRecord", "SimulationResult", "comparison_table", "render_comparison_markdown"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReceiverRecord:
+    """Outcome of one simulated receiver's encounter with the task."""
+
+    index: int
+    receiver_name: str
+    trace: StageTrace
+    outcome: BehaviorOutcome
+    protected: bool
+    failed_stage: Optional[Stage] = None
+    intention_failed: bool = False
+    capability_failed: bool = False
+    spoofed: bool = False
+    note: str = ""
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Aggregated result of simulating one task over a population."""
+
+    task_name: str
+    population_name: str
+    records: List[ReceiverRecord] = dataclasses.field(default_factory=list)
+    seed: int = 0
+    calibration_label: str = "neutral"
+
+    def __post_init__(self) -> None:
+        if not self.task_name:
+            raise SimulationError("task_name must be non-empty")
+
+    # -- core rates ------------------------------------------------------------
+
+    @property
+    def n_receivers(self) -> int:
+        return len(self.records)
+
+    def _fraction(self, count: int) -> float:
+        if not self.records:
+            return 0.0
+        return count / len(self.records)
+
+    def protection_rate(self) -> float:
+        """Fraction of receivers for whom the hazard was avoided."""
+        return self._fraction(sum(1 for record in self.records if record.protected))
+
+    def heed_rate(self) -> float:
+        """Fraction of receivers who completed the desired action correctly."""
+        return self._fraction(
+            sum(1 for record in self.records if record.outcome is BehaviorOutcome.SUCCESS)
+        )
+
+    def failure_rate(self) -> float:
+        """Fraction of receivers for whom the hazard was *not* avoided."""
+        return 1.0 - self.protection_rate()
+
+    def notice_rate(self) -> float:
+        """Fraction of receivers who passed the attention-switch stage."""
+        noticed = 0
+        evaluated = 0
+        for record in self.records:
+            outcome = record.trace.outcome_for(Stage.ATTENTION_SWITCH)
+            if outcome is None:
+                continue
+            evaluated += 1
+            if outcome.succeeded:
+                noticed += 1
+        if evaluated == 0:
+            return 0.0
+        return noticed / evaluated
+
+    # -- breakdowns ------------------------------------------------------------
+
+    def outcome_counts(self) -> Dict[BehaviorOutcome, int]:
+        counts: Dict[BehaviorOutcome, int] = {outcome: 0 for outcome in BehaviorOutcome}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts
+
+    def stage_failure_counts(self) -> Dict[Stage, int]:
+        """How many receivers failed first at each stage."""
+        counts: Dict[Stage, int] = {}
+        for record in self.records:
+            if record.failed_stage is not None:
+                counts[record.failed_stage] = counts.get(record.failed_stage, 0) + 1
+        return counts
+
+    def stage_failure_fractions(self) -> Dict[Stage, float]:
+        return {
+            stage: self._fraction(count)
+            for stage, count in self.stage_failure_counts().items()
+        }
+
+    def intention_failure_rate(self) -> float:
+        """Fraction of receivers who noticed/understood but chose not to comply."""
+        return self._fraction(sum(1 for record in self.records if record.intention_failed))
+
+    def capability_failure_rate(self) -> float:
+        """Fraction of receivers who intended to comply but were not capable."""
+        return self._fraction(sum(1 for record in self.records if record.capability_failed))
+
+    def spoofed_rate(self) -> float:
+        return self._fraction(sum(1 for record in self.records if record.spoofed))
+
+    def dominant_failure_stage(self) -> Optional[Stage]:
+        """The stage where most first-failures occur, if any failures occurred."""
+        counts = self.stage_failure_counts()
+        if not counts:
+            return None
+        return max(counts, key=lambda stage: counts[stage])
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics as a flat dictionary (used by the benchmarks)."""
+        return {
+            "n_receivers": float(self.n_receivers),
+            "protection_rate": self.protection_rate(),
+            "heed_rate": self.heed_rate(),
+            "notice_rate": self.notice_rate(),
+            "intention_failure_rate": self.intention_failure_rate(),
+            "capability_failure_rate": self.capability_failure_rate(),
+        }
+
+
+def comparison_table(
+    results: Mapping[str, SimulationResult]
+) -> List[Dict[str, float]]:
+    """Build comparison rows (one per scenario) from named results."""
+    rows: List[Dict[str, float]] = []
+    for label, result in results.items():
+        row: Dict[str, float] = {"scenario": label}  # type: ignore[dict-item]
+        row.update(result.summary())
+        rows.append(row)
+    return rows
+
+
+def render_comparison_markdown(results: Mapping[str, SimulationResult]) -> str:
+    """Render named results as a Markdown comparison table."""
+    lines = [
+        "| Scenario | N | Protection | Heed | Notice | Intention failures | Capability failures |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for label, result in results.items():
+        lines.append(
+            f"| {label} | {result.n_receivers} | "
+            f"{result.protection_rate():.1%} | {result.heed_rate():.1%} | "
+            f"{result.notice_rate():.1%} | {result.intention_failure_rate():.1%} | "
+            f"{result.capability_failure_rate():.1%} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Encoded findings from the user studies the paper cites.
+
+Each module encodes one cited study as a :class:`~repro.studies.base.Study`
+with the headline :class:`~repro.studies.base.Finding` values our
+simulations are calibrated against.  See DESIGN.md for the substitution
+rationale (we simulate populations instead of re-running the studies).
+"""
+
+from .base import Finding, Study
+from .registry import ALL_STUDIES, StudyRegistry, registry
+
+__all__ = ["Finding", "Study", "ALL_STUDIES", "StudyRegistry", "registry"]

@@ -1,0 +1,44 @@
+"""Adams & Sasse (CACM 1999): users are not the enemy.
+
+Reference [1].  The classic study of password behaviour in organizations:
+users circumvent password policies not out of malice but because the
+policies demand more memory than humans have and conflict with getting
+work done; frequent forced changes make compliance worse.
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="adams_sasse1999",
+    citation=(
+        "A. Adams and M. A. Sasse. Users are not the enemy: why users compromise "
+        "computer security mechanisms and how to take remedial measures. "
+        "Communications of the ACM 42(12), 1999."
+    ),
+    year=1999,
+    paper_reference_number=1,
+    findings=(
+        Finding(
+            key="noncompliance_is_workload_driven",
+            statement=(
+                "Non-compliance with password policies is driven by memory limits "
+                "and conflict with primary work, not by malice."
+            ),
+            component=Component.MOTIVATION,
+        ),
+        Finding(
+            key="expiry_worsens_compliance",
+            statement=(
+                "Frequent mandatory password changes increase write-downs, reuse, "
+                "and weak-password workarounds."
+            ),
+            value=0.3,
+            component=Component.CAPABILITIES,
+        ),
+    ),
+)

@@ -1,0 +1,90 @@
+"""Common types for the empirical-study registry.
+
+The paper's case studies rest on findings from published user studies
+(Egelman et al., Wu et al., Gaw & Felten, Kuo et al., ...).  We cannot
+re-run those studies; instead each one is encoded as a :class:`Study`
+containing the headline :class:`Finding` values our simulations are
+calibrated against.  Every finding records its provenance so the chain
+from paper claim → cited study → calibration constant → simulated result
+is auditable.
+
+The numeric values are approximations of the cited studies' headline
+results, adequate for reproducing orderings and rough magnitudes (the
+"shape" of the case-study conclusions), not exact replications.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..core.components import Component
+from ..core.exceptions import ModelError
+
+__all__ = ["Finding", "Study"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One headline finding from a cited study.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier used by calibrations and benchmarks, e.g.
+        ``"active_warning_heed_rate"``.
+    statement:
+        The finding in words.
+    value:
+        The numeric reading used for calibration, when one exists (rates
+        are fractions in [0, 1]).
+    component:
+        The framework component the finding is evidence about, when there
+        is a single obvious one.
+    """
+
+    key: str
+    statement: str
+    value: Optional[float] = None
+    component: Optional[Component] = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ModelError("finding key must be non-empty")
+        if not self.statement:
+            raise ModelError("finding statement must be non-empty")
+
+
+@dataclasses.dataclass(frozen=True)
+class Study:
+    """A cited user study and the findings we encode from it."""
+
+    study_id: str
+    citation: str
+    year: int
+    findings: Tuple[Finding, ...]
+    paper_reference_number: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.study_id:
+            raise ModelError("study_id must be non-empty")
+        keys = [finding.key for finding in self.findings]
+        if len(keys) != len(set(keys)):
+            raise ModelError(f"duplicate finding keys in study {self.study_id!r}")
+
+    def finding(self, key: str) -> Finding:
+        """Look up a finding by key."""
+        for item in self.findings:
+            if item.key == key:
+                return item
+        raise KeyError(f"study {self.study_id!r} has no finding {key!r}")
+
+    def value(self, key: str) -> float:
+        """Numeric value of a finding (raises if the finding is qualitative)."""
+        finding = self.finding(key)
+        if finding.value is None:
+            raise ModelError(f"finding {key!r} of study {self.study_id!r} has no numeric value")
+        return finding.value
+
+    def keys(self) -> List[str]:
+        return [finding.key for finding in self.findings]

@@ -1,0 +1,43 @@
+"""Davis, Monrose & Reiter (USENIX Security 2004): user choice in graphical passwords.
+
+Reference [7].  Students using a face-based graphical password scheme
+tended to select attractive faces of their own race; knowing a user's race
+and gender lets an attacker substantially reduce the number of guesses —
+the paper's example of *predictable behavior* at the behavior stage.
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="davis2004",
+    citation=(
+        "D. Davis, F. Monrose, and M. K. Reiter. On User Choice in Graphical "
+        "Password Schemes. USENIX Security 2004."
+    ),
+    year=2004,
+    paper_reference_number=7,
+    findings=(
+        Finding(
+            key="face_choice_predictability",
+            statement=(
+                "Face-based graphical password choices are strongly predictable "
+                "from the user's race and gender."
+            ),
+            value=0.55,
+            component=Component.BEHAVIOR,
+        ),
+        Finding(
+            key="guessing_advantage",
+            statement=(
+                "An attacker who knows a user's demographics can substantially "
+                "reduce the number of guesses needed."
+            ),
+            component=Component.BEHAVIOR,
+        ),
+    ),
+)

@@ -1,0 +1,53 @@
+"""Dhamija, Tygar & Hearst (CHI 2006): why phishing works.
+
+Reference [9].  The study showed participants legitimate and spoofed
+websites and found that well-crafted phishing sites fooled the large
+majority of participants, that many participants ignore browser security
+cues entirely, and that participants' mental models of what makes a site
+legitimate are often wrong (focusing on content and logos rather than
+indicators).
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="dhamija2006",
+    citation=(
+        "R. Dhamija, J. D. Tygar, and M. Hearst. Why phishing works. CHI 2006."
+    ),
+    year=2006,
+    paper_reference_number=9,
+    findings=(
+        Finding(
+            key="best_phish_fool_rate",
+            statement=(
+                "The best phishing site in the study fooled about 90% of "
+                "participants."
+            ),
+            value=0.9,
+            component=Component.KNOWLEDGE_AND_EXPERIENCE,
+        ),
+        Finding(
+            key="ignore_browser_cues_rate",
+            statement=(
+                "Roughly a quarter of participants did not look at browser-based "
+                "cues (address bar, status bar, security indicators) at all."
+            ),
+            value=0.23,
+            component=Component.ATTENTION_SWITCH,
+        ),
+        Finding(
+            key="wrong_legitimacy_mental_model",
+            statement=(
+                "Participants judged legitimacy from page content, logos, and "
+                "polish — signals attackers fully control."
+            ),
+            component=Component.KNOWLEDGE_AND_EXPERIENCE,
+        ),
+    ),
+)

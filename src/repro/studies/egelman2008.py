@@ -1,0 +1,117 @@
+"""Egelman, Cranor & Hong (CHI 2008): browser phishing-warning effectiveness.
+
+Reference [12] of the paper and the primary empirical grounding for the
+anti-phishing case study (Section 3.1).  The study exposed participants to
+spear-phishing messages and measured how the Firefox active warning, the
+IE7 active warning, and the IE7 passive warning affected whether
+participants reached the phishing site.
+
+Headline readings encoded below (approximate):
+
+* Nearly all participants noticed the active (blocking) warnings; the
+  large majority heeded them.
+* The passive IE warning was frequently not noticed at all (it loads a few
+  seconds late and is dismissed by typing) and protected only a small
+  minority.
+* Some participants confused the IE active warning with routine error
+  pages; Firefox's visually distinct warning was understood more often.
+* Users without a mental model of phishing assumed a transient site
+  problem and retried the emailed link — a mistake that nevertheless
+  "failed safely".
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="egelman2008",
+    citation=(
+        "S. Egelman, L. F. Cranor, and J. Hong. You've Been Warned: An Empirical "
+        "Study of the Effectiveness of Web Browser Phishing Warnings. CHI 2008."
+    ),
+    year=2008,
+    paper_reference_number=12,
+    findings=(
+        Finding(
+            key="active_warning_protection_rate",
+            statement=(
+                "The large majority of participants shown an active (blocking) "
+                "phishing warning did not reach the phishing site."
+            ),
+            value=0.85,
+            component=Component.COMMUNICATION,
+        ),
+        Finding(
+            key="firefox_warning_protection_rate",
+            statement=(
+                "Essentially all Firefox participants were protected; none "
+                "entered credentials on the phishing site."
+            ),
+            value=0.95,
+            component=Component.COMMUNICATION,
+        ),
+        Finding(
+            key="passive_warning_protection_rate",
+            statement=(
+                "Only a small minority of participants shown the passive IE "
+                "warning were protected from the phishing site."
+            ),
+            value=0.13,
+            component=Component.ATTENTION_SWITCH,
+        ),
+        Finding(
+            key="passive_warning_notice_rate",
+            statement=(
+                "Many participants never noticed the passive IE warning, which "
+                "loads late and is dismissed by typing into the page."
+            ),
+            value=0.45,
+            component=Component.ATTENTION_SWITCH,
+        ),
+        Finding(
+            key="active_warning_notice_rate",
+            statement="Participants reliably noticed the Firefox and active IE warnings.",
+            value=0.97,
+            component=Component.ATTENTION_SWITCH,
+        ),
+        Finding(
+            key="warning_belief_rate",
+            statement=(
+                "Most users who read the warnings believed they should heed them "
+                "and were motivated to do so."
+            ),
+            value=0.8,
+            component=Component.ATTITUDES_AND_BELIEFS,
+        ),
+        Finding(
+            key="ie_warning_confused_with_routine",
+            statement=(
+                "Some users erroneously believed the IE warning was a routine "
+                "error page such as a 404, because it resembles other IE warnings."
+            ),
+            value=0.25,
+            component=Component.COMPREHENSION,
+        ),
+        Finding(
+            key="override_because_option_offered",
+            statement=(
+                "A few users reasoned that because an option to proceed was "
+                "offered, the risk could not be severe."
+            ),
+            value=0.1,
+            component=Component.ATTITUDES_AND_BELIEFS,
+        ),
+        Finding(
+            key="mistaken_retry_fails_safe",
+            statement=(
+                "Users with inaccurate mental models repeatedly re-clicked the "
+                "emailed link; the mistake still kept them off the site (fail-safe)."
+            ),
+            component=Component.BEHAVIOR,
+        ),
+    ),
+)

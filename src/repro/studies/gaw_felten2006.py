@@ -1,0 +1,52 @@
+"""Gaw & Felten (SOUPS 2006): password management strategies.
+
+Reference [16].  The survey/study of online-account password management
+found widespread password reuse that increases as people accumulate more
+accounts, because people cannot remember many distinct passwords — the
+capability failure at the heart of the password-policy case study.
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="gaw_felten2006",
+    citation=(
+        "S. Gaw and E. W. Felten. Password management strategies for online "
+        "accounts. SOUPS 2006."
+    ),
+    year=2006,
+    paper_reference_number=16,
+    findings=(
+        Finding(
+            key="password_reuse_rate",
+            statement=(
+                "Most users reuse passwords across accounts; reuse increases as "
+                "the number of accounts grows."
+            ),
+            value=0.6,
+            component=Component.CAPABILITIES,
+        ),
+        Finding(
+            key="mean_unique_passwords",
+            statement=(
+                "Users maintain only a handful of unique passwords (about three) "
+                "regardless of how many accounts they hold."
+            ),
+            value=3.0,
+            component=Component.CAPABILITIES,
+        ),
+        Finding(
+            key="memorability_limits_compliance",
+            statement=(
+                "People justify reuse by the impossibility of remembering many "
+                "strong, distinct passwords."
+            ),
+            component=Component.CAPABILITIES,
+        ),
+    ),
+)

@@ -1,0 +1,54 @@
+"""Kuo, Romanosky & Cranor (SOUPS 2006): mnemonic phrase-based passwords.
+
+Reference [23].  The study found that users can follow password-creation
+guidance (they are capable of creating compliant passwords), understand
+typical password guidance, but when advised to build passwords from
+mnemonic phrases they often pick well-known phrases — leaving the result
+more predictable than intended.
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="kuo2006",
+    citation=(
+        "C. Kuo, S. Romanosky, and L. F. Cranor. Human selection of mnemonic "
+        "phrase-based passwords. SOUPS 2006."
+    ),
+    year=2006,
+    paper_reference_number=23,
+    findings=(
+        Finding(
+            key="can_create_compliant_passwords",
+            statement=(
+                "Users are capable of following typical password guidance to "
+                "create policy-compliant passwords."
+            ),
+            value=0.85,
+            component=Component.CAPABILITIES,
+        ),
+        Finding(
+            key="understand_password_guidance",
+            statement=(
+                "Most people now understand typical password security guidance "
+                "and know what they are supposed to do to apply it."
+            ),
+            value=0.8,
+            component=Component.COMPREHENSION,
+        ),
+        Finding(
+            key="mnemonic_phrases_predictable",
+            statement=(
+                "Users advised to use mnemonic phrases often select well-known "
+                "phrases, making the resulting passwords more predictable."
+            ),
+            value=0.4,
+            component=Component.BEHAVIOR,
+        ),
+    ),
+)

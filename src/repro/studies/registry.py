@@ -1,0 +1,89 @@
+"""Registry of every encoded study.
+
+Provides keyed access to all encoded studies and to individual findings,
+so calibrations, system models, and benchmarks can cite them as
+``registry.value("egelman2008", "passive_warning_protection_rate")``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.exceptions import ModelError
+from . import (
+    adams_sasse1999,
+    davis2004,
+    dhamija2006,
+    egelman2008,
+    gaw_felten2006,
+    kuo2006,
+    sheng2007,
+    thorpe2007,
+    whalen2005,
+    wu2006,
+)
+from .base import Finding, Study
+
+__all__ = ["ALL_STUDIES", "StudyRegistry", "registry"]
+
+ALL_STUDIES: Tuple[Study, ...] = (
+    adams_sasse1999.STUDY,
+    davis2004.STUDY,
+    dhamija2006.STUDY,
+    egelman2008.STUDY,
+    gaw_felten2006.STUDY,
+    kuo2006.STUDY,
+    sheng2007.STUDY,
+    thorpe2007.STUDY,
+    whalen2005.STUDY,
+    wu2006.STUDY,
+)
+
+
+class StudyRegistry:
+    """Keyed access to the encoded studies and findings."""
+
+    def __init__(self, studies: Tuple[Study, ...] = ALL_STUDIES) -> None:
+        self._studies: Dict[str, Study] = {}
+        for study in studies:
+            if study.study_id in self._studies:
+                raise ModelError(f"duplicate study id {study.study_id!r}")
+            self._studies[study.study_id] = study
+
+    def __len__(self) -> int:
+        return len(self._studies)
+
+    def __contains__(self, study_id: str) -> bool:
+        return study_id in self._studies
+
+    def study(self, study_id: str) -> Study:
+        if study_id not in self._studies:
+            raise KeyError(f"unknown study {study_id!r}")
+        return self._studies[study_id]
+
+    def study_ids(self) -> List[str]:
+        return sorted(self._studies)
+
+    def finding(self, study_id: str, key: str) -> Finding:
+        return self.study(study_id).finding(key)
+
+    def value(self, study_id: str, key: str) -> float:
+        """Numeric value of a finding, e.g. a protection rate."""
+        return self.study(study_id).value(key)
+
+    def findings_for_component(self, component) -> List[Tuple[Study, Finding]]:
+        """Every finding tagged with a given framework component."""
+        matches: List[Tuple[Study, Finding]] = []
+        for study in self._studies.values():
+            for finding in study.findings:
+                if finding.component is component:
+                    matches.append((study, finding))
+        return matches
+
+    def bibliography(self) -> List[str]:
+        """Citation strings for every encoded study, sorted by id."""
+        return [self._studies[study_id].citation for study_id in self.study_ids()]
+
+
+#: Module-level registry most callers use.
+registry = StudyRegistry()

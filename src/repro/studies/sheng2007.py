@@ -1,0 +1,44 @@
+"""Sheng et al. (SOUPS 2007): Anti-Phishing Phil training game.
+
+Reference [33].  An interactive training game teaching users to identify
+phishing URLs improved detection without increasing false positives;
+evidence that engaging, interactive training improves knowledge
+acquisition, retention, and transfer relative to reading static material.
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="sheng2007",
+    citation=(
+        "S. Sheng, B. Magnien, P. Kumaraguru, A. Acquisti, L. F. Cranor, J. Hong, "
+        "and E. Nunge. Anti-Phishing Phil: The Design and Evaluation of a Game "
+        "That Teaches People Not to Fall for Phish. SOUPS 2007."
+    ),
+    year=2007,
+    paper_reference_number=33,
+    findings=(
+        Finding(
+            key="training_detection_improvement",
+            statement=(
+                "Game-based training substantially improved users' ability to "
+                "identify phishing web sites compared with existing materials."
+            ),
+            value=0.4,
+            component=Component.KNOWLEDGE_ACQUISITION,
+        ),
+        Finding(
+            key="interactive_training_retention",
+            statement=(
+                "Interactive, involving training improves retention and transfer "
+                "relative to passive reading."
+            ),
+            component=Component.KNOWLEDGE_RETENTION,
+        ),
+    ),
+)

@@ -1,0 +1,44 @@
+"""Thorpe & van Oorschot (USENIX Security 2007): graphical-password hot spots.
+
+Reference [34].  Background images used in click-based graphical password
+schemes have a small number of popular "hot spots" from which users tend to
+select their click points; human-seeded attacks exploiting them
+substantially reduce the guessing effort — the paper's second example of
+predictable behavior.
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="thorpe2007",
+    citation=(
+        "J. Thorpe and P. C. van Oorschot. Human-Seeded Attacks and Exploiting "
+        "Hot-Spots in Graphical Passwords. USENIX Security 2007."
+    ),
+    year=2007,
+    paper_reference_number=34,
+    findings=(
+        Finding(
+            key="hotspot_concentration",
+            statement=(
+                "Click-point choices concentrate on a small number of popular "
+                "hot spots in the background image."
+            ),
+            value=0.5,
+            component=Component.BEHAVIOR,
+        ),
+        Finding(
+            key="human_seeded_attack_advantage",
+            statement=(
+                "Human-seeded attacks using harvested hot spots substantially "
+                "reduce the number of guesses required."
+            ),
+            component=Component.BEHAVIOR,
+        ),
+    ),
+)

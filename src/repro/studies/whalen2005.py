@@ -1,0 +1,43 @@
+"""Whalen & Inkpen (GI 2005): eye-tracking of browser security cues.
+
+Reference [35].  Using an eye tracker, the study found that most users do
+not even attempt to look for the SSL lock icon when visiting SSL-enabled
+websites — direct evidence for attention-switch failures of passive
+chrome indicators.
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="whalen2005",
+    citation=(
+        "T. Whalen and K. M. Inkpen. Gathering evidence: use of visual security "
+        "cues in web browsers. Graphics Interface 2005."
+    ),
+    year=2005,
+    paper_reference_number=35,
+    findings=(
+        Finding(
+            key="lock_icon_not_looked_at_rate",
+            statement=(
+                "Most users do not even attempt to look for the SSL lock icon "
+                "when visiting SSL-enabled websites."
+            ),
+            value=0.65,
+            component=Component.ATTENTION_SWITCH,
+        ),
+        Finding(
+            key="lock_icon_never_noticed",
+            statement=(
+                "Some users have never noticed the presence of the SSL lock icon "
+                "in their web browser."
+            ),
+            component=Component.ATTENTION_SWITCH,
+        ),
+    ),
+)

@@ -1,0 +1,54 @@
+"""Wu, Miller & Garfinkel (CHI 2006): do security toolbars prevent phishing?
+
+Reference [39].  The study simulated three passive anti-phishing toolbar
+indicators and found them largely ineffective: a quarter of participants
+claimed they had not noticed the toolbars even after being told to look for
+them, and many participants who did notice them did not heed them because
+the toolbar conflicted with their primary goal of completing the task.
+"""
+
+from __future__ import annotations
+
+from ..core.components import Component
+from .base import Finding, Study
+
+__all__ = ["STUDY"]
+
+STUDY = Study(
+    study_id="wu2006",
+    citation=(
+        "M. Wu, R. C. Miller, and S. L. Garfinkel. Do security toolbars actually "
+        "prevent phishing attacks? CHI 2006."
+    ),
+    year=2006,
+    paper_reference_number=39,
+    findings=(
+        Finding(
+            key="toolbar_not_noticed_rate",
+            statement=(
+                "25% of participants claimed they had not noticed the passive "
+                "toolbar warnings, even after being explicitly instructed to look "
+                "for them."
+            ),
+            value=0.25,
+            component=Component.ATTENTION_SWITCH,
+        ),
+        Finding(
+            key="toolbar_spoof_success_rate",
+            statement=(
+                "A substantial fraction of participants were fooled by phishing "
+                "sites despite the passive toolbar indicators being present."
+            ),
+            value=0.66,
+            component=Component.BEHAVIOR,
+        ),
+        Finding(
+            key="primary_task_dominates",
+            statement=(
+                "Participants focused on completing their primary task and "
+                "rationalized away the toolbar's warnings."
+            ),
+            component=Component.MOTIVATION,
+        ),
+    ),
+)

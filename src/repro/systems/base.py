@@ -1,0 +1,66 @@
+"""Shared infrastructure for the modeled secure systems.
+
+Every module in :mod:`repro.systems` builds concrete
+:class:`~repro.core.task.SecureSystem` instances from the core task model.
+This module provides the small amount of shared machinery they need: a
+:class:`SystemBuilder` registration decorator and the
+:func:`available_systems` / :func:`build` lookup API used by the catalog,
+examples, and benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from ..core.exceptions import ModelError
+from ..core.task import SecureSystem
+
+__all__ = ["SystemBuilder", "register_system", "available_systems", "build"]
+
+_BUILDERS: Dict[str, "SystemBuilder"] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemBuilder:
+    """A named builder for a modeled secure system."""
+
+    name: str
+    description: str
+    builder: Callable[[], SecureSystem]
+
+    def build(self) -> SecureSystem:
+        system = self.builder()
+        system.validate()
+        return system
+
+
+def register_system(name: str, description: str) -> Callable[[Callable[[], SecureSystem]], Callable[[], SecureSystem]]:
+    """Decorator registering a zero-argument system builder under ``name``."""
+
+    def decorator(builder: Callable[[], SecureSystem]) -> Callable[[], SecureSystem]:
+        if name in _BUILDERS:
+            raise ModelError(f"system builder {name!r} already registered")
+        _BUILDERS[name] = SystemBuilder(name=name, description=description, builder=builder)
+        return builder
+
+    return decorator
+
+
+def available_systems() -> List[str]:
+    """Names of every registered system builder."""
+    return sorted(_BUILDERS)
+
+
+def build(name: str) -> SecureSystem:
+    """Build a registered system by name."""
+    if name not in _BUILDERS:
+        raise ModelError(f"unknown system {name!r}; known: {available_systems()}")
+    return _BUILDERS[name].build()
+
+
+def builder_for(name: str) -> SystemBuilder:
+    """Return the registered builder record for ``name``."""
+    if name not in _BUILDERS:
+        raise ModelError(f"unknown system {name!r}; known: {available_systems()}")
+    return _BUILDERS[name]

@@ -1,0 +1,34 @@
+"""Catalog of every modeled secure system.
+
+Importing this module ensures every system module has registered its
+builder, then exposes the lookup API.  Examples, tests, and benchmarks use
+:func:`all_systems` to iterate the complete inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.task import SecureSystem
+from . import (  # noqa: F401  (imported for their registration side effects)
+    antiphishing,
+    email_attachments,
+    file_permissions,
+    graphical_passwords,
+    passwords,
+    smartcard,
+    ssl_indicators,
+)
+from .base import available_systems, build, builder_for
+
+__all__ = ["available_systems", "build", "builder_for", "all_systems", "system_descriptions"]
+
+
+def all_systems() -> Dict[str, SecureSystem]:
+    """Build every registered system, keyed by catalog name."""
+    return {name: build(name) for name in available_systems()}
+
+
+def system_descriptions() -> Dict[str, str]:
+    """Catalog name → one-line description for every registered system."""
+    return {name: builder_for(name).description for name in available_systems()}

@@ -1,0 +1,122 @@
+"""Judging suspicious email attachments: a training-dependent human task.
+
+Section 1 gives this as an example of a task where "a human may be a better
+judge than a computer about whether an email attachment is suspicious in a
+particular context", and Section 2.4 uses the naïve "it's from someone I
+know" plan as its canonical GEMS *mistake*.  The triggering communication
+here is anti-phishing/safe-attachment training, so the knowledge retention
+and transfer stages of the framework are fully exercised.
+"""
+
+from __future__ import annotations
+
+from ..core.behavior import TaskDesign
+from ..core.communication import (
+    Communication,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+)
+from ..core.impediments import Environment, StimulusKind
+from ..core.receiver import Capabilities
+from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.population import PopulationSpec, organization_population
+from .base import register_system
+
+__all__ = ["attachment_training", "judge_attachment_task", "build_system", "population"]
+
+
+def attachment_training(interactive: bool = False) -> Communication:
+    """Security-awareness training about handling email attachments.
+
+    ``interactive`` distinguishes engaging, game-style training (better
+    knowledge acquisition, retention, and transfer per Sheng et al. and
+    Kumaraguru et al.) from a static handbook section.
+    """
+    return Communication(
+        name="attachment-handling-training" + ("-interactive" if interactive else ""),
+        comm_type=CommunicationType.TRAINING,
+        activeness=0.5 if interactive else 0.2,
+        hazard=HazardProfile(
+            severity=HazardSeverity.CRITICAL,
+            frequency=HazardFrequency.FREQUENT,
+            user_action_necessity=0.7,
+            description="Malware delivered through email attachments.",
+        ),
+        clarity=0.8 if interactive else 0.6,
+        includes_instructions=True,
+        explains_risk=True,
+        length_words=150 if interactive else 600,
+        channel=DeliveryChannel.WEB_PAGE if interactive else DeliveryChannel.DOCUMENT,
+        conspicuity=0.6 if interactive else 0.3,
+        allows_override=True,
+        description="Training on recognizing and handling suspicious attachments.",
+    )
+
+
+def judge_attachment_task(interactive_training: bool = False) -> HumanSecurityTask:
+    """Decide whether an incoming attachment is safe to open."""
+    environment = Environment(description="Employee triaging a full inbox")
+    environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.65, "working through email")
+    environment.add_stimulus(StimulusKind.UNRELATED_COMMUNICATION, 0.3, "other messages arriving")
+    return HumanSecurityTask(
+        name="judge-email-attachment"
+        + ("-interactive-training" if interactive_training else ""),
+        description=(
+            "Decide, using context the filtering software lacks, whether an "
+            "email attachment is suspicious before opening it."
+        ),
+        communication=attachment_training(interactive=interactive_training),
+        task_design=TaskDesign(
+            steps=3,
+            controls_discoverable=0.7,
+            feedback_quality=0.3,
+            controls_distinguishable=0.8,
+            guidance_through_steps=False,
+        ),
+        capability_requirements=Capabilities(
+            knowledge_to_act=0.5,
+            cognitive_skill=0.5,
+            physical_skill=0.1,
+            memory_capacity=0.3,
+            has_required_software=False,
+            has_required_device=False,
+        ),
+        environment=environment,
+        security_critical=True,
+        automation=AutomationProfile(
+            can_fully_automate=False,
+            automation_accuracy=0.8,
+            automation_false_positive_rate=0.1,
+            human_information_advantage=0.7,
+            automation_cost=0.3,
+            vendor_constraints=(
+                "The human's knowledge of context (expected invoices, ongoing "
+                "conversations) is hard to capture in an automated filter."
+            ),
+        ),
+        desired_action="Open only attachments that are expected and consistent with their context.",
+        failure_consequence="Malware executed from a malicious attachment.",
+    )
+
+
+def build_system() -> SecureSystem:
+    return SecureSystem(
+        name="email-attachment-judgment",
+        description=(
+            "Employees act as the last line of defense against malicious email "
+            "attachments, guided by security-awareness training."
+        ),
+        tasks=[judge_attachment_task(False), judge_attachment_task(True)],
+    )
+
+
+register_system("email-attachments", "Judging suspicious email attachments after training")(
+    build_system
+)
+
+
+def population() -> PopulationSpec:
+    return organization_population()

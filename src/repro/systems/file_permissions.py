@@ -1,0 +1,108 @@
+"""Windows file-permission management: a gulf-of-evaluation system.
+
+Section 2.4 cites Maxion and Reeder: "users have trouble determining
+effective file permissions in Windows XP.  Thus, when users change file
+permissions settings, it is difficult for them to determine whether they
+have achieved the desired outcome" — the canonical wide gulf of
+evaluation.  Two task variants are modeled: the stock XP permissions
+interface and an improved interface with an effective-permissions
+visualization (Maxion & Reeder's Salmon-style mitigation).
+"""
+
+from __future__ import annotations
+
+from ..core.behavior import TaskDesign
+from ..core.communication import (
+    Communication,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+)
+from ..core.impediments import Environment, StimulusKind
+from ..core.receiver import Capabilities
+from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.population import PopulationSpec, organization_population
+from .base import register_system
+
+__all__ = ["permissions_indicator", "set_permissions_task", "build_system", "population"]
+
+
+def permissions_indicator(improved: bool = False) -> Communication:
+    """The permissions dialog treated as a status indicator / notice."""
+    return Communication(
+        name="file-permissions-display" + ("-improved" if improved else ""),
+        comm_type=CommunicationType.STATUS_INDICATOR,
+        activeness=0.4,
+        hazard=HazardProfile(
+            severity=HazardSeverity.HIGH,
+            frequency=HazardFrequency.OCCASIONAL,
+            user_action_necessity=1.0,
+            description="Sensitive files exposed to unintended principals.",
+        ),
+        clarity=0.8 if improved else 0.35,
+        includes_instructions=improved,
+        length_words=50,
+        channel=DeliveryChannel.DIALOG,
+        conspicuity=0.6,
+        description=(
+            "The dialog showing a file's access-control settings (and, in the "
+            "improved variant, the computed effective permissions)."
+        ),
+    )
+
+
+def set_permissions_task(improved_interface: bool = False) -> HumanSecurityTask:
+    """Set file permissions so only the intended principals have access."""
+    design = TaskDesign(
+        steps=5,
+        controls_discoverable=0.6,
+        feedback_quality=0.85 if improved_interface else 0.25,
+        controls_distinguishable=0.6,
+        guidance_through_steps=improved_interface,
+    )
+    environment = Environment(description="Sharing a project folder under deadline pressure")
+    environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.6, "the project work itself")
+    return HumanSecurityTask(
+        name="set-file-permissions" + ("-improved" if improved_interface else ""),
+        description=(
+            "Change a file's permissions so exactly the intended people can "
+            "access it, and confirm the change took effect."
+        ),
+        communication=permissions_indicator(improved=improved_interface),
+        task_design=design,
+        capability_requirements=Capabilities(
+            knowledge_to_act=0.55,
+            cognitive_skill=0.55,
+            physical_skill=0.1,
+            memory_capacity=0.2,
+            has_required_software=False,
+            has_required_device=False,
+        ),
+        environment=environment,
+        security_critical=True,
+        automation=AutomationProfile(
+            can_fully_automate=False,
+            automation_accuracy=0.6,
+            human_information_advantage=0.8,
+            vendor_constraints="Only the user knows who should have access to the file.",
+        ),
+        desired_action="Grant access to exactly the intended principals and verify the result.",
+        failure_consequence="Sensitive files readable or writable by unintended principals.",
+    )
+
+
+def build_system() -> SecureSystem:
+    return SecureSystem(
+        name="file-permissions-management",
+        description="Users manage access-control settings on their own files (Maxion & Reeder).",
+        tasks=[set_permissions_task(False), set_permissions_task(True)],
+    )
+
+
+register_system("file-permissions", "File-permission management (Maxion & Reeder)")(build_system)
+
+
+def population() -> PopulationSpec:
+    return organization_population()

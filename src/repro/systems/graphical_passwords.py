@@ -1,0 +1,134 @@
+"""Graphical passwords: success that is predictably exploitable.
+
+Section 2.4 uses graphical passwords as the example of the second
+behavior-stage question in Table 1 — "Does behavior follow predictable
+patterns that an attacker might exploit?":
+
+* Davis et al.: users of a face-based scheme pick attractive faces of
+  their own race, so demographics alone shrink the guess space.
+* Thorpe & van Oorschot: click-based schemes concentrate on image "hot
+  spots" that human-seeded attacks can harvest.
+
+Both scheme variants are modeled, plus a constrained variant that applies
+the paper's mitigation ("prevent users from behaving in ways that fit
+known patterns").
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..core.behavior import TaskDesign
+from ..core.communication import (
+    Communication,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+)
+from ..core.impediments import Environment
+from ..core.receiver import Capabilities
+from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.population import PopulationSpec, general_web_population
+from ..studies.registry import registry
+from .base import register_system
+
+__all__ = ["Scheme", "enrollment_guidance", "choose_password_task", "build_system", "population"]
+
+
+class Scheme(enum.Enum):
+    """Graphical password schemes, plus a pattern-constrained variant."""
+
+    FACE_BASED = "face_based"
+    CLICK_BASED = "click_based"
+    CLICK_BASED_CONSTRAINED = "click_based_constrained"
+
+    @property
+    def choice_predictability(self) -> float:
+        """How predictable typical user choices are under this scheme."""
+        if self is Scheme.FACE_BASED:
+            return registry.value("davis2004", "face_choice_predictability")
+        if self is Scheme.CLICK_BASED:
+            return registry.value("thorpe2007", "hotspot_concentration")
+        # The constrained variant rejects choices that fall into known
+        # hot spots, leaving substantially less exploitable structure.
+        return 0.15
+
+
+def enrollment_guidance(scheme: Scheme) -> Communication:
+    """The enrollment-time guidance shown when choosing a graphical password."""
+    return Communication(
+        name=f"graphical-password-guidance-{scheme.value}",
+        comm_type=CommunicationType.NOTICE,
+        activeness=0.6,
+        hazard=HazardProfile(
+            severity=HazardSeverity.HIGH,
+            frequency=HazardFrequency.RARE,
+            user_action_necessity=1.0,
+            description="Account compromise through guessable graphical passwords.",
+        ),
+        clarity=0.7,
+        includes_instructions=True,
+        explains_risk=scheme is Scheme.CLICK_BASED_CONSTRAINED,
+        length_words=60,
+        channel=DeliveryChannel.IN_PAGE,
+        conspicuity=0.7,
+        description="Instructions shown during graphical-password enrollment.",
+    )
+
+
+def choose_password_task(scheme: Scheme) -> HumanSecurityTask:
+    """Choose a graphical password that an attacker cannot predict."""
+    return HumanSecurityTask(
+        name=f"choose-graphical-password-{scheme.value}",
+        description="Select a graphical password during enrollment.",
+        communication=enrollment_guidance(scheme),
+        task_design=TaskDesign(
+            steps=3,
+            controls_discoverable=0.85,
+            feedback_quality=0.7,
+            controls_distinguishable=0.85,
+            guidance_through_steps=True,
+            requires_unpredictable_choice=True,
+            choice_predictability=scheme.choice_predictability,
+        ),
+        capability_requirements=Capabilities(
+            knowledge_to_act=0.2,
+            cognitive_skill=0.3,
+            physical_skill=0.2,
+            memory_capacity=0.3,
+            has_required_software=False,
+            has_required_device=False,
+        ),
+        environment=Environment(description="Account enrollment"),
+        security_critical=True,
+        automation=AutomationProfile(
+            can_fully_automate=True,
+            automation_accuracy=0.9,
+            automation_false_positive_rate=0.0,
+            human_information_advantage=0.3,
+            automation_cost=0.3,
+            vendor_constraints=(
+                "System-assigned graphical passwords resist prediction but are "
+                "harder to remember; constraint-based filtering is the usual compromise."
+            ),
+        ),
+        desired_action="Choose password elements that do not follow known popular patterns.",
+        failure_consequence="An attacker exploiting choice patterns guesses the password quickly.",
+    )
+
+
+def build_system() -> SecureSystem:
+    return SecureSystem(
+        name="graphical-passwords",
+        description="Graphical password enrollment where user choices may be predictable.",
+        tasks=[choose_password_task(scheme) for scheme in Scheme],
+    )
+
+
+register_system("graphical-passwords", "Graphical password choice predictability")(build_system)
+
+
+def population() -> PopulationSpec:
+    return general_web_population()

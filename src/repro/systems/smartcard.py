@@ -1,0 +1,154 @@
+"""Cryptographic smartcard handling: gulfs of execution and evaluation.
+
+Section 2.4 cites Piazzalunga et al.'s usability study of cryptographic
+smart cards: users had trouble figuring out how to insert the cards (gulf
+of execution) and could not tell when a card had been inserted properly
+(gulf of evaluation).  The recommended mitigations — visual cues printed on
+the card, feedback from the reader — map directly onto
+:func:`repro.norman.gulfs.assess_gulfs`.  A second task models the
+"remove the card before walking away" requirement from Section 1, a
+lapse-prone step with no triggering communication at all.
+"""
+
+from __future__ import annotations
+
+from ..core.behavior import TaskDesign
+from ..core.communication import (
+    Communication,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+)
+from ..core.impediments import Environment, StimulusKind
+from ..core.receiver import Capabilities
+from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.population import PopulationSpec, organization_population
+from .base import register_system
+
+__all__ = [
+    "insertion_instructions",
+    "insert_card_task",
+    "remove_card_task",
+    "build_system",
+    "population",
+]
+
+
+def insertion_instructions(improved: bool = False) -> Communication:
+    """Instructions for inserting the card.
+
+    ``improved=True`` models the Piazzalunga et al. recommendations:
+    visual cues printed on the card and feedback from the reader.
+    """
+    return Communication(
+        name="smartcard-insertion-instructions" + ("-improved" if improved else ""),
+        comm_type=CommunicationType.NOTICE,
+        activeness=0.3,
+        hazard=HazardProfile(
+            severity=HazardSeverity.MODERATE,
+            frequency=HazardFrequency.CONSTANT,
+            user_action_necessity=1.0,
+            description="Authentication fails or the card is damaged by incorrect insertion.",
+        ),
+        clarity=0.85 if improved else 0.4,
+        includes_instructions=True,
+        length_words=20,
+        channel=DeliveryChannel.DOCUMENT,
+        conspicuity=0.7 if improved else 0.3,
+        description="Printed guidance on how to insert the smartcard into the reader.",
+    )
+
+
+def insert_card_task(improved_design: bool = False) -> HumanSecurityTask:
+    """Insert the smartcard correctly to authenticate."""
+    design = TaskDesign(
+        steps=2,
+        controls_discoverable=0.85 if improved_design else 0.4,
+        feedback_quality=0.85 if improved_design else 0.3,
+        controls_distinguishable=0.8,
+        guidance_through_steps=improved_design,
+    )
+    return HumanSecurityTask(
+        name="insert-smartcard" + ("-improved" if improved_design else ""),
+        description="Insert the cryptographic smartcard into the reader correctly.",
+        communication=insertion_instructions(improved=improved_design),
+        task_design=design,
+        capability_requirements=Capabilities(
+            knowledge_to_act=0.3,
+            cognitive_skill=0.3,
+            physical_skill=0.4,
+            memory_capacity=0.1,
+            has_required_software=False,
+            has_required_device=True,
+        ),
+        environment=Environment(
+            stimuli=[],
+            description="Starting the work day at the desk",
+        ),
+        security_critical=True,
+        automation=AutomationProfile(
+            can_fully_automate=False,
+            automation_accuracy=0.0,
+            human_information_advantage=1.0,
+            vendor_constraints="A physical token must be physically handled by the human.",
+        ),
+        desired_action="Insert the card fully, chip-side correct, and wait for the reader light.",
+        failure_consequence="Authentication unavailable; users work around the smartcard system.",
+    )
+
+
+def remove_card_task() -> HumanSecurityTask:
+    """Remove the card before walking away — a lapse-prone step with no prompt."""
+    environment = Environment(description="Leaving the desk for a meeting")
+    environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.7, "rushing to the next meeting")
+    return HumanSecurityTask(
+        name="remove-smartcard-on-leaving",
+        description=(
+            "Remove the smartcard from the reader before walking away from the "
+            "computer."
+        ),
+        communication=None,
+        task_design=TaskDesign(
+            steps=1,
+            controls_discoverable=0.9,
+            feedback_quality=0.5,
+            controls_distinguishable=0.95,
+        ),
+        capability_requirements=Capabilities(
+            knowledge_to_act=0.1,
+            cognitive_skill=0.1,
+            physical_skill=0.2,
+            memory_capacity=0.3,
+            has_required_software=False,
+            has_required_device=True,
+        ),
+        environment=environment,
+        security_critical=True,
+        automation=AutomationProfile(
+            can_fully_automate=True,
+            automation_accuracy=0.9,
+            automation_false_positive_rate=0.02,
+            human_information_advantage=0.1,
+            automation_cost=0.3,
+            vendor_constraints="Proximity-based auto-lock reduces reliance on remembering.",
+        ),
+        desired_action="Take the card when leaving the workstation.",
+        failure_consequence="An unattended, authenticated session protected only by the forgotten card.",
+    )
+
+
+def build_system() -> SecureSystem:
+    return SecureSystem(
+        name="smartcard-authentication",
+        description="Smartcard-based authentication relying on correct physical handling.",
+        tasks=[insert_card_task(False), insert_card_task(True), remove_card_task()],
+    )
+
+
+register_system("smartcard", "Cryptographic smartcard handling (Piazzalunga et al.)")(build_system)
+
+
+def population() -> PopulationSpec:
+    return organization_population()

@@ -1,0 +1,128 @@
+"""SSL lock-icon indicator: a passive status indicator under attack.
+
+Section 2.2 and 2.3.1 use the SSL lock icon repeatedly: some users have
+never noticed it, eye-tracking shows most users do not look for it, its
+meaning is widely misunderstood, and malicious servers can spoof it (Ye et
+al.).  This model expresses the "verify the connection is protected before
+entering sensitive data" task so those failure modes fall out of the
+framework analysis and the simulation.
+"""
+
+from __future__ import annotations
+
+from ..core.behavior import TaskDesign
+from ..core.communication import (
+    Communication,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+)
+from ..core.impediments import (
+    Environment,
+    Interference,
+    InterferenceSource,
+    StimulusKind,
+)
+from ..core.receiver import Capabilities
+from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.population import PopulationSpec, general_web_population
+from .base import register_system
+
+__all__ = ["lock_icon_indicator", "verify_connection_task", "build_system", "population"]
+
+
+def lock_icon_indicator(habituation_exposures: int = 25) -> Communication:
+    """The browser-chrome SSL lock icon as a passive status indicator."""
+    return Communication(
+        name="ssl-lock-icon",
+        comm_type=CommunicationType.STATUS_INDICATOR,
+        activeness=0.1,
+        hazard=HazardProfile(
+            severity=HazardSeverity.HIGH,
+            frequency=HazardFrequency.CONSTANT,
+            user_action_necessity=0.6,
+            description="Submitting sensitive data over an unprotected or spoofed connection.",
+        ),
+        clarity=0.3,
+        includes_instructions=False,
+        explains_risk=False,
+        resembles_low_risk_communications=False,
+        length_words=1,
+        channel=DeliveryChannel.BROWSER_CHROME,
+        conspicuity=0.2,
+        allows_override=True,
+        false_positive_rate=0.0,
+        habituation_exposures=habituation_exposures,
+        description="A small padlock symbol in the browser chrome.",
+    )
+
+
+def verify_connection_task(spoofing_capability: float = 0.3) -> HumanSecurityTask:
+    """Check the lock icon (and certificate) before entering sensitive data."""
+    environment = Environment(description="User completing a purchase or login")
+    environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.7, "completing the form")
+    environment.competing_indicator_count = 4
+    if spoofing_capability > 0:
+        environment.add_interference(
+            Interference(
+                source=InterferenceSource.MALICIOUS_ATTACKER,
+                spoof_probability=spoofing_capability,
+                description="Malicious server displays a spoofed lock icon (Ye et al.).",
+            )
+        )
+    return HumanSecurityTask(
+        name="verify-ssl-before-submitting",
+        description=(
+            "Before entering sensitive data, confirm the connection is protected "
+            "by checking the lock icon and, ideally, the certificate."
+        ),
+        communication=lock_icon_indicator(),
+        task_design=TaskDesign(
+            steps=2,
+            controls_discoverable=0.5,
+            feedback_quality=0.4,
+            controls_distinguishable=0.7,
+        ),
+        capability_requirements=Capabilities(
+            knowledge_to_act=0.5,
+            cognitive_skill=0.4,
+            physical_skill=0.1,
+            memory_capacity=0.2,
+            has_required_software=False,
+            has_required_device=False,
+        ),
+        environment=environment,
+        security_critical=True,
+        automation=AutomationProfile(
+            can_fully_automate=True,
+            automation_accuracy=0.9,
+            automation_false_positive_rate=0.05,
+            human_information_advantage=0.2,
+            automation_cost=0.3,
+            vendor_constraints=(
+                "Browsers increasingly enforce HTTPS automatically rather than "
+                "relying on users to check indicators."
+            ),
+        ),
+        desired_action="Verify the indicator and withhold data if the connection is unprotected.",
+        failure_consequence="Sensitive data submitted over an unprotected or attacker-controlled channel.",
+    )
+
+
+def build_system() -> SecureSystem:
+    """The SSL-indicator system (with a moderately capable spoofing attacker)."""
+    return SecureSystem(
+        name="ssl-lock-indicator",
+        description="Passive SSL lock-icon indicator relied on to gate sensitive submissions.",
+        tasks=[verify_connection_task()],
+    )
+
+
+register_system("ssl-indicator", "Passive SSL lock-icon status indicator")(build_system)
+
+
+def population() -> PopulationSpec:
+    """General web users, as in the anti-phishing case study."""
+    return general_web_population()

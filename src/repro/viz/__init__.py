@@ -1,0 +1,15 @@
+"""Graph construction and plain-text figure renderings."""
+
+from .diagrams import render_figure_1, render_figure_2, render_figure_3
+from .graphs import assign_layers, chip_graph, framework_graph, graph_statistics, to_dot
+
+__all__ = [
+    "framework_graph",
+    "chip_graph",
+    "assign_layers",
+    "to_dot",
+    "graph_statistics",
+    "render_figure_1",
+    "render_figure_2",
+    "render_figure_3",
+]

@@ -1,0 +1,104 @@
+"""Plain-text renderings of the paper's figures.
+
+The library is terminal-first, so the figures are reproduced as ASCII
+diagrams: Figure 1 (the framework), Figure 2 (the four-step process), and
+Figure 3 (the C-HIP model).  The renderings are generated from the same
+structured encodings the analysis uses, so they stay consistent with the
+model by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..chip.model import CHIP_STAGE_ORDER, CHIPStage
+from ..core.checklist import TABLE_1
+from ..core.components import Component, ComponentGroup, GROUP_MEMBERS
+from ..core.process import ProcessStep
+
+__all__ = ["render_figure_1", "render_figure_2", "render_figure_3"]
+
+
+def _box(title: str, lines: List[str], width: int = 46) -> List[str]:
+    inner = max(width - 4, len(title), *(len(line) for line in lines)) if lines else max(
+        width - 4, len(title)
+    )
+    top = "+" + "-" * (inner + 2) + "+"
+    out = [top, f"| {title.center(inner)} |", "+" + "-" * (inner + 2) + "+"]
+    for line in lines:
+        out.append(f"| {line.ljust(inner)} |")
+    out.append(top)
+    return out
+
+
+def render_figure_1() -> str:
+    """ASCII rendering of the human-in-the-loop framework (Figure 1)."""
+    def members(group: ComponentGroup) -> List[str]:
+        return [f"- {component.title}" for component in GROUP_MEMBERS[group]]
+
+    parts: List[str] = []
+    parts.extend(_box("COMMUNICATION", ["warning / notice / status indicator", "training / policy"]))
+    parts.append("        |")
+    parts.append("        v")
+    parts.extend(
+        _box(
+            "COMMUNICATION IMPEDIMENTS",
+            members(ComponentGroup.COMMUNICATION_IMPEDIMENTS),
+        )
+    )
+    parts.append("        |")
+    parts.append("        v")
+    receiver_lines: List[str] = []
+    receiver_lines.append("Personal variables:")
+    receiver_lines.extend("  " + line for line in members(ComponentGroup.PERSONAL_VARIABLES))
+    receiver_lines.append("Intentions:")
+    receiver_lines.extend("  " + line for line in members(ComponentGroup.INTENTIONS))
+    receiver_lines.append("Capabilities:")
+    receiver_lines.extend("  " + line for line in members(ComponentGroup.CAPABILITIES))
+    receiver_lines.append("Communication delivery:")
+    receiver_lines.extend("  " + line for line in members(ComponentGroup.COMMUNICATION_DELIVERY))
+    receiver_lines.append("Communication processing:")
+    receiver_lines.extend("  " + line for line in members(ComponentGroup.COMMUNICATION_PROCESSING))
+    receiver_lines.append("Application:")
+    receiver_lines.extend("  " + line for line in members(ComponentGroup.APPLICATION))
+    parts.extend(_box("HUMAN RECEIVER", receiver_lines))
+    parts.append("        |")
+    parts.append("        v")
+    parts.extend(_box("BEHAVIOR", ["successful completion?", "predictable / exploitable?"]))
+    return "\n".join(parts)
+
+
+def render_figure_2() -> str:
+    """ASCII rendering of the human threat identification and mitigation process."""
+    steps = [
+        ("1. Task identification", "enumerate security-critical human tasks"),
+        ("2. Task automation", "automate or default away what can be automated"),
+        ("3. Failure identification", "apply the framework to the remaining tasks"),
+        ("4. Failure mitigation", "support the humans; re-enter at any step"),
+    ]
+    lines: List[str] = []
+    for index, (title, detail) in enumerate(steps):
+        lines.extend(_box(title, [detail], width=52))
+        if index < len(steps) - 1:
+            lines.append("        |")
+            lines.append("        v")
+    lines.append("        |")
+    lines.append("        +----(iterate: revisit earlier steps as needed)")
+    return "\n".join(lines)
+
+
+def render_figure_3() -> str:
+    """ASCII rendering of the C-HIP model (Figure 3)."""
+    lines: List[str] = []
+    lines.extend(_box("SOURCE", []))
+    lines.append("   |")
+    lines.append("   v")
+    lines.extend(_box("CHANNEL", ["(+ environmental stimuli)"]))
+    lines.append("   |")
+    lines.append("   v")
+    receiver = [stage.value.replace("_", " ") for stage in CHIP_STAGE_ORDER if stage is not CHIPStage.BEHAVIOR]
+    lines.extend(_box("RECEIVER", [f"- {name}" for name in receiver]))
+    lines.append("   |")
+    lines.append("   v")
+    lines.extend(_box("BEHAVIOR", ["(feedback returns to the source)"]))
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Graph construction for the paper's figures.
+
+Figures 1 and 3 of the paper are structural diagrams; this module builds
+them as :class:`networkx.DiGraph` objects (delegating to the model classes)
+and adds the layout / export helpers the benchmarks and examples use:
+layer assignment for a left-to-right rendering, DOT export for Graphviz,
+and simple structural statistics used to verify the figures' inventories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from ..chip.model import CHIPModel, CHIPStage
+from ..core.components import Component, ComponentGroup
+from ..core.framework import HumanInTheLoopFramework
+
+__all__ = [
+    "framework_graph",
+    "chip_graph",
+    "assign_layers",
+    "to_dot",
+    "graph_statistics",
+]
+
+
+def framework_graph() -> "nx.DiGraph":
+    """The Figure-1 influence graph."""
+    return HumanInTheLoopFramework.influence_graph()
+
+
+def chip_graph() -> "nx.DiGraph":
+    """The Figure-3 C-HIP graph."""
+    return CHIPModel.graph()
+
+
+def assign_layers(graph: "nx.DiGraph") -> Dict[str, int]:
+    """Assign a left-to-right layer index to each node.
+
+    Layers follow the longest path from any source node (ignoring feedback
+    edges marked with ``kind="feedback"``), which matches how both figures
+    are drawn: communication/source on the left, behavior on the right.
+    """
+    working = nx.DiGraph()
+    working.add_nodes_from(graph.nodes(data=True))
+    for source, target, data in graph.edges(data=True):
+        if data.get("kind") == "feedback":
+            continue
+        working.add_edge(source, target)
+
+    layers: Dict[str, int] = {}
+    for node in nx.topological_sort(working):
+        predecessors = list(working.predecessors(node))
+        if not predecessors:
+            layers[node] = 0
+        else:
+            layers[node] = 1 + max(layers[parent] for parent in predecessors)
+    return layers
+
+
+def to_dot(graph: "nx.DiGraph", rankdir: str = "LR") -> str:
+    """Export a graph to Graphviz DOT text (no Graphviz dependency needed)."""
+    lines = [f'digraph "{graph.name or "graph"}" {{', f"  rankdir={rankdir};"]
+    for node, data in graph.nodes(data=True):
+        shape = "box" if data.get("receiver") else "ellipse"
+        lines.append(f'  "{node}" [shape={shape}];')
+    for source, target, data in graph.edges(data=True):
+        style = ' [style=dashed]' if data.get("kind") == "feedback" else ""
+        lines.append(f'  "{source}" -> "{target}"{style};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_statistics(graph: "nx.DiGraph") -> Dict[str, float]:
+    """Structural statistics used by the figure benchmarks and tests."""
+    receiver_nodes = sum(1 for _node, data in graph.nodes(data=True) if data.get("receiver"))
+    return {
+        "nodes": float(graph.number_of_nodes()),
+        "edges": float(graph.number_of_edges()),
+        "receiver_nodes": float(receiver_nodes),
+        "is_dag_without_feedback": float(
+            nx.is_directed_acyclic_graph(
+                nx.DiGraph(
+                    (source, target)
+                    for source, target, data in graph.edges(data=True)
+                    if data.get("kind") != "feedback"
+                )
+            )
+        ),
+    }

@@ -1,0 +1,69 @@
+"""Tests for the HILP-vs-C-HIP structural comparison (Section 4 claims)."""
+
+import pytest
+
+from repro.chip.comparison import MappingKind, compare_with_framework
+from repro.chip.model import CHIPStage
+from repro.core.components import Component
+
+
+class TestComparison:
+    def test_every_framework_component_mapped(self):
+        result = compare_with_framework()
+        mapped = {mapping.component for mapping in result.mappings}
+        assert mapped == set(Component)
+
+    def test_capabilities_and_interference_are_added(self):
+        result = compare_with_framework()
+        added = set(result.added_components())
+        assert added == {Component.CAPABILITIES, Component.INTERFERENCE}
+
+    def test_added_components_have_no_chip_stage(self):
+        result = compare_with_framework()
+        for component in result.added_components():
+            assert result.mapping_for(component).chip_stages == ()
+
+    def test_attention_stages_map_directly(self):
+        result = compare_with_framework()
+        assert result.mapping_for(Component.ATTENTION_SWITCH).kind is MappingKind.DIRECT
+        assert result.mapping_for(Component.ATTENTION_MAINTENANCE).kind is MappingKind.DIRECT
+
+    def test_knowledge_stages_split_from_comprehension_memory(self):
+        result = compare_with_framework()
+        for component in (
+            Component.COMPREHENSION,
+            Component.KNOWLEDGE_ACQUISITION,
+            Component.KNOWLEDGE_RETENTION,
+            Component.KNOWLEDGE_TRANSFER,
+        ):
+            mapping = result.mapping_for(component)
+            assert mapping.kind is MappingKind.SPLIT
+            assert CHIPStage.COMPREHENSION_MEMORY in mapping.chip_stages
+
+    def test_communication_generalized(self):
+        result = compare_with_framework()
+        assert result.mapping_for(Component.COMMUNICATION).kind is MappingKind.GENERALIZED
+
+    def test_coverage_counts_sum_to_component_count(self):
+        result = compare_with_framework()
+        counts = result.coverage_counts()
+        assert sum(counts.values()) == len(list(Component))
+        assert counts[MappingKind.ADDED] == 2
+
+    def test_unmapped_chip_stages_is_only_delivery(self):
+        result = compare_with_framework()
+        assert result.unmapped_chip_stages() == [CHIPStage.DELIVERY]
+
+    def test_summary_mentions_added_components(self):
+        summary = compare_with_framework().summary()
+        assert "Capabilities" in summary
+        assert "Interference" in summary
+
+    def test_every_mapping_has_rationale(self):
+        for mapping in compare_with_framework().mappings:
+            assert len(mapping.rationale) > 10
+
+    def test_mapping_for_unknown_component_raises(self):
+        result = compare_with_framework()
+        with pytest.raises(KeyError):
+            result.mapping_for("not-a-component")

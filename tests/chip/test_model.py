@@ -1,0 +1,55 @@
+"""Tests for the C-HIP model encoding (Figure 3)."""
+
+import networkx as nx
+import pytest
+
+from repro.chip.model import CHIP_STAGE_ORDER, CHIPModel, CHIPStage
+
+
+class TestCHIPStages:
+    def test_ten_elements(self):
+        assert len(list(CHIPStage)) == 10
+
+    def test_receiver_stages_are_five(self):
+        assert len(CHIPModel.receiver_stages()) == 5
+
+    def test_processing_order_ends_at_behavior(self):
+        assert CHIP_STAGE_ORDER[-1] is CHIPStage.BEHAVIOR
+        assert CHIP_STAGE_ORDER[0] is CHIPStage.ATTENTION_SWITCH
+
+    def test_source_and_channel_not_receiver_stages(self):
+        assert not CHIPStage.SOURCE.is_receiver_stage
+        assert not CHIPStage.CHANNEL.is_receiver_stage
+        assert CHIPStage.MOTIVATION.is_receiver_stage
+
+    def test_every_stage_has_description(self):
+        for stage in CHIPStage:
+            assert len(stage.description) > 10
+
+
+class TestCHIPGraph:
+    def test_graph_has_all_stages(self):
+        graph = CHIPModel.graph()
+        assert set(graph.nodes) == {stage.value for stage in CHIPStage}
+
+    def test_linear_chain_present(self):
+        graph = CHIPModel.graph()
+        for earlier, later in zip(CHIP_STAGE_ORDER, CHIP_STAGE_ORDER[1:]):
+            assert graph.has_edge(earlier.value, later.value)
+
+    def test_feedback_edge_to_source(self):
+        graph = CHIPModel.graph()
+        assert graph.has_edge(CHIPStage.BEHAVIOR.value, CHIPStage.SOURCE.value)
+        assert graph.edges[CHIPStage.BEHAVIOR.value, CHIPStage.SOURCE.value]["kind"] == "feedback"
+
+    def test_acyclic_without_feedback(self):
+        graph = CHIPModel.graph()
+        stripped = nx.DiGraph(
+            (source, target)
+            for source, target, data in graph.edges(data=True)
+            if data.get("kind") != "feedback"
+        )
+        assert nx.is_directed_acyclic_graph(stripped)
+
+    def test_model_declares_linearity(self):
+        assert CHIPModel.is_linear()

@@ -1,0 +1,186 @@
+"""Tests for the framework analysis (failure identification) rules."""
+
+import pytest
+
+from repro.core.analysis import (
+    ComponentRating,
+    SystemAnalysis,
+    TaskAnalysis,
+    analyze_system,
+    analyze_task,
+)
+from repro.core.communication import Communication, CommunicationType, HazardProfile, HazardSeverity
+from repro.core.components import Component
+from repro.core.exceptions import AnalysisError
+from repro.core.impediments import Environment, Interference, InterferenceSource, StimulusKind
+from repro.core.receiver import expert_receiver, novice_receiver
+from repro.core.stages import Stage
+from repro.core.task import HumanSecurityTask, SecureSystem
+
+
+class TestComponentRating:
+    def test_from_score_bands(self):
+        assert ComponentRating.from_score(0.9) is ComponentRating.STRONG
+        assert ComponentRating.from_score(0.7) is ComponentRating.ADEQUATE
+        assert ComponentRating.from_score(0.4) is ComponentRating.WEAK
+        assert ComponentRating.from_score(0.1) is ComponentRating.CRITICAL
+
+    def test_problematic_flags(self):
+        assert ComponentRating.CRITICAL.is_problematic
+        assert ComponentRating.WEAK.is_problematic
+        assert not ComponentRating.STRONG.is_problematic
+
+
+class TestTaskAnalysis:
+    def test_every_component_assessed(self, warning_task):
+        analysis = analyze_task(warning_task)
+        assert set(analysis.assessments) == set(Component)
+
+    def test_checklist_fully_answered(self, warning_task):
+        analysis = analyze_task(warning_task)
+        assert analysis.checklist.completion() == pytest.approx(1.0)
+
+    def test_missing_communication_is_critical(self):
+        task = HumanSecurityTask(name="silent", desired_action="act")
+        analysis = analyze_task(task)
+        communication_assessment = analysis.assessment(Component.COMMUNICATION)
+        assert communication_assessment.rating is ComponentRating.CRITICAL
+        assert any(
+            failure.component is Component.COMMUNICATION for failure in analysis.failures
+        )
+
+    def test_capability_gap_produces_capability_failure(self, memory_task):
+        analysis = analyze_task(memory_task)
+        capability_failures = analysis.failures.by_component(Component.CAPABILITIES)
+        assert capability_failures
+        assert analysis.assessment(Component.CAPABILITIES).rating.is_problematic
+
+    def test_passive_warning_in_busy_environment_flags_attention(self, passive_indicator,
+                                                                  busy_environment):
+        task = HumanSecurityTask(
+            name="notice-passive",
+            communication=passive_indicator,
+            environment=busy_environment,
+            desired_action="react to the indicator",
+        )
+        analysis = analyze_task(task)
+        assert analysis.failures.by_component(Component.ATTENTION_SWITCH)
+        assert analysis.assessment(Component.ENVIRONMENTAL_STIMULI).score < 0.8
+
+    def test_spoofable_indicator_flags_interference(self, blocking_warning):
+        environment = Environment()
+        environment.add_interference(
+            Interference(source=InterferenceSource.MALICIOUS_ATTACKER, spoof_probability=0.4)
+        )
+        task = HumanSecurityTask(
+            name="spoofable",
+            communication=blocking_warning,
+            environment=environment,
+            desired_action="act",
+        )
+        analysis = analyze_task(task)
+        assert analysis.failures.by_component(Component.INTERFERENCE)
+
+    def test_too_passive_communication_flagged(self):
+        task = HumanSecurityTask(
+            name="too-passive",
+            communication=Communication(
+                name="subtle",
+                comm_type=CommunicationType.STATUS_INDICATOR,
+                activeness=0.05,
+                conspicuity=0.1,
+                hazard=HazardProfile(severity=HazardSeverity.CRITICAL, user_action_necessity=0.95),
+            ),
+            desired_action="act",
+        )
+        analysis = analyze_task(task)
+        identifiers = [failure.identifier for failure in analysis.failures]
+        assert any("too-passive" in identifier for identifier in identifiers)
+
+    def test_expert_receiver_triggers_second_guessing_finding(self, warning_task):
+        analysis = analyze_task(warning_task, receiver=expert_receiver())
+        findings = " ".join(analysis.findings())
+        assert "second-guess" in findings
+
+    def test_novice_receiver_triggers_mental_model_failure(self, warning_task):
+        analysis = analyze_task(warning_task, receiver=novice_receiver())
+        assert analysis.failures.by_component(Component.KNOWLEDGE_AND_EXPERIENCE)
+
+    def test_success_probability_in_range(self, warning_task, memory_task):
+        for task in (warning_task, memory_task):
+            analysis = analyze_task(task)
+            assert 0.0 < analysis.success_probability < 1.0
+
+    def test_weakest_component_has_minimum_score(self, memory_task):
+        analysis = analyze_task(memory_task)
+        weakest = analysis.weakest_component()
+        weakest_score = analysis.assessment(weakest).score
+        assert all(weakest_score <= assessment.score for assessment in analysis.assessments.values())
+
+    def test_problematic_components_are_ordered_subset(self, memory_task):
+        analysis = analyze_task(memory_task)
+        problematic = analysis.problematic_components()
+        assert all(analysis.assessment(component).rating.is_problematic for component in problematic)
+        indices = [list(Component).index(component) for component in problematic]
+        assert indices == sorted(indices)
+
+    def test_retention_not_applicable_for_warnings(self, warning_task):
+        analysis = analyze_task(warning_task)
+        retention = analysis.assessment(Component.KNOWLEDGE_RETENTION)
+        assert retention.rating is ComponentRating.STRONG
+        assert any("Not applicable" in finding for finding in retention.findings)
+
+    def test_predictable_choice_flagged_at_behavior(self):
+        from repro.core.behavior import TaskDesign
+
+        task = HumanSecurityTask(
+            name="pick-graphical-password",
+            communication=Communication(name="g", comm_type=CommunicationType.NOTICE,
+                                        activeness=0.6, clarity=0.7),
+            task_design=TaskDesign(requires_unpredictable_choice=True, choice_predictability=0.6),
+            desired_action="choose unpredictably",
+        )
+        analysis = analyze_task(task)
+        behavior_failures = analysis.failures.by_component(Component.BEHAVIOR)
+        assert any(failure.behavior_kind is not None for failure in behavior_failures)
+
+
+class TestSystemAnalysis:
+    def test_system_analysis_covers_critical_tasks(self, small_system):
+        analysis = analyze_system(small_system)
+        assert set(analysis.task_analyses) == {task.name for task in small_system.tasks}
+
+    def test_merged_failures_tagged_with_system(self, small_system):
+        analysis = analyze_system(small_system)
+        assert all(failure.system_name == small_system.name for failure in analysis.failures)
+
+    def test_weakest_task_identified(self, small_system):
+        analysis = analyze_system(small_system)
+        weakest = analysis.weakest_task()
+        assert weakest in analysis.task_analyses
+        weakest_probability = analysis.task_analyses[weakest].success_probability
+        assert all(
+            weakest_probability <= task_analysis.success_probability
+            for task_analysis in analysis.task_analyses.values()
+        )
+
+    def test_mean_success_probability(self, small_system):
+        analysis = analyze_system(small_system)
+        values = [ta.success_probability for ta in analysis.task_analyses.values()]
+        assert analysis.mean_success_probability() == pytest.approx(sum(values) / len(values))
+
+    def test_missing_task_lookup_raises(self, small_system):
+        analysis = analyze_system(small_system)
+        with pytest.raises(AnalysisError):
+            analysis.analysis_for("nonexistent")
+
+    def test_noncritical_tasks_excluded(self):
+        system = SecureSystem(
+            name="s",
+            tasks=[
+                HumanSecurityTask(name="critical", desired_action="act"),
+                HumanSecurityTask(name="optional", security_critical=False),
+            ],
+        )
+        analysis = analyze_system(system)
+        assert "optional" not in analysis.task_analyses

@@ -1,0 +1,113 @@
+"""Tests for the behavior stage: outcomes, task design, and design assessment."""
+
+import pytest
+
+from repro.core.behavior import (
+    BehaviorFailureKind,
+    BehaviorOutcome,
+    TaskDesign,
+    assess_behavior_design,
+)
+from repro.core.exceptions import ModelError
+
+
+class TestBehaviorOutcome:
+    def test_hazard_avoided_semantics(self):
+        assert BehaviorOutcome.SUCCESS.hazard_avoided
+        assert BehaviorOutcome.FAILED_SAFE.hazard_avoided
+        assert BehaviorOutcome.SUCCESS_BUT_PREDICTABLE.hazard_avoided
+        assert not BehaviorOutcome.FAILURE.hazard_avoided
+        assert not BehaviorOutcome.NO_ACTION.hazard_avoided
+
+
+class TestBehaviorFailureKind:
+    def test_all_kinds_have_descriptions(self):
+        for kind in BehaviorFailureKind:
+            assert len(kind.description) > 20
+
+
+class TestTaskDesign:
+    def test_gulf_widths_complement_design_quality(self):
+        design = TaskDesign(controls_discoverable=0.3, feedback_quality=0.4)
+        assert design.gulf_of_execution == pytest.approx(0.7)
+        assert design.gulf_of_evaluation == pytest.approx(0.6)
+
+    def test_single_step_has_no_lapse_exposure(self):
+        assert TaskDesign(steps=1).lapse_exposure == 0.0
+
+    def test_lapse_exposure_grows_with_steps(self):
+        short = TaskDesign(steps=2)
+        long = TaskDesign(steps=8)
+        assert long.lapse_exposure > short.lapse_exposure
+
+    def test_guidance_reduces_lapse_exposure(self):
+        unguided = TaskDesign(steps=6, guidance_through_steps=False)
+        guided = TaskDesign(steps=6, guidance_through_steps=True)
+        assert guided.lapse_exposure < unguided.lapse_exposure
+
+    def test_slip_exposure_from_confusable_controls(self):
+        clear = TaskDesign(controls_distinguishable=0.95)
+        confusing = TaskDesign(controls_distinguishable=0.3)
+        assert confusing.slip_exposure > clear.slip_exposure
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TaskDesign(steps=-1)
+        with pytest.raises(ModelError):
+            TaskDesign(choice_predictability=1.5)
+
+
+class TestBehaviorAssessment:
+    def test_good_design_has_high_success_likelihood(self):
+        design = TaskDesign(
+            steps=1,
+            controls_discoverable=0.95,
+            feedback_quality=0.9,
+            controls_distinguishable=0.95,
+        )
+        assessment = assess_behavior_design(design, receiver_capability=0.7, receiver_knowledge=0.7)
+        assert assessment.success_likelihood > 0.8
+        assert not assessment.notes
+
+    def test_poor_design_flags_gulfs(self):
+        design = TaskDesign(
+            steps=6,
+            controls_discoverable=0.2,
+            feedback_quality=0.2,
+            controls_distinguishable=0.4,
+        )
+        assessment = assess_behavior_design(design, receiver_capability=0.4, receiver_knowledge=0.4)
+        assert assessment.success_likelihood < 0.5
+        assert BehaviorFailureKind.GULF_OF_EXECUTION in assessment.dominant_risks
+        assert BehaviorFailureKind.GULF_OF_EVALUATION in assessment.dominant_risks
+        assert assessment.notes
+
+    def test_predictability_only_when_choice_required(self):
+        free_choice = TaskDesign(requires_unpredictable_choice=True, choice_predictability=0.6)
+        no_choice = TaskDesign(requires_unpredictable_choice=False, choice_predictability=0.0)
+        with_choice = assess_behavior_design(free_choice)
+        without_choice = assess_behavior_design(no_choice)
+        assert with_choice.risk_for(BehaviorFailureKind.PREDICTABLE_BEHAVIOR) == pytest.approx(0.6)
+        assert without_choice.risk_for(BehaviorFailureKind.PREDICTABLE_BEHAVIOR) == 0.0
+
+    def test_mistake_risk_decreases_with_knowledge(self):
+        design = TaskDesign()
+        naive = assess_behavior_design(design, receiver_knowledge=0.1)
+        informed = assess_behavior_design(design, receiver_knowledge=0.9)
+        assert naive.risk_for(BehaviorFailureKind.MISTAKE) > informed.risk_for(
+            BehaviorFailureKind.MISTAKE
+        )
+
+    def test_dominant_risks_sorted_by_score(self):
+        design = TaskDesign(
+            steps=8, controls_discoverable=0.2, feedback_quality=0.9, controls_distinguishable=0.9
+        )
+        assessment = assess_behavior_design(design, receiver_capability=0.3, receiver_knowledge=0.8)
+        scores = [assessment.risk_for(kind) for kind in assessment.dominant_risks]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            assess_behavior_design(TaskDesign(), receiver_capability=1.5)
+        with pytest.raises(ModelError):
+            assess_behavior_design(TaskDesign(), receiver_knowledge=-0.2)

@@ -1,0 +1,101 @@
+"""Tests for the Table-1 checklist encoding."""
+
+import pytest
+
+from repro.core.checklist import (
+    TABLE_1,
+    Checklist,
+    all_questions,
+    build_checklist,
+    entry_for,
+    iter_entries,
+)
+from repro.core.components import Component, ComponentGroup
+from repro.core.exceptions import UnknownComponentError
+
+
+class TestTable1Encoding:
+    def test_one_entry_per_component(self):
+        assert len(TABLE_1) == len(list(Component))
+        assert {entry.component for entry in TABLE_1} == set(Component)
+
+    def test_entries_in_table_order(self):
+        assert [entry.component for entry in TABLE_1] == list(Component)
+
+    def test_every_entry_has_questions_and_factors(self):
+        for entry in TABLE_1:
+            assert entry.questions
+            assert entry.factors
+            assert all(question.endswith("?") for question in entry.questions)
+
+    def test_communication_entry_text(self):
+        entry = entry_for(Component.COMMUNICATION)
+        assert any("warning, notice, status indicator" in question for question in entry.questions)
+        assert "Severity of hazard" in entry.factors
+
+    def test_capabilities_entry_mentions_memorability(self):
+        entry = entry_for(Component.CAPABILITIES)
+        assert "Memorability" in entry.factors
+
+    def test_attention_switch_mentions_habituation(self):
+        entry = entry_for(Component.ATTENTION_SWITCH)
+        assert "Habituation" in entry.factors
+
+    def test_behavior_entry_mentions_gems(self):
+        entry = entry_for(Component.BEHAVIOR)
+        assert any("GEMS" in factor for factor in entry.factors)
+
+    def test_interference_factors(self):
+        entry = entry_for(Component.INTERFERENCE)
+        assert "Malicious attackers" in entry.factors
+        assert "Technology failures" in entry.factors
+
+    def test_iter_entries_filtered_by_group(self):
+        intention_entries = list(iter_entries(ComponentGroup.INTENTIONS))
+        assert {entry.component for entry in intention_entries} == {
+            Component.ATTITUDES_AND_BELIEFS,
+            Component.MOTIVATION,
+        }
+
+    def test_all_questions_cover_every_component(self):
+        questions = all_questions()
+        assert {component for component, _question in questions} == set(Component)
+        assert len(questions) >= 25
+
+
+class TestAnswerableChecklist:
+    def test_build_checklist_covers_all_questions(self):
+        checklist = build_checklist(subject="test")
+        assert len(checklist.answers) == len(all_questions())
+        assert checklist.completion() == 0.0
+        assert checklist.subject == "test"
+
+    def test_build_checklist_subset(self):
+        checklist = build_checklist(components=[Component.CAPABILITIES])
+        assert all(
+            answer.question.component is Component.CAPABILITIES for answer in checklist.answers
+        )
+
+    def test_answer_component_marks_all_its_questions(self):
+        checklist = build_checklist()
+        count = checklist.answer(Component.MOTIVATION, satisfactory=False, notes="low motivation")
+        assert count == len(entry_for(Component.MOTIVATION).questions)
+        assert Component.MOTIVATION in checklist.components_flagged()
+
+    def test_completion_progresses(self):
+        checklist = build_checklist()
+        for component in Component:
+            checklist.answer(component, satisfactory=True)
+        assert checklist.completion() == pytest.approx(1.0)
+        assert not checklist.pending()
+        assert not checklist.unsatisfactory()
+
+    def test_unsatisfactory_components_ordered(self):
+        checklist = build_checklist()
+        checklist.answer(Component.BEHAVIOR, satisfactory=False)
+        checklist.answer(Component.COMMUNICATION, satisfactory=False)
+        flagged = checklist.components_flagged()
+        assert flagged == [Component.COMMUNICATION, Component.BEHAVIOR]
+
+    def test_empty_checklist_completion_is_one(self):
+        assert Checklist().completion() == 1.0

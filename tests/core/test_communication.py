@@ -1,0 +1,203 @@
+"""Tests for the communication taxonomy and the §2.1 design guidance."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.communication import (
+    ActivenessLevel,
+    Communication,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+    advise,
+    recommend_activeness,
+    recommend_communication_type,
+)
+from repro.core.exceptions import ModelError
+
+
+class TestCommunicationType:
+    def test_five_types(self):
+        assert len(list(CommunicationType)) == 5
+
+    def test_only_warning_triggers_immediate_action(self):
+        assert CommunicationType.WARNING.triggers_immediate_action
+        for comm_type in CommunicationType:
+            if comm_type is not CommunicationType.WARNING:
+                assert not comm_type.triggers_immediate_action
+
+    def test_training_and_policy_require_knowledge_transfer(self):
+        assert CommunicationType.TRAINING.requires_knowledge_transfer
+        assert CommunicationType.POLICY.requires_knowledge_transfer
+        assert not CommunicationType.WARNING.requires_knowledge_transfer
+        assert not CommunicationType.STATUS_INDICATOR.requires_knowledge_transfer
+
+    def test_every_type_has_description(self):
+        for comm_type in CommunicationType:
+            assert len(comm_type.description) > 20
+
+
+class TestActivenessLevel:
+    def test_levels_ordered_by_score(self):
+        scores = [level.score for level in ActivenessLevel]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_blocking_is_maximal(self):
+        assert ActivenessLevel.BLOCKING.score == 1.0
+
+    def test_from_score_roundtrip(self):
+        for level in ActivenessLevel:
+            assert ActivenessLevel.from_score(level.score) is level
+
+    def test_from_score_nearest(self):
+        assert ActivenessLevel.from_score(0.95) is ActivenessLevel.BLOCKING
+        assert ActivenessLevel.from_score(0.05) is ActivenessLevel.PASSIVE_SUBTLE
+
+    def test_from_score_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            ActivenessLevel.from_score(1.5)
+
+    def test_interrupting_levels(self):
+        assert ActivenessLevel.BLOCKING.interrupts_primary_task
+        assert ActivenessLevel.INTERRUPTING.interrupts_primary_task
+        assert not ActivenessLevel.PASSIVE_SUBTLE.interrupts_primary_task
+
+
+class TestHazardProfile:
+    def test_risk_score_monotone_in_severity(self):
+        low = HazardProfile(severity=HazardSeverity.LOW)
+        high = HazardProfile(severity=HazardSeverity.CRITICAL)
+        assert high.risk_score > low.risk_score
+
+    def test_risk_score_bounded(self):
+        worst = HazardProfile(
+            severity=HazardSeverity.CRITICAL,
+            frequency=HazardFrequency.CONSTANT,
+            user_action_necessity=1.0,
+        )
+        assert 0.0 <= worst.risk_score <= 1.0
+
+    def test_invalid_necessity_rejected(self):
+        with pytest.raises(ModelError):
+            HazardProfile(user_action_necessity=1.4)
+
+
+class TestCommunicationModel:
+    def test_defaults_are_valid(self):
+        communication = Communication(name="c", comm_type=CommunicationType.NOTICE)
+        assert communication.is_passive
+
+    def test_activeness_level_accepted_in_constructor(self):
+        communication = Communication(
+            name="c",
+            comm_type=CommunicationType.WARNING,
+            activeness=ActivenessLevel.BLOCKING,
+        )
+        assert communication.activeness == 1.0
+        assert communication.activeness_level is ActivenessLevel.BLOCKING
+
+    def test_is_active_threshold(self):
+        assert Communication(name="a", comm_type=CommunicationType.WARNING, activeness=0.6).is_active
+        assert Communication(name="b", comm_type=CommunicationType.WARNING, activeness=0.4).is_passive
+
+    def test_with_activeness_returns_copy(self):
+        original = Communication(name="c", comm_type=CommunicationType.WARNING, activeness=0.3)
+        modified = original.with_activeness(0.9)
+        assert original.activeness == 0.3
+        assert modified.activeness == 0.9
+        assert modified.name == original.name
+
+    def test_with_exposures_returns_copy(self):
+        original = Communication(name="c", comm_type=CommunicationType.WARNING)
+        modified = original.with_exposures(12)
+        assert modified.habituation_exposures == 12
+        assert original.habituation_exposures == 0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("activeness", 1.5),
+            ("clarity", -0.1),
+            ("conspicuity", 2.0),
+            ("false_positive_rate", 1.1),
+        ],
+    )
+    def test_unit_fields_validated(self, field, value):
+        kwargs = {"name": "c", "comm_type": CommunicationType.WARNING, field: value}
+        with pytest.raises(ModelError):
+            Communication(**kwargs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Communication(name="", comm_type=CommunicationType.WARNING)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ModelError):
+            Communication(name="c", comm_type=CommunicationType.WARNING, length_words=-1)
+
+
+class TestDesignGuidance:
+    def test_severe_actionable_hazard_gets_warning(self):
+        hazard = HazardProfile(
+            severity=HazardSeverity.CRITICAL, user_action_necessity=0.9
+        )
+        assert recommend_communication_type(hazard) is CommunicationType.WARNING
+
+    def test_unactionable_hazard_gets_status_indicator(self):
+        hazard = HazardProfile(
+            severity=HazardSeverity.HIGH, user_action_necessity=0.1
+        )
+        assert recommend_communication_type(hazard) is CommunicationType.STATUS_INDICATOR
+
+    def test_moderate_hazard_gets_notice(self):
+        hazard = HazardProfile(
+            severity=HazardSeverity.LOW, user_action_necessity=0.6
+        )
+        assert recommend_communication_type(hazard) is CommunicationType.NOTICE
+
+    def test_severe_rare_hazard_gets_blocking_warning(self):
+        hazard = HazardProfile(
+            severity=HazardSeverity.CRITICAL,
+            frequency=HazardFrequency.RARE,
+            user_action_necessity=1.0,
+        )
+        assert recommend_activeness(hazard) is ActivenessLevel.BLOCKING
+
+    def test_frequent_low_risk_hazard_gets_passive_treatment(self):
+        hazard = HazardProfile(
+            severity=HazardSeverity.LOW,
+            frequency=HazardFrequency.CONSTANT,
+            user_action_necessity=0.3,
+        )
+        level = recommend_activeness(hazard)
+        assert level in (ActivenessLevel.PASSIVE_NOTICEABLE, ActivenessLevel.PASSIVE_SUBTLE)
+
+    def test_activeness_monotone_in_severity(self):
+        low = recommend_activeness(HazardProfile(severity=HazardSeverity.LOW))
+        high = recommend_activeness(
+            HazardProfile(severity=HazardSeverity.CRITICAL, user_action_necessity=0.9)
+        )
+        assert high.score >= low.score
+
+    def test_advise_produces_rationale(self):
+        advice = advise(
+            HazardProfile(severity=HazardSeverity.HIGH, user_action_necessity=0.9)
+        )
+        assert advice.recommended_type is CommunicationType.WARNING
+        assert advice.rationale
+        assert "Recommended type" in advice.summary()
+
+    def test_advise_flags_habituation_for_frequent_hazards(self):
+        advice = advise(
+            HazardProfile(
+                severity=HazardSeverity.LOW,
+                frequency=HazardFrequency.CONSTANT,
+                user_action_necessity=0.5,
+            )
+        )
+        assert advice.habituation_risk > 0.3
+        assert any("habituation" in reason.lower() or "frequently" in reason.lower()
+                   for reason in advice.rationale)

@@ -1,0 +1,131 @@
+"""Tests for the framework component inventory (Figure 1 structure)."""
+
+import pytest
+
+from repro.core.components import (
+    Component,
+    ComponentGroup,
+    GROUP_MEMBERS,
+    PROCESSING_STEP_COMPONENTS,
+    RECEIVER_COMPONENTS,
+    component_group,
+    components_in_group,
+    influence_edges,
+    ordered_components,
+)
+
+
+class TestComponentInventory:
+    def test_fifteen_components(self):
+        assert len(list(Component)) == 15
+
+    def test_nine_groups(self):
+        assert len(list(ComponentGroup)) == 9
+
+    def test_every_component_has_a_group(self):
+        for component in Component:
+            assert isinstance(component.group, ComponentGroup)
+
+    def test_every_component_has_a_title(self):
+        for component in Component:
+            assert component.title
+            assert component.title[0].isupper()
+
+    def test_ordered_components_matches_enum_order(self):
+        assert ordered_components() == list(Component)
+
+    def test_group_members_partition_components(self):
+        all_members = [component for members in GROUP_MEMBERS.values() for component in members]
+        assert sorted(all_members, key=lambda c: c.value) == sorted(
+            Component, key=lambda c: c.value
+        )
+        assert len(all_members) == len(set(all_members))
+
+
+class TestGroupStructure:
+    def test_communication_delivery_members(self):
+        members = components_in_group(ComponentGroup.COMMUNICATION_DELIVERY)
+        assert members == (Component.ATTENTION_SWITCH, Component.ATTENTION_MAINTENANCE)
+
+    def test_communication_processing_members(self):
+        members = components_in_group(ComponentGroup.COMMUNICATION_PROCESSING)
+        assert members == (Component.COMPREHENSION, Component.KNOWLEDGE_ACQUISITION)
+
+    def test_application_members(self):
+        members = components_in_group(ComponentGroup.APPLICATION)
+        assert members == (Component.KNOWLEDGE_RETENTION, Component.KNOWLEDGE_TRANSFER)
+
+    def test_personal_variables_split_in_two(self):
+        members = components_in_group(ComponentGroup.PERSONAL_VARIABLES)
+        assert Component.DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS in members
+        assert Component.KNOWLEDGE_AND_EXPERIENCE in members
+        assert len(members) == 2
+
+    def test_intentions_split_in_two(self):
+        members = components_in_group(ComponentGroup.INTENTIONS)
+        assert Component.ATTITUDES_AND_BELIEFS in members
+        assert Component.MOTIVATION in members
+
+    def test_impediment_group_members(self):
+        members = components_in_group(ComponentGroup.COMMUNICATION_IMPEDIMENTS)
+        assert set(members) == {Component.ENVIRONMENTAL_STIMULI, Component.INTERFERENCE}
+
+    def test_component_group_lookup_consistent(self):
+        for component in Component:
+            assert component in components_in_group(component_group(component))
+
+
+class TestReceiverClassification:
+    def test_receiver_components_exclude_communication_and_behavior(self):
+        assert Component.COMMUNICATION not in RECEIVER_COMPONENTS
+        assert Component.BEHAVIOR not in RECEIVER_COMPONENTS
+        assert Component.ENVIRONMENTAL_STIMULI not in RECEIVER_COMPONENTS
+        assert Component.INTERFERENCE not in RECEIVER_COMPONENTS
+
+    def test_receiver_components_include_capabilities(self):
+        assert Component.CAPABILITIES in RECEIVER_COMPONENTS
+
+    def test_processing_step_components_are_six(self):
+        assert len(PROCESSING_STEP_COMPONENTS) == 6
+
+    def test_processing_groups_flagged(self):
+        assert ComponentGroup.COMMUNICATION_DELIVERY.is_processing_step
+        assert ComponentGroup.APPLICATION.is_processing_step
+        assert not ComponentGroup.BEHAVIOR.is_processing_step
+        assert not ComponentGroup.INTENTIONS.is_processing_step
+
+    def test_receiver_group_flags(self):
+        assert ComponentGroup.CAPABILITIES.is_receiver_group
+        assert not ComponentGroup.COMMUNICATION.is_receiver_group
+        assert not ComponentGroup.BEHAVIOR.is_receiver_group
+
+
+class TestInfluenceEdges:
+    def test_edges_are_nonempty_and_unique(self):
+        edges = influence_edges()
+        assert edges
+        assert len(edges) == len(set(edges))
+
+    def test_communication_flows_to_delivery(self):
+        assert (
+            ComponentGroup.COMMUNICATION.value,
+            ComponentGroup.COMMUNICATION_DELIVERY.value,
+        ) in influence_edges()
+
+    def test_application_flows_to_behavior(self):
+        assert (
+            ComponentGroup.APPLICATION.value,
+            ComponentGroup.BEHAVIOR.value,
+        ) in influence_edges()
+
+    def test_impediments_reach_delivery(self):
+        edges = influence_edges()
+        assert (Component.ENVIRONMENTAL_STIMULI.value,
+                ComponentGroup.COMMUNICATION_DELIVERY.value) in edges
+        assert (Component.INTERFERENCE.value,
+                ComponentGroup.COMMUNICATION_DELIVERY.value) in edges
+
+    def test_intentions_and_capabilities_reach_behavior(self):
+        edges = influence_edges()
+        assert (ComponentGroup.INTENTIONS.value, ComponentGroup.BEHAVIOR.value) in edges
+        assert (ComponentGroup.CAPABILITIES.value, ComponentGroup.BEHAVIOR.value) in edges

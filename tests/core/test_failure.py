@@ -1,0 +1,125 @@
+"""Tests for failure modes and the failure inventory."""
+
+import pytest
+
+from repro.core.components import Component, ComponentGroup
+from repro.core.exceptions import ModelError
+from repro.core.failure import (
+    FailureInventory,
+    FailureLikelihood,
+    FailureMode,
+    FailureSeverity,
+)
+from repro.core.stages import Stage
+
+
+def _failure(identifier: str, component: Component = Component.CAPABILITIES,
+             severity: FailureSeverity = FailureSeverity.MODERATE,
+             likelihood: FailureLikelihood = FailureLikelihood.POSSIBLE) -> FailureMode:
+    return FailureMode(
+        identifier=identifier,
+        component=component,
+        description="test failure",
+        severity=severity,
+        likelihood=likelihood,
+    )
+
+
+class TestFailureMode:
+    def test_risk_score_is_severity_times_likelihood(self):
+        failure = _failure("f", severity=FailureSeverity.CRITICAL,
+                           likelihood=FailureLikelihood.ALMOST_CERTAIN)
+        assert failure.risk_score == pytest.approx(1.0)
+
+    def test_likelihood_from_probability_bands(self):
+        assert FailureLikelihood.from_probability(0.01) is FailureLikelihood.RARE
+        assert FailureLikelihood.from_probability(0.1) is FailureLikelihood.UNLIKELY
+        assert FailureLikelihood.from_probability(0.3) is FailureLikelihood.POSSIBLE
+        assert FailureLikelihood.from_probability(0.6) is FailureLikelihood.LIKELY
+        assert FailureLikelihood.from_probability(0.9) is FailureLikelihood.ALMOST_CERTAIN
+
+    def test_likelihood_from_probability_validates(self):
+        with pytest.raises(ModelError):
+            FailureLikelihood.from_probability(1.5)
+
+    def test_is_critical(self):
+        assert _failure("f", severity=FailureSeverity.CRITICAL,
+                        likelihood=FailureLikelihood.LIKELY).is_critical()
+        assert not _failure("f", severity=FailureSeverity.MINOR,
+                            likelihood=FailureLikelihood.RARE).is_critical()
+
+    def test_stage_component_consistency_enforced(self):
+        with pytest.raises(ModelError):
+            FailureMode(
+                identifier="bad",
+                component=Component.CAPABILITIES,
+                description="mismatch",
+                stage=Stage.COMPREHENSION,
+            )
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(ModelError):
+            _failure("")
+
+    def test_group_derived_from_component(self):
+        assert _failure("f", component=Component.MOTIVATION).group is ComponentGroup.INTENTIONS
+
+
+class TestFailureInventory:
+    def test_add_rejects_duplicate_identifiers(self):
+        inventory = FailureInventory()
+        inventory.add(_failure("a"))
+        with pytest.raises(ModelError):
+            inventory.add(_failure("a"))
+
+    def test_ranked_orders_by_risk(self):
+        inventory = FailureInventory()
+        inventory.add(_failure("low", severity=FailureSeverity.MINOR,
+                               likelihood=FailureLikelihood.UNLIKELY))
+        inventory.add(_failure("high", severity=FailureSeverity.CRITICAL,
+                               likelihood=FailureLikelihood.LIKELY))
+        assert [failure.identifier for failure in inventory.ranked()] == ["high", "low"]
+        assert [failure.identifier for failure in inventory.top(1)] == ["high"]
+
+    def test_filters(self):
+        inventory = FailureInventory()
+        inventory.add(_failure("cap", component=Component.CAPABILITIES))
+        inventory.add(_failure("mot", component=Component.MOTIVATION))
+        assert len(inventory.by_component(Component.CAPABILITIES)) == 1
+        assert len(inventory.by_group(ComponentGroup.INTENTIONS)) == 1
+
+    def test_risk_aggregation(self):
+        inventory = FailureInventory()
+        inventory.add(_failure("a", component=Component.CAPABILITIES,
+                               severity=FailureSeverity.MAJOR,
+                               likelihood=FailureLikelihood.LIKELY))
+        inventory.add(_failure("b", component=Component.CAPABILITIES,
+                               severity=FailureSeverity.MINOR,
+                               likelihood=FailureLikelihood.POSSIBLE))
+        inventory.add(_failure("c", component=Component.MOTIVATION))
+        assert inventory.dominant_component() is Component.CAPABILITIES
+        assert inventory.total_risk() == pytest.approx(
+            sum(failure.risk_score for failure in inventory)
+        )
+
+    def test_dominant_component_none_when_empty(self):
+        assert FailureInventory().dominant_component() is None
+
+    def test_merge_deduplicates(self):
+        first = FailureInventory()
+        first.add(_failure("shared"))
+        second = FailureInventory()
+        second.add(_failure("shared"))
+        second.add(_failure("unique"))
+        merged = first.merge(second)
+        assert len(merged) == 2
+
+    def test_top_rejects_negative(self):
+        with pytest.raises(ModelError):
+            FailureInventory().top(-1)
+
+    def test_len_and_iteration(self):
+        inventory = FailureInventory()
+        inventory.extend([_failure("a"), _failure("b")])
+        assert len(inventory) == 2
+        assert {failure.identifier for failure in inventory} == {"a", "b"}

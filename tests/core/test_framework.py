@@ -1,0 +1,94 @@
+"""Tests for the HumanInTheLoopFramework facade."""
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    Component,
+    ComponentGroup,
+    HazardProfile,
+    HazardSeverity,
+    HumanInTheLoopFramework,
+    Mitigation,
+    MitigationStrategy,
+)
+from repro.core.analysis import analyze_task
+
+
+class TestFrameworkStructure:
+    def test_components_listed_in_order(self):
+        framework = HumanInTheLoopFramework()
+        assert framework.components() == list(Component)
+
+    def test_component_groups_complete(self):
+        groups = HumanInTheLoopFramework.component_groups()
+        assert set(groups) == set(ComponentGroup)
+
+    def test_checklist_entry_lookup(self):
+        entry = HumanInTheLoopFramework.checklist_entry(Component.MOTIVATION)
+        assert entry.component is Component.MOTIVATION
+
+    def test_table_1_has_fifteen_rows(self):
+        assert len(HumanInTheLoopFramework.table_1()) == 15
+
+    def test_influence_graph_structure(self):
+        graph = HumanInTheLoopFramework.influence_graph()
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.number_of_nodes() == 11
+        assert nx.is_directed_acyclic_graph(graph)
+        assert ComponentGroup.BEHAVIOR.value in graph
+        # Behavior is the sink of the framework.
+        assert graph.out_degree(ComponentGroup.BEHAVIOR.value) == 0
+
+    def test_receiver_nodes_flagged(self):
+        graph = HumanInTheLoopFramework.influence_graph()
+        receiver_nodes = [node for node, data in graph.nodes(data=True) if data.get("receiver")]
+        assert ComponentGroup.CAPABILITIES.value in receiver_nodes
+        assert ComponentGroup.COMMUNICATION.value not in receiver_nodes
+
+
+class TestFrameworkOperations:
+    def test_advise_communication(self):
+        advice = HumanInTheLoopFramework.advise_communication(
+            HazardProfile(severity=HazardSeverity.CRITICAL, user_action_necessity=0.9)
+        )
+        assert advice.recommended_type.value == "warning"
+
+    def test_analyze_task_matches_module_function(self, warning_task):
+        framework = HumanInTheLoopFramework()
+        facade_result = framework.analyze_task(warning_task)
+        direct_result = analyze_task(warning_task)
+        assert facade_result.success_probability == pytest.approx(
+            direct_result.success_probability
+        )
+
+    def test_analyze_system_and_report(self, small_system):
+        framework = HumanInTheLoopFramework()
+        analysis = framework.analyze_system(small_system)
+        report = framework.report_system(analysis)
+        assert small_system.name in report
+
+    def test_suggest_mitigations_uses_extended_catalog(self, memory_task):
+        extra = Mitigation(
+            name="bespoke-memory-aid",
+            strategy=MitigationStrategy.SUPPORT,
+            description="a very specific memory aid",
+            addresses_components=(Component.CAPABILITIES,),
+            effectiveness=0.99,
+            cost=0.0,
+        )
+        framework = HumanInTheLoopFramework(mitigation_catalog=[extra])
+        analysis = framework.analyze_task(memory_task)
+        plan = framework.suggest_mitigations(analysis.failures)
+        assert "bespoke-memory-aid" in [mitigation.name for mitigation in plan.ranked_mitigations()]
+
+    def test_run_process(self, small_system):
+        framework = HumanInTheLoopFramework()
+        result = framework.run_process(small_system, max_passes=2)
+        assert result.pass_count >= 1
+        assert result.system_name == small_system.name
+
+    def test_report_task(self, warning_task):
+        framework = HumanInTheLoopFramework()
+        report = framework.report_task(framework.analyze_task(warning_task))
+        assert "Framework analysis" in report

@@ -1,0 +1,111 @@
+"""Tests for environmental stimuli, interference, and the environment aggregate."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.impediments import (
+    Environment,
+    EnvironmentalStimulus,
+    Interference,
+    InterferenceSource,
+    StimulusKind,
+)
+
+
+class TestEnvironmentalStimulus:
+    def test_valid_construction(self):
+        stimulus = EnvironmentalStimulus(kind=StimulusKind.PRIMARY_TASK, intensity=0.7)
+        assert stimulus.intensity == 0.7
+
+    def test_intensity_validated(self):
+        with pytest.raises(ModelError):
+            EnvironmentalStimulus(kind=StimulusKind.AMBIENT_NOISE, intensity=1.5)
+
+
+class TestInterference:
+    def test_total_disruption_combines_channels(self):
+        channel = Interference(
+            source=InterferenceSource.MALICIOUS_ATTACKER,
+            block_probability=0.2,
+            spoof_probability=0.3,
+        )
+        assert channel.total_disruption == pytest.approx(1 - 0.8 * 0.7)
+
+    def test_no_disruption_when_zero(self):
+        channel = Interference(source=InterferenceSource.TECHNOLOGY_FAILURE)
+        assert channel.total_disruption == 0.0
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ModelError):
+            Interference(source=InterferenceSource.TECHNOLOGY_FAILURE, block_probability=-0.1)
+
+
+class TestEnvironment:
+    def test_quiet_environment_has_no_distraction(self):
+        assert Environment.quiet().distraction_level == 0.0
+
+    def test_typical_desktop_is_distracting(self):
+        assert Environment.typical_desktop().distraction_level > 0.3
+
+    def test_distraction_increases_with_stimuli(self):
+        environment = Environment()
+        low = environment.distraction_level
+        environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.6)
+        mid = environment.distraction_level
+        environment.add_stimulus(StimulusKind.AMBIENT_NOISE, 0.5)
+        high = environment.distraction_level
+        assert low < mid < high
+
+    def test_distraction_bounded(self):
+        environment = Environment()
+        for _ in range(10):
+            environment.add_stimulus(StimulusKind.UNRELATED_COMMUNICATION, 1.0)
+        assert environment.distraction_level <= 1.0
+
+    def test_competing_indicators_add_clutter(self):
+        base = Environment()
+        cluttered = Environment(competing_indicator_count=5)
+        assert cluttered.distraction_level > base.distraction_level
+
+    def test_negative_indicator_count_rejected(self):
+        with pytest.raises(ModelError):
+            Environment(competing_indicator_count=-1)
+
+    def test_block_probability_combines(self):
+        environment = Environment()
+        environment.add_interference(
+            Interference(source=InterferenceSource.TECHNOLOGY_FAILURE, block_probability=0.5)
+        )
+        environment.add_interference(
+            Interference(source=InterferenceSource.MALICIOUS_ATTACKER, block_probability=0.5)
+        )
+        assert environment.block_probability == pytest.approx(0.75)
+
+    def test_spoof_probability_from_attacker(self):
+        environment = Environment()
+        environment.add_interference(
+            Interference(source=InterferenceSource.MALICIOUS_ATTACKER, spoof_probability=0.4)
+        )
+        assert environment.spoof_probability == pytest.approx(0.4)
+        assert environment.has_active_attacker
+
+    def test_no_attacker_by_default(self):
+        assert not Environment().has_active_attacker
+
+    def test_primary_task_intensity(self):
+        environment = Environment()
+        assert environment.primary_task_intensity() == 0.0
+        environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.4)
+        environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.8)
+        assert environment.primary_task_intensity() == 0.8
+
+    def test_builder_chaining(self):
+        environment = (
+            Environment()
+            .add_stimulus(StimulusKind.PRIMARY_TASK, 0.5)
+            .add_interference(
+                Interference(source=InterferenceSource.TECHNOLOGY_FAILURE, degrade_probability=0.2)
+            )
+        )
+        assert len(environment.stimuli) == 1
+        assert len(environment.interference) == 1

@@ -1,0 +1,161 @@
+"""Tests for the mitigation vocabulary and suggestion engine."""
+
+import pytest
+
+from repro.core.components import Component
+from repro.core.exceptions import ModelError
+from repro.core.failure import (
+    FailureInventory,
+    FailureLikelihood,
+    FailureMode,
+    FailureSeverity,
+)
+from repro.core.mitigation import (
+    GENERIC_MITIGATIONS,
+    Mitigation,
+    MitigationStrategy,
+    suggest_mitigations,
+)
+
+
+def _inventory(*components: Component) -> FailureInventory:
+    inventory = FailureInventory(subject="test")
+    for index, component in enumerate(components):
+        inventory.add(
+            FailureMode(
+                identifier=f"failure-{index}",
+                component=component,
+                description="test",
+                severity=FailureSeverity.MAJOR,
+                likelihood=FailureLikelihood.LIKELY,
+            )
+        )
+    return inventory
+
+
+class TestMitigationModel:
+    def test_strategies_have_descriptions(self):
+        for strategy in MitigationStrategy:
+            assert len(strategy.description) > 20
+
+    def test_generic_catalog_covers_every_mitigable_component(self):
+        covered = {
+            component
+            for mitigation in GENERIC_MITIGATIONS
+            for component in mitigation.addresses_components
+        }
+        # Demographics are a design input (who the users are), not a failure
+        # that can be mitigated, so they are the single uncovered component.
+        expected = set(Component) - {Component.DEMOGRAPHICS_AND_PERSONAL_CHARACTERISTICS}
+        assert expected.issubset(covered)
+
+    def test_mitigation_validation(self):
+        with pytest.raises(ModelError):
+            Mitigation(
+                name="",
+                strategy=MitigationStrategy.SUPPORT,
+                description="x",
+                addresses_components=(Component.BEHAVIOR,),
+            )
+        with pytest.raises(ModelError):
+            Mitigation(
+                name="m",
+                strategy=MitigationStrategy.SUPPORT,
+                description="x",
+                addresses_components=(),
+            )
+        with pytest.raises(ModelError):
+            Mitigation(
+                name="m",
+                strategy=MitigationStrategy.SUPPORT,
+                description="x",
+                addresses_components=(Component.BEHAVIOR,),
+                effectiveness=1.5,
+            )
+
+    def test_addresses(self):
+        mitigation = Mitigation(
+            name="m",
+            strategy=MitigationStrategy.SUPPORT,
+            description="x",
+            addresses_components=(Component.CAPABILITIES,),
+        )
+        capability_failure = FailureMode(
+            identifier="f", component=Component.CAPABILITIES, description="d"
+        )
+        motivation_failure = FailureMode(
+            identifier="g", component=Component.MOTIVATION, description="d"
+        )
+        assert mitigation.addresses(capability_failure)
+        assert not mitigation.addresses(motivation_failure)
+
+    def test_priority_score_discounted_by_cost(self):
+        cheap = Mitigation(
+            name="cheap", strategy=MitigationStrategy.SUPPORT, description="x",
+            addresses_components=(Component.BEHAVIOR,), effectiveness=0.5, cost=0.0,
+        )
+        expensive = Mitigation(
+            name="expensive", strategy=MitigationStrategy.SUPPORT, description="x",
+            addresses_components=(Component.BEHAVIOR,), effectiveness=0.5, cost=1.0,
+        )
+        assert cheap.priority_score(1.0) > expensive.priority_score(1.0)
+
+
+class TestSuggestionEngine:
+    def test_capability_failures_rank_capability_mitigations_first(self):
+        plan = suggest_mitigations(_inventory(Component.CAPABILITIES, Component.CAPABILITIES))
+        top = plan.ranked_mitigations()[0]
+        assert Component.CAPABILITIES in top.addresses_components
+
+    def test_attention_failures_rank_activeness_mitigations(self):
+        plan = suggest_mitigations(_inventory(Component.ATTENTION_SWITCH))
+        names = [mitigation.name for mitigation in plan.top(3)]
+        assert "make-communication-active" in names
+
+    def test_interference_failures_rank_channel_protection(self):
+        plan = suggest_mitigations(_inventory(Component.INTERFERENCE))
+        assert plan.covers_component(Component.INTERFERENCE)
+        assert "protect-communication-channel" in [m.name for m in plan.ranked_mitigations()]
+
+    def test_empty_inventory_gives_empty_plan(self):
+        plan = suggest_mitigations(FailureInventory())
+        assert not plan.recommendations
+        assert not plan.unaddressed
+
+    def test_scores_are_descending(self):
+        plan = suggest_mitigations(
+            _inventory(Component.CAPABILITIES, Component.MOTIVATION, Component.COMPREHENSION)
+        )
+        scores = [score for _mitigation, score in plan.recommendations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_minimum_score_filters(self):
+        inventory = _inventory(Component.CAPABILITIES)
+        unfiltered = suggest_mitigations(inventory)
+        filtered = suggest_mitigations(inventory, minimum_score=10.0)
+        assert len(filtered.recommendations) < len(unfiltered.recommendations)
+
+    def test_custom_catalog_respected(self):
+        custom = [
+            Mitigation(
+                name="only-option",
+                strategy=MitigationStrategy.TRAIN,
+                description="x",
+                addresses_components=(Component.MOTIVATION,),
+            )
+        ]
+        plan = suggest_mitigations(_inventory(Component.MOTIVATION), catalog=custom)
+        assert [mitigation.name for mitigation in plan.ranked_mitigations()] == ["only-option"]
+
+    def test_unaddressed_failures_reported(self):
+        custom = [
+            Mitigation(
+                name="narrow",
+                strategy=MitigationStrategy.SUPPORT,
+                description="x",
+                addresses_components=(Component.BEHAVIOR,),
+            )
+        ]
+        plan = suggest_mitigations(_inventory(Component.MOTIVATION), catalog=custom)
+        assert plan.unaddressed
+        assert not plan.recommendations

@@ -1,0 +1,226 @@
+"""Tests for the shared stage-probability model."""
+
+import pytest
+
+from repro.core import probabilities
+from repro.core.behavior import TaskDesign
+from repro.core.communication import Communication, CommunicationType
+from repro.core.exceptions import ModelError
+from repro.core.impediments import Environment, Interference, InterferenceSource, StimulusKind
+from repro.core.receiver import expert_receiver, novice_receiver, typical_receiver
+from repro.core.stages import Stage
+from repro.core.task import HumanSecurityTask
+
+
+def _warning(**overrides) -> Communication:
+    defaults = dict(
+        name="w",
+        comm_type=CommunicationType.WARNING,
+        activeness=0.9,
+        clarity=0.7,
+        includes_instructions=True,
+        conspicuity=0.8,
+    )
+    defaults.update(overrides)
+    return Communication(**defaults)
+
+
+class TestClampAndHabituation:
+    def test_clamp_bounds(self):
+        assert probabilities.clamp_probability(-1.0) == pytest.approx(0.02)
+        assert probabilities.clamp_probability(2.0) == pytest.approx(0.98)
+        assert probabilities.clamp_probability(0.5) == 0.5
+
+    def test_habituation_decays_with_exposures(self):
+        fresh = probabilities.habituation_factor(0, activeness=0.2)
+        worn = probabilities.habituation_factor(30, activeness=0.2)
+        assert fresh == pytest.approx(1.0)
+        assert worn < fresh
+
+    def test_habituation_slower_for_active_communications(self):
+        passive = probabilities.habituation_factor(20, activeness=0.1)
+        active = probabilities.habituation_factor(20, activeness=1.0)
+        assert active > passive
+
+    def test_habituation_floor(self):
+        assert probabilities.habituation_factor(1000, activeness=0.0) >= 0.25
+
+    def test_habituation_validates_inputs(self):
+        with pytest.raises(ModelError):
+            probabilities.habituation_factor(-1, 0.5)
+        with pytest.raises(ModelError):
+            probabilities.habituation_factor(1, 1.5)
+
+
+class TestAttentionSwitch:
+    def test_active_noticed_more_than_passive(self):
+        environment = Environment.typical_desktop()
+        receiver = typical_receiver()
+        active = probabilities.attention_switch_probability(
+            _warning(activeness=1.0), environment, receiver
+        )
+        passive = probabilities.attention_switch_probability(
+            _warning(activeness=0.1, conspicuity=0.2), environment, receiver
+        )
+        assert active > passive + 0.3
+
+    def test_distraction_hurts_passive_more_than_active(self):
+        receiver = typical_receiver()
+        quiet = Environment.quiet()
+        busy = Environment.typical_desktop()
+        passive = _warning(activeness=0.15, conspicuity=0.3)
+        active = _warning(activeness=1.0)
+        passive_drop = probabilities.attention_switch_probability(
+            passive, quiet, receiver
+        ) - probabilities.attention_switch_probability(passive, busy, receiver)
+        active_drop = probabilities.attention_switch_probability(
+            active, quiet, receiver
+        ) - probabilities.attention_switch_probability(active, busy, receiver)
+        assert passive_drop > active_drop
+
+    def test_habituated_indicator_noticed_less(self):
+        environment = Environment.typical_desktop()
+        receiver = typical_receiver()
+        fresh = probabilities.attention_switch_probability(
+            _warning(activeness=0.2), environment, receiver
+        )
+        habituated = probabilities.attention_switch_probability(
+            _warning(activeness=0.2, habituation_exposures=30), environment, receiver
+        )
+        assert habituated < fresh
+
+    def test_blocked_delivery_reduces_notice(self):
+        receiver = typical_receiver()
+        blocked = Environment()
+        blocked.add_interference(
+            Interference(source=InterferenceSource.TECHNOLOGY_FAILURE, block_probability=0.6)
+        )
+        assert probabilities.attention_switch_probability(
+            _warning(), blocked, receiver
+        ) < probabilities.attention_switch_probability(_warning(), Environment(), receiver)
+
+
+class TestProcessingStages:
+    def test_comprehension_better_for_experts(self):
+        communication = _warning(clarity=0.5)
+        assert probabilities.comprehension_probability(
+            communication, expert_receiver()
+        ) > probabilities.comprehension_probability(communication, novice_receiver())
+
+    def test_comprehension_hurt_by_lookalike_warnings(self):
+        receiver = typical_receiver()
+        plain = probabilities.comprehension_probability(_warning(), receiver)
+        lookalike = probabilities.comprehension_probability(
+            _warning(resembles_low_risk_communications=True), receiver
+        )
+        assert lookalike < plain
+
+    def test_instructions_help_knowledge_acquisition(self):
+        receiver = novice_receiver()
+        with_instructions = probabilities.knowledge_acquisition_probability(
+            _warning(includes_instructions=True), receiver
+        )
+        without = probabilities.knowledge_acquisition_probability(
+            _warning(includes_instructions=False), receiver
+        )
+        assert with_instructions > without
+
+    def test_long_messages_hurt_attention_maintenance(self):
+        receiver = typical_receiver()
+        environment = Environment.quiet()
+        short = probabilities.attention_maintenance_probability(
+            _warning(length_words=20), environment, receiver
+        )
+        long = probabilities.attention_maintenance_probability(
+            _warning(length_words=400), environment, receiver
+        )
+        assert long < short
+
+    def test_retention_and_transfer_better_with_training(self):
+        communication = Communication(
+            name="policy", comm_type=CommunicationType.POLICY, clarity=0.7
+        )
+        assert probabilities.knowledge_retention_probability(
+            communication, expert_receiver()
+        ) > probabilities.knowledge_retention_probability(communication, novice_receiver())
+        assert probabilities.knowledge_transfer_probability(
+            communication, expert_receiver()
+        ) > probabilities.knowledge_transfer_probability(communication, novice_receiver())
+
+
+class TestIntentionAndCapability:
+    def test_false_positives_erode_intention(self):
+        receiver = typical_receiver()
+        clean = probabilities.intention_probability(_warning(false_positive_rate=0.0), receiver)
+        noisy = probabilities.intention_probability(_warning(false_positive_rate=0.5), receiver)
+        assert noisy < clean
+
+    def test_override_option_lowers_intention_for_warnings(self):
+        receiver = typical_receiver()
+        with_override = probabilities.intention_probability(
+            _warning(allows_override=True), receiver
+        )
+        without_override = probabilities.intention_probability(
+            _warning(allows_override=False), receiver
+        )
+        assert with_override < without_override
+
+    def test_capability_probability_penalizes_gaps(self, memory_task):
+        assert probabilities.capability_probability(memory_task, typical_receiver()) < 0.5
+
+    def test_capability_probability_high_without_gaps(self, warning_task):
+        assert probabilities.capability_probability(warning_task, typical_receiver()) > 0.7
+
+
+class TestPipelineComposition:
+    def test_applicable_stages_for_warning_skip_retention(self):
+        applicability = probabilities.applicable_stages(_warning())
+        assert not applicability[Stage.KNOWLEDGE_RETENTION]
+        assert not applicability[Stage.KNOWLEDGE_TRANSFER]
+        assert applicability[Stage.ATTENTION_SWITCH]
+
+    def test_applicable_stages_for_policy_include_retention(self):
+        policy = Communication(name="p", comm_type=CommunicationType.POLICY)
+        applicability = probabilities.applicable_stages(policy)
+        assert applicability[Stage.KNOWLEDGE_RETENTION]
+        assert applicability[Stage.KNOWLEDGE_TRANSFER]
+
+    def test_no_communication_has_no_applicable_stages(self):
+        applicability = probabilities.applicable_stages(None)
+        assert not any(applicability.values())
+
+    def test_stage_probabilities_cover_applicable_stages(self, warning_task):
+        stage_probs = probabilities.stage_probabilities(warning_task)
+        assert Stage.ATTENTION_SWITCH in stage_probs
+        assert Stage.KNOWLEDGE_RETENTION not in stage_probs
+        assert all(0.0 < probability < 1.0 for probability in stage_probs.values())
+
+    def test_stage_probabilities_empty_without_communication(self):
+        task = HumanSecurityTask(name="silent", desired_action="act")
+        assert probabilities.stage_probabilities(task) == {}
+
+    def test_end_to_end_success_between_zero_and_one(self, warning_task, memory_task):
+        for task in (warning_task, memory_task):
+            probability = probabilities.end_to_end_success_probability(task)
+            assert 0.0 < probability < 1.0
+
+    def test_end_to_end_success_higher_for_experts(self, warning_task):
+        novice = probabilities.end_to_end_success_probability(warning_task, novice_receiver())
+        expert = probabilities.end_to_end_success_probability(warning_task, expert_receiver())
+        assert expert > novice
+
+    def test_end_to_end_without_communication_is_small(self):
+        task = HumanSecurityTask(name="silent", desired_action="act")
+        assert probabilities.end_to_end_success_probability(task) < 0.2
+
+    def test_behavior_probability_reflects_design(self):
+        receiver = typical_receiver()
+        good = probabilities.behavior_success_probability(
+            TaskDesign(controls_discoverable=0.95, feedback_quality=0.9), receiver
+        )
+        bad = probabilities.behavior_success_probability(
+            TaskDesign(steps=8, controls_discoverable=0.2, feedback_quality=0.2,
+                       controls_distinguishable=0.3),
+            receiver,
+        )
+        assert good > bad

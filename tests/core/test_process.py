@@ -1,0 +1,133 @@
+"""Tests for the four-step human threat identification and mitigation process."""
+
+import pytest
+
+from repro.core.exceptions import ProcessError
+from repro.core.process import (
+    AutomationDecision,
+    HumanThreatProcess,
+    ProcessResult,
+)
+from repro.core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+
+
+class TestProcessSteps:
+    def test_task_identification_returns_critical_tasks(self, small_system):
+        process = HumanThreatProcess(small_system)
+        tasks = process.identify_tasks()
+        assert {task.name for task in tasks} == {task.name for task in small_system.tasks}
+
+    def test_failure_identification_produces_analysis(self, small_system):
+        process = HumanThreatProcess(small_system)
+        analysis = process.identify_failures()
+        assert len(analysis.failures) > 0
+
+    def test_automation_decisions_have_rationale(self, small_system):
+        process = HumanThreatProcess(small_system)
+        analysis = process.identify_failures()
+        outcomes = process.evaluate_automation(analysis)
+        assert set(outcomes) == {task.name for task in small_system.tasks}
+        for outcome in outcomes.values():
+            assert outcome.rationale
+            assert 0.0 <= outcome.human_reliability_estimate <= 1.0
+
+    def test_unautomatable_task_keeps_human(self, small_system):
+        process = HumanThreatProcess(small_system)
+        analysis = process.identify_failures()
+        outcomes = process.evaluate_automation(analysis)
+        # The fixture tasks use the default AutomationProfile (not automatable).
+        assert all(outcome.decision is AutomationDecision.KEEP_HUMAN
+                   for outcome in outcomes.values())
+
+    def test_reliable_automation_recommended_for_unreliable_humans(self):
+        task = HumanSecurityTask(
+            name="automatable",
+            desired_action="act",
+            automation=AutomationProfile(
+                can_fully_automate=True,
+                automation_accuracy=0.95,
+                automation_false_positive_rate=0.01,
+                human_information_advantage=0.1,
+            ),
+        )
+        system = SecureSystem(name="s", tasks=[task])
+        process = HumanThreatProcess(system)
+        analysis = process.identify_failures()
+        outcomes = process.evaluate_automation(analysis)
+        assert outcomes["automatable"].decision is AutomationDecision.AUTOMATE
+
+    def test_vendor_constraint_mentioned_for_partial_automation(self):
+        task = HumanSecurityTask(
+            name="constrained",
+            desired_action="act",
+            automation=AutomationProfile(
+                can_fully_automate=True,
+                automation_accuracy=0.5,
+                human_information_advantage=0.8,
+                vendor_constraints="vendor requires an override",
+            ),
+        )
+        system = SecureSystem(name="s", tasks=[task])
+        process = HumanThreatProcess(system)
+        analysis = process.identify_failures()
+        outcomes = process.evaluate_automation(analysis)
+        assert outcomes["constrained"].decision is AutomationDecision.PARTIALLY_AUTOMATE
+        assert "vendor requires an override" in outcomes["constrained"].rationale
+
+    def test_mitigation_plans_for_human_tasks(self, small_system):
+        process = HumanThreatProcess(small_system)
+        analysis = process.identify_failures()
+        outcomes = process.evaluate_automation(analysis)
+        plans = process.plan_mitigations(analysis, outcomes)
+        assert set(plans) == set(analysis.task_analyses)
+        assert any(plan.recommendations for plan in plans.values())
+
+
+class TestFullProcess:
+    def test_single_pass_records_everything(self, small_system):
+        process = HumanThreatProcess(small_system)
+        process_pass = process.run_pass()
+        assert process_pass.pass_number == 1
+        assert process_pass.identified_tasks
+        assert process_pass.residual_risk >= 0.0
+        assert set(process_pass.mitigation_plans) == set(process_pass.analysis.task_analyses)
+
+    def test_iteration_reduces_or_stops(self, small_system):
+        process = HumanThreatProcess(small_system, acceptable_risk=0.0)
+        result = process.run(max_passes=3)
+        trajectory = result.risk_trajectory()
+        assert len(trajectory) >= 1
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(trajectory, trajectory[1:]))
+
+    def test_stops_when_risk_acceptable(self, small_system):
+        process = HumanThreatProcess(small_system, acceptable_risk=1e6)
+        result = process.run(max_passes=3)
+        assert result.pass_count == 1
+
+    def test_tasks_without_communication_surfaced(self):
+        silent = HumanSecurityTask(name="silent", desired_action="act")
+        system = SecureSystem(name="s", tasks=[silent])
+        result = HumanThreatProcess(system).run(max_passes=1)
+        assert "silent" in result.final_pass.tasks_without_communication
+
+    def test_final_pass_of_empty_result_raises(self):
+        with pytest.raises(ProcessError):
+            ProcessResult(system_name="s", passes=[]).final_pass
+
+    def test_invalid_parameters_rejected(self, small_system):
+        with pytest.raises(ProcessError):
+            HumanThreatProcess(small_system, mitigation_discount=1.5)
+        with pytest.raises(ProcessError):
+            HumanThreatProcess(small_system, acceptable_risk=-1.0)
+        with pytest.raises(ProcessError):
+            HumanThreatProcess(small_system).run(max_passes=0)
+
+    def test_converged_detection(self, small_system):
+        process = HumanThreatProcess(small_system, acceptable_risk=0.0)
+        result = process.run(max_passes=5)
+        # Either the process converged (risk stopped falling) or it hit the
+        # pass limit while still improving; both are valid terminations.
+        assert result.pass_count <= 5
+        if result.pass_count >= 2 and result.pass_count < 5:
+            final_delta = result.passes[-2].residual_risk - result.passes[-1].residual_risk
+            assert final_delta >= 0.0

@@ -1,0 +1,150 @@
+"""Tests for the human-receiver model (personal variables, intentions, capabilities)."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.receiver import (
+    AttitudesBeliefs,
+    Capabilities,
+    Demographics,
+    EducationLevel,
+    HumanReceiver,
+    Intentions,
+    KnowledgeExperience,
+    Motivation,
+    PersonalVariables,
+    expert_receiver,
+    novice_receiver,
+    typical_receiver,
+)
+
+
+class TestDemographics:
+    def test_default_is_valid(self):
+        assert Demographics().age == 35
+
+    def test_implausible_age_rejected(self):
+        with pytest.raises(ModelError):
+            Demographics(age=200)
+
+    def test_disabilities_flag(self):
+        assert not Demographics().has_disabilities
+        assert Demographics(disabilities=("low vision",)).has_disabilities
+
+    def test_education_weights_ordered(self):
+        weights = [level.weight for level in (
+            EducationLevel.PRIMARY,
+            EducationLevel.SECONDARY,
+            EducationLevel.UNDERGRADUATE,
+            EducationLevel.GRADUATE,
+        )]
+        assert weights == sorted(weights)
+
+
+class TestKnowledgeExperience:
+    def test_expertise_monotone_in_security_knowledge(self):
+        low = KnowledgeExperience(security_knowledge=0.1)
+        high = KnowledgeExperience(security_knowledge=0.9)
+        assert high.expertise > low.expertise
+
+    def test_fields_validated(self):
+        with pytest.raises(ModelError):
+            KnowledgeExperience(security_knowledge=1.2)
+
+    def test_expertise_bounded(self):
+        maxed = KnowledgeExperience(
+            security_knowledge=1.0, domain_knowledge=1.0, computer_proficiency=1.0
+        )
+        assert 0.0 <= maxed.expertise <= 1.0
+
+
+class TestIntentions:
+    def test_belief_score_decreases_with_annoyance(self):
+        calm = AttitudesBeliefs(annoyance=0.0)
+        annoyed = AttitudesBeliefs(annoyance=0.9)
+        assert annoyed.belief_score < calm.belief_score
+
+    def test_belief_score_increases_with_trust(self):
+        assert AttitudesBeliefs(trust=0.9).belief_score > AttitudesBeliefs(trust=0.2).belief_score
+
+    def test_motivation_decreases_with_conflicting_goals(self):
+        focused = Motivation(conflicting_goals=0.0)
+        conflicted = Motivation(conflicting_goals=0.9)
+        assert conflicted.motivation_score < focused.motivation_score
+
+    def test_motivation_increases_with_consequences(self):
+        assert (
+            Motivation(perceived_consequences=0.9).motivation_score
+            > Motivation(perceived_consequences=0.1).motivation_score
+        )
+
+    def test_incentives_raise_motivation(self):
+        assert (
+            Motivation(incentives=0.8).motivation_score
+            > Motivation(incentives=0.0).motivation_score
+        )
+
+    def test_intention_score_combines_both(self):
+        strong = Intentions(
+            attitudes=AttitudesBeliefs(trust=0.9, risk_perception=0.8),
+            motivation=Motivation(perceived_consequences=0.9, conflicting_goals=0.0),
+        )
+        weak = Intentions(
+            attitudes=AttitudesBeliefs(trust=0.2, risk_perception=0.1),
+            motivation=Motivation(perceived_consequences=0.1, conflicting_goals=0.9),
+        )
+        assert strong.intention_score > weak.intention_score
+        assert 0.0 <= weak.intention_score <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AttitudesBeliefs(trust=-0.5)
+        with pytest.raises(ModelError):
+            Motivation(incentives=1.5)
+
+
+class TestCapabilities:
+    def test_capability_score_penalizes_missing_software(self):
+        with_software = Capabilities(has_required_software=True)
+        without_software = Capabilities(has_required_software=False)
+        assert without_software.capability_score < with_software.capability_score
+
+    def test_meets_requires_every_dimension(self):
+        strong = Capabilities(knowledge_to_act=0.8, cognitive_skill=0.8, memory_capacity=0.8)
+        weak_requirement = Capabilities(
+            knowledge_to_act=0.5, cognitive_skill=0.5, physical_skill=0.5, memory_capacity=0.5,
+            has_required_software=False, has_required_device=False,
+        )
+        hard_requirement = Capabilities(
+            knowledge_to_act=0.5, cognitive_skill=0.5, physical_skill=0.5, memory_capacity=0.95,
+            has_required_software=False, has_required_device=False,
+        )
+        assert strong.meets(weak_requirement)
+        assert not strong.meets(hard_requirement)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Capabilities(memory_capacity=2.0)
+
+
+class TestReceiverProfiles:
+    def test_expert_more_expert_than_novice(self):
+        assert expert_receiver().expertise > typical_receiver().expertise > novice_receiver().expertise
+
+    def test_expert_flag(self):
+        assert expert_receiver().is_expert
+        assert not novice_receiver().is_expert
+
+    def test_profiles_have_distinct_names(self):
+        names = {novice_receiver().name, typical_receiver().name, expert_receiver().name}
+        assert len(names) == 3
+
+    def test_receiver_aggregate_scores_bounded(self):
+        for receiver in (novice_receiver(), typical_receiver(), expert_receiver()):
+            assert 0.0 <= receiver.intention_score <= 1.0
+            assert 0.0 <= receiver.capability_score <= 1.0
+
+    def test_default_receiver_construction(self):
+        receiver = HumanReceiver()
+        assert receiver.name == "user"
+        assert isinstance(receiver.personal_variables, PersonalVariables)

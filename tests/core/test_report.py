@@ -1,0 +1,72 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.core.analysis import analyze_system, analyze_task
+from repro.core.mitigation import suggest_mitigations
+from repro.core.process import HumanThreatProcess
+from repro.core.report import (
+    render_failure_table,
+    render_mitigation_plan,
+    render_process_result,
+    render_system_analysis,
+    render_task_analysis,
+)
+
+
+class TestTaskReport:
+    def test_report_includes_components_and_probability(self, warning_task):
+        analysis = analyze_task(warning_task)
+        report = render_task_analysis(analysis)
+        assert "Framework analysis: heed-test-warning" in report
+        assert "Communication" in report
+        assert "Capabilities" in report
+        assert "%" in report
+
+    def test_report_lists_failures_when_present(self, memory_task):
+        analysis = analyze_task(memory_task)
+        report = render_task_analysis(analysis)
+        assert "Identified failure modes" in report
+        assert "capabilities" in report.lower()
+
+    def test_stage_probabilities_rendered(self, warning_task):
+        analysis = analyze_task(warning_task)
+        report = render_task_analysis(analysis)
+        assert "Stage success probabilities" in report
+        assert "attention switch" in report
+
+
+class TestSystemAndProcessReports:
+    def test_system_report_includes_every_task(self, small_system):
+        analysis = analyze_system(small_system)
+        report = render_system_analysis(analysis)
+        for task in small_system.tasks:
+            assert task.name in report
+        assert "Weakest task" in report
+
+    def test_process_report_shows_passes_and_decisions(self, small_system):
+        result = HumanThreatProcess(small_system).run(max_passes=2)
+        report = render_process_result(result)
+        assert "Pass 1" in report
+        assert "Task automation decisions" in report
+        assert "Residual risk" in report
+
+    def test_mitigation_plan_report(self, memory_task):
+        analysis = analyze_task(memory_task)
+        plan = suggest_mitigations(analysis.failures)
+        report = render_mitigation_plan(plan)
+        assert "Mitigation plan" in report
+        assert "1." in report
+
+    def test_empty_mitigation_plan_report(self):
+        from repro.core.failure import FailureInventory
+
+        plan = suggest_mitigations(FailureInventory())
+        report = render_mitigation_plan(plan)
+        assert "No mitigations recommended" in report
+
+    def test_failure_table_is_markdown(self, memory_task):
+        analysis = analyze_task(memory_task)
+        table = render_failure_table(analysis.failures)
+        assert table.startswith("| Failure |")
+        assert table.count("|") > 10

@@ -1,0 +1,90 @@
+"""Tests for the information-processing stages and stage traces."""
+
+import pytest
+
+from repro.core.components import Component, ComponentGroup
+from repro.core.exceptions import ModelError
+from repro.core.stages import STAGE_ORDER, Stage, StageOutcome, StageTrace, stages_for_group
+
+
+class TestStageStructure:
+    def test_seven_stages_in_order(self):
+        assert len(STAGE_ORDER) == 7
+        assert STAGE_ORDER[0] is Stage.ATTENTION_SWITCH
+        assert STAGE_ORDER[-1] is Stage.BEHAVIOR
+
+    def test_stage_component_mapping_is_one_to_one(self):
+        components = [stage.component for stage in STAGE_ORDER]
+        assert len(components) == len(set(components))
+
+    def test_stage_groups(self):
+        assert Stage.ATTENTION_SWITCH.group is ComponentGroup.COMMUNICATION_DELIVERY
+        assert Stage.COMPREHENSION.group is ComponentGroup.COMMUNICATION_PROCESSING
+        assert Stage.KNOWLEDGE_RETENTION.group is ComponentGroup.APPLICATION
+        assert Stage.BEHAVIOR.group is ComponentGroup.BEHAVIOR
+
+    def test_stage_index_matches_order(self):
+        for index, stage in enumerate(STAGE_ORDER):
+            assert stage.index == index
+
+    def test_stages_for_group(self):
+        assert stages_for_group(ComponentGroup.COMMUNICATION_DELIVERY) == (
+            Stage.ATTENTION_SWITCH,
+            Stage.ATTENTION_MAINTENANCE,
+        )
+        assert stages_for_group(ComponentGroup.APPLICATION) == (
+            Stage.KNOWLEDGE_RETENTION,
+            Stage.KNOWLEDGE_TRANSFER,
+        )
+
+
+class TestStageOutcome:
+    def test_probability_validated(self):
+        with pytest.raises(ModelError):
+            StageOutcome(stage=Stage.COMPREHENSION, succeeded=True, probability=1.4)
+
+
+class TestStageTrace:
+    def test_records_in_order(self):
+        trace = StageTrace()
+        trace.record(StageOutcome(Stage.ATTENTION_SWITCH, True, 0.9))
+        trace.record(StageOutcome(Stage.COMPREHENSION, True, 0.8))
+        assert trace.succeeded
+        assert trace.failed_stage is None
+        assert trace.evaluated_stages == [Stage.ATTENTION_SWITCH, Stage.COMPREHENSION]
+
+    def test_out_of_order_recording_rejected(self):
+        trace = StageTrace()
+        trace.record(StageOutcome(Stage.COMPREHENSION, True, 0.8))
+        with pytest.raises(ModelError):
+            trace.record(StageOutcome(Stage.ATTENTION_SWITCH, True, 0.9))
+
+    def test_failed_stage_reported(self):
+        trace = StageTrace()
+        trace.record(StageOutcome(Stage.ATTENTION_SWITCH, True, 0.9))
+        trace.record(StageOutcome(Stage.ATTENTION_MAINTENANCE, False, 0.5))
+        assert not trace.succeeded
+        assert trace.failed_stage is Stage.ATTENTION_MAINTENANCE
+
+    def test_outcome_lookup(self):
+        trace = StageTrace()
+        outcome = StageOutcome(Stage.ATTENTION_SWITCH, True, 0.7)
+        trace.record(outcome)
+        assert trace.outcome_for(Stage.ATTENTION_SWITCH) is outcome
+        assert trace.outcome_for(Stage.BEHAVIOR) is None
+
+    def test_success_probability_is_product(self):
+        trace = StageTrace()
+        trace.record(StageOutcome(Stage.ATTENTION_SWITCH, True, 0.5))
+        trace.record(StageOutcome(Stage.ATTENTION_MAINTENANCE, True, 0.5))
+        assert trace.success_probability() == pytest.approx(0.25)
+
+    def test_skipped_stages_tracked(self):
+        trace = StageTrace()
+        trace.skip(Stage.KNOWLEDGE_RETENTION)
+        trace.skip(Stage.KNOWLEDGE_TRANSFER)
+        assert Stage.KNOWLEDGE_RETENTION in trace.skipped
+        assert trace.succeeded  # nothing evaluated, nothing failed
+
+    def test_empty_trace_probability_is_one(self):
+        assert StageTrace().success_probability() == 1.0

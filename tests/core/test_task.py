@@ -1,0 +1,162 @@
+"""Tests for the task and system models."""
+
+import pytest
+
+from repro.core.communication import Communication, CommunicationType
+from repro.core.exceptions import ModelError, ValidationError
+from repro.core.receiver import Capabilities, novice_receiver, typical_receiver
+from repro.core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+
+
+class TestAutomationProfile:
+    def test_automation_not_advisable_when_infeasible(self):
+        profile = AutomationProfile(can_fully_automate=False, automation_accuracy=0.99)
+        assert not profile.automation_advisable(human_reliability=0.1)
+
+    def test_automation_advisable_when_more_accurate_than_human(self):
+        profile = AutomationProfile(
+            can_fully_automate=True,
+            automation_accuracy=0.9,
+            automation_false_positive_rate=0.02,
+            human_information_advantage=0.2,
+        )
+        assert profile.automation_advisable(human_reliability=0.4)
+        assert not profile.automation_advisable(human_reliability=0.95)
+
+    def test_human_context_blocks_automation(self):
+        profile = AutomationProfile(
+            can_fully_automate=True,
+            automation_accuracy=0.95,
+            human_information_advantage=0.8,
+        )
+        assert not profile.automation_advisable(human_reliability=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AutomationProfile(automation_accuracy=1.5)
+        with pytest.raises(ModelError):
+            AutomationProfile().automation_advisable(human_reliability=2.0)
+
+
+class TestHumanSecurityTask:
+    def test_default_receiver_added_when_none_given(self):
+        task = HumanSecurityTask(name="t", desired_action="act")
+        assert task.receivers
+        assert task.primary_receiver.name == "typical"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            HumanSecurityTask(name="")
+
+    def test_has_communication_flag(self):
+        without = HumanSecurityTask(name="t", desired_action="act")
+        with_comm = HumanSecurityTask(
+            name="u",
+            desired_action="act",
+            communication=Communication(name="c", comm_type=CommunicationType.NOTICE),
+        )
+        assert not without.has_communication
+        assert with_comm.has_communication
+
+    def test_receiver_lookup_by_name(self):
+        task = HumanSecurityTask(
+            name="t", desired_action="act", receivers=[typical_receiver(), novice_receiver()]
+        )
+        assert task.receiver_named("novice").name == "novice"
+        with pytest.raises(ModelError):
+            task.receiver_named("missing")
+
+    def test_capability_gap_empty_when_requirements_met(self):
+        task = HumanSecurityTask(name="t", desired_action="act")
+        assert task.capability_gap() == {}
+
+    def test_capability_gap_reports_shortfall(self):
+        task = HumanSecurityTask(
+            name="t",
+            desired_action="act",
+            capability_requirements=Capabilities(
+                knowledge_to_act=0.0,
+                cognitive_skill=0.0,
+                physical_skill=0.0,
+                memory_capacity=0.95,
+                has_required_software=False,
+                has_required_device=False,
+            ),
+        )
+        gaps = task.capability_gap()
+        assert "memory_capacity" in gaps
+        assert gaps["memory_capacity"] > 0.3
+
+    def test_capability_gap_flags_missing_device(self):
+        task = HumanSecurityTask(
+            name="t",
+            desired_action="act",
+            capability_requirements=Capabilities(
+                knowledge_to_act=0.0, cognitive_skill=0.0, physical_skill=0.0,
+                memory_capacity=0.0, has_required_software=False, has_required_device=True,
+            ),
+            receivers=[typical_receiver()],
+        )
+        # The default typical receiver has the device, so no gap.
+        assert "has_required_device" not in task.capability_gap()
+
+    def test_validate_requires_desired_action_for_critical_tasks(self):
+        task = HumanSecurityTask(name="t", security_critical=True)
+        with pytest.raises(ValidationError):
+            task.validate()
+
+    def test_validate_passes_for_noncritical_task(self):
+        HumanSecurityTask(name="t", security_critical=False).validate()
+
+
+class TestSecureSystem:
+    def test_duplicate_task_names_rejected_at_construction(self):
+        task = HumanSecurityTask(name="same", desired_action="act")
+        clone = HumanSecurityTask(name="same", desired_action="act")
+        with pytest.raises(ModelError):
+            SecureSystem(name="s", tasks=[task, clone])
+
+    def test_add_task_rejects_duplicates(self):
+        system = SecureSystem(name="s")
+        system.add_task(HumanSecurityTask(name="a", desired_action="act"))
+        with pytest.raises(ModelError):
+            system.add_task(HumanSecurityTask(name="a", desired_action="act"))
+
+    def test_task_lookup(self):
+        system = SecureSystem(name="s", tasks=[HumanSecurityTask(name="a", desired_action="act")])
+        assert system.task_named("a").name == "a"
+        with pytest.raises(ModelError):
+            system.task_named("missing")
+
+    def test_security_critical_filter(self):
+        system = SecureSystem(
+            name="s",
+            tasks=[
+                HumanSecurityTask(name="critical", desired_action="act", security_critical=True),
+                HumanSecurityTask(name="routine", security_critical=False),
+            ],
+        )
+        assert [task.name for task in system.security_critical_tasks()] == ["critical"]
+
+    def test_tasks_without_communication(self):
+        system = SecureSystem(
+            name="s",
+            tasks=[
+                HumanSecurityTask(name="silent", desired_action="act"),
+                HumanSecurityTask(
+                    name="warned",
+                    desired_action="act",
+                    communication=Communication(name="c", comm_type=CommunicationType.WARNING),
+                ),
+            ],
+        )
+        assert [task.name for task in system.tasks_without_communication()] == ["silent"]
+
+    def test_len_and_iter(self):
+        system = SecureSystem(name="s", tasks=[HumanSecurityTask(name="a", desired_action="x")])
+        assert len(system) == 1
+        assert [task.name for task in system] == ["a"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            SecureSystem(name="")

@@ -1,0 +1,94 @@
+"""Tests for the GEMS error taxonomy and classifier."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.gems.errors import (
+    ErrorObservation,
+    ErrorType,
+    GEMSError,
+    PerformanceLevel,
+    classify_error,
+    design_countermeasures,
+)
+
+
+class TestTaxonomy:
+    def test_three_error_types(self):
+        assert len(list(ErrorType)) == 3
+
+    def test_mistake_is_planning_error(self):
+        assert ErrorType.MISTAKE.is_planning_error
+        assert not ErrorType.LAPSE.is_planning_error
+        assert not ErrorType.SLIP.is_planning_error
+
+    def test_performance_levels_for_error_types(self):
+        assert PerformanceLevel.SKILL_BASED in PerformanceLevel.typical_for(ErrorType.SLIP)
+        assert PerformanceLevel.KNOWLEDGE_BASED in PerformanceLevel.typical_for(ErrorType.MISTAKE)
+        assert PerformanceLevel.SKILL_BASED not in PerformanceLevel.typical_for(ErrorType.MISTAKE)
+
+    def test_gems_error_rejects_inconsistent_level(self):
+        with pytest.raises(ModelError):
+            GEMSError(ErrorType.SLIP, PerformanceLevel.KNOWLEDGE_BASED)
+        GEMSError(ErrorType.SLIP, PerformanceLevel.SKILL_BASED)
+
+
+class TestClassifier:
+    def test_bad_plan_is_mistake(self):
+        observation = ErrorObservation(
+            plan_would_achieve_goal=False,
+            narrative="opened attachment because it came from a friend",
+        )
+        error = classify_error(observation)
+        assert error.error_type is ErrorType.MISTAKE
+        assert error.performance_level is PerformanceLevel.RULE_BASED
+
+    def test_knowledge_gap_makes_knowledge_based_mistake(self):
+        observation = ErrorObservation(plan_would_achieve_goal=False, knowledge_gap=True)
+        assert classify_error(observation).performance_level is PerformanceLevel.KNOWLEDGE_BASED
+
+    def test_omitted_step_is_lapse(self):
+        observation = ErrorObservation(plan_would_achieve_goal=True, action_omitted=True)
+        assert classify_error(observation).error_type is ErrorType.LAPSE
+
+    def test_wrong_button_is_slip(self):
+        observation = ErrorObservation(
+            plan_would_achieve_goal=True, action_performed_incorrectly=True
+        )
+        assert classify_error(observation).error_type is ErrorType.SLIP
+
+    def test_bad_plan_dominates_execution_problems(self):
+        observation = ErrorObservation(
+            plan_would_achieve_goal=False,
+            action_omitted=True,
+            action_performed_incorrectly=True,
+        )
+        assert classify_error(observation).error_type is ErrorType.MISTAKE
+
+    def test_no_error_raises(self):
+        with pytest.raises(ModelError):
+            classify_error(ErrorObservation(plan_would_achieve_goal=True))
+
+    def test_narrative_preserved(self):
+        observation = ErrorObservation(
+            plan_would_achieve_goal=True, action_omitted=True, narrative="forgot to remove card"
+        )
+        assert classify_error(observation).narrative == "forgot to remove card"
+
+
+class TestCountermeasures:
+    def test_mistake_countermeasures_mention_instructions(self):
+        guidance = " ".join(design_countermeasures(ErrorType.MISTAKE)).lower()
+        assert "instruction" in guidance or "mental model" in guidance
+
+    def test_lapse_countermeasures_mention_steps(self):
+        guidance = " ".join(design_countermeasures(ErrorType.LAPSE)).lower()
+        assert "steps" in guidance
+
+    def test_slip_countermeasures_mention_controls(self):
+        guidance = " ".join(design_countermeasures(ErrorType.SLIP)).lower()
+        assert "controls" in guidance
+
+    def test_each_type_has_at_least_two_countermeasures(self):
+        for error_type in ErrorType:
+            assert len(design_countermeasures(error_type)) >= 2

@@ -1,0 +1,128 @@
+"""Integration tests: the two case studies end to end.
+
+These tests exercise the full stack — system model → framework analysis →
+human threat identification and mitigation process → simulation — and check
+the qualitative conclusions the paper draws in Section 3.
+"""
+
+import pytest
+
+from repro.core import HumanInTheLoopFramework
+from repro.core.components import Component
+from repro.core.process import AutomationDecision, HumanThreatProcess
+from repro.mitigations import catalog_for, recommend_for_system
+from repro.simulation import HumanLoopSimulator, SimulationConfig
+from repro.systems import antiphishing, passwords
+
+
+class TestAntiphishingCaseStudy:
+    @pytest.fixture(scope="class")
+    def framework(self):
+        return HumanInTheLoopFramework(mitigation_catalog=catalog_for("antiphishing"))
+
+    def test_process_identifies_all_three_warning_tasks(self, framework):
+        result = framework.run_process(antiphishing.build_system(), max_passes=1)
+        assert len(result.final_pass.identified_tasks) == 3
+
+    def test_automation_step_keeps_human_with_override(self):
+        process = HumanThreatProcess(antiphishing.build_system())
+        process_pass = process.run_pass()
+        # Browser vendors insist on the override, so automation is partial.
+        decisions = {
+            outcome.decision for outcome in process_pass.automation_outcomes.values()
+        }
+        assert AutomationDecision.PARTIALLY_AUTOMATE in decisions or (
+            AutomationDecision.AUTOMATE in decisions
+        )
+
+    def test_passive_warning_is_the_weakest_task(self, framework):
+        analysis = framework.analyze_system(antiphishing.build_system())
+        weakest = analysis.weakest_task()
+        assert "ie_passive" in weakest
+
+    def test_mitigation_for_passive_task_includes_activation_or_blocking(self):
+        recommendations = recommend_for_system(
+            antiphishing.build_system(), domain="antiphishing"
+        )
+        passive_task = antiphishing.task_for(antiphishing.WarningVariant.IE_PASSIVE).name
+        top = [m.name for m in recommendations.tasks[passive_task].mitigation_plan.top(5)]
+        assert any(
+            name in top
+            for name in (
+                "replace-passive-with-active-warning",
+                "make-communication-active",
+                "block-without-override",
+            )
+        )
+
+    def test_simulation_reproduces_active_vs_passive_gap(self):
+        simulator = HumanLoopSimulator(
+            SimulationConfig(n_receivers=500, seed=1, calibration=antiphishing.calibration())
+        )
+        population = antiphishing.population()
+        firefox = simulator.simulate_task(
+            antiphishing.task_for(antiphishing.WarningVariant.FIREFOX), population
+        )
+        passive = simulator.simulate_task(
+            antiphishing.task_for(antiphishing.WarningVariant.IE_PASSIVE), population
+        )
+        assert firefox.protection_rate() > 2 * passive.protection_rate()
+
+
+class TestPasswordCaseStudy:
+    @pytest.fixture(scope="class")
+    def framework(self):
+        return HumanInTheLoopFramework(mitigation_catalog=catalog_for("passwords"))
+
+    def test_process_identifies_three_tasks(self, framework):
+        result = framework.run_process(passwords.build_system(), max_passes=1)
+        assert len(result.final_pass.identified_tasks) == 3
+
+    def test_recall_task_is_the_weakest(self, framework):
+        analysis = framework.analyze_system(passwords.build_system())
+        assert "recall-passwords" in analysis.weakest_task()
+
+    def test_capability_failure_identified_for_recall(self, framework):
+        analysis = framework.analyze_system(passwords.build_system())
+        recall_name = passwords.recall_task(passwords.baseline_policy()).name
+        recall_analysis = analysis.analysis_for(recall_name)
+        assert recall_analysis.failures.by_component(Component.CAPABILITIES)
+
+    def test_mitigation_ranking_prefers_memory_offloading_over_training(self, framework):
+        recommendations = recommend_for_system(passwords.build_system(), domain="passwords")
+        recall_name = passwords.recall_task(passwords.baseline_policy()).name
+        plan = recommendations.tasks[recall_name].mitigation_plan
+        names = [m.name for m in plan.ranked_mitigations()]
+        memory_offloading_rank = min(
+            names.index(name)
+            for name in ("single-sign-on", "password-vault", "automate-or-default")
+            if name in names
+        )
+        training_rank = names.index("explain-password-policy-rationale") if (
+            "explain-password-policy-rationale" in names
+        ) else len(names)
+        assert memory_offloading_rank < training_rank
+
+    def test_simulated_policy_sweep_orders_variants(self):
+        rates = {}
+        for name, policy in passwords.policy_variants().items():
+            simulator = HumanLoopSimulator(
+                SimulationConfig(n_receivers=300, seed=9, calibration=passwords.calibration(policy))
+            )
+            result = simulator.simulate_task(
+                passwords.recall_task(policy), passwords.population(policy)
+            )
+            rates[name] = result.protection_rate()
+        assert rates["single-sign-on"] > rates["baseline"]
+        assert rates["password-vault"] > rates["baseline"]
+        assert rates["no-expiry"] >= rates["baseline"] - 0.02
+
+    def test_process_iteration_reduces_residual_risk(self):
+        process = HumanThreatProcess(
+            passwords.build_system(),
+            mitigation_catalog=catalog_for("passwords"),
+            acceptable_risk=0.0,
+        )
+        result = process.run(max_passes=3)
+        trajectory = result.risk_trajectory()
+        assert trajectory[-1] <= trajectory[0]

@@ -1,0 +1,121 @@
+"""Tests for JSON serialization of the framework models."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import SerializationError
+from repro.io.json_io import (
+    analysis_to_dict,
+    communication_from_dict,
+    communication_to_dict,
+    dumps_system,
+    environment_from_dict,
+    environment_to_dict,
+    failure_to_dict,
+    load_system,
+    loads_system,
+    receiver_from_dict,
+    receiver_to_dict,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.core.analysis import analyze_task
+from repro.core.receiver import expert_receiver
+from repro.systems import antiphishing, passwords
+
+
+class TestCommunicationRoundTrip:
+    def test_round_trip_preserves_fields(self, blocking_warning):
+        payload = communication_to_dict(blocking_warning)
+        restored = communication_from_dict(payload)
+        assert restored == blocking_warning
+
+    def test_round_trip_through_json_text(self, passive_indicator):
+        payload = json.loads(json.dumps(communication_to_dict(passive_indicator)))
+        assert communication_from_dict(payload) == passive_indicator
+
+    def test_invalid_payload_raises(self):
+        with pytest.raises(SerializationError):
+            communication_from_dict({"name": "x", "comm_type": "not-a-type"})
+
+
+class TestEnvironmentAndReceiverRoundTrip:
+    def test_environment_round_trip(self, busy_environment):
+        restored = environment_from_dict(environment_to_dict(busy_environment))
+        assert len(restored.stimuli) == len(busy_environment.stimuli)
+        assert restored.distraction_level == pytest.approx(busy_environment.distraction_level)
+
+    def test_environment_invalid_kind_raises(self):
+        with pytest.raises(SerializationError):
+            environment_from_dict({"stimuli": [{"kind": "nonsense"}]})
+
+    def test_receiver_round_trip(self):
+        receiver = expert_receiver()
+        restored = receiver_from_dict(receiver_to_dict(receiver))
+        assert restored == receiver
+
+    def test_receiver_invalid_payload(self):
+        with pytest.raises(SerializationError):
+            receiver_from_dict({"knowledge": {"security_knowledge": 5.0}})
+
+
+class TestTaskAndSystemRoundTrip:
+    def test_task_round_trip(self, warning_task):
+        restored = task_from_dict(task_to_dict(warning_task))
+        assert restored.name == warning_task.name
+        assert restored.communication == warning_task.communication
+        assert restored.capability_requirements == warning_task.capability_requirements
+        assert len(restored.receivers) == len(warning_task.receivers)
+
+    def test_task_without_communication(self):
+        from repro.core.task import HumanSecurityTask
+
+        task = HumanSecurityTask(name="silent", desired_action="act")
+        restored = task_from_dict(task_to_dict(task))
+        assert restored.communication is None
+
+    def test_system_round_trip_for_case_studies(self):
+        for system in (antiphishing.build_system(), passwords.build_system()):
+            restored = system_from_dict(system_to_dict(system))
+            assert restored.name == system.name
+            assert [task.name for task in restored.tasks] == [task.name for task in system.tasks]
+            restored.validate()
+
+    def test_dumps_loads_round_trip(self, small_system):
+        text = dumps_system(small_system)
+        restored = loads_system(text)
+        assert restored.name == small_system.name
+        assert len(restored) == len(small_system)
+
+    def test_loads_rejects_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads_system("{not json")
+
+    def test_save_and_load_file(self, small_system, tmp_path):
+        path = tmp_path / "system.json"
+        save_system(small_system, str(path))
+        restored = load_system(str(path))
+        assert restored.name == small_system.name
+
+
+class TestAnalysisSerialization:
+    def test_analysis_to_dict_structure(self, warning_task):
+        analysis = analyze_task(warning_task)
+        payload = analysis_to_dict(analysis)
+        assert payload["task"] == warning_task.name
+        assert 0.0 < payload["success_probability"] < 1.0
+        assert "attention_switch" in payload["stage_probabilities"]
+        assert set(payload["assessments"]) >= {"communication", "capabilities"}
+        json.dumps(payload)  # must be JSON-compatible
+
+    def test_failure_to_dict(self, memory_task):
+        analysis = analyze_task(memory_task)
+        failure = analysis.failures.ranked()[0]
+        payload = failure_to_dict(failure)
+        assert payload["identifier"] == failure.identifier
+        assert payload["risk_score"] == pytest.approx(failure.risk_score)
+        json.dumps(payload)

@@ -1,0 +1,63 @@
+"""Tests for tabular rendering."""
+
+import pytest
+
+from repro.core.components import Component, ComponentGroup
+from repro.core.exceptions import ReproError
+from repro.io.tabular import format_cell, render_markdown_table, render_rows, render_table_1
+
+
+class TestFormatCell:
+    def test_small_floats_render_as_percentages(self):
+        assert format_cell(0.25) == "25.0%"
+
+    def test_large_floats_render_compactly(self):
+        assert format_cell(1234.5678) == "1.23e+03"
+
+    def test_booleans(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_strings_passthrough(self):
+        assert format_cell("hello") == "hello"
+
+
+class TestTable1Rendering:
+    def test_full_table_has_one_row_per_component(self):
+        rendered = render_table_1()
+        # Header + separator + 15 component rows.
+        assert len(rendered.splitlines()) == 2 + len(list(Component))
+        assert "Severity of hazard" in rendered
+        assert "Habituation" in rendered
+
+    def test_group_filter(self):
+        rendered = render_table_1(group=ComponentGroup.INTENTIONS)
+        assert "Motivation" in rendered
+        assert "Attention switch" not in rendered
+
+
+class TestGenericTables:
+    def test_markdown_table(self):
+        rows = [{"scenario": "a", "rate": 0.5}, {"scenario": "b", "rate": 0.75}]
+        rendered = render_markdown_table(rows)
+        assert rendered.splitlines()[0] == "| scenario | rate |"
+        assert "50.0%" in rendered
+
+    def test_markdown_table_empty(self):
+        assert render_markdown_table([]) == "(no rows)"
+
+    def test_plain_rows_aligned(self):
+        rows = [{"name": "x", "value": 1}, {"name": "longer-name", "value": 2}]
+        rendered = render_rows(rows)
+        lines = rendered.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_plain_rows_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        rendered = render_rows(rows, columns=["b"])
+        assert "a" not in rendered.splitlines()[0]
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ReproError):
+            render_rows([{"a": 1}], padding=-1)

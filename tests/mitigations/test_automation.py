@@ -1,0 +1,72 @@
+"""Tests for the automation evaluation (Edwards-style guidelines)."""
+
+import pytest
+
+from repro.core.exceptions import AnalysisError
+from repro.core.task import AutomationProfile, HumanSecurityTask
+from repro.mitigations.automation import (
+    AutomationGuideline,
+    AutomationRecommendation,
+    evaluate_automation,
+)
+
+
+def _task(profile: AutomationProfile) -> HumanSecurityTask:
+    return HumanSecurityTask(name="task", desired_action="act", automation=profile)
+
+
+class TestEvaluation:
+    def test_infeasible_automation_keeps_human(self):
+        evaluation = evaluate_automation(
+            _task(AutomationProfile(can_fully_automate=False)), human_reliability=0.2
+        )
+        assert evaluation.recommendation is AutomationRecommendation.KEEP_HUMAN_WITH_SUPPORT
+
+    def test_accurate_cheap_automation_recommended(self):
+        profile = AutomationProfile(
+            can_fully_automate=True,
+            automation_accuracy=0.95,
+            automation_false_positive_rate=0.01,
+            human_information_advantage=0.1,
+            automation_cost=0.2,
+        )
+        evaluation = evaluate_automation(_task(profile), human_reliability=0.4)
+        assert evaluation.recommendation is AutomationRecommendation.AUTOMATE_FULLY
+        assert evaluation.favorable_count() >= 4
+
+    def test_vendor_constraint_downgrades_to_override(self):
+        profile = AutomationProfile(
+            can_fully_automate=True,
+            automation_accuracy=0.95,
+            automation_false_positive_rate=0.01,
+            human_information_advantage=0.1,
+            automation_cost=0.2,
+            vendor_constraints="must offer an override",
+        )
+        evaluation = evaluate_automation(_task(profile), human_reliability=0.4)
+        assert evaluation.recommendation is AutomationRecommendation.AUTOMATE_WITH_OVERRIDE
+
+    def test_human_context_keeps_human(self):
+        profile = AutomationProfile(
+            can_fully_automate=True,
+            automation_accuracy=0.6,
+            human_information_advantage=0.9,
+            automation_false_positive_rate=0.3,
+            automation_cost=0.8,
+        )
+        evaluation = evaluate_automation(_task(profile), human_reliability=0.7)
+        assert evaluation.recommendation is AutomationRecommendation.KEEP_HUMAN_WITH_SUPPORT
+
+    def test_every_guideline_assessed(self):
+        evaluation = evaluate_automation(_task(AutomationProfile()), human_reliability=0.5)
+        assessed = {assessment.guideline for assessment in evaluation.assessments}
+        assert assessed == set(AutomationGuideline)
+        assert all(assessment.note for assessment in evaluation.assessments)
+
+    def test_reliability_validated(self):
+        with pytest.raises(AnalysisError):
+            evaluate_automation(_task(AutomationProfile()), human_reliability=1.5)
+
+    def test_guideline_questions_exist(self):
+        for guideline in AutomationGuideline:
+            assert guideline.question.endswith("?")

@@ -1,0 +1,57 @@
+"""Tests for the domain mitigation catalogs."""
+
+import pytest
+
+from repro.core.components import Component
+from repro.core.mitigation import GENERIC_MITIGATIONS, MitigationStrategy
+from repro.mitigations.catalog import (
+    ANTIPHISHING_MITIGATIONS,
+    DOMAIN_MITIGATIONS,
+    INDICATOR_MITIGATIONS,
+    PASSWORD_MITIGATIONS,
+    catalog_for,
+    full_catalog,
+)
+
+
+class TestDomainCatalogs:
+    def test_password_catalog_includes_sso_and_vault(self):
+        names = {mitigation.name for mitigation in PASSWORD_MITIGATIONS}
+        assert "single-sign-on" in names
+        assert "password-vault" in names
+
+    def test_sso_addresses_capabilities(self):
+        sso = next(m for m in PASSWORD_MITIGATIONS if m.name == "single-sign-on")
+        assert Component.CAPABILITIES in sso.addresses_components
+        assert sso.strategy is MitigationStrategy.AUTOMATE
+
+    def test_antiphishing_catalog_includes_active_warning_replacement(self):
+        names = {mitigation.name for mitigation in ANTIPHISHING_MITIGATIONS}
+        assert "replace-passive-with-active-warning" in names
+        assert "embedded-antiphishing-training" in names
+
+    def test_indicator_catalog_addresses_interference(self):
+        assert any(
+            Component.INTERFERENCE in mitigation.addresses_components
+            for mitigation in INDICATOR_MITIGATIONS
+        )
+
+    def test_catalog_for_known_domain_extends_generic(self):
+        catalog = catalog_for("passwords")
+        assert len(catalog) == len(GENERIC_MITIGATIONS) + len(PASSWORD_MITIGATIONS)
+
+    def test_catalog_for_unknown_domain_is_generic_only(self):
+        assert len(catalog_for("unknown")) == len(GENERIC_MITIGATIONS)
+
+    def test_full_catalog_has_unique_names(self):
+        names = [mitigation.name for mitigation in full_catalog()]
+        assert len(names) == len(set(names))
+
+    def test_domain_mapping_keys(self):
+        assert set(DOMAIN_MITIGATIONS) == {"passwords", "antiphishing", "indicators"}
+
+    def test_every_mitigation_documented(self):
+        for mitigation in full_catalog():
+            assert len(mitigation.description) > 20
+            assert 0.0 <= mitigation.effectiveness <= 1.0
+            assert 0.0 <= mitigation.cost <= 1.0

@@ -1,0 +1,68 @@
+"""Tests for end-to-end system recommendations."""
+
+import pytest
+
+from repro.mitigations.recommendations import recommend_for_system
+from repro.systems import antiphishing, passwords
+
+
+class TestRecommendForSystem:
+    def test_password_system_recommends_sso_or_vault_for_recall(self):
+        system = passwords.build_system()
+        recommendations = recommend_for_system(system, domain="passwords")
+        recall_name = passwords.recall_task(passwords.baseline_policy()).name
+        recall = recommendations.recommendation_for(recall_name)
+        top_names = [m.name for m in recall.mitigation_plan.top(3)]
+        assert any(name in top_names for name in ("single-sign-on", "password-vault",
+                                                  "automate-or-default"))
+
+    def test_antiphishing_passive_task_recommends_active_warning(self):
+        system = antiphishing.build_system()
+        recommendations = recommend_for_system(system, domain="antiphishing")
+        passive_name = antiphishing.task_for(antiphishing.WarningVariant.IE_PASSIVE).name
+        passive = recommendations.recommendation_for(passive_name)
+        top_names = [m.name for m in passive.mitigation_plan.top(4)]
+        assert any(
+            "active" in name or name == "block-without-override" for name in top_names
+        )
+
+    def test_every_critical_task_gets_a_recommendation(self):
+        system = antiphishing.build_system()
+        recommendations = recommend_for_system(system)
+        assert set(recommendations.tasks) == {
+            task.name for task in system.security_critical_tasks()
+        }
+
+    def test_ranked_tasks_by_risk_descending(self):
+        system = passwords.build_system()
+        recommendations = recommend_for_system(system, domain="passwords")
+        ranked = recommendations.ranked_tasks_by_risk()
+        risks = [
+            recommendations.analysis.task_analyses[name].failures.total_risk()
+            for name in ranked
+        ]
+        assert risks == sorted(risks, reverse=True)
+
+    def test_summary_lines_cover_every_task(self):
+        system = antiphishing.build_system()
+        recommendations = recommend_for_system(system)
+        lines = recommendations.summary_lines()
+        assert len(lines) == len(recommendations.tasks)
+        assert all("reliability" in line for line in lines)
+
+    def test_explicit_catalog_overrides_domain(self):
+        from repro.core.components import Component
+        from repro.core.mitigation import Mitigation, MitigationStrategy
+
+        only = Mitigation(
+            name="the-only-mitigation",
+            strategy=MitigationStrategy.SUPPORT,
+            description="only option",
+            addresses_components=tuple(Component),
+        )
+        recommendations = recommend_for_system(
+            antiphishing.build_system(), domain="passwords", catalog=[only]
+        )
+        for task_recommendation in recommendations.tasks.values():
+            names = [m.name for m in task_recommendation.mitigation_plan.ranked_mitigations()]
+            assert names == ["the-only-mitigation"]

@@ -1,0 +1,85 @@
+"""Tests for Norman's action cycle encoding."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.norman.action_cycle import ActionCycle, ActionStage, locate_breakdown
+
+
+class TestActionCycle:
+    def test_seven_stages(self):
+        assert len(ActionCycle.stages()) == 7
+
+    def test_execution_and_evaluation_sides(self):
+        assert ActionStage.SPECIFY_ACTION.side == "execution"
+        assert ActionStage.EXECUTE_ACTION.side == "execution"
+        assert ActionStage.INTERPRET_STATE.side == "evaluation"
+        assert ActionStage.FORM_GOAL.side == "goal"
+
+    def test_execution_stages_subset(self):
+        execution = ActionCycle.execution_stages()
+        assert ActionStage.FORM_INTENTION in execution
+        assert ActionStage.PERCEIVE_STATE not in execution
+
+    def test_checklist_has_one_question_per_stage(self):
+        assert len(ActionCycle.checklist()) == 7
+        assert all(question.endswith("?") for question in ActionCycle.checklist())
+
+    def test_stage_indices_follow_order(self):
+        indices = [stage.index for stage in ActionCycle.stages()]
+        assert indices == list(range(7))
+
+    def test_descriptions_exist(self):
+        for stage in ActionStage:
+            assert stage.description
+
+
+class TestBreakdownLocation:
+    def test_antivirus_menu_example_is_execution_gulf(self):
+        breakdown = locate_breakdown(
+            knew_goal=True,
+            knew_which_action=False,
+            could_perform_action=True,
+            could_perceive_result=True,
+            could_interpret_result=True,
+            narrative="could not find the update menu item",
+        )
+        assert breakdown.stage is ActionStage.SPECIFY_ACTION
+        assert breakdown.gulf == "execution"
+
+    def test_file_permissions_example_is_evaluation_gulf(self):
+        breakdown = locate_breakdown(
+            knew_goal=True,
+            knew_which_action=True,
+            could_perform_action=True,
+            could_perceive_result=True,
+            could_interpret_result=False,
+            narrative="could not tell the effective permissions",
+        )
+        assert breakdown.gulf == "evaluation"
+        assert breakdown.stage is ActionStage.INTERPRET_STATE
+
+    def test_missing_goal_is_not_a_gulf(self):
+        breakdown = locate_breakdown(
+            knew_goal=False,
+            knew_which_action=True,
+            could_perform_action=True,
+            could_perceive_result=True,
+            could_interpret_result=True,
+        )
+        assert breakdown.stage is ActionStage.FORM_GOAL
+        assert breakdown.gulf is None
+
+    def test_first_failure_wins(self):
+        breakdown = locate_breakdown(
+            knew_goal=True,
+            knew_which_action=False,
+            could_perform_action=False,
+            could_perceive_result=False,
+            could_interpret_result=False,
+        )
+        assert breakdown.stage is ActionStage.SPECIFY_ACTION
+
+    def test_no_breakdown_raises(self):
+        with pytest.raises(ModelError):
+            locate_breakdown(True, True, True, True, True)

@@ -1,0 +1,56 @@
+"""Tests for the gulf-of-execution / gulf-of-evaluation assessment."""
+
+import pytest
+
+from repro.core.behavior import TaskDesign
+from repro.core.exceptions import ModelError
+from repro.norman.gulfs import Gulf, assess_gulfs
+
+
+class TestGulfAssessment:
+    def test_smartcard_stock_design_has_wide_gulfs(self):
+        stock = TaskDesign(controls_discoverable=0.4, feedback_quality=0.3)
+        assessment = assess_gulfs(stock)
+        assert assessment.execution_width > 0.4
+        assert assessment.evaluation_width > 0.5
+        assert not assessment.acceptable()
+        assert assessment.recommendations
+
+    def test_improved_design_narrows_gulfs(self):
+        improved = TaskDesign(controls_discoverable=0.9, feedback_quality=0.9)
+        assessment = assess_gulfs(improved)
+        assert assessment.acceptable()
+        assert not assessment.recommendations
+
+    def test_instructions_narrow_execution_gulf_only(self):
+        design = TaskDesign(controls_discoverable=0.4, feedback_quality=0.4)
+        without = assess_gulfs(design, instructions_included=False)
+        with_instructions = assess_gulfs(design, instructions_included=True)
+        assert with_instructions.execution_width < without.execution_width
+        assert with_instructions.evaluation_width == pytest.approx(without.evaluation_width)
+
+    def test_wider_gulf_identification(self):
+        execution_heavy = assess_gulfs(TaskDesign(controls_discoverable=0.1, feedback_quality=0.9))
+        evaluation_heavy = assess_gulfs(TaskDesign(controls_discoverable=0.9, feedback_quality=0.1))
+        assert execution_heavy.wider_gulf is Gulf.EXECUTION
+        assert evaluation_heavy.wider_gulf is Gulf.EVALUATION
+
+    def test_width_lookup_by_gulf(self):
+        assessment = assess_gulfs(TaskDesign(controls_discoverable=0.7, feedback_quality=0.5))
+        assert assessment.width(Gulf.EXECUTION) == pytest.approx(0.3)
+        assert assessment.width(Gulf.EVALUATION) == pytest.approx(0.5)
+
+    def test_multi_step_without_guidance_adds_recommendation(self):
+        design = TaskDesign(steps=6, controls_discoverable=0.9, feedback_quality=0.9)
+        assessment = assess_gulfs(design)
+        assert any("multi-step" in rec.lower() or "sequence" in rec.lower()
+                   for rec in assessment.recommendations)
+
+    def test_acceptable_threshold_validated(self):
+        assessment = assess_gulfs(TaskDesign())
+        with pytest.raises(ModelError):
+            assessment.acceptable(threshold=1.2)
+
+    def test_gulf_descriptions(self):
+        assert "intention" in Gulf.EXECUTION.description.lower()
+        assert "state" in Gulf.EVALUATION.description.lower()

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for the core framework invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import probabilities
+from repro.core.behavior import TaskDesign, assess_behavior_design
+from repro.core.communication import (
+    ActivenessLevel,
+    Communication,
+    CommunicationType,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+    recommend_activeness,
+)
+from repro.core.failure import FailureLikelihood
+from repro.core.impediments import Environment, StimulusKind
+from repro.core.receiver import (
+    AttitudesBeliefs,
+    Capabilities,
+    HumanReceiver,
+    Intentions,
+    KnowledgeExperience,
+    Motivation,
+    PersonalVariables,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def communications(draw) -> Communication:
+    return Communication(
+        name="prop",
+        comm_type=draw(st.sampled_from(list(CommunicationType))),
+        activeness=draw(unit),
+        hazard=HazardProfile(
+            severity=draw(st.sampled_from(list(HazardSeverity))),
+            frequency=draw(st.sampled_from(list(HazardFrequency))),
+            user_action_necessity=draw(unit),
+        ),
+        clarity=draw(unit),
+        includes_instructions=draw(st.booleans()),
+        explains_risk=draw(st.booleans()),
+        resembles_low_risk_communications=draw(st.booleans()),
+        length_words=draw(st.integers(min_value=0, max_value=1000)),
+        conspicuity=draw(unit),
+        allows_override=draw(st.booleans()),
+        false_positive_rate=draw(unit),
+        habituation_exposures=draw(st.integers(min_value=0, max_value=200)),
+    )
+
+
+@st.composite
+def receivers(draw) -> HumanReceiver:
+    return HumanReceiver(
+        name="prop-receiver",
+        personal_variables=PersonalVariables(
+            knowledge=KnowledgeExperience(
+                security_knowledge=draw(unit),
+                domain_knowledge=draw(unit),
+                computer_proficiency=draw(unit),
+                prior_exposure=draw(unit),
+                has_received_training=draw(st.booleans()),
+            ),
+        ),
+        intentions=Intentions(
+            attitudes=AttitudesBeliefs(
+                trust=draw(unit),
+                perceived_relevance=draw(unit),
+                risk_perception=draw(unit),
+                self_efficacy=draw(unit),
+                response_efficacy=draw(unit),
+                perceived_time_cost=draw(unit),
+                annoyance=draw(unit),
+            ),
+            motivation=Motivation(
+                conflicting_goals=draw(unit),
+                primary_task_pressure=draw(unit),
+                perceived_consequences=draw(unit),
+                incentives=draw(unit),
+                disincentives=draw(unit),
+                convenience_cost=draw(unit),
+            ),
+        ),
+        capabilities=Capabilities(
+            knowledge_to_act=draw(unit),
+            cognitive_skill=draw(unit),
+            physical_skill=draw(unit),
+            memory_capacity=draw(unit),
+        ),
+    )
+
+
+@st.composite
+def environments(draw) -> Environment:
+    environment = Environment(
+        competing_indicator_count=draw(st.integers(min_value=0, max_value=10))
+    )
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        environment.add_stimulus(
+            draw(st.sampled_from(list(StimulusKind))), intensity=draw(unit)
+        )
+    return environment
+
+
+class TestProbabilityInvariants:
+    @given(communication=communications(), environment=environments(), receiver=receivers())
+    @settings(max_examples=60, deadline=None)
+    def test_all_stage_probabilities_are_valid(self, communication, environment, receiver):
+        values = [
+            probabilities.attention_switch_probability(communication, environment, receiver),
+            probabilities.attention_maintenance_probability(communication, environment, receiver),
+            probabilities.comprehension_probability(communication, receiver),
+            probabilities.knowledge_acquisition_probability(communication, receiver),
+            probabilities.knowledge_retention_probability(communication, receiver),
+            probabilities.knowledge_transfer_probability(communication, receiver),
+            probabilities.intention_probability(communication, receiver),
+        ]
+        assert all(0.0 < value < 1.0 for value in values)
+
+    @given(communication=communications(), environment=environments(), receiver=receivers())
+    @settings(max_examples=60, deadline=None)
+    def test_more_active_is_never_less_noticed(self, communication, environment, receiver):
+        passive = communication.with_activeness(min(communication.activeness, 0.2))
+        active = communication.with_activeness(max(communication.activeness, 0.9))
+        assert probabilities.attention_switch_probability(
+            active, environment, receiver
+        ) >= probabilities.attention_switch_probability(passive, environment, receiver) - 1e-9
+
+    @given(communication=communications(), receiver=receivers())
+    @settings(max_examples=60, deadline=None)
+    def test_more_exposures_never_increase_notice(self, communication, receiver):
+        environment = Environment.quiet()
+        fresh = communication.with_exposures(0)
+        worn = communication.with_exposures(communication.habituation_exposures + 50)
+        assert probabilities.attention_switch_probability(
+            worn, environment, receiver
+        ) <= probabilities.attention_switch_probability(fresh, environment, receiver) + 1e-9
+
+    @given(exposures=st.integers(min_value=0, max_value=500), activeness=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_habituation_factor_bounded(self, exposures, activeness):
+        factor = probabilities.habituation_factor(exposures, activeness)
+        assert 0.25 <= factor <= 1.0
+
+    @given(probability=unit)
+    @settings(max_examples=100, deadline=None)
+    def test_likelihood_banding_total(self, probability):
+        band = FailureLikelihood.from_probability(probability)
+        assert band in FailureLikelihood
+
+
+class TestDesignInvariants:
+    @given(
+        steps=st.integers(min_value=0, max_value=20),
+        discoverable=unit,
+        feedback=unit,
+        distinguishable=unit,
+        capability=unit,
+        knowledge=unit,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_behavior_assessment_bounded(self, steps, discoverable, feedback, distinguishable,
+                                         capability, knowledge):
+        design = TaskDesign(
+            steps=steps,
+            controls_discoverable=discoverable,
+            feedback_quality=feedback,
+            controls_distinguishable=distinguishable,
+        )
+        assessment = assess_behavior_design(
+            design, receiver_capability=capability, receiver_knowledge=knowledge
+        )
+        assert 0.0 <= assessment.success_likelihood <= 1.0
+        assert all(0.0 <= score <= 1.0 for score in assessment.risk_scores.values())
+
+    @given(
+        severity=st.sampled_from(list(HazardSeverity)),
+        frequency=st.sampled_from(list(HazardFrequency)),
+        necessity=unit,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_recommended_activeness_is_valid_level(self, severity, frequency, necessity):
+        hazard = HazardProfile(severity=severity, frequency=frequency,
+                               user_action_necessity=necessity)
+        assert recommend_activeness(hazard) in ActivenessLevel

@@ -1,0 +1,123 @@
+"""Property-based tests: JSON round-trips preserve the models."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.behavior import TaskDesign
+from repro.core.communication import (
+    Communication,
+    CommunicationType,
+    DeliveryChannel,
+    HazardFrequency,
+    HazardProfile,
+    HazardSeverity,
+)
+from repro.core.receiver import Capabilities
+from repro.core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from repro.io.json_io import (
+    communication_from_dict,
+    communication_to_dict,
+    dumps_system,
+    loads_system,
+    task_from_dict,
+    task_to_dict,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="-_"),
+    min_size=1,
+    max_size=20,
+)
+
+
+@st.composite
+def communications(draw) -> Communication:
+    return Communication(
+        name=draw(names),
+        comm_type=draw(st.sampled_from(list(CommunicationType))),
+        activeness=draw(unit),
+        hazard=HazardProfile(
+            severity=draw(st.sampled_from(list(HazardSeverity))),
+            frequency=draw(st.sampled_from(list(HazardFrequency))),
+            user_action_necessity=draw(unit),
+            description=draw(st.text(max_size=30)),
+        ),
+        clarity=draw(unit),
+        includes_instructions=draw(st.booleans()),
+        explains_risk=draw(st.booleans()),
+        resembles_low_risk_communications=draw(st.booleans()),
+        length_words=draw(st.integers(min_value=0, max_value=2000)),
+        channel=draw(st.sampled_from(list(DeliveryChannel))),
+        conspicuity=draw(unit),
+        allows_override=draw(st.booleans()),
+        false_positive_rate=draw(unit),
+        habituation_exposures=draw(st.integers(min_value=0, max_value=500)),
+        description=draw(st.text(max_size=50)),
+    )
+
+
+@st.composite
+def tasks(draw) -> HumanSecurityTask:
+    return HumanSecurityTask(
+        name=draw(names),
+        description=draw(st.text(max_size=40)),
+        communication=draw(st.one_of(st.none(), communications())),
+        task_design=TaskDesign(
+            steps=draw(st.integers(min_value=0, max_value=12)),
+            controls_discoverable=draw(unit),
+            feedback_quality=draw(unit),
+            controls_distinguishable=draw(unit),
+            guidance_through_steps=draw(st.booleans()),
+            requires_unpredictable_choice=draw(st.booleans()),
+            choice_predictability=draw(unit),
+        ),
+        capability_requirements=Capabilities(
+            knowledge_to_act=draw(unit),
+            cognitive_skill=draw(unit),
+            physical_skill=draw(unit),
+            memory_capacity=draw(unit),
+            has_required_software=draw(st.booleans()),
+            has_required_device=draw(st.booleans()),
+        ),
+        security_critical=draw(st.booleans()),
+        automation=AutomationProfile(
+            can_fully_automate=draw(st.booleans()),
+            automation_accuracy=draw(unit),
+            automation_false_positive_rate=draw(unit),
+            human_information_advantage=draw(unit),
+            automation_cost=draw(unit),
+        ),
+        desired_action=draw(st.text(min_size=1, max_size=40)),
+        failure_consequence=draw(st.text(max_size=40)),
+    )
+
+
+class TestRoundTripProperties:
+    @given(communication=communications())
+    @settings(max_examples=60, deadline=None)
+    def test_communication_round_trip_identity(self, communication):
+        payload = json.loads(json.dumps(communication_to_dict(communication)))
+        assert communication_from_dict(payload) == communication
+
+    @given(task=tasks())
+    @settings(max_examples=40, deadline=None)
+    def test_task_round_trip_preserves_semantics(self, task):
+        payload = json.loads(json.dumps(task_to_dict(task)))
+        restored = task_from_dict(payload)
+        assert restored.name == task.name
+        assert restored.communication == task.communication
+        assert restored.task_design == task.task_design
+        assert restored.capability_requirements == task.capability_requirements
+        assert restored.automation == task.automation
+        assert restored.security_critical == task.security_critical
+
+    @given(task_list=st.lists(tasks(), min_size=1, max_size=4, unique_by=lambda t: t.name))
+    @settings(max_examples=25, deadline=None)
+    def test_system_round_trip_through_json_text(self, task_list):
+        system = SecureSystem(name="property-system", tasks=list(task_list))
+        restored = loads_system(dumps_system(system))
+        assert restored.name == system.name
+        assert [task.name for task in restored.tasks] == [task.name for task in system.tasks]

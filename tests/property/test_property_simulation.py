@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.communication import Communication, CommunicationType
+from repro.core.task import HumanSecurityTask
+from repro.simulation.calibration import StageCalibration
+from repro.simulation.engine import HumanLoopSimulator, SimulationConfig
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.population import (
+    TraitDistribution,
+    general_web_population,
+)
+from repro.simulation.rng import SimulationRng
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+class TestRngProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1), probability=unit)
+    @settings(max_examples=80, deadline=None)
+    def test_bernoulli_is_deterministic_per_seed(self, seed, probability):
+        assert SimulationRng(seed).bernoulli(probability) == SimulationRng(seed).bernoulli(
+            probability
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        mean=unit,
+        std=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_truncated_normal_in_bounds(self, seed, mean, std):
+        value = SimulationRng(seed).truncated_normal(mean, std, 0.0, 1.0)
+        assert 0.0 <= value <= 1.0
+
+
+class TestPopulationProperties:
+    @given(mean=unit, std=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_trait_samples_respect_bounds(self, mean, std, seed):
+        distribution = TraitDistribution(mean=mean, std=std)
+        sample = distribution.sample(SimulationRng(seed))
+        assert 0.0 <= sample <= 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_receivers_always_valid(self, seed):
+        receiver = general_web_population().sample(SimulationRng(seed))
+        assert 0.0 <= receiver.expertise <= 1.0
+        assert 0.0 <= receiver.intention_score <= 1.0
+        assert 0.0 <= receiver.capability_score <= 1.0
+
+
+class TestEngineProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        activeness=unit,
+        clarity=unit,
+        n_receivers=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_simulation_invariants(self, seed, activeness, clarity, n_receivers):
+        task = HumanSecurityTask(
+            name="prop-task",
+            communication=Communication(
+                name="prop-comm",
+                comm_type=CommunicationType.WARNING,
+                activeness=activeness,
+                clarity=clarity,
+            ),
+            desired_action="act",
+        )
+        simulator = HumanLoopSimulator(SimulationConfig(n_receivers=n_receivers, seed=seed))
+        result = simulator.simulate_task(task, general_web_population())
+        assert result.n_receivers == n_receivers
+        assert 0.0 <= result.protection_rate() <= 1.0
+        assert result.heed_rate() <= result.protection_rate() + 1e-9
+        counts = result.outcome_counts()
+        assert sum(counts.values()) == n_receivers
+        # Protected flag must agree with the outcome semantics.
+        for record in result.records:
+            assert record.protected == record.outcome.hazard_avoided
+
+    @given(multiplier=st.floats(min_value=0.0, max_value=5.0, allow_nan=False), value=unit)
+    @settings(max_examples=80, deadline=None)
+    def test_calibration_output_is_valid_probability(self, multiplier, value):
+        calibration = StageCalibration(intention_multiplier=multiplier)
+        assert 0.0 < calibration.apply_intention(value) < 1.0

@@ -1,0 +1,48 @@
+"""Tests for attacker models."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.core.impediments import Environment, InterferenceSource
+from repro.simulation.attacker import AttackerModel, AttackVector, no_attacker, spoofing_attacker
+
+
+class TestAttackerModel:
+    def test_no_attacker_is_inactive(self):
+        assert not no_attacker().is_active
+
+    def test_spoofing_attacker_is_active(self):
+        attacker = spoofing_attacker(0.4)
+        assert attacker.is_active
+        assert attacker.spoof_capability == 0.4
+
+    def test_interference_channel_reflects_capabilities(self):
+        attacker = AttackerModel(
+            name="full", suppress_capability=0.2, obscure_capability=0.3, spoof_capability=0.4
+        )
+        channel = attacker.interference()
+        assert channel.source is InterferenceSource.MALICIOUS_ATTACKER
+        assert channel.block_probability == 0.2
+        assert channel.degrade_probability == 0.3
+        assert channel.spoof_probability == 0.4
+
+    def test_apply_to_does_not_mutate_original(self):
+        attacker = spoofing_attacker(0.5)
+        original = Environment()
+        modified = attacker.apply_to(original)
+        assert original.spoof_probability == 0.0
+        assert modified.spoof_probability == pytest.approx(0.5)
+        assert modified is not original
+
+    def test_inactive_attacker_adds_nothing(self):
+        environment = Environment()
+        modified = no_attacker().apply_to(environment)
+        assert not modified.interference
+
+    def test_capability_validation(self):
+        with pytest.raises(SimulationError):
+            AttackerModel(spoof_capability=1.5)
+
+    def test_attack_vectors_described(self):
+        for vector in AttackVector:
+            assert len(vector.description) > 10

@@ -1,0 +1,48 @@
+"""Tests for stage calibrations."""
+
+import pytest
+
+from repro.core.exceptions import CalibrationError
+from repro.core.stages import Stage
+from repro.simulation.calibration import StageCalibration
+
+
+class TestStageCalibration:
+    def test_neutral_leaves_probabilities_unchanged(self):
+        calibration = StageCalibration.neutral()
+        assert calibration.apply_stage(Stage.COMPREHENSION, 0.5) == 0.5
+        assert calibration.apply_intention(0.4) == 0.4
+        assert calibration.apply_capability(0.6) == 0.6
+
+    def test_multiplier_applied_and_clamped(self):
+        calibration = StageCalibration(stage_multipliers={Stage.COMPREHENSION: 2.0})
+        assert calibration.apply_stage(Stage.COMPREHENSION, 0.4) == pytest.approx(0.8)
+        assert calibration.apply_stage(Stage.COMPREHENSION, 0.9) == pytest.approx(0.98)
+        # Other stages untouched.
+        assert calibration.apply_stage(Stage.ATTENTION_SWITCH, 0.4) == 0.4
+
+    def test_with_multiplier_returns_copy(self):
+        base = StageCalibration.neutral()
+        modified = base.with_multiplier(Stage.BEHAVIOR, 0.5)
+        assert modified.multiplier_for(Stage.BEHAVIOR) == 0.5
+        assert base.multiplier_for(Stage.BEHAVIOR) == 1.0
+
+    def test_intention_and_capability_multipliers(self):
+        calibration = StageCalibration(intention_multiplier=2.0, capability_multiplier=0.5)
+        assert calibration.apply_intention(0.3) == pytest.approx(0.6)
+        assert calibration.apply_capability(0.8) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            StageCalibration(stage_multipliers={Stage.BEHAVIOR: -1.0})
+        with pytest.raises(CalibrationError):
+            StageCalibration(stage_multipliers={"behavior": 1.0})
+        with pytest.raises(CalibrationError):
+            StageCalibration(intention_multiplier=-0.5)
+        with pytest.raises(CalibrationError):
+            StageCalibration(override_given_misunderstanding=1.5)
+        with pytest.raises(CalibrationError):
+            StageCalibration(user_noise_std=-0.1)
+
+    def test_label_default(self):
+        assert StageCalibration.neutral().label == "neutral"

@@ -1,0 +1,98 @@
+"""Tests for habituation dynamics."""
+
+import pytest
+
+from repro.core.communication import Communication, CommunicationType
+from repro.core.exceptions import SimulationError
+from repro.simulation.habituation import HabituationState, simulate_exposure_series
+from repro.simulation.rng import SimulationRng
+
+
+def _indicator(activeness: float = 0.2) -> Communication:
+    return Communication(
+        name="indicator",
+        comm_type=CommunicationType.STATUS_INDICATOR,
+        activeness=activeness,
+        conspicuity=0.4,
+    )
+
+
+class TestHabituationState:
+    def test_exposures_accumulate(self):
+        state = HabituationState()
+        communication = _indicator()
+        assert state.exposure_count(communication) == 0
+        state.record_exposure(communication)
+        state.record_exposure(communication)
+        assert state.exposure_count(communication) == 2
+
+    def test_baked_in_prior_exposures_respected(self):
+        state = HabituationState()
+        seasoned = _indicator().with_exposures(10)
+        assert state.exposure_count(seasoned) == 10
+
+    def test_attention_factor_decreases_with_exposures(self):
+        state = HabituationState()
+        communication = _indicator()
+        fresh = state.attention_factor(communication)
+        for _ in range(20):
+            state.record_exposure(communication)
+        worn = state.attention_factor(communication)
+        assert worn < fresh
+
+    def test_recovery_reduces_exposures(self):
+        state = HabituationState(recovery_rate=0.5)
+        communication = _indicator()
+        for _ in range(8):
+            state.record_exposure(communication)
+        state.recover(periods=2)
+        assert state.exposure_count(communication) == pytest.approx(2.0)
+
+    def test_recovery_validation(self):
+        with pytest.raises(SimulationError):
+            HabituationState(recovery_rate=1.5)
+        with pytest.raises(SimulationError):
+            HabituationState().recover(periods=-1)
+
+
+class TestExposureSeries:
+    def test_series_length_and_determinism(self):
+        series_a = simulate_exposure_series(_indicator(), exposures=15, rng=SimulationRng(5))
+        series_b = simulate_exposure_series(_indicator(), exposures=15, rng=SimulationRng(5))
+        assert len(series_a) == 15
+        assert [point.noticed for point in series_a] == [point.noticed for point in series_b]
+
+    def test_notice_probability_declines_over_exposures(self):
+        series = simulate_exposure_series(_indicator(), exposures=25, rng=SimulationRng(1))
+        assert series[-1].notice_probability < series[0].notice_probability
+
+    def test_blocking_warning_stays_noticed_while_passive_fades(self):
+        from repro.core.impediments import Environment
+
+        quiet = Environment.quiet()
+        passive = simulate_exposure_series(
+            _indicator(0.1), environment=quiet, exposures=30, rng=SimulationRng(2)
+        )
+        blocking = simulate_exposure_series(
+            Communication(name="block", comm_type=CommunicationType.WARNING,
+                          activeness=1.0, conspicuity=0.9),
+            environment=quiet,
+            exposures=30,
+            rng=SimulationRng(2),
+        )
+        # After heavy exposure the passive indicator is mostly ignored while
+        # the blocking warning is still noticed by most receivers.
+        assert passive[-1].notice_probability < 0.3
+        assert blocking[-1].notice_probability > 0.4
+        # And the passive indicator loses a larger share of its initial
+        # notice probability than the blocking warning does.
+        passive_retention = passive[-1].notice_probability / passive[0].notice_probability
+        blocking_retention = blocking[-1].notice_probability / blocking[0].notice_probability
+        assert passive_retention < blocking_retention + 0.05
+
+    def test_zero_exposures_gives_empty_series(self):
+        assert simulate_exposure_series(_indicator(), exposures=0) == []
+
+    def test_negative_exposures_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_exposure_series(_indicator(), exposures=-1)

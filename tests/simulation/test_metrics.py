@@ -1,0 +1,113 @@
+"""Tests for simulation result metrics and comparison tables."""
+
+import pytest
+
+from repro.core.behavior import BehaviorOutcome
+from repro.core.exceptions import SimulationError
+from repro.core.stages import Stage, StageOutcome, StageTrace
+from repro.simulation.metrics import (
+    ReceiverRecord,
+    SimulationResult,
+    comparison_table,
+    render_comparison_markdown,
+)
+
+
+def _record(index: int, outcome: BehaviorOutcome, protected: bool,
+            failed_stage=None, noticed=True, intention_failed=False,
+            capability_failed=False) -> ReceiverRecord:
+    trace = StageTrace()
+    trace.record(StageOutcome(Stage.ATTENTION_SWITCH, noticed, 0.5))
+    return ReceiverRecord(
+        index=index,
+        receiver_name=f"user-{index}",
+        trace=trace,
+        outcome=outcome,
+        protected=protected,
+        failed_stage=failed_stage,
+        intention_failed=intention_failed,
+        capability_failed=capability_failed,
+    )
+
+
+def _result() -> SimulationResult:
+    result = SimulationResult(task_name="task", population_name="pop")
+    result.records = [
+        _record(0, BehaviorOutcome.SUCCESS, True),
+        _record(1, BehaviorOutcome.FAILED_SAFE, True, failed_stage=Stage.COMPREHENSION),
+        _record(2, BehaviorOutcome.FAILURE, False, intention_failed=True),
+        _record(3, BehaviorOutcome.NO_ACTION, False, failed_stage=Stage.ATTENTION_SWITCH,
+                noticed=False),
+    ]
+    return result
+
+
+class TestSimulationResult:
+    def test_rates(self):
+        result = _result()
+        assert result.n_receivers == 4
+        assert result.protection_rate() == pytest.approx(0.5)
+        assert result.heed_rate() == pytest.approx(0.25)
+        assert result.failure_rate() == pytest.approx(0.5)
+        assert result.notice_rate() == pytest.approx(0.75)
+        assert result.intention_failure_rate() == pytest.approx(0.25)
+        assert result.capability_failure_rate() == 0.0
+
+    def test_outcome_counts_cover_all_records(self):
+        counts = _result().outcome_counts()
+        assert sum(counts.values()) == 4
+        assert counts[BehaviorOutcome.SUCCESS] == 1
+
+    def test_stage_failure_breakdown(self):
+        result = _result()
+        counts = result.stage_failure_counts()
+        assert counts[Stage.COMPREHENSION] == 1
+        assert counts[Stage.ATTENTION_SWITCH] == 1
+        fractions = result.stage_failure_fractions()
+        assert fractions[Stage.COMPREHENSION] == pytest.approx(0.25)
+
+    def test_dominant_failure_stage(self):
+        result = _result()
+        result.records.append(
+            _record(4, BehaviorOutcome.FAILURE, False, failed_stage=Stage.ATTENTION_SWITCH,
+                    noticed=False)
+        )
+        assert result.dominant_failure_stage() is Stage.ATTENTION_SWITCH
+
+    def test_dominant_failure_stage_none_when_no_failures(self):
+        result = SimulationResult(task_name="t", population_name="p")
+        result.records = [_record(0, BehaviorOutcome.SUCCESS, True)]
+        assert result.dominant_failure_stage() is None
+
+    def test_empty_result_rates_are_zero(self):
+        result = SimulationResult(task_name="t", population_name="p")
+        assert result.protection_rate() == 0.0
+        assert result.notice_rate() == 0.0
+
+    def test_summary_keys(self):
+        summary = _result().summary()
+        assert set(summary) == {
+            "n_receivers",
+            "protection_rate",
+            "heed_rate",
+            "notice_rate",
+            "intention_failure_rate",
+            "capability_failure_rate",
+        }
+
+    def test_task_name_required(self):
+        with pytest.raises(SimulationError):
+            SimulationResult(task_name="", population_name="p")
+
+
+class TestComparison:
+    def test_comparison_table_rows(self):
+        rows = comparison_table({"a": _result(), "b": _result()})
+        assert len(rows) == 2
+        assert rows[0]["scenario"] == "a"
+        assert "protection_rate" in rows[0]
+
+    def test_markdown_rendering(self):
+        markdown = render_comparison_markdown({"scenario-x": _result()})
+        assert "scenario-x" in markdown
+        assert markdown.startswith("| Scenario |")

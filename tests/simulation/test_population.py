@@ -1,0 +1,94 @@
+"""Tests for population specifications and receiver sampling."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.population import (
+    PopulationSpec,
+    TraitDistribution,
+    expert_population,
+    general_web_population,
+    organization_population,
+)
+from repro.simulation.rng import SimulationRng
+
+
+class TestTraitDistribution:
+    def test_sampling_stays_in_bounds(self):
+        distribution = TraitDistribution(mean=0.5, std=0.5)
+        rng = SimulationRng(1)
+        samples = [distribution.sample(rng) for _ in range(200)]
+        assert all(0.0 <= sample <= 1.0 for sample in samples)
+
+    def test_mean_must_lie_in_bounds(self):
+        with pytest.raises(SimulationError):
+            TraitDistribution(mean=1.5)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(SimulationError):
+            TraitDistribution(mean=0.5, std=-0.1)
+
+
+class TestPopulationSpec:
+    def test_unknown_trait_rejected(self):
+        with pytest.raises(SimulationError):
+            PopulationSpec(name="p", traits={"charisma": TraitDistribution(0.5)})
+
+    def test_with_trait_returns_modified_copy(self):
+        spec = general_web_population()
+        modified = spec.with_trait("memory_capacity", TraitDistribution(0.9, 0.01))
+        assert modified.distribution("memory_capacity").mean == 0.9
+        assert spec.distribution("memory_capacity").mean != 0.9
+
+    def test_with_unknown_trait_rejected(self):
+        with pytest.raises(SimulationError):
+            general_web_population().with_trait("charisma", TraitDistribution(0.5))
+
+    def test_sample_produces_valid_receiver(self):
+        receiver = general_web_population().sample(SimulationRng(0))
+        assert 0.0 <= receiver.expertise <= 1.0
+        assert 0.0 <= receiver.intention_score <= 1.0
+        assert 0.0 <= receiver.capability_score <= 1.0
+        assert 18 <= receiver.personal_variables.demographics.age <= 90
+
+    def test_sample_many_count_and_names(self):
+        receivers = organization_population().sample_many(5, SimulationRng(3))
+        assert len(receivers) == 5
+        assert len({receiver.name for receiver in receivers}) == 5
+
+    def test_sample_many_deterministic(self):
+        first = general_web_population().sample_many(3, SimulationRng(9))
+        second = general_web_population().sample_many(3, SimulationRng(9))
+        assert [r.expertise for r in first] == [r.expertise for r in second]
+
+    def test_sample_many_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            general_web_population().sample_many(-1, SimulationRng(0))
+
+    def test_training_fraction_validated(self):
+        with pytest.raises(SimulationError):
+            PopulationSpec(name="p", training_fraction=1.5)
+
+
+class TestPresetPopulations:
+    def test_expert_population_more_knowledgeable_on_average(self):
+        rng_a = SimulationRng(42)
+        rng_b = SimulationRng(42)
+        experts = expert_population().sample_many(200, rng_a)
+        general = general_web_population().sample_many(200, rng_b)
+        expert_mean = sum(receiver.expertise for receiver in experts) / len(experts)
+        general_mean = sum(receiver.expertise for receiver in general) / len(general)
+        assert expert_mean > general_mean + 0.2
+
+    def test_organization_population_has_higher_prior_exposure(self):
+        org = organization_population()
+        web = general_web_population()
+        assert org.distribution("prior_exposure").mean > web.distribution("prior_exposure").mean
+
+    def test_population_names_distinct(self):
+        names = {
+            general_web_population().name,
+            organization_population().name,
+            expert_population().name,
+        }
+        assert len(names) == 3

@@ -1,0 +1,76 @@
+"""Tests for the deterministic simulation RNG."""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.rng import SimulationRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = [SimulationRng(7).uniform() for _ in range(1)]
+        second = [SimulationRng(7).uniform() for _ in range(1)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert SimulationRng(1).uniform() != SimulationRng(2).uniform()
+
+    def test_spawned_streams_are_deterministic(self):
+        parent_a = SimulationRng(5)
+        parent_b = SimulationRng(5)
+        assert parent_a.spawn(3).uniform() == parent_b.spawn(3).uniform()
+
+    def test_spawned_streams_independent_of_order(self):
+        parent = SimulationRng(5)
+        value_3 = parent.spawn(3).uniform()
+        parent2 = SimulationRng(5)
+        parent2.spawn(1)
+        assert parent2.spawn(3).uniform() == value_3
+
+
+class TestDraws:
+    def test_bernoulli_extremes(self, rng):
+        assert rng.bernoulli(1.0) is True
+        assert rng.bernoulli(0.0) is False
+
+    def test_bernoulli_validates_probability(self, rng):
+        with pytest.raises(SimulationError):
+            rng.bernoulli(1.2)
+
+    def test_bernoulli_rate_approximates_probability(self):
+        rng = SimulationRng(11)
+        draws = [rng.bernoulli(0.3) for _ in range(5000)]
+        rate = sum(draws) / len(draws)
+        assert 0.25 < rate < 0.35
+
+    def test_truncated_normal_respects_bounds(self):
+        rng = SimulationRng(3)
+        values = [rng.truncated_normal(0.5, 0.5, 0.0, 1.0) for _ in range(200)]
+        assert all(0.0 <= value <= 1.0 for value in values)
+
+    def test_truncated_normal_zero_std_returns_mean(self, rng):
+        assert rng.truncated_normal(0.4, 0.0) == 0.4
+
+    def test_uniform_range(self, rng):
+        value = rng.uniform(2.0, 3.0)
+        assert 2.0 <= value < 3.0
+
+    def test_integers_range(self, rng):
+        values = {rng.integers(0, 3) for _ in range(50)}
+        assert values.issubset({0, 1, 2})
+
+    def test_choice_with_weights(self, rng):
+        value = rng.choice(["a", "b"], probabilities=[0.0, 1.0])
+        assert value == "b"
+
+    def test_choice_validation(self, rng):
+        with pytest.raises(SimulationError):
+            rng.choice([])
+        with pytest.raises(SimulationError):
+            rng.choice(["a"], probabilities=[0.5, 0.5])
+
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            SimulationRng(-1)
+        with pytest.raises(SimulationError):
+            SimulationRng(0).spawn(-1)

@@ -1,0 +1,91 @@
+"""Tests for the encoded-study registry."""
+
+import pytest
+
+from repro.core.components import Component
+from repro.core.exceptions import ModelError
+from repro.studies import ALL_STUDIES, Finding, Study, StudyRegistry, registry
+
+
+class TestStudyModel:
+    def test_finding_requires_key_and_statement(self):
+        with pytest.raises(ModelError):
+            Finding(key="", statement="x")
+        with pytest.raises(ModelError):
+            Finding(key="k", statement="")
+
+    def test_study_rejects_duplicate_finding_keys(self):
+        finding = Finding(key="same", statement="x")
+        with pytest.raises(ModelError):
+            Study(study_id="s", citation="c", year=2000, findings=(finding, finding))
+
+    def test_value_raises_for_qualitative_findings(self):
+        study = Study(
+            study_id="s",
+            citation="c",
+            year=2000,
+            findings=(Finding(key="qualitative", statement="no number"),),
+        )
+        with pytest.raises(ModelError):
+            study.value("qualitative")
+
+    def test_finding_lookup_missing_key(self):
+        study = ALL_STUDIES[0]
+        with pytest.raises(KeyError):
+            study.finding("not-a-real-key")
+
+
+class TestRegistry:
+    def test_ten_studies_encoded(self):
+        assert len(registry) == 10
+
+    def test_expected_studies_present(self):
+        for study_id in (
+            "egelman2008",
+            "wu2006",
+            "whalen2005",
+            "gaw_felten2006",
+            "kuo2006",
+            "dhamija2006",
+            "davis2004",
+            "thorpe2007",
+            "sheng2007",
+            "adams_sasse1999",
+        ):
+            assert study_id in registry
+
+    def test_key_calibration_values_in_range(self):
+        assert 0.0 < registry.value("egelman2008", "passive_warning_protection_rate") < 0.3
+        assert registry.value("egelman2008", "active_warning_protection_rate") > 0.7
+        assert registry.value("wu2006", "toolbar_not_noticed_rate") == pytest.approx(0.25)
+        assert registry.value("kuo2006", "understand_password_guidance") >= 0.7
+        assert registry.value("gaw_felten2006", "password_reuse_rate") >= 0.5
+
+    def test_unknown_study_raises(self):
+        with pytest.raises(KeyError):
+            registry.study("unknown")
+
+    def test_findings_for_component(self):
+        attention_findings = registry.findings_for_component(Component.ATTENTION_SWITCH)
+        assert len(attention_findings) >= 3
+        capability_findings = registry.findings_for_component(Component.CAPABILITIES)
+        assert any(study.study_id == "gaw_felten2006" for study, _finding in capability_findings)
+
+    def test_bibliography_has_one_entry_per_study(self):
+        bibliography = registry.bibliography()
+        assert len(bibliography) == len(registry)
+        assert all(citation for citation in bibliography)
+
+    def test_studies_cite_paper_reference_numbers(self):
+        for study in ALL_STUDIES:
+            assert study.paper_reference_number is None or 1 <= study.paper_reference_number <= 41
+
+    def test_duplicate_study_ids_rejected(self):
+        duplicate = ALL_STUDIES[0]
+        with pytest.raises(ModelError):
+            StudyRegistry(studies=(duplicate, duplicate))
+
+    def test_every_study_has_findings(self):
+        for study in ALL_STUDIES:
+            assert study.findings
+            assert study.year >= 1999

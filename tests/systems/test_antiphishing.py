@@ -1,0 +1,120 @@
+"""Tests for the anti-phishing case-study system (Section 3.1)."""
+
+import pytest
+
+from repro.core.analysis import analyze_task
+from repro.core.communication import ActivenessLevel, CommunicationType
+from repro.core.components import Component
+from repro.simulation import HumanLoopSimulator, SimulationConfig
+from repro.systems.antiphishing import (
+    WarningVariant,
+    build_system,
+    calibration,
+    firefox_warning,
+    ie_active_warning,
+    ie_passive_warning,
+    phishing_hazard,
+    population,
+    task_for,
+    warning_for,
+)
+
+
+class TestWarningModels:
+    def test_firefox_and_ie_active_are_blocking(self):
+        assert firefox_warning().activeness_level is ActivenessLevel.BLOCKING
+        assert ie_active_warning().activeness_level is ActivenessLevel.BLOCKING
+
+    def test_ie_passive_is_passive(self):
+        assert ie_passive_warning().is_passive
+
+    def test_all_variants_are_warnings(self):
+        for communication in (firefox_warning(), ie_active_warning(), ie_passive_warning()):
+            assert communication.comm_type is CommunicationType.WARNING
+            assert communication.allows_override
+
+    def test_firefox_does_not_resemble_routine_warnings_but_ie_does(self):
+        assert not firefox_warning().resembles_low_risk_communications
+        assert ie_active_warning().resembles_low_risk_communications
+        assert ie_passive_warning().resembles_low_risk_communications
+
+    def test_warning_for_variant(self):
+        assert warning_for(WarningVariant.FIREFOX).name == firefox_warning().name
+        with pytest.raises(ValueError):
+            warning_for(WarningVariant.NO_WARNING)
+
+    def test_hazard_is_severe_and_actionable(self):
+        hazard = phishing_hazard()
+        assert hazard.severity.weight >= 0.5
+        assert hazard.user_action_necessity >= 0.8
+
+
+class TestTasks:
+    def test_no_warning_task_has_no_communication(self):
+        assert task_for(WarningVariant.NO_WARNING).communication is None
+
+    def test_passive_task_models_late_loading_interference(self):
+        task = task_for(WarningVariant.IE_PASSIVE)
+        assert task.environment.degrade_probability > 0.0
+        active_task = task_for(WarningVariant.IE_ACTIVE)
+        assert active_task.environment.degrade_probability == 0.0
+
+    def test_tasks_are_security_critical_with_automation_constraints(self):
+        task = task_for(WarningVariant.FIREFOX)
+        assert task.security_critical
+        assert task.automation.can_fully_automate
+        assert task.automation.vendor_constraints
+
+    def test_system_contains_three_warning_variants(self):
+        system = build_system()
+        assert len(system) == 3
+        system.validate()
+
+
+class TestAnalysis:
+    def test_passive_warning_analysis_flags_attention(self):
+        analysis = analyze_task(task_for(WarningVariant.IE_PASSIVE))
+        assert analysis.failures.by_component(Component.ATTENTION_SWITCH)
+
+    def test_active_warning_more_reliable_than_passive(self):
+        active = analyze_task(task_for(WarningVariant.FIREFOX))
+        passive = analyze_task(task_for(WarningVariant.IE_PASSIVE))
+        assert active.success_probability > passive.success_probability
+
+    def test_ie_active_flagged_for_resembling_routine_warnings(self):
+        analysis = analyze_task(task_for(WarningVariant.IE_ACTIVE))
+        identifiers = [failure.identifier for failure in analysis.failures]
+        assert any("lookalike" in identifier for identifier in identifiers)
+
+
+class TestSimulatedCaseStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        simulator = HumanLoopSimulator(
+            SimulationConfig(n_receivers=400, seed=20080124, calibration=calibration())
+        )
+        pop = population()
+        return {
+            variant: simulator.simulate_task(task_for(variant), pop)
+            for variant in WarningVariant
+        }
+
+    def test_active_warnings_protect_the_majority(self, results):
+        assert results[WarningVariant.FIREFOX].protection_rate() > 0.6
+        assert results[WarningVariant.IE_ACTIVE].protection_rate() > 0.55
+
+    def test_passive_warning_protects_a_small_minority(self, results):
+        assert results[WarningVariant.IE_PASSIVE].protection_rate() < 0.3
+
+    def test_ordering_matches_egelman(self, results):
+        firefox = results[WarningVariant.FIREFOX].protection_rate()
+        ie_active = results[WarningVariant.IE_ACTIVE].protection_rate()
+        ie_passive = results[WarningVariant.IE_PASSIVE].protection_rate()
+        none = results[WarningVariant.NO_WARNING].protection_rate()
+        assert firefox >= ie_active - 0.05
+        assert ie_active > ie_passive + 0.3
+        assert ie_passive >= none - 0.02
+
+    def test_active_warnings_are_noticed_passive_often_missed(self, results):
+        assert results[WarningVariant.FIREFOX].notice_rate() > 0.9
+        assert results[WarningVariant.IE_PASSIVE].notice_rate() < 0.6

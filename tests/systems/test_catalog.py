@@ -1,0 +1,55 @@
+"""Tests for the system catalog and builder registry."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.task import SecureSystem
+from repro.systems import all_systems, available_systems, build, builder_for, system_descriptions
+from repro.systems.base import register_system
+
+
+class TestCatalog:
+    def test_expected_systems_registered(self):
+        names = available_systems()
+        for expected in (
+            "antiphishing",
+            "passwords",
+            "ssl-indicator",
+            "email-attachments",
+            "smartcard",
+            "file-permissions",
+            "graphical-passwords",
+        ):
+            assert expected in names
+
+    def test_build_by_name(self):
+        system = build("antiphishing")
+        assert isinstance(system, SecureSystem)
+        assert len(system) > 0
+
+    def test_build_unknown_raises(self):
+        with pytest.raises(ModelError):
+            build("does-not-exist")
+
+    def test_builder_for_describes_system(self):
+        builder = builder_for("passwords")
+        assert "password" in builder.description.lower()
+
+    def test_all_systems_builds_everything(self):
+        systems = all_systems()
+        assert set(systems) == set(available_systems())
+        for system in systems.values():
+            system.validate()
+
+    def test_system_descriptions_nonempty(self):
+        descriptions = system_descriptions()
+        assert set(descriptions) == set(available_systems())
+        assert all(description for description in descriptions.values())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ModelError):
+            register_system("antiphishing", "duplicate")(lambda: SecureSystem(name="x"))
+
+    def test_every_registered_system_has_security_critical_tasks(self):
+        for system in all_systems().values():
+            assert system.security_critical_tasks()

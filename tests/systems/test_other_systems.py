@@ -1,0 +1,132 @@
+"""Tests for the remaining modeled systems (SSL, attachments, smartcards,
+file permissions, graphical passwords)."""
+
+import pytest
+
+from repro.core.analysis import analyze_task
+from repro.core.communication import CommunicationType
+from repro.core.components import Component
+from repro.norman.gulfs import assess_gulfs
+from repro.systems import (
+    email_attachments,
+    file_permissions,
+    graphical_passwords,
+    smartcard,
+    ssl_indicators,
+)
+
+
+class TestSSLIndicator:
+    def test_lock_icon_is_a_passive_status_indicator(self):
+        icon = ssl_indicators.lock_icon_indicator()
+        assert icon.comm_type is CommunicationType.STATUS_INDICATOR
+        assert icon.is_passive
+        assert icon.habituation_exposures > 10
+
+    def test_spoofing_attacker_included_by_default(self):
+        task = ssl_indicators.verify_connection_task()
+        assert task.environment.spoof_probability > 0.0
+
+    def test_analysis_flags_attention_and_interference(self):
+        analysis = analyze_task(ssl_indicators.verify_connection_task())
+        assert analysis.failures.by_component(Component.ATTENTION_SWITCH)
+        assert analysis.failures.by_component(Component.INTERFERENCE)
+
+    def test_system_builds_and_validates(self):
+        ssl_indicators.build_system().validate()
+
+
+class TestEmailAttachments:
+    def test_training_communication_type(self):
+        assert email_attachments.attachment_training().comm_type is CommunicationType.TRAINING
+
+    def test_interactive_training_is_clearer_and_shorter(self):
+        static = email_attachments.attachment_training(interactive=False)
+        interactive = email_attachments.attachment_training(interactive=True)
+        assert interactive.clarity > static.clarity
+        assert interactive.length_words < static.length_words
+
+    def test_task_not_fully_automatable(self):
+        task = email_attachments.judge_attachment_task()
+        assert not task.automation.can_fully_automate
+        assert task.automation.human_information_advantage > 0.5
+
+    def test_interactive_training_improves_reliability(self):
+        static = analyze_task(email_attachments.judge_attachment_task(False))
+        interactive = analyze_task(email_attachments.judge_attachment_task(True))
+        assert interactive.success_probability > static.success_probability
+
+    def test_system_builds(self):
+        system = email_attachments.build_system()
+        assert len(system) == 2
+
+
+class TestSmartcard:
+    def test_stock_insert_task_has_wide_gulfs(self):
+        task = smartcard.insert_card_task(improved_design=False)
+        gulfs = assess_gulfs(task.task_design)
+        assert not gulfs.acceptable()
+
+    def test_improved_design_narrows_gulfs(self):
+        improved = smartcard.insert_card_task(improved_design=True)
+        assert assess_gulfs(improved.task_design).acceptable(threshold=0.35)
+
+    def test_improved_design_more_reliable(self):
+        stock = analyze_task(smartcard.insert_card_task(False))
+        improved = analyze_task(smartcard.insert_card_task(True))
+        assert improved.success_probability > stock.success_probability
+
+    def test_remove_card_task_has_no_communication(self):
+        task = smartcard.remove_card_task()
+        assert task.communication is None
+        analysis = analyze_task(task)
+        assert analysis.failures.by_component(Component.COMMUNICATION)
+
+    def test_system_builds(self):
+        assert len(smartcard.build_system()) == 3
+
+
+class TestFilePermissions:
+    def test_stock_interface_has_poor_feedback(self):
+        task = file_permissions.set_permissions_task(False)
+        assert task.task_design.feedback_quality < 0.4
+
+    def test_improved_interface_more_reliable(self):
+        stock = analyze_task(file_permissions.set_permissions_task(False))
+        improved = analyze_task(file_permissions.set_permissions_task(True))
+        assert improved.success_probability > stock.success_probability
+
+    def test_stock_analysis_flags_behavior_stage(self):
+        analysis = analyze_task(file_permissions.set_permissions_task(False))
+        findings = " ".join(analysis.assessment(Component.BEHAVIOR).findings).lower()
+        assert "evaluation" in findings or "feedback" in findings
+
+    def test_system_builds(self):
+        assert len(file_permissions.build_system()) == 2
+
+
+class TestGraphicalPasswords:
+    def test_scheme_predictability_ordering(self):
+        assert (
+            graphical_passwords.Scheme.FACE_BASED.choice_predictability
+            > graphical_passwords.Scheme.CLICK_BASED_CONSTRAINED.choice_predictability
+        )
+
+    def test_predictability_flagged_for_unconstrained_schemes(self):
+        analysis = analyze_task(
+            graphical_passwords.choose_password_task(graphical_passwords.Scheme.FACE_BASED)
+        )
+        behavior_failures = analysis.failures.by_component(Component.BEHAVIOR)
+        assert any(failure.behavior_kind is not None for failure in behavior_failures)
+
+    def test_constrained_scheme_not_flagged_for_predictability(self):
+        analysis = analyze_task(
+            graphical_passwords.choose_password_task(
+                graphical_passwords.Scheme.CLICK_BASED_CONSTRAINED
+            )
+        )
+        identifiers = [failure.identifier for failure in analysis.failures]
+        assert not any("predictable" in identifier for identifier in identifiers)
+
+    def test_system_builds(self):
+        assert len(graphical_passwords.build_system()) == 3

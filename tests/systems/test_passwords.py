@@ -1,0 +1,171 @@
+"""Tests for the password-policy case-study system (Section 3.2)."""
+
+import pytest
+
+from repro.core.analysis import analyze_task
+from repro.core.communication import CommunicationType
+from repro.core.components import Component
+from repro.core.exceptions import ModelError
+from repro.simulation import HumanLoopSimulator, SimulationConfig
+from repro.systems.passwords import (
+    PasswordPolicy,
+    baseline_policy,
+    build_system,
+    build_system_for,
+    calibration,
+    creation_task,
+    policy_communication,
+    policy_variants,
+    population,
+    recall_task,
+    relaxed_expiry_policy,
+    sharing_task,
+    sso_policy,
+    training_policy,
+    vault_policy,
+)
+
+
+class TestPasswordPolicy:
+    def test_baseline_policy_defaults(self):
+        policy = baseline_policy()
+        assert policy.min_length == 8
+        assert policy.effective_accounts == 8
+
+    def test_sso_reduces_effective_accounts(self):
+        assert sso_policy().effective_accounts == 1
+
+    def test_vault_caps_memory_burden(self):
+        assert vault_policy().memory_burden < baseline_policy().memory_burden
+
+    def test_memory_burden_grows_with_accounts(self):
+        few = PasswordPolicy(distinct_accounts=2)
+        many = PasswordPolicy(distinct_accounts=15)
+        assert many.memory_burden > few.memory_burden
+
+    def test_memory_burden_grows_with_expiry(self):
+        assert baseline_policy().memory_burden > relaxed_expiry_policy().memory_burden
+
+    def test_memory_burden_bounded(self):
+        extreme = PasswordPolicy(distinct_accounts=50, min_length=20,
+                                 required_character_classes=4, expiry_days=30)
+        assert extreme.memory_burden <= 0.95
+
+    def test_convenience_cost_lower_with_sso(self):
+        assert sso_policy().convenience_cost < baseline_policy().convenience_cost
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PasswordPolicy(min_length=0)
+        with pytest.raises(ModelError):
+            PasswordPolicy(required_character_classes=5)
+        with pytest.raises(ModelError):
+            PasswordPolicy(expiry_days=0)
+        with pytest.raises(ModelError):
+            PasswordPolicy(distinct_accounts=0)
+
+    def test_policy_variants_cover_mitigations(self):
+        variants = policy_variants()
+        assert {"baseline", "single-sign-on", "password-vault",
+                "rationale-training", "no-expiry"} == set(variants)
+
+
+class TestTasksAndCommunication:
+    def test_policy_communication_is_a_policy(self):
+        communication = policy_communication(baseline_policy())
+        assert communication.comm_type is CommunicationType.POLICY
+        assert communication.includes_instructions
+
+    def test_training_variant_explains_risk(self):
+        assert policy_communication(training_policy()).explains_risk
+        assert not policy_communication(baseline_policy()).explains_risk
+
+    def test_recall_task_memory_requirement_tracks_policy(self):
+        baseline_requirement = recall_task(baseline_policy()).capability_requirements.memory_capacity
+        sso_requirement = recall_task(sso_policy()).capability_requirements.memory_capacity
+        assert baseline_requirement > sso_requirement
+
+    def test_creation_task_requires_unpredictable_choice(self):
+        design = creation_task(baseline_policy()).task_design
+        assert design.requires_unpredictable_choice
+        assert design.choice_predictability > 0.2
+
+    def test_sharing_task_not_automatable(self):
+        assert not sharing_task(baseline_policy()).automation.can_fully_automate
+
+    def test_system_has_three_tasks(self):
+        system = build_system()
+        assert len(system) == 3
+        system.validate()
+
+    def test_system_for_variant_named_after_policy(self):
+        assert "single-sign-on" in build_system_for(sso_policy()).name
+
+    def test_population_training_fraction_follows_policy(self):
+        assert population(training_policy()).training_fraction > population(baseline_policy()).training_fraction
+
+
+class TestAnalysis:
+    def test_recall_task_binding_failure_is_capability(self):
+        analysis = analyze_task(recall_task(baseline_policy()))
+        capability_failures = analysis.failures.by_component(Component.CAPABILITIES)
+        assert capability_failures
+        # The capability failure should be among the highest-risk findings.
+        top_components = [failure.component for failure in analysis.failures.top(3)]
+        assert Component.CAPABILITIES in top_components
+
+    def test_recall_task_more_reliable_under_sso(self):
+        baseline_analysis = analyze_task(recall_task(baseline_policy()))
+        sso_analysis = analyze_task(recall_task(sso_policy()))
+        assert sso_analysis.success_probability > baseline_analysis.success_probability
+
+
+class TestSimulatedCaseStudy:
+    @pytest.fixture(scope="class")
+    def compliance(self):
+        rates = {}
+        for name, policy in policy_variants().items():
+            simulator = HumanLoopSimulator(
+                SimulationConfig(n_receivers=400, seed=3000, calibration=calibration(policy))
+            )
+            result = simulator.simulate_task(recall_task(policy), population(policy))
+            rates[name] = result
+        return rates
+
+    def test_baseline_compliance_is_poor(self, compliance):
+        assert compliance["baseline"].protection_rate() < 0.5
+
+    def test_sso_and_vault_beat_baseline_substantially(self, compliance):
+        baseline_rate = compliance["baseline"].protection_rate()
+        assert compliance["single-sign-on"].protection_rate() > baseline_rate + 0.15
+        assert compliance["password-vault"].protection_rate() > baseline_rate + 0.15
+
+    def test_training_alone_is_a_smaller_win_than_sso(self, compliance):
+        training_gain = (
+            compliance["rationale-training"].protection_rate()
+            - compliance["baseline"].protection_rate()
+        )
+        sso_gain = (
+            compliance["single-sign-on"].protection_rate()
+            - compliance["baseline"].protection_rate()
+        )
+        assert sso_gain > training_gain
+
+    def test_capability_is_the_dominant_failure_for_baseline(self, compliance):
+        baseline = compliance["baseline"]
+        assert baseline.capability_failure_rate() > baseline.intention_failure_rate()
+        stage_fractions = baseline.stage_failure_fractions()
+        assert all(
+            baseline.capability_failure_rate() >= fraction
+            for fraction in stage_fractions.values()
+        )
+
+    def test_sso_and_vault_remove_the_capability_failure(self, compliance):
+        assert (
+            compliance["single-sign-on"].capability_failure_rate()
+            < compliance["baseline"].capability_failure_rate() / 2
+        )
+        assert (
+            compliance["password-vault"].capability_failure_rate()
+            < compliance["baseline"].capability_failure_rate() / 2
+        )

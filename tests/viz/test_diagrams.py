@@ -1,0 +1,51 @@
+"""Tests for the ASCII figure renderings."""
+
+import pytest
+
+from repro.viz.diagrams import render_figure_1, render_figure_2, render_figure_3
+
+
+class TestFigure1:
+    def test_contains_major_blocks(self):
+        figure = render_figure_1()
+        for block in ("COMMUNICATION", "HUMAN RECEIVER", "BEHAVIOR", "COMMUNICATION IMPEDIMENTS"):
+            assert block in figure
+
+    def test_lists_all_receiver_components(self):
+        figure = render_figure_1()
+        for component in (
+            "Attention switch",
+            "Comprehension",
+            "Knowledge transfer",
+            "Capabilities",
+            "Motivation",
+        ):
+            assert component in figure
+
+
+class TestFigure2:
+    def test_lists_four_steps_in_order(self):
+        figure = render_figure_2()
+        positions = [figure.index(step) for step in (
+            "1. Task identification",
+            "2. Task automation",
+            "3. Failure identification",
+            "4. Failure mitigation",
+        )]
+        assert positions == sorted(positions)
+
+    def test_mentions_iteration(self):
+        assert "iterate" in render_figure_2()
+
+
+class TestFigure3:
+    def test_contains_chip_elements(self):
+        figure = render_figure_3()
+        for element in ("SOURCE", "CHANNEL", "RECEIVER", "BEHAVIOR"):
+            assert element in figure
+        assert "attention switch" in figure
+        assert "motivation" in figure
+
+    def test_figures_are_multiline(self):
+        for figure in (render_figure_1(), render_figure_2(), render_figure_3()):
+            assert len(figure.splitlines()) > 10

@@ -1,0 +1,52 @@
+"""Tests for graph construction and export."""
+
+import networkx as nx
+import pytest
+
+from repro.viz.graphs import assign_layers, chip_graph, framework_graph, graph_statistics, to_dot
+
+
+class TestGraphConstruction:
+    def test_framework_graph_matches_component_groups(self):
+        graph = framework_graph()
+        assert graph.number_of_nodes() == 11
+        assert graph.number_of_edges() >= 14
+
+    def test_chip_graph_has_ten_nodes(self):
+        assert chip_graph().number_of_nodes() == 10
+
+    def test_statistics_keys(self):
+        stats = graph_statistics(framework_graph())
+        assert set(stats) == {"nodes", "edges", "receiver_nodes", "is_dag_without_feedback"}
+        assert stats["is_dag_without_feedback"] == 1.0
+
+    def test_chip_statistics_acyclic_without_feedback(self):
+        stats = graph_statistics(chip_graph())
+        assert stats["is_dag_without_feedback"] == 1.0
+        assert stats["receiver_nodes"] == 5.0
+
+
+class TestLayersAndDot:
+    def test_layers_put_communication_before_behavior(self):
+        layers = assign_layers(framework_graph())
+        assert layers["communication"] < layers["behavior"]
+
+    def test_layers_ignore_feedback_edges(self):
+        layers = assign_layers(chip_graph())
+        assert layers["source"] == 0
+        assert layers["behavior"] > layers["attention_switch"]
+
+    def test_every_node_gets_a_layer(self):
+        graph = framework_graph()
+        layers = assign_layers(graph)
+        assert set(layers) == set(graph.nodes)
+
+    def test_dot_export_contains_nodes_and_edges(self):
+        dot = to_dot(framework_graph())
+        assert dot.startswith("digraph")
+        assert '"communication" -> "communication_delivery"' in dot
+        assert "rankdir=LR" in dot
+
+    def test_dot_feedback_edges_dashed(self):
+        dot = to_dot(chip_graph())
+        assert "style=dashed" in dot
