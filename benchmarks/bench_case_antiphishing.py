@@ -21,10 +21,9 @@ from typing import Dict
 
 import pytest
 
-from repro.simulation import HumanLoopSimulator, SimulationConfig
 from repro.simulation.metrics import SimulationResult, render_comparison_markdown
 from repro.studies.registry import registry
-from repro.systems import antiphishing
+from repro.systems import antiphishing, get_scenario
 from repro.systems.antiphishing import WarningVariant
 
 N_RECEIVERS = 600
@@ -32,12 +31,12 @@ SEED = 20080124
 
 
 def _simulate_all_variants() -> Dict[str, SimulationResult]:
-    simulator = HumanLoopSimulator(
-        SimulationConfig(
-            n_receivers=N_RECEIVERS, seed=SEED, calibration=antiphishing.calibration()
-        )
-    )
-    population = antiphishing.population()
+    # The scenario registry supplies the calibrated batch engine and the
+    # case-study population; the no-warning baseline task is built directly
+    # because it is not part of the registered system.
+    scenario = get_scenario("antiphishing")
+    simulator = scenario.simulator(n_receivers=N_RECEIVERS, seed=SEED)
+    population = scenario.population()
     return {
         variant.value: simulator.simulate_task(antiphishing.task_for(variant), population)
         for variant in WarningVariant

@@ -1,0 +1,122 @@
+"""Benchmark: batch-engine throughput at population scale.
+
+Runs the anti-phishing scenario (IE active warning, calibrated
+general-web population) through the vectorized batch engine at 1k / 10k /
+100k receivers, records receivers/second at each scale, and writes the
+results to ``BENCH_engine.json`` at the repository root so future PRs can
+track the performance trajectory.
+
+Acceptance criterion tracked here: 100,000 receivers must simulate in
+under 5 seconds.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.systems import get_scenario
+
+SCALES = (1_000, 10_000, 100_000)
+SEED = 20080124
+SCENARIO = "antiphishing"
+TASK = "heed-ie_active-warning"
+ACCEPTANCE_N = 100_000
+ACCEPTANCE_SECONDS = 5.0
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def measure_scaling() -> Dict[str, object]:
+    """Time the batch engine at each scale and build the report payload."""
+    scenario = get_scenario(SCENARIO)
+    task = scenario.task(TASK)
+    population = scenario.population()
+    simulator = scenario.simulator(seed=SEED)
+
+    # Warm-up outside the timed region (imports, first-call numpy setup).
+    simulator.simulate_task(task, population, n_receivers=1_000, seed=SEED)
+
+    rows: List[Dict[str, float]] = []
+    for n_receivers in SCALES:
+        start = time.perf_counter()
+        result = simulator.simulate_task(task, population, n_receivers=n_receivers, seed=SEED)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "n_receivers": n_receivers,
+                "seconds": round(elapsed, 6),
+                "receivers_per_sec": round(n_receivers / elapsed, 1),
+                "protection_rate": round(result.protection_rate(), 4),
+            }
+        )
+
+    acceptance_row = next(row for row in rows if row["n_receivers"] == ACCEPTANCE_N)
+    return {
+        "benchmark": "engine_scaling",
+        "scenario": SCENARIO,
+        "task": TASK,
+        "seed": SEED,
+        "mode": "batch",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scales": rows,
+        "acceptance": {
+            "n_receivers": ACCEPTANCE_N,
+            "threshold_seconds": ACCEPTANCE_SECONDS,
+            "seconds": acceptance_row["seconds"],
+            "passed": acceptance_row["seconds"] < ACCEPTANCE_SECONDS,
+        },
+    }
+
+
+def write_report(report: Dict[str, object]) -> Path:
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return OUTPUT
+
+
+def test_engine_scaling_writes_report():
+    """100k receivers under the threshold; report lands in BENCH_engine.json."""
+    report = measure_scaling()
+    path = write_report(report)
+
+    assert path.exists()
+    acceptance = report["acceptance"]
+    assert acceptance["passed"], (
+        f"batch engine took {acceptance['seconds']:.2f}s for "
+        f"{acceptance['n_receivers']} receivers "
+        f"(threshold {acceptance['threshold_seconds']}s)"
+    )
+    # Throughput should not collapse with scale: 100k receivers/sec must be
+    # within an order of magnitude of the 1k rate.
+    rates = [row["receivers_per_sec"] for row in report["scales"]]
+    assert rates[-1] > rates[0] / 10
+
+
+def main() -> None:
+    report = measure_scaling()
+    path = write_report(report)
+    print(f"wrote {path}")
+    for row in report["scales"]:
+        print(
+            f"  n={row['n_receivers']:>7,}  {row['seconds']:>8.3f}s  "
+            f"{row['receivers_per_sec']:>12,.0f} receivers/s"
+        )
+    acceptance = report["acceptance"]
+    status = "PASS" if acceptance["passed"] else "FAIL"
+    print(
+        f"  acceptance: {acceptance['n_receivers']:,} receivers in "
+        f"{acceptance['seconds']:.3f}s (< {acceptance['threshold_seconds']}s) -> {status}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,17 @@ Figure 1 / Table 1, the behavior-stage theory it builds on, and the
 four-step human threat identification and mitigation process of Figure 2 —
 as an executable, queryable Python library.
 
+The heart of the package is the shared stage pipeline:
+
+* :mod:`repro.core.stages` names the seven information-processing stages;
+* :mod:`repro.core.probabilities` gives each stage a success probability —
+  polymorphically, over one receiver or a whole numpy batch of them;
+* :mod:`repro.core.pipeline` owns the traversal itself (applicable stages,
+  intention/capability gates, failure-outcome semantics) and is consumed
+  by *both* readings of the framework: the analytic walk in
+  :mod:`repro.core.analysis` and the stochastic populations of
+  :mod:`repro.simulation`.
+
 Typical use::
 
     from repro.core import HumanInTheLoopFramework
@@ -95,6 +106,15 @@ from .mitigation import (
     MitigationStrategy,
     suggest_mitigations,
 )
+from .pipeline import (
+    FailureSemantics,
+    PipelinePlan,
+    PipelineWalk,
+    build_pipeline,
+    failure_needs_override,
+    failure_outcome,
+    failure_semantics,
+)
 from .process import (
     AutomationDecision,
     HumanThreatProcess,
@@ -168,6 +188,14 @@ __all__ = [
     "novice_receiver",
     "typical_receiver",
     "expert_receiver",
+    # pipeline
+    "PipelinePlan",
+    "PipelineWalk",
+    "FailureSemantics",
+    "build_pipeline",
+    "failure_semantics",
+    "failure_outcome",
+    "failure_needs_override",
     # stages / behavior
     "Stage",
     "STAGE_ORDER",

@@ -34,6 +34,7 @@ from .components import Component, ComponentGroup
 from .exceptions import AnalysisError
 from .failure import FailureInventory, FailureLikelihood, FailureMode, FailureSeverity
 from .impediments import Environment
+from .pipeline import build_pipeline
 from .receiver import HumanReceiver
 from .stages import Stage
 from .task import HumanSecurityTask, SecureSystem
@@ -723,7 +724,10 @@ def analyze_task(
         primary receiver.
     """
     receiver = receiver or task.primary_receiver
-    stage_probs = probabilities.stage_probabilities(task, receiver)
+    # The analytic walk and the simulation engine traverse the same shared
+    # pipeline; the analysis simply reads its uncalibrated probabilities.
+    plan = build_pipeline(task)
+    stage_probs = plan.stage_probabilities(receiver)
 
     assessments: Dict[Component, ComponentAssessment] = {}
     assessments[Component.COMMUNICATION] = _assess_communication(task)
@@ -760,7 +764,7 @@ def analyze_task(
         notes = "; ".join(assessment.findings)
         checklist.answer(component, satisfactory=assessment.satisfactory, notes=notes)
 
-    success = probabilities.end_to_end_success_probability(task, receiver)
+    success = plan.success_probability(receiver)
 
     return TaskAnalysis(
         task=task,

@@ -1,0 +1,432 @@
+"""The shared stage-pipeline abstraction.
+
+Both readings of the framework — the *analytic* walk in
+:mod:`repro.core.analysis` (expected stage probabilities, end-to-end
+success) and the *stochastic* walk in :mod:`repro.simulation.engine`
+(realized outcomes for sampled receivers) — traverse the same pipeline:
+
+    communication delivery → communication processing → application →
+    intention gate → capability gate → behavior
+
+This module is the single owner of that traversal.  A
+:class:`PipelinePlan` is built once per (task, calibration, environment)
+and answers every pipeline question both layers ask:
+
+* which stages apply for the task's communication type (and which are
+  deliberately skipped),
+* the success probability of every stage and gate for a receiver — where
+  ``receiver`` may be a scalar :class:`~repro.core.receiver.HumanReceiver`
+  *or* a batch receiver view whose traits are numpy arrays, because the
+  underlying model in :mod:`repro.core.probabilities` is polymorphic,
+* the outcome semantics of a failure at each point (blocking
+  communications fail safe, passive ones leave the receiver exposed,
+  spoofed indicators defeat the receiver outright), and
+* a scalar :meth:`PipelinePlan.walk` that realizes one receiver's pass
+  given a source of stochastic decisions.
+
+The calibration argument is duck-typed (anything that provides
+``apply_stage`` / ``apply_intention`` / ``apply_capability`` and the
+``override_given_misunderstanding`` / ``user_noise_std`` constants, such as
+:class:`repro.simulation.calibration.StageCalibration`) so the core package
+does not depend on the simulation package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import probabilities
+from .behavior import BehaviorOutcome
+from .communication import ActivenessLevel, Communication
+from .exceptions import ModelError
+from .impediments import Environment
+from .stages import STAGE_ORDER, Stage, StageOutcome, StageTrace
+from .task import HumanSecurityTask
+
+__all__ = [
+    "FailureSemantics",
+    "PRE_BEHAVIOR_STAGES",
+    "failure_semantics",
+    "failure_outcome",
+    "failure_needs_override",
+    "PipelineWalk",
+    "PipelinePlan",
+    "build_pipeline",
+]
+
+#: Pipeline stages evaluated before the behavior stage, in order.
+PRE_BEHAVIOR_STAGES: Tuple[Stage, ...] = STAGE_ORDER[:-1]
+
+#: Default constants used when no calibration is supplied (mirror the
+#: neutral :class:`repro.simulation.calibration.StageCalibration`).
+_DEFAULT_OVERRIDE_GIVEN_MISUNDERSTANDING = 0.3
+
+
+class FailureSemantics(enum.Enum):
+    """How a failure at a pipeline stage translates into an outcome.
+
+    The semantics mirror the case studies (see the module docstring of
+    :mod:`repro.simulation.engine`):
+
+    * ``SAFE_IF_BLOCKING`` — attention-switch failures.  A blocking
+      communication cannot really go unnoticed, so the hazard stays
+      blocked; with a passive communication the receiver simply never
+      acts.
+    * ``OVERRIDE_OR_SAFE`` — failures while processing the communication
+      (attention maintenance, comprehension, knowledge acquisition).
+      With a blocking communication the confused receiver mostly fails
+      safely (Egelman et al.: they retried the link and never reached the
+      site) unless they find the override anyway; with a passive one any
+      processing failure leaves them unprotected.
+    * ``ALWAYS_FAILURE`` — retention/transfer failures (training and
+      policy communications): the knowledge is simply not applied when
+      the hazard arises, so the receiver is unprotected.
+    """
+
+    SAFE_IF_BLOCKING = "safe_if_blocking"
+    OVERRIDE_OR_SAFE = "override_or_safe"
+    ALWAYS_FAILURE = "always_failure"
+
+
+_FAILURE_SEMANTICS: Dict[Stage, FailureSemantics] = {
+    Stage.ATTENTION_SWITCH: FailureSemantics.SAFE_IF_BLOCKING,
+    Stage.ATTENTION_MAINTENANCE: FailureSemantics.OVERRIDE_OR_SAFE,
+    Stage.COMPREHENSION: FailureSemantics.OVERRIDE_OR_SAFE,
+    Stage.KNOWLEDGE_ACQUISITION: FailureSemantics.OVERRIDE_OR_SAFE,
+    Stage.KNOWLEDGE_RETENTION: FailureSemantics.ALWAYS_FAILURE,
+    Stage.KNOWLEDGE_TRANSFER: FailureSemantics.ALWAYS_FAILURE,
+}
+
+
+def failure_semantics(stage: Stage) -> FailureSemantics:
+    """The failure semantics of a pre-behavior pipeline stage."""
+    if stage not in _FAILURE_SEMANTICS:
+        raise ModelError(f"{stage} has no pre-behavior failure semantics")
+    return _FAILURE_SEMANTICS[stage]
+
+
+def failure_needs_override(stage: Stage, default_safe: bool) -> bool:
+    """Whether resolving a failure at ``stage`` requires an override draw."""
+    return default_safe and _FAILURE_SEMANTICS[stage] is FailureSemantics.OVERRIDE_OR_SAFE
+
+
+def failure_outcome(stage: Stage, default_safe: bool, overrode: bool = False) -> BehaviorOutcome:
+    """Translate a failed pipeline stage into a behavior outcome.
+
+    ``overrode`` is only consulted for the override-or-safe stages of a
+    blocking communication (see :func:`failure_needs_override`).
+    """
+    semantics = failure_semantics(stage)
+    if semantics is FailureSemantics.SAFE_IF_BLOCKING:
+        return BehaviorOutcome.FAILED_SAFE if default_safe else BehaviorOutcome.NO_ACTION
+    if semantics is FailureSemantics.OVERRIDE_OR_SAFE and default_safe:
+        return BehaviorOutcome.FAILURE if overrode else BehaviorOutcome.FAILED_SAFE
+    return BehaviorOutcome.FAILURE
+
+
+@dataclasses.dataclass
+class PipelineWalk:
+    """Result of realizing one receiver's pass through the pipeline."""
+
+    outcome: BehaviorOutcome
+    protected: bool
+    trace: StageTrace
+    failed_stage: Optional[Stage] = None
+    intention_failed: bool = False
+    capability_failed: bool = False
+    spoofed: bool = False
+    note: str = ""
+
+
+#: A decision source for :meth:`PipelinePlan.walk`: called with the kind of
+#: decision ("stage", "override", "intention", "capability", "behavior",
+#: "self_initiated"), the stage involved (or ``None``), and the modeled
+#: success probability; returns the realized boolean.
+DecisionFn = Callable[[str, Optional[Stage], float], bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelinePlan:
+    """The pipeline for one task: applicable stages, gates, and semantics."""
+
+    task: HumanSecurityTask
+    environment: Environment
+    stages: Tuple[Stage, ...]
+    skipped: Tuple[Stage, ...]
+    default_safe: bool
+    spoof_probability: float
+    calibration: Optional[object] = None
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def communication(self) -> Optional[Communication]:
+        return self.task.communication
+
+    @property
+    def has_communication(self) -> bool:
+        return self.task.communication is not None
+
+    @property
+    def user_noise_std(self) -> float:
+        if self.calibration is None:
+            return 0.0
+        return self.calibration.user_noise_std
+
+    @property
+    def override_given_misunderstanding(self) -> float:
+        if self.calibration is None:
+            return _DEFAULT_OVERRIDE_GIVEN_MISUNDERSTANDING
+        return self.calibration.override_given_misunderstanding
+
+    # -- probabilities -----------------------------------------------------------
+    #
+    # Every method below is polymorphic in ``receiver`` (HumanReceiver or a
+    # batch receiver view) and in ``noise`` (float or array): the returned
+    # probability has the broadcast shape of its inputs.
+
+    def raw_stage_probability(self, stage: Stage, receiver):
+        """Uncalibrated, noise-free success probability of one stage."""
+        communication = self.task.communication
+        if communication is None:
+            raise ModelError("task has no communication; stages do not apply")
+        if stage is Stage.ATTENTION_SWITCH:
+            return probabilities.attention_switch_probability(
+                communication, self.environment, receiver
+            )
+        if stage is Stage.ATTENTION_MAINTENANCE:
+            return probabilities.attention_maintenance_probability(
+                communication, self.environment, receiver
+            )
+        if stage is Stage.COMPREHENSION:
+            return probabilities.comprehension_probability(communication, receiver)
+        if stage is Stage.KNOWLEDGE_ACQUISITION:
+            return probabilities.knowledge_acquisition_probability(communication, receiver)
+        if stage is Stage.KNOWLEDGE_RETENTION:
+            return probabilities.knowledge_retention_probability(communication, receiver)
+        if stage is Stage.KNOWLEDGE_TRANSFER:
+            return probabilities.knowledge_transfer_probability(communication, receiver)
+        if stage is Stage.BEHAVIOR:
+            return probabilities.behavior_success_probability(self.task.task_design, receiver)
+        raise ModelError(f"unknown stage {stage!r}")
+
+    def stage_probability(self, stage: Stage, receiver, noise=0.0):
+        """Calibrated success probability of one stage, with per-user noise.
+
+        The behavior stage models slips and lapses rather than perception,
+        so the per-user perception noise is not applied to it (mirroring
+        the original engine).
+        """
+        raw = self.raw_stage_probability(stage, receiver)
+        if stage is not Stage.BEHAVIOR:
+            raw = probabilities.clamp_probability(raw + noise)
+        if self.calibration is None:
+            return raw
+        return self.calibration.apply_stage(stage, raw)
+
+    def intention_probability(self, receiver, noise=0.0):
+        """Calibrated probability the receiver decides to comply."""
+        communication = self.task.communication
+        if communication is None:
+            raise ModelError("task has no communication; the intention gate does not apply")
+        raw = probabilities.clamp_probability(
+            probabilities.intention_probability(communication, receiver) + noise
+        )
+        if self.calibration is None:
+            return raw
+        return self.calibration.apply_intention(raw)
+
+    def capability_probability(self, receiver):
+        """Calibrated probability the receiver can perform the action."""
+        raw = probabilities.capability_probability(self.task, receiver)
+        if self.calibration is None:
+            return raw
+        return self.calibration.apply_capability(raw)
+
+    def behavior_probability(self, receiver):
+        """Calibrated probability the action is executed correctly."""
+        return self.stage_probability(Stage.BEHAVIOR, receiver)
+
+    def self_initiated_probability(self, receiver):
+        """With no communication, only self-motivated experts act."""
+        return probabilities.clamp_probability(0.1 * receiver.personal_variables.expertise)
+
+    def stage_probabilities(self, receiver) -> Dict[Stage, float]:
+        """Success probability for every applicable stage (incl. behavior).
+
+        With no calibration this reproduces the analytic reading used by
+        :func:`repro.core.analysis.analyze_task`; a task without a
+        communication yields an empty mapping.
+        """
+        if not self.has_communication:
+            return {}
+        result = {stage: self.stage_probability(stage, receiver) for stage in self.stages}
+        result[Stage.BEHAVIOR] = self.behavior_probability(receiver)
+        return result
+
+    def success_probability(self, receiver):
+        """End-to-end success probability including both gates."""
+        if not self.has_communication:
+            return self.self_initiated_probability(receiver)
+        probability = 1.0
+        for stage_probability in self.stage_probabilities(receiver).values():
+            probability = probability * stage_probability
+        probability = probability * self.intention_probability(receiver)
+        probability = probability * self.capability_probability(receiver)
+        # The individual factors are already floored, so the product is
+        # strictly positive; only the ceiling is applied to avoid masking
+        # real differences between long pipelines with low success.
+        ceiling = np.minimum(probabilities._CEILING, probability)
+        return float(ceiling) if np.ndim(ceiling) == 0 else ceiling
+
+    # -- scalar traversal --------------------------------------------------------
+
+    def walk(self, receiver, decide: DecisionFn, noise: float = 0.0,
+             spoofed: bool = False) -> PipelineWalk:
+        """Realize one receiver's pass through the pipeline.
+
+        ``decide`` supplies every stochastic decision; ``noise`` is the
+        receiver's pre-drawn perception noise and ``spoofed`` whether the
+        attacker already defeated the indicator.  The walk stops at the
+        first failure, mirroring the way a receiver who never notices a
+        warning can never comprehend it.
+        """
+        trace = StageTrace()
+
+        if not self.has_communication:
+            if decide("self_initiated", None, self.self_initiated_probability(receiver)):
+                return PipelineWalk(
+                    outcome=BehaviorOutcome.SUCCESS,
+                    protected=True,
+                    trace=trace,
+                    note="self-initiated protective action (no communication)",
+                )
+            return PipelineWalk(
+                outcome=BehaviorOutcome.NO_ACTION,
+                protected=False,
+                trace=trace,
+                note="no communication; no protective action taken",
+            )
+
+        # Attacker spoofing defeats the receiver regardless of processing.
+        if spoofed:
+            return PipelineWalk(
+                outcome=BehaviorOutcome.FAILURE,
+                protected=False,
+                trace=trace,
+                spoofed=True,
+                note="indicator spoofed by attacker",
+            )
+
+        for stage in self.skipped:
+            trace.skip(stage)
+
+        # -- pipeline stages -------------------------------------------------
+        for stage in self.stages:
+            probability = self.stage_probability(stage, receiver, noise)
+            succeeded = decide("stage", stage, probability)
+            trace.record(StageOutcome(stage=stage, succeeded=succeeded, probability=probability))
+            if not succeeded:
+                overrode = False
+                if failure_needs_override(stage, self.default_safe):
+                    overrode = decide("override", stage, self.override_given_misunderstanding)
+                outcome = failure_outcome(stage, self.default_safe, overrode)
+                return PipelineWalk(
+                    outcome=outcome,
+                    protected=outcome.hazard_avoided,
+                    trace=trace,
+                    failed_stage=stage,
+                    note=f"failed at {stage.value}",
+                )
+
+        # -- intention gate ----------------------------------------------------
+        if not decide("intention", None, self.intention_probability(receiver, noise)):
+            # The receiver understood but decided not to comply: with a
+            # blocking communication this means deliberately overriding.
+            return PipelineWalk(
+                outcome=BehaviorOutcome.FAILURE,
+                protected=False,
+                trace=trace,
+                intention_failed=True,
+                note="decided not to comply",
+            )
+
+        # -- capability gate ---------------------------------------------------
+        if not decide("capability", None, self.capability_probability(receiver)):
+            outcome = (
+                BehaviorOutcome.FAILED_SAFE if self.default_safe else BehaviorOutcome.FAILURE
+            )
+            return PipelineWalk(
+                outcome=outcome,
+                protected=outcome.hazard_avoided,
+                trace=trace,
+                capability_failed=True,
+                note="not capable of completing the action",
+            )
+
+        # -- behavior stage ----------------------------------------------------
+        behavior_p = self.behavior_probability(receiver)
+        behavior_ok = decide("behavior", Stage.BEHAVIOR, behavior_p)
+        trace.record(
+            StageOutcome(stage=Stage.BEHAVIOR, succeeded=behavior_ok, probability=behavior_p)
+        )
+        if behavior_ok:
+            return PipelineWalk(
+                outcome=BehaviorOutcome.SUCCESS,
+                protected=True,
+                trace=trace,
+            )
+        outcome = BehaviorOutcome.FAILED_SAFE if self.default_safe else BehaviorOutcome.FAILURE
+        return PipelineWalk(
+            outcome=outcome,
+            protected=outcome.hazard_avoided,
+            trace=trace,
+            failed_stage=Stage.BEHAVIOR,
+            note="behavior-stage error (slip, lapse, or execution gulf)",
+        )
+
+
+def build_pipeline(
+    task: HumanSecurityTask,
+    calibration: Optional[object] = None,
+    environment: Optional[Environment] = None,
+) -> PipelinePlan:
+    """Build the pipeline plan for one task.
+
+    Parameters
+    ----------
+    task:
+        The human security task.
+    calibration:
+        Optional stage calibration (duck-typed; see module docstring).
+        ``None`` yields the uncalibrated analytic reading.
+    environment:
+        Optional override of the task's impediment environment (the
+        simulation engine passes the attacker-augmented environment here).
+    """
+    environment = environment if environment is not None else task.environment
+    communication = task.communication
+    applicability = probabilities.applicable_stages(communication)
+    if communication is None:
+        stages: Tuple[Stage, ...] = ()
+        skipped: Tuple[Stage, ...] = ()
+        default_safe = False
+        spoof = 0.0
+    else:
+        stages = tuple(stage for stage in PRE_BEHAVIOR_STAGES if applicability[stage])
+        skipped = tuple(stage for stage in PRE_BEHAVIOR_STAGES if not applicability[stage])
+        default_safe = communication.activeness_level is ActivenessLevel.BLOCKING
+        spoof = environment.spoof_probability
+    return PipelinePlan(
+        task=task,
+        environment=environment,
+        stages=stages,
+        skipped=skipped,
+        default_safe=default_safe,
+        spoof_probability=spoof,
+        calibration=calibration,
+    )

@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
+import numpy as np
+
 from .behavior import TaskDesign
 from .communication import Communication, CommunicationType
 from .exceptions import ModelError
@@ -58,9 +60,14 @@ _FLOOR = 0.02
 _CEILING = 0.98
 
 
-def clamp_probability(value: float) -> float:
-    """Clamp a raw score into the [_FLOOR, _CEILING] probability band."""
-    return max(_FLOOR, min(_CEILING, value))
+def clamp_probability(value):
+    """Clamp a raw score into the [_FLOOR, _CEILING] probability band.
+
+    Accepts a float or a numpy array; every stage-probability function in
+    this module is polymorphic the same way, so the batch simulation engine
+    can evaluate the model over a whole population in one call.
+    """
+    return np.minimum(_CEILING, np.maximum(_FLOOR, value))
 
 
 def habituation_factor(exposures: int, activeness: float) -> float:
@@ -147,7 +154,7 @@ def comprehension_probability(
     domain = receiver.personal_variables.knowledge.domain_knowledge
     # Receivers with no mental model of the hazard misinterpret even clear
     # warnings (the "transient problem with the web site" misreading).
-    base -= 0.25 * max(0.0, 0.4 - domain)
+    base = base - 0.25 * np.maximum(0.0, 0.4 - domain)
     return clamp_probability(base)
 
 
@@ -158,11 +165,11 @@ def knowledge_acquisition_probability(
     """Probability the receiver knows what to *do* in response."""
     base = 0.3 + 0.3 * receiver.personal_variables.expertise
     if communication.includes_instructions:
-        base += 0.35
+        base = base + 0.35
     if communication.explains_risk:
-        base += 0.1
-    if receiver.personal_variables.knowledge.has_received_training:
-        base += 0.15
+        base = base + 0.1
+    # ``has_received_training`` may be a per-receiver boolean array.
+    base = base + 0.15 * receiver.personal_variables.knowledge.has_received_training
     return clamp_probability(base)
 
 
@@ -177,9 +184,8 @@ def knowledge_retention_probability(
     """
     knowledge = receiver.personal_variables.knowledge
     base = 0.35 + 0.3 * knowledge.prior_exposure + 0.2 * knowledge.expertise
-    base += 0.1 * receiver.capabilities.memory_capacity
-    if receiver.personal_variables.knowledge.has_received_training:
-        base += 0.1
+    base = base + 0.1 * receiver.capabilities.memory_capacity
+    base = base + 0.1 * knowledge.has_received_training
     return clamp_probability(base)
 
 
@@ -191,8 +197,7 @@ def knowledge_transfer_probability(
     communication applies and figures out how to apply it there."""
     knowledge = receiver.personal_variables.knowledge
     base = 0.3 + 0.35 * knowledge.expertise + 0.2 * knowledge.domain_knowledge
-    if knowledge.has_received_training:
-        base += 0.15
+    base = base + 0.15 * knowledge.has_received_training
     return clamp_probability(base)
 
 
@@ -223,12 +228,37 @@ def capability_probability(
     task: HumanSecurityTask,
     receiver: HumanReceiver,
 ) -> float:
-    """Probability the receiver is capable of carrying out the action."""
-    gaps = task.capability_gap(receiver)
-    if not gaps:
-        return clamp_probability(0.6 + 0.4 * receiver.capability_score)
-    shortfall = sum(gaps.values())
-    return clamp_probability(0.85 - 1.2 * shortfall)
+    """Probability the receiver is capable of carrying out the action.
+
+    ``receiver`` may be a :class:`~repro.core.receiver.HumanReceiver` or a
+    batch receiver view whose capability dimensions are arrays; the shortfall
+    arithmetic mirrors :meth:`HumanSecurityTask.capability_gap` elementwise.
+    """
+    requirements = task.capability_requirements
+    capabilities = receiver.capabilities
+    shortfall_total = 0.0
+    has_gap = False
+    for dimension in ("knowledge_to_act", "cognitive_skill", "physical_skill", "memory_capacity"):
+        shortfall = getattr(requirements, dimension) - getattr(capabilities, dimension)
+        gap = shortfall > 1e-9
+        shortfall_total = shortfall_total + np.where(gap, shortfall, 0.0)
+        has_gap = has_gap | gap
+    # The software/device flags are population-wide constants, so they gate
+    # every receiver in a batch at once (``| True`` keeps the array shape).
+    if requirements.has_required_software and not capabilities.has_required_software:
+        shortfall_total = shortfall_total + 1.0
+        has_gap = has_gap | True
+    if requirements.has_required_device and not capabilities.has_required_device:
+        shortfall_total = shortfall_total + 1.0
+        has_gap = has_gap | True
+    probability = np.where(
+        has_gap,
+        clamp_probability(0.85 - 1.2 * shortfall_total),
+        clamp_probability(0.6 + 0.4 * receiver.capability_score),
+    )
+    if np.ndim(probability) == 0:
+        return float(probability)
+    return probability
 
 
 def behavior_success_probability(
@@ -274,38 +304,9 @@ def stage_probabilities(
     mapping — the caller is expected to flag the missing communication as
     the root cause rather than reason about stages.
     """
-    receiver = receiver or task.primary_receiver
-    communication = task.communication
-    if communication is None:
-        return {}
+    from .pipeline import build_pipeline
 
-    applicability = applicable_stages(communication)
-    probabilities: Dict[Stage, float] = {}
-    if applicability[Stage.ATTENTION_SWITCH]:
-        probabilities[Stage.ATTENTION_SWITCH] = attention_switch_probability(
-            communication, task.environment, receiver
-        )
-    if applicability[Stage.ATTENTION_MAINTENANCE]:
-        probabilities[Stage.ATTENTION_MAINTENANCE] = attention_maintenance_probability(
-            communication, task.environment, receiver
-        )
-    if applicability[Stage.COMPREHENSION]:
-        probabilities[Stage.COMPREHENSION] = comprehension_probability(communication, receiver)
-    if applicability[Stage.KNOWLEDGE_ACQUISITION]:
-        probabilities[Stage.KNOWLEDGE_ACQUISITION] = knowledge_acquisition_probability(
-            communication, receiver
-        )
-    if applicability[Stage.KNOWLEDGE_RETENTION]:
-        probabilities[Stage.KNOWLEDGE_RETENTION] = knowledge_retention_probability(
-            communication, receiver
-        )
-    if applicability[Stage.KNOWLEDGE_TRANSFER]:
-        probabilities[Stage.KNOWLEDGE_TRANSFER] = knowledge_transfer_probability(
-            communication, receiver
-        )
-    if applicability[Stage.BEHAVIOR]:
-        probabilities[Stage.BEHAVIOR] = behavior_success_probability(task.task_design, receiver)
-    return probabilities
+    return build_pipeline(task).stage_probabilities(receiver or task.primary_receiver)
 
 
 def end_to_end_success_probability(
@@ -320,16 +321,6 @@ def end_to_end_success_probability(
     communication is given a small residual success probability to reflect
     experts who initiate security actions on their own.
     """
-    receiver = receiver or task.primary_receiver
-    if task.communication is None:
-        return clamp_probability(0.1 * receiver.personal_variables.expertise)
+    from .pipeline import build_pipeline
 
-    probability = 1.0
-    for stage_probability in stage_probabilities(task, receiver).values():
-        probability *= stage_probability
-    probability *= intention_probability(task.communication, receiver)
-    probability *= capability_probability(task, receiver)
-    # The individual factors are already floored, so the product is strictly
-    # positive; only the ceiling is applied here to avoid masking real
-    # differences between long pipelines with low end-to-end success.
-    return min(_CEILING, probability)
+    return build_pipeline(task).success_probability(receiver or task.primary_receiver)

@@ -25,6 +25,8 @@ import dataclasses
 import enum
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from .exceptions import ModelError
 
 __all__ = [
@@ -40,12 +42,116 @@ __all__ = [
     "novice_receiver",
     "typical_receiver",
     "expert_receiver",
+    "expertise_score",
+    "belief_score",
+    "motivation_score",
+    "intention_score",
+    "capability_score",
 ]
 
 
 def _check_unit(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
         raise ModelError(f"{name} must be in [0, 1], got {value}")
+
+
+def _clip_unit(value):
+    """Clip a score to [0, 1]; accepts floats or numpy arrays."""
+    return np.minimum(1.0, np.maximum(0.0, value))
+
+
+# ---------------------------------------------------------------------------
+# Composite-score formulas
+#
+# These are the single source of truth for the receiver's derived scores.
+# The dataclass properties below evaluate them on scalars; the batch
+# simulation engine (repro.simulation.batch) evaluates the same formulas on
+# numpy arrays covering a whole population at once, so every argument may be
+# either a float or an ndarray.
+# ---------------------------------------------------------------------------
+
+
+def expertise_score(security_knowledge, domain_knowledge, computer_proficiency):
+    """Overall expertise combining the knowledge dimensions."""
+    return (
+        0.4 * security_knowledge
+        + 0.35 * domain_knowledge
+        + 0.25 * computer_proficiency
+    )
+
+
+def belief_score(
+    trust,
+    perceived_relevance,
+    risk_perception,
+    self_efficacy,
+    response_efficacy,
+    perceived_time_cost,
+    annoyance,
+):
+    """Composite belief that the communication deserves action (0-1)."""
+    positive = (
+        0.30 * trust
+        + 0.20 * perceived_relevance
+        + 0.20 * risk_perception
+        + 0.15 * self_efficacy
+        + 0.15 * response_efficacy
+    )
+    negative = 0.5 * perceived_time_cost + 0.5 * annoyance
+    return _clip_unit(positive - 0.3 * negative)
+
+
+def motivation_score(
+    conflicting_goals,
+    primary_task_pressure,
+    perceived_consequences,
+    incentives,
+    disincentives,
+    convenience_cost,
+):
+    """Composite motivation score (0-1)."""
+    positive = (
+        0.5 * perceived_consequences
+        + 0.25 * incentives
+        + 0.25 * disincentives
+    )
+    negative = (
+        0.4 * conflicting_goals
+        + 0.3 * primary_task_pressure
+        + 0.3 * convenience_cost
+    )
+    return _clip_unit(0.3 + 0.7 * positive - 0.5 * negative)
+
+
+def intention_score(belief, motivation):
+    """Probability-like score that the receiver intends to comply."""
+    return _clip_unit(0.6 * belief + 0.4 * motivation)
+
+
+def capability_score(
+    knowledge_to_act,
+    cognitive_skill,
+    physical_skill,
+    memory_capacity,
+    has_required_software=True,
+    has_required_device=True,
+):
+    """Composite capability score (0-1).
+
+    The software/device flags are treated as population-wide constants, so
+    they stay plain booleans even when the skill arguments are arrays.
+    """
+    score = (
+        0.3 * knowledge_to_act
+        + 0.3 * cognitive_skill
+        + 0.2 * physical_skill
+        + 0.2 * memory_capacity
+    )
+    if not has_required_software:
+        score = score * 0.5
+    if not has_required_device:
+        score = score * 0.5
+    return score
 
 
 class EducationLevel(enum.Enum):
@@ -120,10 +226,8 @@ class KnowledgeExperience:
     @property
     def expertise(self) -> float:
         """Overall expertise score combining the knowledge dimensions."""
-        return (
-            0.4 * self.security_knowledge
-            + 0.35 * self.domain_knowledge
-            + 0.25 * self.computer_proficiency
+        return expertise_score(
+            self.security_knowledge, self.domain_knowledge, self.computer_proficiency
         )
 
 
@@ -184,15 +288,17 @@ class AttitudesBeliefs:
     @property
     def belief_score(self) -> float:
         """Composite belief that the communication deserves action (0–1)."""
-        positive = (
-            0.30 * self.trust
-            + 0.20 * self.perceived_relevance
-            + 0.20 * self.risk_perception
-            + 0.15 * self.self_efficacy
-            + 0.15 * self.response_efficacy
+        return float(
+            belief_score(
+                self.trust,
+                self.perceived_relevance,
+                self.risk_perception,
+                self.self_efficacy,
+                self.response_efficacy,
+                self.perceived_time_cost,
+                self.annoyance,
+            )
         )
-        negative = 0.5 * self.perceived_time_cost + 0.5 * self.annoyance
-        return max(0.0, min(1.0, positive - 0.3 * negative))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -225,17 +331,16 @@ class Motivation:
         push motivation up; goal conflict, primary-task pressure, and the
         sheer inconvenience of the security task push it down.
         """
-        positive = (
-            0.5 * self.perceived_consequences
-            + 0.25 * self.incentives
-            + 0.25 * self.disincentives
+        return float(
+            motivation_score(
+                self.conflicting_goals,
+                self.primary_task_pressure,
+                self.perceived_consequences,
+                self.incentives,
+                self.disincentives,
+                self.convenience_cost,
+            )
         )
-        negative = (
-            0.4 * self.conflicting_goals
-            + 0.3 * self.primary_task_pressure
-            + 0.3 * self.convenience_cost
-        )
-        return max(0.0, min(1.0, 0.3 + 0.7 * positive - 0.5 * negative))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -248,9 +353,8 @@ class Intentions:
     @property
     def intention_score(self) -> float:
         """Probability-like score that the receiver intends to comply."""
-        return max(
-            0.0,
-            min(1.0, 0.6 * self.attitudes.belief_score + 0.4 * self.motivation.motivation_score),
+        return float(
+            intention_score(self.attitudes.belief_score, self.motivation.motivation_score)
         )
 
 
@@ -278,17 +382,16 @@ class Capabilities:
     @property
     def capability_score(self) -> float:
         """Composite capability score (0–1)."""
-        score = (
-            0.3 * self.knowledge_to_act
-            + 0.3 * self.cognitive_skill
-            + 0.2 * self.physical_skill
-            + 0.2 * self.memory_capacity
+        return float(
+            capability_score(
+                self.knowledge_to_act,
+                self.cognitive_skill,
+                self.physical_skill,
+                self.memory_capacity,
+                self.has_required_software,
+                self.has_required_device,
+            )
         )
-        if not self.has_required_software:
-            score *= 0.5
-        if not self.has_required_device:
-            score *= 0.5
-        return score
 
     def meets(self, requirements: "Capabilities") -> bool:
         """Whether this receiver meets a set of capability requirements.

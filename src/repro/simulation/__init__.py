@@ -4,21 +4,45 @@ The paper grounds its case studies in human-subject studies we cannot
 re-run; this package substitutes a calibrated Monte-Carlo simulation of
 receiver populations processing security communications through the
 framework pipeline (see DESIGN.md for the substitution rationale).
+
+Layering (shared with the analytic path in :mod:`repro.core`):
+
+* :mod:`repro.core.pipeline` owns the stage pipeline itself — applicable
+  stages, gate ordering, failure-outcome semantics, and the scalar walk.
+* :mod:`repro.simulation.population` describes receiver populations and
+  samples them either one receiver at a time or as trait arrays.
+* :mod:`repro.simulation.batch` advances whole trait batches through the
+  pipeline vectorized (one model call per stage per batch).
+* :mod:`repro.simulation.engine` orchestrates both execution modes —
+  ``"batch"`` for population-scale runs and the scalar ``"reference"``
+  walk kept as the executable specification — over identical pre-drawn
+  randomness.
+* :mod:`repro.simulation.metrics` accumulates streaming tallies so memory
+  stays O(batch) rather than O(population).
+
+Scenario-level entry points (population + calibration + system per case
+study) live in :mod:`repro.systems.scenario`.
 """
 
 from .attacker import AttackerModel, AttackVector, no_attacker, spoofing_attacker
+from .batch import BatchOutcomes, BatchReceivers, DrawBatch
 from .calibration import StageCalibration
-from .engine import HumanLoopSimulator, SimulationConfig
+from .engine import SIMULATION_MODES, HumanLoopSimulator, SimulationConfig
 from .habituation import ExposurePoint, HabituationState, simulate_exposure_series
 from .metrics import (
+    OUTCOME_ORDER,
     ReceiverRecord,
     SimulationResult,
+    SimulationTally,
     comparison_table,
+    outcome_code,
     render_comparison_markdown,
 )
 from .population import (
+    TRAIT_NAMES,
     PopulationSpec,
     TraitDistribution,
+    TraitSamples,
     expert_population,
     general_web_population,
     organization_population,
@@ -28,6 +52,8 @@ from .rng import SimulationRng
 __all__ = [
     "SimulationRng",
     "TraitDistribution",
+    "TraitSamples",
+    "TRAIT_NAMES",
     "PopulationSpec",
     "general_web_population",
     "organization_population",
@@ -42,8 +68,15 @@ __all__ = [
     "simulate_exposure_series",
     "SimulationConfig",
     "HumanLoopSimulator",
+    "SIMULATION_MODES",
+    "BatchReceivers",
+    "BatchOutcomes",
+    "DrawBatch",
     "ReceiverRecord",
     "SimulationResult",
+    "SimulationTally",
+    "OUTCOME_ORDER",
+    "outcome_code",
     "comparison_table",
     "render_comparison_markdown",
 ]

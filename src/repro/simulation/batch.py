@@ -1,0 +1,486 @@
+"""Vectorized batch evaluation of the stage pipeline.
+
+The scalar engine walks one receiver at a time through
+:meth:`repro.core.pipeline.PipelinePlan.walk`; this module advances a whole
+batch of receivers at once.  The trick is that the probability model in
+:mod:`repro.core.probabilities` is polymorphic: every stage function
+accepts either a :class:`~repro.core.receiver.HumanReceiver` or a
+:class:`BatchReceivers` view whose trait attributes are numpy arrays.  One
+call per stage therefore yields the success probability of *every*
+receiver in the batch, and one uniform matrix drawn up front supplies
+every stochastic decision.
+
+The draw layout is shared with the engine's scalar ``reference`` mode (see
+:func:`draw_batch`), which interprets the same matrices row by row through
+the scalar walk — that is what makes the batch/reference equivalence
+regression test exact rather than statistical.
+
+Column layout of the decision matrix (one row per receiver):
+
+* columns ``0..K-1`` — one per applicable pre-behavior stage, in pipeline
+  order;
+* column ``K`` — the override draw consulted when a blocking
+  communication's processing stages fail;
+* columns ``K+1 .. K+3`` — the intention gate, capability gate, and
+  behavior stage.
+
+For a task with no communication the matrix has a single column: the
+self-initiated-action draw.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import receiver as receiver_model
+from ..core.behavior import BehaviorOutcome
+from ..core.pipeline import PipelinePlan, failure_needs_override, failure_outcome
+from ..core.stages import Stage, StageOutcome, StageTrace
+from .metrics import OUTCOME_ORDER, ReceiverRecord, outcome_code
+from .population import PopulationSpec, TraitSamples
+from .rng import SimulationRng
+
+__all__ = [
+    "BatchReceivers",
+    "DrawBatch",
+    "BatchOutcomes",
+    "draw_batch",
+    "evaluate_batch",
+    "records_from_batch",
+]
+
+_HAZARD_AVOIDED = np.array([outcome.hazard_avoided for outcome in OUTCOME_ORDER])
+_SUCCESS_CODE = outcome_code(BehaviorOutcome.SUCCESS)
+_FAILURE_CODE = outcome_code(BehaviorOutcome.FAILURE)
+_FAILED_SAFE_CODE = outcome_code(BehaviorOutcome.FAILED_SAFE)
+_NO_ACTION_CODE = outcome_code(BehaviorOutcome.NO_ACTION)
+
+
+# ---------------------------------------------------------------------------
+# Batch receiver view
+#
+# These tiny namespace classes mirror the attribute tree of HumanReceiver
+# (personal_variables.knowledge..., intentions.attitudes..., capabilities...)
+# with arrays in place of floats, and compute the derived scores through the
+# shared formula functions in repro.core.receiver — so the scalar and batch
+# paths cannot drift apart.
+# ---------------------------------------------------------------------------
+
+
+class _KnowledgeView:
+    def __init__(self, traits: Dict[str, np.ndarray], trained: np.ndarray) -> None:
+        self.security_knowledge = traits["security_knowledge"]
+        self.domain_knowledge = traits["domain_knowledge"]
+        self.computer_proficiency = traits["computer_proficiency"]
+        self.prior_exposure = traits["prior_exposure"]
+        self.has_received_training = trained
+
+    @property
+    def expertise(self) -> np.ndarray:
+        return receiver_model.expertise_score(
+            self.security_knowledge, self.domain_knowledge, self.computer_proficiency
+        )
+
+
+class _PersonalVariablesView:
+    def __init__(self, knowledge: _KnowledgeView) -> None:
+        self.knowledge = knowledge
+
+    @property
+    def expertise(self) -> np.ndarray:
+        return self.knowledge.expertise
+
+
+class _AttitudesView:
+    def __init__(self, traits: Dict[str, np.ndarray]) -> None:
+        self.trust = traits["trust"]
+        self.perceived_relevance = traits["perceived_relevance"]
+        self.risk_perception = traits["risk_perception"]
+        self.self_efficacy = traits["self_efficacy"]
+        self.response_efficacy = traits["response_efficacy"]
+        self.perceived_time_cost = traits["perceived_time_cost"]
+        self.annoyance = traits["annoyance"]
+
+    @property
+    def belief_score(self) -> np.ndarray:
+        return receiver_model.belief_score(
+            self.trust,
+            self.perceived_relevance,
+            self.risk_perception,
+            self.self_efficacy,
+            self.response_efficacy,
+            self.perceived_time_cost,
+            self.annoyance,
+        )
+
+
+class _MotivationView:
+    def __init__(self, traits: Dict[str, np.ndarray]) -> None:
+        self.conflicting_goals = traits["conflicting_goals"]
+        self.primary_task_pressure = traits["primary_task_pressure"]
+        self.perceived_consequences = traits["perceived_consequences"]
+        self.incentives = traits["incentives"]
+        self.disincentives = traits["disincentives"]
+        self.convenience_cost = traits["convenience_cost"]
+
+    @property
+    def motivation_score(self) -> np.ndarray:
+        return receiver_model.motivation_score(
+            self.conflicting_goals,
+            self.primary_task_pressure,
+            self.perceived_consequences,
+            self.incentives,
+            self.disincentives,
+            self.convenience_cost,
+        )
+
+
+class _IntentionsView:
+    def __init__(self, attitudes: _AttitudesView, motivation: _MotivationView) -> None:
+        self.attitudes = attitudes
+        self.motivation = motivation
+
+    @property
+    def intention_score(self) -> np.ndarray:
+        return receiver_model.intention_score(
+            self.attitudes.belief_score, self.motivation.motivation_score
+        )
+
+
+class _CapabilitiesView:
+    # Sampled populations always have the required software and device
+    # (PopulationSpec does not model their absence), so the flags stay
+    # population-wide scalars.
+    has_required_software = True
+    has_required_device = True
+
+    def __init__(self, traits: Dict[str, np.ndarray]) -> None:
+        self.knowledge_to_act = traits["knowledge_to_act"]
+        self.cognitive_skill = traits["cognitive_skill"]
+        self.physical_skill = traits["physical_skill"]
+        self.memory_capacity = traits["memory_capacity"]
+
+    @property
+    def capability_score(self) -> np.ndarray:
+        return receiver_model.capability_score(
+            self.knowledge_to_act,
+            self.cognitive_skill,
+            self.physical_skill,
+            self.memory_capacity,
+            self.has_required_software,
+            self.has_required_device,
+        )
+
+
+class BatchReceivers:
+    """A whole batch of sampled receivers behind the HumanReceiver interface."""
+
+    def __init__(self, samples: TraitSamples) -> None:
+        self.samples = samples
+        self.personal_variables = _PersonalVariablesView(
+            _KnowledgeView(samples.traits, samples.trained)
+        )
+        self.intentions = _IntentionsView(
+            _AttitudesView(samples.traits), _MotivationView(samples.traits)
+        )
+        self.capabilities = _CapabilitiesView(samples.traits)
+
+    @property
+    def count(self) -> int:
+        return self.samples.count
+
+    @property
+    def expertise(self) -> np.ndarray:
+        return self.personal_variables.expertise
+
+    @property
+    def intention_score(self) -> np.ndarray:
+        return self.intentions.intention_score
+
+    @property
+    def capability_score(self) -> np.ndarray:
+        return self.capabilities.capability_score
+
+
+# ---------------------------------------------------------------------------
+# Draws
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class DrawBatch:
+    """All randomness for one batch, drawn up front in a fixed layout."""
+
+    samples: TraitSamples
+    spoof_uniforms: Optional[np.ndarray]
+    noise: np.ndarray
+    decisions: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.samples.count
+
+
+def decision_columns(plan: PipelinePlan) -> Dict[str, int]:
+    """Column index of every decision in the draw matrix (see module doc)."""
+    if not plan.has_communication:
+        return {"self_initiated": 0}
+    columns = {f"stage:{stage.value}": index for index, stage in enumerate(plan.stages)}
+    offset = len(plan.stages)
+    columns["override"] = offset
+    columns["intention"] = offset + 1
+    columns["capability"] = offset + 2
+    columns["behavior"] = offset + 3
+    return columns
+
+
+def draw_batch(
+    plan: PipelinePlan,
+    population: PopulationSpec,
+    count: int,
+    rng: SimulationRng,
+) -> DrawBatch:
+    """Draw the traits and decision uniforms for ``count`` receivers."""
+    samples = population.sample_traits(count, rng)
+    if not plan.has_communication:
+        return DrawBatch(
+            samples=samples,
+            spoof_uniforms=None,
+            noise=np.zeros(count),
+            decisions=rng.uniform_matrix(count, 1),
+        )
+    spoof_uniforms = rng.uniform_array(count)
+    noise = rng.truncated_normal_array(0.0, plan.user_noise_std, -0.2, 0.2, count)
+    decisions = rng.uniform_matrix(count, len(plan.stages) + 4)
+    return DrawBatch(
+        samples=samples, spoof_uniforms=spoof_uniforms, noise=noise, decisions=decisions
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchOutcomes:
+    """Realized outcomes of one batch as a struct of arrays.
+
+    ``failed_stage_index`` holds the :data:`~repro.core.stages.STAGE_ORDER`
+    index of the first failed stage, or ``-1``; ``stage_probabilities`` and
+    ``stage_success`` (per applicable pre-behavior stage, in plan order) are
+    retained so per-receiver records can be materialized without
+    recomputing the model.
+    """
+
+    plan: PipelinePlan
+    outcome_codes: np.ndarray
+    protected: np.ndarray
+    spoofed: np.ndarray
+    intention_failed: np.ndarray
+    capability_failed: np.ndarray
+    failed_stage_index: np.ndarray
+    attention_evaluated: np.ndarray
+    attention_succeeded: np.ndarray
+    stage_probabilities: Optional[np.ndarray] = None
+    stage_success: Optional[np.ndarray] = None
+    behavior_probability: Optional[np.ndarray] = None
+
+    @property
+    def count(self) -> int:
+        return int(self.outcome_codes.shape[0])
+
+
+def evaluate_batch(plan: PipelinePlan, draws: DrawBatch) -> BatchOutcomes:
+    """Advance every receiver in the batch through the pipeline at once."""
+    view = BatchReceivers(draws.samples)
+    count = draws.count
+
+    if not plan.has_communication:
+        acted = draws.decisions[:, 0] < plan.self_initiated_probability(view)
+        outcome_codes = np.where(acted, _SUCCESS_CODE, _NO_ACTION_CODE)
+        false_array = np.zeros(count, dtype=bool)
+        return BatchOutcomes(
+            plan=plan,
+            outcome_codes=outcome_codes,
+            protected=acted.copy(),
+            spoofed=false_array,
+            intention_failed=false_array,
+            capability_failed=false_array,
+            failed_stage_index=np.full(count, -1),
+            attention_evaluated=false_array,
+            attention_succeeded=false_array,
+        )
+
+    stage_count = len(plan.stages)
+    noise = draws.noise
+
+    # One model call per stage covers the whole batch.
+    stage_probabilities = np.empty((count, stage_count))
+    for column, stage in enumerate(plan.stages):
+        stage_probabilities[:, column] = plan.stage_probability(stage, view, noise)
+    stage_success = draws.decisions[:, :stage_count] < stage_probabilities
+
+    spoofed = draws.spoof_uniforms < plan.spoof_probability
+    live = ~spoofed
+
+    failed = ~stage_success
+    any_stage_failed = failed.any(axis=1)
+    # Slot K is a sentinel for "no stage failed".
+    first_failed_slot = np.where(any_stage_failed, failed.argmax(axis=1), stage_count)
+
+    override_draw = draws.decisions[:, stage_count] < plan.override_given_misunderstanding
+    intention_ok = draws.decisions[:, stage_count + 1] < plan.intention_probability(view, noise)
+    capability_ok = draws.decisions[:, stage_count + 2] < plan.capability_probability(view)
+    behavior_probability = plan.behavior_probability(view)
+    behavior_ok = draws.decisions[:, stage_count + 3] < behavior_probability
+
+    # Per-slot outcome lookup tables (the sentinel slot is never read for a
+    # failing receiver; it just keeps the fancy-indexing in bounds).
+    base_codes = np.array(
+        [
+            outcome_code(failure_outcome(stage, plan.default_safe, overrode=False))
+            for stage in plan.stages
+        ]
+        + [_SUCCESS_CODE]
+    )
+    needs_override = np.array(
+        [failure_needs_override(stage, plan.default_safe) for stage in plan.stages] + [False]
+    )
+    slot_stage_index = np.array([stage.index for stage in plan.stages] + [-1])
+
+    stage_fail = live & any_stage_failed
+    fail_codes = np.where(
+        needs_override[first_failed_slot] & override_draw,
+        _FAILURE_CODE,
+        base_codes[first_failed_slot],
+    )
+
+    passed_stages = live & ~any_stage_failed
+    intention_failed = passed_stages & ~intention_ok
+    capability_failed = passed_stages & intention_ok & ~capability_ok
+    behavior_failed = passed_stages & intention_ok & capability_ok & ~behavior_ok
+    succeeded = passed_stages & intention_ok & capability_ok & behavior_ok
+
+    gate_fail_code = _FAILED_SAFE_CODE if plan.default_safe else _FAILURE_CODE
+
+    outcome_codes = np.empty(count, dtype=np.int64)
+    outcome_codes[spoofed] = _FAILURE_CODE
+    outcome_codes[stage_fail] = fail_codes[stage_fail]
+    outcome_codes[intention_failed] = _FAILURE_CODE
+    outcome_codes[capability_failed] = gate_fail_code
+    outcome_codes[behavior_failed] = gate_fail_code
+    outcome_codes[succeeded] = _SUCCESS_CODE
+
+    failed_stage_index = np.full(count, -1)
+    failed_stage_index[stage_fail] = slot_stage_index[first_failed_slot][stage_fail]
+    failed_stage_index[behavior_failed] = Stage.BEHAVIOR.index
+
+    attention_column = plan.stages.index(Stage.ATTENTION_SWITCH)
+    attention_evaluated = live.copy()
+    attention_succeeded = live & stage_success[:, attention_column]
+
+    return BatchOutcomes(
+        plan=plan,
+        outcome_codes=outcome_codes,
+        protected=_HAZARD_AVOIDED[outcome_codes],
+        spoofed=spoofed,
+        intention_failed=intention_failed,
+        capability_failed=capability_failed,
+        failed_stage_index=failed_stage_index,
+        attention_evaluated=attention_evaluated,
+        attention_succeeded=attention_succeeded,
+        stage_probabilities=stage_probabilities,
+        stage_success=stage_success,
+        behavior_probability=behavior_probability,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Record materialization
+# ---------------------------------------------------------------------------
+
+
+def records_from_batch(
+    outcomes: BatchOutcomes,
+    draws: DrawBatch,
+    start_index: int = 0,
+) -> List[ReceiverRecord]:
+    """Materialize per-receiver records (with stage traces) from a batch.
+
+    The records carry the same traces, notes and flags the scalar walk
+    produces, so small batch runs remain fully inspectable.
+    """
+    plan = outcomes.plan
+    population_name = draws.samples.population_name
+    records: List[ReceiverRecord] = []
+
+    for row in range(outcomes.count):
+        index = start_index + row
+        name = f"{population_name}-{index}"
+        outcome = OUTCOME_ORDER[int(outcomes.outcome_codes[row])]
+        trace = StageTrace()
+        failed_stage: Optional[Stage] = None
+        note = ""
+
+        if not plan.has_communication:
+            note = (
+                "self-initiated protective action (no communication)"
+                if outcome is BehaviorOutcome.SUCCESS
+                else "no communication; no protective action taken"
+            )
+        elif outcomes.spoofed[row]:
+            note = "indicator spoofed by attacker"
+        else:
+            for stage in plan.skipped:
+                trace.skip(stage)
+            stage_index = int(outcomes.failed_stage_index[row])
+            for column, stage in enumerate(plan.stages):
+                succeeded = bool(outcomes.stage_success[row, column])
+                trace.record(
+                    StageOutcome(
+                        stage=stage,
+                        succeeded=succeeded,
+                        probability=float(outcomes.stage_probabilities[row, column]),
+                    )
+                )
+                if not succeeded:
+                    failed_stage = stage
+                    note = f"failed at {stage.value}"
+                    break
+            else:
+                if outcomes.intention_failed[row]:
+                    note = "decided not to comply"
+                elif outcomes.capability_failed[row]:
+                    note = "not capable of completing the action"
+                else:
+                    behavior_ok = outcome is BehaviorOutcome.SUCCESS
+                    trace.record(
+                        StageOutcome(
+                            stage=Stage.BEHAVIOR,
+                            succeeded=behavior_ok,
+                            probability=float(outcomes.behavior_probability[row]),
+                        )
+                    )
+                    if not behavior_ok:
+                        failed_stage = Stage.BEHAVIOR
+                        note = "behavior-stage error (slip, lapse, or execution gulf)"
+
+        records.append(
+            ReceiverRecord(
+                index=index,
+                receiver_name=name,
+                trace=trace,
+                outcome=outcome,
+                protected=bool(outcomes.protected[row]),
+                failed_stage=failed_stage,
+                intention_failed=bool(outcomes.intention_failed[row]),
+                capability_failed=bool(outcomes.capability_failed[row]),
+                spoofed=bool(outcomes.spoofed[row]),
+                note=note,
+            )
+        )
+    return records

@@ -1,13 +1,30 @@
 """The human-receiver simulation engine.
 
 The engine is the substrate that stands in for the human-subject studies
-the paper cites: it draws receivers from a :class:`PopulationSpec`, walks
-each one through the framework pipeline (communication delivery →
-communication processing → application → intention and capability gates →
-behavior) with stage probabilities from
-:mod:`repro.core.probabilities` (optionally rescaled by a
-:class:`~repro.simulation.calibration.StageCalibration`), and records where
-each receiver failed and whether the hazard was ultimately avoided.
+the paper cites: it draws receivers from a :class:`PopulationSpec` and
+advances them through the shared framework pipeline (communication
+delivery → communication processing → application → intention and
+capability gates → behavior) owned by :mod:`repro.core.pipeline`, with
+stage probabilities from :mod:`repro.core.probabilities` (optionally
+rescaled by a :class:`~repro.simulation.calibration.StageCalibration`),
+and records where each receiver failed and whether the hazard was
+ultimately avoided.
+
+Two execution modes traverse the identical pipeline over identical
+pre-drawn randomness:
+
+* ``mode="batch"`` (the default) — receivers advance in numpy batches:
+  one model call per stage covers every receiver in the chunk and one
+  uniform matrix supplies every decision, which makes 100k+-receiver
+  populations practical.  Chunks of ``batch_size`` receivers are folded
+  into a streaming :class:`~repro.simulation.metrics.SimulationTally`, so
+  memory stays O(batch); full per-receiver records (with stage traces)
+  are materialized only when the run is within ``record_limit``.
+* ``mode="reference"`` — the scalar per-receiver walk, kept as the
+  executable specification: it interprets the same draw matrices row by
+  row through :meth:`~repro.core.pipeline.PipelinePlan.walk`, so its
+  per-stage failure counts must match the batch mode exactly (the
+  equivalence regression test relies on this).
 
 Outcome semantics mirror the case studies:
 
@@ -28,37 +45,56 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
-from ..core import probabilities
-from ..core.behavior import BehaviorOutcome
-from ..core.communication import ActivenessLevel, Communication
 from ..core.exceptions import SimulationError
 from ..core.impediments import Environment
+from ..core.pipeline import PipelinePlan, build_pipeline
 from ..core.receiver import HumanReceiver
-from ..core.stages import Stage, StageOutcome, StageTrace
+from ..core.stages import Stage
 from ..core.task import HumanSecurityTask
+from . import batch as batch_module
 from .attacker import AttackerModel
 from .calibration import StageCalibration
-from .metrics import ReceiverRecord, SimulationResult
+from .metrics import ReceiverRecord, SimulationResult, SimulationTally
 from .population import PopulationSpec
 from .rng import SimulationRng
 
-__all__ = ["SimulationConfig", "HumanLoopSimulator"]
+__all__ = ["SimulationConfig", "HumanLoopSimulator", "SIMULATION_MODES"]
+
+#: Supported execution modes (see module docstring).
+SIMULATION_MODES = ("batch", "reference")
 
 
 @dataclasses.dataclass(frozen=True)
 class SimulationConfig:
-    """Configuration for one simulation run."""
+    """Configuration for one simulation run.
+
+    ``batch_size`` bounds the number of receivers materialized as arrays
+    at any moment; ``record_limit`` bounds the number of receivers for
+    which full per-receiver records are kept (beyond it, only the
+    streaming tally is retained).
+    """
 
     n_receivers: int = 500
     seed: int = 0
     calibration: StageCalibration = dataclasses.field(default_factory=StageCalibration.neutral)
     attacker: Optional[AttackerModel] = None
+    mode: str = "batch"
+    batch_size: int = 25_000
+    record_limit: int = 10_000
 
     def __post_init__(self) -> None:
         if self.n_receivers < 0:
             raise SimulationError("n_receivers must be non-negative")
         if self.seed < 0:
             raise SimulationError("seed must be non-negative")
+        if self.mode not in SIMULATION_MODES:
+            raise SimulationError(
+                f"mode must be one of {SIMULATION_MODES}, got {self.mode!r}"
+            )
+        if self.batch_size <= 0:
+            raise SimulationError("batch_size must be positive")
+        if self.record_limit < 0:
+            raise SimulationError("record_limit must be non-negative")
 
 
 class HumanLoopSimulator:
@@ -75,25 +111,55 @@ class HumanLoopSimulator:
         population: PopulationSpec,
         n_receivers: Optional[int] = None,
         seed: Optional[int] = None,
+        mode: Optional[str] = None,
     ) -> SimulationResult:
-        """Simulate ``n_receivers`` independent receivers encountering the task."""
+        """Simulate ``n_receivers`` independent receivers encountering the task.
+
+        ``mode`` overrides the configured execution mode for this run
+        ("batch" or "reference"); both modes consume the same pre-drawn
+        randomness chunk by chunk, so for a fixed (seed, batch_size) their
+        aggregate outcomes are identical.
+        """
         count = self.config.n_receivers if n_receivers is None else n_receivers
         if count < 0:
             raise SimulationError("n_receivers must be non-negative")
         base_seed = self.config.seed if seed is None else seed
+        mode = self.config.mode if mode is None else mode
+        if mode not in SIMULATION_MODES:
+            raise SimulationError(f"mode must be one of {SIMULATION_MODES}, got {mode!r}")
+
+        plan = self._plan_for(task)
         rng = SimulationRng(base_seed)
+        keep_records = mode == "reference" or count <= self.config.record_limit
 
         result = SimulationResult(
             task_name=task.name,
             population_name=population.name,
             seed=base_seed,
             calibration_label=self.config.calibration.label,
+            tally=SimulationTally(),
         )
-        for index in range(count):
-            receiver_rng = rng.spawn(index)
-            receiver = population.sample(receiver_rng, name=f"{population.name}-{index}")
-            record = self.simulate_receiver(task, receiver, receiver_rng, index=index)
-            result.records.append(record)
+
+        offset = 0
+        chunk_index = 0
+        while offset < count:
+            size = min(self.config.batch_size, count - offset)
+            draws = batch_module.draw_batch(plan, population, size, rng.spawn(chunk_index))
+            if mode == "batch":
+                outcomes = batch_module.evaluate_batch(plan, draws)
+                result.tally.add_batch(outcomes)
+                if keep_records:
+                    result.records.extend(
+                        batch_module.records_from_batch(outcomes, draws, start_index=offset)
+                    )
+            else:
+                for row in range(size):
+                    record = self._walk_row(plan, population, draws, row, offset + row)
+                    result.tally.add_record(record)
+                    if keep_records:
+                        result.records.append(record)
+            offset += size
+            chunk_index += 1
         return result
 
     def simulate_receiver(
@@ -103,225 +169,79 @@ class HumanLoopSimulator:
         rng: SimulationRng,
         index: int = 0,
     ) -> ReceiverRecord:
-        """Simulate a single receiver's encounter with the task."""
-        calibration = self.config.calibration
-        environment = self._effective_environment(task.environment)
-        communication = task.communication
-        trace = StageTrace()
+        """Simulate a single receiver's encounter with the task.
 
-        if communication is None:
-            return self._simulate_without_communication(task, receiver, rng, index, trace)
+        Draws flow through ``rng`` one decision at a time in pipeline
+        order (spoof, noise, stages, gates), exactly as the original
+        per-receiver engine did.
+        """
+        plan = self._plan_for(task)
+        spoofed = False
+        noise = 0.0
+        if plan.has_communication:
+            spoofed = rng.bernoulli(plan.spoof_probability)
+            if not spoofed:
+                noise = rng.truncated_normal(0.0, plan.user_noise_std, -0.2, 0.2)
 
-        # Attacker spoofing defeats the receiver regardless of processing.
-        if rng.bernoulli(environment.spoof_probability):
-            return ReceiverRecord(
-                index=index,
-                receiver_name=receiver.name,
-                trace=trace,
-                outcome=BehaviorOutcome.FAILURE,
-                protected=False,
-                spoofed=True,
-                note="indicator spoofed by attacker",
-            )
-
-        default_safe = self._default_safe(communication)
-        noise = rng.truncated_normal(0.0, calibration.user_noise_std, -0.2, 0.2)
-
-        # -- pipeline stages ---------------------------------------------------
-        applicability = probabilities.applicable_stages(communication)
-        for stage, applies in applicability.items():
-            if not applies and stage is not Stage.BEHAVIOR:
-                trace.skip(stage)
-        stage_functions = {
-            Stage.ATTENTION_SWITCH: lambda: probabilities.attention_switch_probability(
-                communication, environment, receiver
-            ),
-            Stage.ATTENTION_MAINTENANCE: lambda: probabilities.attention_maintenance_probability(
-                communication, environment, receiver
-            ),
-            Stage.COMPREHENSION: lambda: probabilities.comprehension_probability(
-                communication, receiver
-            ),
-            Stage.KNOWLEDGE_ACQUISITION: lambda: probabilities.knowledge_acquisition_probability(
-                communication, receiver
-            ),
-            Stage.KNOWLEDGE_RETENTION: lambda: probabilities.knowledge_retention_probability(
-                communication, receiver
-            ),
-            Stage.KNOWLEDGE_TRANSFER: lambda: probabilities.knowledge_transfer_probability(
-                communication, receiver
-            ),
-        }
-
-        for stage in (
-            Stage.ATTENTION_SWITCH,
-            Stage.ATTENTION_MAINTENANCE,
-            Stage.COMPREHENSION,
-            Stage.KNOWLEDGE_ACQUISITION,
-            Stage.KNOWLEDGE_RETENTION,
-            Stage.KNOWLEDGE_TRANSFER,
-        ):
-            if not applicability[stage]:
-                continue
-            probability = calibration.apply_stage(
-                stage, probabilities.clamp_probability(stage_functions[stage]() + noise)
-            )
-            succeeded = rng.bernoulli(probability)
-            trace.record(StageOutcome(stage=stage, succeeded=succeeded, probability=probability))
-            if not succeeded:
-                return self._resolve_stage_failure(
-                    task, receiver, rng, index, trace, stage, default_safe
-                )
-
-        # -- intention gate -----------------------------------------------------
-        intention_p = calibration.apply_intention(
-            probabilities.clamp_probability(
-                probabilities.intention_probability(communication, receiver) + noise
-            )
+        walk = plan.walk(
+            receiver,
+            decide=lambda kind, stage, probability: rng.bernoulli(float(probability)),
+            noise=noise,
+            spoofed=spoofed,
         )
-        if not rng.bernoulli(intention_p):
-            # The receiver understood but decided not to comply: with a
-            # blocking communication this means deliberately overriding.
-            return ReceiverRecord(
-                index=index,
-                receiver_name=receiver.name,
-                trace=trace,
-                outcome=BehaviorOutcome.FAILURE,
-                protected=False,
-                intention_failed=True,
-                note="decided not to comply",
-            )
-
-        # -- capability gate ----------------------------------------------------
-        capability_p = calibration.apply_capability(
-            probabilities.capability_probability(task, receiver)
-        )
-        if not rng.bernoulli(capability_p):
-            outcome = BehaviorOutcome.FAILED_SAFE if default_safe else BehaviorOutcome.FAILURE
-            return ReceiverRecord(
-                index=index,
-                receiver_name=receiver.name,
-                trace=trace,
-                outcome=outcome,
-                protected=outcome.hazard_avoided,
-                capability_failed=True,
-                note="not capable of completing the action",
-            )
-
-        # -- behavior stage -----------------------------------------------------
-        behavior_p = calibration.apply_stage(
-            Stage.BEHAVIOR,
-            probabilities.behavior_success_probability(task.task_design, receiver),
-        )
-        behavior_ok = rng.bernoulli(behavior_p)
-        trace.record(
-            StageOutcome(stage=Stage.BEHAVIOR, succeeded=behavior_ok, probability=behavior_p)
-        )
-        if behavior_ok:
-            return ReceiverRecord(
-                index=index,
-                receiver_name=receiver.name,
-                trace=trace,
-                outcome=BehaviorOutcome.SUCCESS,
-                protected=True,
-            )
-        outcome = BehaviorOutcome.FAILED_SAFE if default_safe else BehaviorOutcome.FAILURE
-        return ReceiverRecord(
-            index=index,
-            receiver_name=receiver.name,
-            trace=trace,
-            outcome=outcome,
-            protected=outcome.hazard_avoided,
-            failed_stage=Stage.BEHAVIOR,
-            note="behavior-stage error (slip, lapse, or execution gulf)",
-        )
+        return self._record_from_walk(walk, index=index, receiver_name=receiver.name)
 
     # -- internals ----------------------------------------------------------------
+
+    def _plan_for(self, task: HumanSecurityTask) -> PipelinePlan:
+        return build_pipeline(
+            task,
+            calibration=self.config.calibration,
+            environment=self._effective_environment(task.environment),
+        )
 
     def _effective_environment(self, environment: Environment) -> Environment:
         if self.config.attacker is None:
             return environment
         return self.config.attacker.apply_to(environment)
 
+    def _walk_row(
+        self,
+        plan: PipelinePlan,
+        population: PopulationSpec,
+        draws: "batch_module.DrawBatch",
+        row: int,
+        index: int,
+    ) -> ReceiverRecord:
+        """Scalar reference walk of one row of a pre-drawn batch."""
+        name = f"{population.name}-{index}"
+        receiver = population.receiver_from_traits(draws.samples, row, name=name)
+        columns = batch_module.decision_columns(plan)
+
+        spoofed = False
+        noise = 0.0
+        if plan.has_communication:
+            spoofed = bool(draws.spoof_uniforms[row] < plan.spoof_probability)
+            noise = float(draws.noise[row])
+
+        def decide(kind: str, stage: Optional[Stage], probability: float) -> bool:
+            column = columns[f"stage:{stage.value}" if kind == "stage" else kind]
+            return bool(draws.decisions[row, column] < probability)
+
+        walk = plan.walk(receiver, decide=decide, noise=noise, spoofed=spoofed)
+        return self._record_from_walk(walk, index=index, receiver_name=name)
+
     @staticmethod
-    def _default_safe(communication: Communication) -> bool:
-        """Whether the hazard is blocked unless the receiver overrides."""
-        return communication.activeness_level is ActivenessLevel.BLOCKING
-
-    def _simulate_without_communication(
-        self,
-        task: HumanSecurityTask,
-        receiver: HumanReceiver,
-        rng: SimulationRng,
-        index: int,
-        trace: StageTrace,
-    ) -> ReceiverRecord:
-        """No triggering communication: only self-motivated experts act."""
-        self_initiated = probabilities.clamp_probability(
-            0.1 * receiver.personal_variables.expertise
-        )
-        if rng.bernoulli(self_initiated):
-            return ReceiverRecord(
-                index=index,
-                receiver_name=receiver.name,
-                trace=trace,
-                outcome=BehaviorOutcome.SUCCESS,
-                protected=True,
-                note="self-initiated protective action (no communication)",
-            )
+    def _record_from_walk(walk, index: int, receiver_name: str) -> ReceiverRecord:
         return ReceiverRecord(
             index=index,
-            receiver_name=receiver.name,
-            trace=trace,
-            outcome=BehaviorOutcome.NO_ACTION,
-            protected=False,
-            note="no communication; no protective action taken",
-        )
-
-    def _resolve_stage_failure(
-        self,
-        task: HumanSecurityTask,
-        receiver: HumanReceiver,
-        rng: SimulationRng,
-        index: int,
-        trace: StageTrace,
-        stage: Stage,
-        default_safe: bool,
-    ) -> ReceiverRecord:
-        """Translate a failed pipeline stage into an outcome."""
-        calibration = self.config.calibration
-
-        if stage is Stage.ATTENTION_SWITCH:
-            if default_safe:
-                # A blocking communication cannot really go unnoticed; the
-                # hazard remains blocked even for an inattentive receiver.
-                outcome = BehaviorOutcome.FAILED_SAFE
-            else:
-                outcome = BehaviorOutcome.NO_ACTION
-        elif stage in (
-            Stage.ATTENTION_MAINTENANCE,
-            Stage.COMPREHENSION,
-            Stage.KNOWLEDGE_ACQUISITION,
-        ):
-            if default_safe:
-                # Misunderstanding a blocking warning usually fails safe
-                # (Egelman et al.: confused users retried the link and never
-                # reached the site); a minority find the override anyway.
-                overrode = rng.bernoulli(calibration.override_given_misunderstanding)
-                outcome = BehaviorOutcome.FAILURE if overrode else BehaviorOutcome.FAILED_SAFE
-            else:
-                outcome = BehaviorOutcome.FAILURE
-        else:
-            # Retention / transfer failures (training and policy): the
-            # knowledge is simply not applied when needed.
-            outcome = BehaviorOutcome.FAILURE
-
-        return ReceiverRecord(
-            index=index,
-            receiver_name=receiver.name,
-            trace=trace,
-            outcome=outcome,
-            protected=outcome.hazard_avoided,
-            failed_stage=stage,
-            note=f"failed at {stage.value}",
+            receiver_name=receiver_name,
+            trace=walk.trace,
+            outcome=walk.outcome,
+            protected=walk.protected,
+            failed_stage=walk.failed_stage,
+            intention_failed=walk.intention_failed,
+            capability_failed=walk.capability_failed,
+            spoofed=walk.spoofed,
+            note=walk.note,
         )

@@ -1,11 +1,17 @@
-"""Simulation results and aggregate metrics.
+"""Simulation results and streaming aggregate metrics.
 
-A :class:`SimulationResult` collects the per-receiver records produced by
-the engine and exposes the aggregates the benchmarks report: protection
-rate, heed rate, outcome distribution, and the per-stage failure breakdown
-that mirrors the way the paper's case studies walk through the framework
-components.  :func:`comparison_table` renders several results side by side
-(e.g. Firefox vs. IE-active vs. IE-passive vs. no warning).
+A :class:`SimulationTally` accumulates the aggregates the benchmarks
+report — protection rate, heed rate, outcome distribution, and the
+per-stage failure breakdown that mirrors the way the paper's case studies
+walk through the framework components — either record by record or a whole
+vectorized batch at a time.  Because the batch engine folds each chunk of
+receivers into the tally and discards the arrays, memory stays O(batch)
+rather than O(population) for large runs.
+
+A :class:`SimulationResult` carries the tally (and, for small runs, the
+per-receiver :class:`ReceiverRecord` list with full stage traces).
+:func:`comparison_table` renders several results side by side (e.g.
+Firefox vs. IE-active vs. IE-passive vs. no warning).
 """
 
 from __future__ import annotations
@@ -13,11 +19,32 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.behavior import BehaviorOutcome
 from ..core.exceptions import SimulationError
-from ..core.stages import Stage, StageTrace
+from ..core.stages import STAGE_ORDER, Stage, StageTrace
 
-__all__ = ["ReceiverRecord", "SimulationResult", "comparison_table", "render_comparison_markdown"]
+__all__ = [
+    "OUTCOME_ORDER",
+    "outcome_code",
+    "ReceiverRecord",
+    "SimulationTally",
+    "SimulationResult",
+    "comparison_table",
+    "render_comparison_markdown",
+]
+
+#: Canonical outcome order used to encode outcomes as integers in batches.
+OUTCOME_ORDER: Tuple[BehaviorOutcome, ...] = tuple(BehaviorOutcome)
+_OUTCOME_CODES: Dict[BehaviorOutcome, int] = {
+    outcome: code for code, outcome in enumerate(OUTCOME_ORDER)
+}
+
+
+def outcome_code(outcome: BehaviorOutcome) -> int:
+    """Integer code of a behavior outcome (index into OUTCOME_ORDER)."""
+    return _OUTCOME_CODES[outcome]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -37,39 +64,151 @@ class ReceiverRecord:
 
 
 @dataclasses.dataclass
+class SimulationTally:
+    """Streaming aggregate of receiver outcomes.
+
+    Fed either one :class:`ReceiverRecord` at a time (:meth:`add_record`,
+    used by the scalar reference walk) or a whole vectorized batch at once
+    (:meth:`add_batch`).  Holding only counters, it is the piece that keeps
+    population-scale simulations O(batch) in memory.
+    """
+
+    n: int = 0
+    protected: int = 0
+    outcome_counts_by_code: List[int] = dataclasses.field(
+        default_factory=lambda: [0] * len(OUTCOME_ORDER)
+    )
+    stage_failure_by_index: List[int] = dataclasses.field(
+        default_factory=lambda: [0] * len(STAGE_ORDER)
+    )
+    intention_failures: int = 0
+    capability_failures: int = 0
+    spoofed: int = 0
+    attention_evaluated: int = 0
+    attention_succeeded: int = 0
+
+    def add_record(self, record: ReceiverRecord) -> None:
+        """Fold one per-receiver record into the tally."""
+        self.n += 1
+        if record.protected:
+            self.protected += 1
+        self.outcome_counts_by_code[outcome_code(record.outcome)] += 1
+        if record.failed_stage is not None:
+            self.stage_failure_by_index[record.failed_stage.index] += 1
+        if record.intention_failed:
+            self.intention_failures += 1
+        if record.capability_failed:
+            self.capability_failures += 1
+        if record.spoofed:
+            self.spoofed += 1
+        attention = record.trace.outcome_for(Stage.ATTENTION_SWITCH)
+        if attention is not None:
+            self.attention_evaluated += 1
+            if attention.succeeded:
+                self.attention_succeeded += 1
+
+    def add_batch(self, outcomes) -> None:
+        """Fold a :class:`repro.simulation.batch.BatchOutcomes` into the tally."""
+        count = outcomes.count
+        self.n += count
+        self.protected += int(np.count_nonzero(outcomes.protected))
+        outcome_bins = np.bincount(outcomes.outcome_codes, minlength=len(OUTCOME_ORDER))
+        for code, increment in enumerate(outcome_bins):
+            self.outcome_counts_by_code[code] += int(increment)
+        failed = outcomes.failed_stage_index[outcomes.failed_stage_index >= 0]
+        stage_bins = np.bincount(failed, minlength=len(STAGE_ORDER))
+        for index, increment in enumerate(stage_bins):
+            self.stage_failure_by_index[index] += int(increment)
+        self.intention_failures += int(np.count_nonzero(outcomes.intention_failed))
+        self.capability_failures += int(np.count_nonzero(outcomes.capability_failed))
+        self.spoofed += int(np.count_nonzero(outcomes.spoofed))
+        self.attention_evaluated += int(np.count_nonzero(outcomes.attention_evaluated))
+        self.attention_succeeded += int(np.count_nonzero(outcomes.attention_succeeded))
+
+    def merge(self, other: "SimulationTally") -> None:
+        """Fold another tally into this one."""
+        self.n += other.n
+        self.protected += other.protected
+        for code, value in enumerate(other.outcome_counts_by_code):
+            self.outcome_counts_by_code[code] += value
+        for index, value in enumerate(other.stage_failure_by_index):
+            self.stage_failure_by_index[index] += value
+        self.intention_failures += other.intention_failures
+        self.capability_failures += other.capability_failures
+        self.spoofed += other.spoofed
+        self.attention_evaluated += other.attention_evaluated
+        self.attention_succeeded += other.attention_succeeded
+
+    # -- views -----------------------------------------------------------------
+
+    def outcome_counts(self) -> Dict[BehaviorOutcome, int]:
+        return {
+            outcome: self.outcome_counts_by_code[code]
+            for code, outcome in enumerate(OUTCOME_ORDER)
+        }
+
+    def stage_failure_counts(self) -> Dict[Stage, int]:
+        return {
+            STAGE_ORDER[index]: count
+            for index, count in enumerate(self.stage_failure_by_index)
+            if count > 0
+        }
+
+
+@dataclasses.dataclass
 class SimulationResult:
-    """Aggregated result of simulating one task over a population."""
+    """Aggregated result of simulating one task over a population.
+
+    The engine always populates ``tally``; ``records`` carries the full
+    per-receiver traces only when the run is small enough (see
+    ``SimulationConfig.record_limit``) or the scalar reference mode is
+    used.  Results built by hand from records alone (as some tests do)
+    derive their tally lazily.
+    """
 
     task_name: str
     population_name: str
     records: List[ReceiverRecord] = dataclasses.field(default_factory=list)
     seed: int = 0
     calibration_label: str = "neutral"
+    tally: Optional[SimulationTally] = None
 
     def __post_init__(self) -> None:
         if not self.task_name:
             raise SimulationError("task_name must be non-empty")
 
+    def _counts(self) -> SimulationTally:
+        """The effective tally (explicit, or derived from the records)."""
+        if self.tally is not None:
+            return self.tally
+        tally = SimulationTally()
+        for record in self.records:
+            tally.add_record(record)
+        return tally
+
     # -- core rates ------------------------------------------------------------
 
     @property
     def n_receivers(self) -> int:
+        if self.tally is not None:
+            return self.tally.n
         return len(self.records)
 
     def _fraction(self, count: int) -> float:
-        if not self.records:
+        total = self.n_receivers
+        if total == 0:
             return 0.0
-        return count / len(self.records)
+        return count / total
 
     def protection_rate(self) -> float:
         """Fraction of receivers for whom the hazard was avoided."""
-        return self._fraction(sum(1 for record in self.records if record.protected))
+        return self._fraction(self._counts().protected)
 
     def heed_rate(self) -> float:
         """Fraction of receivers who completed the desired action correctly."""
-        return self._fraction(
-            sum(1 for record in self.records if record.outcome is BehaviorOutcome.SUCCESS)
-        )
+        return self._fraction(self._counts().outcome_counts_by_code[
+            outcome_code(BehaviorOutcome.SUCCESS)
+        ])
 
     def failure_rate(self) -> float:
         """Fraction of receivers for whom the hazard was *not* avoided."""
@@ -77,34 +216,19 @@ class SimulationResult:
 
     def notice_rate(self) -> float:
         """Fraction of receivers who passed the attention-switch stage."""
-        noticed = 0
-        evaluated = 0
-        for record in self.records:
-            outcome = record.trace.outcome_for(Stage.ATTENTION_SWITCH)
-            if outcome is None:
-                continue
-            evaluated += 1
-            if outcome.succeeded:
-                noticed += 1
-        if evaluated == 0:
+        counts = self._counts()
+        if counts.attention_evaluated == 0:
             return 0.0
-        return noticed / evaluated
+        return counts.attention_succeeded / counts.attention_evaluated
 
     # -- breakdowns ------------------------------------------------------------
 
     def outcome_counts(self) -> Dict[BehaviorOutcome, int]:
-        counts: Dict[BehaviorOutcome, int] = {outcome: 0 for outcome in BehaviorOutcome}
-        for record in self.records:
-            counts[record.outcome] += 1
-        return counts
+        return self._counts().outcome_counts()
 
     def stage_failure_counts(self) -> Dict[Stage, int]:
         """How many receivers failed first at each stage."""
-        counts: Dict[Stage, int] = {}
-        for record in self.records:
-            if record.failed_stage is not None:
-                counts[record.failed_stage] = counts.get(record.failed_stage, 0) + 1
-        return counts
+        return self._counts().stage_failure_counts()
 
     def stage_failure_fractions(self) -> Dict[Stage, float]:
         return {
@@ -114,14 +238,14 @@ class SimulationResult:
 
     def intention_failure_rate(self) -> float:
         """Fraction of receivers who noticed/understood but chose not to comply."""
-        return self._fraction(sum(1 for record in self.records if record.intention_failed))
+        return self._fraction(self._counts().intention_failures)
 
     def capability_failure_rate(self) -> float:
         """Fraction of receivers who intended to comply but were not capable."""
-        return self._fraction(sum(1 for record in self.records if record.capability_failed))
+        return self._fraction(self._counts().capability_failures)
 
     def spoofed_rate(self) -> float:
-        return self._fraction(sum(1 for record in self.records if record.spoofed))
+        return self._fraction(self._counts().spoofed)
 
     def dominant_failure_stage(self) -> Optional[Stage]:
         """The stage where most first-failures occur, if any failures occurred."""

@@ -24,6 +24,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..core.exceptions import SimulationError
 from ..core.receiver import (
     AttitudesBeliefs,
@@ -40,6 +42,8 @@ from .rng import SimulationRng
 
 __all__ = [
     "TraitDistribution",
+    "TraitSamples",
+    "TRAIT_NAMES",
     "PopulationSpec",
     "general_web_population",
     "organization_population",
@@ -67,6 +71,10 @@ class TraitDistribution:
     def sample(self, rng: SimulationRng) -> float:
         return rng.truncated_normal(self.mean, self.std, self.low, self.high)
 
+    def sample_array(self, count: int, rng: SimulationRng) -> np.ndarray:
+        """Draw ``count`` samples at once."""
+        return rng.truncated_normal_array(self.mean, self.std, self.low, self.high, count)
+
 
 # Trait names accepted by PopulationSpec, with library-wide defaults.
 _DEFAULT_TRAITS: Dict[str, TraitDistribution] = {
@@ -92,6 +100,31 @@ _DEFAULT_TRAITS: Dict[str, TraitDistribution] = {
     "physical_skill": TraitDistribution(0.9, 0.05),
     "memory_capacity": TraitDistribution(0.5),
 }
+
+
+#: Canonical trait order; batch sampling draws traits in exactly this order.
+TRAIT_NAMES = tuple(_DEFAULT_TRAITS)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraitSamples:
+    """A batch of sampled receivers as a struct of arrays.
+
+    One row per receiver; ``traits`` maps every name in :data:`TRAIT_NAMES`
+    to a vector of 0-1 samples.  This is the population representation the
+    vectorized engine consumes; :meth:`PopulationSpec.receiver_from_traits`
+    materializes any single row as a :class:`HumanReceiver` so the scalar
+    reference walk can traverse the very same sampled population.
+    """
+
+    population_name: str
+    traits: Dict[str, np.ndarray]
+    ages: np.ndarray
+    trained: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.ages.shape[0])
 
 
 @dataclasses.dataclass
@@ -147,9 +180,16 @@ class PopulationSpec:
         draw = {trait: self.distribution(trait).sample(rng) for trait in _DEFAULT_TRAITS}
         age = int(round(rng.truncated_normal(self.mean_age, self.age_spread, 18, 90)))
         trained = rng.bernoulli(self.training_fraction)
+        return self._build_receiver(
+            draw, age=age, trained=trained, name=name or f"{self.name}-member"
+        )
 
+    def _build_receiver(
+        self, draw: Dict[str, float], age: int, trained: bool, name: str
+    ) -> HumanReceiver:
+        """Map a trait draw to a receiver (shared by scalar and batch paths)."""
         return HumanReceiver(
-            name=name or f"{self.name}-member",
+            name=name,
             personal_variables=PersonalVariables(
                 demographics=Demographics(age=age, education=EducationLevel.UNDERGRADUATE),
                 knowledge=KnowledgeExperience(
@@ -195,6 +235,43 @@ class PopulationSpec:
             self.sample(rng.spawn(index), name=f"{self.name}-{index}")
             for index in range(count)
         ]
+
+    def sample_traits(self, count: int, rng: SimulationRng) -> TraitSamples:
+        """Draw ``count`` receivers at once as a struct of arrays.
+
+        The draw order is fixed — one clipped-normal vector per trait in
+        :data:`TRAIT_NAMES` order, then the age vector, then the training
+        uniforms — so a (seed, count) pair always yields the same batch.
+        """
+        if count < 0:
+            raise SimulationError("count must be non-negative")
+        traits = {
+            trait: self.distribution(trait).sample_array(count, rng)
+            for trait in TRAIT_NAMES
+        }
+        ages = np.rint(
+            rng.truncated_normal_array(self.mean_age, self.age_spread, 18, 90, count)
+        ).astype(int)
+        trained = rng.uniform_array(count) < self.training_fraction
+        return TraitSamples(
+            population_name=self.name, traits=traits, ages=ages, trained=trained
+        )
+
+    def receiver_from_traits(
+        self, samples: TraitSamples, index: int, name: str = ""
+    ) -> HumanReceiver:
+        """Materialize row ``index`` of a trait batch as a receiver.
+
+        The mapping from trait names to receiver fields is identical to
+        :meth:`sample`, so the scalar and batch paths see the same humans.
+        """
+        draw = {trait: float(samples.traits[trait][index]) for trait in TRAIT_NAMES}
+        return self._build_receiver(
+            draw,
+            age=int(samples.ages[index]),
+            trained=bool(samples.trained[index]),
+            name=name or f"{self.name}-member",
+        )
 
 
 def general_web_population() -> PopulationSpec:

@@ -74,6 +74,42 @@ class SimulationRng:
         value = self._generator.normal(mean, std) if std > 0 else mean
         return float(min(high, max(low, value)))
 
+    # -- batch draws -----------------------------------------------------------
+    #
+    # The vectorized engine draws whole populations at once.  These methods
+    # are the only stochastic primitives it needs: matrices of uniforms for
+    # the per-stage decisions and clipped-normal vectors for the traits.
+
+    def uniform_array(self, size: int) -> np.ndarray:
+        """``size`` uniform draws on [0, 1) as a vector."""
+        if size < 0:
+            raise SimulationError("size must be non-negative")
+        return self._generator.random(size)
+
+    def uniform_matrix(self, rows: int, cols: int) -> np.ndarray:
+        """A (rows, cols) matrix of uniform draws on [0, 1)."""
+        if rows < 0 or cols < 0:
+            raise SimulationError("matrix dimensions must be non-negative")
+        return self._generator.random((rows, cols))
+
+    def truncated_normal_array(
+        self, mean: float, std: float, low: float, high: float, size: int
+    ) -> np.ndarray:
+        """``size`` normal draws clipped to [low, high] (see truncated_normal).
+
+        A zero ``std`` consumes no randomness and returns a constant vector,
+        mirroring the scalar method.
+        """
+        if std < 0:
+            raise SimulationError("std must be non-negative")
+        if high < low:
+            raise SimulationError("high must be >= low")
+        if size < 0:
+            raise SimulationError("size must be non-negative")
+        if std == 0:
+            return np.full(size, float(min(high, max(low, mean))))
+        return np.clip(self._generator.normal(mean, std, size), low, high)
+
     def integers(self, low: int, high: int) -> int:
         """One integer draw in [low, high)."""
         if high <= low:

@@ -28,6 +28,14 @@ from . import (
 )
 from .base import available_systems, build, builder_for
 from .catalog import all_systems, system_descriptions
+from .scenario import (
+    Scenario,
+    ScenarioLike,
+    all_scenarios,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
 
 __all__ = [
     "antiphishing",
@@ -42,4 +50,10 @@ __all__ = [
     "builder_for",
     "all_systems",
     "system_descriptions",
+    "Scenario",
+    "ScenarioLike",
+    "register_scenario",
+    "available_scenarios",
+    "get_scenario",
+    "all_scenarios",
 ]

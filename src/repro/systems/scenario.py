@@ -1,0 +1,191 @@
+"""Scenario registry: one uniform entry point per modeled secure system.
+
+A *scenario* bundles everything needed to study one secure system with
+either reading of the framework: the :class:`~repro.core.task.SecureSystem`
+model, the receiver :class:`~repro.simulation.population.PopulationSpec`
+expected to face it, and the
+:class:`~repro.simulation.calibration.StageCalibration` anchoring the
+simulation to the cited user studies (neutral when no study calibration
+exists).  Any registered scenario can be dropped into
+
+* the **analytic path** — :meth:`Scenario.analyze` runs the Table-1
+  failure-identification walk of :mod:`repro.core.analysis`, and
+* the **batch simulator** — :meth:`Scenario.simulate` runs the vectorized
+  engine of :mod:`repro.simulation.engine` over the scenario population,
+
+both of which traverse the shared stage pipeline of
+:mod:`repro.core.pipeline`.  The benchmarks iterate the registry instead
+of hand-wiring each system to the engine.
+
+Every module in :mod:`repro.systems` registers one scenario here;
+third-party systems can call :func:`register_scenario` themselves — any
+object satisfying :class:`ScenarioLike` is accepted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+from ..core.analysis import SystemAnalysis, analyze_system
+from ..core.exceptions import ModelError
+from ..core.task import HumanSecurityTask, SecureSystem
+from ..simulation.calibration import StageCalibration
+from ..simulation.engine import HumanLoopSimulator, SimulationConfig
+from ..simulation.metrics import SimulationResult
+from ..simulation.population import PopulationSpec
+from . import (  # noqa: F401  (imported for their registration side effects)
+    antiphishing,
+    email_attachments,
+    file_permissions,
+    graphical_passwords,
+    passwords,
+    smartcard,
+    ssl_indicators,
+)
+from .base import builder_for
+
+__all__ = [
+    "ScenarioLike",
+    "Scenario",
+    "register_scenario",
+    "available_scenarios",
+    "get_scenario",
+    "all_scenarios",
+]
+
+
+@runtime_checkable
+class ScenarioLike(Protocol):
+    """The protocol every registered scenario satisfies."""
+
+    name: str
+    description: str
+
+    def system(self) -> SecureSystem: ...
+
+    def population(self) -> PopulationSpec: ...
+
+    def calibration(self) -> StageCalibration: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A registered scenario: system + population + calibration factories."""
+
+    name: str
+    description: str
+    system_factory: Callable[[], SecureSystem]
+    population_factory: Callable[[], PopulationSpec]
+    calibration_factory: Callable[[], StageCalibration] = StageCalibration.neutral
+    default_task: Optional[str] = None
+
+    # -- components --------------------------------------------------------------
+
+    def system(self) -> SecureSystem:
+        system = self.system_factory()
+        system.validate()
+        return system
+
+    def population(self) -> PopulationSpec:
+        return self.population_factory()
+
+    def calibration(self) -> StageCalibration:
+        return self.calibration_factory()
+
+    def tasks(self) -> List[HumanSecurityTask]:
+        """The scenario's security-critical tasks."""
+        return self.system().security_critical_tasks()
+
+    def task(self, name: Optional[str] = None) -> HumanSecurityTask:
+        """One task by name; defaults to ``default_task`` or the first."""
+        system = self.system()
+        if name is not None:
+            return system.task_named(name)
+        if self.default_task is not None:
+            return system.task_named(self.default_task)
+        critical = system.security_critical_tasks()
+        if not critical:
+            raise ModelError(f"scenario {self.name!r} has no security-critical tasks")
+        return critical[0]
+
+    # -- the two framework readings ----------------------------------------------
+
+    def analyze(self) -> SystemAnalysis:
+        """Run the analytic failure-identification walk over the system."""
+        return analyze_system(self.system())
+
+    def simulator(self, **config_overrides) -> HumanLoopSimulator:
+        """An engine configured with this scenario's calibration."""
+        config_overrides.setdefault("calibration", self.calibration())
+        return HumanLoopSimulator(SimulationConfig(**config_overrides))
+
+    def simulate(
+        self,
+        n_receivers: int,
+        seed: int = 0,
+        task: Optional[str] = None,
+        mode: Optional[str] = None,
+        **config_overrides,
+    ) -> SimulationResult:
+        """Simulate the scenario population encountering one task."""
+        simulator = self.simulator(**config_overrides)
+        return simulator.simulate_task(
+            self.task(task), self.population(), n_receivers=n_receivers, seed=seed, mode=mode
+        )
+
+
+_SCENARIOS: Dict[str, ScenarioLike] = {}
+
+
+def register_scenario(scenario: ScenarioLike) -> ScenarioLike:
+    """Register a scenario under its name (unique across the registry)."""
+    if not isinstance(scenario, ScenarioLike):
+        raise ModelError(f"object {scenario!r} does not satisfy the Scenario protocol")
+    if scenario.name in _SCENARIOS:
+        raise ModelError(f"scenario {scenario.name!r} already registered")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def available_scenarios() -> List[str]:
+    """Names of every registered scenario."""
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioLike:
+    """Look up a registered scenario by name."""
+    if name not in _SCENARIOS:
+        raise ModelError(f"unknown scenario {name!r}; known: {available_scenarios()}")
+    return _SCENARIOS[name]
+
+
+def all_scenarios() -> Dict[str, ScenarioLike]:
+    """Every registered scenario, keyed by name."""
+    return dict(_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios: one per modeled system.  Population factories come
+# from the system modules; systems without a study calibration run neutral.
+# ---------------------------------------------------------------------------
+
+def _builtin(name: str, population_factory, calibration_factory=None) -> None:
+    register_scenario(
+        Scenario(
+            name=name,
+            description=builder_for(name).description,
+            system_factory=builder_for(name).build,
+            population_factory=population_factory,
+            calibration_factory=calibration_factory or StageCalibration.neutral,
+        )
+    )
+
+
+_builtin("antiphishing", antiphishing.population, antiphishing.calibration)
+_builtin("passwords", passwords.population, passwords.calibration)
+_builtin("ssl-indicator", ssl_indicators.population)
+_builtin("email-attachments", email_attachments.population)
+_builtin("smartcard", smartcard.population)
+_builtin("file-permissions", file_permissions.population)
+_builtin("graphical-passwords", graphical_passwords.population)

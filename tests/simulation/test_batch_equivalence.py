@@ -1,0 +1,121 @@
+"""Regression tests: the vectorized batch engine must reproduce the
+scalar per-receiver reference walk exactly.
+
+Both modes consume identical pre-drawn randomness (traits, spoof and
+noise vectors, one decision matrix), so for a fixed seed the realized
+outcome of every receiver — not just the aggregate rates — must match.
+"""
+
+import pytest
+
+from repro.core.communication import Communication, CommunicationType
+from repro.core.task import HumanSecurityTask
+from repro.simulation.attacker import spoofing_attacker
+from repro.simulation.engine import HumanLoopSimulator, SimulationConfig
+from repro.simulation.population import general_web_population, organization_population
+from repro.systems import antiphishing
+from repro.systems.antiphishing import WarningVariant
+
+N = 500
+SEED = 20260726
+
+
+def _simulator(**overrides) -> HumanLoopSimulator:
+    overrides.setdefault("n_receivers", N)
+    overrides.setdefault("seed", SEED)
+    return HumanLoopSimulator(SimulationConfig(**overrides))
+
+
+def _assert_equivalent(simulator, task, population):
+    batch = simulator.simulate_task(task, population, mode="batch")
+    reference = simulator.simulate_task(task, population, mode="reference")
+
+    # Per-stage first-failure counts — the headline equivalence check.
+    assert batch.stage_failure_counts() == reference.stage_failure_counts()
+    # Full outcome distribution and every aggregate rate.
+    assert batch.outcome_counts() == reference.outcome_counts()
+    assert batch.protection_rate() == reference.protection_rate()
+    assert batch.heed_rate() == reference.heed_rate()
+    assert batch.notice_rate() == reference.notice_rate()
+    assert batch.intention_failure_rate() == reference.intention_failure_rate()
+    assert batch.capability_failure_rate() == reference.capability_failure_rate()
+    assert batch.spoofed_rate() == reference.spoofed_rate()
+    # Per-receiver records (materialized for small runs) agree one-to-one.
+    assert len(batch.records) == len(reference.records) == batch.n_receivers
+    for batch_record, reference_record in zip(batch.records, reference.records):
+        assert batch_record.outcome is reference_record.outcome
+        assert batch_record.protected == reference_record.protected
+        assert batch_record.failed_stage is reference_record.failed_stage
+        assert batch_record.intention_failed == reference_record.intention_failed
+        assert batch_record.capability_failed == reference_record.capability_failed
+        assert batch_record.spoofed == reference_record.spoofed
+        assert batch_record.receiver_name == reference_record.receiver_name
+        assert batch_record.trace.skipped == reference_record.trace.skipped
+        assert (
+            batch_record.trace.evaluated_stages == reference_record.trace.evaluated_stages
+        )
+    return batch, reference
+
+
+class TestBatchMatchesReference:
+    def test_blocking_warning(self, warning_task):
+        _assert_equivalent(_simulator(), warning_task, general_web_population())
+
+    def test_passive_indicator(self, passive_indicator, busy_environment):
+        task = HumanSecurityTask(
+            name="notice-passive",
+            communication=passive_indicator,
+            environment=busy_environment,
+            desired_action="react",
+        )
+        _assert_equivalent(_simulator(), task, general_web_population())
+
+    def test_calibrated_case_study(self):
+        simulator = _simulator(calibration=antiphishing.calibration())
+        task = antiphishing.task_for(WarningVariant.IE_ACTIVE)
+        batch, _ = _assert_equivalent(simulator, task, antiphishing.population())
+        # The case-study shape survives in both modes.
+        assert batch.protection_rate() > 0.5
+
+    def test_with_spoofing_attacker(self, warning_task):
+        simulator = _simulator(attacker=spoofing_attacker(0.4))
+        batch, _ = _assert_equivalent(simulator, warning_task, general_web_population())
+        assert batch.spoofed_rate() > 0.2
+
+    def test_policy_communication_with_retention_stages(self):
+        task = HumanSecurityTask(
+            name="follow-policy",
+            communication=Communication(
+                name="policy",
+                comm_type=CommunicationType.POLICY,
+                activeness=0.5,
+                clarity=0.8,
+                includes_instructions=True,
+            ),
+            desired_action="comply",
+        )
+        _assert_equivalent(_simulator(), task, organization_population())
+
+    def test_no_communication(self):
+        task = HumanSecurityTask(name="silent", desired_action="act")
+        _assert_equivalent(_simulator(), task, general_web_population())
+
+    def test_equivalence_across_chunk_boundaries(self, warning_task):
+        # A batch_size smaller than the population exercises the streaming
+        # chunk loop in both modes.
+        simulator = _simulator(batch_size=64)
+        _assert_equivalent(simulator, warning_task, general_web_population())
+
+    def test_large_run_tallies_without_records(self, warning_task):
+        simulator = _simulator(record_limit=100)
+        result = simulator.simulate_task(
+            warning_task, general_web_population(), n_receivers=2_000
+        )
+        # Beyond record_limit the batch engine keeps only the streaming tally.
+        assert result.records == []
+        assert result.n_receivers == 2_000
+        reference = simulator.simulate_task(
+            warning_task, general_web_population(), n_receivers=2_000, mode="reference"
+        )
+        assert result.stage_failure_counts() == reference.stage_failure_counts()
+        assert result.outcome_counts() == reference.outcome_counts()

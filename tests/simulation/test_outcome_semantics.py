@@ -1,0 +1,213 @@
+"""Tests for the blocking / passive / spoofed outcome semantics.
+
+The engine's module docstring documents three outcome regimes; these tests
+pin each one down directly, both through the shared failure-semantics
+helpers in :mod:`repro.core.pipeline` and through simulated populations.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.behavior import BehaviorOutcome
+from repro.core.communication import Communication, CommunicationType
+from repro.core.pipeline import (
+    build_pipeline,
+    failure_needs_override,
+    failure_outcome,
+)
+from repro.core.stages import Stage
+from repro.core.task import HumanSecurityTask
+from repro.simulation.attacker import spoofing_attacker
+from repro.simulation.calibration import StageCalibration
+from repro.simulation.engine import HumanLoopSimulator, SimulationConfig
+from repro.simulation.population import general_web_population
+
+SEED = 9
+
+
+def _task(communication, environment=None, name="semantics-task"):
+    kwargs = {"name": name, "communication": communication, "desired_action": "act"}
+    if environment is not None:
+        kwargs["environment"] = environment
+    return HumanSecurityTask(**kwargs)
+
+
+def _simulate(task, n=600, **config_overrides):
+    config_overrides.setdefault("n_receivers", n)
+    config_overrides.setdefault("seed", SEED)
+    simulator = HumanLoopSimulator(SimulationConfig(**config_overrides))
+    return simulator.simulate_task(task, general_web_population())
+
+
+class TestFailureSemanticsHelpers:
+    """The shared outcome-resolution rules, stage by stage."""
+
+    def test_blocking_attention_failure_fails_safe(self):
+        assert (
+            failure_outcome(Stage.ATTENTION_SWITCH, default_safe=True)
+            is BehaviorOutcome.FAILED_SAFE
+        )
+
+    def test_passive_attention_failure_is_no_action(self):
+        assert (
+            failure_outcome(Stage.ATTENTION_SWITCH, default_safe=False)
+            is BehaviorOutcome.NO_ACTION
+        )
+
+    @pytest.mark.parametrize(
+        "stage",
+        [Stage.ATTENTION_MAINTENANCE, Stage.COMPREHENSION, Stage.KNOWLEDGE_ACQUISITION],
+    )
+    def test_blocking_misunderstanding_fails_safe_unless_overridden(self, stage):
+        assert failure_needs_override(stage, default_safe=True)
+        assert failure_outcome(stage, True, overrode=False) is BehaviorOutcome.FAILED_SAFE
+        assert failure_outcome(stage, True, overrode=True) is BehaviorOutcome.FAILURE
+
+    @pytest.mark.parametrize(
+        "stage",
+        [Stage.ATTENTION_MAINTENANCE, Stage.COMPREHENSION, Stage.KNOWLEDGE_ACQUISITION],
+    )
+    def test_passive_processing_failure_is_unprotected(self, stage):
+        assert not failure_needs_override(stage, default_safe=False)
+        assert failure_outcome(stage, False) is BehaviorOutcome.FAILURE
+
+    @pytest.mark.parametrize(
+        "stage", [Stage.KNOWLEDGE_RETENTION, Stage.KNOWLEDGE_TRANSFER]
+    )
+    def test_retention_failures_always_unprotected(self, stage):
+        assert failure_outcome(stage, True) is BehaviorOutcome.FAILURE
+        assert failure_outcome(stage, False) is BehaviorOutcome.FAILURE
+        assert not failure_needs_override(stage, default_safe=True)
+
+
+class TestBlockingSemantics:
+    """Blocking communications: the safe outcome is the default."""
+
+    def test_stage_failures_mostly_fail_safe(self, blocking_warning, busy_environment):
+        result = _simulate(_task(blocking_warning, busy_environment))
+        counts = result.outcome_counts()
+        # Failures before the intention gate land in FAILED_SAFE far more
+        # often than in FAILURE-by-override.
+        stage_failures = sum(
+            count
+            for stage, count in result.stage_failure_counts().items()
+            if stage is not Stage.BEHAVIOR
+        )
+        assert stage_failures > 0
+        assert counts[BehaviorOutcome.FAILED_SAFE] > 0
+        # NO_ACTION never occurs: a blocking dialog cannot go unnoticed.
+        assert counts[BehaviorOutcome.NO_ACTION] == 0
+
+    def test_unprotected_receivers_overrode_or_were_spoofed(
+        self, blocking_warning, busy_environment
+    ):
+        result = _simulate(_task(blocking_warning, busy_environment))
+        for record in result.records:
+            if record.protected:
+                continue
+            # With a blocking warning, reaching the hazard requires an
+            # explicit decision (intention failure), a deliberate override
+            # after misunderstanding, or attacker interference.
+            assert (
+                record.intention_failed
+                or record.spoofed
+                or record.failed_stage is not None
+            )
+            assert record.outcome is BehaviorOutcome.FAILURE
+
+    def test_override_rate_controls_blocking_failures(self, blocking_warning, busy_environment):
+        task = _task(blocking_warning, busy_environment)
+        never = _simulate(
+            task,
+            calibration=StageCalibration(
+                override_given_misunderstanding=0.0, label="never-override"
+            ),
+        )
+        always = _simulate(
+            task,
+            calibration=StageCalibration(
+                override_given_misunderstanding=1.0, label="always-override"
+            ),
+        )
+        assert always.protection_rate() < never.protection_rate()
+        # With override probability 0, every misunderstanding fails safe.
+        for record in never.records:
+            if record.failed_stage in (
+                Stage.ATTENTION_MAINTENANCE,
+                Stage.COMPREHENSION,
+                Stage.KNOWLEDGE_ACQUISITION,
+            ):
+                assert record.outcome is BehaviorOutcome.FAILED_SAFE
+        # With override probability 1, every misunderstanding reaches the hazard.
+        for record in always.records:
+            if record.failed_stage in (
+                Stage.ATTENTION_MAINTENANCE,
+                Stage.COMPREHENSION,
+                Stage.KNOWLEDGE_ACQUISITION,
+            ):
+                assert record.outcome is BehaviorOutcome.FAILURE
+
+
+class TestPassiveSemantics:
+    """Passive communications: the hazard proceeds by default."""
+
+    def test_every_failure_leaves_receiver_unprotected(
+        self, passive_indicator, busy_environment
+    ):
+        result = _simulate(_task(passive_indicator, busy_environment))
+        for record in result.records:
+            if record.outcome is not BehaviorOutcome.SUCCESS:
+                assert not record.protected
+        # FAILED_SAFE never occurs for a passive indicator.
+        assert result.outcome_counts()[BehaviorOutcome.FAILED_SAFE] == 0
+
+    def test_unnoticed_indicator_means_no_action(self, passive_indicator, busy_environment):
+        result = _simulate(_task(passive_indicator, busy_environment))
+        attention_failures = [
+            record
+            for record in result.records
+            if record.failed_stage is Stage.ATTENTION_SWITCH
+        ]
+        assert attention_failures  # subtle indicator in a busy environment
+        for record in attention_failures:
+            assert record.outcome is BehaviorOutcome.NO_ACTION
+
+    def test_passive_protects_less_than_blocking(
+        self, blocking_warning, passive_indicator, busy_environment
+    ):
+        blocking = _simulate(_task(blocking_warning, busy_environment, name="blocking"))
+        passive = _simulate(_task(passive_indicator, busy_environment, name="passive"))
+        assert passive.protection_rate() < blocking.protection_rate()
+
+
+class TestSpoofedSemantics:
+    """Spoofed indicators defeat the receiver regardless of processing."""
+
+    def test_spoofed_receivers_always_unprotected(self, warning_task):
+        result = _simulate(warning_task, attacker=spoofing_attacker(0.5))
+        spoofed_records = [record for record in result.records if record.spoofed]
+        assert spoofed_records
+        for record in spoofed_records:
+            assert record.outcome is BehaviorOutcome.FAILURE
+            assert not record.protected
+            # Processing never happened: the trace is empty.
+            assert record.trace.outcomes == []
+            assert record.failed_stage is None
+
+    def test_spoof_rate_tracks_attacker_capability(self, warning_task):
+        weak = _simulate(warning_task, attacker=spoofing_attacker(0.2))
+        strong = _simulate(warning_task, attacker=spoofing_attacker(0.8))
+        assert weak.spoofed_rate() == pytest.approx(0.2, abs=0.06)
+        assert strong.spoofed_rate() == pytest.approx(0.8, abs=0.06)
+        assert strong.protection_rate() < weak.protection_rate()
+
+    def test_spoofing_applies_in_both_modes(self, warning_task):
+        simulator = HumanLoopSimulator(
+            SimulationConfig(n_receivers=400, seed=SEED, attacker=spoofing_attacker(0.5))
+        )
+        batch = simulator.simulate_task(warning_task, general_web_population(), mode="batch")
+        reference = simulator.simulate_task(
+            warning_task, general_web_population(), mode="reference"
+        )
+        assert batch.spoofed_rate() == reference.spoofed_rate() > 0.3

@@ -1,0 +1,108 @@
+"""Tests for the scenario registry unifying the modeled systems."""
+
+import pytest
+
+from repro.core.analysis import SystemAnalysis
+from repro.core.exceptions import ModelError
+from repro.simulation.calibration import StageCalibration
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.population import PopulationSpec, general_web_population
+from repro.systems import (
+    Scenario,
+    ScenarioLike,
+    all_scenarios,
+    available_scenarios,
+    available_systems,
+    get_scenario,
+    register_scenario,
+)
+from repro.systems.scenario import _SCENARIOS
+
+
+class TestRegistry:
+    def test_every_system_has_a_scenario(self):
+        assert available_scenarios() == available_systems()
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(ModelError):
+            get_scenario("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        scenario = get_scenario("antiphishing")
+        with pytest.raises(ModelError):
+            register_scenario(scenario)
+
+    def test_registered_objects_satisfy_protocol(self):
+        for scenario in all_scenarios().values():
+            assert isinstance(scenario, ScenarioLike)
+
+    def test_custom_scenario_roundtrip(self, warning_task):
+        from repro.core.task import SecureSystem
+
+        scenario = Scenario(
+            name="test-custom-scenario",
+            description="custom",
+            system_factory=lambda: SecureSystem(
+                name="custom-system", tasks=[warning_task]
+            ),
+            population_factory=general_web_population,
+        )
+        register_scenario(scenario)
+        try:
+            assert get_scenario("test-custom-scenario") is scenario
+            result = scenario.simulate(100, seed=3)
+            assert result.n_receivers == 100
+        finally:
+            _SCENARIOS.pop("test-custom-scenario")
+
+
+class TestScenarioComponents:
+    def test_components_have_expected_types(self):
+        for scenario in all_scenarios().values():
+            assert isinstance(scenario.population(), PopulationSpec)
+            assert isinstance(scenario.calibration(), StageCalibration)
+            assert scenario.tasks(), scenario.name
+
+    def test_calibrations_anchor_case_studies(self):
+        assert get_scenario("antiphishing").calibration().label != "neutral"
+        assert get_scenario("smartcard").calibration().label == "neutral"
+
+    def test_default_task_is_first_critical(self):
+        scenario = get_scenario("antiphishing")
+        assert scenario.task().name == scenario.tasks()[0].name
+
+    def test_task_lookup_by_name(self):
+        scenario = get_scenario("antiphishing")
+        named = scenario.task("heed-ie_passive-warning")
+        assert named.name == "heed-ie_passive-warning"
+
+
+class TestScenarioPaths:
+    """Any scenario drops into either the analytic or the simulated path."""
+
+    @pytest.mark.parametrize("name", ["antiphishing", "passwords", "ssl-indicator"])
+    def test_analytic_path(self, name):
+        analysis = get_scenario(name).analyze()
+        assert isinstance(analysis, SystemAnalysis)
+        assert analysis.task_analyses
+
+    @pytest.mark.parametrize("name", ["antiphishing", "ssl-indicator", "smartcard"])
+    def test_simulated_path(self, name):
+        result = get_scenario(name).simulate(200, seed=11)
+        assert isinstance(result, SimulationResult)
+        assert result.n_receivers == 200
+        assert 0.0 <= result.protection_rate() <= 1.0
+
+    def test_simulated_modes_agree(self):
+        scenario = get_scenario("antiphishing")
+        batch = scenario.simulate(300, seed=5, mode="batch")
+        reference = scenario.simulate(300, seed=5, mode="reference")
+        assert batch.stage_failure_counts() == reference.stage_failure_counts()
+        assert batch.protection_rate() == reference.protection_rate()
+
+    def test_simulate_respects_config_overrides(self):
+        scenario = get_scenario("antiphishing")
+        result = scenario.simulate(
+            150, seed=2, calibration=StageCalibration(label="override")
+        )
+        assert result.calibration_label == "override"
