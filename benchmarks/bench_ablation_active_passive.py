@@ -13,45 +13,52 @@ Expected shape: protection rises monotonically (within noise) with
 activeness; the habituation penalty is far larger for passive indicators,
 reproducing the guidance that severe, action-critical hazards deserve
 active warnings while frequent low-risk hazards should stay passive.
+
+The activeness sweep is a one-axis grid of the parameterized
+``antiphishing`` scenario run through :mod:`repro.experiments`; the shared
+experiment seed holds the randomness fixed across grid points, so the
+ablation isolates the activeness knob exactly as the hand-wired loop did.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import pytest
 
-from repro.core.probabilities import attention_switch_probability, habituation_factor
-from repro.simulation import HumanLoopSimulator, SimulationConfig
+from repro.core.probabilities import habituation_factor
+from repro.experiments import Experiment, ResultSet, SweepSpec
 from repro.simulation.habituation import simulate_exposure_series
 from repro.simulation.rng import SimulationRng
 from repro.systems import antiphishing
-from repro.systems.antiphishing import WarningVariant
 
 ACTIVENESS_SWEEP = (0.1, 0.35, 0.6, 0.8, 1.0)
 N_RECEIVERS = 300
 SEED = 77
 
 
-def _sweep_protection() -> Dict[float, float]:
-    simulator = HumanLoopSimulator(
-        SimulationConfig(
-            n_receivers=N_RECEIVERS, seed=SEED, calibration=antiphishing.calibration()
-        )
+def _sweep_experiment() -> Experiment:
+    return Experiment.from_sweep(
+        "antiphishing-activeness-ablation",
+        SweepSpec(
+            scenario="antiphishing",
+            grid={"activeness": list(ACTIVENESS_SWEEP)},
+            base={"variant": "ie_active"},
+        ),
+        n_receivers=N_RECEIVERS,
+        seed=SEED,
+        seed_strategy="shared",
     )
-    population = antiphishing.population()
-    base_task = antiphishing.task_for(WarningVariant.IE_ACTIVE)
-    rates: Dict[float, float] = {}
-    for activeness in ACTIVENESS_SWEEP:
-        task = antiphishing.task_for(WarningVariant.IE_ACTIVE)
-        task.communication = base_task.communication.with_activeness(activeness)
-        result = simulator.simulate_task(task, population)
-        rates[activeness] = result.protection_rate()
-    return rates
 
 
 def test_ablation_activeness_sweep(benchmark, record):
-    rates = benchmark.pedantic(_sweep_protection, rounds=1, iterations=1)
+    results: ResultSet = benchmark.pedantic(
+        _sweep_experiment().run, rounds=1, iterations=1
+    )
+
+    rates: Dict[float, float] = {
+        row.params["activeness"]: row.metric("protection_rate") for row in results
+    }
 
     # Shape check: protection rises (within simulation noise) with activeness
     # and the fully blocking warning beats the fully passive one by a wide margin.
@@ -60,6 +67,8 @@ def test_ablation_activeness_sweep(benchmark, record):
     assert all(later >= earlier - 0.08 for earlier, later in zip(values, values[1:]))
 
     record({f"protection@activeness={a}": rates[a] for a in ACTIVENESS_SWEEP})
+    print()
+    print(results.to_markdown(["protection_rate", "notice_rate"]))
 
 
 def test_ablation_habituation_penalty(benchmark, record):
@@ -87,3 +96,30 @@ def test_ablation_habituation_penalty(benchmark, record):
     assert profile["blocking.habituation_factor_30"] > profile["passive.habituation_factor_30"]
 
     record(profile)
+
+
+def test_ablation_habituated_population(benchmark, record):
+    """Prior exposures (the habituation knob) depress the notice rate in-engine."""
+
+    def habituated_vs_fresh() -> Dict[str, float]:
+        experiment = Experiment.from_sweep(
+            "antiphishing-habituation-ablation",
+            SweepSpec(
+                scenario="antiphishing",
+                grid={"prior_exposures": [0, 30]},
+                base={"variant": "ie_passive"},
+            ),
+            n_receivers=N_RECEIVERS,
+            seed=SEED,
+            seed_strategy="shared",
+        )
+        results = experiment.run()
+        return {
+            f"notice@exposures={row.params['prior_exposures']}": row.metric("notice_rate")
+            for row in results
+        }
+
+    rates = benchmark.pedantic(habituated_vs_fresh, rounds=1, iterations=1)
+
+    assert rates["notice@exposures=30"] < rates["notice@exposures=0"]
+    record(rates)

@@ -15,96 +15,115 @@ password vault).  The paper's conclusions that this benchmark checks as
   rationale training alone;
 * password *creation* is not the problem (users are capable of composing
   compliant passwords), but their choices retain predictable structure.
+
+The sweep runs through the declarative :mod:`repro.experiments` API: the
+mitigation variants are parameter points of the registered ``passwords``
+scenario (no per-variant hand-wiring), and the shared experiment seed
+gives common random numbers across variants, as the original hand-wired
+comparison did.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
 import pytest
 
-from repro.simulation import HumanLoopSimulator, SimulationConfig
-from repro.simulation.metrics import SimulationResult, render_comparison_markdown
+from repro.experiments import Experiment, ResultSet, password_case_study_variants
 from repro.studies.registry import registry
-from repro.systems import passwords
 
 N_RECEIVERS = 500
 SEED = 3200
 
 
-def _simulate_recall_across_variants() -> Dict[str, SimulationResult]:
-    results: Dict[str, SimulationResult] = {}
-    for name, policy in passwords.policy_variants().items():
-        simulator = HumanLoopSimulator(
-            SimulationConfig(
-                n_receivers=N_RECEIVERS, seed=SEED, calibration=passwords.calibration(policy)
-            )
-        )
-        results[name] = simulator.simulate_task(
-            passwords.recall_task(policy), passwords.population(policy)
-        )
-    return results
+def _policy_experiment() -> Experiment:
+    return Experiment(
+        name="passwords-policy-variants",
+        variants=password_case_study_variants(),
+        n_receivers=N_RECEIVERS,
+        seed=SEED,
+        task="recall-passwords",
+        seed_strategy="shared",
+    )
 
 
 def test_case_passwords_policy_sweep(benchmark, record):
-    results = benchmark.pedantic(_simulate_recall_across_variants, rounds=1, iterations=1)
+    results: ResultSet = benchmark.pedantic(
+        _policy_experiment().run, rounds=1, iterations=1
+    )
 
-    baseline = results["baseline"]
-    sso = results["single-sign-on"]
-    vault = results["password-vault"]
-    training = results["rationale-training"]
-    no_expiry = results["no-expiry"]
+    baseline = results.row("baseline")
+    sso = results.row("single-sign-on")
+    vault = results.row("password-vault")
+    training = results.row("rationale-training")
+    no_expiry = results.row("no-expiry")
 
     # Shape check 1: baseline compliance is poor and the capability
     # (memorability) failure dominates every other failure bucket.
-    assert baseline.protection_rate() < 0.5
-    assert baseline.capability_failure_rate() > baseline.intention_failure_rate()
+    assert baseline.metric("protection_rate") < 0.5
+    assert baseline.metric("capability_failure_rate") > baseline.metric(
+        "intention_failure_rate"
+    )
     assert all(
-        baseline.capability_failure_rate() >= fraction
-        for fraction in baseline.stage_failure_fractions().values()
+        baseline.metric("capability_failure_rate") >= fraction
+        for name, fraction in baseline.metrics.items()
+        if name.startswith("stage_failure:")
     )
 
     # Shape check 2: memory offloading (SSO / vault) is the big win.
-    assert sso.protection_rate() > baseline.protection_rate() + 0.15
-    assert vault.protection_rate() > baseline.protection_rate() + 0.15
-    assert sso.capability_failure_rate() < baseline.capability_failure_rate() / 2
-    assert vault.capability_failure_rate() < baseline.capability_failure_rate() / 2
+    assert sso.metric("protection_rate") > baseline.metric("protection_rate") + 0.15
+    assert vault.metric("protection_rate") > baseline.metric("protection_rate") + 0.15
+    assert sso.metric("capability_failure_rate") < baseline.metric(
+        "capability_failure_rate"
+    ) / 2
+    assert vault.metric("capability_failure_rate") < baseline.metric(
+        "capability_failure_rate"
+    ) / 2
 
     # Shape check 3: training alone moves compliance less than SSO/vault;
     # dropping expiry helps modestly.
-    training_gain = training.protection_rate() - baseline.protection_rate()
-    sso_gain = sso.protection_rate() - baseline.protection_rate()
+    training_gain = training.metric("protection_rate") - baseline.metric("protection_rate")
+    sso_gain = sso.metric("protection_rate") - baseline.metric("protection_rate")
     assert sso_gain > training_gain
-    assert no_expiry.protection_rate() >= baseline.protection_rate() - 0.02
+    assert no_expiry.metric("protection_rate") >= baseline.metric("protection_rate") - 0.02
 
     record(
         {
-            "baseline.compliance": baseline.protection_rate(),
-            "no_expiry.compliance": no_expiry.protection_rate(),
-            "training.compliance": training.protection_rate(),
-            "sso.compliance": sso.protection_rate(),
-            "vault.compliance": vault.protection_rate(),
-            "baseline.capability_failures": baseline.capability_failure_rate(),
-            "sso.capability_failures": sso.capability_failure_rate(),
+            "baseline.compliance": baseline.metric("protection_rate"),
+            "no_expiry.compliance": no_expiry.metric("protection_rate"),
+            "training.compliance": training.metric("protection_rate"),
+            "sso.compliance": sso.metric("protection_rate"),
+            "vault.compliance": vault.metric("protection_rate"),
+            "baseline.capability_failures": baseline.metric("capability_failure_rate"),
+            "sso.capability_failures": sso.metric("capability_failure_rate"),
             "paper.reuse_rate_reference": registry.value("gaw_felten2006", "password_reuse_rate"),
         }
     )
     print()
-    print(render_comparison_markdown(results))
+    print(
+        results.to_markdown(
+            [
+                "protection_rate",
+                "heed_rate",
+                "notice_rate",
+                "intention_failure_rate",
+                "capability_failure_rate",
+            ]
+        )
+    )
 
 
 def test_case_passwords_creation_vs_recall(benchmark, record):
     """Creation succeeds where recall fails; creation choices stay predictable."""
 
-    from repro.core.analysis import analyze_task
     from repro.core.components import Component
+    from repro.systems import get_scenario
 
-    policy = passwords.baseline_policy()
+    variant = get_scenario("passwords").bind()
 
     def analyze_both():
+        analysis = variant.analyze()
         return (
-            analyze_task(passwords.creation_task(policy)),
-            analyze_task(passwords.recall_task(policy)),
+            analysis.task_analyses[variant.task("create-compliant-password").name],
+            analysis.task_analyses[variant.task("recall-passwords").name],
         )
 
     creation_analysis, recall_analysis = benchmark(analyze_both)

@@ -1,28 +1,29 @@
 #!/usr/bin/env python3
 """Case study 3.2: organizational password policies, end to end.
 
-Reproduces the paper's password-policy case study:
+Reproduces the paper's password-policy case study through the declarative
+experiment API:
 
 * analyses the three human tasks a password policy creates (create,
   recall, refrain from sharing) with the framework,
 * sweeps the mitigation variants the case study discusses (no expiry,
-  rationale training, single sign-on, a password vault) through the
-  simulation substrate, and
-* prints the mitigation ranking for the recall task, which should put
-  memory-offloading mitigations (SSO, vault) above training-only ones.
+  rationale training, single sign-on, a password vault) as parameter
+  points of the registered ``passwords`` scenario, and
+* prints the per-variant mitigation ranking for the recall task, which
+  should put memory-offloading mitigations (SSO, vault) above
+  training-only ones.
 
 Run with::
 
-    python examples/password_policy_analysis.py
+    PYTHONPATH=src python examples/password_policy_analysis.py
 """
 
 from __future__ import annotations
 
 from repro.core import HumanInTheLoopFramework
-from repro.mitigations import catalog_for, recommend_for_system
-from repro.simulation import HumanLoopSimulator, SimulationConfig
-from repro.simulation.metrics import render_comparison_markdown
-from repro.systems import passwords
+from repro.experiments import Experiment, ResultSet, password_case_study_variants
+from repro.mitigations import catalog_for
+from repro.systems import get_scenario, passwords
 
 
 def run_framework_analysis() -> None:
@@ -41,43 +42,66 @@ def run_framework_analysis() -> None:
         )
     print()
 
-    print("=" * 72)
-    print("Mitigation ranking for the recall task")
-    print("=" * 72)
-    recommendations = recommend_for_system(system, domain="passwords")
-    recall_name = passwords.recall_task(passwords.baseline_policy()).name
-    plan = recommendations.tasks[recall_name].mitigation_plan
-    for rank, (mitigation, score) in enumerate(plan.recommendations[:6], start=1):
-        print(f"  {rank}. {mitigation.name:38s} priority={score:5.2f} ({mitigation.strategy.value})")
-    print()
 
-
-def run_policy_sweep() -> None:
+def run_policy_sweep() -> ResultSet:
     print("=" * 72)
     print("Simulated recall-task compliance across policy variants")
     print("=" * 72)
-    results = {}
-    for name, policy in passwords.policy_variants().items():
-        simulator = HumanLoopSimulator(
-            SimulationConfig(n_receivers=500, seed=3200, calibration=passwords.calibration(policy))
+    experiment = Experiment(
+        name="password-policy-variants",
+        variants=password_case_study_variants(),
+        n_receivers=500,
+        seed=3200,
+        task="recall-passwords",
+        seed_strategy="shared",
+    )
+    results = experiment.run()
+    print(
+        results.to_markdown(
+            [
+                "protection_rate",
+                "heed_rate",
+                "intention_failure_rate",
+                "capability_failure_rate",
+            ]
         )
-        results[name] = simulator.simulate_task(
-            passwords.recall_task(policy), passwords.population(policy)
-        )
-    print(render_comparison_markdown(results))
+    )
     print()
-    baseline = results["baseline"]
+    baseline = results.row("baseline")
     print(
         "Binding failure under the baseline policy: "
-        f"capability (memorability) failures hit {baseline.capability_failure_rate():.0%} of "
-        f"employees vs {baseline.intention_failure_rate():.0%} who simply choose not to comply — "
+        f"capability (memorability) failures hit {baseline.metric('capability_failure_rate'):.0%} of "
+        f"employees vs {baseline.metric('intention_failure_rate'):.0%} who simply choose not to comply — "
         "exactly the capability failure the case study calls the most critical one."
     )
+    print()
+    return results
+
+
+def run_mitigation_ranking(results: ResultSet) -> None:
+    print("=" * 72)
+    print("Mitigation ranking for the recall task, per policy variant")
+    print("=" * 72)
+    labels = ("baseline", "single-sign-on")
+    recommendations = results.recommendations(domain="passwords", labels=labels)
+    for label in labels:
+        row = results.row(label)
+        variant = get_scenario("passwords").bind(**dict(row.params))
+        recall_name = variant.task("recall-passwords").name
+        plan = recommendations[label].tasks[recall_name].mitigation_plan
+        print(f"  {label}:")
+        for rank, (mitigation, score) in enumerate(plan.recommendations[:3], start=1):
+            print(
+                f"    {rank}. {mitigation.name:38s} priority={score:5.2f} "
+                f"({mitigation.strategy.value})"
+            )
+    print()
 
 
 def main() -> None:
     run_framework_analysis()
-    run_policy_sweep()
+    results = run_policy_sweep()
+    run_mitigation_ranking(results)
 
 
 if __name__ == "__main__":

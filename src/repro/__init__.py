@@ -11,7 +11,11 @@ Loop* (CMU-CyLab-08-001, 2008) as a Python library:
 * :mod:`repro.simulation` — the Monte-Carlo human-receiver substrate that
   stands in for the cited user studies.
 * :mod:`repro.systems` — concrete secure-system models (anti-phishing
-  warnings, password policies, SSL indicators, ...).
+  warnings, password policies, SSL indicators, ...), unified behind the
+  parameterized scenario registry.
+* :mod:`repro.experiments` — the declarative experiment layer: sweep
+  grids over scenario parameters, serial or multi-core execution, and
+  provenance-carrying result sets.
 * :mod:`repro.studies` — encoded findings from the cited user studies.
 * :mod:`repro.mitigations` — concrete mitigation catalogs and automation
   analysis.
@@ -27,10 +31,22 @@ Quick start::
     print(framework.report_system(analysis))
 """
 
-from . import chip, core, gems, io, mitigations, norman, simulation, studies, systems, viz
+from . import (
+    chip,
+    core,
+    experiments,
+    gems,
+    io,
+    mitigations,
+    norman,
+    simulation,
+    studies,
+    systems,
+    viz,
+)
 from .core import HumanInTheLoopFramework
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HumanInTheLoopFramework",
@@ -42,6 +58,7 @@ __all__ = [
     "systems",
     "studies",
     "mitigations",
+    "experiments",
     "io",
     "viz",
     "__version__",

@@ -1,0 +1,56 @@
+"""Declarative experiment layer over the scenario registry and batch engine.
+
+The public API for *comparing* human-in-the-loop configurations — the
+activity the paper's case studies exist for.  Instead of hand-wiring one
+simulator call per configuration, describe the comparison declaratively:
+
+>>> from repro.experiments import Experiment, SweepSpec
+>>> sweep = SweepSpec(
+...     scenario="passwords",
+...     grid={"distinct_accounts": [4, 8, 16], "single_sign_on": [False, True]},
+... )
+>>> experiment = Experiment.from_sweep(
+...     "password-burden", sweep, n_receivers=1000, seed=7, task="recall-passwords"
+... )
+>>> results = experiment.run()            # or .run(max_workers=8) for big grids
+>>> print(results.to_markdown(["protection_rate", "capability_failure_rate"]))
+
+Layering:
+
+* :mod:`repro.experiments.design` — :class:`VariantSpec` /
+  :class:`SweepSpec` / :class:`Experiment` specifications,
+* :mod:`repro.experiments.runner` — serial or process-parallel execution
+  with per-variant seeded RNG streams,
+* :mod:`repro.experiments.results` — the unified :class:`ResultSet` of
+  :class:`ResultRow` provenance records, exported via :mod:`repro.io`,
+  rendered via :mod:`repro.io.tabular`, and feeding the
+  :mod:`repro.mitigations` ranking per variant.
+"""
+
+from .design import (
+    EXPERIMENT_PATHS,
+    SEED_STRATEGIES,
+    Experiment,
+    SweepSpec,
+    VariantSpec,
+)
+from .presets import password_case_study_variants
+from .results import ExperimentError, ResultRow, ResultSet, reproduce_row
+from .runner import VariantRun, execute, plan_runs, run_variant
+
+__all__ = [
+    "password_case_study_variants",
+    "Experiment",
+    "SweepSpec",
+    "VariantSpec",
+    "EXPERIMENT_PATHS",
+    "SEED_STRATEGIES",
+    "ResultRow",
+    "ResultSet",
+    "ExperimentError",
+    "reproduce_row",
+    "VariantRun",
+    "plan_runs",
+    "run_variant",
+    "execute",
+]

@@ -1,0 +1,24 @@
+"""Canonical experiment presets for the paper's case studies.
+
+The benchmark and example sweeps consume these helpers instead of
+re-declaring variant lists, so the case-study comparisons stay in
+lockstep with the canonical definitions in :mod:`repro.systems`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..systems import passwords
+from .design import VariantSpec
+
+__all__ = ["password_case_study_variants"]
+
+
+def password_case_study_variants() -> Tuple[VariantSpec, ...]:
+    """The Section-3.2 policy variants (baseline, no-expiry, training,
+    SSO, vault) as experiment variant specs."""
+    return tuple(
+        VariantSpec("passwords", params, label=label)
+        for label, params in passwords.case_study_variant_params().items()
+    )

@@ -1,0 +1,228 @@
+"""Unified experiment results with full provenance.
+
+A :class:`ResultRow` is one (variant, mode) cell of an experiment: the
+flat metrics the run produced plus everything needed to reproduce it —
+scenario name, validated parameter overrides, seed, execution mode,
+batch size, and the resolved task.  :func:`reproduce_row` proves the
+provenance is sufficient by re-running any simulated row from its fields
+alone.
+
+A :class:`ResultSet` collects the rows of one experiment and is the
+object the benchmarks, examples, and the viz layer consume: filtering,
+per-metric comparison, Markdown rendering (via :mod:`repro.io.tabular`),
+JSON export (via :mod:`repro.io.experiments_io`), and the mitigation
+post-step — :meth:`ResultSet.recommendations` runs the
+:mod:`repro.mitigations` ranking per variant instead of only per bare
+system.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..core.exceptions import ReproError
+from ..io.tabular import render_markdown_table
+from ..mitigations.recommendations import SystemRecommendations, recommend_for_system
+from ..simulation.metrics import SimulationResult
+from ..systems.scenario import get_scenario
+
+__all__ = ["ResultRow", "ResultSet", "reproduce_row"]
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment spec or result set is used inconsistently."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultRow:
+    """One (variant, mode) result of an experiment, with provenance.
+
+    ``mode`` is ``"analytic"`` for the failure-identification walk, or the
+    engine mode (``"batch"`` / ``"reference"``) for simulated rows.  For
+    simulated rows the (scenario, params, task, n_receivers, seed, mode,
+    batch_size) tuple reproduces the run exactly — see
+    :func:`reproduce_row`.
+    """
+
+    experiment: str
+    scenario: str
+    variant: str
+    params: Mapping[str, Any]
+    mode: str
+    metrics: Mapping[str, float]
+    seed: Optional[int] = None
+    n_receivers: Optional[int] = None
+    batch_size: Optional[int] = None
+    task: Optional[str] = None
+    population: Optional[str] = None
+    calibration_label: Optional[str] = None
+
+    @property
+    def simulated(self) -> bool:
+        return self.mode != "analytic"
+
+    def metric(self, name: str) -> float:
+        if name not in self.metrics:
+            raise ExperimentError(
+                f"row {self.variant!r} has no metric {name!r}; "
+                f"known: {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+    def table_row(self) -> Dict[str, Any]:
+        """The row flattened for tabular rendering: variant, params, metrics."""
+        row: Dict[str, Any] = {"variant": self.variant, "mode": self.mode}
+        row.update(self.params)
+        row.update(self.metrics)
+        return row
+
+
+def reproduce_row(row: ResultRow) -> SimulationResult:
+    """Re-run one simulated row from its recorded provenance alone.
+
+    The returned result is bit-identical to the original run: the variant
+    is re-bound from the registry with the recorded parameters and the
+    engine re-seeded with the recorded (seed, mode, batch_size).
+    """
+    if not row.simulated:
+        raise ExperimentError(f"row {row.variant!r} is analytic; nothing to re-simulate")
+    if row.seed is None or row.n_receivers is None:
+        raise ExperimentError(f"row {row.variant!r} lacks seed/n_receivers provenance")
+    variant = get_scenario(row.scenario).bind(**dict(row.params))
+    overrides: Dict[str, Any] = {}
+    if row.batch_size is not None:
+        overrides["batch_size"] = row.batch_size
+    return variant.simulate(
+        row.n_receivers, seed=row.seed, task=row.task, mode=row.mode, **overrides
+    )
+
+
+@dataclasses.dataclass
+class ResultSet:
+    """Every row one experiment produced, in variant order."""
+
+    experiment: str
+    rows: List[ResultRow] = dataclasses.field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+    # -- selection ---------------------------------------------------------------
+
+    def labels(self) -> List[str]:
+        """Variant labels in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.variant, None)
+        return list(seen)
+
+    def simulated(self) -> "ResultSet":
+        return ResultSet(self.experiment, [row for row in self.rows if row.simulated])
+
+    def analytic(self) -> "ResultSet":
+        return ResultSet(self.experiment, [row for row in self.rows if not row.simulated])
+
+    def row(self, variant: str, mode: Optional[str] = None) -> ResultRow:
+        """The unique row for a variant (and mode, when both paths ran)."""
+        matches = [
+            row
+            for row in self.rows
+            if row.variant == variant and (mode is None or row.mode == mode)
+        ]
+        if not matches:
+            raise ExperimentError(
+                f"no row for variant {variant!r}"
+                + (f" in mode {mode!r}" if mode else "")
+                + f"; known variants: {self.labels()}"
+            )
+        if len(matches) > 1:
+            raise ExperimentError(
+                f"variant {variant!r} has {len(matches)} rows; pass mode="
+                f"{sorted({row.mode for row in matches})}"
+            )
+        return matches[0]
+
+    def metric_by_variant(self, metric: str, mode: Optional[str] = None) -> Dict[str, float]:
+        """One metric across variants (simulated rows unless ``mode`` given)."""
+        if mode is not None:
+            rows = [row for row in self.rows if row.mode == mode]
+        else:
+            rows = self.simulated().rows or self.rows
+        return {row.variant: row.metric(metric) for row in rows}
+
+    def best(
+        self, metric: str, mode: Optional[str] = None, minimize: bool = False
+    ) -> ResultRow:
+        """The row optimizing one metric."""
+        subset = (
+            [row for row in self.rows if row.mode == mode] if mode else self.rows
+        )
+        candidates = [row for row in subset if metric in row.metrics]
+        if not candidates:
+            raise ExperimentError(f"no rows carry metric {metric!r}")
+        chooser = min if minimize else max
+        return chooser(candidates, key=lambda row: row.metrics[metric])
+
+    # -- rendering / export ------------------------------------------------------
+
+    def table(self, metrics: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        """Rows flattened for :mod:`repro.io.tabular` rendering."""
+        flattened = [row.table_row() for row in self.rows]
+        if metrics is None:
+            return flattened
+        keep = ["variant", "mode", *metrics]
+        return [
+            {key: row[key] for key in keep if key in row} for row in flattened
+        ]
+
+    def to_markdown(self, metrics: Optional[Sequence[str]] = None) -> str:
+        """Render the result set as a Markdown comparison table."""
+        return render_markdown_table(self.table(metrics))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (see :mod:`repro.io.experiments_io`)."""
+        from ..io.experiments_io import resultset_to_dict
+
+        return resultset_to_dict(self)
+
+    def save(self, path: str) -> None:
+        """Write the result set (with provenance) as JSON."""
+        from ..io.experiments_io import save_resultset
+
+        save_resultset(self, path)
+
+    # -- mitigation post-step ----------------------------------------------------
+
+    def recommendations(
+        self,
+        domain: Optional[str] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Dict[str, SystemRecommendations]:
+        """Mitigation ranking per variant (rather than per bare system).
+
+        Re-binds each variant's system from its provenance and runs the
+        :func:`repro.mitigations.recommend_for_system` pipeline; returns
+        one :class:`SystemRecommendations` per variant label.  ``labels``
+        restricts the (analysis-heavy) ranking to a subset of variants.
+        """
+        if labels is not None:
+            unknown = sorted(set(labels) - set(self.labels()))
+            if unknown:
+                raise ExperimentError(
+                    f"unknown variants {unknown}; known: {self.labels()}"
+                )
+        recommendations: Dict[str, SystemRecommendations] = {}
+        for row in self.rows:
+            if row.variant in recommendations:
+                continue
+            if labels is not None and row.variant not in labels:
+                continue
+            variant = get_scenario(row.scenario).bind(**dict(row.params))
+            recommendations[row.variant] = recommend_for_system(
+                variant.system(), domain=domain
+            )
+        return recommendations

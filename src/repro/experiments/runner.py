@@ -1,0 +1,144 @@
+"""Experiment execution: serial or process-parallel over variants.
+
+Each variant of an :class:`~repro.experiments.design.Experiment` becomes
+one picklable :class:`VariantRun` work unit; :func:`run_variant` re-binds
+the scenario from the registry inside the executing process (the registry
+is populated by import side effects, so worker processes see the same
+scenarios) and returns the result rows.  :func:`execute` runs the units
+either inline or over a :class:`concurrent.futures.ProcessPoolExecutor`,
+preserving variant order — the two paths produce identical rows because
+every unit carries its own derived seed.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core.analysis import analyze_system
+from ..simulation.metrics import SimulationResult
+from ..systems.scenario import get_scenario
+from .design import Experiment
+from .results import ResultRow, ResultSet
+
+__all__ = ["VariantRun", "plan_runs", "run_variant", "execute"]
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantRun:
+    """One variant's fully-resolved, picklable execution plan."""
+
+    experiment: str
+    scenario: str
+    label: str
+    params: Mapping[str, Any]
+    seed: int
+    n_receivers: int
+    mode: str
+    paths: Tuple[str, ...]
+    task: Optional[str] = None
+    batch_size: Optional[int] = None
+
+
+def plan_runs(experiment: Experiment) -> List[VariantRun]:
+    """Resolve every variant of an experiment into a work unit."""
+    return [
+        VariantRun(
+            experiment=experiment.name,
+            scenario=variant.scenario,
+            label=variant.resolved_label(),
+            params=dict(variant.params),
+            seed=experiment.variant_seed(index),
+            n_receivers=experiment.n_receivers,
+            mode=experiment.mode,
+            paths=experiment.paths,
+            task=experiment.task,
+            batch_size=experiment.batch_size,
+        )
+        for index, variant in enumerate(experiment.variants)
+    ]
+
+
+def _simulation_metrics(result: SimulationResult) -> Dict[str, float]:
+    """The flat metric dictionary recorded for a simulated row."""
+    metrics = result.summary()
+    metrics["failure_rate"] = result.failure_rate()
+    for stage, fraction in result.stage_failure_fractions().items():
+        metrics[f"stage_failure:{stage.value}"] = fraction
+    return metrics
+
+
+def run_variant(run: VariantRun) -> List[ResultRow]:
+    """Execute one variant (in this process) and return its result rows."""
+    variant = get_scenario(run.scenario).bind(**dict(run.params))
+    rows: List[ResultRow] = []
+
+    if "analyze" in run.paths:
+        system = variant.system()
+        analysis = analyze_system(system)
+        task_name = variant.resolve_task(system, run.task).name
+        task_analysis = analysis.task_analyses.get(task_name)
+        metrics: Dict[str, float] = {
+            "mean_success_probability": analysis.mean_success_probability(),
+        }
+        if task_analysis is not None:
+            metrics["success_probability"] = task_analysis.success_probability
+            metrics["total_risk"] = task_analysis.failures.total_risk()
+        rows.append(
+            ResultRow(
+                experiment=run.experiment,
+                scenario=run.scenario,
+                variant=run.label,
+                params=run.params,
+                mode="analytic",
+                metrics=metrics,
+                task=task_name,
+            )
+        )
+
+    if "simulate" in run.paths:
+        overrides: Dict[str, Any] = {}
+        if run.batch_size is not None:
+            overrides["batch_size"] = run.batch_size
+        result = variant.simulate(
+            run.n_receivers, seed=run.seed, task=run.task, mode=run.mode, **overrides
+        )
+        rows.append(
+            ResultRow(
+                experiment=run.experiment,
+                scenario=run.scenario,
+                variant=run.label,
+                params=run.params,
+                mode=run.mode,
+                metrics=_simulation_metrics(result),
+                seed=run.seed,
+                n_receivers=run.n_receivers,
+                batch_size=result.batch_size,
+                task=result.task_name,
+                population=result.population_name,
+                calibration_label=result.calibration_label,
+            )
+        )
+    return rows
+
+
+def execute(experiment: Experiment, max_workers: Optional[int] = None) -> ResultSet:
+    """Run an experiment's variants, optionally across processes.
+
+    ``max_workers`` of ``None`` or ``1`` runs inline; larger values fan
+    out over a process pool (bounded by the variant count).  Variant
+    order — and, because seeds are derived per variant, every number —
+    is identical either way.
+    """
+    runs = plan_runs(experiment)
+    if max_workers is not None and max_workers > 1 and len(runs) > 1:
+        workers = min(max_workers, len(runs))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            row_lists = list(pool.map(run_variant, runs))
+    else:
+        row_lists = [run_variant(run) for run in runs]
+    return ResultSet(
+        experiment=experiment.name,
+        rows=[row for rows in row_lists for row in rows],
+    )

@@ -1,0 +1,118 @@
+"""JSON serialization of experiment result sets.
+
+A :class:`~repro.experiments.results.ResultSet` round-trips through plain
+JSON so sweeps can be archived, diffed, and fed to the viz layer.  Every
+row keeps its full provenance — scenario, validated parameter overrides,
+seed, execution mode, batch size, task — which is exactly the tuple
+:func:`repro.experiments.reproduce_row` needs to re-run it.
+
+Serialization is duck-typed over the row attributes (this module stays
+import-light); parsing imports the experiment classes lazily to keep
+``repro.io`` free of an import cycle with :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..core.exceptions import SerializationError
+
+__all__ = [
+    "result_row_to_dict",
+    "result_row_from_dict",
+    "resultset_to_dict",
+    "resultset_from_dict",
+    "dumps_resultset",
+    "loads_resultset",
+    "save_resultset",
+    "load_resultset",
+]
+
+
+def result_row_to_dict(row) -> Dict[str, Any]:
+    """Serialize one result row, provenance included."""
+    return {
+        "experiment": row.experiment,
+        "scenario": row.scenario,
+        "variant": row.variant,
+        "params": dict(row.params),
+        "mode": row.mode,
+        "metrics": dict(row.metrics),
+        "seed": row.seed,
+        "n_receivers": row.n_receivers,
+        "batch_size": row.batch_size,
+        "task": row.task,
+        "population": row.population,
+        "calibration_label": row.calibration_label,
+    }
+
+
+def result_row_from_dict(payload: Dict[str, Any]):
+    """Parse one result row from its dictionary form."""
+    from ..experiments.results import ResultRow
+
+    try:
+        return ResultRow(
+            experiment=payload["experiment"],
+            scenario=payload["scenario"],
+            variant=payload["variant"],
+            params=dict(payload.get("params", {})),
+            mode=payload["mode"],
+            metrics=dict(payload.get("metrics", {})),
+            seed=payload.get("seed"),
+            n_receivers=payload.get("n_receivers"),
+            batch_size=payload.get("batch_size"),
+            task=payload.get("task"),
+            population=payload.get("population"),
+            calibration_label=payload.get("calibration_label"),
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"invalid result-row payload: {error}") from error
+
+
+def resultset_to_dict(resultset) -> Dict[str, Any]:
+    """Serialize a result set to a JSON-compatible dictionary."""
+    return {
+        "experiment": resultset.experiment,
+        "rows": [result_row_to_dict(row) for row in resultset.rows],
+    }
+
+
+def resultset_from_dict(payload: Dict[str, Any]):
+    """Parse a result set from its dictionary form."""
+    from ..experiments.results import ResultSet
+
+    try:
+        return ResultSet(
+            experiment=payload["experiment"],
+            rows=[result_row_from_dict(row) for row in payload.get("rows", [])],
+        )
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"invalid result-set payload: {error}") from error
+
+
+def dumps_resultset(resultset, indent: int = 2) -> str:
+    """Serialize a result set to a JSON string."""
+    return json.dumps(resultset_to_dict(resultset), indent=indent, sort_keys=True)
+
+
+def loads_resultset(payload: str):
+    """Parse a result set from a JSON string."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return resultset_from_dict(data)
+
+
+def save_resultset(resultset, path: str) -> None:
+    """Write a result set to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_resultset(resultset))
+
+
+def load_resultset(path: str):
+    """Read a result set from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_resultset(handle.read())

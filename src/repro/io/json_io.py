@@ -48,6 +48,7 @@ from ..core.receiver import (
     PersonalVariables,
 )
 from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.metrics import SimulationResult
 
 __all__ = [
     "communication_to_dict",
@@ -62,6 +63,7 @@ __all__ = [
     "system_from_dict",
     "failure_to_dict",
     "analysis_to_dict",
+    "simulation_result_to_dict",
     "dumps_system",
     "loads_system",
     "save_system",
@@ -357,6 +359,36 @@ def analysis_to_dict(analysis: TaskAnalysis) -> Dict[str, Any]:
             for component, assessment in analysis.assessments.items()
         },
         "failures": [failure_to_dict(failure) for failure in analysis.failures],
+    }
+
+
+def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Serialize a simulation result's aggregates and run provenance.
+
+    The provenance block records everything needed to reproduce the run
+    exactly: the seed, the execution mode, and the batch size (both
+    engine modes consume pre-drawn randomness chunked by ``batch_size``,
+    so all three determine the realized outcomes).  Per-receiver records
+    are derived artifacts and are not serialized.
+    """
+    return {
+        "task": result.task_name,
+        "population": result.population_name,
+        "provenance": {
+            "seed": result.seed,
+            "mode": result.mode,
+            "batch_size": result.batch_size,
+            "calibration": result.calibration_label,
+            "n_receivers": result.n_receivers,
+        },
+        "metrics": result.summary(),
+        "outcomes": {
+            outcome.value: count for outcome, count in result.outcome_counts().items()
+        },
+        "stage_failures": {
+            stage.value: count
+            for stage, count in result.stage_failure_counts().items()
+        },
     }
 
 

@@ -138,6 +138,8 @@ class HumanLoopSimulator:
             seed=base_seed,
             calibration_label=self.config.calibration.label,
             tally=SimulationTally(),
+            mode=mode,
+            batch_size=self.config.batch_size,
         )
 
         offset = 0

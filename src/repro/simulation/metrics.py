@@ -164,6 +164,13 @@ class SimulationResult:
     ``SimulationConfig.record_limit``) or the scalar reference mode is
     used.  Results built by hand from records alone (as some tests do)
     derive their tally lazily.
+
+    ``seed``, ``mode``, and ``batch_size`` together make the run exactly
+    reproducible (both modes consume pre-drawn randomness chunked by
+    ``batch_size``, so all three matter); the engine records them and the
+    serialized form (:func:`repro.io.simulation_result_to_dict`) carries
+    them as provenance.  ``mode``/``batch_size`` stay ``None`` on
+    hand-built results.
     """
 
     task_name: str
@@ -172,6 +179,8 @@ class SimulationResult:
     seed: int = 0
     calibration_label: str = "neutral"
     tally: Optional[SimulationTally] = None
+    mode: Optional[str] = None
+    batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.task_name:

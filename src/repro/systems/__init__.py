@@ -28,9 +28,17 @@ from . import (
 )
 from .base import available_systems, build, builder_for
 from .catalog import all_systems, system_descriptions
+from .parameters import (
+    Parameter,
+    ParameterSpace,
+    ScenarioComponents,
+    common_parameter_space,
+    variant_label,
+)
 from .scenario import (
     Scenario,
     ScenarioLike,
+    ScenarioVariant,
     all_scenarios,
     available_scenarios,
     get_scenario,
@@ -52,8 +60,14 @@ __all__ = [
     "system_descriptions",
     "Scenario",
     "ScenarioLike",
+    "ScenarioVariant",
     "register_scenario",
     "available_scenarios",
     "get_scenario",
     "all_scenarios",
+    "Parameter",
+    "ParameterSpace",
+    "ScenarioComponents",
+    "common_parameter_space",
+    "variant_label",
 ]

@@ -32,6 +32,7 @@ from ..core.communication import (
     HazardProfile,
     HazardSeverity,
 )
+from ..core.exceptions import ModelError
 from ..core.impediments import (
     Environment,
     Interference,
@@ -45,6 +46,7 @@ from ..simulation.population import PopulationSpec, general_web_population
 from ..core.stages import Stage
 from ..studies.registry import registry
 from .base import register_system
+from .parameters import Parameter, ParameterSpace, ScenarioComponents
 
 __all__ = [
     "WarningVariant",
@@ -57,6 +59,8 @@ __all__ = [
     "build_system",
     "population",
     "calibration",
+    "parameter_space",
+    "scenario_components",
 ]
 
 
@@ -283,4 +287,69 @@ def calibration() -> StageCalibration:
         override_given_misunderstanding=0.15,
         user_noise_std=0.05,
         label="antiphishing-egelman2008",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Typed parameterization (consumed by the scenario registry / experiments)
+# ---------------------------------------------------------------------------
+
+def parameter_space() -> ParameterSpace:
+    """The warning-design knobs the Section-2.1 ablations sweep."""
+    return ParameterSpace(
+        [
+            Parameter(
+                "variant",
+                "choice",
+                default=WarningVariant.IE_ACTIVE.value,
+                choices=tuple(variant.value for variant in WarningVariant),
+                description="Which warning design the task presents.",
+            ),
+            Parameter(
+                "activeness",
+                "float",
+                default=None,
+                low=0.0,
+                high=1.0,
+                allow_none=True,
+                description="Override the warning's position on the active-passive spectrum.",
+            ),
+            Parameter(
+                "prior_exposures",
+                "int",
+                default=0,
+                low=0,
+                high=10_000,
+                description="Habituation: exposures the population has already had.",
+            ),
+        ]
+    )
+
+
+def scenario_components(values) -> ScenarioComponents:
+    """The scenario binder: one warning task with the requested design."""
+    variant = WarningVariant(values["variant"])
+    task = task_for(variant)
+    if task.communication is None:
+        # The no-warning baseline has nothing to modulate; ignoring the
+        # knobs would make a sweep over them silently flat.
+        if values["activeness"] is not None or values["prior_exposures"]:
+            raise ModelError(
+                "activeness/prior_exposures do not apply to the no_warning "
+                "variant (it has no communication)"
+            )
+    else:
+        communication = task.communication
+        if values["activeness"] is not None:
+            communication = communication.with_activeness(values["activeness"])
+        if values["prior_exposures"]:
+            communication = communication.with_exposures(values["prior_exposures"])
+        task.communication = communication
+    system = SecureSystem(
+        name=f"browser-antiphishing[{variant.value}]",
+        description="One anti-phishing warning design, bound for an experiment.",
+        tasks=[task],
+    )
+    return ScenarioComponents(
+        system=system, population=population(), calibration=calibration()
     )

@@ -21,7 +21,7 @@ training) are modeled as policy variants so the benchmark can sweep them.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from ..core.behavior import TaskDesign
 from ..core.communication import (
@@ -41,6 +41,7 @@ from ..simulation.calibration import StageCalibration
 from ..simulation.population import PopulationSpec, organization_population
 from ..studies.registry import registry
 from .base import register_system
+from .parameters import Parameter, ParameterSpace, ScenarioComponents, format_params
 
 __all__ = [
     "PasswordPolicy",
@@ -50,6 +51,7 @@ __all__ = [
     "training_policy",
     "relaxed_expiry_policy",
     "policy_variants",
+    "case_study_variant_params",
     "policy_communication",
     "creation_task",
     "recall_task",
@@ -58,6 +60,9 @@ __all__ = [
     "build_system_for",
     "population",
     "calibration",
+    "parameter_space",
+    "policy_for_values",
+    "scenario_components",
 ]
 
 
@@ -420,4 +425,79 @@ def calibration(policy: Optional[PasswordPolicy] = None) -> StageCalibration:
         override_given_misunderstanding=0.5,
         user_noise_std=0.05,
         label=f"passwords-{policy.name}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Typed parameterization (consumed by the scenario registry / experiments)
+# ---------------------------------------------------------------------------
+
+def parameter_space() -> ParameterSpace:
+    """Every :class:`PasswordPolicy` field as a typed scenario parameter."""
+    return ParameterSpace(
+        [
+            Parameter("min_length", "int", default=8, low=1, high=64,
+                      description="Minimum password length."),
+            Parameter("required_character_classes", "int", default=3, low=1, high=4,
+                      description="Character classes a password must mix."),
+            Parameter("expiry_days", "int", default=90, low=1, high=3650, allow_none=True,
+                      description="Forced-change interval; None disables expiry."),
+            Parameter("distinct_accounts", "int", default=8, low=1, high=200,
+                      description="Distinct accounts the policy covers."),
+            Parameter("forbid_reuse", "bool", default=True,
+                      description="Whether reusing passwords across accounts is banned."),
+            Parameter("forbid_writing_down", "bool", default=True,
+                      description="Whether writing passwords down is banned."),
+            Parameter("forbid_sharing", "bool", default=True,
+                      description="Whether sharing passwords is banned."),
+            Parameter("single_sign_on", "bool", default=False,
+                      description="Deploy the policy behind single sign-on."),
+            Parameter("password_vault", "bool", default=False,
+                      description="Provide an approved password vault."),
+            Parameter("training_provided", "bool", default=False,
+                      description="Provide rationale training for the policy."),
+        ]
+    )
+
+
+def case_study_variant_params() -> Dict[str, Dict[str, object]]:
+    """The case-study policy variants as parameter overrides (label → overrides).
+
+    Derived from :func:`policy_variants`, so the benchmark and example
+    sweeps consume the same canonical variant set: each entry holds only
+    the fields where the variant departs from the baseline policy.
+    """
+    defaults = dataclasses.asdict(baseline_policy())
+    params: Dict[str, Dict[str, object]] = {}
+    for label, policy in policy_variants().items():
+        fields = dataclasses.asdict(policy)
+        params[label] = {
+            name: value
+            for name, value in fields.items()
+            if name != "name" and value != defaults[name]
+        }
+    return params
+
+
+def policy_for_values(values: Mapping[str, object]) -> PasswordPolicy:
+    """Build a policy from fully-resolved parameter values.
+
+    The policy name lists the non-default knobs (or ``"baseline"``), so
+    derived labels — task names, calibration labels — say what changed.
+    """
+    defaults = parameter_space().defaults()
+    changed = {
+        name: value for name, value in values.items() if value != defaults[name]
+    }
+    name = format_params(changed) if changed else "baseline"
+    return PasswordPolicy(name=name, **dict(values))
+
+
+def scenario_components(values: Mapping[str, object]) -> ScenarioComponents:
+    """The scenario binder: parameter values → system/population/calibration."""
+    policy = policy_for_values(values)
+    return ScenarioComponents(
+        system=build_system_for(policy),
+        population=population(policy),
+        calibration=calibration(policy),
     )

@@ -17,6 +17,19 @@ both of which traverse the shared stage pipeline of
 :mod:`repro.core.pipeline`.  The benchmarks iterate the registry instead
 of hand-wiring each system to the engine.
 
+Scenarios are **parameterized**: every scenario accepts the common typed
+knobs of :func:`repro.systems.parameters.common_parameter_space`
+(population training fraction, calibration noise and gate multipliers),
+and scenarios registered with a domain *binder* add their own typed
+parameters — the password scenario exposes every
+:class:`~repro.systems.passwords.PasswordPolicy` field, the anti-phishing
+scenario its warning variant, activeness, and prior exposures.
+:meth:`Scenario.bind` validates overrides against the parameter space and
+returns a :class:`ScenarioVariant` — a concrete, unregistered scenario
+with identical ``analyze()`` / ``simulate()`` entry points plus full
+parameter provenance.  The declarative experiment layer
+(:mod:`repro.experiments`) expands sweep grids into such variants.
+
 Every module in :mod:`repro.systems` registers one scenario here;
 third-party systems can call :func:`register_scenario` themselves — any
 object satisfying :class:`ScenarioLike` is accepted.
@@ -25,7 +38,16 @@ object satisfying :class:`ScenarioLike` is accepted.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 from ..core.analysis import SystemAnalysis, analyze_system
 from ..core.exceptions import ModelError
@@ -44,10 +66,18 @@ from . import (  # noqa: F401  (imported for their registration side effects)
     ssl_indicators,
 )
 from .base import builder_for
+from .parameters import (
+    ParameterSpace,
+    ScenarioBinder,
+    ScenarioComponents,
+    common_parameter_space,
+    variant_label,
+)
 
 __all__ = [
     "ScenarioLike",
     "Scenario",
+    "ScenarioVariant",
     "register_scenario",
     "available_scenarios",
     "get_scenario",
@@ -69,47 +99,70 @@ class ScenarioLike(Protocol):
     def calibration(self) -> StageCalibration: ...
 
 
-@dataclasses.dataclass(frozen=True)
-class Scenario:
-    """A registered scenario: system + population + calibration factories."""
+class _ScenarioPaths:
+    """The two framework readings, shared by scenarios and bound variants.
 
-    name: str
-    description: str
-    system_factory: Callable[[], SecureSystem]
-    population_factory: Callable[[], PopulationSpec]
-    calibration_factory: Callable[[], StageCalibration] = StageCalibration.neutral
-    default_task: Optional[str] = None
+    Subclasses provide ``components()`` (one fresh system / population /
+    calibration build) and a ``default_task`` attribute; everything here
+    derives from those.  Single-component accessors go through
+    ``components()`` too, so a bound variant's binder runs exactly once
+    per access however many components the caller needs.
+    """
 
-    # -- components --------------------------------------------------------------
+    default_task: Optional[str]
+
+    def components(self) -> ScenarioComponents:  # pragma: no cover - overridden
+        raise NotImplementedError
 
     def system(self) -> SecureSystem:
-        system = self.system_factory()
+        system = self.components().system
         system.validate()
         return system
 
     def population(self) -> PopulationSpec:
-        return self.population_factory()
+        return self.components().population
 
     def calibration(self) -> StageCalibration:
-        return self.calibration_factory()
+        return self.components().calibration
+
+    def resolve_task(
+        self, system: SecureSystem, name: Optional[str]
+    ) -> HumanSecurityTask:
+        """Resolve a task name (or unique prefix) within one built system.
+
+        Callers that already hold a built system (the runner, the analytic
+        path) use this to avoid rebuilding components just for the name.
+        """
+        if name is None:
+            name = self.default_task
+        if name is not None:
+            try:
+                return system.task_named(name)
+            except ModelError:
+                prefixed = [task for task in system.tasks if task.name.startswith(name)]
+                if len(prefixed) == 1:
+                    return prefixed[0]
+                raise ModelError(
+                    f"no task named (or uniquely prefixed by) {name!r}; "
+                    f"known: {[task.name for task in system.tasks]}"
+                )
+        critical = system.security_critical_tasks()
+        if not critical:
+            raise ModelError(f"scenario {self.name!r} has no security-critical tasks")
+        return critical[0]
 
     def tasks(self) -> List[HumanSecurityTask]:
         """The scenario's security-critical tasks."""
         return self.system().security_critical_tasks()
 
     def task(self, name: Optional[str] = None) -> HumanSecurityTask:
-        """One task by name; defaults to ``default_task`` or the first."""
-        system = self.system()
-        if name is not None:
-            return system.task_named(name)
-        if self.default_task is not None:
-            return system.task_named(self.default_task)
-        critical = system.security_critical_tasks()
-        if not critical:
-            raise ModelError(f"scenario {self.name!r} has no security-critical tasks")
-        return critical[0]
+        """One task by name; defaults to ``default_task`` or the first.
 
-    # -- the two framework readings ----------------------------------------------
+        Exact names win; otherwise a *unique* name prefix is accepted, so
+        experiment specs can say ``task="recall-passwords"`` and match
+        ``recall-passwords[<any policy variant>]``.
+        """
+        return self.resolve_task(self.system(), name)
 
     def analyze(self) -> SystemAnalysis:
         """Run the analytic failure-identification walk over the system."""
@@ -129,10 +182,138 @@ class Scenario:
         **config_overrides,
     ) -> SimulationResult:
         """Simulate the scenario population encountering one task."""
-        simulator = self.simulator(**config_overrides)
+        components = self.components()
+        components.system.validate()
+        config_overrides.setdefault("calibration", components.calibration)
+        simulator = HumanLoopSimulator(SimulationConfig(**config_overrides))
         return simulator.simulate_task(
-            self.task(task), self.population(), n_receivers=n_receivers, seed=seed, mode=mode
+            self.resolve_task(components.system, task),
+            components.population,
+            n_receivers=n_receivers,
+            seed=seed,
+            mode=mode,
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario(_ScenarioPaths):
+    """A registered scenario: system + population + calibration factories.
+
+    ``parameters`` declares the scenario's own typed knobs and ``binder``
+    maps resolved values of those knobs to concrete components; scenarios
+    without a binder still accept the common parameters via :meth:`bind`.
+    """
+
+    name: str
+    description: str
+    system_factory: Callable[[], SecureSystem]
+    population_factory: Callable[[], PopulationSpec]
+    calibration_factory: Callable[[], StageCalibration] = StageCalibration.neutral
+    default_task: Optional[str] = None
+    parameters: ParameterSpace = dataclasses.field(default_factory=ParameterSpace)
+    binder: Optional[ScenarioBinder] = None
+
+    # -- components --------------------------------------------------------------
+
+    def components(self) -> ScenarioComponents:
+        return ScenarioComponents(
+            system=self.system_factory(),
+            population=self.population_factory(),
+            calibration=self.calibration_factory(),
+        )
+
+    # -- parameter binding -------------------------------------------------------
+
+    def parameter_space(self) -> ParameterSpace:
+        """The scenario's own parameters followed by the common ones."""
+        return self.parameters.merged(common_parameter_space())
+
+    def bind(self, **overrides: Any) -> "ScenarioVariant":
+        """Bind typed parameter overrides into a concrete scenario variant.
+
+        Overrides are validated against :meth:`parameter_space`; custom
+        parameters flow through the scenario's binder, the common ones are
+        applied to whatever population / calibration results.  Binding with
+        no overrides reproduces the base scenario's components exactly.
+        """
+        space = self.parameter_space()
+        validated = space.validate(overrides)
+        custom = {name: value for name, value in validated.items() if name in self.parameters}
+        common = {name: value for name, value in validated.items() if name not in self.parameters}
+
+        if self.binder is not None:
+            values = self.parameters.resolve(custom)
+            binder = self.binder
+            base_components: Callable[[], ScenarioComponents] = lambda: binder(values)
+        elif custom:  # pragma: no cover - custom params imply a binder
+            raise ModelError(
+                f"scenario {self.name!r} declares parameters but no binder"
+            )
+        else:
+            base_components = self.components
+
+        training_fraction = common.get("training_fraction")
+        calibration_updates = {
+            name: common[name]
+            for name in ("user_noise_std", "intention_multiplier", "capability_multiplier")
+            if common.get(name) is not None
+        }
+
+        def components_factory() -> ScenarioComponents:
+            components = base_components()
+            population = components.population
+            calibration = components.calibration
+            if training_fraction is not None:
+                population = dataclasses.replace(
+                    population, training_fraction=training_fraction
+                )
+            if calibration_updates:
+                calibration = dataclasses.replace(calibration, **calibration_updates)
+            return ScenarioComponents(
+                system=components.system, population=population, calibration=calibration
+            )
+
+        # Fail fast: per-value validation passed, but the binder may still
+        # reject the combination (e.g. activeness on no_warning).
+        components_factory()
+
+        return ScenarioVariant(
+            name=variant_label(self.name, validated),
+            description=self.description,
+            base=self,
+            params=dict(validated),
+            components_factory=components_factory,
+            default_task=self.default_task,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioVariant(_ScenarioPaths):
+    """A scenario bound to concrete parameter values.
+
+    Satisfies :class:`ScenarioLike` (and offers the same ``analyze()`` /
+    ``simulate()`` paths as :class:`Scenario`) while carrying full
+    provenance: the base scenario and the validated overrides that produced
+    it.  Variants are not registered; re-binding goes through the base, so
+    ``variant.bind(x=1)`` layers on top of the existing overrides.
+    """
+
+    name: str
+    description: str
+    base: Scenario
+    params: Mapping[str, Any]
+    components_factory: Callable[[], ScenarioComponents]
+    default_task: Optional[str] = None
+
+    def components(self) -> ScenarioComponents:
+        return self.components_factory()
+
+    def parameter_space(self) -> ParameterSpace:
+        return self.base.parameter_space()
+
+    def bind(self, **overrides: Any) -> "ScenarioVariant":
+        merged: Dict[str, Any] = {**dict(self.params), **overrides}
+        return self.base.bind(**merged)
 
 
 _SCENARIOS: Dict[str, ScenarioLike] = {}
@@ -168,9 +349,17 @@ def all_scenarios() -> Dict[str, ScenarioLike]:
 # ---------------------------------------------------------------------------
 # Built-in scenarios: one per modeled system.  Population factories come
 # from the system modules; systems without a study calibration run neutral.
+# Scenarios whose module exposes a parameter space register it (with the
+# matching binder) so the experiment layer can sweep them declaratively.
 # ---------------------------------------------------------------------------
 
-def _builtin(name: str, population_factory, calibration_factory=None) -> None:
+def _builtin(
+    name: str,
+    population_factory,
+    calibration_factory=None,
+    parameters: Optional[ParameterSpace] = None,
+    binder: Optional[ScenarioBinder] = None,
+) -> None:
     register_scenario(
         Scenario(
             name=name,
@@ -178,12 +367,26 @@ def _builtin(name: str, population_factory, calibration_factory=None) -> None:
             system_factory=builder_for(name).build,
             population_factory=population_factory,
             calibration_factory=calibration_factory or StageCalibration.neutral,
+            parameters=parameters or ParameterSpace(),
+            binder=binder,
         )
     )
 
 
-_builtin("antiphishing", antiphishing.population, antiphishing.calibration)
-_builtin("passwords", passwords.population, passwords.calibration)
+_builtin(
+    "antiphishing",
+    antiphishing.population,
+    antiphishing.calibration,
+    parameters=antiphishing.parameter_space(),
+    binder=antiphishing.scenario_components,
+)
+_builtin(
+    "passwords",
+    passwords.population,
+    passwords.calibration,
+    parameters=passwords.parameter_space(),
+    binder=passwords.scenario_components,
+)
 _builtin("ssl-indicator", ssl_indicators.population)
 _builtin("email-attachments", email_attachments.population)
 _builtin("smartcard", smartcard.population)

@@ -1,0 +1,126 @@
+"""Tests for the declarative experiment specifications."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_PATHS,
+    Experiment,
+    ExperimentError,
+    SweepSpec,
+    VariantSpec,
+)
+
+
+class TestVariantSpec:
+    def test_default_label_from_params(self):
+        variant = VariantSpec("passwords", {"single_sign_on": True})
+        assert variant.resolved_label() == "passwords[single_sign_on=True]"
+
+    def test_explicit_label_wins(self):
+        variant = VariantSpec("passwords", {"single_sign_on": True}, label="sso")
+        assert variant.resolved_label() == "sso"
+
+    def test_no_params_label_is_scenario_name(self):
+        assert VariantSpec("passwords").resolved_label() == "passwords"
+
+
+class TestSweepSpec:
+    def test_expand_is_cartesian_product_in_order(self):
+        sweep = SweepSpec(
+            scenario="passwords",
+            grid={"distinct_accounts": [4, 8], "single_sign_on": [False, True]},
+        )
+        assert sweep.size == 4
+        labels = [variant.resolved_label() for variant in sweep.expand()]
+        assert labels == [
+            "distinct_accounts=4,single_sign_on=False",
+            "distinct_accounts=4,single_sign_on=True",
+            "distinct_accounts=8,single_sign_on=False",
+            "distinct_accounts=8,single_sign_on=True",
+        ]
+
+    def test_base_applied_to_every_point(self):
+        sweep = SweepSpec(
+            scenario="passwords",
+            grid={"distinct_accounts": [4, 8]},
+            base={"password_vault": True},
+        )
+        for variant in sweep.expand():
+            assert variant.params["password_vault"] is True
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(scenario="passwords", grid={})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(scenario="passwords", grid={"distinct_accounts": []})
+
+    def test_grid_base_overlap_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(
+                scenario="passwords",
+                grid={"single_sign_on": [False, True]},
+                base={"single_sign_on": True},
+            )
+
+    def test_bad_parameter_values_fail_at_construction(self):
+        from repro.core.exceptions import ModelError
+
+        with pytest.raises(ModelError):
+            SweepSpec(scenario="passwords", grid={"distinct_accounts": [4, -1]})
+        with pytest.raises(ModelError):
+            SweepSpec(scenario="passwords", grid={"not_a_parameter": [1]})
+
+
+class TestExperiment:
+    def _variants(self):
+        return (
+            VariantSpec("passwords", {}, label="a"),
+            VariantSpec("passwords", {"single_sign_on": True}, label="b"),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            Experiment(name="", variants=self._variants())
+        with pytest.raises(ExperimentError):
+            Experiment(name="x", variants=())
+        with pytest.raises(ExperimentError):
+            Experiment(name="x", variants=self._variants(), n_receivers=0)
+        with pytest.raises(ExperimentError):
+            Experiment(name="x", variants=self._variants(), seed=-5)
+        with pytest.raises(ExperimentError):
+            Experiment(name="x", variants=self._variants(), mode="warp")
+        with pytest.raises(ExperimentError):
+            Experiment(name="x", variants=self._variants(), paths=("simulate", "guess"))
+        with pytest.raises(ExperimentError):
+            Experiment(name="x", variants=self._variants(), seed_strategy="chaos")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ExperimentError):
+            Experiment(
+                name="x",
+                variants=(
+                    VariantSpec("passwords", {}, label="same"),
+                    VariantSpec("passwords", {"single_sign_on": True}, label="same"),
+                ),
+            )
+
+    def test_paths_constant(self):
+        assert set(EXPERIMENT_PATHS) == {"analyze", "simulate"}
+
+    def test_shared_seed_strategy(self):
+        experiment = Experiment(
+            name="x", variants=self._variants(), seed=42, seed_strategy="shared"
+        )
+        assert experiment.variant_seed(0) == 42
+        assert experiment.variant_seed(1) == 42
+
+    def test_per_variant_seeds_distinct_and_deterministic(self):
+        experiment = Experiment(name="x", variants=self._variants(), seed=42)
+        seeds = [experiment.variant_seed(index) for index in range(2)]
+        assert len(set(seeds)) == 2
+        again = Experiment(name="y", variants=self._variants(), seed=42)
+        assert [again.variant_seed(index) for index in range(2)] == seeds
+        other = Experiment(name="z", variants=self._variants(), seed=43)
+        assert other.variant_seed(0) != seeds[0]

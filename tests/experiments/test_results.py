@@ -1,0 +1,145 @@
+"""Tests for the unified ResultSet: selection, export, recommendations."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    Experiment,
+    ExperimentError,
+    ResultRow,
+    ResultSet,
+    VariantSpec,
+    reproduce_row,
+)
+from repro.io import (
+    load_resultset,
+    loads_resultset,
+    resultset_from_dict,
+    resultset_to_dict,
+    save_resultset,
+)
+
+
+@pytest.fixture(scope="module")
+def results() -> ResultSet:
+    experiment = Experiment(
+        name="results-test",
+        variants=(
+            VariantSpec("passwords", {}, label="baseline"),
+            VariantSpec("passwords", {"single_sign_on": True}, label="sso"),
+        ),
+        n_receivers=150,
+        seed=21,
+        task="recall-passwords",
+        paths=("analyze", "simulate"),
+    )
+    return experiment.run()
+
+
+class TestSelection:
+    def test_labels_in_variant_order(self, results):
+        assert results.labels() == ["baseline", "sso"]
+
+    def test_simulated_and_analytic_split(self, results):
+        assert len(results.simulated()) == 2
+        assert len(results.analytic()) == 2
+        assert all(row.mode == "analytic" for row in results.analytic())
+
+    def test_row_requires_mode_when_ambiguous(self, results):
+        with pytest.raises(ExperimentError):
+            results.row("baseline")
+        assert results.row("baseline", mode="batch").simulated
+
+    def test_unknown_variant(self, results):
+        with pytest.raises(ExperimentError):
+            results.row("nope", mode="batch")
+
+    def test_unknown_metric(self, results):
+        with pytest.raises(ExperimentError):
+            results.row("baseline", mode="batch").metric("nope")
+
+    def test_metric_by_variant_defaults_to_simulated(self, results):
+        rates = results.metric_by_variant("protection_rate")
+        assert set(rates) == {"baseline", "sso"}
+
+    def test_best(self, results):
+        best = results.best("protection_rate", mode="batch")
+        assert best.variant == "sso"
+        worst = results.best("protection_rate", mode="batch", minimize=True)
+        assert worst.variant == "baseline"
+
+
+class TestRendering:
+    def test_table_carries_params_and_metrics(self, results):
+        table = results.simulated().table()
+        assert table[1]["single_sign_on"] is True
+        assert "protection_rate" in table[0]
+
+    def test_markdown_selected_metrics(self, results):
+        markdown = results.simulated().to_markdown(["protection_rate"])
+        assert markdown.splitlines()[0] == "| variant | mode | protection_rate |"
+        assert "sso" in markdown
+
+
+class TestExport:
+    def test_json_roundtrip_preserves_provenance(self, results, tmp_path):
+        path = str(tmp_path / "results.json")
+        save_resultset(results, path)
+        reloaded = load_resultset(path)
+        assert resultset_to_dict(reloaded) == resultset_to_dict(results)
+        row = reloaded.row("sso", mode="batch")
+        assert row.seed == results.row("sso", mode="batch").seed
+        assert row.params == {"single_sign_on": True}
+        assert row.batch_size is not None
+
+    def test_save_method_matches_io_function(self, results, tmp_path):
+        path = str(tmp_path / "via_method.json")
+        results.save(path)
+        assert resultset_to_dict(load_resultset(path)) == resultset_to_dict(results)
+
+    def test_reloaded_row_reproduces_simulation(self, results, tmp_path):
+        payload = json.dumps(resultset_to_dict(results))
+        reloaded = loads_resultset(payload)
+        row = reloaded.row("baseline", mode="batch")
+        rerun = reproduce_row(row)
+        assert rerun.protection_rate() == row.metric("protection_rate")
+
+    def test_reproduce_rejects_analytic_rows(self, results):
+        with pytest.raises(ExperimentError):
+            reproduce_row(results.row("baseline", mode="analytic"))
+
+    def test_from_dict_rejects_garbage(self):
+        from repro.core.exceptions import SerializationError
+
+        with pytest.raises(SerializationError):
+            resultset_from_dict({"rows": []})
+        with pytest.raises(SerializationError):
+            loads_resultset("{not json")
+
+
+class TestRecommendations:
+    def test_per_variant_mitigation_ranking(self, results):
+        recommendations = results.recommendations(domain="passwords")
+        assert set(recommendations) == {"baseline", "sso"}
+        for label, recs in recommendations.items():
+            assert recs.tasks, label
+            assert recs.summary_lines()
+
+    def test_labels_filter_restricts_ranking(self, results):
+        recommendations = results.recommendations(domain="passwords", labels=["sso"])
+        assert set(recommendations) == {"sso"}
+        with pytest.raises(ExperimentError):
+            results.recommendations(labels=["nope"])
+
+    def test_ranking_reflects_variant(self, results):
+        """The baseline's recall task should be riskier than the SSO one."""
+        from repro.systems import get_scenario
+
+        recommendations = results.recommendations(domain="passwords")
+        success = {}
+        for label in ("baseline", "sso"):
+            params = dict(results.row(label, mode="batch").params)
+            recall = get_scenario("passwords").bind(**params).task("recall-passwords").name
+            success[label] = recommendations[label].tasks[recall].success_probability
+        assert success["sso"] > success["baseline"]

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.core.exceptions import SerializationError
+from repro.io import json_io
 from repro.io.json_io import (
     analysis_to_dict,
     communication_from_dict,
@@ -119,3 +120,59 @@ class TestAnalysisSerialization:
         assert payload["identifier"] == failure.identifier
         assert payload["risk_score"] == pytest.approx(failure.risk_score)
         json.dumps(payload)
+
+
+class TestSimulationResultProvenance:
+    """Exported simulation JSON records seed, mode, and batch_size."""
+
+    def _result(self, mode="batch", batch_size=64):
+        from repro.systems import get_scenario
+
+        return get_scenario("antiphishing").simulate(
+            120, seed=17, mode=mode, batch_size=batch_size
+        )
+
+    def test_provenance_block_complete(self):
+        result = self._result()
+        payload = json_io.simulation_result_to_dict(result)
+        assert payload["provenance"] == {
+            "seed": 17,
+            "mode": "batch",
+            "batch_size": 64,
+            "calibration": result.calibration_label,
+            "n_receivers": 120,
+        }
+
+    def test_reference_mode_recorded(self):
+        payload = json_io.simulation_result_to_dict(self._result(mode="reference"))
+        assert payload["provenance"]["mode"] == "reference"
+
+    def test_payload_is_json_serializable_and_consistent(self):
+        import json as json_module
+
+        result = self._result()
+        payload = json_module.loads(json_module.dumps(json_io.simulation_result_to_dict(result)))
+        assert payload["metrics"]["protection_rate"] == result.protection_rate()
+        assert sum(payload["outcomes"].values()) == result.n_receivers
+
+    def test_provenance_reproduces_the_run(self):
+        result = self._result()
+        payload = json_io.simulation_result_to_dict(result)
+        from repro.systems import get_scenario
+
+        provenance = payload["provenance"]
+        rerun = get_scenario("antiphishing").simulate(
+            provenance["n_receivers"],
+            seed=provenance["seed"],
+            mode=provenance["mode"],
+            batch_size=provenance["batch_size"],
+        )
+        assert json_io.simulation_result_to_dict(rerun) == payload
+
+    def test_hand_built_results_have_no_engine_provenance(self):
+        from repro.simulation.metrics import SimulationResult
+
+        result = SimulationResult(task_name="t", population_name="p")
+        payload = json_io.simulation_result_to_dict(result)
+        assert payload["provenance"]["mode"] is None
+        assert payload["provenance"]["batch_size"] is None

@@ -96,3 +96,68 @@ class TestExposureSeries:
     def test_negative_exposures_rejected(self):
         with pytest.raises(SimulationError):
             simulate_exposure_series(_indicator(), exposures=-1)
+
+
+class TestHabituationEdgeCases:
+    """Edge cases: recovery clamping, rate bounds, series monotonicity."""
+
+    def test_recover_with_zero_recorded_exposures_is_a_noop(self):
+        state = HabituationState(recovery_rate=0.5)
+        communication = _indicator()
+        state.recover(periods=5)
+        assert state.exposure_count(communication) == 0
+        # Baked-in prior exposures live on the communication, not the
+        # state, so recovery periods cannot erase them either.
+        seasoned = _indicator().with_exposures(10)
+        state.recover(periods=5)
+        assert state.exposure_count(seasoned) == 10
+
+    def test_recover_zero_periods_changes_nothing(self):
+        state = HabituationState(recovery_rate=0.5)
+        communication = _indicator()
+        state.record_exposure(communication)
+        state.recover(periods=0)
+        assert state.exposure_count(communication) == 1.0
+
+    def test_exposures_clamp_toward_zero_never_below(self):
+        state = HabituationState(recovery_rate=0.9)
+        communication = _indicator()
+        state.record_exposure(communication)
+        state.recover(periods=50)
+        count = state.exposure_count(communication)
+        assert 0.0 <= count < 1e-12
+
+    def test_recovery_rate_boundary_values(self):
+        # Both bounds of [0, 1] are legal...
+        frozen = HabituationState(recovery_rate=0.0)
+        total = HabituationState(recovery_rate=1.0)
+        communication = _indicator()
+        for _ in range(4):
+            frozen.record_exposure(communication)
+            total.record_exposure(communication)
+        # ... a zero rate never recovers, a unit rate recovers fully.
+        frozen.recover(periods=3)
+        assert frozen.exposure_count(communication) == 4.0
+        total.recover()
+        assert total.exposure_count(communication) == 0.0
+
+    def test_recovery_rate_out_of_bounds_rejected(self):
+        with pytest.raises(SimulationError):
+            HabituationState(recovery_rate=-0.01)
+        with pytest.raises(SimulationError):
+            HabituationState(recovery_rate=1.01)
+
+    def test_exposure_series_monotone_under_zero_recovery(self):
+        """Without recovery periods, notice probability can only decay."""
+        series = simulate_exposure_series(
+            _indicator(activeness=0.3), exposures=25, rng=SimulationRng(11)
+        )
+        probabilities = [point.notice_probability for point in series]
+        assert all(
+            later <= earlier + 1e-12
+            for earlier, later in zip(probabilities, probabilities[1:])
+        )
+        assert probabilities[-1] < probabilities[0]
+
+    def test_zero_exposures_series_is_empty(self):
+        assert simulate_exposure_series(_indicator(), exposures=0) == []

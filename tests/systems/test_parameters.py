@@ -1,0 +1,108 @@
+"""Tests for the typed scenario-parameter machinery."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.systems.parameters import (
+    Parameter,
+    ParameterSpace,
+    common_parameter_space,
+    variant_label,
+)
+
+
+class TestParameter:
+    def test_float_bounds(self):
+        parameter = Parameter("x", "float", default=0.5, low=0.0, high=1.0)
+        assert parameter.validate(0.25) == 0.25
+        assert parameter.validate(1) == 1.0
+        with pytest.raises(ModelError):
+            parameter.validate(1.5)
+        with pytest.raises(ModelError):
+            parameter.validate(-0.1)
+        with pytest.raises(ModelError):
+            parameter.validate("0.5")
+
+    def test_int_rejects_bool_and_float(self):
+        parameter = Parameter("n", "int", default=3, low=1, high=10)
+        assert parameter.validate(5) == 5
+        with pytest.raises(ModelError):
+            parameter.validate(2.5)
+        with pytest.raises(ModelError):
+            parameter.validate(True)
+
+    def test_bool_kind(self):
+        parameter = Parameter("flag", "bool", default=False)
+        assert parameter.validate(True) is True
+        with pytest.raises(ModelError):
+            parameter.validate(1)
+
+    def test_choice_kind(self):
+        parameter = Parameter("mode", "choice", default="a", choices=("a", "b"))
+        assert parameter.validate("b") == "b"
+        with pytest.raises(ModelError):
+            parameter.validate("c")
+        with pytest.raises(ModelError):
+            Parameter("mode", "choice", default="a")  # choices missing
+
+    def test_none_handling(self):
+        optional = Parameter("x", "int", default=None, low=1, allow_none=True)
+        assert optional.validate(None) is None
+        required = Parameter("y", "int", default=3, low=1)
+        with pytest.raises(ModelError):
+            required.validate(None)
+
+    def test_invalid_declarations(self):
+        with pytest.raises(ModelError):
+            Parameter("", "float", default=0.5)
+        with pytest.raises(ModelError):
+            Parameter("x", "complex", default=0.5)
+        with pytest.raises(ModelError):
+            Parameter("x", "float", default=0.5, low=1.0, high=0.0)
+        with pytest.raises(ModelError):
+            Parameter("x", "float", default=2.0, low=0.0, high=1.0)  # bad default
+
+
+class TestParameterSpace:
+    def _space(self) -> ParameterSpace:
+        return ParameterSpace(
+            [
+                Parameter("n", "int", default=3, low=1, high=10),
+                Parameter("flag", "bool", default=False),
+            ]
+        )
+
+    def test_defaults_in_declaration_order(self):
+        assert self._space().defaults() == {"n": 3, "flag": False}
+
+    def test_validate_rejects_unknown_names(self):
+        with pytest.raises(ModelError):
+            self._space().validate({"unknown": 1})
+
+    def test_resolve_overlays_overrides(self):
+        assert self._space().resolve({"flag": True}) == {"n": 3, "flag": True}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ModelError):
+            ParameterSpace([Parameter("n", "int", default=1), Parameter("n", "int", default=2)])
+
+    def test_merged_preserves_order_and_rejects_collisions(self):
+        merged = self._space().merged(ParameterSpace([Parameter("z", "float", default=0.1)]))
+        assert merged.names() == ("n", "flag", "z")
+        with pytest.raises(ModelError):
+            self._space().merged(self._space())
+
+    def test_describe_one_row_per_parameter(self):
+        rows = self._space().describe()
+        assert [row["name"] for row in rows] == ["n", "flag"]
+
+
+class TestCommonSpace:
+    def test_common_knobs_default_to_none(self):
+        space = common_parameter_space()
+        assert set(space.defaults().values()) == {None}
+        assert "training_fraction" in space
+
+    def test_variant_label(self):
+        assert variant_label("s", {}) == "s"
+        assert variant_label("s", {"a": 1, "b": None}) == "s[a=1,b=None]"

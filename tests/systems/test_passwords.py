@@ -169,3 +169,33 @@ class TestSimulatedCaseStudy:
             compliance["password-vault"].capability_failure_rate()
             < compliance["baseline"].capability_failure_rate() / 2
         )
+
+
+class TestCaseStudyVariantParams:
+    """The canonical variant set feeds both the benchmark and the example."""
+
+    def test_labels_match_policy_variants(self):
+        from repro.systems.passwords import case_study_variant_params, policy_variants
+
+        assert list(case_study_variant_params()) == list(policy_variants())
+
+    def test_overrides_reconstruct_the_factory_policies(self):
+        import dataclasses
+
+        from repro.systems.passwords import (
+            baseline_policy,
+            case_study_variant_params,
+            policy_variants,
+        )
+
+        for label, params in case_study_variant_params().items():
+            rebuilt = dataclasses.replace(baseline_policy(), name=label, **params)
+            assert rebuilt == policy_variants()[label]
+
+    def test_overrides_are_valid_scenario_parameters(self):
+        from repro.systems import get_scenario
+        from repro.systems.passwords import case_study_variant_params
+
+        scenario = get_scenario("passwords")
+        for params in case_study_variant_params().values():
+            scenario.parameter_space().validate(params)

@@ -106,3 +106,99 @@ class TestScenarioPaths:
             150, seed=2, calibration=StageCalibration(label="override")
         )
         assert result.calibration_label == "override"
+
+
+class TestParameterizedScenarios:
+    """Scenarios accept typed parameter overrides via bind()."""
+
+    def test_bind_without_overrides_matches_base_components(self):
+        scenario = get_scenario("passwords")
+        variant = scenario.bind()
+        assert variant.params == {}
+        assert variant.name == "passwords"
+        assert [task.name for task in variant.tasks()] == [
+            task.name for task in scenario.tasks()
+        ]
+        assert variant.calibration().label == scenario.calibration().label
+        assert (
+            variant.population().training_fraction
+            == scenario.population().training_fraction
+        )
+
+    def test_bind_validates_types_and_names(self):
+        scenario = get_scenario("passwords")
+        with pytest.raises(ModelError):
+            scenario.bind(not_a_parameter=1)
+        with pytest.raises(ModelError):
+            scenario.bind(distinct_accounts=-3)
+        with pytest.raises(ModelError):
+            scenario.bind(single_sign_on="yes")
+
+    def test_custom_parameters_flow_into_the_policy(self):
+        variant = get_scenario("passwords").bind(distinct_accounts=16, expiry_days=None)
+        assert variant.params == {"distinct_accounts": 16, "expiry_days": None}
+        recall = variant.task("recall-passwords")
+        baseline_recall = get_scenario("passwords").bind().task("recall-passwords")
+        # More accounts without expiry still demands more memory than baseline.
+        assert (
+            recall.capability_requirements.memory_capacity
+            > baseline_recall.capability_requirements.memory_capacity
+        )
+
+    def test_common_parameters_apply_to_any_scenario(self):
+        variant = get_scenario("smartcard").bind(
+            training_fraction=0.75, user_noise_std=0.0, intention_multiplier=1.5
+        )
+        assert variant.population().training_fraction == 0.75
+        assert variant.calibration().user_noise_std == 0.0
+        assert variant.calibration().intention_multiplier == 1.5
+
+    def test_antiphishing_variant_and_activeness(self):
+        variant = get_scenario("antiphishing").bind(variant="ie_passive", activeness=0.9)
+        task = variant.task()
+        assert task.name == "heed-ie_passive-warning"
+        assert task.communication.activeness == 0.9
+
+    def test_task_prefix_match_is_unique_or_fails(self):
+        variant = get_scenario("passwords").bind(password_vault=True)
+        assert variant.task("recall-passwords").name.startswith("recall-passwords[")
+        with pytest.raises(ModelError):
+            variant.task("re")  # matches recall- and refrain-
+        with pytest.raises(ModelError):
+            variant.task("no-such-task")
+
+    def test_rebinding_layers_overrides(self):
+        variant = get_scenario("passwords").bind(single_sign_on=True)
+        layered = variant.bind(training_fraction=0.9)
+        assert layered.params == {"single_sign_on": True, "training_fraction": 0.9}
+        assert layered.population().training_fraction == 0.9
+
+    def test_variant_satisfies_scenario_protocol(self):
+        variant = get_scenario("antiphishing").bind(activeness=0.5)
+        assert isinstance(variant, ScenarioLike)
+
+    def test_bound_variant_batch_reference_equivalence(self):
+        """Parameterized variants keep the exact batch/reference agreement."""
+        for overrides in (
+            {"single_sign_on": True},
+            {"distinct_accounts": 16, "training_fraction": 0.8},
+        ):
+            variant = get_scenario("passwords").bind(**overrides)
+            batch = variant.simulate(300, seed=5, task="recall-passwords", mode="batch")
+            reference = variant.simulate(
+                300, seed=5, task="recall-passwords", mode="reference"
+            )
+            assert batch.stage_failure_counts() == reference.stage_failure_counts()
+            assert batch.outcome_counts() == reference.outcome_counts()
+            assert batch.protection_rate() == reference.protection_rate()
+            assert batch.capability_failure_rate() == reference.capability_failure_rate()
+
+    def test_inapplicable_knobs_rejected_at_bind_time(self):
+        scenario = get_scenario("antiphishing")
+        # The no-warning baseline has no communication to modulate.
+        with pytest.raises(ModelError):
+            scenario.bind(variant="no_warning", activeness=0.9)
+        with pytest.raises(ModelError):
+            scenario.bind(variant="no_warning", prior_exposures=30)
+        bare = scenario.bind(variant="no_warning")
+        assert bare.task().communication is None
