@@ -5,10 +5,17 @@ Section 2.1 warns that "frequent, active warnings about relatively low-risk
 hazards ... may lead users to start ignoring not only these warnings, but
 also similar warnings about more severe hazards", and Section 2.3.1 that
 "over time users may ignore security indicators that they observe
-frequently".  This example traces notice probability over repeated
-exposures for three communications — the SSL lock icon, the passive IE
-anti-phishing warning, and the blocking Firefox warning — and prints the
-§2.1 design advice for a few contrasting hazard profiles.
+frequently".  This example shows the decay three ways:
+
+* a single-receiver exposure trace (:func:`simulate_exposure_series`) for
+  three communications — the SSL lock icon, the passive IE anti-phishing
+  warning, and the blocking Firefox warning,
+* the same study at population scale through the multi-round engine
+  (``scenario.simulate(..., rounds=N, recovery_rate=r)``), whose
+  per-round :class:`~repro.simulation.metrics.RoundTally` series shows the
+  notice rate eroding encounter after encounter — and recovering when
+  exposure-free gaps are long enough, and
+* the §2.1 design advice for a few contrasting hazard profiles.
 
 Run with::
 
@@ -25,7 +32,7 @@ from repro.core import (
 )
 from repro.simulation.habituation import simulate_exposure_series
 from repro.simulation.rng import SimulationRng
-from repro.systems import antiphishing, ssl_indicators
+from repro.systems import antiphishing, get_scenario, ssl_indicators
 
 
 def trace_habituation() -> None:
@@ -46,6 +53,41 @@ def trace_habituation() -> None:
         row = label.ljust(34)
         for index in checkpoints:
             row += f"{series[index].notice_probability:8.2f}"
+        print(row)
+    print()
+
+
+def trace_engine_rounds(
+    n_receivers: int = 4_000, rounds: int = 8, seed: int = 7
+) -> None:
+    """The same decay study at population scale, through the engine.
+
+    Each receiver faces ``rounds`` consecutive hazard encounters; the
+    engine carries their habituation exposure state between rounds, so the
+    per-round notice rate traces the population-level decay curve (and the
+    effect of recovery during exposure-free gaps).
+    """
+    print(f"Population notice rate over {rounds} hazard encounters (engine rounds)")
+    print("-" * 60)
+    scenario = get_scenario("antiphishing")
+    studies = {
+        "ie-passive, no recovery": ("heed-ie_passive-warning", 0.0),
+        "ie-passive, recovery 0.5": ("heed-ie_passive-warning", 0.5),
+        "firefox blocking, no recovery": ("heed-firefox-warning", 0.0),
+    }
+    header = "scenario".ljust(34) + "".join(f" round{index}" for index in range(rounds))
+    print(header)
+    for label, (task, recovery_rate) in studies.items():
+        result = scenario.simulate(
+            n_receivers,
+            seed=seed,
+            task=task,
+            rounds=rounds,
+            recovery_rate=recovery_rate,
+        )
+        row = label.ljust(34)
+        for notice_rate in result.round_metric("notice_rate"):
+            row += f"{notice_rate:7.2f}"
         print(row)
     print()
 
@@ -83,6 +125,7 @@ def show_design_advice() -> None:
 
 def main() -> None:
     trace_habituation()
+    trace_engine_rounds()
     show_design_advice()
 
 

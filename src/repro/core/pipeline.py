@@ -189,14 +189,20 @@ class PipelinePlan:
     # batch receiver view) and in ``noise`` (float or array): the returned
     # probability has the broadcast shape of its inputs.
 
-    def raw_stage_probability(self, stage: Stage, receiver):
-        """Uncalibrated, noise-free success probability of one stage."""
+    def raw_stage_probability(self, stage: Stage, receiver, exposures=None):
+        """Uncalibrated, noise-free success probability of one stage.
+
+        ``exposures`` (float or per-receiver array) overrides the
+        communication's static habituation count for the attention-switch
+        stage; other stages ignore it.  The multi-round engine threads the
+        evolving per-receiver exposure state through here.
+        """
         communication = self.task.communication
         if communication is None:
             raise ModelError("task has no communication; stages do not apply")
         if stage is Stage.ATTENTION_SWITCH:
             return probabilities.attention_switch_probability(
-                communication, self.environment, receiver
+                communication, self.environment, receiver, exposures=exposures
             )
         if stage is Stage.ATTENTION_MAINTENANCE:
             return probabilities.attention_maintenance_probability(
@@ -214,14 +220,15 @@ class PipelinePlan:
             return probabilities.behavior_success_probability(self.task.task_design, receiver)
         raise ModelError(f"unknown stage {stage!r}")
 
-    def stage_probability(self, stage: Stage, receiver, noise=0.0):
+    def stage_probability(self, stage: Stage, receiver, noise=0.0, exposures=None):
         """Calibrated success probability of one stage, with per-user noise.
 
         The behavior stage models slips and lapses rather than perception,
         so the per-user perception noise is not applied to it (mirroring
-        the original engine).
+        the original engine).  ``exposures`` is the optional dynamic
+        habituation count (see :meth:`raw_stage_probability`).
         """
-        raw = self.raw_stage_probability(stage, receiver)
+        raw = self.raw_stage_probability(stage, receiver, exposures=exposures)
         if stage is not Stage.BEHAVIOR:
             raw = probabilities.clamp_probability(raw + noise)
         if self.calibration is None:
@@ -286,14 +293,17 @@ class PipelinePlan:
     # -- scalar traversal --------------------------------------------------------
 
     def walk(self, receiver, decide: DecisionFn, noise: float = 0.0,
-             spoofed: bool = False) -> PipelineWalk:
+             spoofed: bool = False, exposures: Optional[float] = None) -> PipelineWalk:
         """Realize one receiver's pass through the pipeline.
 
         ``decide`` supplies every stochastic decision; ``noise`` is the
         receiver's pre-drawn perception noise and ``spoofed`` whether the
-        attacker already defeated the indicator.  The walk stops at the
-        first failure, mirroring the way a receiver who never notices a
-        warning can never comprehend it.
+        attacker already defeated the indicator.  ``exposures`` is this
+        receiver's current habituation exposure count (``None`` keeps the
+        communication's baked-in count) — the scalar reference mode of the
+        multi-round engine passes the per-round value here.  The walk stops
+        at the first failure, mirroring the way a receiver who never
+        notices a warning can never comprehend it.
         """
         trace = StageTrace()
 
@@ -327,7 +337,7 @@ class PipelinePlan:
 
         # -- pipeline stages -------------------------------------------------
         for stage in self.stages:
-            probability = self.stage_probability(stage, receiver, noise)
+            probability = self.stage_probability(stage, receiver, noise, exposures=exposures)
             succeeded = decide("stage", stage, probability)
             trace.record(StageOutcome(stage=stage, succeeded=succeeded, probability=probability))
             if not succeeded:

@@ -22,7 +22,6 @@ live in :mod:`repro.studies` and :mod:`repro.simulation.calibration`.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Optional
 
 import numpy as np
@@ -70,7 +69,7 @@ def clamp_probability(value):
     return np.minimum(_CEILING, np.maximum(_FLOOR, value))
 
 
-def habituation_factor(exposures: int, activeness: float) -> float:
+def habituation_factor(exposures, activeness: float):
     """Attention multiplier after repeated exposures (Section 2.3.1).
 
     Habituation decays attention exponentially with the number of prior
@@ -78,16 +77,28 @@ def habituation_factor(exposures: int, activeness: float) -> float:
     than passive indicators because they force at least a dismissal action
     each time.  The factor is bounded below so that even heavily habituated
     users occasionally notice a communication.
+
+    ``exposures`` is polymorphic like every stage function in this module:
+    a float (fractional counts arise from recovery during exposure-free
+    gaps, see :mod:`repro.simulation.habituation`) or a numpy array of
+    per-receiver counts, as the multi-round engine carries between hazard
+    encounters.  Both branches evaluate through ``np.exp`` so a scalar
+    count and the same count inside an array yield bit-identical factors
+    (the batch/reference equivalence regression relies on this).
     """
-    if exposures < 0:
-        raise ModelError("exposures must be non-negative")
     if not 0.0 <= activeness <= 1.0:
         raise ModelError("activeness must be in [0, 1]")
     # Passive indicators lose ~8% of remaining attention per exposure,
     # blocking dialogs ~2.5%.
     decay_rate = 0.08 - 0.055 * activeness
-    factor = math.exp(-decay_rate * exposures)
-    return max(0.25, factor)
+    if np.ndim(exposures) == 0:
+        if exposures < 0:
+            raise ModelError("exposures must be non-negative")
+        return max(0.25, float(np.exp(-decay_rate * float(exposures))))
+    counts = np.asarray(exposures, dtype=float)
+    if np.any(counts < 0):
+        raise ModelError("exposures must be non-negative")
+    return np.maximum(0.25, np.exp(-decay_rate * counts))
 
 
 def delivery_intact_probability(environment: Environment) -> float:
@@ -99,6 +110,7 @@ def attention_switch_probability(
     communication: Communication,
     environment: Environment,
     receiver: HumanReceiver,
+    exposures=None,
 ) -> float:
     """Probability the receiver notices the communication at all.
 
@@ -107,6 +119,11 @@ def attention_switch_probability(
     habituation.  Activeness dominates: a blocking dialog is nearly always
     noticed, a subtle chrome indicator frequently is not (user studies find
     some users have *never* noticed the SSL lock icon).
+
+    ``exposures`` overrides the communication's baked-in
+    ``habituation_exposures`` with a dynamic count — a fractional float or
+    a per-receiver array, as the multi-round engine threads between hazard
+    encounters.  ``None`` keeps the static baked-in count.
     """
     base = 0.15 + 0.8 * communication.activeness
     salience_bonus = 0.15 * communication.conspicuity
@@ -117,8 +134,10 @@ def attention_switch_probability(
         1.0 - communication.activeness
     )
     raw = base + salience_bonus + exposure_bonus - distraction_penalty
-    raw *= habituation_factor(communication.habituation_exposures, communication.activeness)
-    raw *= delivery_intact_probability(environment)
+    if exposures is None:
+        exposures = communication.habituation_exposures
+    raw = raw * habituation_factor(exposures, communication.activeness)
+    raw = raw * delivery_intact_probability(environment)
     return clamp_probability(raw)
 
 

@@ -129,6 +129,11 @@ class Experiment:
         The parameter points to run (see :meth:`from_sweep` for grids).
     n_receivers / seed / mode / batch_size:
         Simulation settings, applied to every variant.
+    rounds / recovery_rate:
+        Multi-round engine settings applied to every variant (``None``
+        keeps each variant's own bound value, or the single-shot default).
+        To *sweep* rounds or recovery, put them on a grid axis instead —
+        they are common scenario parameters.
     paths:
         Which framework readings to run per variant: ``("simulate",)``
         (default), ``("analyze",)``, or both.
@@ -150,6 +155,8 @@ class Experiment:
     task: Optional[str] = None
     batch_size: Optional[int] = None
     seed_strategy: str = "per-variant"
+    rounds: Optional[int] = None
+    recovery_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "variants", tuple(self.variants))
@@ -173,6 +180,26 @@ class Experiment:
             raise ExperimentError(
                 f"seed_strategy must be one of {SEED_STRATEGIES}, got {self.seed_strategy!r}"
             )
+        if self.rounds is not None and self.rounds < 1:
+            raise ExperimentError("rounds must be >= 1")
+        if self.recovery_rate is not None and not 0.0 <= self.recovery_rate <= 1.0:
+            raise ExperimentError("recovery_rate must be in [0, 1]")
+        # An experiment-level engine setting would silently override the
+        # same knob bound or swept per variant, leaving rows whose params
+        # contradict the realized run — reject the collision eagerly.
+        for name in ("rounds", "recovery_rate"):
+            if getattr(self, name) is None:
+                continue
+            clashing = sorted(
+                variant.resolved_label()
+                for variant in self.variants
+                if name in variant.params
+            )
+            if clashing:
+                raise ExperimentError(
+                    f"{name} is set on the experiment and bound by variants "
+                    f"{clashing}; set it in one place only"
+                )
         counts = collections.Counter(
             variant.resolved_label() for variant in self.variants
         )

@@ -41,8 +41,11 @@ class ResultRow:
     ``mode`` is ``"analytic"`` for the failure-identification walk, or the
     engine mode (``"batch"`` / ``"reference"``) for simulated rows.  For
     simulated rows the (scenario, params, task, n_receivers, seed, mode,
-    batch_size) tuple reproduces the run exactly — see
-    :func:`reproduce_row`.
+    batch_size, rounds, recovery_rate) tuple reproduces the run exactly —
+    see :func:`reproduce_row`.  ``rounds`` / ``recovery_rate`` record the
+    *realized* multi-round settings (1 / 0.0 for single-shot runs); the
+    per-round decay curve of a multi-round run lives in the ``round<k>:``
+    metrics.
     """
 
     experiment: str
@@ -57,6 +60,8 @@ class ResultRow:
     task: Optional[str] = None
     population: Optional[str] = None
     calibration_label: Optional[str] = None
+    rounds: Optional[int] = None
+    recovery_rate: Optional[float] = None
 
     @property
     def simulated(self) -> bool:
@@ -93,6 +98,10 @@ def reproduce_row(row: ResultRow) -> SimulationResult:
     overrides: Dict[str, Any] = {}
     if row.batch_size is not None:
         overrides["batch_size"] = row.batch_size
+    if row.rounds is not None:
+        overrides["rounds"] = row.rounds
+    if row.recovery_rate is not None:
+        overrides["recovery_rate"] = row.recovery_rate
     return variant.simulate(
         row.n_receivers, seed=row.seed, task=row.task, mode=row.mode, **overrides
     )

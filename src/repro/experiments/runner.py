@@ -39,6 +39,8 @@ class VariantRun:
     paths: Tuple[str, ...]
     task: Optional[str] = None
     batch_size: Optional[int] = None
+    rounds: Optional[int] = None
+    recovery_rate: Optional[float] = None
 
 
 def plan_runs(experiment: Experiment) -> List[VariantRun]:
@@ -55,17 +57,29 @@ def plan_runs(experiment: Experiment) -> List[VariantRun]:
             paths=experiment.paths,
             task=experiment.task,
             batch_size=experiment.batch_size,
+            rounds=experiment.rounds,
+            recovery_rate=experiment.recovery_rate,
         )
         for index, variant in enumerate(experiment.variants)
     ]
 
 
 def _simulation_metrics(result: SimulationResult) -> Dict[str, float]:
-    """The flat metric dictionary recorded for a simulated row."""
+    """The flat metric dictionary recorded for a simulated row.
+
+    Multi-round runs additionally record each round's headline rates under
+    ``round<k>:`` keys, so a result row carries the full decay curve.
+    """
     metrics = result.summary()
     metrics["failure_rate"] = result.failure_rate()
     for stage, fraction in result.stage_failure_fractions().items():
         metrics[f"stage_failure:{stage.value}"] = fraction
+    if result.rounds > 1:
+        for round_tally in result.round_tallies:
+            prefix = f"round{round_tally.round_index}"
+            metrics[f"{prefix}:protection_rate"] = round_tally.protection_rate()
+            metrics[f"{prefix}:heed_rate"] = round_tally.heed_rate()
+            metrics[f"{prefix}:notice_rate"] = round_tally.notice_rate()
     return metrics
 
 
@@ -101,6 +115,10 @@ def run_variant(run: VariantRun) -> List[ResultRow]:
         overrides: Dict[str, Any] = {}
         if run.batch_size is not None:
             overrides["batch_size"] = run.batch_size
+        if run.rounds is not None:
+            overrides["rounds"] = run.rounds
+        if run.recovery_rate is not None:
+            overrides["recovery_rate"] = run.recovery_rate
         result = variant.simulate(
             run.n_receivers, seed=run.seed, task=run.task, mode=run.mode, **overrides
         )
@@ -118,6 +136,8 @@ def run_variant(run: VariantRun) -> List[ResultRow]:
                 task=result.task_name,
                 population=result.population_name,
                 calibration_label=result.calibration_label,
+                rounds=result.rounds,
+                recovery_rate=result.recovery_rate,
             )
         )
     return rows

@@ -45,6 +45,8 @@ def result_row_to_dict(row) -> Dict[str, Any]:
         "task": row.task,
         "population": row.population,
         "calibration_label": row.calibration_label,
+        "rounds": row.rounds,
+        "recovery_rate": row.recovery_rate,
     }
 
 
@@ -66,6 +68,8 @@ def result_row_from_dict(payload: Dict[str, Any]):
             task=payload.get("task"),
             population=payload.get("population"),
             calibration_label=payload.get("calibration_label"),
+            rounds=payload.get("rounds"),
+            recovery_rate=payload.get("recovery_rate"),
         )
     except (KeyError, TypeError) as error:
         raise SerializationError(f"invalid result-row payload: {error}") from error

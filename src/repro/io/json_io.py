@@ -366,10 +366,12 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     """Serialize a simulation result's aggregates and run provenance.
 
     The provenance block records everything needed to reproduce the run
-    exactly: the seed, the execution mode, and the batch size (both
-    engine modes consume pre-drawn randomness chunked by ``batch_size``,
-    so all three determine the realized outcomes).  Per-receiver records
-    are derived artifacts and are not serialized.
+    exactly: the seed, the execution mode, the batch size (both engine
+    modes consume pre-drawn randomness chunked by ``batch_size``) and the
+    multi-round settings (``rounds`` / ``recovery_rate``).  Multi-round
+    runs additionally carry the per-round headline-rate series
+    (``rounds_series``).  Per-receiver records are derived artifacts and
+    are not serialized.
     """
     return {
         "task": result.task_name,
@@ -380,8 +382,11 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "batch_size": result.batch_size,
             "calibration": result.calibration_label,
             "n_receivers": result.n_receivers,
+            "rounds": result.rounds,
+            "recovery_rate": result.recovery_rate,
         },
         "metrics": result.summary(),
+        "rounds_series": result.round_summaries(),
         "outcomes": {
             outcome.value: count for outcome, count in result.outcome_counts().items()
         },

@@ -28,10 +28,17 @@ from .attacker import AttackerModel, AttackVector, no_attacker, spoofing_attacke
 from .batch import BatchOutcomes, BatchReceivers, DrawBatch
 from .calibration import StageCalibration
 from .engine import SIMULATION_MODES, HumanLoopSimulator, SimulationConfig
-from .habituation import ExposurePoint, HabituationState, simulate_exposure_series
+from .habituation import (
+    ExposurePoint,
+    HabituationState,
+    advance_exposures,
+    initial_exposures,
+    simulate_exposure_series,
+)
 from .metrics import (
     OUTCOME_ORDER,
     ReceiverRecord,
+    RoundTally,
     SimulationResult,
     SimulationTally,
     comparison_table,
@@ -66,6 +73,8 @@ __all__ = [
     "HabituationState",
     "ExposurePoint",
     "simulate_exposure_series",
+    "initial_exposures",
+    "advance_exposures",
     "SimulationConfig",
     "HumanLoopSimulator",
     "SIMULATION_MODES",
@@ -75,6 +84,7 @@ __all__ = [
     "ReceiverRecord",
     "SimulationResult",
     "SimulationTally",
+    "RoundTally",
     "OUTCOME_ORDER",
     "outcome_code",
     "comparison_table",

@@ -48,6 +48,7 @@ __all__ = [
     "DrawBatch",
     "BatchOutcomes",
     "draw_batch",
+    "redraw_decisions",
     "evaluate_batch",
     "records_from_batch",
 ]
@@ -245,6 +246,23 @@ def draw_batch(
 ) -> DrawBatch:
     """Draw the traits and decision uniforms for ``count`` receivers."""
     samples = population.sample_traits(count, rng)
+    return redraw_decisions(plan, samples, rng)
+
+
+def redraw_decisions(
+    plan: PipelinePlan,
+    samples: TraitSamples,
+    rng: SimulationRng,
+) -> DrawBatch:
+    """Fresh encounter randomness (spoof, noise, decisions) over fixed traits.
+
+    The multi-round engine keeps one trait draw per chunk and calls this
+    once per subsequent round: the *same* receivers face a new hazard
+    encounter with fresh stochastic conditions.  :func:`draw_batch` is the
+    round-zero case (traits drawn from the same stream immediately before),
+    so a single-round run consumes exactly the historical draw layout.
+    """
+    count = samples.count
     if not plan.has_communication:
         return DrawBatch(
             samples=samples,
@@ -294,8 +312,18 @@ class BatchOutcomes:
         return int(self.outcome_codes.shape[0])
 
 
-def evaluate_batch(plan: PipelinePlan, draws: DrawBatch) -> BatchOutcomes:
-    """Advance every receiver in the batch through the pipeline at once."""
+def evaluate_batch(
+    plan: PipelinePlan,
+    draws: DrawBatch,
+    exposures: Optional[np.ndarray] = None,
+) -> BatchOutcomes:
+    """Advance every receiver in the batch through the pipeline at once.
+
+    ``exposures`` is the optional per-receiver habituation exposure array
+    the multi-round engine carries between rounds; it overrides the
+    communication's baked-in count in the attention-switch stage (``None``
+    keeps the static single-shot reading).
+    """
     view = BatchReceivers(draws.samples)
     count = draws.count
 
@@ -321,7 +349,9 @@ def evaluate_batch(plan: PipelinePlan, draws: DrawBatch) -> BatchOutcomes:
     # One model call per stage covers the whole batch.
     stage_probabilities = np.empty((count, stage_count))
     for column, stage in enumerate(plan.stages):
-        stage_probabilities[:, column] = plan.stage_probability(stage, view, noise)
+        stage_probabilities[:, column] = plan.stage_probability(
+            stage, view, noise, exposures=exposures
+        )
     stage_success = draws.decisions[:, :stage_count] < stage_probabilities
 
     spoofed = draws.spoof_uniforms < plan.spoof_probability
@@ -408,11 +438,14 @@ def records_from_batch(
     outcomes: BatchOutcomes,
     draws: DrawBatch,
     start_index: int = 0,
+    round_index: int = 0,
 ) -> List[ReceiverRecord]:
     """Materialize per-receiver records (with stage traces) from a batch.
 
     The records carry the same traces, notes and flags the scalar walk
     produces, so small batch runs remain fully inspectable.
+    ``round_index`` tags each record with the hazard-encounter round it
+    belongs to (0 for single-shot runs).
     """
     plan = outcomes.plan
     population_name = draws.samples.population_name
@@ -481,6 +514,7 @@ def records_from_batch(
                 capability_failed=bool(outcomes.capability_failed[row]),
                 spoofed=bool(outcomes.spoofed[row]),
                 note=note,
+                round_index=round_index,
             )
         )
     return records

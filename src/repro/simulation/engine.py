@@ -26,6 +26,25 @@ pre-drawn randomness:
   per-stage failure counts must match the batch mode exactly (the
   equivalence regression test relies on this).
 
+**Multi-round simulation** (``rounds > 1``) advances the *same* pre-drawn
+population through repeated hazard encounters, folding the habituation
+dynamics of Section 2.3.1 into the engine: each chunk draws its traits
+once, then per round draws fresh encounter randomness
+(:func:`repro.simulation.batch.redraw_decisions`) and threads a vectorized
+per-receiver exposure array through the attention-switch stage.  Between
+rounds the array advances by the shared accounting rule of
+:func:`repro.simulation.habituation.advance_exposures` — receivers the
+communication actually reached gain one exposure, then everyone recovers
+through the exposure-free gap at ``recovery_rate`` — so notice
+probabilities decay per receiver, per round, exactly as
+:func:`repro.core.probabilities.habituation_factor` prescribes.  Round 0
+consumes the identical draw stream a single-shot run would, which keeps
+``rounds=1`` bit-identical to the single-shot engine; both execution
+modes share the exposure arrays and the per-round draw layout, so
+batch/reference equivalence holds round by round.  Aggregates stream into
+the overall :class:`~repro.simulation.metrics.SimulationTally` plus one
+:class:`~repro.simulation.metrics.RoundTally` per round.
+
 Outcome semantics mirror the case studies:
 
 * For **blocking** communications (the Firefox and active IE anti-phishing
@@ -52,9 +71,10 @@ from ..core.receiver import HumanReceiver
 from ..core.stages import Stage
 from ..core.task import HumanSecurityTask
 from . import batch as batch_module
+from . import habituation as habituation_module
 from .attacker import AttackerModel
 from .calibration import StageCalibration
-from .metrics import ReceiverRecord, SimulationResult, SimulationTally
+from .metrics import ReceiverRecord, RoundTally, SimulationResult, SimulationTally
 from .population import PopulationSpec
 from .rng import SimulationRng
 
@@ -69,9 +89,12 @@ class SimulationConfig:
     """Configuration for one simulation run.
 
     ``batch_size`` bounds the number of receivers materialized as arrays
-    at any moment; ``record_limit`` bounds the number of receivers for
-    which full per-receiver records are kept (beyond it, only the
-    streaming tally is retained).
+    at any moment; ``record_limit`` bounds the number of receiver-round
+    encounters for which full per-receiver records are kept (beyond it,
+    only the streaming tallies are retained).  ``rounds`` is the number of
+    hazard encounters each receiver faces and ``recovery_rate`` the
+    habituation recovery applied in the exposure-free gap between rounds
+    (see the module docstring).
     """
 
     n_receivers: int = 500
@@ -81,6 +104,8 @@ class SimulationConfig:
     mode: str = "batch"
     batch_size: int = 25_000
     record_limit: int = 10_000
+    rounds: int = 1
+    recovery_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_receivers < 0:
@@ -95,6 +120,10 @@ class SimulationConfig:
             raise SimulationError("batch_size must be positive")
         if self.record_limit < 0:
             raise SimulationError("record_limit must be non-negative")
+        if self.rounds < 1:
+            raise SimulationError("rounds must be >= 1")
+        if not 0.0 <= self.recovery_rate <= 1.0:
+            raise SimulationError("recovery_rate must be in [0, 1]")
 
 
 class HumanLoopSimulator:
@@ -112,6 +141,8 @@ class HumanLoopSimulator:
         n_receivers: Optional[int] = None,
         seed: Optional[int] = None,
         mode: Optional[str] = None,
+        rounds: Optional[int] = None,
+        recovery_rate: Optional[float] = None,
     ) -> SimulationResult:
         """Simulate ``n_receivers`` independent receivers encountering the task.
 
@@ -119,6 +150,12 @@ class HumanLoopSimulator:
         ("batch" or "reference"); both modes consume the same pre-drawn
         randomness chunk by chunk, so for a fixed (seed, batch_size) their
         aggregate outcomes are identical.
+
+        ``rounds`` advances the same receivers through that many hazard
+        encounters, carrying per-receiver habituation exposure state between
+        them (decayed by ``recovery_rate`` in the exposure-free gaps); see
+        the module docstring for the dynamics.  ``rounds=1`` is the
+        single-shot engine, bit for bit.
         """
         count = self.config.n_receivers if n_receivers is None else n_receivers
         if count < 0:
@@ -127,10 +164,18 @@ class HumanLoopSimulator:
         mode = self.config.mode if mode is None else mode
         if mode not in SIMULATION_MODES:
             raise SimulationError(f"mode must be one of {SIMULATION_MODES}, got {mode!r}")
+        rounds = self.config.rounds if rounds is None else rounds
+        if rounds < 1:
+            raise SimulationError("rounds must be >= 1")
+        recovery_rate = (
+            self.config.recovery_rate if recovery_rate is None else recovery_rate
+        )
+        if not 0.0 <= recovery_rate <= 1.0:
+            raise SimulationError("recovery_rate must be in [0, 1]")
 
         plan = self._plan_for(task)
         rng = SimulationRng(base_seed)
-        keep_records = mode == "reference" or count <= self.config.record_limit
+        keep_records = mode == "reference" or count * rounds <= self.config.record_limit
 
         result = SimulationResult(
             task_name=task.name,
@@ -140,26 +185,76 @@ class HumanLoopSimulator:
             tally=SimulationTally(),
             mode=mode,
             batch_size=self.config.batch_size,
+            rounds=rounds,
+            recovery_rate=recovery_rate,
+            round_tallies=[RoundTally(round_index=index) for index in range(rounds)],
         )
 
         offset = 0
         chunk_index = 0
         while offset < count:
             size = min(self.config.batch_size, count - offset)
-            draws = batch_module.draw_batch(plan, population, size, rng.spawn(chunk_index))
-            if mode == "batch":
-                outcomes = batch_module.evaluate_batch(plan, draws)
-                result.tally.add_batch(outcomes)
-                if keep_records:
-                    result.records.extend(
-                        batch_module.records_from_batch(outcomes, draws, start_index=offset)
+            chunk_rng = rng.spawn(chunk_index)
+            draws = batch_module.draw_batch(plan, population, size, chunk_rng)
+            # Single-shot runs never read the exposure state; keep that hot
+            # path allocation-free.
+            exposures = (
+                habituation_module.initial_exposures(plan.communication, size)
+                if rounds > 1
+                else None
+            )
+            for round_index in range(rounds):
+                if round_index:
+                    # Same receivers, fresh encounter randomness from a
+                    # stream derived off the chunk stream (round 0 consumed
+                    # the chunk stream itself, preserving the single-shot
+                    # draw layout exactly).
+                    draws = batch_module.redraw_decisions(
+                        plan, draws.samples, chunk_rng.spawn(round_index)
                     )
-            else:
-                for row in range(size):
-                    record = self._walk_row(plan, population, draws, row, offset + row)
-                    result.tally.add_record(record)
+                # Round 0 keeps the communication's scalar baked-in count
+                # (the single-shot reading); later rounds thread the evolved
+                # per-receiver array.
+                round_exposures = exposures if round_index else None
+                round_tally = result.round_tallies[round_index]
+                if mode == "batch":
+                    outcomes = batch_module.evaluate_batch(
+                        plan, draws, exposures=round_exposures
+                    )
+                    result.tally.add_batch(outcomes)
+                    round_tally.add_batch(outcomes)
                     if keep_records:
-                        result.records.append(record)
+                        result.records.extend(
+                            batch_module.records_from_batch(
+                                outcomes, draws, start_index=offset, round_index=round_index
+                            )
+                        )
+                else:
+                    for row in range(size):
+                        record = self._walk_row(
+                            plan,
+                            population,
+                            draws,
+                            row,
+                            offset + row,
+                            exposure=(
+                                None if round_exposures is None
+                                else float(round_exposures[row])
+                            ),
+                            round_index=round_index,
+                        )
+                        result.tally.add_record(record)
+                        round_tally.add_record(record)
+                        if keep_records:
+                            result.records.append(record)
+                if exposures is not None and round_index + 1 < rounds:
+                    # Both modes advance the shared vectorized state from the
+                    # raw draws (not realized outcomes), so the trajectories
+                    # are identical floats in either mode.
+                    delivered = draws.spoof_uniforms >= plan.spoof_probability
+                    exposures = habituation_module.advance_exposures(
+                        exposures, delivered, recovery_rate
+                    )
             offset += size
             chunk_index += 1
         return result
@@ -214,8 +309,15 @@ class HumanLoopSimulator:
         draws: "batch_module.DrawBatch",
         row: int,
         index: int,
+        exposure: Optional[float] = None,
+        round_index: int = 0,
     ) -> ReceiverRecord:
-        """Scalar reference walk of one row of a pre-drawn batch."""
+        """Scalar reference walk of one row of a pre-drawn batch.
+
+        ``exposure`` is the receiver's current habituation exposure count
+        (read from the engine's shared per-receiver array; ``None`` keeps
+        the communication's baked-in count, as in round 0).
+        """
         name = f"{population.name}-{index}"
         receiver = population.receiver_from_traits(draws.samples, row, name=name)
         columns = batch_module.decision_columns(plan)
@@ -230,11 +332,17 @@ class HumanLoopSimulator:
             column = columns[f"stage:{stage.value}" if kind == "stage" else kind]
             return bool(draws.decisions[row, column] < probability)
 
-        walk = plan.walk(receiver, decide=decide, noise=noise, spoofed=spoofed)
-        return self._record_from_walk(walk, index=index, receiver_name=name)
+        walk = plan.walk(
+            receiver, decide=decide, noise=noise, spoofed=spoofed, exposures=exposure
+        )
+        return self._record_from_walk(
+            walk, index=index, receiver_name=name, round_index=round_index
+        )
 
     @staticmethod
-    def _record_from_walk(walk, index: int, receiver_name: str) -> ReceiverRecord:
+    def _record_from_walk(
+        walk, index: int, receiver_name: str, round_index: int = 0
+    ) -> ReceiverRecord:
         return ReceiverRecord(
             index=index,
             receiver_name=receiver_name,
@@ -246,4 +354,5 @@ class HumanLoopSimulator:
             capability_failed=walk.capability_failed,
             spoofed=walk.spoofed,
             note=walk.note,
+            round_index=round_index,
         )

@@ -6,18 +6,35 @@ become more accustomed to it.  In practice this means that over time users
 may ignore security indicators that they observe frequently."
 
 The static habituation factor lives in
-:func:`repro.core.probabilities.habituation_factor`; this module adds the
-*dynamics*: a per-user :class:`HabituationState` that tracks exposures per
-communication (with recovery during exposure-free gaps) and a
-:func:`simulate_exposure_series` helper used by the active-vs-passive
-ablation benchmark to trace how notice rates decay over a sequence of
-exposures.
+:func:`repro.core.probabilities.habituation_factor`; this module owns the
+*dynamics* in two forms that share one exposure-accounting rule:
+
+* the scalar :class:`HabituationState` — per-user bookkeeping that tracks
+  (possibly fractional) exposures per communication, with partial recovery
+  of attention during exposure-free gaps — plus
+  :func:`simulate_exposure_series`, the single-receiver decay trace used by
+  the active-vs-passive ablation benchmark, and
+* the vectorized :func:`initial_exposures` / :func:`advance_exposures`
+  pair consumed by the multi-round batch engine
+  (:meth:`repro.simulation.engine.HumanLoopSimulator.simulate_task` with
+  ``rounds > 1``): a per-receiver exposure array seeded from the
+  communication's baked-in count and advanced one hazard encounter at a
+  time — receivers the communication actually reached gain one exposure,
+  then every receiver recovers through the exposure-free gap before the
+  next encounter.
+
+Exposure counts are *floats* throughout: recovery multiplies counts by
+``(1 - recovery_rate)``, so fractional counts are the normal case and flow
+unquantized into :func:`~repro.core.probabilities.habituation_factor`
+(which accepts floats and arrays alike).
 """
 
 from __future__ import annotations
 
 import dataclasses
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..core.communication import Communication
 from ..core.exceptions import SimulationError
@@ -26,7 +43,13 @@ from ..core.probabilities import attention_switch_probability, habituation_facto
 from ..core.receiver import HumanReceiver, typical_receiver
 from .rng import SimulationRng
 
-__all__ = ["HabituationState", "ExposurePoint", "simulate_exposure_series"]
+__all__ = [
+    "HabituationState",
+    "ExposurePoint",
+    "simulate_exposure_series",
+    "initial_exposures",
+    "advance_exposures",
+]
 
 
 @dataclasses.dataclass
@@ -37,6 +60,12 @@ class HabituationState:
     the partial recovery of attention after a period without exposures
     (habituation is not permanent): each recovery step removes a fraction
     of the accumulated exposures.
+
+    A communication's baked-in ``habituation_exposures`` is materialized
+    into the ``exposures`` dict on first access, so recovery treats
+    baked-in and explicitly recorded exposures uniformly — identical
+    histories recover identically whether or not an entry happened to
+    exist beforehand.
     """
 
     exposures: Dict[str, float] = dataclasses.field(default_factory=dict)
@@ -47,8 +76,15 @@ class HabituationState:
             raise SimulationError("recovery_rate must be in [0, 1]")
 
     def exposure_count(self, communication: Communication) -> float:
-        """Effective exposure count, including any baked-in prior exposures."""
-        return self.exposures.get(communication.name, float(communication.habituation_exposures))
+        """Effective exposure count, including any baked-in prior exposures.
+
+        The baked-in count is materialized into the tracked dict on first
+        access so subsequent :meth:`recover` steps decay it like any
+        recorded exposure.
+        """
+        return self.exposures.setdefault(
+            communication.name, float(communication.habituation_exposures)
+        )
 
     def record_exposure(self, communication: Communication) -> None:
         """Record one more exposure to the communication."""
@@ -64,9 +100,14 @@ class HabituationState:
             self.exposures[name] *= factor
 
     def attention_factor(self, communication: Communication) -> float:
-        """Current habituation multiplier for a communication."""
+        """Current habituation multiplier for a communication.
+
+        Fractional (post-recovery) counts flow through unquantized:
+        ``habituation_factor`` is continuous in the exposure count, so 0.6
+        and 1.4 effective exposures yield distinct factors.
+        """
         count = self.exposure_count(communication)
-        return habituation_factor(int(round(count)), communication.activeness)
+        return habituation_factor(count, communication.activeness)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,29 +125,76 @@ def simulate_exposure_series(
     receiver: Optional[HumanReceiver] = None,
     exposures: int = 20,
     rng: Optional[SimulationRng] = None,
+    recovery_rate: float = 0.0,
 ) -> List[ExposurePoint]:
     """Trace notice probability and outcomes over repeated exposures.
 
     Each exposure updates the habituation state before the next notice
     probability is computed, so the series shows the decay the paper warns
     about — and shows that the decay is much steeper for passive
-    communications than for blocking ones.
+    communications than for blocking ones.  A non-zero ``recovery_rate``
+    inserts one exposure-free recovery gap between consecutive exposures
+    (the same accounting the multi-round engine applies between rounds),
+    which leaves fractional effective counts — these feed the probability
+    model unquantized.
     """
     if exposures < 0:
         raise SimulationError("exposures must be non-negative")
     environment = environment or Environment.typical_desktop()
     receiver = receiver or typical_receiver()
     rng = rng or SimulationRng(0)
-    state = HabituationState()
+    state = HabituationState(recovery_rate=recovery_rate)
 
     series: List[ExposurePoint] = []
     for index in range(exposures):
         count = state.exposure_count(communication)
-        exposed_communication = communication.with_exposures(int(round(count)))
-        probability = attention_switch_probability(exposed_communication, environment, receiver)
+        probability = attention_switch_probability(
+            communication, environment, receiver, exposures=count
+        )
         noticed = rng.bernoulli(probability)
         series.append(
             ExposurePoint(exposure_index=index, notice_probability=probability, noticed=noticed)
         )
         state.record_exposure(communication)
+        if recovery_rate > 0.0:
+            state.recover()
     return series
+
+
+# ---------------------------------------------------------------------------
+# Vectorized exposure state (multi-round engine)
+# ---------------------------------------------------------------------------
+
+
+def initial_exposures(communication: Optional[Communication], count: int) -> Optional[np.ndarray]:
+    """Per-receiver exposure array seeded from the baked-in count.
+
+    Returns ``None`` for a task with no communication (there is nothing to
+    habituate to).
+    """
+    if communication is None:
+        return None
+    if count < 0:
+        raise SimulationError("count must be non-negative")
+    return np.full(count, float(communication.habituation_exposures))
+
+
+def advance_exposures(
+    exposures: np.ndarray,
+    delivered: np.ndarray,
+    recovery_rate: float,
+) -> np.ndarray:
+    """One engine round's exposure-state update, vectorized.
+
+    Receivers for whom the communication was actually ``delivered`` (it
+    was not replaced by an attacker's spoof) gain one exposure; then every
+    receiver recovers through the exposure-free gap before the next hazard
+    encounter.  This is exactly the scalar
+    ``state.record_exposure(...); state.recover()`` sequence of
+    :class:`HabituationState`, applied to a whole population at once:
+
+    ``e' = (e + delivered) * (1 - recovery_rate)``
+    """
+    if not 0.0 <= recovery_rate <= 1.0:
+        raise SimulationError("recovery_rate must be in [0, 1]")
+    return (exposures + np.asarray(delivered, dtype=float)) * (1.0 - recovery_rate)

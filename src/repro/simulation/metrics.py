@@ -30,6 +30,7 @@ __all__ = [
     "outcome_code",
     "ReceiverRecord",
     "SimulationTally",
+    "RoundTally",
     "SimulationResult",
     "comparison_table",
     "render_comparison_markdown",
@@ -49,7 +50,11 @@ def outcome_code(outcome: BehaviorOutcome) -> int:
 
 @dataclasses.dataclass(frozen=True)
 class ReceiverRecord:
-    """Outcome of one simulated receiver's encounter with the task."""
+    """Outcome of one simulated receiver's encounter with the task.
+
+    ``round_index`` identifies which hazard-encounter round of a
+    multi-round run the record belongs to; single-shot runs leave it 0.
+    """
 
     index: int
     receiver_name: str
@@ -61,6 +66,7 @@ class ReceiverRecord:
     capability_failed: bool = False
     spoofed: bool = False
     note: str = ""
+    round_index: int = 0
 
 
 @dataclasses.dataclass
@@ -154,6 +160,67 @@ class SimulationTally:
             if count > 0
         }
 
+    # -- rates -----------------------------------------------------------------
+    #
+    # The same headline rates SimulationResult exposes, computed directly on
+    # the tally so per-round tallies of a multi-round run can be compared
+    # without wrapping each in a result object.
+
+    def _fraction(self, count: int) -> float:
+        if self.n == 0:
+            return 0.0
+        return count / self.n
+
+    def protection_rate(self) -> float:
+        """Fraction of tallied encounters where the hazard was avoided."""
+        return self._fraction(self.protected)
+
+    def heed_rate(self) -> float:
+        """Fraction of tallied encounters completing the desired action."""
+        return self._fraction(self.outcome_counts_by_code[outcome_code(BehaviorOutcome.SUCCESS)])
+
+    def notice_rate(self) -> float:
+        """Fraction of evaluated attention-switch stages that succeeded."""
+        if self.attention_evaluated == 0:
+            return 0.0
+        return self.attention_succeeded / self.attention_evaluated
+
+    def intention_failure_rate(self) -> float:
+        return self._fraction(self.intention_failures)
+
+    def capability_failure_rate(self) -> float:
+        return self._fraction(self.capability_failures)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline rates as a flat dictionary (one row of a round series)."""
+        return {
+            "n": float(self.n),
+            "protection_rate": self.protection_rate(),
+            "heed_rate": self.heed_rate(),
+            "notice_rate": self.notice_rate(),
+            "intention_failure_rate": self.intention_failure_rate(),
+            "capability_failure_rate": self.capability_failure_rate(),
+        }
+
+
+@dataclasses.dataclass
+class RoundTally(SimulationTally):
+    """Streaming tally of one hazard-encounter round of a multi-round run.
+
+    The multi-round engine folds every chunk's round-``round_index``
+    outcomes into one of these (alongside the aggregate
+    :class:`SimulationTally` over all rounds), so per-round decay curves —
+    the habituation signature Section 2.3.1 predicts — are available
+    without keeping per-receiver records.
+    """
+
+    round_index: int = 0
+
+    def summary(self) -> Dict[str, float]:
+        row = {"round": float(self.round_index)}
+        row.update(super().summary())
+        return row
+
 
 @dataclasses.dataclass
 class SimulationResult:
@@ -171,6 +238,14 @@ class SimulationResult:
     serialized form (:func:`repro.io.simulation_result_to_dict`) carries
     them as provenance.  ``mode``/``batch_size`` stay ``None`` on
     hand-built results.
+
+    Multi-round runs (``rounds > 1``) advance the same receivers through
+    repeated hazard encounters: ``tally`` then aggregates *all*
+    receiver-round encounters, ``round_tallies`` holds the per-round
+    :class:`RoundTally` series, and ``recovery_rate`` records the
+    habituation recovery applied between rounds.  ``n_receivers`` always
+    reports unique receivers; the per-encounter denominator is
+    ``tally.n`` (= ``n_receivers * rounds``).
     """
 
     task_name: str
@@ -181,10 +256,17 @@ class SimulationResult:
     tally: Optional[SimulationTally] = None
     mode: Optional[str] = None
     batch_size: Optional[int] = None
+    rounds: int = 1
+    recovery_rate: float = 0.0
+    round_tallies: List[RoundTally] = dataclasses.field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.task_name:
             raise SimulationError("task_name must be non-empty")
+        if self.rounds < 1:
+            raise SimulationError("rounds must be >= 1")
+        if not 0.0 <= self.recovery_rate <= 1.0:
+            raise SimulationError("recovery_rate must be in [0, 1]")
 
     def _counts(self) -> SimulationTally:
         """The effective tally (explicit, or derived from the records)."""
@@ -199,25 +281,32 @@ class SimulationResult:
 
     @property
     def n_receivers(self) -> int:
+        """Unique receivers simulated (encounters divided by rounds)."""
+        total = self.tally.n if self.tally is not None else len(self.records)
+        if self.rounds > 1:
+            return total // self.rounds
+        return total
+
+    @property
+    def receiver_rounds(self) -> int:
+        """Total hazard encounters simulated (``n_receivers * rounds``)."""
         if self.tally is not None:
             return self.tally.n
         return len(self.records)
 
     def _fraction(self, count: int) -> float:
-        total = self.n_receivers
+        total = self._counts().n
         if total == 0:
             return 0.0
         return count / total
 
     def protection_rate(self) -> float:
         """Fraction of receivers for whom the hazard was avoided."""
-        return self._fraction(self._counts().protected)
+        return self._counts().protection_rate()
 
     def heed_rate(self) -> float:
         """Fraction of receivers who completed the desired action correctly."""
-        return self._fraction(self._counts().outcome_counts_by_code[
-            outcome_code(BehaviorOutcome.SUCCESS)
-        ])
+        return self._counts().heed_rate()
 
     def failure_rate(self) -> float:
         """Fraction of receivers for whom the hazard was *not* avoided."""
@@ -225,10 +314,7 @@ class SimulationResult:
 
     def notice_rate(self) -> float:
         """Fraction of receivers who passed the attention-switch stage."""
-        counts = self._counts()
-        if counts.attention_evaluated == 0:
-            return 0.0
-        return counts.attention_succeeded / counts.attention_evaluated
+        return self._counts().notice_rate()
 
     # -- breakdowns ------------------------------------------------------------
 
@@ -247,11 +333,11 @@ class SimulationResult:
 
     def intention_failure_rate(self) -> float:
         """Fraction of receivers who noticed/understood but chose not to comply."""
-        return self._fraction(self._counts().intention_failures)
+        return self._counts().intention_failure_rate()
 
     def capability_failure_rate(self) -> float:
         """Fraction of receivers who intended to comply but were not capable."""
-        return self._fraction(self._counts().capability_failures)
+        return self._counts().capability_failure_rate()
 
     def spoofed_rate(self) -> float:
         return self._fraction(self._counts().spoofed)
@@ -273,6 +359,20 @@ class SimulationResult:
             "intention_failure_rate": self.intention_failure_rate(),
             "capability_failure_rate": self.capability_failure_rate(),
         }
+
+    # -- per-round views ---------------------------------------------------------
+
+    def round_summaries(self) -> List[Dict[str, float]]:
+        """One headline-rate row per hazard-encounter round, in round order."""
+        return [tally.summary() for tally in self.round_tallies]
+
+    def round_metric(self, name: str) -> List[float]:
+        """One metric's per-round series (e.g. the notice-rate decay curve)."""
+        return [summary[name] for summary in self.round_summaries()]
+
+    def records_for_round(self, round_index: int) -> List[ReceiverRecord]:
+        """The materialized records of one round (empty beyond record_limit)."""
+        return [record for record in self.records if record.round_index == round_index]
 
 
 def comparison_table(

@@ -15,10 +15,13 @@ scenarios *bindable*:
   parameter values.
 
 Every registered scenario automatically accepts the **common** parameters
-(:func:`common_parameter_space`): population training fraction and the
-calibration's noise / intention / capability knobs.  Scenarios with a
-domain binder (passwords, anti-phishing) add their own typed parameters on
-top — see :func:`repro.systems.passwords.parameter_space`.
+(:func:`common_parameter_space`): population training fraction, the
+calibration's noise / intention / capability knobs, and the engine's
+multi-round knobs (``rounds`` / ``recovery_rate``, which become the bound
+variant's simulation defaults rather than touching the component build).
+Scenarios with a domain binder (passwords, anti-phishing) add their own
+typed parameters on top — see
+:func:`repro.systems.passwords.parameter_space`.
 
 Validation errors raise :class:`~repro.core.exceptions.ModelError`, the
 same class the registry uses for unknown scenarios, so callers of the
@@ -42,6 +45,7 @@ __all__ = [
     "ScenarioBinder",
     "common_parameter_space",
     "COMMON_PARAMETER_NAMES",
+    "SIMULATION_PARAMETER_NAMES",
     "format_params",
     "variant_label",
 ]
@@ -233,7 +237,13 @@ COMMON_PARAMETER_NAMES = (
     "user_noise_std",
     "intention_multiplier",
     "capability_multiplier",
+    "rounds",
+    "recovery_rate",
 )
+
+#: The common knobs consumed by the engine (simulation defaults of a bound
+#: variant) rather than by the component build.
+SIMULATION_PARAMETER_NAMES = ("rounds", "recovery_rate")
 
 
 def common_parameter_space() -> ParameterSpace:
@@ -279,6 +289,24 @@ def common_parameter_space() -> ParameterSpace:
                 high=10.0,
                 allow_none=True,
                 description="Calibration multiplier on the capability gate.",
+            ),
+            Parameter(
+                "rounds",
+                "int",
+                default=None,
+                low=1,
+                high=10_000,
+                allow_none=True,
+                description="Hazard encounters each simulated receiver faces.",
+            ),
+            Parameter(
+                "recovery_rate",
+                "float",
+                default=None,
+                low=0.0,
+                high=1.0,
+                allow_none=True,
+                description="Habituation recovery applied between encounter rounds.",
             ),
         ]
     )

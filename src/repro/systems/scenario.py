@@ -67,6 +67,7 @@ from . import (  # noqa: F401  (imported for their registration side effects)
 )
 from .base import builder_for
 from .parameters import (
+    SIMULATION_PARAMETER_NAMES,
     ParameterSpace,
     ScenarioBinder,
     ScenarioComponents,
@@ -168,9 +169,20 @@ class _ScenarioPaths:
         """Run the analytic failure-identification walk over the system."""
         return analyze_system(self.system())
 
+    def simulation_defaults(self) -> Dict[str, Any]:
+        """Engine config defaults this scenario carries (none for base scenarios).
+
+        Bound variants return their ``rounds`` / ``recovery_rate`` common
+        knobs here, so a variant bound for a multi-round study runs
+        multi-round through the ordinary ``simulate()`` entry point.
+        """
+        return {}
+
     def simulator(self, **config_overrides) -> HumanLoopSimulator:
         """An engine configured with this scenario's calibration."""
         config_overrides.setdefault("calibration", self.calibration())
+        for name, value in self.simulation_defaults().items():
+            config_overrides.setdefault(name, value)
         return HumanLoopSimulator(SimulationConfig(**config_overrides))
 
     def simulate(
@@ -181,10 +193,18 @@ class _ScenarioPaths:
         mode: Optional[str] = None,
         **config_overrides,
     ) -> SimulationResult:
-        """Simulate the scenario population encountering one task."""
+        """Simulate the scenario population encountering one task.
+
+        ``config_overrides`` flow into :class:`SimulationConfig` — e.g.
+        ``rounds=10, recovery_rate=0.2`` runs the multi-round engine over
+        this scenario (explicit overrides win over a bound variant's
+        ``rounds``/``recovery_rate`` knobs).
+        """
         components = self.components()
         components.system.validate()
         config_overrides.setdefault("calibration", components.calibration)
+        for name, value in self.simulation_defaults().items():
+            config_overrides.setdefault(name, value)
         simulator = HumanLoopSimulator(SimulationConfig(**config_overrides))
         return simulator.simulate_task(
             self.resolve_task(components.system, task),
@@ -307,6 +327,13 @@ class ScenarioVariant(_ScenarioPaths):
 
     def components(self) -> ScenarioComponents:
         return self.components_factory()
+
+    def simulation_defaults(self) -> Dict[str, Any]:
+        return {
+            name: self.params[name]
+            for name in SIMULATION_PARAMETER_NAMES
+            if self.params.get(name) is not None
+        }
 
     def parameter_space(self) -> ParameterSpace:
         return self.base.parameter_space()

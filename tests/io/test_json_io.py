@@ -141,6 +141,8 @@ class TestSimulationResultProvenance:
             "batch_size": 64,
             "calibration": result.calibration_label,
             "n_receivers": 120,
+            "rounds": 1,
+            "recovery_rate": 0.0,
         }
 
     def test_reference_mode_recorded(self):

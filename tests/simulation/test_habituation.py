@@ -106,11 +106,13 @@ class TestHabituationEdgeCases:
         communication = _indicator()
         state.recover(periods=5)
         assert state.exposure_count(communication) == 0
-        # Baked-in prior exposures live on the communication, not the
-        # state, so recovery periods cannot erase them either.
+        # Recovery steps that happen before the state ever sees a
+        # communication cannot touch its baked-in count: it only
+        # materializes (and starts recovering) on first access.
         seasoned = _indicator().with_exposures(10)
-        state.recover(periods=5)
-        assert state.exposure_count(seasoned) == 10
+        fresh_state = HabituationState(recovery_rate=0.5)
+        fresh_state.recover(periods=5)
+        assert fresh_state.exposure_count(seasoned) == 10
 
     def test_recover_zero_periods_changes_nothing(self):
         state = HabituationState(recovery_rate=0.5)
@@ -146,6 +148,90 @@ class TestHabituationEdgeCases:
             HabituationState(recovery_rate=-0.01)
         with pytest.raises(SimulationError):
             HabituationState(recovery_rate=1.01)
+
+    def test_recovery_uniform_for_baked_in_exposures(self):
+        """Identical histories recover identically whether the exposure
+        entry was materialized by a read or by an explicit record."""
+        seasoned = _indicator().with_exposures(8)
+        read_state = HabituationState(recovery_rate=0.5)
+        factor_state = HabituationState(recovery_rate=0.5)
+        read_state.exposure_count(seasoned)  # materializes via a read
+        factor_state.attention_factor(seasoned)  # materializes via the factor
+        read_state.recover(periods=2)
+        factor_state.recover(periods=2)
+        assert read_state.exposure_count(seasoned) == pytest.approx(2.0)
+        assert read_state.exposure_count(seasoned) == factor_state.exposure_count(seasoned)
+
+    def test_recorded_and_never_recorded_recover_identically(self):
+        """A baked-in count decays under recovery exactly like the same
+        count built from explicit records (the old fallback skipped it)."""
+        baked = _indicator().with_exposures(4)
+        recorded = Communication(
+            name="recorded-indicator",
+            comm_type=CommunicationType.STATUS_INDICATOR,
+            activeness=0.2,
+            conspicuity=0.4,
+        )
+        state = HabituationState(recovery_rate=0.5)
+        state.exposure_count(baked)
+        for _ in range(4):
+            state.record_exposure(recorded)
+        state.recover(periods=1)
+        assert state.exposure_count(baked) == state.exposure_count(recorded) == 2.0
+        assert state.attention_factor(baked) == state.attention_factor(recorded)
+
+    def test_fractional_counts_change_attention_monotonically(self):
+        """Post-recovery fractional counts must not be quantized: 0.6 and
+        1.4 effective exposures yield distinct, ordered factors."""
+        from repro.core.probabilities import habituation_factor
+
+        communication = _indicator(activeness=0.2)
+        state = HabituationState(recovery_rate=0.3)
+        factors = []
+        counts = []
+        for _ in range(6):
+            state.record_exposure(communication)
+            state.recover()
+            counts.append(state.exposure_count(communication))
+            factors.append(state.attention_factor(communication))
+        # Counts grow fractionally toward the equilibrium, factors shrink.
+        assert all(0 < c != int(c) for c in counts)
+        assert all(later < earlier for earlier, later in zip(factors, factors[1:]))
+        # And the factor is the continuous one, not the rounded-count one.
+        assert factors[0] == pytest.approx(
+            habituation_factor(counts[0], communication.activeness)
+        )
+        assert factors[0] != habituation_factor(round(counts[0]), communication.activeness)
+
+    def test_habituation_factor_polymorphic_over_arrays(self):
+        import numpy as np
+
+        from repro.core.exceptions import ModelError
+        from repro.core.probabilities import habituation_factor
+
+        counts = np.array([0.0, 0.6, 1.4, 40.0])
+        factors = habituation_factor(counts, activeness=0.2)
+        scalars = [habituation_factor(float(count), 0.2) for count in counts]
+        assert factors.shape == counts.shape
+        # Scalar and array branches agree bit for bit (the batch/reference
+        # equivalence of the multi-round engine depends on this).
+        assert list(factors) == scalars
+        assert factors[-1] == 0.25  # floor engages for heavy habituation
+        with pytest.raises(ModelError):
+            habituation_factor(np.array([1.0, -0.5]), 0.2)
+        with pytest.raises(ModelError):
+            habituation_factor(-1.0, 0.2)
+
+    def test_exposure_series_with_recovery_stays_above_plain_decay(self):
+        quiet_series = simulate_exposure_series(
+            _indicator(activeness=0.2), exposures=20, rng=SimulationRng(3)
+        )
+        rested_series = simulate_exposure_series(
+            _indicator(activeness=0.2), exposures=20, rng=SimulationRng(3), recovery_rate=0.5
+        )
+        assert (
+            rested_series[-1].notice_probability > quiet_series[-1].notice_probability
+        )
 
     def test_exposure_series_monotone_under_zero_recovery(self):
         """Without recovery periods, notice probability can only decay."""
