@@ -1,0 +1,158 @@
+"""Benchmark floor checks: fail CI when throughput regresses (ISSUE 4).
+
+Re-runs the exact workloads whose numbers are recorded in
+``BENCH_engine.json`` (single-shot engine scaling) and
+``BENCH_rounds.json`` (multi-round engine) and fails if the live
+throughput drops below **half** of the recorded value — a loose enough
+floor to ride out machine noise, tight enough to catch a hot path
+regressing by an order of magnitude.  Also runs a small-N funnel-metrics
+smoke so the trace layer stays wired end to end.
+
+The floors only engage when the live run is at the recorded scale (the
+recorded numbers are meaningless for smaller N): set ``BENCH_FLOOR_N`` /
+``BENCH_FLOOR_ROUNDS`` below the recorded scale to run everything as a
+pure smoke check (what CI does).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_floor_check.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_floor_check.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.core.stages import Stage
+from repro.systems import get_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FLOOR_FRACTION = 0.5
+N_RECEIVERS = int(os.environ.get("BENCH_FLOOR_N", "100000"))
+ROUNDS = int(os.environ.get("BENCH_FLOOR_ROUNDS", "10"))
+
+# The recorded workloads (constants mirror the recording benchmarks).
+ENGINE_SEED = 20080124
+ENGINE_TASK = "heed-ie_active-warning"
+ROUNDS_SEED = 20080326
+ROUNDS_TASK = "heed-ie_passive-warning"
+ROUNDS_RECOVERY = 0.1
+SCENARIO = "antiphishing"
+
+
+def _recorded_engine_rate() -> Optional[Tuple[int, float]]:
+    """(n_receivers, receivers_per_sec) of the recorded 100k scale point."""
+    path = REPO_ROOT / "BENCH_engine.json"
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    scales = payload.get("scales", [])
+    if not scales:
+        return None
+    top = max(scales, key=lambda row: row["n_receivers"])
+    return int(top["n_receivers"]), float(top["receivers_per_sec"])
+
+
+def _recorded_rounds_rate() -> Optional[Tuple[int, float]]:
+    """(receiver_rounds, receiver_rounds_per_sec) recorded for multi-round."""
+    path = REPO_ROOT / "BENCH_rounds.json"
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    return (
+        int(payload.get("receiver_rounds", 0)),
+        float(payload.get("receiver_rounds_per_sec", 0.0)),
+    )
+
+
+def _best_of(callable_, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_engine_scaling_floor():
+    """Single-shot throughput must stay above half the recorded rate."""
+    scenario = get_scenario(SCENARIO)
+    scenario.simulate(1_000, seed=ENGINE_SEED, task=ENGINE_TASK)  # warm-up
+    seconds = _best_of(
+        lambda: scenario.simulate(N_RECEIVERS, seed=ENGINE_SEED, task=ENGINE_TASK)
+    )
+    rate = N_RECEIVERS / seconds
+    recorded = _recorded_engine_rate()
+    print(f"\n  engine: {rate:,.0f} receivers/s (recorded: {recorded})")
+    assert rate > 0
+    if recorded is None or N_RECEIVERS < recorded[0]:
+        return  # smoke scale — the recorded number does not apply
+    floor = FLOOR_FRACTION * recorded[1]
+    assert rate >= floor, (
+        f"engine throughput {rate:,.0f} receivers/s fell below the floor "
+        f"{floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    )
+
+
+def test_multi_round_floor():
+    """Multi-round throughput must stay above half the recorded rate."""
+    scenario = get_scenario(SCENARIO)
+    scenario.simulate(
+        1_000, seed=ROUNDS_SEED, task=ROUNDS_TASK, rounds=3, recovery_rate=ROUNDS_RECOVERY
+    )  # warm-up
+    seconds = _best_of(
+        lambda: scenario.simulate(
+            N_RECEIVERS,
+            seed=ROUNDS_SEED,
+            task=ROUNDS_TASK,
+            rounds=ROUNDS,
+            recovery_rate=ROUNDS_RECOVERY,
+        )
+    )
+    receiver_rounds = N_RECEIVERS * ROUNDS
+    rate = receiver_rounds / seconds
+    recorded = _recorded_rounds_rate()
+    print(f"\n  multi-round: {rate:,.0f} receiver-rounds/s (recorded: {recorded})")
+    assert rate > 0
+    if recorded is None or receiver_rounds < recorded[0]:
+        return  # smoke scale
+    floor = FLOOR_FRACTION * recorded[1]
+    assert rate >= floor, (
+        f"multi-round throughput {rate:,.0f} receiver-rounds/s fell below the "
+        f"floor {floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    )
+
+
+def test_funnel_metrics_smoke():
+    """Small-N end-to-end smoke of the per-stage funnel metrics."""
+    result = get_scenario(SCENARIO).simulate(
+        2_000, seed=7, task=ROUNDS_TASK, rounds=3, recovery_rate=0.2
+    )
+    funnel = result.funnel
+    assert funnel is not None and funnel.n == 6_000
+    entered = list(funnel.entered)
+    assert entered == sorted(entered, reverse=True), "funnel must narrow monotonically"
+    assert funnel.survival_rate("behavior") == result.heed_rate()
+    assert 0.0 <= funnel.conditional_failure_rate(Stage.ATTENTION_SWITCH.value) <= 1.0
+    assert len(result.round_funnels) == 3
+    # The habituation signature: attention survival erodes round over round.
+    survival = result.round_funnel_metric(Stage.ATTENTION_SWITCH.value)
+    assert survival[-1] < survival[0]
+
+
+def main() -> None:
+    test_engine_scaling_floor()
+    test_multi_round_floor()
+    test_funnel_metrics_smoke()
+    print("floor checks passed")
+
+
+if __name__ == "__main__":
+    main()

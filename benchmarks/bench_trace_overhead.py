@@ -1,0 +1,168 @@
+"""Benchmark: cost of the stage-outcome trace layer (ISSUE 4).
+
+Runs the multi-round workload of ``bench_multi_round.py`` (anti-phishing
+IE passive warning, 100k receivers x 10 rounds) twice — once with the
+per-stage funnel trace disabled (``trace=False``) and once with it
+enabled — and records both throughputs plus their ratio in
+``BENCH_trace.json`` at the repository root.
+
+Acceptance criteria tracked here (asserted at full size only):
+
+* **trace-off is free**: disabling the trace must keep at least 90% of
+  the throughput recorded in ``BENCH_rounds.json`` (the engine's
+  recorded multi-round numbers) — i.e. the kernel refactor did not tax
+  the untraced hot path.
+* **trace-on is cheap**: the traced run must keep at least half of the
+  untraced throughput (in practice it keeps far more; the funnel adds a
+  handful of boolean column reductions per chunk).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_trace_overhead.py -q
+
+``BENCH_TRACE_N`` / ``BENCH_TRACE_ROUNDS`` shrink the run for CI smoke
+checks; the throughput assertions only engage at full size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.systems import get_scenario
+
+SEED = 20080326
+SCENARIO = "antiphishing"
+TASK = "heed-ie_passive-warning"
+N_RECEIVERS = int(os.environ.get("BENCH_TRACE_N", "100000"))
+ROUNDS = int(os.environ.get("BENCH_TRACE_ROUNDS", "10"))
+RECOVERY_RATE = 0.1
+ACCEPTANCE_N = 100_000
+ACCEPTANCE_ROUNDS = 10
+TRACE_OFF_FLOOR_VS_RECORDED = 0.90
+TRACE_ON_FLOOR_VS_OFF = 0.50
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_trace.json"
+ROUNDS_BASELINE = REPO_ROOT / "BENCH_rounds.json"
+
+
+def _rate(trace: bool) -> Dict[str, float]:
+    """Best-of-3 receiver-rounds/second for one trace setting."""
+    scenario = get_scenario(SCENARIO)
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        result = scenario.simulate(
+            N_RECEIVERS,
+            seed=SEED,
+            task=TASK,
+            rounds=ROUNDS,
+            recovery_rate=RECOVERY_RATE,
+            trace=trace,
+        )
+        best = min(best, time.perf_counter() - start)
+    return {
+        "seconds": round(best, 6),
+        "receiver_rounds_per_sec": round(result.receiver_rounds / best, 1),
+        "has_funnel": result.funnel is not None,
+    }
+
+
+def _recorded_rounds_rate() -> Optional[float]:
+    if not ROUNDS_BASELINE.exists():
+        return None
+    payload = json.loads(ROUNDS_BASELINE.read_text())
+    return float(payload.get("receiver_rounds_per_sec", 0.0)) or None
+
+
+def measure_trace_overhead() -> Dict[str, object]:
+    scenario = get_scenario(SCENARIO)
+    # Warm-up outside the timed region.
+    scenario.simulate(1_000, seed=SEED, task=TASK, rounds=3, recovery_rate=RECOVERY_RATE)
+
+    off = _rate(trace=False)
+    on = _rate(trace=True)
+    recorded = _recorded_rounds_rate()
+    full_size = N_RECEIVERS >= ACCEPTANCE_N and ROUNDS >= ACCEPTANCE_ROUNDS
+    on_vs_off = on["receiver_rounds_per_sec"] / off["receiver_rounds_per_sec"]
+    off_vs_recorded = (
+        off["receiver_rounds_per_sec"] / recorded if recorded else None
+    )
+    return {
+        "benchmark": "trace_overhead",
+        "scenario": SCENARIO,
+        "task": TASK,
+        "seed": SEED,
+        "n_receivers": N_RECEIVERS,
+        "rounds": ROUNDS,
+        "recovery_rate": RECOVERY_RATE,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "trace_off": off,
+        "trace_on": on,
+        "trace_on_vs_off": round(on_vs_off, 4),
+        "recorded_rounds_rate": recorded,
+        "trace_off_vs_recorded": (
+            round(off_vs_recorded, 4) if off_vs_recorded is not None else None
+        ),
+        "acceptance": {
+            "measured_at_full_size": full_size,
+            "trace_off_floor_vs_recorded": TRACE_OFF_FLOOR_VS_RECORDED,
+            "trace_on_floor_vs_off": TRACE_ON_FLOOR_VS_OFF,
+            "passed": (not full_size) or (
+                (off_vs_recorded is None or off_vs_recorded >= TRACE_OFF_FLOOR_VS_RECORDED)
+                and on_vs_off >= TRACE_ON_FLOOR_VS_OFF
+            ),
+        },
+    }
+
+
+def write_report(report: Dict[str, object]) -> Path:
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return OUTPUT
+
+
+def test_trace_overhead_writes_report():
+    report = measure_trace_overhead()
+    path = write_report(report)
+    assert path.exists()
+    assert report["trace_on"]["has_funnel"] is True
+    assert report["trace_off"]["has_funnel"] is False
+    acceptance = report["acceptance"]
+    assert acceptance["passed"], (
+        f"trace overhead out of bounds: trace-off/recorded="
+        f"{report['trace_off_vs_recorded']}, trace-on/off={report['trace_on_vs_off']}"
+    )
+
+
+def main() -> None:
+    report = measure_trace_overhead()
+    path = write_report(report)
+    print(f"wrote {path}")
+    print(
+        f"  trace off  {report['trace_off']['receiver_rounds_per_sec']:,.0f} rr/s   "
+        f"trace on  {report['trace_on']['receiver_rounds_per_sec']:,.0f} rr/s   "
+        f"(on/off {report['trace_on_vs_off']:.2f})"
+    )
+    if report["trace_off_vs_recorded"] is not None:
+        print(
+            f"  trace-off vs recorded BENCH_rounds rate: "
+            f"{report['trace_off_vs_recorded']:.2f}"
+        )
+    status = "PASS" if report["acceptance"]["passed"] else "FAIL"
+    scope = (
+        "full size"
+        if report["acceptance"]["measured_at_full_size"]
+        else "smoke size (not asserted)"
+    )
+    print(f"  acceptance ({scope}) -> {status}")
+
+
+if __name__ == "__main__":
+    main()

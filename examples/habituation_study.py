@@ -14,7 +14,12 @@ frequently".  This example shows the decay three ways:
   (``scenario.simulate(..., rounds=N, recovery_rate=r)``), whose
   per-round :class:`~repro.simulation.metrics.RoundTally` series shows the
   notice rate eroding encounter after encounter — and recovering when
-  exposure-free gaps are long enough, and
+  exposure-free gaps are long enough,
+* delivery-keyed vs **outcome-coupled** exposure accrual: §2.3.1 says
+  habituation is driven by what receivers *do* at each encounter, so
+  weighting dismissed encounters heavier than heeded ones
+  (``dismiss_weight`` / ``heed_weight``) steepens or flattens the decay
+  curve relative to the delivery-only rule, and
 * the §2.1 design advice for a few contrasting hazard profiles.
 
 Run with::
@@ -92,6 +97,55 @@ def trace_engine_rounds(
     print()
 
 
+def trace_outcome_coupled_decay(
+    n_receivers: int = 4_000, rounds: int = 8, seed: int = 7
+) -> None:
+    """Delivery-keyed vs outcome-coupled decay, for the passive IE warning.
+
+    The delivery-only rule (unit weights) habituates every receiver the
+    warning reached by one exposure per encounter.  Coupling the accrual
+    to realized outcomes — dismissed encounters weigh more, heeded ones
+    less — steepens the decay for a warning most users click through, and
+    the per-round funnel shows exactly where the extra encounters die
+    (attention-switch survival).
+    """
+    print(f"Delivery-keyed vs outcome-coupled decay ({rounds} encounters)")
+    print("-" * 60)
+    scenario = get_scenario("antiphishing")
+    studies = {
+        "delivery-only (1.0 / 1.0)": dict(dismiss_weight=1.0, heed_weight=1.0),
+        "dismissal-heavy (3.0 / 0.5)": dict(dismiss_weight=3.0, heed_weight=0.5),
+        "heed-only (0.0 / 1.0)": dict(dismiss_weight=0.0, heed_weight=1.0),
+    }
+    header = "accrual rule".ljust(34) + "".join(f" round{index}" for index in range(rounds))
+    print(header)
+    results = {}
+    for label, weights in studies.items():
+        result = scenario.simulate(
+            n_receivers,
+            seed=seed,
+            task="heed-ie_passive-warning",
+            rounds=rounds,
+            recovery_rate=0.0,
+            **weights,
+        )
+        results[label] = result
+        row = label.ljust(34)
+        for notice_rate in result.round_metric("notice_rate"):
+            row += f"{notice_rate:7.2f}"
+        print(row)
+    print()
+    print("Per-stage funnel, final round (dismissal-heavy accrual)")
+    final = results["dismissal-heavy (3.0 / 0.5)"].round_funnels[-1]
+    for funnel_row in final.survival():
+        print(
+            f"    {funnel_row['checkpoint']:<22} entered {funnel_row['entry_rate']:6.1%}  "
+            f"survived {funnel_row['survival_rate']:6.1%}  "
+            f"cond. failure {funnel_row['conditional_failure_rate']:6.1%}"
+        )
+    print()
+
+
 def show_design_advice() -> None:
     print("§2.1 design advice for contrasting hazards")
     print("-" * 60)
@@ -126,6 +180,7 @@ def show_design_advice() -> None:
 def main() -> None:
     trace_habituation()
     trace_engine_rounds()
+    trace_outcome_coupled_decay()
     show_design_advice()
 
 

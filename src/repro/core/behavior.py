@@ -28,6 +28,8 @@ from .exceptions import ModelError
 
 __all__ = [
     "BehaviorOutcome",
+    "OUTCOME_ORDER",
+    "outcome_code",
     "BehaviorFailureKind",
     "TaskDesign",
     "BehaviorAssessment",
@@ -101,6 +103,19 @@ class BehaviorOutcome(enum.Enum):
             BehaviorOutcome.SUCCESS_BUT_PREDICTABLE,
             BehaviorOutcome.FAILED_SAFE,
         )
+
+
+#: Canonical outcome order used to encode outcomes as integers wherever
+#: receivers are processed as arrays (the pipeline kernel, the batch tally).
+#: Declared here — next to the enum — so the core traversal kernel and the
+#: simulation metrics layer share one encoding by construction.
+OUTCOME_ORDER = tuple(BehaviorOutcome)
+_OUTCOME_CODES = {outcome: code for code, outcome in enumerate(OUTCOME_ORDER)}
+
+
+def outcome_code(outcome: "BehaviorOutcome") -> int:
+    """Integer code of a behavior outcome (index into :data:`OUTCOME_ORDER`)."""
+    return _OUTCOME_CODES[outcome]
 
 
 @dataclasses.dataclass(frozen=True)

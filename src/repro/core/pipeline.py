@@ -21,8 +21,18 @@ and answers every pipeline question both layers ask:
 * the outcome semantics of a failure at each point (blocking
   communications fail safe, passive ones leave the receiver exposed,
   spoofed indicators defeat the receiver outright), and
-* a scalar :meth:`PipelinePlan.walk` that realizes one receiver's pass
-  given a source of stochastic decisions.
+* **one traversal kernel** (:meth:`PipelinePlan.walk_batch`) that
+  realizes receiver passes at any width.  The kernel is polymorphic over
+  a :class:`DecisionSource`: the batch simulator feeds it a pre-drawn
+  uniform matrix (:class:`MatrixDecisions`) and whole populations advance
+  per stage; the scalar :meth:`PipelinePlan.walk` drives the *same*
+  kernel at width 1 through :class:`CallbackDecisions`, which consults a
+  lazy decision callback only for checkpoints the receiver actually
+  reaches.  Both paths therefore share stage ordering, gate sequencing,
+  and failure semantics by construction, and both emit the per-stage
+  outcome data behind the funnel metrics — as a scalar
+  :class:`~repro.core.stages.StageTrace` (via :func:`walk_from_row`) or a
+  vectorized :class:`~repro.core.stages.StageTraceBatch`.
 
 The calibration argument is duck-typed (anything that provides
 ``apply_stage`` / ``apply_intention`` / ``apply_capability`` and the
@@ -40,11 +50,18 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from . import probabilities
-from .behavior import BehaviorOutcome
+from .behavior import OUTCOME_ORDER, BehaviorOutcome, outcome_code
 from .communication import ActivenessLevel, Communication
 from .exceptions import ModelError
 from .impediments import Environment
-from .stages import STAGE_ORDER, Stage, StageOutcome, StageTrace
+from .stages import (
+    GATE_CHECKPOINTS,
+    STAGE_ORDER,
+    Stage,
+    StageOutcome,
+    StageTrace,
+    StageTraceBatch,
+)
 from .task import HumanSecurityTask
 
 __all__ = [
@@ -53,10 +70,21 @@ __all__ = [
     "failure_semantics",
     "failure_outcome",
     "failure_needs_override",
+    "decision_columns",
+    "MatrixDecisions",
+    "CallbackDecisions",
+    "BatchWalk",
     "PipelineWalk",
+    "walk_from_row",
     "PipelinePlan",
     "build_pipeline",
 ]
+
+_HAZARD_AVOIDED = np.array([outcome.hazard_avoided for outcome in OUTCOME_ORDER])
+_SUCCESS_CODE = outcome_code(BehaviorOutcome.SUCCESS)
+_FAILURE_CODE = outcome_code(BehaviorOutcome.FAILURE)
+_FAILED_SAFE_CODE = outcome_code(BehaviorOutcome.FAILED_SAFE)
+_NO_ACTION_CODE = outcome_code(BehaviorOutcome.NO_ACTION)
 
 #: Pipeline stages evaluated before the behavior stage, in order.
 PRE_BEHAVIOR_STAGES: Tuple[Stage, ...] = STAGE_ORDER[:-1]
@@ -147,6 +175,168 @@ class PipelineWalk:
 #: "self_initiated"), the stage involved (or ``None``), and the modeled
 #: success probability; returns the realized boolean.
 DecisionFn = Callable[[str, Optional[Stage], float], bool]
+
+
+def decision_columns(plan: "PipelinePlan") -> Dict[str, int]:
+    """Column index of every decision in a pre-drawn uniform matrix.
+
+    The shared draw layout both engine modes consume (one row per
+    receiver): one column per applicable pre-behavior stage in pipeline
+    order, then the override draw, the intention gate, the capability
+    gate, and the behavior stage.  A task with no communication has a
+    single column — the self-initiated-action draw.
+    """
+    if not plan.has_communication:
+        return {"self_initiated": 0}
+    columns = {f"stage:{stage.value}": index for index, stage in enumerate(plan.stages)}
+    offset = len(plan.stages)
+    columns["override"] = offset
+    columns["intention"] = offset + 1
+    columns["capability"] = offset + 2
+    columns["behavior"] = offset + 3
+    return columns
+
+
+class MatrixDecisions:
+    """Decision source backed by a pre-drawn uniform matrix.
+
+    Decisions are positional — column ``k`` of :func:`decision_columns`
+    realizes checkpoint ``k`` for every receiver at once — so the
+    ``mask`` of lanes that actually reached a checkpoint is ignored:
+    values of unreached lanes are computed and discarded, never read.
+    """
+
+    def __init__(self, decisions: np.ndarray, columns: Dict[str, int]) -> None:
+        self._decisions = decisions
+        self._columns = columns
+
+    def decide(self, kind: str, stage: Optional[Stage], probability, mask) -> np.ndarray:
+        column = self._columns[f"stage:{stage.value}" if kind == "stage" else kind]
+        return self._decisions[:, column] < probability
+
+
+class CallbackDecisions:
+    """Width-1 decision source over a lazy scalar :data:`DecisionFn`.
+
+    Consults the callback *only* when the single lane actually reached
+    the checkpoint, so callers that draw randomness on demand (e.g.
+    :meth:`repro.simulation.engine.HumanLoopSimulator.simulate_receiver`)
+    consume exactly one draw per evaluated checkpoint, in pipeline order —
+    the historical scalar-walk contract.
+    """
+
+    def __init__(self, decide: DecisionFn) -> None:
+        self._decide = decide
+
+    def decide(self, kind: str, stage: Optional[Stage], probability, mask) -> np.ndarray:
+        if not bool(np.all(mask)):
+            return np.zeros(1, dtype=bool)
+        # The modeled probability may arrive as a float or a width-1 array;
+        # the callback contract is a plain float either way.
+        return np.array([bool(self._decide(kind, stage, float(np.ravel(probability)[0])))])
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchWalk:
+    """Realized traversal of one batch as a struct of arrays.
+
+    The traversal kernel's result at any width (the scalar walk is the
+    width-1 case).  ``outcome_codes`` indexes
+    :data:`~repro.core.behavior.OUTCOME_ORDER`; ``failed_stage_index``
+    holds the :data:`~repro.core.stages.STAGE_ORDER` index of the first
+    failed stage, or ``-1``.  ``stage_probabilities`` and
+    ``stage_success`` (per applicable pre-behavior stage, in plan order)
+    are retained so per-receiver records can be materialized without
+    recomputing the model; columns past a receiver's first failure are
+    unevaluated and must not be read.  ``trace`` carries the per-receiver
+    funnel checkpoint arrays when the caller asked for them.
+    """
+
+    plan: "PipelinePlan"
+    outcome_codes: np.ndarray
+    protected: np.ndarray
+    spoofed: np.ndarray
+    intention_failed: np.ndarray
+    capability_failed: np.ndarray
+    failed_stage_index: np.ndarray
+    attention_evaluated: np.ndarray
+    attention_succeeded: np.ndarray
+    stage_probabilities: Optional[np.ndarray] = None
+    stage_success: Optional[np.ndarray] = None
+    behavior_probability: Optional[np.ndarray] = None
+    trace: Optional[StageTraceBatch] = None
+
+    @property
+    def count(self) -> int:
+        return int(self.outcome_codes.shape[0])
+
+
+def walk_from_row(outcomes: BatchWalk, row: int) -> PipelineWalk:
+    """Materialize one lane of a :class:`BatchWalk` as a scalar walk.
+
+    The single source of the scalar trace, note strings, and failure
+    flags: the scalar :meth:`PipelinePlan.walk` and the simulation
+    layer's record materialization both go through here, so the two
+    presentations cannot drift apart.
+    """
+    plan = outcomes.plan
+    outcome = OUTCOME_ORDER[int(outcomes.outcome_codes[row])]
+    trace = StageTrace()
+    failed_stage: Optional[Stage] = None
+    note = ""
+
+    if not plan.has_communication:
+        note = (
+            "self-initiated protective action (no communication)"
+            if outcome is BehaviorOutcome.SUCCESS
+            else "no communication; no protective action taken"
+        )
+    elif outcomes.spoofed[row]:
+        note = "indicator spoofed by attacker"
+    else:
+        for stage in plan.skipped:
+            trace.skip(stage)
+        for column, stage in enumerate(plan.stages):
+            succeeded = bool(outcomes.stage_success[row, column])
+            trace.record(
+                StageOutcome(
+                    stage=stage,
+                    succeeded=succeeded,
+                    probability=float(outcomes.stage_probabilities[row, column]),
+                )
+            )
+            if not succeeded:
+                failed_stage = stage
+                note = f"failed at {stage.value}"
+                break
+        else:
+            if outcomes.intention_failed[row]:
+                note = "decided not to comply"
+            elif outcomes.capability_failed[row]:
+                note = "not capable of completing the action"
+            else:
+                behavior_ok = outcome is BehaviorOutcome.SUCCESS
+                trace.record(
+                    StageOutcome(
+                        stage=Stage.BEHAVIOR,
+                        succeeded=behavior_ok,
+                        probability=float(outcomes.behavior_probability[row]),
+                    )
+                )
+                if not behavior_ok:
+                    failed_stage = Stage.BEHAVIOR
+                    note = "behavior-stage error (slip, lapse, or execution gulf)"
+
+    return PipelineWalk(
+        outcome=outcome,
+        protected=bool(outcomes.protected[row]),
+        trace=trace,
+        failed_stage=failed_stage,
+        intention_failed=bool(outcomes.intention_failed[row]),
+        capability_failed=bool(outcomes.capability_failed[row]),
+        spoofed=bool(outcomes.spoofed[row]),
+        note=note,
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -290,114 +480,311 @@ class PipelinePlan:
         ceiling = np.minimum(probabilities._CEILING, probability)
         return float(ceiling) if np.ndim(ceiling) == 0 else ceiling
 
-    # -- scalar traversal --------------------------------------------------------
+    # -- traversal kernel --------------------------------------------------------
+
+    def _slot_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Plan-constant per-slot lookup tables, built once per plan.
+
+        ``(base_codes, needs_override, slot_stage_index)`` — one entry per
+        applicable pre-behavior stage plus a sentinel slot (never read for
+        a failing receiver; it just keeps the fancy-indexing in bounds).
+        Cached on the (frozen) plan because reference mode runs the kernel
+        once per receiver per round.
+        """
+        cached = self.__dict__.get("_slot_table_cache")
+        if cached is None:
+            base_codes = np.array(
+                [
+                    outcome_code(failure_outcome(stage, self.default_safe, overrode=False))
+                    for stage in self.stages
+                ]
+                + [_SUCCESS_CODE]
+            )
+            needs_override = np.array(
+                [failure_needs_override(stage, self.default_safe) for stage in self.stages]
+                + [False]
+            )
+            slot_stage_index = np.array([stage.index for stage in self.stages] + [-1])
+            cached = (base_codes, needs_override, slot_stage_index)
+            object.__setattr__(self, "_slot_table_cache", cached)
+        return cached
+
+    def _decision_columns(self) -> Dict[str, int]:
+        """Cached :func:`decision_columns` of this plan."""
+        cached = self.__dict__.get("_decision_column_cache")
+        if cached is None:
+            cached = decision_columns(self)
+            object.__setattr__(self, "_decision_column_cache", cached)
+        return cached
+
+    def _traverse(
+        self,
+        receivers,
+        source,
+        count: int,
+        spoofed: np.ndarray,
+        noise,
+        exposures=None,
+        collect_trace: bool = False,
+    ) -> BatchWalk:
+        """The single stage-traversal kernel, at any width.
+
+        ``receivers`` is a scalar :class:`~repro.core.receiver.HumanReceiver`
+        or a batch receiver view (the probability model is polymorphic);
+        ``source`` supplies realized decisions per checkpoint (see
+        :class:`MatrixDecisions` / :class:`CallbackDecisions`); ``spoofed``
+        is the per-lane attacker mask.  The stage loop exits as soon as no
+        lane is still alive — at width 1 that reproduces the historical
+        early-exit scalar walk exactly (a receiver who never notices a
+        warning never evaluates comprehension); at width N it simply skips
+        model calls no lane would read.
+        """
+        false = np.zeros(count, dtype=bool)
+
+        if not self.has_communication:
+            ones = np.ones(count, dtype=bool)
+            acted = np.asarray(
+                source.decide(
+                    "self_initiated", None, self.self_initiated_probability(receivers), ones
+                ),
+                dtype=bool,
+            )
+            trace = None
+            if collect_trace:
+                trace = StageTraceBatch(
+                    labels=("self_initiated",),
+                    stages=(),
+                    skipped=(),
+                    entered=ones[:, None].copy(),
+                    passed=acted[:, None].copy(),
+                    spoofed=false.copy(),
+                )
+            return BatchWalk(
+                plan=self,
+                outcome_codes=np.where(acted, _SUCCESS_CODE, _NO_ACTION_CODE).astype(np.int64),
+                protected=acted.copy(),
+                spoofed=false,
+                intention_failed=false,
+                capability_failed=false,
+                failed_stage_index=np.full(count, -1),
+                attention_evaluated=false,
+                attention_succeeded=false,
+                trace=trace,
+            )
+
+        stage_count = len(self.stages)
+        live = ~spoofed
+
+        # -- pipeline stages: one model call per stage covers every lane, and
+        # the loop stops once every lane is spoofed or has already failed.
+        stage_probabilities = np.zeros((count, stage_count))
+        stage_success = np.zeros((count, stage_count), dtype=bool)
+        first_failed_slot = np.full(count, stage_count)  # sentinel: no failure
+        alive = live.copy()
+        for column, stage in enumerate(self.stages):
+            if not alive.any():
+                break
+            probability = self.stage_probability(stage, receivers, noise, exposures=exposures)
+            ok = np.asarray(
+                source.decide("stage", stage, probability, alive), dtype=bool
+            )
+            stage_probabilities[:, column] = probability
+            stage_success[:, column] = ok
+            newly_failed = alive & ~ok
+            first_failed_slot[newly_failed] = column
+            alive &= ok
+
+        base_codes, needs_override, slot_stage_index = self._slot_tables()
+
+        stage_fail = live & (first_failed_slot < stage_count)
+        override_mask = stage_fail & needs_override[first_failed_slot]
+        if override_mask.any():
+            # At width 1 the failing stage is unambiguous; pass it through so
+            # the scalar DecisionFn contract (decide("override", <failed
+            # stage>, p)) survives the kernel unification.  Wider batches
+            # have one override column for many stages, so the source gets
+            # None there (MatrixDecisions never reads it for overrides).
+            override_stage = (
+                self.stages[int(first_failed_slot[0])] if count == 1 else None
+            )
+            overrode = np.asarray(
+                source.decide(
+                    "override",
+                    override_stage,
+                    self.override_given_misunderstanding,
+                    override_mask,
+                ),
+                dtype=bool,
+            )
+        else:
+            overrode = false
+        fail_codes = np.where(
+            needs_override[first_failed_slot] & overrode,
+            _FAILURE_CODE,
+            base_codes[first_failed_slot],
+        )
+
+        # -- gates and behavior, masked to the lanes that reached them --------
+        passed_stages = live & (first_failed_slot == stage_count)
+        intention_ok = (
+            np.asarray(
+                source.decide(
+                    "intention", None, self.intention_probability(receivers, noise),
+                    passed_stages,
+                ),
+                dtype=bool,
+            )
+            if passed_stages.any()
+            else false
+        )
+        intention_failed = passed_stages & ~intention_ok
+        capability_mask = passed_stages & intention_ok
+        capability_ok = (
+            np.asarray(
+                source.decide(
+                    "capability", None, self.capability_probability(receivers),
+                    capability_mask,
+                ),
+                dtype=bool,
+            )
+            if capability_mask.any()
+            else false
+        )
+        capability_failed = capability_mask & ~capability_ok
+        behavior_mask = capability_mask & capability_ok
+        if behavior_mask.any():
+            behavior_probability = np.broadcast_to(
+                np.asarray(self.behavior_probability(receivers), dtype=float), (count,)
+            )
+            behavior_ok = np.asarray(
+                source.decide(
+                    "behavior", Stage.BEHAVIOR, behavior_probability, behavior_mask
+                ),
+                dtype=bool,
+            )
+        else:
+            behavior_probability = np.zeros(count)
+            behavior_ok = false
+        behavior_failed = behavior_mask & ~behavior_ok
+        succeeded = behavior_mask & behavior_ok
+
+        gate_fail_code = _FAILED_SAFE_CODE if self.default_safe else _FAILURE_CODE
+
+        outcome_codes = np.empty(count, dtype=np.int64)
+        outcome_codes[spoofed] = _FAILURE_CODE
+        outcome_codes[stage_fail] = fail_codes[stage_fail]
+        outcome_codes[intention_failed] = _FAILURE_CODE
+        outcome_codes[capability_failed] = gate_fail_code
+        outcome_codes[behavior_failed] = gate_fail_code
+        outcome_codes[succeeded] = _SUCCESS_CODE
+
+        failed_stage_index = np.full(count, -1)
+        failed_stage_index[stage_fail] = slot_stage_index[first_failed_slot][stage_fail]
+        failed_stage_index[behavior_failed] = Stage.BEHAVIOR.index
+
+        if Stage.ATTENTION_SWITCH in self.stages:
+            attention_column = self.stages.index(Stage.ATTENTION_SWITCH)
+            attention_evaluated = live.copy()
+            attention_succeeded = live & stage_success[:, attention_column]
+        else:  # pragma: no cover - every communication evaluates attention
+            attention_evaluated = false
+            attention_succeeded = false
+
+        trace = None
+        if collect_trace:
+            labels = tuple(stage.value for stage in self.stages) + GATE_CHECKPOINTS
+            entered = np.zeros((count, len(labels)), dtype=bool)
+            passed = np.zeros((count, len(labels)), dtype=bool)
+            for column in range(stage_count):
+                entered[:, column] = live & (first_failed_slot >= column)
+                passed[:, column] = live & (first_failed_slot > column)
+            entered[:, stage_count] = passed_stages
+            passed[:, stage_count] = capability_mask  # passed_stages & intention_ok
+            entered[:, stage_count + 1] = capability_mask
+            passed[:, stage_count + 1] = behavior_mask
+            entered[:, stage_count + 2] = behavior_mask
+            passed[:, stage_count + 2] = succeeded
+            trace = StageTraceBatch(
+                labels=labels,
+                stages=self.stages,
+                skipped=self.skipped,
+                entered=entered,
+                passed=passed,
+                spoofed=spoofed.copy(),
+            )
+
+        return BatchWalk(
+            plan=self,
+            outcome_codes=outcome_codes,
+            protected=_HAZARD_AVOIDED[outcome_codes],
+            spoofed=spoofed,
+            intention_failed=intention_failed,
+            capability_failed=capability_failed,
+            failed_stage_index=failed_stage_index,
+            attention_evaluated=attention_evaluated,
+            attention_succeeded=attention_succeeded,
+            stage_probabilities=stage_probabilities,
+            stage_success=stage_success,
+            behavior_probability=behavior_probability,
+            trace=trace,
+        )
+
+    def walk_batch(
+        self,
+        receivers,
+        decisions: np.ndarray,
+        spoofed: Optional[np.ndarray] = None,
+        noise=0.0,
+        exposures=None,
+        trace: bool = False,
+    ) -> BatchWalk:
+        """Advance a whole batch through the pipeline at once (the array walk).
+
+        ``decisions`` is a pre-drawn uniform matrix laid out by
+        :func:`decision_columns`; ``spoofed`` the per-receiver attacker
+        mask (``None`` — nobody spoofed); ``noise`` the per-receiver
+        perception noise; ``exposures`` the optional dynamic habituation
+        counts for the attention-switch stage.  ``trace=True`` additionally
+        collects the per-receiver funnel checkpoint arrays.
+        """
+        count = int(decisions.shape[0])
+        if spoofed is None:
+            spoofed = np.zeros(count, dtype=bool)
+        source = MatrixDecisions(decisions, self._decision_columns())
+        return self._traverse(
+            receivers,
+            source,
+            count,
+            np.asarray(spoofed, dtype=bool),
+            noise,
+            exposures=exposures,
+            collect_trace=trace,
+        )
 
     def walk(self, receiver, decide: DecisionFn, noise: float = 0.0,
              spoofed: bool = False, exposures: Optional[float] = None) -> PipelineWalk:
         """Realize one receiver's pass through the pipeline.
 
-        ``decide`` supplies every stochastic decision; ``noise`` is the
+        The width-1 case of the shared traversal kernel: ``decide``
+        supplies every stochastic decision (consulted lazily, only for
+        checkpoints the receiver actually reaches); ``noise`` is the
         receiver's pre-drawn perception noise and ``spoofed`` whether the
         attacker already defeated the indicator.  ``exposures`` is this
         receiver's current habituation exposure count (``None`` keeps the
-        communication's baked-in count) — the scalar reference mode of the
-        multi-round engine passes the per-round value here.  The walk stops
-        at the first failure, mirroring the way a receiver who never
-        notices a warning can never comprehend it.
+        communication's baked-in count).  The walk stops at the first
+        failure, mirroring the way a receiver who never notices a warning
+        can never comprehend it.
         """
-        trace = StageTrace()
-
-        if not self.has_communication:
-            if decide("self_initiated", None, self.self_initiated_probability(receiver)):
-                return PipelineWalk(
-                    outcome=BehaviorOutcome.SUCCESS,
-                    protected=True,
-                    trace=trace,
-                    note="self-initiated protective action (no communication)",
-                )
-            return PipelineWalk(
-                outcome=BehaviorOutcome.NO_ACTION,
-                protected=False,
-                trace=trace,
-                note="no communication; no protective action taken",
-            )
-
-        # Attacker spoofing defeats the receiver regardless of processing.
-        if spoofed:
-            return PipelineWalk(
-                outcome=BehaviorOutcome.FAILURE,
-                protected=False,
-                trace=trace,
-                spoofed=True,
-                note="indicator spoofed by attacker",
-            )
-
-        for stage in self.skipped:
-            trace.skip(stage)
-
-        # -- pipeline stages -------------------------------------------------
-        for stage in self.stages:
-            probability = self.stage_probability(stage, receiver, noise, exposures=exposures)
-            succeeded = decide("stage", stage, probability)
-            trace.record(StageOutcome(stage=stage, succeeded=succeeded, probability=probability))
-            if not succeeded:
-                overrode = False
-                if failure_needs_override(stage, self.default_safe):
-                    overrode = decide("override", stage, self.override_given_misunderstanding)
-                outcome = failure_outcome(stage, self.default_safe, overrode)
-                return PipelineWalk(
-                    outcome=outcome,
-                    protected=outcome.hazard_avoided,
-                    trace=trace,
-                    failed_stage=stage,
-                    note=f"failed at {stage.value}",
-                )
-
-        # -- intention gate ----------------------------------------------------
-        if not decide("intention", None, self.intention_probability(receiver, noise)):
-            # The receiver understood but decided not to comply: with a
-            # blocking communication this means deliberately overriding.
-            return PipelineWalk(
-                outcome=BehaviorOutcome.FAILURE,
-                protected=False,
-                trace=trace,
-                intention_failed=True,
-                note="decided not to comply",
-            )
-
-        # -- capability gate ---------------------------------------------------
-        if not decide("capability", None, self.capability_probability(receiver)):
-            outcome = (
-                BehaviorOutcome.FAILED_SAFE if self.default_safe else BehaviorOutcome.FAILURE
-            )
-            return PipelineWalk(
-                outcome=outcome,
-                protected=outcome.hazard_avoided,
-                trace=trace,
-                capability_failed=True,
-                note="not capable of completing the action",
-            )
-
-        # -- behavior stage ----------------------------------------------------
-        behavior_p = self.behavior_probability(receiver)
-        behavior_ok = decide("behavior", Stage.BEHAVIOR, behavior_p)
-        trace.record(
-            StageOutcome(stage=Stage.BEHAVIOR, succeeded=behavior_ok, probability=behavior_p)
+        result = self._traverse(
+            receiver,
+            CallbackDecisions(decide),
+            1,
+            np.array([bool(spoofed)]),
+            noise,
+            exposures=exposures,
+            collect_trace=False,
         )
-        if behavior_ok:
-            return PipelineWalk(
-                outcome=BehaviorOutcome.SUCCESS,
-                protected=True,
-                trace=trace,
-            )
-        outcome = BehaviorOutcome.FAILED_SAFE if self.default_safe else BehaviorOutcome.FAILURE
-        return PipelineWalk(
-            outcome=outcome,
-            protected=outcome.hazard_avoided,
-            trace=trace,
-            failed_stage=Stage.BEHAVIOR,
-            note="behavior-stage error (slip, lapse, or execution gulf)",
-        )
+        return walk_from_row(result, 0)
 
 
 def build_pipeline(

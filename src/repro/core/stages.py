@@ -20,6 +20,8 @@ import dataclasses
 import enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .components import Component, ComponentGroup
 from .exceptions import ModelError
 
@@ -31,7 +33,15 @@ __all__ = [
     "stages_for_group",
     "StageOutcome",
     "StageTrace",
+    "GATE_CHECKPOINTS",
+    "StageTraceBatch",
 ]
+
+#: Funnel checkpoints evaluated after the pre-behavior pipeline stages, in
+#: traversal order: the intention gate, the capability gate, and the
+#: behavior stage.  Together with the applicable pre-behavior stages these
+#: label the columns of a :class:`StageTraceBatch`.
+GATE_CHECKPOINTS: Tuple[str, ...] = ("intention", "capability", "behavior")
 
 
 class Stage(enum.Enum):
@@ -168,3 +178,58 @@ class StageTrace:
         for outcome in self.outcomes:
             probability *= outcome.probability
         return probability
+
+
+@dataclasses.dataclass(frozen=True)
+class StageTraceBatch:
+    """Per-receiver outcome arrays for every pipeline checkpoint.
+
+    The array counterpart of :class:`StageTrace`: one column per funnel
+    checkpoint — each applicable pre-behavior stage in pipeline order,
+    then the :data:`GATE_CHECKPOINTS` (intention, capability, behavior) —
+    and one row per receiver of the batch.  ``entered[i, k]`` records
+    whether receiver ``i`` actually reached checkpoint ``k`` (spoofed
+    receivers reach nothing; a receiver who fails at a stage never enters
+    the ones behind it), ``passed[i, k]`` whether they cleared it.  A task
+    with no communication traverses the single ``"self_initiated"``
+    checkpoint.
+
+    The traversal kernel emits one of these per batch; the funnel tally in
+    :mod:`repro.simulation.metrics` folds the column sums and discards the
+    arrays, so funnel analytics stay O(batch) in memory.
+    """
+
+    labels: Tuple[str, ...]
+    stages: Tuple[Stage, ...]
+    skipped: Tuple[Stage, ...]
+    entered: np.ndarray
+    passed: np.ndarray
+    spoofed: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.entered.shape != self.passed.shape:
+            raise ModelError("entered and passed must have identical shapes")
+        if self.entered.ndim != 2 or self.entered.shape[1] != len(self.labels):
+            raise ModelError(
+                f"trace arrays must be (count, {len(self.labels)}); "
+                f"got {self.entered.shape}"
+            )
+
+    @property
+    def count(self) -> int:
+        """Receivers in the batch."""
+        return int(self.entered.shape[0])
+
+    def column(self, label: str) -> int:
+        """Column index of one checkpoint label."""
+        if label not in self.labels:
+            raise ModelError(f"unknown checkpoint {label!r}; known: {list(self.labels)}")
+        return self.labels.index(label)
+
+    def entered_counts(self) -> np.ndarray:
+        """Receivers that reached each checkpoint (one int per column)."""
+        return self.entered.sum(axis=0)
+
+    def passed_counts(self) -> np.ndarray:
+        """Receivers that cleared each checkpoint (one int per column)."""
+        return self.passed.sum(axis=0)

@@ -129,11 +129,14 @@ class Experiment:
         The parameter points to run (see :meth:`from_sweep` for grids).
     n_receivers / seed / mode / batch_size:
         Simulation settings, applied to every variant.
-    rounds / recovery_rate:
-        Multi-round engine settings applied to every variant (``None``
-        keeps each variant's own bound value, or the single-shot default).
-        To *sweep* rounds or recovery, put them on a grid axis instead —
-        they are common scenario parameters.
+    rounds / recovery_rate / dismiss_weight / heed_weight / trace:
+        Engine settings applied to every variant (``None`` keeps each
+        variant's own bound value, or the engine default).  The weights
+        couple habituation accrual to realized outcomes (see
+        :func:`repro.simulation.habituation.advance_exposures`); ``trace``
+        toggles the per-stage funnel tallies.  To *sweep* any of them,
+        put them on a grid axis instead — they are common scenario
+        parameters.
     paths:
         Which framework readings to run per variant: ``("simulate",)``
         (default), ``("analyze",)``, or both.
@@ -157,6 +160,9 @@ class Experiment:
     seed_strategy: str = "per-variant"
     rounds: Optional[int] = None
     recovery_rate: Optional[float] = None
+    dismiss_weight: Optional[float] = None
+    heed_weight: Optional[float] = None
+    trace: Optional[bool] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "variants", tuple(self.variants))
@@ -184,10 +190,14 @@ class Experiment:
             raise ExperimentError("rounds must be >= 1")
         if self.recovery_rate is not None and not 0.0 <= self.recovery_rate <= 1.0:
             raise ExperimentError("recovery_rate must be in [0, 1]")
+        for name in ("dismiss_weight", "heed_weight"):
+            value = getattr(self, name)
+            if value is not None and value < 0.0:
+                raise ExperimentError(f"{name} must be non-negative")
         # An experiment-level engine setting would silently override the
         # same knob bound or swept per variant, leaving rows whose params
         # contradict the realized run — reject the collision eagerly.
-        for name in ("rounds", "recovery_rate"):
+        for name in ("rounds", "recovery_rate", "dismiss_weight", "heed_weight", "trace"):
             if getattr(self, name) is None:
                 continue
             clashing = sorted(

@@ -41,11 +41,13 @@ class ResultRow:
     ``mode`` is ``"analytic"`` for the failure-identification walk, or the
     engine mode (``"batch"`` / ``"reference"``) for simulated rows.  For
     simulated rows the (scenario, params, task, n_receivers, seed, mode,
-    batch_size, rounds, recovery_rate) tuple reproduces the run exactly —
-    see :func:`reproduce_row`.  ``rounds`` / ``recovery_rate`` record the
-    *realized* multi-round settings (1 / 0.0 for single-shot runs); the
-    per-round decay curve of a multi-round run lives in the ``round<k>:``
-    metrics.
+    batch_size, rounds, recovery_rate, dismiss_weight, heed_weight) tuple
+    reproduces the run exactly — see :func:`reproduce_row`.  ``rounds`` /
+    ``recovery_rate`` / ``dismiss_weight`` / ``heed_weight`` record the
+    *realized* engine settings (1 / 0.0 / 1.0 / 1.0 for single-shot,
+    delivery-only runs); the per-round decay curve of a multi-round run
+    lives in the ``round<k>:`` metrics and the per-stage funnel in the
+    ``funnel:<checkpoint>:`` metrics.
     """
 
     experiment: str
@@ -62,6 +64,8 @@ class ResultRow:
     calibration_label: Optional[str] = None
     rounds: Optional[int] = None
     recovery_rate: Optional[float] = None
+    dismiss_weight: Optional[float] = None
+    heed_weight: Optional[float] = None
 
     @property
     def simulated(self) -> bool:
@@ -96,12 +100,10 @@ def reproduce_row(row: ResultRow) -> SimulationResult:
         raise ExperimentError(f"row {row.variant!r} lacks seed/n_receivers provenance")
     variant = get_scenario(row.scenario).bind(**dict(row.params))
     overrides: Dict[str, Any] = {}
-    if row.batch_size is not None:
-        overrides["batch_size"] = row.batch_size
-    if row.rounds is not None:
-        overrides["rounds"] = row.rounds
-    if row.recovery_rate is not None:
-        overrides["recovery_rate"] = row.recovery_rate
+    for name in ("batch_size", "rounds", "recovery_rate", "dismiss_weight", "heed_weight"):
+        value = getattr(row, name)
+        if value is not None:
+            overrides[name] = value
     return variant.simulate(
         row.n_receivers, seed=row.seed, task=row.task, mode=row.mode, **overrides
     )

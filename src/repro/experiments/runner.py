@@ -41,6 +41,9 @@ class VariantRun:
     batch_size: Optional[int] = None
     rounds: Optional[int] = None
     recovery_rate: Optional[float] = None
+    dismiss_weight: Optional[float] = None
+    heed_weight: Optional[float] = None
+    trace: Optional[bool] = None
 
 
 def plan_runs(experiment: Experiment) -> List[VariantRun]:
@@ -59,6 +62,9 @@ def plan_runs(experiment: Experiment) -> List[VariantRun]:
             batch_size=experiment.batch_size,
             rounds=experiment.rounds,
             recovery_rate=experiment.recovery_rate,
+            dismiss_weight=experiment.dismiss_weight,
+            heed_weight=experiment.heed_weight,
+            trace=experiment.trace,
         )
         for index, variant in enumerate(experiment.variants)
     ]
@@ -69,11 +75,16 @@ def _simulation_metrics(result: SimulationResult) -> Dict[str, float]:
 
     Multi-round runs additionally record each round's headline rates under
     ``round<k>:`` keys, so a result row carries the full decay curve.
+    Runs with tracing enabled carry the per-stage funnel under
+    ``funnel:<checkpoint>:`` keys (survival and conditional-failure rates
+    per pipeline checkpoint).
     """
     metrics = result.summary()
     metrics["failure_rate"] = result.failure_rate()
     for stage, fraction in result.stage_failure_fractions().items():
         metrics[f"stage_failure:{stage.value}"] = fraction
+    if result.funnel is not None:
+        metrics.update(result.funnel.summary())
     if result.rounds > 1:
         for round_tally in result.round_tallies:
             prefix = f"round{round_tally.round_index}"
@@ -113,12 +124,11 @@ def run_variant(run: VariantRun) -> List[ResultRow]:
 
     if "simulate" in run.paths:
         overrides: Dict[str, Any] = {}
-        if run.batch_size is not None:
-            overrides["batch_size"] = run.batch_size
-        if run.rounds is not None:
-            overrides["rounds"] = run.rounds
-        if run.recovery_rate is not None:
-            overrides["recovery_rate"] = run.recovery_rate
+        for name in ("batch_size", "rounds", "recovery_rate", "dismiss_weight",
+                     "heed_weight", "trace"):
+            value = getattr(run, name)
+            if value is not None:
+                overrides[name] = value
         result = variant.simulate(
             run.n_receivers, seed=run.seed, task=run.task, mode=run.mode, **overrides
         )
@@ -138,6 +148,8 @@ def run_variant(run: VariantRun) -> List[ResultRow]:
                 calibration_label=result.calibration_label,
                 rounds=result.rounds,
                 recovery_rate=result.recovery_rate,
+                dismiss_weight=result.dismiss_weight,
+                heed_weight=result.heed_weight,
             )
         )
     return rows

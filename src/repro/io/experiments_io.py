@@ -47,6 +47,8 @@ def result_row_to_dict(row) -> Dict[str, Any]:
         "calibration_label": row.calibration_label,
         "rounds": row.rounds,
         "recovery_rate": row.recovery_rate,
+        "dismiss_weight": row.dismiss_weight,
+        "heed_weight": row.heed_weight,
     }
 
 
@@ -70,6 +72,8 @@ def result_row_from_dict(payload: Dict[str, Any]):
             calibration_label=payload.get("calibration_label"),
             rounds=payload.get("rounds"),
             recovery_rate=payload.get("recovery_rate"),
+            dismiss_weight=payload.get("dismiss_weight"),
+            heed_weight=payload.get("heed_weight"),
         )
     except (KeyError, TypeError) as error:
         raise SerializationError(f"invalid result-row payload: {error}") from error

@@ -367,13 +367,16 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
 
     The provenance block records everything needed to reproduce the run
     exactly: the seed, the execution mode, the batch size (both engine
-    modes consume pre-drawn randomness chunked by ``batch_size``) and the
-    multi-round settings (``rounds`` / ``recovery_rate``).  Multi-round
+    modes consume pre-drawn randomness chunked by ``batch_size``), the
+    multi-round settings (``rounds`` / ``recovery_rate``) and the
+    outcome-coupled habituation weights (``dismiss_weight`` /
+    ``heed_weight``; 1.0/1.0 is the delivery-only rule).  Multi-round
     runs additionally carry the per-round headline-rate series
-    (``rounds_series``).  Per-receiver records are derived artifacts and
-    are not serialized.
+    (``rounds_series``); runs with tracing enabled carry the per-stage
+    funnel (aggregate plus one entry per round).  Per-receiver records
+    are derived artifacts and are not serialized.
     """
-    return {
+    payload = {
         "task": result.task_name,
         "population": result.population_name,
         "provenance": {
@@ -384,6 +387,9 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "n_receivers": result.n_receivers,
             "rounds": result.rounds,
             "recovery_rate": result.recovery_rate,
+            "dismiss_weight": result.dismiss_weight,
+            "heed_weight": result.heed_weight,
+            "trace": result.funnel is not None,
         },
         "metrics": result.summary(),
         "rounds_series": result.round_summaries(),
@@ -395,6 +401,10 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             for stage, count in result.stage_failure_counts().items()
         },
     }
+    if result.funnel is not None:
+        payload["funnel"] = result.funnel.to_dict()
+        payload["round_funnels"] = [funnel.to_dict() for funnel in result.round_funnels]
+    return payload
 
 
 # ---------------------------------------------------------------------------

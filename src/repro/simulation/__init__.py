@@ -8,15 +8,17 @@ framework pipeline (see DESIGN.md for the substitution rationale).
 Layering (shared with the analytic path in :mod:`repro.core`):
 
 * :mod:`repro.core.pipeline` owns the stage pipeline itself — applicable
-  stages, gate ordering, failure-outcome semantics, and the scalar walk.
+  stages, gate ordering, failure-outcome semantics, and the single
+  traversal kernel both execution modes (and the scalar walk) drive.
 * :mod:`repro.simulation.population` describes receiver populations and
   samples them either one receiver at a time or as trait arrays.
 * :mod:`repro.simulation.batch` advances whole trait batches through the
   pipeline vectorized (one model call per stage per batch).
 * :mod:`repro.simulation.engine` orchestrates both execution modes —
-  ``"batch"`` for population-scale runs and the scalar ``"reference"``
-  walk kept as the executable specification — over identical pre-drawn
-  randomness.
+  ``"batch"`` for population-scale runs and ``"reference"`` (the same
+  kernel at width 1, each receiver in isolation) — over identical
+  pre-drawn randomness, with per-stage funnel tallies and
+  outcome-coupled habituation threaded through multi-round runs.
 * :mod:`repro.simulation.metrics` accumulates streaming tallies so memory
   stays O(batch) rather than O(population).
 
@@ -37,6 +39,7 @@ from .habituation import (
 )
 from .metrics import (
     OUTCOME_ORDER,
+    FunnelTally,
     ReceiverRecord,
     RoundTally,
     SimulationResult,
@@ -85,6 +88,7 @@ __all__ = [
     "SimulationResult",
     "SimulationTally",
     "RoundTally",
+    "FunnelTally",
     "OUTCOME_ORDER",
     "outcome_code",
     "comparison_table",

@@ -1,31 +1,24 @@
-"""Vectorized batch evaluation of the stage pipeline.
+"""Batch draws and the simulation-side adapters of the traversal kernel.
 
-The scalar engine walks one receiver at a time through
-:meth:`repro.core.pipeline.PipelinePlan.walk`; this module advances a whole
-batch of receivers at once.  The trick is that the probability model in
-:mod:`repro.core.probabilities` is polymorphic: every stage function
-accepts either a :class:`~repro.core.receiver.HumanReceiver` or a
-:class:`BatchReceivers` view whose trait attributes are numpy arrays.  One
-call per stage therefore yields the success probability of *every*
-receiver in the batch, and one uniform matrix drawn up front supplies
-every stochastic decision.
+The stage traversal itself lives in :mod:`repro.core.pipeline`: one kernel
+(:meth:`~repro.core.pipeline.PipelinePlan.walk_batch`) advances receivers
+at any width.  This module owns the *simulation-side* pieces the kernel is
+fed with:
 
-The draw layout is shared with the engine's scalar ``reference`` mode (see
-:func:`draw_batch`), which interprets the same matrices row by row through
-the scalar walk — that is what makes the batch/reference equivalence
-regression test exact rather than statistical.
+* :class:`BatchReceivers` — a whole batch of sampled receivers behind the
+  :class:`~repro.core.receiver.HumanReceiver` attribute tree, with numpy
+  arrays in place of floats (the probability model in
+  :mod:`repro.core.probabilities` is polymorphic over both),
+* :class:`DrawBatch` / :func:`draw_batch` / :func:`redraw_decisions` — all
+  randomness for one batch, drawn up front in the fixed layout of
+  :func:`repro.core.pipeline.decision_columns`, and
+* :func:`evaluate_batch` / :func:`records_from_batch` — thin adapters that
+  run the kernel over a draw batch and materialize per-receiver records.
 
-Column layout of the decision matrix (one row per receiver):
-
-* columns ``0..K-1`` — one per applicable pre-behavior stage, in pipeline
-  order;
-* column ``K`` — the override draw consulted when a blocking
-  communication's processing stages fail;
-* columns ``K+1 .. K+3`` — the intention gate, capability gate, and
-  behavior stage.
-
-For a task with no communication the matrix has a single column: the
-self-initiated-action draw.
+The draw layout is shared with the engine's ``reference`` mode, which runs
+the *same* kernel one row at a time (width 1) over row slices of the same
+matrices (:meth:`DrawBatch.row`) — that is what makes the batch/reference
+equivalence regression test exact rather than statistical.
 """
 
 from __future__ import annotations
@@ -36,10 +29,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import receiver as receiver_model
-from ..core.behavior import BehaviorOutcome
-from ..core.pipeline import PipelinePlan, failure_needs_override, failure_outcome
-from ..core.stages import Stage, StageOutcome, StageTrace
-from .metrics import OUTCOME_ORDER, ReceiverRecord, outcome_code
+from ..core.pipeline import BatchWalk, PipelinePlan, decision_columns, walk_from_row
+from .metrics import ReceiverRecord
 from .population import PopulationSpec, TraitSamples
 from .rng import SimulationRng
 
@@ -47,17 +38,16 @@ __all__ = [
     "BatchReceivers",
     "DrawBatch",
     "BatchOutcomes",
+    "decision_columns",
     "draw_batch",
     "redraw_decisions",
     "evaluate_batch",
     "records_from_batch",
 ]
 
-_HAZARD_AVOIDED = np.array([outcome.hazard_avoided for outcome in OUTCOME_ORDER])
-_SUCCESS_CODE = outcome_code(BehaviorOutcome.SUCCESS)
-_FAILURE_CODE = outcome_code(BehaviorOutcome.FAILURE)
-_FAILED_SAFE_CODE = outcome_code(BehaviorOutcome.FAILED_SAFE)
-_NO_ACTION_CODE = outcome_code(BehaviorOutcome.NO_ACTION)
+#: Backwards-compatible alias: the realized traversal of one batch is now
+#: the kernel's own result type.
+BatchOutcomes = BatchWalk
 
 
 # ---------------------------------------------------------------------------
@@ -224,18 +214,31 @@ class DrawBatch:
     def count(self) -> int:
         return self.samples.count
 
+    def row(self, index: int) -> "DrawBatch":
+        """A width-1 view of one receiver's draws (same layout, same floats).
 
-def decision_columns(plan: PipelinePlan) -> Dict[str, int]:
-    """Column index of every decision in the draw matrix (see module doc)."""
-    if not plan.has_communication:
-        return {"self_initiated": 0}
-    columns = {f"stage:{stage.value}": index for index, stage in enumerate(plan.stages)}
-    offset = len(plan.stages)
-    columns["override"] = offset
-    columns["intention"] = offset + 1
-    columns["capability"] = offset + 2
-    columns["behavior"] = offset + 3
-    return columns
+        The engine's reference mode interprets a chunk row by row through
+        the shared traversal kernel; slicing (rather than copying scalars
+        out) keeps every value bit-identical to what the full-width batch
+        evaluation reads.
+        """
+        samples = self.samples
+        sliced = TraitSamples(
+            population_name=samples.population_name,
+            traits={name: values[index : index + 1] for name, values in samples.traits.items()},
+            ages=samples.ages[index : index + 1],
+            trained=samples.trained[index : index + 1],
+        )
+        return DrawBatch(
+            samples=sliced,
+            spoof_uniforms=(
+                None
+                if self.spoof_uniforms is None
+                else self.spoof_uniforms[index : index + 1]
+            ),
+            noise=self.noise[index : index + 1],
+            decisions=self.decisions[index : index + 1, :],
+        )
 
 
 def draw_batch(
@@ -279,153 +282,38 @@ def redraw_decisions(
 
 
 # ---------------------------------------------------------------------------
-# Vectorized evaluation
+# Kernel adapters
 # ---------------------------------------------------------------------------
-
-
-@dataclasses.dataclass(frozen=True)
-class BatchOutcomes:
-    """Realized outcomes of one batch as a struct of arrays.
-
-    ``failed_stage_index`` holds the :data:`~repro.core.stages.STAGE_ORDER`
-    index of the first failed stage, or ``-1``; ``stage_probabilities`` and
-    ``stage_success`` (per applicable pre-behavior stage, in plan order) are
-    retained so per-receiver records can be materialized without
-    recomputing the model.
-    """
-
-    plan: PipelinePlan
-    outcome_codes: np.ndarray
-    protected: np.ndarray
-    spoofed: np.ndarray
-    intention_failed: np.ndarray
-    capability_failed: np.ndarray
-    failed_stage_index: np.ndarray
-    attention_evaluated: np.ndarray
-    attention_succeeded: np.ndarray
-    stage_probabilities: Optional[np.ndarray] = None
-    stage_success: Optional[np.ndarray] = None
-    behavior_probability: Optional[np.ndarray] = None
-
-    @property
-    def count(self) -> int:
-        return int(self.outcome_codes.shape[0])
 
 
 def evaluate_batch(
     plan: PipelinePlan,
     draws: DrawBatch,
     exposures: Optional[np.ndarray] = None,
+    trace: bool = False,
 ) -> BatchOutcomes:
     """Advance every receiver in the batch through the pipeline at once.
 
-    ``exposures`` is the optional per-receiver habituation exposure array
-    the multi-round engine carries between rounds; it overrides the
-    communication's baked-in count in the attention-switch stage (``None``
-    keeps the static single-shot reading).
+    A thin adapter over the shared traversal kernel
+    (:meth:`~repro.core.pipeline.PipelinePlan.walk_batch`): builds the
+    batch receiver view, derives the spoof mask from the pre-drawn
+    uniforms, and hands both to the kernel.  ``exposures`` is the optional
+    per-receiver habituation exposure array the multi-round engine carries
+    between rounds (``None`` keeps the communication's static single-shot
+    reading); ``trace=True`` additionally collects the per-receiver
+    :class:`~repro.core.stages.StageTraceBatch` funnel arrays.
     """
     view = BatchReceivers(draws.samples)
-    count = draws.count
-
     if not plan.has_communication:
-        acted = draws.decisions[:, 0] < plan.self_initiated_probability(view)
-        outcome_codes = np.where(acted, _SUCCESS_CODE, _NO_ACTION_CODE)
-        false_array = np.zeros(count, dtype=bool)
-        return BatchOutcomes(
-            plan=plan,
-            outcome_codes=outcome_codes,
-            protected=acted.copy(),
-            spoofed=false_array,
-            intention_failed=false_array,
-            capability_failed=false_array,
-            failed_stage_index=np.full(count, -1),
-            attention_evaluated=false_array,
-            attention_succeeded=false_array,
-        )
-
-    stage_count = len(plan.stages)
-    noise = draws.noise
-
-    # One model call per stage covers the whole batch.
-    stage_probabilities = np.empty((count, stage_count))
-    for column, stage in enumerate(plan.stages):
-        stage_probabilities[:, column] = plan.stage_probability(
-            stage, view, noise, exposures=exposures
-        )
-    stage_success = draws.decisions[:, :stage_count] < stage_probabilities
-
+        return plan.walk_batch(view, draws.decisions, trace=trace)
     spoofed = draws.spoof_uniforms < plan.spoof_probability
-    live = ~spoofed
-
-    failed = ~stage_success
-    any_stage_failed = failed.any(axis=1)
-    # Slot K is a sentinel for "no stage failed".
-    first_failed_slot = np.where(any_stage_failed, failed.argmax(axis=1), stage_count)
-
-    override_draw = draws.decisions[:, stage_count] < plan.override_given_misunderstanding
-    intention_ok = draws.decisions[:, stage_count + 1] < plan.intention_probability(view, noise)
-    capability_ok = draws.decisions[:, stage_count + 2] < plan.capability_probability(view)
-    behavior_probability = plan.behavior_probability(view)
-    behavior_ok = draws.decisions[:, stage_count + 3] < behavior_probability
-
-    # Per-slot outcome lookup tables (the sentinel slot is never read for a
-    # failing receiver; it just keeps the fancy-indexing in bounds).
-    base_codes = np.array(
-        [
-            outcome_code(failure_outcome(stage, plan.default_safe, overrode=False))
-            for stage in plan.stages
-        ]
-        + [_SUCCESS_CODE]
-    )
-    needs_override = np.array(
-        [failure_needs_override(stage, plan.default_safe) for stage in plan.stages] + [False]
-    )
-    slot_stage_index = np.array([stage.index for stage in plan.stages] + [-1])
-
-    stage_fail = live & any_stage_failed
-    fail_codes = np.where(
-        needs_override[first_failed_slot] & override_draw,
-        _FAILURE_CODE,
-        base_codes[first_failed_slot],
-    )
-
-    passed_stages = live & ~any_stage_failed
-    intention_failed = passed_stages & ~intention_ok
-    capability_failed = passed_stages & intention_ok & ~capability_ok
-    behavior_failed = passed_stages & intention_ok & capability_ok & ~behavior_ok
-    succeeded = passed_stages & intention_ok & capability_ok & behavior_ok
-
-    gate_fail_code = _FAILED_SAFE_CODE if plan.default_safe else _FAILURE_CODE
-
-    outcome_codes = np.empty(count, dtype=np.int64)
-    outcome_codes[spoofed] = _FAILURE_CODE
-    outcome_codes[stage_fail] = fail_codes[stage_fail]
-    outcome_codes[intention_failed] = _FAILURE_CODE
-    outcome_codes[capability_failed] = gate_fail_code
-    outcome_codes[behavior_failed] = gate_fail_code
-    outcome_codes[succeeded] = _SUCCESS_CODE
-
-    failed_stage_index = np.full(count, -1)
-    failed_stage_index[stage_fail] = slot_stage_index[first_failed_slot][stage_fail]
-    failed_stage_index[behavior_failed] = Stage.BEHAVIOR.index
-
-    attention_column = plan.stages.index(Stage.ATTENTION_SWITCH)
-    attention_evaluated = live.copy()
-    attention_succeeded = live & stage_success[:, attention_column]
-
-    return BatchOutcomes(
-        plan=plan,
-        outcome_codes=outcome_codes,
-        protected=_HAZARD_AVOIDED[outcome_codes],
+    return plan.walk_batch(
+        view,
+        draws.decisions,
         spoofed=spoofed,
-        intention_failed=intention_failed,
-        capability_failed=capability_failed,
-        failed_stage_index=failed_stage_index,
-        attention_evaluated=attention_evaluated,
-        attention_succeeded=attention_succeeded,
-        stage_probabilities=stage_probabilities,
-        stage_success=stage_success,
-        behavior_probability=behavior_probability,
+        noise=draws.noise,
+        exposures=exposures,
+        trace=trace,
     )
 
 
@@ -442,78 +330,29 @@ def records_from_batch(
 ) -> List[ReceiverRecord]:
     """Materialize per-receiver records (with stage traces) from a batch.
 
-    The records carry the same traces, notes and flags the scalar walk
-    produces, so small batch runs remain fully inspectable.
+    Each row goes through the shared scalar materializer
+    (:func:`repro.core.pipeline.walk_from_row`), so the records carry the
+    identical traces, notes and flags the width-1 kernel walk produces.
     ``round_index`` tags each record with the hazard-encounter round it
     belongs to (0 for single-shot runs).
     """
-    plan = outcomes.plan
     population_name = draws.samples.population_name
     records: List[ReceiverRecord] = []
-
     for row in range(outcomes.count):
         index = start_index + row
-        name = f"{population_name}-{index}"
-        outcome = OUTCOME_ORDER[int(outcomes.outcome_codes[row])]
-        trace = StageTrace()
-        failed_stage: Optional[Stage] = None
-        note = ""
-
-        if not plan.has_communication:
-            note = (
-                "self-initiated protective action (no communication)"
-                if outcome is BehaviorOutcome.SUCCESS
-                else "no communication; no protective action taken"
-            )
-        elif outcomes.spoofed[row]:
-            note = "indicator spoofed by attacker"
-        else:
-            for stage in plan.skipped:
-                trace.skip(stage)
-            stage_index = int(outcomes.failed_stage_index[row])
-            for column, stage in enumerate(plan.stages):
-                succeeded = bool(outcomes.stage_success[row, column])
-                trace.record(
-                    StageOutcome(
-                        stage=stage,
-                        succeeded=succeeded,
-                        probability=float(outcomes.stage_probabilities[row, column]),
-                    )
-                )
-                if not succeeded:
-                    failed_stage = stage
-                    note = f"failed at {stage.value}"
-                    break
-            else:
-                if outcomes.intention_failed[row]:
-                    note = "decided not to comply"
-                elif outcomes.capability_failed[row]:
-                    note = "not capable of completing the action"
-                else:
-                    behavior_ok = outcome is BehaviorOutcome.SUCCESS
-                    trace.record(
-                        StageOutcome(
-                            stage=Stage.BEHAVIOR,
-                            succeeded=behavior_ok,
-                            probability=float(outcomes.behavior_probability[row]),
-                        )
-                    )
-                    if not behavior_ok:
-                        failed_stage = Stage.BEHAVIOR
-                        note = "behavior-stage error (slip, lapse, or execution gulf)"
-
+        walk = walk_from_row(outcomes, row)
         records.append(
             ReceiverRecord(
                 index=index,
-                receiver_name=name,
-                trace=trace,
-                outcome=outcome,
-                protected=bool(outcomes.protected[row]),
-                failed_stage=failed_stage,
-                intention_failed=bool(outcomes.intention_failed[row]),
-                capability_failed=bool(outcomes.capability_failed[row]),
-                spoofed=bool(outcomes.spoofed[row]),
-                note=note,
+                receiver_name=f"{population_name}-{index}",
+                trace=walk.trace,
+                outcome=walk.outcome,
+                protected=walk.protected,
+                failed_stage=walk.failed_stage,
+                intention_failed=walk.intention_failed,
+                capability_failed=walk.capability_failed,
+                spoofed=walk.spoofed,
+                note=walk.note,
                 round_index=round_index,
             )
         )

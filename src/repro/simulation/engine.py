@@ -20,11 +20,13 @@ pre-drawn randomness:
   into a streaming :class:`~repro.simulation.metrics.SimulationTally`, so
   memory stays O(batch); full per-receiver records (with stage traces)
   are materialized only when the run is within ``record_limit``.
-* ``mode="reference"`` — the scalar per-receiver walk, kept as the
-  executable specification: it interprets the same draw matrices row by
-  row through :meth:`~repro.core.pipeline.PipelinePlan.walk`, so its
-  per-stage failure counts must match the batch mode exactly (the
-  equivalence regression test relies on this).
+* ``mode="reference"`` — the same traversal kernel at width 1: each row of
+  the pre-drawn matrices is sliced into a one-receiver batch
+  (:meth:`~repro.simulation.batch.DrawBatch.row`) and evaluated
+  independently, so the per-receiver outcomes must match the batch mode
+  exactly (the equivalence regression test relies on this).  The lazy
+  scalar walk survives as :meth:`HumanLoopSimulator.simulate_receiver`,
+  which drives the identical kernel through a per-decision callback.
 
 **Multi-round simulation** (``rounds > 1``) advances the *same* pre-drawn
 population through repeated hazard encounters, folding the habituation
@@ -34,16 +36,28 @@ once, then per round draws fresh encounter randomness
 per-receiver exposure array through the attention-switch stage.  Between
 rounds the array advances by the shared accounting rule of
 :func:`repro.simulation.habituation.advance_exposures` — receivers the
-communication actually reached gain one exposure, then everyone recovers
+communication actually reached accrue exposure, then everyone recovers
 through the exposure-free gap at ``recovery_rate`` — so notice
 probabilities decay per receiver, per round, exactly as
-:func:`repro.core.probabilities.habituation_factor` prescribes.  Round 0
-consumes the identical draw stream a single-shot run would, which keeps
-``rounds=1`` bit-identical to the single-shot engine; both execution
-modes share the exposure arrays and the per-round draw layout, so
-batch/reference equivalence holds round by round.  Aggregates stream into
-the overall :class:`~repro.simulation.metrics.SimulationTally` plus one
-:class:`~repro.simulation.metrics.RoundTally` per round.
+:func:`repro.core.probabilities.habituation_factor` prescribes.  The
+accrual is **outcome-coupled**: the realized outcomes of each round feed
+back into the update, so a delivered encounter weighs ``heed_weight``
+exposures when it ended with the hazard avoided and ``dismiss_weight``
+when the receiver proceeded into the hazard (see
+:func:`~repro.simulation.habituation.advance_exposures` for the exact
+split, including the blocking-warning fail-safe case).  Both weights
+default to 1.0, which reproduces the delivery-only accrual rule bit for
+bit.  Round 0 consumes the identical draw stream a single-shot run
+would, which keeps ``rounds=1`` bit-identical to the single-shot engine;
+both execution modes share the exposure arrays, the per-round draw
+layout, and the realized outcomes, so batch/reference equivalence holds
+round by round.  Aggregates stream into the overall
+:class:`~repro.simulation.metrics.SimulationTally` plus one
+:class:`~repro.simulation.metrics.RoundTally` per round; with tracing
+enabled (the default) the per-stage funnel additionally streams into a
+:class:`~repro.simulation.metrics.FunnelTally` (aggregate and per
+round), keeping per-stage survival and conditional-failure analytics
+O(batch) in memory.
 
 Outcome semantics mirror the case studies:
 
@@ -64,17 +78,24 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..core.exceptions import SimulationError
 from ..core.impediments import Environment
 from ..core.pipeline import PipelinePlan, build_pipeline
 from ..core.receiver import HumanReceiver
-from ..core.stages import Stage
 from ..core.task import HumanSecurityTask
 from . import batch as batch_module
 from . import habituation as habituation_module
 from .attacker import AttackerModel
 from .calibration import StageCalibration
-from .metrics import ReceiverRecord, RoundTally, SimulationResult, SimulationTally
+from .metrics import (
+    FunnelTally,
+    ReceiverRecord,
+    RoundTally,
+    SimulationResult,
+    SimulationTally,
+)
 from .population import PopulationSpec
 from .rng import SimulationRng
 
@@ -94,7 +115,12 @@ class SimulationConfig:
     only the streaming tallies are retained).  ``rounds`` is the number of
     hazard encounters each receiver faces and ``recovery_rate`` the
     habituation recovery applied in the exposure-free gap between rounds
-    (see the module docstring).
+    (see the module docstring).  ``dismiss_weight`` / ``heed_weight``
+    couple the exposure accrual to realized outcomes (1.0/1.0 — the
+    delivery-only rule, bit for bit); ``trace`` keeps the streaming
+    per-stage funnel tallies — worth roughly a quarter of the multi-round
+    hot path's throughput (see ``BENCH_trace.json``), so disable it for
+    throughput-critical runs that do not need funnel analytics.
     """
 
     n_receivers: int = 500
@@ -106,6 +132,9 @@ class SimulationConfig:
     record_limit: int = 10_000
     rounds: int = 1
     recovery_rate: float = 0.0
+    dismiss_weight: float = 1.0
+    heed_weight: float = 1.0
+    trace: bool = True
 
     def __post_init__(self) -> None:
         if self.n_receivers < 0:
@@ -124,6 +153,8 @@ class SimulationConfig:
             raise SimulationError("rounds must be >= 1")
         if not 0.0 <= self.recovery_rate <= 1.0:
             raise SimulationError("recovery_rate must be in [0, 1]")
+        if self.dismiss_weight < 0.0 or self.heed_weight < 0.0:
+            raise SimulationError("habituation weights must be non-negative")
 
 
 class HumanLoopSimulator:
@@ -143,6 +174,9 @@ class HumanLoopSimulator:
         mode: Optional[str] = None,
         rounds: Optional[int] = None,
         recovery_rate: Optional[float] = None,
+        dismiss_weight: Optional[float] = None,
+        heed_weight: Optional[float] = None,
+        trace: Optional[bool] = None,
     ) -> SimulationResult:
         """Simulate ``n_receivers`` independent receivers encountering the task.
 
@@ -153,9 +187,12 @@ class HumanLoopSimulator:
 
         ``rounds`` advances the same receivers through that many hazard
         encounters, carrying per-receiver habituation exposure state between
-        them (decayed by ``recovery_rate`` in the exposure-free gaps); see
-        the module docstring for the dynamics.  ``rounds=1`` is the
-        single-shot engine, bit for bit.
+        them (decayed by ``recovery_rate`` in the exposure-free gaps, with
+        the accrual of each encounter weighted by its realized outcome —
+        ``dismiss_weight`` / ``heed_weight``); see the module docstring for
+        the dynamics.  ``rounds=1`` is the single-shot engine, bit for bit,
+        and unit weights reproduce the delivery-only accrual exactly.
+        ``trace`` toggles the streaming per-stage funnel tallies.
         """
         count = self.config.n_receivers if n_receivers is None else n_receivers
         if count < 0:
@@ -172,6 +209,13 @@ class HumanLoopSimulator:
         )
         if not 0.0 <= recovery_rate <= 1.0:
             raise SimulationError("recovery_rate must be in [0, 1]")
+        dismiss_weight = (
+            self.config.dismiss_weight if dismiss_weight is None else dismiss_weight
+        )
+        heed_weight = self.config.heed_weight if heed_weight is None else heed_weight
+        if dismiss_weight < 0.0 or heed_weight < 0.0:
+            raise SimulationError("habituation weights must be non-negative")
+        want_trace = self.config.trace if trace is None else bool(trace)
 
         plan = self._plan_for(task)
         rng = SimulationRng(base_seed)
@@ -188,6 +232,10 @@ class HumanLoopSimulator:
             rounds=rounds,
             recovery_rate=recovery_rate,
             round_tallies=[RoundTally(round_index=index) for index in range(rounds)],
+            funnel=FunnelTally() if want_trace else None,
+            round_funnels=[FunnelTally() for _ in range(rounds)] if want_trace else [],
+            dismiss_weight=dismiss_weight,
+            heed_weight=heed_weight,
         )
 
         offset = 0
@@ -217,43 +265,68 @@ class HumanLoopSimulator:
                 # per-receiver array.
                 round_exposures = exposures if round_index else None
                 round_tally = result.round_tallies[round_index]
+                advancing = exposures is not None and round_index + 1 < rounds
                 if mode == "batch":
                     outcomes = batch_module.evaluate_batch(
-                        plan, draws, exposures=round_exposures
+                        plan, draws, exposures=round_exposures, trace=want_trace
                     )
                     result.tally.add_batch(outcomes)
                     round_tally.add_batch(outcomes)
+                    if want_trace:
+                        result.funnel.add_trace(outcomes.trace)
+                        result.round_funnels[round_index].add_trace(outcomes.trace)
                     if keep_records:
                         result.records.extend(
                             batch_module.records_from_batch(
                                 outcomes, draws, start_index=offset, round_index=round_index
                             )
                         )
+                    protected = outcomes.protected
                 else:
+                    # Reference mode: the same traversal kernel at width 1,
+                    # one row slice at a time (each receiver evaluated in
+                    # isolation over identical pre-drawn floats).
+                    protected = np.zeros(size, dtype=bool) if advancing else None
                     for row in range(size):
-                        record = self._walk_row(
+                        row_draws = draws.row(row)
+                        row_outcomes = batch_module.evaluate_batch(
                             plan,
-                            population,
-                            draws,
-                            row,
-                            offset + row,
-                            exposure=(
+                            row_draws,
+                            exposures=(
                                 None if round_exposures is None
-                                else float(round_exposures[row])
+                                else round_exposures[row : row + 1]
                             ),
-                            round_index=round_index,
+                            trace=want_trace,
                         )
+                        record = batch_module.records_from_batch(
+                            row_outcomes,
+                            row_draws,
+                            start_index=offset + row,
+                            round_index=round_index,
+                        )[0]
                         result.tally.add_record(record)
                         round_tally.add_record(record)
+                        if want_trace:
+                            result.funnel.add_trace(row_outcomes.trace)
+                            result.round_funnels[round_index].add_trace(row_outcomes.trace)
                         if keep_records:
                             result.records.append(record)
-                if exposures is not None and round_index + 1 < rounds:
-                    # Both modes advance the shared vectorized state from the
-                    # raw draws (not realized outcomes), so the trajectories
-                    # are identical floats in either mode.
+                        if advancing:
+                            protected[row] = bool(row_outcomes.protected[0])
+                if advancing:
+                    # Outcome-coupled accrual: delivery (spoof draws) says who
+                    # the communication reached, the realized outcomes say how
+                    # hard the encounter habituates.  Both modes feed the
+                    # identical floats (reference is the kernel at width 1),
+                    # so the exposure trajectories agree bit for bit.
                     delivered = draws.spoof_uniforms >= plan.spoof_probability
                     exposures = habituation_module.advance_exposures(
-                        exposures, delivered, recovery_rate
+                        exposures,
+                        delivered,
+                        recovery_rate,
+                        heeded=protected,
+                        dismiss_weight=dismiss_weight,
+                        heed_weight=heed_weight,
                     )
             offset += size
             chunk_index += 1
@@ -301,43 +374,6 @@ class HumanLoopSimulator:
         if self.config.attacker is None:
             return environment
         return self.config.attacker.apply_to(environment)
-
-    def _walk_row(
-        self,
-        plan: PipelinePlan,
-        population: PopulationSpec,
-        draws: "batch_module.DrawBatch",
-        row: int,
-        index: int,
-        exposure: Optional[float] = None,
-        round_index: int = 0,
-    ) -> ReceiverRecord:
-        """Scalar reference walk of one row of a pre-drawn batch.
-
-        ``exposure`` is the receiver's current habituation exposure count
-        (read from the engine's shared per-receiver array; ``None`` keeps
-        the communication's baked-in count, as in round 0).
-        """
-        name = f"{population.name}-{index}"
-        receiver = population.receiver_from_traits(draws.samples, row, name=name)
-        columns = batch_module.decision_columns(plan)
-
-        spoofed = False
-        noise = 0.0
-        if plan.has_communication:
-            spoofed = bool(draws.spoof_uniforms[row] < plan.spoof_probability)
-            noise = float(draws.noise[row])
-
-        def decide(kind: str, stage: Optional[Stage], probability: float) -> bool:
-            column = columns[f"stage:{stage.value}" if kind == "stage" else kind]
-            return bool(draws.decisions[row, column] < probability)
-
-        walk = plan.walk(
-            receiver, decide=decide, noise=noise, spoofed=spoofed, exposures=exposure
-        )
-        return self._record_from_walk(
-            walk, index=index, receiver_name=name, round_index=round_index
-        )
 
     @staticmethod
     def _record_from_walk(

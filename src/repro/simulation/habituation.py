@@ -86,10 +86,17 @@ class HabituationState:
             communication.name, float(communication.habituation_exposures)
         )
 
-    def record_exposure(self, communication: Communication) -> None:
-        """Record one more exposure to the communication."""
+    def record_exposure(self, communication: Communication, weight: float = 1.0) -> None:
+        """Record one more exposure to the communication.
+
+        ``weight`` scales how much the encounter habituates — the scalar
+        form of the outcome-coupled accrual in :func:`advance_exposures`
+        (e.g. a dismissed warning weighs more than a heeded one).
+        """
+        if weight < 0.0:
+            raise SimulationError("exposure weight must be non-negative")
         current = self.exposure_count(communication)
-        self.exposures[communication.name] = current + 1.0
+        self.exposures[communication.name] = current + weight
 
     def recover(self, periods: int = 1) -> None:
         """Apply ``periods`` exposure-free recovery steps to every communication."""
@@ -126,6 +133,8 @@ def simulate_exposure_series(
     exposures: int = 20,
     rng: Optional[SimulationRng] = None,
     recovery_rate: float = 0.0,
+    dismiss_weight: float = 1.0,
+    heed_weight: float = 1.0,
 ) -> List[ExposurePoint]:
     """Trace notice probability and outcomes over repeated exposures.
 
@@ -137,6 +146,13 @@ def simulate_exposure_series(
     (the same accounting the multi-round engine applies between rounds),
     which leaves fractional effective counts — these feed the probability
     model unquantized.
+
+    ``dismiss_weight`` / ``heed_weight`` apply the outcome-coupled accrual
+    at single-receiver scale, with the realized *notice* outcome standing
+    in for heeding (the only realized outcome this trace has): an exposure
+    the receiver noticed accrues ``heed_weight``, one they looked straight
+    past accrues ``dismiss_weight``.  Unit weights (the default) reproduce
+    the delivery-only series exactly.
     """
     if exposures < 0:
         raise SimulationError("exposures must be non-negative")
@@ -155,7 +171,9 @@ def simulate_exposure_series(
         series.append(
             ExposurePoint(exposure_index=index, notice_probability=probability, noticed=noticed)
         )
-        state.record_exposure(communication)
+        state.record_exposure(
+            communication, weight=heed_weight if noticed else dismiss_weight
+        )
         if recovery_rate > 0.0:
             state.recover()
     return series
@@ -183,18 +201,59 @@ def advance_exposures(
     exposures: np.ndarray,
     delivered: np.ndarray,
     recovery_rate: float,
+    heeded: Optional[np.ndarray] = None,
+    dismiss_weight: float = 1.0,
+    heed_weight: float = 1.0,
 ) -> np.ndarray:
     """One engine round's exposure-state update, vectorized.
 
     Receivers for whom the communication was actually ``delivered`` (it
-    was not replaced by an attacker's spoof) gain one exposure; then every
+    was not replaced by an attacker's spoof) accrue exposure; then every
     receiver recovers through the exposure-free gap before the next hazard
-    encounter.  This is exactly the scalar
+    encounter.  With the default weights this is exactly the scalar
     ``state.record_exposure(...); state.recover()`` sequence of
     :class:`HabituationState`, applied to a whole population at once:
 
     ``e' = (e + delivered) * (1 - recovery_rate)``
+
+    **Outcome-coupled accrual** (Section 2.3.1: habituation is driven by
+    what receivers *do* at each encounter): when ``heeded`` — the realized
+    per-receiver hazard-avoided outcomes of the round — is supplied, a
+    delivered encounter accrues ``heed_weight`` exposures when the
+    encounter ended with the hazard avoided and ``dismiss_weight`` when
+    the receiver proceeded into the hazard (overrode the warning, decided
+    not to comply, or slipped past a passive indicator unprotected):
+
+    ``e' = (e + delivered * where(heeded, heed_weight, dismiss_weight)) * (1 - r)``
+
+    The split is deliberately keyed on *hazard avoided*, the one realized
+    outcome both engine modes share per encounter: with a **blocking**
+    communication a receiver who never processed the warning fails safe
+    and therefore lands on the ``heed_weight`` side — the warning did its
+    job without being consciously dismissed — whereas with a passive one
+    the same inattention leaves the hazard unblocked and accrues
+    ``dismiss_weight``.  ``dismiss_weight > heed_weight`` models receivers
+    learning to tune out a warning faster when they keep clicking through
+    it.  Both weights default to 1.0, which reproduces the delivery-only
+    rule bit for bit — the two branches compute the identical floats.
     """
     if not 0.0 <= recovery_rate <= 1.0:
         raise SimulationError("recovery_rate must be in [0, 1]")
-    return (exposures + np.asarray(delivered, dtype=float)) * (1.0 - recovery_rate)
+    if dismiss_weight < 0.0 or heed_weight < 0.0:
+        raise SimulationError("habituation weights must be non-negative")
+    delivered = np.asarray(delivered, dtype=float)
+    if dismiss_weight == 1.0 and heed_weight == 1.0:
+        # Delivery-only rule (also the outcome-coupled rule at unit
+        # weights): keep the historical expression so defaults stay
+        # bit-identical.
+        increment = delivered
+    else:
+        if heeded is None:
+            raise SimulationError(
+                "outcome-coupled weights need the realized outcomes: pass "
+                "heeded= (per-receiver hazard-avoided booleans)"
+            )
+        increment = delivered * np.where(
+            np.asarray(heeded, dtype=bool), heed_weight, dismiss_weight
+        )
+    return (exposures + increment) * (1.0 - recovery_rate)

@@ -21,9 +21,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.behavior import BehaviorOutcome
+from ..core.behavior import OUTCOME_ORDER, BehaviorOutcome, outcome_code
 from ..core.exceptions import SimulationError
-from ..core.stages import STAGE_ORDER, Stage, StageTrace
+from ..core.stages import STAGE_ORDER, Stage, StageTrace, StageTraceBatch
 
 __all__ = [
     "OUTCOME_ORDER",
@@ -31,21 +31,11 @@ __all__ = [
     "ReceiverRecord",
     "SimulationTally",
     "RoundTally",
+    "FunnelTally",
     "SimulationResult",
     "comparison_table",
     "render_comparison_markdown",
 ]
-
-#: Canonical outcome order used to encode outcomes as integers in batches.
-OUTCOME_ORDER: Tuple[BehaviorOutcome, ...] = tuple(BehaviorOutcome)
-_OUTCOME_CODES: Dict[BehaviorOutcome, int] = {
-    outcome: code for code, outcome in enumerate(OUTCOME_ORDER)
-}
-
-
-def outcome_code(outcome: BehaviorOutcome) -> int:
-    """Integer code of a behavior outcome (index into OUTCOME_ORDER)."""
-    return _OUTCOME_CODES[outcome]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -223,6 +213,129 @@ class RoundTally(SimulationTally):
 
 
 @dataclasses.dataclass
+class FunnelTally:
+    """Streaming per-stage funnel aggregate derived from traversal traces.
+
+    Folds the column sums of :class:`~repro.core.stages.StageTraceBatch`
+    arrays chunk by chunk — ``entered[k]`` / ``passed[k]`` encounters per
+    funnel checkpoint (each applicable pre-behavior stage in pipeline
+    order, then the intention gate, the capability gate, and the behavior
+    stage) — and discards the arrays, so per-stage funnel analytics stay
+    O(batch) in memory for population-scale runs.
+
+    All rates are per tallied *encounter* (receiver-round): ``n`` counts
+    every encounter folded in, spoofed ones included, matching the
+    denominators of :class:`SimulationTally`.
+    """
+
+    labels: Tuple[str, ...] = ()
+    entered: List[int] = dataclasses.field(default_factory=list)
+    passed: List[int] = dataclasses.field(default_factory=list)
+    n: int = 0
+    spoofed: int = 0
+
+    def add_trace(self, trace: StageTraceBatch) -> None:
+        """Fold one batch's trace arrays into the tally."""
+        if not self.labels:
+            self.labels = tuple(trace.labels)
+            self.entered = [0] * len(self.labels)
+            self.passed = [0] * len(self.labels)
+        elif self.labels != tuple(trace.labels):
+            raise SimulationError(
+                f"trace checkpoints {trace.labels} do not match the tally's "
+                f"{self.labels}; funnels aggregate one pipeline shape"
+            )
+        self.n += trace.count
+        self.spoofed += int(np.count_nonzero(trace.spoofed))
+        for column, (entered, passed) in enumerate(
+            zip(trace.entered_counts(), trace.passed_counts())
+        ):
+            self.entered[column] += int(entered)
+            self.passed[column] += int(passed)
+
+    def merge(self, other: "FunnelTally") -> None:
+        """Fold another funnel tally into this one."""
+        if other.n == 0:
+            return
+        if not self.labels:
+            self.labels = other.labels
+            self.entered = [0] * len(self.labels)
+            self.passed = [0] * len(self.labels)
+        elif self.labels != other.labels:
+            raise SimulationError("cannot merge funnels with different checkpoints")
+        self.n += other.n
+        self.spoofed += other.spoofed
+        for column in range(len(self.labels)):
+            self.entered[column] += other.entered[column]
+            self.passed[column] += other.passed[column]
+
+    # -- views -------------------------------------------------------------------
+
+    def _column(self, label: str) -> int:
+        if label not in self.labels:
+            raise SimulationError(
+                f"unknown checkpoint {label!r}; known: {list(self.labels)}"
+            )
+        return self.labels.index(label)
+
+    def entry_rate(self, label: str) -> float:
+        """Fraction of tallied encounters that reached one checkpoint."""
+        if self.n == 0:
+            return 0.0
+        return self.entered[self._column(label)] / self.n
+
+    def survival_rate(self, label: str) -> float:
+        """Fraction of tallied encounters that cleared one checkpoint."""
+        if self.n == 0:
+            return 0.0
+        return self.passed[self._column(label)] / self.n
+
+    def conditional_failure_rate(self, label: str) -> float:
+        """P(fail at checkpoint | reached it) — the paper's per-stage lens."""
+        column = self._column(label)
+        entered = self.entered[column]
+        if entered == 0:
+            return 0.0
+        return (entered - self.passed[column]) / entered
+
+    def survival(self) -> List[Dict[str, float]]:
+        """One row per checkpoint: counts plus the three funnel rates."""
+        rows: List[Dict[str, float]] = []
+        for label in self.labels:
+            rows.append(
+                {
+                    "checkpoint": label,  # type: ignore[dict-item]
+                    "entered": float(self.entered[self._column(label)]),
+                    "passed": float(self.passed[self._column(label)]),
+                    "entry_rate": self.entry_rate(label),
+                    "survival_rate": self.survival_rate(label),
+                    "conditional_failure_rate": self.conditional_failure_rate(label),
+                }
+            )
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Flat ``funnel:<checkpoint>:<rate>`` metrics (for result rows)."""
+        metrics: Dict[str, float] = {}
+        for label in self.labels:
+            metrics[f"funnel:{label}:survival_rate"] = self.survival_rate(label)
+            metrics[f"funnel:{label}:conditional_failure"] = (
+                self.conditional_failure_rate(label)
+            )
+        return metrics
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form (checkpoint counts plus headline totals)."""
+        return {
+            "labels": list(self.labels),
+            "entered": list(self.entered),
+            "passed": list(self.passed),
+            "n": self.n,
+            "spoofed": self.spoofed,
+        }
+
+
+@dataclasses.dataclass
 class SimulationResult:
     """Aggregated result of simulating one task over a population.
 
@@ -243,9 +356,24 @@ class SimulationResult:
     repeated hazard encounters: ``tally`` then aggregates *all*
     receiver-round encounters, ``round_tallies`` holds the per-round
     :class:`RoundTally` series, and ``recovery_rate`` records the
-    habituation recovery applied between rounds.  ``n_receivers`` always
-    reports unique receivers; the per-encounter denominator is
-    ``tally.n`` (= ``n_receivers * rounds``).
+    habituation recovery applied between rounds.
+
+    **Denominator semantics** (pinned by ``tests/simulation/test_metrics``):
+    every ``*_rate`` accessor and :meth:`stage_failure_fractions` divides
+    by the *encounter* count ``tally.n`` (= ``receiver_rounds`` =
+    ``n_receivers * rounds``), never by unique receivers — a receiver who
+    fails at the attention stage in three of five rounds contributes three
+    encounters to that stage's fraction.  ``n_receivers`` always reports
+    unique receivers; :meth:`summary` carries both denominators
+    (``n_receivers`` and ``receiver_rounds``) so consumers never have to
+    reconstruct one from the other.
+
+    Runs with tracing enabled (the engine default) additionally carry the
+    per-stage funnel: ``funnel`` aggregates every encounter's checkpoint
+    outcomes and ``round_funnels`` holds one :class:`FunnelTally` per
+    round.  ``dismiss_weight`` / ``heed_weight`` record the
+    outcome-coupled habituation weights the run used (both 1.0 — the
+    delivery-only accrual rule — unless overridden).
     """
 
     task_name: str
@@ -259,6 +387,10 @@ class SimulationResult:
     rounds: int = 1
     recovery_rate: float = 0.0
     round_tallies: List[RoundTally] = dataclasses.field(default_factory=list)
+    funnel: Optional[FunnelTally] = None
+    round_funnels: List[FunnelTally] = dataclasses.field(default_factory=list)
+    dismiss_weight: float = 1.0
+    heed_weight: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.task_name:
@@ -267,6 +399,8 @@ class SimulationResult:
             raise SimulationError("rounds must be >= 1")
         if not 0.0 <= self.recovery_rate <= 1.0:
             raise SimulationError("recovery_rate must be in [0, 1]")
+        if self.dismiss_weight < 0.0 or self.heed_weight < 0.0:
+            raise SimulationError("habituation weights must be non-negative")
 
     def _counts(self) -> SimulationTally:
         """The effective tally (explicit, or derived from the records)."""
@@ -350,15 +484,50 @@ class SimulationResult:
         return max(counts, key=lambda stage: counts[stage])
 
     def summary(self) -> Dict[str, float]:
-        """Headline metrics as a flat dictionary (used by the benchmarks)."""
+        """Headline metrics as a flat dictionary (used by the benchmarks).
+
+        ``n_receivers`` counts unique receivers, ``receiver_rounds`` the
+        encounters every rate divides by (equal for single-shot runs).
+        """
         return {
             "n_receivers": float(self.n_receivers),
+            "receiver_rounds": float(self.receiver_rounds),
             "protection_rate": self.protection_rate(),
             "heed_rate": self.heed_rate(),
             "notice_rate": self.notice_rate(),
             "intention_failure_rate": self.intention_failure_rate(),
             "capability_failure_rate": self.capability_failure_rate(),
         }
+
+    # -- funnel views ------------------------------------------------------------
+
+    def funnel_survival(self) -> List[Dict[str, float]]:
+        """Per-checkpoint funnel rows (empty when tracing was disabled)."""
+        if self.funnel is None:
+            return []
+        return self.funnel.survival()
+
+    def conditional_failure_rate(self, checkpoint: str) -> float:
+        """P(fail at checkpoint | reached it), from the aggregate funnel."""
+        if self.funnel is None:
+            raise SimulationError(
+                "this run kept no funnel trace (trace=False); re-run with "
+                "tracing enabled for conditional per-stage metrics"
+            )
+        return self.funnel.conditional_failure_rate(checkpoint)
+
+    def round_funnel_metric(self, checkpoint: str, rate: str = "survival_rate") -> List[float]:
+        """One funnel rate's per-round series (e.g. attention-switch survival)."""
+        getters = {
+            "entry_rate": FunnelTally.entry_rate,
+            "survival_rate": FunnelTally.survival_rate,
+            "conditional_failure_rate": FunnelTally.conditional_failure_rate,
+        }
+        if rate not in getters:
+            raise SimulationError(
+                f"unknown funnel rate {rate!r}; known: {sorted(getters)}"
+            )
+        return [getters[rate](funnel, checkpoint) for funnel in self.round_funnels]
 
     # -- per-round views ---------------------------------------------------------
 

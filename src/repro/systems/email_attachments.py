@@ -10,6 +10,9 @@ and transfer stages of the framework are fully exercised.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Mapping
+
 from ..core.behavior import TaskDesign
 from ..core.communication import (
     Communication,
@@ -22,10 +25,19 @@ from ..core.communication import (
 from ..core.impediments import Environment, StimulusKind
 from ..core.receiver import Capabilities
 from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.calibration import StageCalibration
 from ..simulation.population import PopulationSpec, organization_population
 from .base import register_system
+from .parameters import Parameter, ParameterSpace, ScenarioComponents
 
-__all__ = ["attachment_training", "judge_attachment_task", "build_system", "population"]
+__all__ = [
+    "attachment_training",
+    "judge_attachment_task",
+    "build_system",
+    "population",
+    "parameter_space",
+    "scenario_components",
+]
 
 
 def attachment_training(interactive: bool = False) -> Communication:
@@ -120,3 +132,70 @@ register_system("email-attachments", "Judging suspicious email attachments after
 
 def population() -> PopulationSpec:
     return organization_population()
+
+
+# ---------------------------------------------------------------------------
+# Typed parameterization (consumed by the scenario registry / experiments)
+# ---------------------------------------------------------------------------
+
+def parameter_space() -> ParameterSpace:
+    """The training-design knobs the retention/transfer stages hinge on."""
+    return ParameterSpace(
+        [
+            Parameter(
+                "interactive_training",
+                "bool",
+                default=False,
+                description=(
+                    "Engaging, game-style training (Sheng et al.) instead of "
+                    "a static handbook section."
+                ),
+            ),
+            Parameter(
+                "training_clarity",
+                "float",
+                default=None,
+                low=0.0,
+                high=1.0,
+                allow_none=True,
+                description="Override how clearly the training material is written.",
+            ),
+            Parameter(
+                "refresher_exposures",
+                "int",
+                default=0,
+                low=0,
+                high=10_000,
+                description=(
+                    "Times the population has already sat through this "
+                    "training content (habituation to refreshers)."
+                ),
+            ),
+        ]
+    )
+
+
+def scenario_components(values: Mapping[str, object]) -> ScenarioComponents:
+    """The scenario binder: one judgment task with the bound training design."""
+    task = judge_attachment_task(
+        interactive_training=bool(values["interactive_training"])
+    )
+    communication = task.communication
+    if values["training_clarity"] is not None:
+        communication = dataclasses.replace(
+            communication, clarity=float(values["training_clarity"])
+        )
+    if values["refresher_exposures"]:
+        communication = communication.with_exposures(int(values["refresher_exposures"]))
+    task.communication = communication
+    system = SecureSystem(
+        name="email-attachment-judgment",
+        description=(
+            "Employees act as the last line of defense against malicious email "
+            "attachments, guided by security-awareness training."
+        ),
+        tasks=[task],
+    )
+    return ScenarioComponents(
+        system=system, population=population(), calibration=StageCalibration.neutral()
+    )

@@ -16,9 +16,11 @@ scenarios *bindable*:
 
 Every registered scenario automatically accepts the **common** parameters
 (:func:`common_parameter_space`): population training fraction, the
-calibration's noise / intention / capability knobs, and the engine's
-multi-round knobs (``rounds`` / ``recovery_rate``, which become the bound
-variant's simulation defaults rather than touching the component build).
+calibration's noise / intention / capability knobs, and the engine knobs
+(``rounds`` / ``recovery_rate``, the outcome-coupled habituation weights
+``dismiss_weight`` / ``heed_weight``, and the funnel ``trace`` toggle —
+all of which become the bound variant's simulation defaults rather than
+touching the component build).
 Scenarios with a domain binder (passwords, anti-phishing) add their own
 typed parameters on top — see
 :func:`repro.systems.passwords.parameter_space`.
@@ -239,11 +241,20 @@ COMMON_PARAMETER_NAMES = (
     "capability_multiplier",
     "rounds",
     "recovery_rate",
+    "dismiss_weight",
+    "heed_weight",
+    "trace",
 )
 
 #: The common knobs consumed by the engine (simulation defaults of a bound
 #: variant) rather than by the component build.
-SIMULATION_PARAMETER_NAMES = ("rounds", "recovery_rate")
+SIMULATION_PARAMETER_NAMES = (
+    "rounds",
+    "recovery_rate",
+    "dismiss_weight",
+    "heed_weight",
+    "trace",
+)
 
 
 def common_parameter_space() -> ParameterSpace:
@@ -307,6 +318,37 @@ def common_parameter_space() -> ParameterSpace:
                 high=1.0,
                 allow_none=True,
                 description="Habituation recovery applied between encounter rounds.",
+            ),
+            Parameter(
+                "dismiss_weight",
+                "float",
+                default=None,
+                low=0.0,
+                high=100.0,
+                allow_none=True,
+                description=(
+                    "Exposure accrued by a delivered encounter the receiver "
+                    "dismissed (hazard not avoided); outcome-coupled habituation."
+                ),
+            ),
+            Parameter(
+                "heed_weight",
+                "float",
+                default=None,
+                low=0.0,
+                high=100.0,
+                allow_none=True,
+                description=(
+                    "Exposure accrued by a delivered encounter the receiver "
+                    "heeded (hazard avoided); outcome-coupled habituation."
+                ),
+            ),
+            Parameter(
+                "trace",
+                "bool",
+                default=None,
+                allow_none=True,
+                description="Keep streaming per-stage funnel tallies for the run.",
             ),
         ]
     )

@@ -414,8 +414,18 @@ _builtin(
     parameters=passwords.parameter_space(),
     binder=passwords.scenario_components,
 )
-_builtin("ssl-indicator", ssl_indicators.population)
-_builtin("email-attachments", email_attachments.population)
+_builtin(
+    "ssl-indicator",
+    ssl_indicators.population,
+    parameters=ssl_indicators.parameter_space(),
+    binder=ssl_indicators.scenario_components,
+)
+_builtin(
+    "email-attachments",
+    email_attachments.population,
+    parameters=email_attachments.parameter_space(),
+    binder=email_attachments.scenario_components,
+)
 _builtin("smartcard", smartcard.population)
 _builtin("file-permissions", file_permissions.population)
 _builtin("graphical-passwords", graphical_passwords.population)

@@ -10,6 +10,9 @@ framework analysis and the simulation.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Mapping
+
 from ..core.behavior import TaskDesign
 from ..core.communication import (
     Communication,
@@ -27,10 +30,19 @@ from ..core.impediments import (
 )
 from ..core.receiver import Capabilities
 from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.calibration import StageCalibration
 from ..simulation.population import PopulationSpec, general_web_population
 from .base import register_system
+from .parameters import Parameter, ParameterSpace, ScenarioComponents
 
-__all__ = ["lock_icon_indicator", "verify_connection_task", "build_system", "population"]
+__all__ = [
+    "lock_icon_indicator",
+    "verify_connection_task",
+    "build_system",
+    "population",
+    "parameter_space",
+    "scenario_components",
+]
 
 
 def lock_icon_indicator(habituation_exposures: int = 25) -> Communication:
@@ -126,3 +138,74 @@ register_system("ssl-indicator", "Passive SSL lock-icon status indicator")(build
 def population() -> PopulationSpec:
     """General web users, as in the anti-phishing case study."""
     return general_web_population()
+
+
+# ---------------------------------------------------------------------------
+# Typed parameterization (consumed by the scenario registry / experiments)
+# ---------------------------------------------------------------------------
+
+def parameter_space() -> ParameterSpace:
+    """The lock-icon knobs the Section-2.3.1 failure modes hinge on.
+
+    The defaults reproduce :func:`build_system` exactly, so binding the
+    scenario with no overrides is the base scenario.
+    """
+    return ParameterSpace(
+        [
+            Parameter(
+                "habituation_exposures",
+                "int",
+                default=25,
+                low=0,
+                high=10_000,
+                description=(
+                    "Exposures the population has already had to the lock "
+                    "icon (it is on screen constantly)."
+                ),
+            ),
+            Parameter(
+                "spoofing_capability",
+                "float",
+                default=0.3,
+                low=0.0,
+                high=1.0,
+                description=(
+                    "Probability a malicious server displays a spoofed lock "
+                    "icon (Ye et al.)."
+                ),
+            ),
+            Parameter(
+                "conspicuity",
+                "float",
+                default=None,
+                low=0.0,
+                high=1.0,
+                allow_none=True,
+                description=(
+                    "Override how conspicuous the indicator is (eye-tracking "
+                    "shows most users never look for the default)."
+                ),
+            ),
+        ]
+    )
+
+
+def scenario_components(values: Mapping[str, object]) -> ScenarioComponents:
+    """The scenario binder: one verify-connection task with the bound knobs."""
+    task = verify_connection_task(spoofing_capability=float(values["spoofing_capability"]))
+    communication = lock_icon_indicator(
+        habituation_exposures=int(values["habituation_exposures"])
+    )
+    if values["conspicuity"] is not None:
+        communication = dataclasses.replace(
+            communication, conspicuity=float(values["conspicuity"])
+        )
+    task.communication = communication
+    system = SecureSystem(
+        name="ssl-lock-indicator",
+        description="Passive SSL lock-icon indicator relied on to gate sensitive submissions.",
+        tasks=[task],
+    )
+    return ScenarioComponents(
+        system=system, population=population(), calibration=StageCalibration.neutral()
+    )

@@ -143,11 +143,40 @@ class TestSimulationResultProvenance:
             "n_receivers": 120,
             "rounds": 1,
             "recovery_rate": 0.0,
+            "dismiss_weight": 1.0,
+            "heed_weight": 1.0,
+            "trace": True,
         }
 
     def test_reference_mode_recorded(self):
         payload = json_io.simulation_result_to_dict(self._result(mode="reference"))
         assert payload["provenance"]["mode"] == "reference"
+
+    def test_funnel_block_serialized(self):
+        result = self._result()
+        payload = json_io.simulation_result_to_dict(result)
+        assert payload["funnel"] == result.funnel.to_dict()
+        assert payload["funnel"]["n"] == 120
+        assert len(payload["round_funnels"]) == 1
+        json.dumps(payload)  # must be JSON-compatible
+
+    def test_trace_off_omits_funnel_block(self):
+        from repro.systems import get_scenario
+
+        result = get_scenario("antiphishing").simulate(50, seed=17, trace=False)
+        payload = json_io.simulation_result_to_dict(result)
+        assert payload["provenance"]["trace"] is False
+        assert "funnel" not in payload
+
+    def test_weight_provenance_recorded(self):
+        from repro.systems import get_scenario
+
+        result = get_scenario("antiphishing").simulate(
+            60, seed=17, rounds=2, dismiss_weight=2.0, heed_weight=0.5
+        )
+        provenance = json_io.simulation_result_to_dict(result)["provenance"]
+        assert provenance["dismiss_weight"] == 2.0
+        assert provenance["heed_weight"] == 0.5
 
     def test_payload_is_json_serializable_and_consistent(self):
         import json as json_module

@@ -88,6 +88,7 @@ class TestSimulationResult:
         summary = _result().summary()
         assert set(summary) == {
             "n_receivers",
+            "receiver_rounds",
             "protection_rate",
             "heed_rate",
             "notice_rate",
@@ -98,6 +99,102 @@ class TestSimulationResult:
     def test_task_name_required(self):
         with pytest.raises(SimulationError):
             SimulationResult(task_name="", population_name="p")
+
+    def test_habituation_weights_validated(self):
+        with pytest.raises(SimulationError):
+            SimulationResult(task_name="t", population_name="p", dismiss_weight=-1.0)
+        with pytest.raises(SimulationError):
+            SimulationResult(task_name="t", population_name="p", heed_weight=-0.5)
+
+
+class TestDenominatorSemantics:
+    """Pins the intended denominators for multi-round results (ISSUE 4).
+
+    Every ``*_rate`` accessor and ``stage_failure_fractions`` divides by
+    the *encounter* count (``receiver_rounds``); ``n_receivers`` always
+    reports unique receivers.  A receiver who fails at the same stage in
+    several rounds contributes one encounter per round.
+    """
+
+    def _multi_round_result(self) -> SimulationResult:
+        # 2 unique receivers x 3 rounds = 6 encounters, hand-built so every
+        # expected fraction is a round number.
+        result = SimulationResult(task_name="task", population_name="pop", rounds=3)
+        outcomes = [
+            (BehaviorOutcome.SUCCESS, True, None),
+            (BehaviorOutcome.FAILURE, False, Stage.ATTENTION_SWITCH),
+            (BehaviorOutcome.SUCCESS, True, None),
+            (BehaviorOutcome.FAILURE, False, Stage.ATTENTION_SWITCH),
+            (BehaviorOutcome.FAILURE, False, Stage.ATTENTION_SWITCH),
+            (BehaviorOutcome.FAILED_SAFE, True, Stage.COMPREHENSION),
+        ]
+        result.records = [
+            ReceiverRecord(
+                index=i % 2,
+                receiver_name=f"user-{i % 2}",
+                trace=StageTrace(),
+                outcome=outcome,
+                protected=protected,
+                failed_stage=failed_stage,
+                round_index=i // 2,
+            )
+            for i, (outcome, protected, failed_stage) in enumerate(outcomes)
+        ]
+        return result
+
+    def test_unique_receivers_vs_encounters(self):
+        result = self._multi_round_result()
+        assert result.n_receivers == 2
+        assert result.receiver_rounds == 6
+
+    def test_rates_divide_by_encounters(self):
+        result = self._multi_round_result()
+        # 3 protected encounters of 6 — not 1.5 of 2 receivers.
+        assert result.protection_rate() == pytest.approx(3 / 6)
+        assert result.heed_rate() == pytest.approx(2 / 6)
+        assert result.failure_rate() == pytest.approx(3 / 6)
+
+    def test_stage_failure_fractions_divide_by_encounters(self):
+        result = self._multi_round_result()
+        fractions = result.stage_failure_fractions()
+        # The same receiver failing at attention in three rounds counts
+        # three encounters toward that stage's fraction.
+        assert fractions[Stage.ATTENTION_SWITCH] == pytest.approx(3 / 6)
+        assert fractions[Stage.COMPREHENSION] == pytest.approx(1 / 6)
+        counts = result.stage_failure_counts()
+        for stage, fraction in fractions.items():
+            assert fraction == pytest.approx(counts[stage] / result.receiver_rounds)
+
+    def test_summary_carries_both_denominators(self):
+        summary = self._multi_round_result().summary()
+        assert summary["n_receivers"] == 2.0
+        assert summary["receiver_rounds"] == 6.0
+
+    def test_single_shot_denominators_coincide(self):
+        result = _result()
+        assert result.n_receivers == result.receiver_rounds == 4
+        assert result.summary()["n_receivers"] == result.summary()["receiver_rounds"]
+
+    def test_engine_multi_round_denominators(self):
+        # The engine's tallies must obey the same accounting end to end.
+        from repro.simulation.engine import HumanLoopSimulator, SimulationConfig
+        from repro.simulation.population import general_web_population
+        from repro.systems.antiphishing import WarningVariant, task_for
+
+        result = HumanLoopSimulator(
+            SimulationConfig(n_receivers=150, seed=11)
+        ).simulate_task(
+            task_for(WarningVariant.IE_PASSIVE), general_web_population(),
+            rounds=4, recovery_rate=0.1,
+        )
+        assert result.n_receivers == 150
+        assert result.receiver_rounds == 600
+        assert sum(result.outcome_counts().values()) == 600
+        total_stage_failures = sum(result.stage_failure_counts().values())
+        assert sum(result.stage_failure_fractions().values()) == pytest.approx(
+            total_stage_failures / 600
+        )
+        assert result.funnel.n == 600
 
 
 class TestComparison:

@@ -1,0 +1,215 @@
+"""Tests for outcome-coupled habituation (ISSUE 4).
+
+Section 2.3.1: habituation is driven by what receivers *do* at each
+encounter.  The engine threads each round's realized outcomes back into
+:func:`~repro.simulation.habituation.advance_exposures`, weighting a
+delivered encounter by ``dismiss_weight`` (hazard not avoided) or
+``heed_weight`` (hazard avoided).  Unit weights must reproduce the
+delivery-only accrual rule bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.engine import HumanLoopSimulator, SimulationConfig
+from repro.simulation.habituation import HabituationState, advance_exposures
+from repro.simulation.population import general_web_population
+from repro.systems import get_scenario
+from repro.systems.antiphishing import ie_passive_warning
+
+N = 400
+SEED = 20260726
+
+
+def _simulator(**overrides) -> HumanLoopSimulator:
+    overrides.setdefault("n_receivers", N)
+    overrides.setdefault("seed", SEED)
+    return HumanLoopSimulator(SimulationConfig(**overrides))
+
+
+class TestAdvanceExposures:
+    def test_unit_weights_reproduce_delivery_only_rule(self):
+        exposures = np.array([0.0, 2.0, 5.0])
+        delivered = np.array([True, False, True])
+        heeded = np.array([True, True, False])
+        legacy = advance_exposures(exposures, delivered, recovery_rate=0.25)
+        coupled = advance_exposures(
+            exposures, delivered, recovery_rate=0.25,
+            heeded=heeded, dismiss_weight=1.0, heed_weight=1.0,
+        )
+        assert np.array_equal(legacy, coupled)
+
+    def test_weighted_accrual(self):
+        exposures = np.zeros(4)
+        delivered = np.array([True, True, True, False])
+        heeded = np.array([True, False, True, False])
+        advanced = advance_exposures(
+            exposures, delivered, recovery_rate=0.0,
+            heeded=heeded, dismiss_weight=2.0, heed_weight=0.5,
+        )
+        assert advanced.tolist() == [0.5, 2.0, 0.5, 0.0]
+
+    def test_recovery_applies_after_weighted_accrual(self):
+        advanced = advance_exposures(
+            np.array([1.0]), np.array([True]), recovery_rate=0.5,
+            heeded=np.array([False]), dismiss_weight=3.0, heed_weight=1.0,
+        )
+        assert advanced[0] == pytest.approx((1.0 + 3.0) * 0.5)
+
+    def test_non_unit_weights_require_outcomes(self):
+        with pytest.raises(SimulationError):
+            advance_exposures(
+                np.zeros(2), np.ones(2, dtype=bool), recovery_rate=0.0,
+                dismiss_weight=2.0,
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(SimulationError):
+            advance_exposures(
+                np.zeros(1), np.ones(1, dtype=bool), 0.0,
+                heeded=np.ones(1, dtype=bool), dismiss_weight=-1.0,
+            )
+
+    def test_scalar_state_weighted_exposure(self):
+        communication = ie_passive_warning()
+        state = HabituationState(recovery_rate=0.0)
+        state.exposure_count(communication)
+        state.record_exposure(communication, weight=2.5)
+        assert state.exposure_count(communication) == pytest.approx(
+            communication.habituation_exposures + 2.5
+        )
+        with pytest.raises(SimulationError):
+            state.record_exposure(communication, weight=-0.1)
+
+
+class TestEngineCoupling:
+    def test_default_weights_are_bit_identical(self, warning_task):
+        population = general_web_population()
+        legacy = _simulator().simulate_task(
+            warning_task, population, rounds=5, recovery_rate=0.2
+        )
+        explicit = _simulator().simulate_task(
+            warning_task, population, rounds=5, recovery_rate=0.2,
+            dismiss_weight=1.0, heed_weight=1.0,
+        )
+        assert legacy.outcome_counts() == explicit.outcome_counts()
+        assert [t.outcome_counts() for t in legacy.round_tallies] == [
+            t.outcome_counts() for t in explicit.round_tallies
+        ]
+        assert legacy.dismiss_weight == explicit.dismiss_weight == 1.0
+
+    def test_weights_only_matter_beyond_round_one(self, warning_task):
+        population = general_web_population()
+        a = _simulator().simulate_task(warning_task, population, dismiss_weight=5.0)
+        b = _simulator().simulate_task(warning_task, population)
+        assert a.outcome_counts() == b.outcome_counts()
+
+    def test_dismissal_heavy_weights_decay_notice_faster(self):
+        scenario = get_scenario("antiphishing")
+        common = dict(
+            seed=SEED, task="heed-ie_passive-warning", rounds=8, recovery_rate=0.0
+        )
+        baseline = scenario.simulate(4_000, **common)
+        coupled = scenario.simulate(
+            4_000, dismiss_weight=3.0, heed_weight=0.0, **common
+        )
+        # Most passive-warning receivers dismiss, so tripling their accrual
+        # erodes the tail notice rate faster than the delivery-only rule.
+        assert (
+            coupled.round_metric("notice_rate")[-1]
+            < baseline.round_metric("notice_rate")[-1]
+        )
+        assert coupled.dismiss_weight == 3.0 and coupled.heed_weight == 0.0
+
+    def test_heed_only_accrual_is_gentler_than_delivery_only(self):
+        scenario = get_scenario("antiphishing")
+        common = dict(
+            seed=SEED, task="heed-ie_passive-warning", rounds=8, recovery_rate=0.0
+        )
+        baseline = scenario.simulate(4_000, **common)
+        gentle = scenario.simulate(4_000, dismiss_weight=0.0, heed_weight=1.0, **common)
+        assert (
+            gentle.round_metric("notice_rate")[-1]
+            > baseline.round_metric("notice_rate")[-1]
+        )
+
+    @pytest.mark.parametrize("weights", [(1.0, 1.0), (2.5, 0.5), (0.0, 4.0)])
+    def test_batch_reference_equivalence_with_weights(self, warning_task, weights):
+        dismiss_weight, heed_weight = weights
+        population = general_web_population()
+        common = dict(
+            rounds=3,
+            recovery_rate=0.25,
+            dismiss_weight=dismiss_weight,
+            heed_weight=heed_weight,
+        )
+        batch = _simulator(batch_size=150).simulate_task(
+            warning_task, population, mode="batch", **common
+        )
+        reference = _simulator(batch_size=150).simulate_task(
+            warning_task, population, mode="reference", **common
+        )
+        for batch_round, reference_round in zip(batch.round_tallies, reference.round_tallies):
+            assert batch_round.outcome_counts() == reference_round.outcome_counts()
+            assert (
+                batch_round.stage_failure_counts()
+                == reference_round.stage_failure_counts()
+            )
+
+    def test_config_and_override_validation(self, warning_task):
+        with pytest.raises(SimulationError):
+            SimulationConfig(dismiss_weight=-0.5)
+        with pytest.raises(SimulationError):
+            SimulationConfig(heed_weight=-1.0)
+        with pytest.raises(SimulationError):
+            _simulator().simulate_task(
+                warning_task, general_web_population(), heed_weight=-2.0
+            )
+
+    def test_weights_recorded_on_result(self, warning_task):
+        result = _simulator().simulate_task(
+            warning_task, general_web_population(), rounds=2,
+            dismiss_weight=2.0, heed_weight=0.25,
+        )
+        assert result.dismiss_weight == 2.0
+        assert result.heed_weight == 0.25
+
+
+class TestScenarioIntegration:
+    def test_weights_bindable_and_become_simulation_defaults(self):
+        variant = get_scenario("antiphishing").bind(
+            variant="ie_passive", rounds=3, dismiss_weight=2.0, heed_weight=0.5
+        )
+        defaults = variant.simulation_defaults()
+        assert defaults["dismiss_weight"] == 2.0
+        assert defaults["heed_weight"] == 0.5
+        result = variant.simulate(200, seed=SEED)
+        assert result.dismiss_weight == 2.0
+        assert result.heed_weight == 0.5
+        # Explicit overrides win over the bound knobs.
+        assert variant.simulate(200, seed=SEED, dismiss_weight=1.0).dismiss_weight == 1.0
+
+    def test_trace_bindable(self):
+        variant = get_scenario("antiphishing").bind(variant="ie_passive", trace=False)
+        assert variant.simulation_defaults() == {"trace": False}
+        assert variant.simulate(100, seed=SEED).funnel is None
+
+    def test_weights_sweepable(self):
+        from repro.experiments import Experiment, SweepSpec
+
+        sweep = SweepSpec(
+            scenario="antiphishing",
+            grid={"dismiss_weight": [1.0, 4.0]},
+            base={"variant": "ie_passive", "rounds": 6, "heed_weight": 1.0},
+        )
+        results = Experiment.from_sweep(
+            "dismissal", sweep, n_receivers=2_000, seed=SEED, seed_strategy="shared"
+        ).run()
+        by_variant = {row.variant: row for row in results.rows}
+        assert by_variant["dismiss_weight=1.0"].dismiss_weight == 1.0
+        assert by_variant["dismiss_weight=4.0"].dismiss_weight == 4.0
+        assert (
+            by_variant["dismiss_weight=4.0"].metrics["round5:notice_rate"]
+            < by_variant["dismiss_weight=1.0"].metrics["round5:notice_rate"]
+        )

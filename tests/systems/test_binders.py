@@ -1,0 +1,133 @@
+"""Domain binders for the previously binder-less scenarios (ISSUE 4).
+
+``ssl-indicator`` and ``email-attachments`` now expose typed domain
+parameters, so their system-specific knobs are bindable and sweepable
+like the passwords and anti-phishing scenarios.
+"""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.experiments import Experiment, SweepSpec
+from repro.systems import get_scenario
+
+SEED = 20260726
+
+
+class TestSslIndicatorBinder:
+    def test_scenario_exposes_domain_parameters(self):
+        names = get_scenario("ssl-indicator").parameter_space().names()
+        assert "habituation_exposures" in names
+        assert "spoofing_capability" in names
+        assert "conspicuity" in names
+        # Common knobs still present.
+        assert "rounds" in names and "dismiss_weight" in names
+
+    def test_default_bind_reproduces_base_scenario(self):
+        base = get_scenario("ssl-indicator")
+        bound = base.bind()
+        assert (
+            bound.analyze().mean_success_probability()
+            == base.analyze().mean_success_probability()
+        )
+        a = base.simulate(300, seed=SEED)
+        b = bound.simulate(300, seed=SEED)
+        assert a.outcome_counts() == b.outcome_counts()
+
+    def test_spoofing_capability_drives_spoof_rate(self):
+        scenario = get_scenario("ssl-indicator")
+        honest = scenario.bind(spoofing_capability=0.0).simulate(1_000, seed=SEED)
+        hostile = scenario.bind(spoofing_capability=0.8).simulate(1_000, seed=SEED)
+        assert honest.spoofed_rate() == 0.0
+        assert hostile.spoofed_rate() > 0.5
+
+    def test_fresh_indicator_gets_noticed_more(self):
+        scenario = get_scenario("ssl-indicator")
+        worn = scenario.bind(habituation_exposures=200).simulate(2_000, seed=SEED)
+        fresh = scenario.bind(habituation_exposures=0, conspicuity=0.9).simulate(
+            2_000, seed=SEED
+        )
+        assert fresh.notice_rate() > worn.notice_rate()
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            get_scenario("ssl-indicator").bind(spoofing_capability=1.5)
+        with pytest.raises(ModelError):
+            get_scenario("ssl-indicator").bind(habituation_exposures=-1)
+
+    def test_sweepable_through_experiments(self):
+        # The default lock icon is so inconspicuous the notice probability
+        # sits on the model floor; a conspicuous variant gives the
+        # habituation axis headroom to matter.
+        sweep = SweepSpec(
+            scenario="ssl-indicator",
+            grid={"habituation_exposures": [0, 100]},
+            base={"spoofing_capability": 0.0, "conspicuity": 0.9},
+        )
+        results = Experiment.from_sweep(
+            "ssl-habituation", sweep, n_receivers=1_000, seed=SEED,
+            seed_strategy="shared",
+        ).run()
+        notice = results.metric_by_variant("notice_rate")
+        assert notice["habituation_exposures=0"] > notice["habituation_exposures=100"]
+
+
+class TestEmailAttachmentsBinder:
+    def test_scenario_exposes_domain_parameters(self):
+        names = get_scenario("email-attachments").parameter_space().names()
+        assert "interactive_training" in names
+        assert "training_clarity" in names
+        assert "refresher_exposures" in names
+
+    def test_interactive_training_outperforms_handbook(self):
+        scenario = get_scenario("email-attachments")
+        handbook = scenario.bind(interactive_training=False).simulate(2_000, seed=SEED)
+        interactive = scenario.bind(interactive_training=True).simulate(2_000, seed=SEED)
+        assert interactive.protection_rate() > handbook.protection_rate()
+
+    def test_bound_task_matches_training_variant(self):
+        variant = get_scenario("email-attachments").bind(interactive_training=True)
+        assert variant.task().name == "judge-email-attachment-interactive-training"
+        assert variant.task().communication.name.endswith("-interactive")
+
+    def test_training_clarity_override_applies(self):
+        variant = get_scenario("email-attachments").bind(training_clarity=0.95)
+        assert variant.task().communication.clarity == 0.95
+
+    def test_refresher_exposures_habituate(self):
+        variant = get_scenario("email-attachments").bind(refresher_exposures=50)
+        assert variant.task().communication.habituation_exposures == 50
+
+    def test_batch_reference_equivalence_for_bound_variant(self):
+        variant = get_scenario("email-attachments").bind(interactive_training=True)
+        batch = variant.simulate(400, seed=SEED, mode="batch")
+        reference = variant.simulate(400, seed=SEED, mode="reference")
+        assert batch.outcome_counts() == reference.outcome_counts()
+        assert batch.stage_failure_counts() == reference.stage_failure_counts()
+
+    def test_sweepable_with_common_knobs(self):
+        sweep = SweepSpec(
+            scenario="email-attachments",
+            grid={"interactive_training": [False, True]},
+            base={"training_fraction": 1.0},
+        )
+        results = Experiment.from_sweep(
+            "training-design", sweep, n_receivers=500, seed=SEED
+        ).run()
+        assert len(results) == 2
+        for row in results.rows:
+            assert row.params["training_fraction"] == 1.0
+
+
+class TestRegistryCoverage:
+    def test_majority_of_scenarios_now_have_domain_binders(self):
+        from repro.systems.scenario import all_scenarios
+
+        with_binders = [
+            name
+            for name, scenario in all_scenarios().items()
+            if getattr(scenario, "binder", None) is not None
+        ]
+        assert {"passwords", "antiphishing", "ssl-indicator", "email-attachments"} <= set(
+            with_binders
+        )
