@@ -1,17 +1,19 @@
-"""Benchmark floor checks: fail CI when throughput regresses (ISSUE 4).
+"""Benchmark floor checks: fail CI when throughput regresses (ISSUEs 4, 5).
 
 Re-runs the exact workloads whose numbers are recorded in
-``BENCH_engine.json`` (single-shot engine scaling) and
-``BENCH_rounds.json`` (multi-round engine) and fails if the live
-throughput drops below **half** of the recorded value — a loose enough
-floor to ride out machine noise, tight enough to catch a hot path
-regressing by an order of magnitude.  Also runs a small-N funnel-metrics
-smoke so the trace layer stays wired end to end.
+``BENCH_engine.json`` (single-shot engine scaling), ``BENCH_rounds.json``
+(multi-round engine), and ``BENCH_shards.json`` (sharded sweep execution)
+and fails if the live throughput drops below **half** of the recorded
+value — a loose enough floor to ride out machine noise, tight enough to
+catch a hot path regressing by an order of magnitude.  Also runs a
+small-N funnel-metrics smoke so the trace layer stays wired end to end;
+the shard floor doubles as a two-shard merge smoke (merged shards must
+equal the serial run bit for bit at any scale).
 
 The floors only engage when the live run is at the recorded scale (the
 recorded numbers are meaningless for smaller N): set ``BENCH_FLOOR_N`` /
-``BENCH_FLOOR_ROUNDS`` below the recorded scale to run everything as a
-pure smoke check (what CI does).
+``BENCH_FLOOR_ROUNDS`` / ``BENCH_FLOOR_SHARD_N`` below the recorded
+scale to run everything as a pure smoke check (what CI does).
 
 Run standalone::
 
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 from typing import Optional, Tuple
@@ -37,6 +40,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 FLOOR_FRACTION = 0.5
 N_RECEIVERS = int(os.environ.get("BENCH_FLOOR_N", "100000"))
 ROUNDS = int(os.environ.get("BENCH_FLOOR_ROUNDS", "10"))
+N_SHARD_RECEIVERS = int(os.environ.get("BENCH_FLOOR_SHARD_N", "20000"))
 
 # The recorded workloads (constants mirror the recording benchmarks).
 ENGINE_SEED = 20080124
@@ -45,6 +49,12 @@ ROUNDS_SEED = 20080326
 ROUNDS_TASK = "heed-ie_passive-warning"
 ROUNDS_RECOVERY = 0.1
 SCENARIO = "antiphishing"
+SHARD_SEED = 20260726
+SHARD_COUNT = 2
+SHARD_GRID = {
+    "distinct_accounts": [4, 8, 12, 16],
+    "single_sign_on": [False, True],
+}
 
 
 def _recorded_engine_rate() -> Optional[Tuple[int, float]]:
@@ -69,6 +79,18 @@ def _recorded_rounds_rate() -> Optional[Tuple[int, float]]:
     return (
         int(payload.get("receiver_rounds", 0)),
         float(payload.get("receiver_rounds_per_sec", 0.0)),
+    )
+
+
+def _recorded_shard_rate() -> Optional[Tuple[int, float]]:
+    """(total_receivers, receivers_per_sec) recorded for the sharded sweep."""
+    path = REPO_ROOT / "BENCH_shards.json"
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    return (
+        int(payload.get("total_receivers", 0)),
+        float(payload.get("sharded", {}).get("receivers_per_sec", 0.0)),
     )
 
 
@@ -130,6 +152,51 @@ def test_multi_round_floor():
     )
 
 
+def test_shard_backend_floor():
+    """Sharded sweep throughput must stay above half the recorded rate.
+
+    Also the two-shard merge smoke: at *any* scale, the merged shards
+    (including their checkpoint JSONL round-trip) must reassemble the
+    serial run bit for bit.
+    """
+    from repro.experiments import Experiment, ResultSet, SerialBackend, ShardBackend, SweepSpec
+    from repro.io import resultset_to_dict
+
+    experiment = Experiment.from_sweep(
+        "password-shard-scaling",
+        SweepSpec(scenario="passwords", grid=SHARD_GRID),
+        n_receivers=N_SHARD_RECEIVERS,
+        seed=SHARD_SEED,
+        task="recall-passwords",
+    )
+    serial = experiment.run(backend=SerialBackend())  # warm-up + correctness anchor
+
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="floor-shards-") as checkpoint_dir:
+        shard_sets = [
+            experiment.run(
+                backend=ShardBackend(index, SHARD_COUNT, checkpoint_dir=checkpoint_dir)
+            )
+            for index in range(SHARD_COUNT)
+        ]
+    seconds = time.perf_counter() - start
+    merged = ResultSet.merge(*shard_sets)
+    assert resultset_to_dict(merged) == resultset_to_dict(serial)
+
+    total = len(experiment.variants) * N_SHARD_RECEIVERS
+    rate = total / seconds
+    recorded = _recorded_shard_rate()
+    print(f"\n  sharded sweep: {rate:,.0f} receivers/s (recorded: {recorded})")
+    assert rate > 0
+    if recorded is None or total < recorded[0]:
+        return  # smoke scale — the recorded number does not apply
+    floor = FLOOR_FRACTION * recorded[1]
+    assert rate >= floor, (
+        f"sharded sweep throughput {rate:,.0f} receivers/s fell below the "
+        f"floor {floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    )
+
+
 def test_funnel_metrics_smoke():
     """Small-N end-to-end smoke of the per-stage funnel metrics."""
     result = get_scenario(SCENARIO).simulate(
@@ -150,6 +217,7 @@ def test_funnel_metrics_smoke():
 def main() -> None:
     test_engine_scaling_floor()
     test_multi_round_floor()
+    test_shard_backend_floor()
     test_funnel_metrics_smoke()
     print("floor checks passed")
 

@@ -32,7 +32,7 @@ import time
 from pathlib import Path
 from typing import Dict
 
-from repro.experiments import Experiment, ResultSet, SweepSpec
+from repro.experiments import Experiment, ProcessBackend, ResultSet, SweepSpec
 from repro.io import resultset_to_dict
 
 SEED = 20080301
@@ -87,7 +87,7 @@ def measure_sweep() -> Dict[str, object]:
 
     workers = available_workers()
     start = time.perf_counter()
-    parallel = experiment.run(max_workers=workers)
+    parallel = experiment.run(backend=ProcessBackend(max_workers=workers))
     parallel_seconds = time.perf_counter() - start
 
     deterministic = resultset_to_dict(serial) == resultset_to_dict(parallel)

@@ -12,21 +12,47 @@ simulator call per configuration, describe the comparison declaratively:
 >>> experiment = Experiment.from_sweep(
 ...     "password-burden", sweep, n_receivers=1000, seed=7, task="recall-passwords"
 ... )
->>> results = experiment.run()            # or .run(max_workers=8) for big grids
+>>> results = experiment.run()            # SerialBackend is the default
 >>> print(results.to_markdown(["protection_rate", "capability_failure_rate"]))
+
+Execution strategy is pluggable (:mod:`repro.experiments.backends`):
+``run(backend=ProcessBackend(max_workers=8))`` fans out over local
+processes, and a grid can be split across hosts with one
+:class:`ShardBackend` invocation per shard —
+
+>>> host_a = experiment.run(backend=ShardBackend(0, 2, checkpoint_dir="ckpt"))
+>>> host_b = experiment.run(backend=ShardBackend(1, 2, checkpoint_dir="ckpt"))
+>>> merged = ResultSet.merge(host_a, host_b)   # == the serial run, bit for bit
+
+— with append-only JSONL checkpoints (:mod:`repro.io.shards`) that
+``experiment.resume("ckpt")`` completes after an interruption without
+recomputing finished rows.
 
 Layering:
 
 * :mod:`repro.experiments.design` — :class:`VariantSpec` /
   :class:`SweepSpec` / :class:`Experiment` specifications,
-* :mod:`repro.experiments.runner` — serial or process-parallel execution
-  with per-variant seeded RNG streams,
+* :mod:`repro.experiments.runner` — picklable :class:`VariantRun` work
+  units with per-variant seeded RNG streams,
+* :mod:`repro.experiments.backends` — the :class:`ExecutionBackend`
+  protocol and the serial / process-pool / shard strategies,
 * :mod:`repro.experiments.results` — the unified :class:`ResultSet` of
-  :class:`ResultRow` provenance records, exported via :mod:`repro.io`,
-  rendered via :mod:`repro.io.tabular`, and feeding the
-  :mod:`repro.mitigations` ranking per variant.
+  :class:`ResultRow` provenance records (content-hashed row identity,
+  :meth:`ResultSet.merge`), exported via :mod:`repro.io`, rendered via
+  :mod:`repro.io.tabular`, and feeding the :mod:`repro.mitigations`
+  ranking per variant.
 """
 
+from .backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ShardBackend,
+    ShardPlan,
+    resolve_backend,
+    resume_experiment,
+    shard_plans,
+)
 from .design import (
     EXPERIMENT_PATHS,
     SEED_STRATEGIES,
@@ -53,4 +79,12 @@ __all__ = [
     "plan_runs",
     "run_variant",
     "execute",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ShardBackend",
+    "ShardPlan",
+    "shard_plans",
+    "resolve_backend",
+    "resume_experiment",
 ]

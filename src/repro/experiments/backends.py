@@ -1,0 +1,375 @@
+"""Pluggable execution backends for the experiments API.
+
+``Experiment.run()`` historically hard-wired a single-machine
+:class:`concurrent.futures.ProcessPoolExecutor` behind ``max_workers=``.
+This module separates *what to run* (the experiment, resolved into
+:class:`~repro.experiments.runner.VariantRun` work units) from *how to
+run it* — any object satisfying the :class:`ExecutionBackend` protocol:
+
+* :class:`SerialBackend` — every variant inline, in declaration order
+  (the default, and the executable specification the others must match).
+* :class:`ProcessBackend` — the former ``max_workers`` pool, now one
+  strategy among several; ``max_workers=`` on :meth:`Experiment.run`
+  survives as a deprecated shim mapped onto it.
+* :class:`ShardBackend` — one deterministic shard of the grid per
+  invocation, for splitting a sweep across hosts.  The partition strides
+  over variant indices, and per-variant seeds derive from the experiment
+  seed and the variant index (never from execution order), so the union
+  of all shards is **bit-identical** to the serial run — reassembled via
+  :meth:`ResultSet.merge`.  With a ``checkpoint_dir``, completed rows
+  persist append-only as JSONL shard files (:mod:`repro.io.shards`) and
+  are skipped on re-invocation.
+
+:func:`resume_experiment` (surfaced as :meth:`Experiment.resume`) closes
+the loop: it loads every shard file in a checkpoint directory, validates
+the headers against the experiment, runs only the rows that are missing,
+and returns the full canonical :class:`ResultSet` — identical to an
+uninterrupted serial run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+import warnings
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..io.shards import (
+    RESUME_FILENAME,
+    append_shard_rows,
+    load_checkpoint,
+    shard_filename,
+)
+from ..systems.scenario import variant_hash as compute_variant_hash
+from .design import Experiment
+from .results import ExperimentError, ResultRow, ResultSet
+from .runner import VariantRun, plan_runs, run_variant
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ShardBackend",
+    "ShardPlan",
+    "shard_plans",
+    "resolve_backend",
+    "resume_experiment",
+]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The protocol every execution strategy satisfies.
+
+    A backend turns an :class:`Experiment` into a :class:`ResultSet`.
+    Implementations must be *result-transparent*: whatever subset of the
+    experiment they execute, every row they produce must be bit-identical
+    to the corresponding row of a :class:`SerialBackend` run (per-variant
+    seeds are derived from the experiment seed and the variant index, so
+    this falls out of using :func:`~repro.experiments.runner.plan_runs`).
+    """
+
+    def execute(self, experiment: Experiment) -> ResultSet: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class SerialBackend:
+    """Run every variant inline, in declaration order."""
+
+    def execute(self, experiment: Experiment) -> ResultSet:
+        rows = [row for run in plan_runs(experiment) for row in run_variant(run)]
+        return ResultSet(experiment=experiment.name, rows=rows, seed=experiment.seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessBackend:
+    """Fan variants out over a local :class:`ProcessPoolExecutor`.
+
+    ``max_workers`` of ``None`` uses the machine's core count; the pool
+    is always bounded by the variant count, and a pool of one (or a
+    single-variant experiment) degrades to the serial path.  Rows are
+    identical to :class:`SerialBackend` because each work unit carries
+    its own derived seed.
+    """
+
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ExperimentError("max_workers must be >= 1")
+
+    def execute(self, experiment: Experiment) -> ResultSet:
+        runs = plan_runs(experiment)
+        workers = min(self.max_workers or os.cpu_count() or 1, len(runs))
+        if workers <= 1 or len(runs) <= 1:
+            return SerialBackend().execute(experiment)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            row_lists = list(pool.map(run_variant, runs))
+        return ResultSet(
+            experiment=experiment.name,
+            rows=[row for rows in row_lists for row in rows],
+            seed=experiment.seed,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """One shard's deterministic slice of an experiment's work units."""
+
+    experiment: str
+    seed: int
+    shard_index: int
+    shard_count: int
+    n_variants: int
+    runs: Tuple[VariantRun, ...]
+
+    def header(self) -> Dict[str, Any]:
+        """The provenance header written into this shard's JSONL file."""
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "n_variants": self.n_variants,
+        }
+
+
+def shard_plans(experiment: Experiment, shard_count: int) -> List[ShardPlan]:
+    """Deterministically partition an experiment across ``shard_count`` shards.
+
+    Shard ``k`` takes variant indices ``k, k + shard_count, ...`` — a
+    strided partition, so shard sizes differ by at most one and every
+    work unit keeps the seed it would have under a serial run.
+    """
+    if shard_count < 1:
+        raise ExperimentError(f"shard_count must be >= 1, got {shard_count}")
+    runs = plan_runs(experiment)
+    return [
+        ShardPlan(
+            experiment=experiment.name,
+            seed=experiment.seed,
+            shard_index=index,
+            shard_count=shard_count,
+            n_variants=len(runs),
+            runs=tuple(runs[index::shard_count]),
+        )
+        for index in range(shard_count)
+    ]
+
+
+def _expected_row_keys(run: VariantRun) -> List[Tuple[str, str, str]]:
+    """The row identities one work unit produces, in emission order."""
+    point_hash = compute_variant_hash(run.scenario, run.params)
+    keys: List[Tuple[str, str, str]] = []
+    if "analyze" in run.paths:
+        keys.append((run.label, point_hash, "analytic"))
+    if "simulate" in run.paths:
+        keys.append((run.label, point_hash, run.mode))
+    return keys
+
+
+def _run_with_checkpoint(
+    runs: Sequence[VariantRun],
+    completed: Dict[Tuple[str, str, str], ResultRow],
+    checkpoint_path: Optional[Path],
+    header: Mapping[str, Any],
+) -> List[ResultRow]:
+    """Execute work units, skipping rows already in ``completed``.
+
+    Finished variants are served straight from the checkpoint; a variant
+    with any row missing is re-run, and only the rows the checkpoint
+    lacks are appended (so a run torn between a variant's analytic and
+    simulated appends never duplicates the surviving row).  ``completed``
+    is updated in place.
+    """
+    rows: List[ResultRow] = []
+    for run in runs:
+        keys = _expected_row_keys(run)
+        if all(key in completed for key in keys):
+            rows.extend(completed[key] for key in keys)
+            continue
+        produced = run_variant(run)
+        fresh = [row for row in produced if row.row_key() not in completed]
+        if checkpoint_path is not None and fresh:
+            append_shard_rows(checkpoint_path, fresh, header=header)
+        rows.extend(completed.get(row.row_key(), row) for row in produced)
+        completed.update({row.row_key(): row for row in fresh})
+    return rows
+
+
+def _validate_header(
+    header: Mapping[str, Any], experiment: Experiment, path: Path
+) -> None:
+    """Reject a shard file recorded for a different experiment definition."""
+    expected = {
+        "experiment": experiment.name,
+        "seed": experiment.seed,
+        "n_variants": len(experiment.variants),
+    }
+    mismatched = {
+        name: (header.get(name), value)
+        for name, value in expected.items()
+        if header.get(name) != value
+    }
+    if mismatched:
+        details = ", ".join(
+            f"{name}: file has {found!r}, experiment has {wanted!r}"
+            for name, (found, wanted) in sorted(mismatched.items())
+        )
+        raise ExperimentError(
+            f"shard file {str(path)!r} belongs to a different experiment ({details})"
+        )
+
+
+def _load_completed(
+    entries: Sequence[Tuple[Path, Optional[Mapping[str, Any]], Sequence[ResultRow]]],
+    experiment: Experiment,
+) -> Dict[Tuple[str, str, str], ResultRow]:
+    """Index checkpointed rows by identity, rejecting clashes across files."""
+    completed: Dict[Tuple[str, str, str], ResultRow] = {}
+    origin: Dict[Tuple[str, str, str], Path] = {}
+    for path, header, rows in entries:
+        if header is None:
+            continue  # torn first write — the file holds nothing committed
+        _validate_header(header, experiment, path)
+        for row in rows:
+            key = row.row_key()
+            if key in completed:
+                raise ExperimentError(
+                    f"checkpoint clash: row {row.variant!r} (mode {row.mode!r}) "
+                    f"appears in both {str(origin[key])!r} and {str(path)!r}"
+                )
+            completed[key] = row
+            origin[key] = path
+    return completed
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardBackend:
+    """Run one deterministic shard of the sweep — one invocation per host.
+
+    ``shard_index`` / ``shard_count`` select the slice (see
+    :func:`shard_plans`); the returned :class:`ResultSet` holds only this
+    shard's rows, ready for :meth:`ResultSet.merge` with its siblings.
+    With a ``checkpoint_dir``, rows persist append-only to this shard's
+    JSONL file as each variant completes, and a re-invocation (after a
+    crash, or a scheduler retry) skips everything already on disk —
+    consulting *every* file in the directory, so rows another invocation
+    already recovered (e.g. :meth:`Experiment.resume` writing to
+    ``resume.jsonl``) are never recomputed or duplicated.
+    """
+
+    shard_index: int
+    shard_count: int
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ExperimentError(f"shard_count must be >= 1, got {self.shard_count}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ExperimentError(
+                f"shard_index must be in [0, {self.shard_count}), got {self.shard_index}"
+            )
+
+    def plan(self, experiment: Experiment) -> ShardPlan:
+        """This shard's slice of the experiment's work units."""
+        return shard_plans(experiment, self.shard_count)[self.shard_index]
+
+    def execute(self, experiment: Experiment) -> ResultSet:
+        plan = self.plan(experiment)
+        checkpoint_path: Optional[Path] = None
+        completed: Dict[Tuple[str, str, str], ResultRow] = {}
+        if self.checkpoint_dir is not None:
+            directory = Path(self.checkpoint_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            checkpoint_path = directory / shard_filename(
+                self.shard_index, self.shard_count
+            )
+            completed = _load_completed(load_checkpoint(directory), experiment)
+        rows = _run_with_checkpoint(
+            plan.runs, completed, checkpoint_path, plan.header()
+        )
+        return ResultSet(experiment=experiment.name, rows=rows, seed=experiment.seed)
+
+
+def resume_experiment(experiment: Experiment, checkpoint_dir: str) -> ResultSet:
+    """Complete an interrupted or partially-sharded run from its checkpoints.
+
+    Loads every shard file in ``checkpoint_dir`` (validating each header
+    against the experiment and rejecting row clashes across files), runs
+    only the variants with rows still missing — appending what it
+    computes to ``resume.jsonl`` in the same append-only format — and
+    returns the full canonical :class:`ResultSet`, bit-identical to an
+    uninterrupted serial run.
+    """
+    directory = Path(checkpoint_dir)
+    if not directory.is_dir():
+        raise ExperimentError(
+            f"checkpoint directory {str(directory)!r} does not exist"
+        )
+    runs = plan_runs(experiment)
+    completed = _load_completed(load_checkpoint(directory), experiment)
+    resume_header = {
+        "experiment": experiment.name,
+        "seed": experiment.seed,
+        "shard_index": None,
+        "shard_count": None,
+        "n_variants": len(runs),
+    }
+    rows = _run_with_checkpoint(
+        runs, completed, directory / RESUME_FILENAME, resume_header
+    )
+    return ResultSet(experiment=experiment.name, rows=rows, seed=experiment.seed)
+
+
+def resolve_backend(
+    backend: Optional[ExecutionBackend] = None,
+    max_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """The backend an :meth:`Experiment.run` call asked for.
+
+    ``max_workers=`` is the pre-backend spelling: it maps onto
+    :class:`ProcessBackend` (``None``/``1`` stay serial, preserving the
+    historical semantics) with a :class:`DeprecationWarning`.  A bare
+    integer ``backend`` is a positional caller of the old
+    ``run(max_workers)`` signature and is routed through the same shim.
+    Passing both a backend and ``max_workers`` is a contradiction and
+    raises.
+    """
+    if backend is not None and max_workers is not None:
+        raise ExperimentError(
+            "pass either backend= or the deprecated max_workers=, not both"
+        )
+    if isinstance(backend, int) and not isinstance(backend, bool):
+        backend, max_workers = None, backend
+    if max_workers is not None:
+        warnings.warn(
+            "max_workers= is deprecated; pass backend=ProcessBackend(max_workers=N) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ProcessBackend(max_workers=max_workers) if max_workers > 1 else SerialBackend()
+    if backend is None:
+        return SerialBackend()
+    # runtime_checkable protocols only check attribute presence, so a
+    # backend *class* (an easy typo for an instance) would slip through
+    # and die later with an opaque TypeError.
+    if isinstance(backend, type) or not isinstance(backend, ExecutionBackend):
+        raise ExperimentError(
+            f"backend {backend!r} does not satisfy the ExecutionBackend protocol "
+            "(pass an instance with an execute(experiment) method)"
+        )
+    return backend

@@ -15,8 +15,12 @@ parameter points to visit, and how to run them — and produces a
   stream (``seed_strategy="per-variant"``, derived deterministically from
   the experiment seed via :class:`numpy.random.SeedSequence`) or shares
   the experiment seed (``"shared"``, i.e. common random numbers — the
-  right choice when comparing variants pairwise).  Large grids can run
-  across cores with ``max_workers`` (see :mod:`repro.experiments.runner`).
+  right choice when comparing variants pairwise).  *How* the variants
+  execute is a separate, pluggable concern: ``run(backend=...)`` accepts
+  any :class:`~repro.experiments.backends.ExecutionBackend` (serial, a
+  local process pool, or one shard per host — see
+  :mod:`repro.experiments.backends`), and :meth:`Experiment.resume`
+  completes an interrupted run from its checkpoint directory.
 """
 
 from __future__ import annotations
@@ -228,14 +232,34 @@ class Experiment:
             return self.seed
         return int(np.random.SeedSequence([self.seed, index]).generate_state(1)[0])
 
-    def run(self, max_workers: Optional[int] = None) -> ResultSet:
+    def run(self, backend=None, max_workers: Optional[int] = None) -> ResultSet:
         """Run every variant and collect a :class:`ResultSet`.
 
-        ``max_workers`` > 1 fans variants out over a
-        :class:`concurrent.futures.ProcessPoolExecutor`; results are
-        identical to the serial run (each variant's stream is derived
-        from the experiment seed, not from execution order).
+        ``backend`` selects the execution strategy — any
+        :class:`~repro.experiments.backends.ExecutionBackend`:
+        :class:`~repro.experiments.backends.SerialBackend` (the default),
+        :class:`~repro.experiments.backends.ProcessBackend` for a local
+        pool, or :class:`~repro.experiments.backends.ShardBackend` to run
+        one deterministic shard of the grid per invocation.  Results are
+        bit-identical across backends (each variant's stream derives from
+        the experiment seed and the variant index, never from execution
+        order); shard results reassemble via :meth:`ResultSet.merge`.
+        ``max_workers=`` is the deprecated pre-backend shim for
+        ``backend=ProcessBackend(max_workers=N)``.
         """
-        from .runner import execute  # deferred: runner imports this module
+        from .backends import resolve_backend  # deferred: backends imports this module
 
-        return execute(self, max_workers=max_workers)
+        return resolve_backend(backend=backend, max_workers=max_workers).execute(self)
+
+    def resume(self, checkpoint_dir: str) -> ResultSet:
+        """Complete an interrupted (or partially-sharded) run from checkpoints.
+
+        Reads every JSONL shard file in ``checkpoint_dir``, skips rows
+        already completed, runs only what is missing (persisting the
+        recomputed rows append-only alongside the shards), and returns
+        the full :class:`ResultSet` — bit-identical to a serial run that
+        was never interrupted.
+        """
+        from .backends import resume_experiment  # deferred, as above
+
+        return resume_experiment(self, checkpoint_dir)

@@ -14,18 +14,28 @@ JSON export (via :mod:`repro.io.experiments_io`), and the mitigation
 post-step — :meth:`ResultSet.recommendations` runs the
 :mod:`repro.mitigations` ranking per variant instead of only per bare
 system.
+
+Row identity is **content-based**, not positional: every row carries the
+:func:`repro.systems.scenario.variant_hash` of its (scenario, params)
+point, and :meth:`ResultSet.merge` reassembles shard / partial result
+sets by that identity — validating provenance (same experiment) and
+rejecting clashes (the same row appearing in more than one set, as
+overlapping shard plans produce) — into the exact row order of a serial
+run.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+import sys
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.exceptions import ReproError
 from ..io.tabular import render_markdown_table
 from ..mitigations.recommendations import SystemRecommendations, recommend_for_system
 from ..simulation.metrics import SimulationResult
 from ..systems.scenario import get_scenario
+from ..systems.scenario import variant_hash as compute_variant_hash
 
 __all__ = ["ResultRow", "ResultSet", "reproduce_row"]
 
@@ -66,10 +76,32 @@ class ResultRow:
     recovery_rate: Optional[float] = None
     dismiss_weight: Optional[float] = None
     heed_weight: Optional[float] = None
+    variant_index: Optional[int] = None
 
     @property
     def simulated(self) -> bool:
         return self.mode != "analytic"
+
+    @property
+    def variant_hash(self) -> str:
+        """Content hash identifying this row's (scenario, params) point.
+
+        Computed from the row's own provenance, so it stays valid however
+        the row was reassembled (merged shards, loaded checkpoints); the
+        JSON form records it for integrity checking on load.
+        """
+        return compute_variant_hash(self.scenario, self.params)
+
+    def row_key(self) -> Tuple[str, str, str]:
+        """This row's identity within its experiment.
+
+        The (variant label, variant hash, mode) triple: labels are unique
+        per experiment, the hash pins the parameter point behind the
+        label, and the mode separates the analytic row from the simulated
+        one.  Shard checkpointing, resume, and :meth:`ResultSet.merge`
+        all dedup on this key — never on list position.
+        """
+        return (self.variant, self.variant_hash, self.mode)
 
     def metric(self, name: str) -> float:
         if name not in self.metrics:
@@ -92,7 +124,11 @@ def reproduce_row(row: ResultRow) -> SimulationResult:
 
     The returned result is bit-identical to the original run: the variant
     is re-bound from the registry with the recorded parameters and the
-    engine re-seeded with the recorded (seed, mode, batch_size).
+    engine re-seeded with the recorded (seed, mode, batch_size).  Row
+    identity is entirely field-based — the row's ``variant_hash`` names
+    the parameter point and the recorded seed the stream — so rows from
+    merged, sharded, or resumed :class:`ResultSet`\\ s reproduce exactly,
+    whatever position they ended up at.
     """
     if not row.simulated:
         raise ExperimentError(f"row {row.variant!r} is analytic; nothing to re-simulate")
@@ -109,18 +145,94 @@ def reproduce_row(row: ResultRow) -> SimulationResult:
     )
 
 
+def _canonical_row_order(row: ResultRow) -> Tuple[int, int]:
+    """Serial-run row order: variant declaration order, analytic row first.
+
+    Rows without a recorded ``variant_index`` (legacy payloads) all get
+    the same key, so they keep their relative order at the end —
+    ``sorted`` is stable.
+    """
+    if row.variant_index is None:
+        return (sys.maxsize, 0)
+    return (row.variant_index, 0 if row.mode == "analytic" else 1)
+
+
 @dataclasses.dataclass
 class ResultSet:
-    """Every row one experiment produced, in variant order."""
+    """Every row one experiment produced, in variant order.
+
+    ``seed`` records the experiment seed the rows were produced under
+    (``None`` for hand-built or legacy sets): per-variant row seeds
+    derive from it, so two sets can only be merged when it agrees.
+    """
 
     experiment: str
     rows: List[ResultRow] = dataclasses.field(default_factory=list)
+    seed: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __iter__(self) -> Iterator[ResultRow]:
         return iter(self.rows)
+
+    # -- merging -----------------------------------------------------------------
+
+    @classmethod
+    def merge(cls, *sets: "ResultSet") -> "ResultSet":
+        """Reassemble shard / partial result sets into one canonical set.
+
+        Validates provenance — every set must come from the same
+        experiment: same name, same experiment seed (a renamed-in-place
+        experiment re-run under a different seed must not merge with the
+        old shards), and one ``n_receivers`` across the simulated rows —
+        and rejects clashes: the same row identity
+        (:meth:`ResultRow.row_key`) appearing more than once, which is
+        what overlapping shard plans or a double-merged set produce.
+        Rows are reordered canonically by their recorded
+        ``variant_index`` (analytic before simulated within a variant),
+        so merging a sharded sweep yields exactly the serial run's
+        :class:`ResultSet` — bit-identical through
+        :func:`repro.io.resultset_to_dict`.
+        """
+        if not sets:
+            raise ExperimentError("merge needs at least one result set")
+        names = sorted({resultset.experiment for resultset in sets})
+        if len(names) > 1:
+            raise ExperimentError(
+                f"cannot merge result sets from different experiments: {names}"
+            )
+        seeds = sorted(
+            {resultset.seed for resultset in sets if resultset.seed is not None}
+        )
+        if len(seeds) > 1:
+            raise ExperimentError(
+                f"cannot merge result sets produced under different experiment "
+                f"seeds: {seeds}"
+            )
+        seen: Dict[Tuple[str, str, str], ResultRow] = {}
+        for resultset in sets:
+            for row in resultset.rows:
+                key = row.row_key()
+                if key in seen:
+                    raise ExperimentError(
+                        f"overlapping result sets: row {row.variant!r} "
+                        f"(mode {row.mode!r}, hash {row.variant_hash}) appears "
+                        "more than once — shard plans must be disjoint"
+                    )
+                seen[key] = row
+        sizes = sorted(
+            {row.n_receivers for row in seen.values() if row.n_receivers is not None}
+        )
+        if len(sizes) > 1:
+            raise ExperimentError(
+                f"cannot merge rows simulated at different n_receivers: {sizes}"
+            )
+        return cls(
+            experiment=names[0],
+            rows=sorted(seen.values(), key=_canonical_row_order),
+            seed=seeds[0] if seeds else None,
+        )
 
     # -- selection ---------------------------------------------------------------
 
@@ -132,10 +244,14 @@ class ResultSet:
         return list(seen)
 
     def simulated(self) -> "ResultSet":
-        return ResultSet(self.experiment, [row for row in self.rows if row.simulated])
+        return ResultSet(
+            self.experiment, [row for row in self.rows if row.simulated], self.seed
+        )
 
     def analytic(self) -> "ResultSet":
-        return ResultSet(self.experiment, [row for row in self.rows if not row.simulated])
+        return ResultSet(
+            self.experiment, [row for row in self.rows if not row.simulated], self.seed
+        )
 
     def row(self, variant: str, mode: Optional[str] = None) -> ResultRow:
         """The unique row for a variant (and mode, when both paths ran)."""
@@ -156,6 +272,58 @@ class ResultSet:
                 f"{sorted({row.mode for row in matches})}"
             )
         return matches[0]
+
+    def row_by_hash(self, variant_hash: str, mode: Optional[str] = None) -> ResultRow:
+        """The unique row whose parameter-identity hash matches.
+
+        The hash-keyed sibling of :meth:`row`: identity comes from the
+        (scenario, params) content hash rather than the display label, so
+        callers holding provenance from another host's shard file can
+        address the row without knowing how it was labelled.
+        """
+        matches = [
+            row
+            for row in self.rows
+            if row.variant_hash == variant_hash
+            and (mode is None or row.mode == mode)
+        ]
+        if not matches:
+            raise ExperimentError(
+                f"no row with variant hash {variant_hash!r}"
+                + (f" in mode {mode!r}" if mode else "")
+                + f"; known hashes: {sorted({row.variant_hash for row in self.rows})}"
+            )
+        if len(matches) > 1:
+            raise ExperimentError(
+                f"variant hash {variant_hash!r} matches {len(matches)} rows; "
+                f"pass mode={sorted({row.mode for row in matches})}"
+            )
+        return matches[0]
+
+    def reproduce(self, key: str, mode: Optional[str] = None) -> SimulationResult:
+        """Re-run one simulated row, looked up by variant label or hash.
+
+        Identity-based on :attr:`ResultRow.variant_hash` (falling back to
+        the label), so merged / sharded / resumed sets reproduce
+        correctly however their rows were reassembled.
+        """
+        matches = [
+            row
+            for row in self.simulated().rows
+            if key in (row.variant, row.variant_hash)
+            and (mode is None or row.mode == mode)
+        ]
+        if not matches:
+            raise ExperimentError(
+                f"no simulated row labelled or hashed {key!r}; "
+                f"known variants: {self.labels()}"
+            )
+        if len(matches) > 1:
+            raise ExperimentError(
+                f"{key!r} matches {len(matches)} simulated rows; pass mode="
+                f"{sorted({row.mode for row in matches})}"
+            )
+        return reproduce_row(matches[0])
 
     def metric_by_variant(self, metric: str, mode: Optional[str] = None) -> Dict[str, float]:
         """One metric across variants (simulated rows unless ``mode`` given)."""

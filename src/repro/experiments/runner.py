@@ -1,18 +1,19 @@
-"""Experiment execution: serial or process-parallel over variants.
+"""Experiment work units: resolved variant plans and their execution.
 
 Each variant of an :class:`~repro.experiments.design.Experiment` becomes
 one picklable :class:`VariantRun` work unit; :func:`run_variant` re-binds
 the scenario from the registry inside the executing process (the registry
 is populated by import side effects, so worker processes see the same
-scenarios) and returns the result rows.  :func:`execute` runs the units
-either inline or over a :class:`concurrent.futures.ProcessPoolExecutor`,
-preserving variant order — the two paths produce identical rows because
-every unit carries its own derived seed.
+scenarios) and returns the result rows.  Every unit carries its own
+derived seed and its variant's declaration index, so any execution
+strategy — inline, a process pool, or one shard per host (see
+:mod:`repro.experiments.backends`) — produces identical rows in a
+reconstructible order.  :func:`execute` remains as the legacy entry
+point, now a thin wrapper over the backend layer.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -44,6 +45,7 @@ class VariantRun:
     dismiss_weight: Optional[float] = None
     heed_weight: Optional[float] = None
     trace: Optional[bool] = None
+    variant_index: int = 0
 
 
 def plan_runs(experiment: Experiment) -> List[VariantRun]:
@@ -65,6 +67,7 @@ def plan_runs(experiment: Experiment) -> List[VariantRun]:
             dismiss_weight=experiment.dismiss_weight,
             heed_weight=experiment.heed_weight,
             trace=experiment.trace,
+            variant_index=index,
         )
         for index, variant in enumerate(experiment.variants)
     ]
@@ -119,6 +122,7 @@ def run_variant(run: VariantRun) -> List[ResultRow]:
                 mode="analytic",
                 metrics=metrics,
                 task=task_name,
+                variant_index=run.variant_index,
             )
         )
 
@@ -150,27 +154,24 @@ def run_variant(run: VariantRun) -> List[ResultRow]:
                 recovery_rate=result.recovery_rate,
                 dismiss_weight=result.dismiss_weight,
                 heed_weight=result.heed_weight,
+                variant_index=run.variant_index,
             )
         )
     return rows
 
 
-def execute(experiment: Experiment, max_workers: Optional[int] = None) -> ResultSet:
-    """Run an experiment's variants, optionally across processes.
+def execute(
+    experiment: Experiment,
+    max_workers: Optional[int] = None,
+    backend=None,
+) -> ResultSet:
+    """Run an experiment's variants through an execution backend.
 
-    ``max_workers`` of ``None`` or ``1`` runs inline; larger values fan
-    out over a process pool (bounded by the variant count).  Variant
-    order — and, because seeds are derived per variant, every number —
-    is identical either way.
+    Legacy entry point kept for callers of the pre-backend API:
+    ``max_workers`` maps onto
+    :class:`~repro.experiments.backends.ProcessBackend` (with a
+    deprecation warning); prefer :meth:`Experiment.run(backend=...)`.
     """
-    runs = plan_runs(experiment)
-    if max_workers is not None and max_workers > 1 and len(runs) > 1:
-        workers = min(max_workers, len(runs))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            row_lists = list(pool.map(run_variant, runs))
-    else:
-        row_lists = [run_variant(run) for run in runs]
-    return ResultSet(
-        experiment=experiment.name,
-        rows=[row for rows in row_lists for row in rows],
-    )
+    from .backends import resolve_backend  # deferred: backends imports this module
+
+    return resolve_backend(backend=backend, max_workers=max_workers).execute(experiment)

@@ -4,7 +4,11 @@ A :class:`~repro.experiments.results.ResultSet` round-trips through plain
 JSON so sweeps can be archived, diffed, and fed to the viz layer.  Every
 row keeps its full provenance — scenario, validated parameter overrides,
 seed, execution mode, batch size, task — which is exactly the tuple
-:func:`repro.experiments.reproduce_row` needs to re-run it.
+:func:`repro.experiments.reproduce_row` needs to re-run it.  Rows also
+record their content-based identity (``variant_hash``) and declaration
+position (``variant_index``); parsing recomputes the hash from the
+parameters and rejects payloads where the two disagree, so a row whose
+provenance was edited after the fact cannot slip into a merge.
 
 Serialization is duck-typed over the row attributes (this module stays
 import-light); parsing imports the experiment classes lazily to keep
@@ -49,6 +53,8 @@ def result_row_to_dict(row) -> Dict[str, Any]:
         "recovery_rate": row.recovery_rate,
         "dismiss_weight": row.dismiss_weight,
         "heed_weight": row.heed_weight,
+        "variant_index": row.variant_index,
+        "variant_hash": row.variant_hash,
     }
 
 
@@ -57,7 +63,7 @@ def result_row_from_dict(payload: Dict[str, Any]):
     from ..experiments.results import ResultRow
 
     try:
-        return ResultRow(
+        row = ResultRow(
             experiment=payload["experiment"],
             scenario=payload["scenario"],
             variant=payload["variant"],
@@ -74,15 +80,25 @@ def result_row_from_dict(payload: Dict[str, Any]):
             recovery_rate=payload.get("recovery_rate"),
             dismiss_weight=payload.get("dismiss_weight"),
             heed_weight=payload.get("heed_weight"),
+            variant_index=payload.get("variant_index"),
         )
     except (KeyError, TypeError) as error:
         raise SerializationError(f"invalid result-row payload: {error}") from error
+    recorded_hash = payload.get("variant_hash")
+    if recorded_hash is not None and recorded_hash != row.variant_hash:
+        raise SerializationError(
+            f"result row {row.variant!r} records variant hash {recorded_hash!r} "
+            f"but its parameters hash to {row.variant_hash!r}; "
+            "the payload's provenance was altered"
+        )
+    return row
 
 
 def resultset_to_dict(resultset) -> Dict[str, Any]:
     """Serialize a result set to a JSON-compatible dictionary."""
     return {
         "experiment": resultset.experiment,
+        "seed": getattr(resultset, "seed", None),
         "rows": [result_row_to_dict(row) for row in resultset.rows],
     }
 
@@ -95,6 +111,7 @@ def resultset_from_dict(payload: Dict[str, Any]):
         return ResultSet(
             experiment=payload["experiment"],
             rows=[result_row_from_dict(row) for row in payload.get("rows", [])],
+            seed=payload.get("seed"),
         )
     except (KeyError, TypeError) as error:
         raise SerializationError(f"invalid result-set payload: {error}") from error

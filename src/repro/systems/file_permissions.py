@@ -11,6 +11,9 @@ visualization (Maxion & Reeder's Salmon-style mitigation).
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Mapping
+
 from ..core.behavior import TaskDesign
 from ..core.communication import (
     Communication,
@@ -23,10 +26,19 @@ from ..core.communication import (
 from ..core.impediments import Environment, StimulusKind
 from ..core.receiver import Capabilities
 from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.calibration import StageCalibration
 from ..simulation.population import PopulationSpec, organization_population
 from .base import register_system
+from .parameters import Parameter, ParameterSpace, ScenarioComponents
 
-__all__ = ["permissions_indicator", "set_permissions_task", "build_system", "population"]
+__all__ = [
+    "permissions_indicator",
+    "set_permissions_task",
+    "build_system",
+    "population",
+    "parameter_space",
+    "scenario_components",
+]
 
 
 def permissions_indicator(improved: bool = False) -> Communication:
@@ -53,7 +65,9 @@ def permissions_indicator(improved: bool = False) -> Communication:
     )
 
 
-def set_permissions_task(improved_interface: bool = False) -> HumanSecurityTask:
+def set_permissions_task(
+    improved_interface: bool = False, deadline_pressure: float = 0.6
+) -> HumanSecurityTask:
     """Set file permissions so only the intended principals have access."""
     design = TaskDesign(
         steps=5,
@@ -63,7 +77,7 @@ def set_permissions_task(improved_interface: bool = False) -> HumanSecurityTask:
         guidance_through_steps=improved_interface,
     )
     environment = Environment(description="Sharing a project folder under deadline pressure")
-    environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.6, "the project work itself")
+    environment.add_stimulus(StimulusKind.PRIMARY_TASK, deadline_pressure, "the project work itself")
     return HumanSecurityTask(
         name="set-file-permissions" + ("-improved" if improved_interface else ""),
         description=(
@@ -106,3 +120,64 @@ register_system("file-permissions", "File-permission management (Maxion & Reeder
 
 def population() -> PopulationSpec:
     return organization_population()
+
+
+# ---------------------------------------------------------------------------
+# Typed parameterization (consumed by the scenario registry / experiments)
+# ---------------------------------------------------------------------------
+
+def parameter_space() -> ParameterSpace:
+    """The Maxion & Reeder interface knobs the gulf of evaluation hinges on."""
+    return ParameterSpace(
+        [
+            Parameter(
+                "improved_interface",
+                "bool",
+                default=False,
+                description=(
+                    "Salmon-style interface with an effective-permissions "
+                    "visualization (Maxion & Reeder) instead of the stock XP dialog."
+                ),
+            ),
+            Parameter(
+                "feedback_quality",
+                "float",
+                default=None,
+                low=0.0,
+                high=1.0,
+                allow_none=True,
+                description=(
+                    "Override how clearly the dialog shows whether the change "
+                    "achieved the desired outcome (the gulf of evaluation)."
+                ),
+            ),
+            Parameter(
+                "deadline_pressure",
+                "float",
+                default=0.6,
+                low=0.0,
+                high=1.0,
+                description="Strength of the project work competing for attention.",
+            ),
+        ]
+    )
+
+
+def scenario_components(values: Mapping[str, object]) -> ScenarioComponents:
+    """The scenario binder: one permissions task with the bound interface design."""
+    task = set_permissions_task(
+        improved_interface=bool(values["improved_interface"]),
+        deadline_pressure=float(values["deadline_pressure"]),
+    )
+    if values["feedback_quality"] is not None:
+        task.task_design = dataclasses.replace(
+            task.task_design, feedback_quality=float(values["feedback_quality"])
+        )
+    system = SecureSystem(
+        name="file-permissions-management",
+        description="Users manage access-control settings on their own files (Maxion & Reeder).",
+        tasks=[task],
+    )
+    return ScenarioComponents(
+        system=system, population=population(), calibration=StageCalibration.neutral()
+    )

@@ -16,7 +16,9 @@ known patterns").
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+from typing import Mapping
 
 from ..core.behavior import TaskDesign
 from ..core.communication import (
@@ -30,11 +32,21 @@ from ..core.communication import (
 from ..core.impediments import Environment
 from ..core.receiver import Capabilities
 from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.calibration import StageCalibration
 from ..simulation.population import PopulationSpec, general_web_population
 from ..studies.registry import registry
 from .base import register_system
+from .parameters import Parameter, ParameterSpace, ScenarioComponents
 
-__all__ = ["Scheme", "enrollment_guidance", "choose_password_task", "build_system", "population"]
+__all__ = [
+    "Scheme",
+    "enrollment_guidance",
+    "choose_password_task",
+    "build_system",
+    "population",
+    "parameter_space",
+    "scenario_components",
+]
 
 
 class Scheme(enum.Enum):
@@ -132,3 +144,69 @@ register_system("graphical-passwords", "Graphical password choice predictability
 
 def population() -> PopulationSpec:
     return general_web_population()
+
+
+# ---------------------------------------------------------------------------
+# Typed parameterization (consumed by the scenario registry / experiments)
+# ---------------------------------------------------------------------------
+
+def parameter_space() -> ParameterSpace:
+    """The choice-predictability knobs the behavior stage hinges on."""
+    return ParameterSpace(
+        [
+            Parameter(
+                "scheme",
+                "choice",
+                default=Scheme.FACE_BASED.value,
+                choices=tuple(scheme.value for scheme in Scheme),
+                description=(
+                    "Graphical password scheme: face-based (Davis et al.), "
+                    "click-based (Thorpe & van Oorschot), or the "
+                    "pattern-constrained click variant."
+                ),
+            ),
+            Parameter(
+                "choice_predictability",
+                "float",
+                default=None,
+                low=0.0,
+                high=1.0,
+                allow_none=True,
+                description=(
+                    "Override how predictable typical user choices are under "
+                    "the scheme (how much structure an attacker can harvest)."
+                ),
+            ),
+            Parameter(
+                "guidance_conspicuity",
+                "float",
+                default=None,
+                low=0.0,
+                high=1.0,
+                allow_none=True,
+                description="Override how prominent the enrollment guidance is.",
+            ),
+        ]
+    )
+
+
+def scenario_components(values: Mapping[str, object]) -> ScenarioComponents:
+    """The scenario binder: one enrollment task under the bound scheme."""
+    task = choose_password_task(Scheme(str(values["scheme"])))
+    if values["choice_predictability"] is not None:
+        task.task_design = dataclasses.replace(
+            task.task_design,
+            choice_predictability=float(values["choice_predictability"]),
+        )
+    if values["guidance_conspicuity"] is not None:
+        task.communication = dataclasses.replace(
+            task.communication, conspicuity=float(values["guidance_conspicuity"])
+        )
+    system = SecureSystem(
+        name="graphical-passwords",
+        description="Graphical password enrollment where user choices may be predictable.",
+        tasks=[task],
+    )
+    return ScenarioComponents(
+        system=system, population=population(), calibration=StageCalibration.neutral()
+    )

@@ -38,6 +38,8 @@ object satisfying :class:`ScenarioLike` is accepted.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from typing import (
     Any,
     Callable,
@@ -83,7 +85,28 @@ __all__ = [
     "available_scenarios",
     "get_scenario",
     "all_scenarios",
+    "variant_hash",
 ]
+
+
+def variant_hash(scenario_name: str, params: Mapping[str, Any]) -> str:
+    """Stable content hash identifying one (scenario, parameters) point.
+
+    The canonical row identity of the experiment layer: independent of
+    variant declaration order, of which shard ran the point, and of the
+    position a row ends up at after :meth:`ResultSet.merge` — two rows
+    describe the same parameter point iff their hashes agree.  Computed
+    over the canonical JSON form of the scenario name and the validated
+    overrides (sorted by name), so it survives a JSON round-trip of the
+    parameters unchanged.
+    """
+    canonical = json.dumps(
+        {"scenario": scenario_name, "params": dict(params)},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 @runtime_checkable
@@ -248,6 +271,10 @@ class Scenario(_ScenarioPaths):
         """The scenario's own parameters followed by the common ones."""
         return self.parameters.merged(common_parameter_space())
 
+    def variant_hash(self) -> str:
+        """The identity hash of this scenario with no overrides bound."""
+        return variant_hash(self.name, {})
+
     def bind(self, **overrides: Any) -> "ScenarioVariant":
         """Bind typed parameter overrides into a concrete scenario variant.
 
@@ -338,6 +365,10 @@ class ScenarioVariant(_ScenarioPaths):
     def parameter_space(self) -> ParameterSpace:
         return self.base.parameter_space()
 
+    def variant_hash(self) -> str:
+        """The identity hash of this variant's (base scenario, overrides) point."""
+        return variant_hash(self.base.name, self.params)
+
     def bind(self, **overrides: Any) -> "ScenarioVariant":
         merged: Dict[str, Any] = {**dict(self.params), **overrides}
         return self.base.bind(**merged)
@@ -426,6 +457,21 @@ _builtin(
     parameters=email_attachments.parameter_space(),
     binder=email_attachments.scenario_components,
 )
-_builtin("smartcard", smartcard.population)
-_builtin("file-permissions", file_permissions.population)
-_builtin("graphical-passwords", graphical_passwords.population)
+_builtin(
+    "smartcard",
+    smartcard.population,
+    parameters=smartcard.parameter_space(),
+    binder=smartcard.scenario_components,
+)
+_builtin(
+    "file-permissions",
+    file_permissions.population,
+    parameters=file_permissions.parameter_space(),
+    binder=file_permissions.scenario_components,
+)
+_builtin(
+    "graphical-passwords",
+    graphical_passwords.population,
+    parameters=graphical_passwords.parameter_space(),
+    binder=graphical_passwords.scenario_components,
+)

@@ -12,6 +12,9 @@ lapse-prone step with no triggering communication at all.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Mapping
+
 from ..core.behavior import TaskDesign
 from ..core.communication import (
     Communication,
@@ -24,8 +27,10 @@ from ..core.communication import (
 from ..core.impediments import Environment, StimulusKind
 from ..core.receiver import Capabilities
 from ..core.task import AutomationProfile, HumanSecurityTask, SecureSystem
+from ..simulation.calibration import StageCalibration
 from ..simulation.population import PopulationSpec, organization_population
 from .base import register_system
+from .parameters import Parameter, ParameterSpace, ScenarioComponents
 
 __all__ = [
     "insertion_instructions",
@@ -33,6 +38,8 @@ __all__ = [
     "remove_card_task",
     "build_system",
     "population",
+    "parameter_space",
+    "scenario_components",
 ]
 
 
@@ -99,10 +106,12 @@ def insert_card_task(improved_design: bool = False) -> HumanSecurityTask:
     )
 
 
-def remove_card_task() -> HumanSecurityTask:
+def remove_card_task(primary_task_pressure: float = 0.7) -> HumanSecurityTask:
     """Remove the card before walking away — a lapse-prone step with no prompt."""
     environment = Environment(description="Leaving the desk for a meeting")
-    environment.add_stimulus(StimulusKind.PRIMARY_TASK, 0.7, "rushing to the next meeting")
+    environment.add_stimulus(
+        StimulusKind.PRIMARY_TASK, primary_task_pressure, "rushing to the next meeting"
+    )
     return HumanSecurityTask(
         name="remove-smartcard-on-leaving",
         description=(
@@ -152,3 +161,64 @@ register_system("smartcard", "Cryptographic smartcard handling (Piazzalunga et a
 
 def population() -> PopulationSpec:
     return organization_population()
+
+
+# ---------------------------------------------------------------------------
+# Typed parameterization (consumed by the scenario registry / experiments)
+# ---------------------------------------------------------------------------
+
+def parameter_space() -> ParameterSpace:
+    """The Piazzalunga et al. design knobs the gulf stages hinge on."""
+    return ParameterSpace(
+        [
+            Parameter(
+                "improved_design",
+                "bool",
+                default=False,
+                description=(
+                    "Visual cues printed on the card and feedback from the "
+                    "reader (the Piazzalunga et al. recommendations)."
+                ),
+            ),
+            Parameter(
+                "instruction_clarity",
+                "float",
+                default=None,
+                low=0.0,
+                high=1.0,
+                allow_none=True,
+                description="Override how clearly the insertion instructions are written.",
+            ),
+            Parameter(
+                "removal_pressure",
+                "float",
+                default=0.7,
+                low=0.0,
+                high=1.0,
+                description=(
+                    "Strength of the primary-task pull (rushing to the next "
+                    "meeting) competing with removing the card."
+                ),
+            ),
+        ]
+    )
+
+
+def scenario_components(values: Mapping[str, object]) -> ScenarioComponents:
+    """The scenario binder: insertion + removal tasks with the bound design."""
+    insert = insert_card_task(improved_design=bool(values["improved_design"]))
+    if values["instruction_clarity"] is not None:
+        insert.communication = dataclasses.replace(
+            insert.communication, clarity=float(values["instruction_clarity"])
+        )
+    remove = remove_card_task(
+        primary_task_pressure=float(values["removal_pressure"])
+    )
+    system = SecureSystem(
+        name="smartcard-authentication",
+        description="Smartcard-based authentication relying on correct physical handling.",
+        tasks=[insert, remove],
+    )
+    return ScenarioComponents(
+        system=system, population=population(), calibration=StageCalibration.neutral()
+    )

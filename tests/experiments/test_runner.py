@@ -77,9 +77,11 @@ class TestExecution:
             assert batch.row(label).metrics == reference.row(label).metrics
 
     def test_parallel_identical_to_serial(self):
+        from repro.experiments import ProcessBackend
+
         experiment = _experiment()
         serial = experiment.run()
-        parallel = experiment.run(max_workers=2)
+        parallel = experiment.run(backend=ProcessBackend(max_workers=2))
         assert resultset_to_dict(parallel) == resultset_to_dict(serial)
 
     def test_rows_reproduce_exactly(self):

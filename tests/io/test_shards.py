@@ -1,0 +1,174 @@
+"""Tests for the append-only JSONL shard files (ISSUE 5)."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import SerializationError
+from repro.experiments import Experiment, SweepSpec
+from repro.io import (
+    SHARD_FORMAT_VERSION,
+    append_shard_rows,
+    load_checkpoint,
+    read_shard,
+    result_row_to_dict,
+    shard_filename,
+)
+
+SEED = 20260726
+HEADER = {
+    "experiment": "shard-io-test",
+    "seed": SEED,
+    "shard_index": 0,
+    "shard_count": 2,
+    "n_variants": 2,
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    sweep = SweepSpec(scenario="passwords", grid={"single_sign_on": [False, True]})
+    experiment = Experiment.from_sweep(
+        "shard-io-test", sweep, n_receivers=60, seed=SEED, task="recall-passwords"
+    )
+    return experiment.run().rows
+
+
+class TestShardFilename:
+    def test_canonical_and_sortable(self):
+        names = [shard_filename(index, 12) for index in range(12)]
+        assert names[0] == "shard-0000-of-0012.jsonl"
+        assert names == sorted(names)
+
+
+class TestRoundTrip:
+    def test_rows_round_trip_exactly(self, rows, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows, header=HEADER)
+        header, loaded = read_shard(path)
+        assert header["experiment"] == "shard-io-test"
+        assert header["format_version"] == SHARD_FORMAT_VERSION
+        assert [result_row_to_dict(row) for row in loaded] == [
+            result_row_to_dict(row) for row in rows
+        ]
+
+    def test_append_is_append_only(self, rows, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows[:1], header=HEADER)
+        first = path.read_text()
+        append_shard_rows(path, rows[1:], header=HEADER)
+        assert path.read_text().startswith(first), "existing bytes must not change"
+        header_lines = [
+            line for line in path.read_text().splitlines() if '"kind": "header"' in line
+        ]
+        assert len(header_lines) == 1, "header is written exactly once"
+        _, loaded = read_shard(path)
+        assert len(loaded) == len(rows)
+
+    def test_load_checkpoint_visits_files_in_name_order(self, rows, tmp_path):
+        append_shard_rows(tmp_path / shard_filename(1, 2), rows[1:], header=HEADER)
+        append_shard_rows(tmp_path / shard_filename(0, 2), rows[:1], header=HEADER)
+        entries = load_checkpoint(tmp_path)
+        assert [path.name for path, _, _ in entries] == [
+            shard_filename(0, 2),
+            shard_filename(1, 2),
+        ]
+        assert [len(loaded) for _, _, loaded in entries] == [1, 1]
+
+    def test_load_checkpoint_requires_directory(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_checkpoint(tmp_path / "missing")
+
+
+class TestCorruption:
+    def test_empty_file_reads_as_nothing_committed(self, rows, tmp_path):
+        # Crash after file creation but before the header flushed: the
+        # narrowest torn first write, recoverable like any other.
+        path = tmp_path / shard_filename(0, 2)
+        path.write_text("")
+        assert read_shard(path) == (None, [])
+        append_shard_rows(path, rows, header=HEADER)
+        header, loaded = read_shard(path)
+        assert header is not None and len(loaded) == len(rows)
+
+    def test_missing_header_rejected(self, rows, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text(
+            json.dumps({"kind": "row", "row": result_row_to_dict(rows[0])}) + "\n"
+        )
+        with pytest.raises(SerializationError, match="header"):
+            read_shard(path)
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "format_version": 99, **HEADER}) + "\n"
+        )
+        with pytest.raises(SerializationError, match="format version"):
+            read_shard(path)
+
+    def test_append_after_torn_tail_truncates_the_fragment(self, rows, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows[:1], header=HEADER)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "row", "row": {"experi')  # no trailing newline
+        append_shard_rows(path, rows[1:], header=HEADER)
+        header, loaded = read_shard(path)
+        assert header is not None
+        assert len(loaded) == len(rows), "fresh append must not fuse with the fragment"
+
+    def test_torn_header_reads_as_nothing_committed(self, rows, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        path.write_text('{"kind": "header", "format_ver')  # crash on first write
+        header, loaded = read_shard(path)
+        assert header is None and loaded == []
+        # Appending recovers the file from scratch, header included.
+        append_shard_rows(path, rows, header=HEADER)
+        header, loaded = read_shard(path)
+        assert header["experiment"] == "shard-io-test"
+        assert len(loaded) == len(rows)
+
+    def test_torn_final_line_is_tolerated(self, rows, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows, header=HEADER)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "row", "row": {"experi')  # killed mid-append
+        _, loaded = read_shard(path)
+        assert len(loaded) == len(rows)
+
+    def test_committed_malformed_final_line_rejected(self, rows, tmp_path):
+        # A newline-terminated garbage line is a *committed* record gone
+        # bad (tampering, disk corruption) — not a torn write — and must
+        # raise rather than be silently dropped.
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows, header=HEADER)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        with pytest.raises(SerializationError, match="malformed"):
+            read_shard(path)
+
+    def test_terminated_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        path.write_text('{"kind": "header", "format_ver\n')  # garbage, but committed
+        with pytest.raises(SerializationError, match="header"):
+            read_shard(path)
+
+    def test_malformed_interior_line_rejected(self, rows, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows[:1], header=HEADER)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        append_shard_rows(path, rows[1:], header=HEADER)
+        with pytest.raises(SerializationError, match="malformed"):
+            read_shard(path)
+
+    def test_tampered_params_fail_the_hash_check(self, rows, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows, header=HEADER)
+        lines = path.read_text().splitlines()
+        payload = json.loads(lines[1])
+        payload["row"]["params"]["single_sign_on"] = True  # quietly "improve" a result
+        lines[1] = json.dumps(payload, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SerializationError, match="hash"):
+            read_shard(path)

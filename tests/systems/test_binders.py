@@ -1,8 +1,9 @@
-"""Domain binders for the previously binder-less scenarios (ISSUE 4).
+"""Domain binders for the previously binder-less scenarios (ISSUEs 4, 5).
 
-``ssl-indicator`` and ``email-attachments`` now expose typed domain
-parameters, so their system-specific knobs are bindable and sweepable
-like the passwords and anti-phishing scenarios.
+``ssl-indicator`` and ``email-attachments`` gained typed domain
+parameters in ISSUE 4; ``smartcard``, ``file-permissions``, and
+``graphical-passwords`` follow in ISSUE 5 — all seven scenarios are now
+bindable and sweepable through the experiment backends.
 """
 
 import pytest
@@ -119,15 +120,138 @@ class TestEmailAttachmentsBinder:
             assert row.params["training_fraction"] == 1.0
 
 
+class TestSmartcardBinder:
+    def test_scenario_exposes_domain_parameters(self):
+        names = get_scenario("smartcard").parameter_space().names()
+        assert "improved_design" in names
+        assert "instruction_clarity" in names
+        assert "removal_pressure" in names
+        # Common knobs still present.
+        assert "rounds" in names and "training_fraction" in names
+
+    def test_default_bind_simulates_like_base_scenario(self):
+        base = get_scenario("smartcard")
+        a = base.simulate(300, seed=SEED)
+        b = base.bind().simulate(300, seed=SEED)
+        assert a.outcome_counts() == b.outcome_counts()
+
+    def test_improved_design_narrows_the_gulfs(self):
+        scenario = get_scenario("smartcard")
+        stock = scenario.bind(improved_design=False).simulate(2_000, seed=SEED)
+        improved = scenario.bind(improved_design=True).simulate(2_000, seed=SEED)
+        assert improved.protection_rate() > stock.protection_rate()
+
+    def test_bound_task_matches_design_variant(self):
+        variant = get_scenario("smartcard").bind(improved_design=True)
+        assert variant.task().name == "insert-smartcard-improved"
+        assert variant.task().communication.name.endswith("-improved")
+
+    def test_instruction_clarity_override_applies(self):
+        variant = get_scenario("smartcard").bind(instruction_clarity=0.95)
+        assert variant.task().communication.clarity == 0.95
+
+    def test_removal_pressure_shapes_the_removal_task(self):
+        variant = get_scenario("smartcard").bind(removal_pressure=0.2)
+        remove = variant.task("remove-smartcard-on-leaving")
+        assert remove.environment.stimuli[0].intensity == 0.2
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            get_scenario("smartcard").bind(instruction_clarity=1.5)
+        with pytest.raises(ModelError):
+            get_scenario("smartcard").bind(removal_pressure=-0.1)
+
+
+class TestFilePermissionsBinder:
+    def test_scenario_exposes_domain_parameters(self):
+        names = get_scenario("file-permissions").parameter_space().names()
+        assert "improved_interface" in names
+        assert "feedback_quality" in names
+        assert "deadline_pressure" in names
+
+    def test_default_bind_simulates_like_base_scenario(self):
+        base = get_scenario("file-permissions")
+        a = base.simulate(300, seed=SEED)
+        b = base.bind().simulate(300, seed=SEED)
+        assert a.outcome_counts() == b.outcome_counts()
+
+    def test_effective_permissions_view_closes_the_evaluation_gulf(self):
+        scenario = get_scenario("file-permissions")
+        stock = scenario.bind(improved_interface=False).simulate(2_000, seed=SEED)
+        improved = scenario.bind(improved_interface=True).simulate(2_000, seed=SEED)
+        assert improved.protection_rate() > stock.protection_rate()
+
+    def test_feedback_quality_override_applies(self):
+        variant = get_scenario("file-permissions").bind(feedback_quality=0.9)
+        assert variant.task().task_design.feedback_quality == 0.9
+
+    def test_sweepable_through_experiments(self):
+        sweep = SweepSpec(
+            scenario="file-permissions",
+            grid={"improved_interface": [False, True]},
+        )
+        results = Experiment.from_sweep(
+            "permissions-interface", sweep, n_receivers=800, seed=SEED,
+            seed_strategy="shared",
+        ).run()
+        protection = results.metric_by_variant("protection_rate")
+        assert (
+            protection["improved_interface=True"]
+            > protection["improved_interface=False"]
+        )
+
+
+class TestGraphicalPasswordsBinder:
+    def test_scenario_exposes_domain_parameters(self):
+        names = get_scenario("graphical-passwords").parameter_space().names()
+        assert "scheme" in names
+        assert "choice_predictability" in names
+        assert "guidance_conspicuity" in names
+
+    def test_default_bind_simulates_like_base_scenario(self):
+        base = get_scenario("graphical-passwords")
+        a = base.simulate(300, seed=SEED)
+        b = base.bind().simulate(300, seed=SEED)
+        assert a.outcome_counts() == b.outcome_counts()
+
+    def test_bound_task_matches_scheme(self):
+        variant = get_scenario("graphical-passwords").bind(scheme="click_based")
+        assert variant.task().name == "choose-graphical-password-click_based"
+
+    def test_constraining_choices_reduces_predictable_behavior(self):
+        scenario = get_scenario("graphical-passwords")
+        free = scenario.bind(scheme="click_based").simulate(2_000, seed=SEED)
+        constrained = scenario.bind(scheme="click_based_constrained").simulate(
+            2_000, seed=SEED
+        )
+        assert constrained.protection_rate() > free.protection_rate()
+
+    def test_choice_predictability_override_applies(self):
+        variant = get_scenario("graphical-passwords").bind(choice_predictability=0.05)
+        assert variant.task().task_design.choice_predictability == 0.05
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ModelError):
+            get_scenario("graphical-passwords").bind(scheme="textual")
+
+    def test_sweepable_through_experiments(self):
+        sweep = SweepSpec(
+            scenario="graphical-passwords",
+            grid={"scheme": ["face_based", "click_based", "click_based_constrained"]},
+        )
+        results = Experiment.from_sweep(
+            "scheme-predictability", sweep, n_receivers=500, seed=SEED
+        ).run()
+        assert len(results) == 3
+
+
 class TestRegistryCoverage:
-    def test_majority_of_scenarios_now_have_domain_binders(self):
+    def test_every_scenario_now_has_a_domain_binder(self):
         from repro.systems.scenario import all_scenarios
 
-        with_binders = [
+        without_binders = [
             name
             for name, scenario in all_scenarios().items()
-            if getattr(scenario, "binder", None) is not None
+            if getattr(scenario, "binder", None) is None
         ]
-        assert {"passwords", "antiphishing", "ssl-indicator", "email-attachments"} <= set(
-            with_binders
-        )
+        assert without_binders == []
