@@ -1,0 +1,48 @@
+"""Shared timing primitives for the benchmark harness (PR 6).
+
+Every recording benchmark used to hand-roll the same three fragments: a
+``time.perf_counter()`` bracket, a best-of-N repeat loop, and a UTC
+timestamp for the report payload.  They live here once.  The helpers
+return the *callable's* value alongside the elapsed time so benchmarks
+can keep asserting correctness properties (determinism, decay curves,
+funnel presence) on the very run they timed.
+
+Not a pytest file: the module name deliberately avoids the ``bench_*``
+collection pattern.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+
+def timed(callable_: Callable[[], Any]) -> Tuple[float, Any]:
+    """Run once: ``(elapsed_seconds, return_value)``."""
+    start = time.perf_counter()
+    value = callable_()
+    return time.perf_counter() - start, value
+
+
+def best_of(callable_: Callable[[], Any], repeats: int = 3) -> Tuple[float, Any]:
+    """Run ``repeats`` times: ``(best_elapsed_seconds, first_value)``.
+
+    The minimum over repeats filters scheduler noise on shared runners;
+    the first run's value is returned (benchmark workloads are
+    deterministic, so every repeat computes the same result).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    value: Any = None
+    for index in range(repeats):
+        elapsed, result = timed(callable_)
+        if index == 0:
+            value = result
+        best = min(best, elapsed)
+    return best, value
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC second stamp recorded in every ``BENCH_*.json``."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())

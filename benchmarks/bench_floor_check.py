@@ -1,14 +1,18 @@
-"""Benchmark floor checks: fail CI when throughput regresses (ISSUEs 4, 5).
+"""Benchmark floor checks: fail CI when throughput regresses (ISSUEs 4-6).
 
 Re-runs the exact workloads whose numbers are recorded in
-``BENCH_engine.json`` (single-shot engine scaling), ``BENCH_rounds.json``
-(multi-round engine), and ``BENCH_shards.json`` (sharded sweep execution)
-and fails if the live throughput drops below **half** of the recorded
-value — a loose enough floor to ride out machine noise, tight enough to
-catch a hot path regressing by an order of magnitude.  Also runs a
-small-N funnel-metrics smoke so the trace layer stays wired end to end;
-the shard floor doubles as a two-shard merge smoke (merged shards must
-equal the serial run bit for bit at any scale).
+``BENCH_engine.json`` (single-shot engine scaling, matrix and counter rng
+modes), ``BENCH_rounds.json`` (multi-round engine), and
+``BENCH_shards.json`` (sharded sweep execution) and fails if the live
+throughput drops below **half** of the recorded value — a loose enough
+floor to ride out machine noise, tight enough to catch a hot path
+regressing by an order of magnitude.  Also runs a small-N funnel-metrics
+smoke so the trace layer stays wired end to end, and a two-worker
+in-call parallelism smoke (``chunk_workers=2`` must reassemble the
+serial run bit for bit at any scale; the wall-clock comparison is
+skipped, not failed, on single-core runners).  The shard floor doubles
+as a two-shard merge smoke (merged shards must equal the serial run bit
+for bit at any scale).
 
 The floors only engage when the live run is at the recorded scale (the
 recorded numbers are meaningless for smaller N): set ``BENCH_FLOOR_N`` /
@@ -33,6 +37,7 @@ import time
 from pathlib import Path
 from typing import Optional, Tuple
 
+from _timing import best_of
 from repro.core.stages import Stage
 from repro.systems import get_scenario
 
@@ -70,6 +75,17 @@ def _recorded_engine_rate() -> Optional[Tuple[int, float]]:
     return int(top["n_receivers"]), float(top["receivers_per_sec"])
 
 
+def _recorded_counter_rate() -> Optional[Tuple[int, float]]:
+    """(n_receivers, receivers_per_sec) recorded for counter-mode rng."""
+    path = REPO_ROOT / "BENCH_engine.json"
+    if not path.exists():
+        return None
+    counter = json.loads(path.read_text()).get("counter_mode")
+    if not counter:
+        return None
+    return int(counter["n_receivers"]), float(counter["receivers_per_sec"])
+
+
 def _recorded_rounds_rate() -> Optional[Tuple[int, float]]:
     """(receiver_rounds, receiver_rounds_per_sec) recorded for multi-round."""
     path = REPO_ROOT / "BENCH_rounds.json"
@@ -94,20 +110,11 @@ def _recorded_shard_rate() -> Optional[Tuple[int, float]]:
     )
 
 
-def _best_of(callable_, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def test_engine_scaling_floor():
     """Single-shot throughput must stay above half the recorded rate."""
     scenario = get_scenario(SCENARIO)
     scenario.simulate(1_000, seed=ENGINE_SEED, task=ENGINE_TASK)  # warm-up
-    seconds = _best_of(
+    seconds, _ = best_of(
         lambda: scenario.simulate(N_RECEIVERS, seed=ENGINE_SEED, task=ENGINE_TASK)
     )
     rate = N_RECEIVERS / seconds
@@ -123,13 +130,82 @@ def test_engine_scaling_floor():
     )
 
 
+def test_counter_mode_floor():
+    """Counter-rng throughput must stay above half the recorded rate."""
+    scenario = get_scenario(SCENARIO)
+    scenario.simulate(
+        1_000, seed=ENGINE_SEED, task=ENGINE_TASK, rng_mode="counter"
+    )  # warm-up
+    seconds, result = best_of(
+        lambda: scenario.simulate(
+            N_RECEIVERS, seed=ENGINE_SEED, task=ENGINE_TASK, rng_mode="counter"
+        )
+    )
+    assert result.rng_mode == "counter"
+    rate = N_RECEIVERS / seconds
+    recorded = _recorded_counter_rate()
+    print(f"\n  counter rng: {rate:,.0f} receivers/s (recorded: {recorded})")
+    assert rate > 0
+    if recorded is None or N_RECEIVERS < recorded[0]:
+        return  # smoke scale — the recorded number does not apply
+    floor = FLOOR_FRACTION * recorded[1]
+    assert rate >= floor, (
+        f"counter-mode throughput {rate:,.0f} receivers/s fell below the "
+        f"floor {floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    )
+
+
+def test_chunk_worker_parallel_smoke():
+    """Two-worker in-call parallelism: bit-identical always, timed on multicore.
+
+    Determinism is asserted at every scale: ``chunk_workers=2`` must
+    reassemble the serial fold bit for bit (tallies, round tallies,
+    funnel).  The wall-clock comparison is skipped — not failed — on
+    single-core runners, where process fan-out cannot win.
+    """
+    scenario = get_scenario(SCENARIO)
+    n = min(N_RECEIVERS, 20_000)
+    run = lambda workers: scenario.simulate(
+        n,
+        seed=ROUNDS_SEED,
+        task=ROUNDS_TASK,
+        rounds=3,
+        recovery_rate=ROUNDS_RECOVERY,
+        chunk_workers=workers,
+    )
+    run(1)  # warm-up
+    serial_seconds, serial = best_of(lambda: run(1), repeats=1)
+    parallel_seconds, parallel = best_of(lambda: run(2), repeats=1)
+
+    assert parallel.chunk_workers == 2
+    assert parallel.tally.summary() == serial.tally.summary()
+    assert [tally.summary() for tally in parallel.round_tallies] == [
+        tally.summary() for tally in serial.round_tallies
+    ]
+    assert parallel.funnel.entered == serial.funnel.entered
+    assert parallel.funnel.passed == serial.funnel.passed
+    print(
+        f"\n  chunk_workers=2: serial {serial_seconds:.3f}s, "
+        f"parallel {parallel_seconds:.3f}s ({os.cpu_count()} cores)"
+    )
+    if (os.cpu_count() or 1) < 2:
+        print("  single-core runner: wall-clock comparison skipped, not failed")
+        return
+    # Fan-out pays pickling + process start-up; only a gross regression
+    # (worse than 4x serial) indicates the parallel path is broken.
+    assert parallel_seconds < 4.0 * serial_seconds, (
+        f"chunk_workers=2 took {parallel_seconds:.3f}s vs serial "
+        f"{serial_seconds:.3f}s — parallel path regressed grossly"
+    )
+
+
 def test_multi_round_floor():
     """Multi-round throughput must stay above half the recorded rate."""
     scenario = get_scenario(SCENARIO)
     scenario.simulate(
         1_000, seed=ROUNDS_SEED, task=ROUNDS_TASK, rounds=3, recovery_rate=ROUNDS_RECOVERY
     )  # warm-up
-    seconds = _best_of(
+    seconds, _ = best_of(
         lambda: scenario.simulate(
             N_RECEIVERS,
             seed=ROUNDS_SEED,
@@ -159,8 +235,26 @@ def test_shard_backend_floor():
     (including their checkpoint JSONL round-trip) must reassemble the
     serial run bit for bit.
     """
-    from repro.experiments import Experiment, ResultSet, SerialBackend, ShardBackend, SweepSpec
+    from repro.experiments import (
+        WALL_CLOCK_METRICS,
+        Experiment,
+        ResultSet,
+        SerialBackend,
+        ShardBackend,
+        SweepSpec,
+    )
     from repro.io import resultset_to_dict
+
+    def canonical(resultset):
+        """Result-set dict modulo per-row wall-clock telemetry."""
+        payload = resultset_to_dict(resultset)
+        for row in payload["rows"]:
+            row["metrics"] = {
+                name: value
+                for name, value in row["metrics"].items()
+                if name not in WALL_CLOCK_METRICS
+            }
+        return payload
 
     experiment = Experiment.from_sweep(
         "password-shard-scaling",
@@ -181,7 +275,7 @@ def test_shard_backend_floor():
         ]
     seconds = time.perf_counter() - start
     merged = ResultSet.merge(*shard_sets)
-    assert resultset_to_dict(merged) == resultset_to_dict(serial)
+    assert canonical(merged) == canonical(serial)
 
     total = len(experiment.variants) * N_SHARD_RECEIVERS
     rate = total / seconds
@@ -216,8 +310,10 @@ def test_funnel_metrics_smoke():
 
 def main() -> None:
     test_engine_scaling_floor()
+    test_counter_mode_floor()
     test_multi_round_floor()
     test_shard_backend_floor()
+    test_chunk_worker_parallel_smoke()
     test_funnel_metrics_smoke()
     print("floor checks passed")
 

@@ -29,10 +29,10 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 from typing import Dict
 
+from _timing import timed, utc_timestamp
 from repro.systems import get_scenario
 
 SEED = 20080326
@@ -64,9 +64,7 @@ def measure_multi_round() -> Dict[str, object]:
     # Warm-up outside the timed region (imports, first-call numpy setup).
     scenario.simulate(1_000, seed=SEED, task=TASK, rounds=3, recovery_rate=RECOVERY_RATE)
 
-    start = time.perf_counter()
-    result = _run(scenario)
-    elapsed = time.perf_counter() - start
+    elapsed, result = timed(lambda: _run(scenario))
 
     rerun = _run(scenario)
     deterministic = (
@@ -88,7 +86,7 @@ def measure_multi_round() -> Dict[str, object]:
         "rounds": ROUNDS,
         "recovery_rate": RECOVERY_RATE,
         "receiver_rounds": receiver_rounds,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "recorded_at": utc_timestamp(),
         "seconds": round(elapsed, 6),
         "receiver_rounds_per_sec": round(rate, 1),
         "deterministic": deterministic,

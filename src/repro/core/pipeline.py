@@ -57,6 +57,7 @@ from .impediments import Environment
 from .stages import (
     GATE_CHECKPOINTS,
     STAGE_ORDER,
+    FunnelCounts,
     Stage,
     StageOutcome,
     StageTrace,
@@ -249,7 +250,10 @@ class BatchWalk:
     are retained so per-receiver records can be materialized without
     recomputing the model; columns past a receiver's first failure are
     unevaluated and must not be read.  ``trace`` carries the per-receiver
-    funnel checkpoint arrays when the caller asked for them.
+    funnel checkpoint arrays when the caller asked for them;
+    ``funnel_counts`` the counts-only reduction when the caller asked for
+    that instead (``trace="counts"`` — the engine's streaming-funnel hot
+    path, which never needs the per-receiver matrices).
     """
 
     plan: "PipelinePlan"
@@ -265,6 +269,7 @@ class BatchWalk:
     stage_success: Optional[np.ndarray] = None
     behavior_probability: Optional[np.ndarray] = None
     trace: Optional[StageTraceBatch] = None
+    funnel_counts: Optional[FunnelCounts] = None
 
     @property
     def count(self) -> int:
@@ -526,6 +531,7 @@ class PipelinePlan:
         noise,
         exposures=None,
         collect_trace: bool = False,
+        collect_counts: bool = False,
     ) -> BatchWalk:
         """The single stage-traversal kernel, at any width.
 
@@ -537,7 +543,10 @@ class PipelinePlan:
         lane is still alive — at width 1 that reproduces the historical
         early-exit scalar walk exactly (a receiver who never notices a
         warning never evaluates comprehension); at width N it simply skips
-        model calls no lane would read.
+        model calls no lane would read.  ``collect_trace`` emits the full
+        per-receiver :class:`StageTraceBatch`; ``collect_counts`` the
+        counts-only :class:`FunnelCounts` reduction, folded from masks the
+        traversal already holds (no per-receiver checkpoint matrices).
         """
         false = np.zeros(count, dtype=bool)
 
@@ -559,6 +568,15 @@ class PipelinePlan:
                     passed=acted[:, None].copy(),
                     spoofed=false.copy(),
                 )
+            funnel_counts = None
+            if collect_counts:
+                funnel_counts = FunnelCounts(
+                    labels=("self_initiated",),
+                    entered=(count,),
+                    passed=(int(np.count_nonzero(acted)),),
+                    n=count,
+                    spoofed=0,
+                )
             return BatchWalk(
                 plan=self,
                 outcome_codes=np.where(acted, _SUCCESS_CODE, _NO_ACTION_CODE).astype(np.int64),
@@ -570,6 +588,7 @@ class PipelinePlan:
                 attention_evaluated=false,
                 attention_succeeded=false,
                 trace=trace,
+                funnel_counts=funnel_counts,
             )
 
         stage_count = len(self.stages)
@@ -713,6 +732,40 @@ class PipelinePlan:
                 spoofed=spoofed.copy(),
             )
 
+        funnel_counts = None
+        if collect_counts:
+            # The fused funnel: stage columns reduce to "live minus the
+            # failures before me" (one bincount over failing lanes), gate
+            # columns to the mask counts the traversal already derived.
+            # Identical integers to StageTraceBatch.counts(), by the same
+            # first_failed_slot/mask definitions.
+            labels = tuple(stage.value for stage in self.stages) + GATE_CHECKPOINTS
+            fails = np.bincount(
+                first_failed_slot[stage_fail], minlength=stage_count
+            )
+            entered_counts: List[int] = []
+            passed_counts: List[int] = []
+            remaining = int(np.count_nonzero(live))
+            for column in range(stage_count):
+                entered_counts.append(remaining)
+                remaining -= int(fails[column])
+                passed_counts.append(remaining)
+            capability_entered = int(np.count_nonzero(capability_mask))
+            behavior_entered = int(np.count_nonzero(behavior_mask))
+            entered_counts += [remaining, capability_entered, behavior_entered]
+            passed_counts += [
+                capability_entered,
+                behavior_entered,
+                int(np.count_nonzero(succeeded)),
+            ]
+            funnel_counts = FunnelCounts(
+                labels=labels,
+                entered=tuple(entered_counts),
+                passed=tuple(passed_counts),
+                n=count,
+                spoofed=int(np.count_nonzero(spoofed)),
+            )
+
         return BatchWalk(
             plan=self,
             outcome_codes=outcome_codes,
@@ -727,6 +780,7 @@ class PipelinePlan:
             stage_success=stage_success,
             behavior_probability=behavior_probability,
             trace=trace,
+            funnel_counts=funnel_counts,
         )
 
     def walk_batch(
@@ -736,7 +790,7 @@ class PipelinePlan:
         spoofed: Optional[np.ndarray] = None,
         noise=0.0,
         exposures=None,
-        trace: bool = False,
+        trace=False,
     ) -> BatchWalk:
         """Advance a whole batch through the pipeline at once (the array walk).
 
@@ -745,7 +799,10 @@ class PipelinePlan:
         mask (``None`` — nobody spoofed); ``noise`` the per-receiver
         perception noise; ``exposures`` the optional dynamic habituation
         counts for the attention-switch stage.  ``trace=True`` additionally
-        collects the per-receiver funnel checkpoint arrays.
+        collects the per-receiver funnel checkpoint arrays;
+        ``trace="counts"`` only their column totals (the fused
+        :class:`~repro.core.stages.FunnelCounts` path — what the engine's
+        streaming funnel consumes, at near trace-off cost).
         """
         count = int(decisions.shape[0])
         if spoofed is None:
@@ -758,7 +815,8 @@ class PipelinePlan:
             np.asarray(spoofed, dtype=bool),
             noise,
             exposures=exposures,
-            collect_trace=trace,
+            collect_trace=trace is True,
+            collect_counts=trace == "counts",
         )
 
     def walk(self, receiver, decide: DecisionFn, noise: float = 0.0,

@@ -35,6 +35,7 @@ __all__ = [
     "StageTrace",
     "GATE_CHECKPOINTS",
     "StageTraceBatch",
+    "FunnelCounts",
 ]
 
 #: Funnel checkpoints evaluated after the pre-behavior pipeline stages, in
@@ -233,3 +234,40 @@ class StageTraceBatch:
     def passed_counts(self) -> np.ndarray:
         """Receivers that cleared each checkpoint (one int per column)."""
         return self.passed.sum(axis=0)
+
+    def counts(self) -> "FunnelCounts":
+        """This trace's column sums as a :class:`FunnelCounts`."""
+        return FunnelCounts(
+            labels=self.labels,
+            entered=tuple(int(value) for value in self.entered_counts()),
+            passed=tuple(int(value) for value in self.passed_counts()),
+            n=self.count,
+            spoofed=int(np.count_nonzero(self.spoofed)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FunnelCounts:
+    """Per-checkpoint entered/passed totals of one batch traversal.
+
+    The counts-only funnel trace: exactly the column sums a
+    :class:`StageTraceBatch` reduces to, but computed inside the traversal
+    kernel from masks it already has live — no (receivers, checkpoints)
+    boolean matrices are ever allocated.  The streaming funnel tally
+    accepts either form and folds identical integers from both, which is
+    what lets the engine collect funnel analytics at close to the
+    trace-off throughput.
+    """
+
+    labels: Tuple[str, ...]
+    entered: Tuple[int, ...]
+    passed: Tuple[int, ...]
+    n: int
+    spoofed: int
+
+    def __post_init__(self) -> None:
+        if len(self.entered) != len(self.labels) or len(self.passed) != len(self.labels):
+            raise ModelError(
+                f"entered/passed must have one total per label "
+                f"({len(self.labels)}); got {len(self.entered)}/{len(self.passed)}"
+            )

@@ -62,7 +62,13 @@ from .design import (
 )
 from .presets import password_case_study_variants
 from .results import ExperimentError, ResultRow, ResultSet, reproduce_row
-from .runner import VariantRun, execute, plan_runs, run_variant
+from .runner import (
+    WALL_CLOCK_METRICS,
+    VariantRun,
+    execute,
+    plan_runs,
+    run_variant,
+)
 
 __all__ = [
     "password_case_study_variants",
@@ -79,6 +85,7 @@ __all__ = [
     "plan_runs",
     "run_variant",
     "execute",
+    "WALL_CLOCK_METRICS",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessBackend",

@@ -51,8 +51,10 @@ class ResultRow:
     ``mode`` is ``"analytic"`` for the failure-identification walk, or the
     engine mode (``"batch"`` / ``"reference"``) for simulated rows.  For
     simulated rows the (scenario, params, task, n_receivers, seed, mode,
-    batch_size, rounds, recovery_rate, dismiss_weight, heed_weight) tuple
-    reproduces the run exactly — see :func:`reproduce_row`.  ``rounds`` /
+    batch_size, rounds, recovery_rate, dismiss_weight, heed_weight,
+    rng_mode) tuple reproduces the run exactly — see
+    :func:`reproduce_row`; ``chunk_workers`` is recorded as telemetry but
+    never changes the bits.  ``rounds`` /
     ``recovery_rate`` / ``dismiss_weight`` / ``heed_weight`` record the
     *realized* engine settings (1 / 0.0 / 1.0 / 1.0 for single-shot,
     delivery-only runs); the per-round decay curve of a multi-round run
@@ -76,6 +78,8 @@ class ResultRow:
     recovery_rate: Optional[float] = None
     dismiss_weight: Optional[float] = None
     heed_weight: Optional[float] = None
+    rng_mode: Optional[str] = None
+    chunk_workers: Optional[int] = None
     variant_index: Optional[int] = None
 
     @property
@@ -136,7 +140,16 @@ def reproduce_row(row: ResultRow) -> SimulationResult:
         raise ExperimentError(f"row {row.variant!r} lacks seed/n_receivers provenance")
     variant = get_scenario(row.scenario).bind(**dict(row.params))
     overrides: Dict[str, Any] = {}
-    for name in ("batch_size", "rounds", "recovery_rate", "dismiss_weight", "heed_weight"):
+    # chunk_workers is deliberately omitted: it is parallelism telemetry,
+    # not stream identity — the serial re-run reproduces the same bits.
+    for name in (
+        "batch_size",
+        "rounds",
+        "recovery_rate",
+        "dismiss_weight",
+        "heed_weight",
+        "rng_mode",
+    ):
         value = getattr(row, name)
         if value is not None:
             overrides[name] = value

@@ -23,7 +23,20 @@ from ..systems.scenario import get_scenario
 from .design import Experiment
 from .results import ResultRow, ResultSet
 
-__all__ = ["VariantRun", "plan_runs", "run_variant", "execute"]
+__all__ = [
+    "VariantRun",
+    "plan_runs",
+    "run_variant",
+    "execute",
+    "WALL_CLOCK_METRICS",
+]
+
+#: Row metrics that record machine time rather than simulated outcomes —
+#: the one per-row datum legitimately different between two bit-identical
+#: runs.  Determinism checks (shard == serial, batch == reference) compare
+#: rows modulo these names; ``perf:chunks`` is NOT listed because the
+#: chunk count is a pure function of (n_receivers, batch_size).
+WALL_CLOCK_METRICS = ("perf:elapsed_seconds", "perf:receiver_rounds_per_second")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,10 +93,19 @@ def _simulation_metrics(result: SimulationResult) -> Dict[str, float]:
     ``round<k>:`` keys, so a result row carries the full decay curve.
     Runs with tracing enabled carry the per-stage funnel under
     ``funnel:<checkpoint>:`` keys (survival and conditional-failure rates
-    per pipeline checkpoint).
+    per pipeline checkpoint).  Wall-clock telemetry rides along under
+    ``perf:`` keys (elapsed seconds, receiver-round throughput, chunks
+    processed) — machine-dependent, so provenance rather than identity.
     """
     metrics = result.summary()
     metrics["failure_rate"] = result.failure_rate()
+    if result.elapsed_seconds is not None:
+        metrics["perf:elapsed_seconds"] = result.elapsed_seconds
+        throughput = result.throughput()
+        if throughput is not None:
+            metrics["perf:receiver_rounds_per_second"] = throughput
+    if result.chunks:
+        metrics["perf:chunks"] = float(result.chunks)
     for stage, fraction in result.stage_failure_fractions().items():
         metrics[f"stage_failure:{stage.value}"] = fraction
     if result.funnel is not None:
@@ -154,6 +176,8 @@ def run_variant(run: VariantRun) -> List[ResultRow]:
                 recovery_rate=result.recovery_rate,
                 dismiss_weight=result.dismiss_weight,
                 heed_weight=result.heed_weight,
+                rng_mode=result.rng_mode,
+                chunk_workers=result.chunk_workers,
                 variant_index=run.variant_index,
             )
         )

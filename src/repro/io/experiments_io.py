@@ -53,6 +53,8 @@ def result_row_to_dict(row) -> Dict[str, Any]:
         "recovery_rate": row.recovery_rate,
         "dismiss_weight": row.dismiss_weight,
         "heed_weight": row.heed_weight,
+        "rng_mode": row.rng_mode,
+        "chunk_workers": row.chunk_workers,
         "variant_index": row.variant_index,
         "variant_hash": row.variant_hash,
     }
@@ -80,6 +82,8 @@ def result_row_from_dict(payload: Dict[str, Any]):
             recovery_rate=payload.get("recovery_rate"),
             dismiss_weight=payload.get("dismiss_weight"),
             heed_weight=payload.get("heed_weight"),
+            rng_mode=payload.get("rng_mode"),
+            chunk_workers=payload.get("chunk_workers"),
             variant_index=payload.get("variant_index"),
         )
     except (KeyError, TypeError) as error:

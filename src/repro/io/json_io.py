@@ -370,11 +370,15 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     modes consume pre-drawn randomness chunked by ``batch_size``), the
     multi-round settings (``rounds`` / ``recovery_rate``) and the
     outcome-coupled habituation weights (``dismiss_weight`` /
-    ``heed_weight``; 1.0/1.0 is the delivery-only rule).  Multi-round
-    runs additionally carry the per-round headline-rate series
-    (``rounds_series``); runs with tracing enabled carry the per-stage
-    funnel (aggregate plus one entry per round).  Per-receiver records
-    are derived artifacts and are not serialized.
+    ``heed_weight``; 1.0/1.0 is the delivery-only rule), and the
+    decision-stream source (``rng_mode`` — part of stream identity).
+    ``chunk_workers`` / ``chunks`` / ``elapsed_seconds`` ride along as
+    performance telemetry: how the run was executed and how long it
+    took, never what it computed.  Multi-round runs additionally carry
+    the per-round headline-rate series (``rounds_series``); runs with
+    tracing enabled carry the per-stage funnel (aggregate plus one entry
+    per round).  Per-receiver records are derived artifacts and are not
+    serialized.
     """
     payload = {
         "task": result.task_name,
@@ -390,6 +394,10 @@ def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "dismiss_weight": result.dismiss_weight,
             "heed_weight": result.heed_weight,
             "trace": result.funnel is not None,
+            "rng_mode": result.rng_mode,
+            "chunk_workers": result.chunk_workers,
+            "chunks": result.chunks,
+            "elapsed_seconds": result.elapsed_seconds,
         },
         "metrics": result.summary(),
         "rounds_series": result.round_summaries(),

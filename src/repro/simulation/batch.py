@@ -29,10 +29,17 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import receiver as receiver_model
+from ..core.exceptions import SimulationError
 from ..core.pipeline import BatchWalk, PipelinePlan, decision_columns, walk_from_row
 from .metrics import ReceiverRecord
 from .population import PopulationSpec, TraitSamples
-from .rng import SimulationRng
+from .rng import (
+    DECISION_STREAM_BASE,
+    NOISE_STREAMS,
+    SPOOF_STREAM,
+    PhiloxDraws,
+    SimulationRng,
+)
 
 __all__ = [
     "BatchReceivers",
@@ -41,8 +48,11 @@ __all__ = [
     "decision_columns",
     "draw_batch",
     "redraw_decisions",
+    "draw_batch_counter",
+    "redraw_decisions_counter",
     "evaluate_batch",
     "records_from_batch",
+    "LazyRecords",
 ]
 
 #: Backwards-compatible alias: the realized traversal of one batch is now
@@ -281,6 +291,60 @@ def redraw_decisions(
     )
 
 
+def draw_batch_counter(
+    plan: PipelinePlan,
+    population: PopulationSpec,
+    count: int,
+    draws: PhiloxDraws,
+) -> DrawBatch:
+    """Counter-mode :func:`draw_batch`: traits and decisions from Philox streams.
+
+    Produces the same :class:`DrawBatch` structure the matrix path does
+    (so batch evaluation, reference-mode row slicing, and record
+    materialization are shared verbatim), but every array is the prefix of
+    a dedicated counter stream — any single value is recomputable in O(1)
+    through the same :class:`~repro.simulation.rng.PhiloxDraws` cell.
+    Traits always come from the chunk's round-0 cell (they are drawn once
+    per chunk, like the matrix path's chunk stream).
+    """
+    samples = population.sample_traits_counter(
+        count, draws if draws.round_index == 0 else draws.for_round(0)
+    )
+    return redraw_decisions_counter(plan, samples, draws)
+
+
+def redraw_decisions_counter(
+    plan: PipelinePlan,
+    samples: TraitSamples,
+    draws: PhiloxDraws,
+) -> DrawBatch:
+    """Counter-mode :func:`redraw_decisions` for one (seed, chunk, round) cell.
+
+    Spoof uniforms, perception noise, and each decision column read their
+    own streams, so a round's encounter randomness never depends on
+    earlier rounds or on sibling chunks.
+    """
+    count = samples.count
+    if not plan.has_communication:
+        decisions = np.empty((count, 1))
+        decisions[:, 0] = draws.uniforms(DECISION_STREAM_BASE, count)
+        return DrawBatch(
+            samples=samples,
+            spoof_uniforms=None,
+            noise=np.zeros(count),
+            decisions=decisions,
+        )
+    spoof_uniforms = draws.uniforms(SPOOF_STREAM, count)
+    noise = draws.clipped_normals(NOISE_STREAMS, 0.0, plan.user_noise_std, -0.2, 0.2, count)
+    columns = len(plan.stages) + 4
+    decisions = np.empty((count, columns))
+    for column in range(columns):
+        decisions[:, column] = draws.uniforms(DECISION_STREAM_BASE + column, count)
+    return DrawBatch(
+        samples=samples, spoof_uniforms=spoof_uniforms, noise=noise, decisions=decisions
+    )
+
+
 # ---------------------------------------------------------------------------
 # Kernel adapters
 # ---------------------------------------------------------------------------
@@ -290,7 +354,7 @@ def evaluate_batch(
     plan: PipelinePlan,
     draws: DrawBatch,
     exposures: Optional[np.ndarray] = None,
-    trace: bool = False,
+    trace=False,
 ) -> BatchOutcomes:
     """Advance every receiver in the batch through the pipeline at once.
 
@@ -301,7 +365,9 @@ def evaluate_batch(
     per-receiver habituation exposure array the multi-round engine carries
     between rounds (``None`` keeps the communication's static single-shot
     reading); ``trace=True`` additionally collects the per-receiver
-    :class:`~repro.core.stages.StageTraceBatch` funnel arrays.
+    :class:`~repro.core.stages.StageTraceBatch` funnel arrays,
+    ``trace="counts"`` only their column totals (the engine's fused
+    streaming-funnel path).
     """
     view = BatchReceivers(draws.samples)
     if not plan.has_communication:
@@ -357,3 +423,137 @@ def records_from_batch(
             )
         )
     return records
+
+
+class LazyRecords(list):
+    """A record list materialized from batch outcomes on first access.
+
+    Materializing :class:`~repro.simulation.metrics.ReceiverRecord`
+    objects dominates small runs (scalar traces for n=1,000 cost ~8x the
+    vectorized traversal itself), yet most callers only read the tallies.
+    The engine therefore parks the (outcomes, draws) pairs here and pays
+    for :func:`records_from_batch` only when the records are actually
+    read.  Records are frozen value-equal dataclasses built by the same
+    materializer, so a lazy list compares equal to its eager counterpart.
+
+    Memory stays bounded: the engine only keeps records for runs within
+    ``record_limit`` encounters, and the parked arrays are dropped once
+    materialized.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: List[Tuple[BatchOutcomes, DrawBatch, int, int]] = []
+
+    def defer(
+        self,
+        outcomes: BatchOutcomes,
+        draws: DrawBatch,
+        start_index: int,
+        round_index: int,
+    ) -> None:
+        """Park one batch's outcome arrays for later materialization."""
+        self._pending.append((outcomes, draws, start_index, round_index))
+
+    def materialize(self) -> None:
+        """Convert every parked batch into records (idempotent)."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        for outcomes, draws, start_index, round_index in pending:
+            super().extend(
+                records_from_batch(
+                    outcomes, draws, start_index=start_index, round_index=round_index
+                )
+            )
+
+    def absorb(self, other: "LazyRecords") -> None:
+        """Chain another lazy list's parked batches onto this one.
+
+        The engine merges chunk partials with this: parked batches carry
+        their own ``start_index``/``round_index``, so concatenation in
+        chunk order needs no re-indexing.  Only legal while both sides
+        are still fully lazy — once either has materialized records the
+        interleaving order would be lost.
+        """
+        if list.__len__(self) or list.__len__(other):
+            raise SimulationError(
+                "absorb requires both record lists to be unmaterialized"
+            )
+        self._pending.extend(other._pending)
+
+    # Every read path materializes first.  list comparisons and pickling
+    # read the underlying storage directly (CPython uses the concrete
+    # list size/items, and pickle iterates), so the operations tests and
+    # serialization lean on are each routed through materialize().
+
+    def __len__(self) -> int:
+        self.materialize()
+        return super().__len__()
+
+    def __iter__(self):
+        self.materialize()
+        return super().__iter__()
+
+    def __getitem__(self, index):
+        self.materialize()
+        return super().__getitem__(index)
+
+    def __contains__(self, item) -> bool:
+        self.materialize()
+        return super().__contains__(item)
+
+    def __reversed__(self):
+        self.materialize()
+        return super().__reversed__()
+
+    def __eq__(self, other) -> bool:
+        self.materialize()
+        if isinstance(other, LazyRecords):
+            other.materialize()
+        return super().__eq__(other)
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        self.materialize()
+        return super().__repr__()
+
+    def __add__(self, other):
+        self.materialize()
+        return list(self) + list(other)
+
+    def __radd__(self, other):
+        self.materialize()
+        return list(other) + list(self)
+
+    def __reduce__(self):
+        self.materialize()
+        return (list, (), None, iter(list(self)))
+
+    def index(self, *args):
+        self.materialize()
+        return super().index(*args)
+
+    def count(self, value):
+        self.materialize()
+        return super().count(value)
+
+    def copy(self):
+        self.materialize()
+        return list(self)
+
+    def append(self, item):
+        self.materialize()
+        super().append(item)
+
+    def extend(self, items):
+        self.materialize()
+        super().extend(items)
+
+    def insert(self, index, item):
+        self.materialize()
+        super().insert(index, item)

@@ -75,7 +75,9 @@ Outcome semantics mirror the case studies:
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -97,12 +99,27 @@ from .metrics import (
     SimulationTally,
 )
 from .population import PopulationSpec
-from .rng import SimulationRng
+from .rng import PhiloxDraws, SimulationRng
 
-__all__ = ["SimulationConfig", "HumanLoopSimulator", "SIMULATION_MODES"]
+__all__ = [
+    "SimulationConfig",
+    "HumanLoopSimulator",
+    "SIMULATION_MODES",
+    "RNG_MODES",
+]
 
 #: Supported execution modes (see module docstring).
 SIMULATION_MODES = ("batch", "reference")
+
+#: Supported decision-stream sources.  ``"matrix"`` — the sequential
+#: :class:`~repro.simulation.rng.SimulationRng` draw layout (the legacy
+#: default); ``"counter"`` — counter-based Philox streams
+#: (:class:`~repro.simulation.rng.PhiloxDraws`), where every draw is
+#: O(1)-addressable by (seed, chunk, round, stream, receiver).  The two
+#: sources draw different floats for the same seed, so the mode is part of
+#: a run's reproducibility provenance; within either mode, batch and
+#: reference execution stay bit-identical.
+RNG_MODES = ("matrix", "counter")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -118,9 +135,16 @@ class SimulationConfig:
     (see the module docstring).  ``dismiss_weight`` / ``heed_weight``
     couple the exposure accrual to realized outcomes (1.0/1.0 — the
     delivery-only rule, bit for bit); ``trace`` keeps the streaming
-    per-stage funnel tallies — worth roughly a quarter of the multi-round
-    hot path's throughput (see ``BENCH_trace.json``), so disable it for
-    throughput-critical runs that do not need funnel analytics.
+    per-stage funnel tallies — folded from the traversal kernel's fused
+    counts-only reduction, so the cost is a few percent of throughput
+    (see ``BENCH_trace.json``).
+
+    ``rng_mode`` selects the decision-stream source (see
+    :data:`RNG_MODES`); ``chunk_workers`` fans the independent chunks of
+    one simulate call across that many worker processes, merging the
+    streaming tallies in chunk order — both rng modes derive chunk
+    randomness from (seed, chunk index) alone, so the merged result is
+    bit-identical to a serial run for any worker count.
     """
 
     n_receivers: int = 500
@@ -135,6 +159,8 @@ class SimulationConfig:
     dismiss_weight: float = 1.0
     heed_weight: float = 1.0
     trace: bool = True
+    rng_mode: str = "matrix"
+    chunk_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_receivers < 0:
@@ -155,6 +181,187 @@ class SimulationConfig:
             raise SimulationError("recovery_rate must be in [0, 1]")
         if self.dismiss_weight < 0.0 or self.heed_weight < 0.0:
             raise SimulationError("habituation weights must be non-negative")
+        if self.rng_mode not in RNG_MODES:
+            raise SimulationError(
+                f"rng_mode must be one of {RNG_MODES}, got {self.rng_mode!r}"
+            )
+        if self.chunk_workers < 1:
+            raise SimulationError("chunk_workers must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class _ChunkSpec:
+    """One chunk of one simulate call, as a picklable work unit.
+
+    Everything a worker process needs to reproduce the chunk exactly:
+    both rng modes derive chunk randomness from ``(base_seed,
+    chunk_index)`` alone (never from sibling chunks), which is what makes
+    the partials identical whichever process — or order — computes them.
+    """
+
+    plan: PipelinePlan
+    population: PopulationSpec
+    base_seed: int
+    chunk_index: int
+    offset: int
+    size: int
+    mode: str
+    rng_mode: str
+    rounds: int
+    recovery_rate: float
+    dismiss_weight: float
+    heed_weight: float
+    want_trace: bool
+    keep_records: bool
+
+
+@dataclasses.dataclass
+class _ChunkPartial:
+    """One chunk's streaming partials, merged into the result in chunk order."""
+
+    tally: SimulationTally
+    round_tallies: List[RoundTally]
+    funnel: Optional[FunnelTally]
+    round_funnels: List[FunnelTally]
+    records: List[ReceiverRecord]
+
+
+def _simulate_chunk(spec: _ChunkSpec) -> _ChunkPartial:
+    """Advance one chunk of receivers through every hazard-encounter round.
+
+    The extracted body of the engine's chunk loop, shared by the serial
+    path and the in-call multicore path (``chunk_workers > 1``).  Integer
+    tallies merged in chunk order reproduce the streaming serial fold bit
+    for bit.
+    """
+    plan = spec.plan
+    partial = _ChunkPartial(
+        tally=SimulationTally(),
+        round_tallies=[RoundTally(round_index=index) for index in range(spec.rounds)],
+        funnel=FunnelTally() if spec.want_trace else None,
+        round_funnels=(
+            [FunnelTally() for _ in range(spec.rounds)] if spec.want_trace else []
+        ),
+        records=batch_module.LazyRecords() if spec.mode == "batch" else [],
+    )
+    if spec.rng_mode == "counter":
+        cell = PhiloxDraws(spec.base_seed, spec.chunk_index)
+        draws = batch_module.draw_batch_counter(plan, spec.population, spec.size, cell)
+    else:
+        chunk_rng = SimulationRng(spec.base_seed).spawn(spec.chunk_index)
+        draws = batch_module.draw_batch(plan, spec.population, spec.size, chunk_rng)
+    # Single-shot runs never read the exposure state; keep that hot path
+    # allocation-free.
+    exposures = (
+        habituation_module.initial_exposures(plan.communication, spec.size)
+        if spec.rounds > 1
+        else None
+    )
+    for round_index in range(spec.rounds):
+        if round_index:
+            # Same receivers, fresh encounter randomness: the counter
+            # source re-keys the cell for the round, the matrix source
+            # spawns a round stream off the chunk stream (round 0 consumed
+            # the chunk stream itself, preserving the single-shot draw
+            # layout exactly).
+            if spec.rng_mode == "counter":
+                draws = batch_module.redraw_decisions_counter(
+                    plan, draws.samples, cell.for_round(round_index)
+                )
+            else:
+                draws = batch_module.redraw_decisions(
+                    plan, draws.samples, chunk_rng.spawn(round_index)
+                )
+        # Round 0 keeps the communication's scalar baked-in count (the
+        # single-shot reading); later rounds thread the evolved
+        # per-receiver array.
+        round_exposures = exposures if round_index else None
+        round_tally = partial.round_tallies[round_index]
+        advancing = exposures is not None and round_index + 1 < spec.rounds
+        if spec.mode == "batch":
+            outcomes = batch_module.evaluate_batch(
+                plan,
+                draws,
+                exposures=round_exposures,
+                trace="counts" if spec.want_trace else False,
+            )
+            partial.tally.add_batch(outcomes)
+            round_tally.add_batch(outcomes)
+            if spec.want_trace:
+                partial.funnel.add_counts(outcomes.funnel_counts)
+                partial.round_funnels[round_index].add_counts(outcomes.funnel_counts)
+            if spec.keep_records:
+                partial.records.defer(outcomes, draws, spec.offset, round_index)
+            protected = outcomes.protected
+        else:
+            # Reference mode: the same traversal kernel at width 1, one
+            # row slice at a time (each receiver evaluated in isolation
+            # over identical pre-drawn floats).
+            protected = np.zeros(spec.size, dtype=bool) if advancing else None
+            for row in range(spec.size):
+                row_draws = draws.row(row)
+                row_outcomes = batch_module.evaluate_batch(
+                    plan,
+                    row_draws,
+                    exposures=(
+                        None if round_exposures is None
+                        else round_exposures[row : row + 1]
+                    ),
+                    trace="counts" if spec.want_trace else False,
+                )
+                record = batch_module.records_from_batch(
+                    row_outcomes,
+                    row_draws,
+                    start_index=spec.offset + row,
+                    round_index=round_index,
+                )[0]
+                partial.tally.add_record(record)
+                round_tally.add_record(record)
+                if spec.want_trace:
+                    partial.funnel.add_counts(row_outcomes.funnel_counts)
+                    partial.round_funnels[round_index].add_counts(
+                        row_outcomes.funnel_counts
+                    )
+                if spec.keep_records:
+                    partial.records.append(record)
+                if advancing:
+                    protected[row] = bool(row_outcomes.protected[0])
+        if advancing:
+            # Outcome-coupled accrual: delivery (spoof draws) says who the
+            # communication reached, the realized outcomes say how hard
+            # the encounter habituates.  Both modes feed the identical
+            # floats (reference is the kernel at width 1), so the exposure
+            # trajectories agree bit for bit.
+            delivered = draws.spoof_uniforms >= plan.spoof_probability
+            exposures = habituation_module.advance_exposures(
+                exposures,
+                delivered,
+                spec.recovery_rate,
+                heeded=protected,
+                dismiss_weight=spec.dismiss_weight,
+                heed_weight=spec.heed_weight,
+            )
+    return partial
+
+
+def _merged_records(partials: List[_ChunkPartial]) -> List[ReceiverRecord]:
+    """Concatenate chunk records in chunk order, staying lazy when possible.
+
+    In-process batch chunks arrive as unmaterialized
+    :class:`~repro.simulation.batch.LazyRecords` and chain without paying
+    for record construction; chunks that crossed a process boundary (or
+    reference-mode chunks) arrive as plain lists and merge eagerly.
+    """
+    record_lists = [partial.records for partial in partials]
+    if all(isinstance(records, batch_module.LazyRecords) for records in record_lists):
+        merged = batch_module.LazyRecords()
+        for records in record_lists:
+            merged.absorb(records)
+        return merged
+    merged_eager: List[ReceiverRecord] = []
+    for records in record_lists:
+        merged_eager.extend(records)
+    return merged_eager
 
 
 class HumanLoopSimulator:
@@ -177,6 +384,8 @@ class HumanLoopSimulator:
         dismiss_weight: Optional[float] = None,
         heed_weight: Optional[float] = None,
         trace: Optional[bool] = None,
+        rng_mode: Optional[str] = None,
+        chunk_workers: Optional[int] = None,
     ) -> SimulationResult:
         """Simulate ``n_receivers`` independent receivers encountering the task.
 
@@ -193,6 +402,13 @@ class HumanLoopSimulator:
         the dynamics.  ``rounds=1`` is the single-shot engine, bit for bit,
         and unit weights reproduce the delivery-only accrual exactly.
         ``trace`` toggles the streaming per-stage funnel tallies.
+
+        ``rng_mode`` selects the decision-stream source ("matrix" or
+        "counter", see :data:`RNG_MODES`) and ``chunk_workers`` fans the
+        run's independent chunks across that many worker processes;
+        neither changes the simulated outcomes within its rng mode — a
+        parallel run merges chunk partials in chunk order and is
+        bit-identical to the serial fold.
         """
         count = self.config.n_receivers if n_receivers is None else n_receivers
         if count < 0:
@@ -216,9 +432,19 @@ class HumanLoopSimulator:
         if dismiss_weight < 0.0 or heed_weight < 0.0:
             raise SimulationError("habituation weights must be non-negative")
         want_trace = self.config.trace if trace is None else bool(trace)
+        rng_mode = self.config.rng_mode if rng_mode is None else rng_mode
+        if rng_mode not in RNG_MODES:
+            raise SimulationError(
+                f"rng_mode must be one of {RNG_MODES}, got {rng_mode!r}"
+            )
+        chunk_workers = (
+            self.config.chunk_workers if chunk_workers is None else chunk_workers
+        )
+        if chunk_workers < 1:
+            raise SimulationError("chunk_workers must be >= 1")
 
+        started = time.perf_counter()
         plan = self._plan_for(task)
-        rng = SimulationRng(base_seed)
         keep_records = mode == "reference" or count * rounds <= self.config.record_limit
 
         result = SimulationResult(
@@ -236,100 +462,58 @@ class HumanLoopSimulator:
             round_funnels=[FunnelTally() for _ in range(rounds)] if want_trace else [],
             dismiss_weight=dismiss_weight,
             heed_weight=heed_weight,
+            rng_mode=rng_mode,
+            chunk_workers=chunk_workers,
         )
 
+        specs: List[_ChunkSpec] = []
         offset = 0
-        chunk_index = 0
         while offset < count:
             size = min(self.config.batch_size, count - offset)
-            chunk_rng = rng.spawn(chunk_index)
-            draws = batch_module.draw_batch(plan, population, size, chunk_rng)
-            # Single-shot runs never read the exposure state; keep that hot
-            # path allocation-free.
-            exposures = (
-                habituation_module.initial_exposures(plan.communication, size)
-                if rounds > 1
-                else None
+            specs.append(
+                _ChunkSpec(
+                    plan=plan,
+                    population=population,
+                    base_seed=base_seed,
+                    chunk_index=len(specs),
+                    offset=offset,
+                    size=size,
+                    mode=mode,
+                    rng_mode=rng_mode,
+                    rounds=rounds,
+                    recovery_rate=recovery_rate,
+                    dismiss_weight=dismiss_weight,
+                    heed_weight=heed_weight,
+                    want_trace=want_trace,
+                    keep_records=keep_records,
+                )
             )
-            for round_index in range(rounds):
-                if round_index:
-                    # Same receivers, fresh encounter randomness from a
-                    # stream derived off the chunk stream (round 0 consumed
-                    # the chunk stream itself, preserving the single-shot
-                    # draw layout exactly).
-                    draws = batch_module.redraw_decisions(
-                        plan, draws.samples, chunk_rng.spawn(round_index)
-                    )
-                # Round 0 keeps the communication's scalar baked-in count
-                # (the single-shot reading); later rounds thread the evolved
-                # per-receiver array.
-                round_exposures = exposures if round_index else None
-                round_tally = result.round_tallies[round_index]
-                advancing = exposures is not None and round_index + 1 < rounds
-                if mode == "batch":
-                    outcomes = batch_module.evaluate_batch(
-                        plan, draws, exposures=round_exposures, trace=want_trace
-                    )
-                    result.tally.add_batch(outcomes)
-                    round_tally.add_batch(outcomes)
-                    if want_trace:
-                        result.funnel.add_trace(outcomes.trace)
-                        result.round_funnels[round_index].add_trace(outcomes.trace)
-                    if keep_records:
-                        result.records.extend(
-                            batch_module.records_from_batch(
-                                outcomes, draws, start_index=offset, round_index=round_index
-                            )
-                        )
-                    protected = outcomes.protected
-                else:
-                    # Reference mode: the same traversal kernel at width 1,
-                    # one row slice at a time (each receiver evaluated in
-                    # isolation over identical pre-drawn floats).
-                    protected = np.zeros(size, dtype=bool) if advancing else None
-                    for row in range(size):
-                        row_draws = draws.row(row)
-                        row_outcomes = batch_module.evaluate_batch(
-                            plan,
-                            row_draws,
-                            exposures=(
-                                None if round_exposures is None
-                                else round_exposures[row : row + 1]
-                            ),
-                            trace=want_trace,
-                        )
-                        record = batch_module.records_from_batch(
-                            row_outcomes,
-                            row_draws,
-                            start_index=offset + row,
-                            round_index=round_index,
-                        )[0]
-                        result.tally.add_record(record)
-                        round_tally.add_record(record)
-                        if want_trace:
-                            result.funnel.add_trace(row_outcomes.trace)
-                            result.round_funnels[round_index].add_trace(row_outcomes.trace)
-                        if keep_records:
-                            result.records.append(record)
-                        if advancing:
-                            protected[row] = bool(row_outcomes.protected[0])
-                if advancing:
-                    # Outcome-coupled accrual: delivery (spoof draws) says who
-                    # the communication reached, the realized outcomes say how
-                    # hard the encounter habituates.  Both modes feed the
-                    # identical floats (reference is the kernel at width 1),
-                    # so the exposure trajectories agree bit for bit.
-                    delivered = draws.spoof_uniforms >= plan.spoof_probability
-                    exposures = habituation_module.advance_exposures(
-                        exposures,
-                        delivered,
-                        recovery_rate,
-                        heeded=protected,
-                        dismiss_weight=dismiss_weight,
-                        heed_weight=heed_weight,
-                    )
             offset += size
-            chunk_index += 1
+
+        if chunk_workers > 1 and len(specs) > 1:
+            # Each chunk is self-contained (randomness keyed by (seed,
+            # chunk index) alone), so fan the specs across processes and
+            # fold the partials back in chunk order — bit-identical to
+            # the serial path for any worker count.
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(chunk_workers, len(specs))
+            ) as pool:
+                partials = list(pool.map(_simulate_chunk, specs))
+        else:
+            partials = [_simulate_chunk(spec) for spec in specs]
+
+        for partial in partials:
+            result.tally.merge(partial.tally)
+            for round_tally, partial_round in zip(result.round_tallies, partial.round_tallies):
+                round_tally.merge(partial_round)
+            if want_trace:
+                result.funnel.merge(partial.funnel)
+                for funnel, partial_funnel in zip(result.round_funnels, partial.round_funnels):
+                    funnel.merge(partial_funnel)
+        if keep_records:
+            result.records = _merged_records(partials)
+        result.chunks = len(specs)
+        result.elapsed_seconds = time.perf_counter() - started
         return result
 
     def simulate_receiver(

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..core.behavior import OUTCOME_ORDER, BehaviorOutcome, outcome_code
 from ..core.exceptions import SimulationError
-from ..core.stages import STAGE_ORDER, Stage, StageTrace, StageTraceBatch
+from ..core.stages import STAGE_ORDER, FunnelCounts, Stage, StageTrace, StageTraceBatch
 
 __all__ = [
     "OUTCOME_ORDER",
@@ -236,22 +236,31 @@ class FunnelTally:
 
     def add_trace(self, trace: StageTraceBatch) -> None:
         """Fold one batch's trace arrays into the tally."""
+        self.add_counts(trace.counts())
+
+    def add_counts(self, counts: FunnelCounts) -> None:
+        """Fold one batch's counts-only funnel reduction into the tally.
+
+        The engine's hot path: the traversal kernel computes the column
+        totals in place (``trace="counts"``), so no per-receiver
+        checkpoint matrices exist to reduce here.  Folding a
+        :class:`~repro.core.stages.StageTraceBatch` through
+        :meth:`add_trace` produces identical integers.
+        """
         if not self.labels:
-            self.labels = tuple(trace.labels)
+            self.labels = tuple(counts.labels)
             self.entered = [0] * len(self.labels)
             self.passed = [0] * len(self.labels)
-        elif self.labels != tuple(trace.labels):
+        elif self.labels != tuple(counts.labels):
             raise SimulationError(
-                f"trace checkpoints {trace.labels} do not match the tally's "
+                f"trace checkpoints {counts.labels} do not match the tally's "
                 f"{self.labels}; funnels aggregate one pipeline shape"
             )
-        self.n += trace.count
-        self.spoofed += int(np.count_nonzero(trace.spoofed))
-        for column, (entered, passed) in enumerate(
-            zip(trace.entered_counts(), trace.passed_counts())
-        ):
-            self.entered[column] += int(entered)
-            self.passed[column] += int(passed)
+        self.n += counts.n
+        self.spoofed += counts.spoofed
+        for column in range(len(self.labels)):
+            self.entered[column] += counts.entered[column]
+            self.passed[column] += counts.passed[column]
 
     def merge(self, other: "FunnelTally") -> None:
         """Fold another funnel tally into this one."""
@@ -374,6 +383,16 @@ class SimulationResult:
     round.  ``dismiss_weight`` / ``heed_weight`` record the
     outcome-coupled habituation weights the run used (both 1.0 — the
     delivery-only accrual rule — unless overridden).
+
+    **Perf provenance** (engine-populated; defaults on hand-built
+    results): ``rng_mode`` records which decision-stream source drew the
+    run's randomness (``"matrix"`` / ``"counter"``; it is part of the
+    reproducibility tuple — the two sources draw different streams),
+    ``chunk_workers`` how many processes the chunks fanned across inside
+    the call (the *merged result* is bit-identical for any worker count,
+    so it is telemetry, not identity), ``chunks`` how many chunks the run
+    processed, and ``elapsed_seconds`` the wall-clock the call took — so
+    every sweep doubles as throughput telemetry.
     """
 
     task_name: str
@@ -391,6 +410,10 @@ class SimulationResult:
     round_funnels: List[FunnelTally] = dataclasses.field(default_factory=list)
     dismiss_weight: float = 1.0
     heed_weight: float = 1.0
+    rng_mode: Optional[str] = None
+    chunk_workers: int = 1
+    chunks: int = 0
+    elapsed_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.task_name:
@@ -401,6 +424,8 @@ class SimulationResult:
             raise SimulationError("recovery_rate must be in [0, 1]")
         if self.dismiss_weight < 0.0 or self.heed_weight < 0.0:
             raise SimulationError("habituation weights must be non-negative")
+        if self.chunk_workers < 1:
+            raise SimulationError("chunk_workers must be >= 1")
 
     def _counts(self) -> SimulationTally:
         """The effective tally (explicit, or derived from the records)."""
@@ -427,6 +452,12 @@ class SimulationResult:
         if self.tally is not None:
             return self.tally.n
         return len(self.records)
+
+    def throughput(self) -> Optional[float]:
+        """Receiver-rounds per wall-clock second (``None`` without timing)."""
+        if not self.elapsed_seconds:
+            return None
+        return self.receiver_rounds / self.elapsed_seconds
 
     def _fraction(self, count: int) -> float:
         total = self._counts().n

@@ -38,7 +38,13 @@ from ..core.receiver import (
     Motivation,
     PersonalVariables,
 )
-from .rng import SimulationRng
+from .rng import (
+    AGE_STREAMS,
+    TRAINED_STREAM,
+    PhiloxDraws,
+    SimulationRng,
+    trait_streams,
+)
 
 __all__ = [
     "TraitDistribution",
@@ -253,6 +259,36 @@ class PopulationSpec:
             rng.truncated_normal_array(self.mean_age, self.age_spread, 18, 90, count)
         ).astype(int)
         trained = rng.uniform_array(count) < self.training_fraction
+        return TraitSamples(
+            population_name=self.name, traits=traits, ages=ages, trained=trained
+        )
+
+    def sample_traits_counter(self, count: int, draws: PhiloxDraws) -> TraitSamples:
+        """Draw ``count`` receivers from counter-based (Philox) streams.
+
+        The ``rng_mode="counter"`` counterpart of :meth:`sample_traits`:
+        trait ``k`` of :data:`TRAIT_NAMES` reads its own Box-Muller stream
+        pair, ages and training uniforms theirs, so no draw's address
+        depends on any other category and any single receiver's traits are
+        recomputable in O(1) (:meth:`PhiloxDraws.clipped_normal_at`).
+        """
+        if count < 0:
+            raise SimulationError("count must be non-negative")
+        traits = {}
+        for trait_index, trait in enumerate(TRAIT_NAMES):
+            distribution = self.distribution(trait)
+            traits[trait] = draws.clipped_normals(
+                trait_streams(trait_index),
+                distribution.mean,
+                distribution.std,
+                distribution.low,
+                distribution.high,
+                count,
+            )
+        ages = np.rint(
+            draws.clipped_normals(AGE_STREAMS, self.mean_age, self.age_spread, 18, 90, count)
+        ).astype(int)
+        trained = draws.uniforms(TRAINED_STREAM, count) < self.training_fraction
         return TraitSamples(
             population_name=self.name, traits=traits, ages=ages, trained=trained
         )

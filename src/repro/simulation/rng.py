@@ -1,22 +1,87 @@
 """Deterministic random-number utilities for the simulation substrate.
 
-All stochastic behaviour in the simulation flows through a
-:class:`SimulationRng` created from an explicit seed, so every experiment
-in the benchmark harness is exactly reproducible.  The class wraps
-:class:`numpy.random.Generator` and adds the small set of draws the
-simulation needs (Bernoulli trials, truncated normals, independent child
-streams).
+All stochastic behaviour in the simulation flows through one of two
+sources, both created from an explicit seed so every experiment in the
+benchmark harness is exactly reproducible:
+
+* :class:`SimulationRng` — the sequential source.  Wraps
+  :class:`numpy.random.Generator` and adds the small set of draws the
+  simulation needs (Bernoulli trials, truncated normals, independent
+  child streams).  Draw *order* matters: the k-th value depends on the
+  k-1 draws before it, which is why the engine pins a fixed draw layout.
+* :class:`PhiloxDraws` — the counter-based source (``rng_mode="counter"``),
+  following the Philox/"Parallel random numbers: as easy as 1, 2, 3"
+  design.  Every draw category of a (seed, chunk, round) cell owns a
+  dedicated Philox key, so the i-th value of any stream is addressable in
+  O(1) (:meth:`PhiloxDraws.uniform_at`) without generating its
+  predecessors, and no category's draws depend on how many draws another
+  category consumed.  Truncated normals come from a fixed two-uniform
+  Box–Muller transform (:func:`clipped_normals_from_uniforms`) instead of
+  numpy's variable-consumption ziggurat, keeping them addressable too.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.exceptions import SimulationError
 
-__all__ = ["SimulationRng"]
+__all__ = [
+    "SimulationRng",
+    "PhiloxDraws",
+    "clipped_normals_from_uniforms",
+    "trait_streams",
+    "AGE_STREAMS",
+    "TRAINED_STREAM",
+    "SPOOF_STREAM",
+    "NOISE_STREAMS",
+    "DECISION_STREAM_BASE",
+]
+
+# ---------------------------------------------------------------------------
+# Counter-based stream layout
+#
+# Each draw category of a chunk-round cell owns its own Philox sub-stream.
+# Trait k consumes the Box-Muller pair (2k, 2k+1); the remaining categories
+# start above the trait block (21 traits -> streams 0..41).
+# ---------------------------------------------------------------------------
+
+#: Box-Muller uniform pair for the demographic age draw.
+AGE_STREAMS: Tuple[int, int] = (42, 43)
+#: Training-fraction Bernoulli uniforms.
+TRAINED_STREAM = 44
+#: Attacker spoof uniforms.
+SPOOF_STREAM = 45
+#: Box-Muller uniform pair for the per-receiver perception noise.
+NOISE_STREAMS: Tuple[int, int] = (46, 47)
+#: Decision column ``c`` of the draw layout reads stream ``BASE + c``.
+DECISION_STREAM_BASE = 48
+
+_CHUNK_BITS = 24
+_ROUND_BITS = 20
+_STREAM_BITS = 20
+
+
+def trait_streams(trait_index: int) -> Tuple[int, int]:
+    """The Box-Muller uniform stream pair of one population trait."""
+    return (2 * trait_index, 2 * trait_index + 1)
+
+
+def clipped_normals_from_uniforms(u1, u2, mean: float, std: float,
+                                  low: float, high: float) -> np.ndarray:
+    """Box-Muller normals from two uniform arrays, clipped to [low, high].
+
+    A fixed two-uniform transform (rather than numpy's ziggurat, whose
+    per-value consumption varies) so counter-mode normals stay O(1)
+    addressable.  Clipping matches :meth:`SimulationRng.truncated_normal`:
+    the traits being sampled are bounded behavioural scores and the exact
+    tail shape is immaterial.  ``log1p(-u1)`` keeps the argument away from
+    ``log(0)`` (uniforms live on [0, 1)).
+    """
+    z = np.sqrt(-2.0 * np.log1p(-u1)) * np.cos((2.0 * np.pi) * u2)
+    return np.clip(mean + std * z, low, high)
 
 
 class SimulationRng:
@@ -129,3 +194,122 @@ class SimulationRng:
             probabilities = [p / total for p in probabilities]
         index = self._generator.choice(len(options), p=probabilities)
         return options[int(index)]
+
+
+class PhiloxDraws:
+    """Counter-addressable draw streams for one (seed, chunk, round) cell.
+
+    The counter-based decision source behind ``rng_mode="counter"``: every
+    stream of the cell maps to its own Philox key ``[seed,
+    chunk << 40 | round << 20 | stream]``, so
+
+    * streams are independent by construction — chunk randomness does not
+      depend on the order chunks run in (what makes in-call multicore
+      bit-identical to serial), and round ``r`` redraws do not depend on
+      rounds ``< r``;
+    * any single value is recomputable in O(1): Philox counters advance
+      in blocks of four doubles, so element ``i`` of a stream is reached
+      by ``advance(i // 4)`` plus at most three generated values
+      (:meth:`uniform_at`), with no need to materialize the matrix it
+      came from.
+
+    Bulk generation (:meth:`uniforms`) and point addressing are bitwise
+    identical by the Philox counter semantics; the equivalence suite in
+    ``tests/simulation/test_counter_rng.py`` pins both.
+    """
+
+    def __init__(self, seed: int, chunk: int = 0, round_index: int = 0) -> None:
+        if seed < 0:
+            raise SimulationError("seed must be non-negative")
+        if not 0 <= chunk < (1 << _CHUNK_BITS):
+            raise SimulationError(f"chunk must be in [0, 2**{_CHUNK_BITS})")
+        if not 0 <= round_index < (1 << _ROUND_BITS):
+            raise SimulationError(f"round_index must be in [0, 2**{_ROUND_BITS})")
+        self.seed = seed
+        self.chunk = chunk
+        self.round_index = round_index
+
+    def for_round(self, round_index: int) -> "PhiloxDraws":
+        """The same chunk cell at another hazard-encounter round."""
+        return PhiloxDraws(self.seed, self.chunk, round_index)
+
+    def _bit_generator(self, stream: int) -> np.random.Philox:
+        if not 0 <= stream < (1 << _STREAM_BITS):
+            raise SimulationError(f"stream must be in [0, 2**{_STREAM_BITS})")
+        packed = (
+            (self.chunk << (_ROUND_BITS + _STREAM_BITS))
+            | (self.round_index << _STREAM_BITS)
+            | stream
+        )
+        return np.random.Philox(key=[self.seed, packed])
+
+    # -- uniforms ---------------------------------------------------------------
+
+    def uniforms(self, stream: int, size: int) -> np.ndarray:
+        """The first ``size`` uniform [0, 1) values of one stream."""
+        if size < 0:
+            raise SimulationError("size must be non-negative")
+        return np.random.Generator(self._bit_generator(stream)).random(size)
+
+    def uniform_at(self, stream: int, index: int) -> float:
+        """Element ``index`` of a stream in O(1), bit-identical to bulk.
+
+        ``advance(q)`` positions the Philox double stream at bulk element
+        ``4 * q`` (each 4x64 counter block yields four doubles), so the
+        target is at most three generated values past the advanced
+        counter.
+        """
+        if index < 0:
+            raise SimulationError("index must be non-negative")
+        quotient, remainder = divmod(index, 4)
+        bit_generator = self._bit_generator(stream)
+        if quotient:
+            bit_generator.advance(quotient)
+        return float(np.random.Generator(bit_generator).random(remainder + 1)[-1])
+
+    # -- clipped normals --------------------------------------------------------
+
+    def clipped_normals(
+        self,
+        streams: Tuple[int, int],
+        mean: float,
+        std: float,
+        low: float,
+        high: float,
+        size: int,
+    ) -> np.ndarray:
+        """``size`` Box-Muller normals clipped to [low, high].
+
+        A zero ``std`` returns a constant vector, mirroring
+        :meth:`SimulationRng.truncated_normal_array` (the streams stay
+        untouched — counter streams have no draw-order state to preserve).
+        """
+        if std < 0:
+            raise SimulationError("std must be non-negative")
+        if high < low:
+            raise SimulationError("high must be >= low")
+        if std == 0:
+            return np.full(size, float(min(high, max(low, mean))))
+        u1 = self.uniforms(streams[0], size)
+        u2 = self.uniforms(streams[1], size)
+        return clipped_normals_from_uniforms(u1, u2, mean, std, low, high)
+
+    def clipped_normal_at(
+        self,
+        streams: Tuple[int, int],
+        mean: float,
+        std: float,
+        low: float,
+        high: float,
+        index: int,
+    ) -> float:
+        """Element ``index`` of a clipped-normal stream pair in O(1)."""
+        if std < 0:
+            raise SimulationError("std must be non-negative")
+        if std == 0:
+            return float(min(high, max(low, mean)))
+        u1 = np.array([self.uniform_at(streams[0], index)])
+        u2 = np.array([self.uniform_at(streams[1], index)])
+        return float(
+            clipped_normals_from_uniforms(u1, u2, mean, std, low, high)[0]
+        )

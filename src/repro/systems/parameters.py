@@ -18,8 +18,9 @@ Every registered scenario automatically accepts the **common** parameters
 (:func:`common_parameter_space`): population training fraction, the
 calibration's noise / intention / capability knobs, and the engine knobs
 (``rounds`` / ``recovery_rate``, the outcome-coupled habituation weights
-``dismiss_weight`` / ``heed_weight``, and the funnel ``trace`` toggle —
-all of which become the bound variant's simulation defaults rather than
+``dismiss_weight`` / ``heed_weight``, the funnel ``trace`` toggle, and
+the engine performance knobs ``rng_mode`` / ``chunk_workers`` — all of
+which become the bound variant's simulation defaults rather than
 touching the component build).
 Scenarios with a domain binder (passwords, anti-phishing) add their own
 typed parameters on top — see
@@ -244,6 +245,8 @@ COMMON_PARAMETER_NAMES = (
     "dismiss_weight",
     "heed_weight",
     "trace",
+    "rng_mode",
+    "chunk_workers",
 )
 
 #: The common knobs consumed by the engine (simulation defaults of a bound
@@ -254,6 +257,8 @@ SIMULATION_PARAMETER_NAMES = (
     "dismiss_weight",
     "heed_weight",
     "trace",
+    "rng_mode",
+    "chunk_workers",
 )
 
 
@@ -349,6 +354,29 @@ def common_parameter_space() -> ParameterSpace:
                 default=None,
                 allow_none=True,
                 description="Keep streaming per-stage funnel tallies for the run.",
+            ),
+            Parameter(
+                "rng_mode",
+                "choice",
+                default=None,
+                choices=("matrix", "counter"),
+                allow_none=True,
+                description=(
+                    "Decision-stream source: 'matrix' (sequential draw layout) "
+                    "or 'counter' (O(1)-addressable Philox streams)."
+                ),
+            ),
+            Parameter(
+                "chunk_workers",
+                "int",
+                default=None,
+                low=1,
+                high=256,
+                allow_none=True,
+                description=(
+                    "Worker processes simulating the chunks of one run "
+                    "(bit-identical to serial for any count)."
+                ),
             ),
         ]
     )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import (
+    WALL_CLOCK_METRICS,
     Experiment,
     SweepSpec,
     VariantSpec,
@@ -10,6 +11,22 @@ from repro.experiments import (
     reproduce_row,
 )
 from repro.io import resultset_to_dict
+
+
+def _without_wall_clock(metrics):
+    """Row metrics modulo wall-clock telemetry (never deterministic)."""
+    return {
+        name: value
+        for name, value in metrics.items()
+        if name not in WALL_CLOCK_METRICS
+    }
+
+
+def _canonical(resultset):
+    payload = resultset_to_dict(resultset)
+    for row in payload["rows"]:
+        row["metrics"] = _without_wall_clock(row["metrics"])
+    return payload
 
 VARIANTS = (
     VariantSpec("passwords", {}, label="baseline"),
@@ -74,7 +91,9 @@ class TestExecution:
         batch = _experiment().run()
         reference = _experiment(mode="reference").run()
         for label in ("baseline", "sso"):
-            assert batch.row(label).metrics == reference.row(label).metrics
+            assert _without_wall_clock(batch.row(label).metrics) == _without_wall_clock(
+                reference.row(label).metrics
+            )
 
     def test_parallel_identical_to_serial(self):
         from repro.experiments import ProcessBackend
@@ -82,7 +101,7 @@ class TestExecution:
         experiment = _experiment()
         serial = experiment.run()
         parallel = experiment.run(backend=ProcessBackend(max_workers=2))
-        assert resultset_to_dict(parallel) == resultset_to_dict(serial)
+        assert _canonical(parallel) == _canonical(serial)
 
     def test_rows_reproduce_exactly(self):
         results = _experiment().run()

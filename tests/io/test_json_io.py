@@ -135,7 +135,10 @@ class TestSimulationResultProvenance:
     def test_provenance_block_complete(self):
         result = self._result()
         payload = json_io.simulation_result_to_dict(result)
-        assert payload["provenance"] == {
+        provenance = dict(payload["provenance"])
+        elapsed = provenance.pop("elapsed_seconds")
+        assert elapsed > 0.0
+        assert provenance == {
             "seed": 17,
             "mode": "batch",
             "batch_size": 64,
@@ -146,6 +149,9 @@ class TestSimulationResultProvenance:
             "dismiss_weight": 1.0,
             "heed_weight": 1.0,
             "trace": True,
+            "rng_mode": "matrix",
+            "chunk_workers": 1,
+            "chunks": 2,
         }
 
     def test_reference_mode_recorded(self):
@@ -197,8 +203,14 @@ class TestSimulationResultProvenance:
             seed=provenance["seed"],
             mode=provenance["mode"],
             batch_size=provenance["batch_size"],
+            rng_mode=provenance["rng_mode"],
         )
-        assert json_io.simulation_result_to_dict(rerun) == payload
+        rerun_payload = json_io.simulation_result_to_dict(rerun)
+        # Wall-clock time is the one provenance datum a bit-identical
+        # re-run legitimately disagrees on.
+        rerun_payload["provenance"].pop("elapsed_seconds")
+        payload["provenance"].pop("elapsed_seconds")
+        assert rerun_payload == payload
 
     def test_hand_built_results_have_no_engine_provenance(self):
         from repro.simulation.metrics import SimulationResult

@@ -1,0 +1,294 @@
+"""Counter-based decision streams and in-call chunk parallelism (PR 6).
+
+The ``PhiloxDraws`` source must make every draw O(1)-addressable: any
+single receiver×round decision recomputed from its ``(seed, chunk,
+round, stream, receiver)`` coordinates alone must equal the value the
+bulk batch draw produced, bit for bit.  On top of that sit the engine
+contracts: counter-mode batch == counter-mode reference per round, and
+``chunk_workers=N`` bit-identical to the serial fold for any N.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.simulation import batch as batch_module
+from repro.simulation.engine import (
+    RNG_MODES,
+    HumanLoopSimulator,
+    SimulationConfig,
+)
+from repro.simulation.population import general_web_population
+from repro.simulation.rng import (
+    AGE_STREAMS,
+    DECISION_STREAM_BASE,
+    NOISE_STREAMS,
+    SPOOF_STREAM,
+    TRAINED_STREAM,
+    PhiloxDraws,
+    trait_streams,
+)
+
+SEED = 20080124
+N = 1_200
+
+
+@pytest.fixture
+def population():
+    return general_web_population()
+
+
+@pytest.fixture
+def plan(warning_task):
+    return HumanLoopSimulator(SimulationConfig())._plan_for(warning_task)
+
+
+def _simulator(**overrides) -> HumanLoopSimulator:
+    overrides.setdefault("seed", SEED)
+    overrides.setdefault("batch_size", 400)
+    return HumanLoopSimulator(SimulationConfig(**overrides))
+
+
+class TestPointAddressing:
+    """Bulk draws vs O(1) single-element recomputation."""
+
+    def test_uniform_at_matches_bulk(self):
+        draws = PhiloxDraws(SEED, chunk=3, round_index=2)
+        for stream in (0, SPOOF_STREAM, DECISION_STREAM_BASE + 5):
+            bulk = draws.uniforms(stream, 1_000)
+            for index in (0, 1, 2, 3, 4, 5, 57, 511, 999):
+                assert draws.uniform_at(stream, index) == bulk[index]
+
+    def test_clipped_normal_at_matches_bulk(self):
+        draws = PhiloxDraws(SEED, chunk=1)
+        bulk = draws.clipped_normals(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 1_000)
+        for index in (0, 3, 4, 250, 999):
+            assert (
+                draws.clipped_normal_at(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, index)
+                == bulk[index]
+            )
+
+    def test_zero_std_normals_are_constant(self):
+        draws = PhiloxDraws(SEED)
+        values = draws.clipped_normals(NOISE_STREAMS, 0.4, 0.0, 0.0, 1.0, 10)
+        assert np.all(values == 0.4)
+        assert draws.clipped_normal_at(NOISE_STREAMS, 0.4, 0.0, 0.0, 1.0, 7) == 0.4
+
+    def test_streams_are_distinct(self):
+        draws = PhiloxDraws(SEED)
+        streams = [trait_streams(0)[0], AGE_STREAMS[0], TRAINED_STREAM,
+                   SPOOF_STREAM, DECISION_STREAM_BASE]
+        values = [draws.uniforms(stream, 4).tolist() for stream in streams]
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                assert values[i] != values[j]
+
+    def test_chunk_and_round_rekey_the_streams(self):
+        base = PhiloxDraws(SEED).uniforms(DECISION_STREAM_BASE, 4).tolist()
+        other_chunk = PhiloxDraws(SEED, chunk=1).uniforms(DECISION_STREAM_BASE, 4)
+        other_round = PhiloxDraws(SEED).for_round(1).uniforms(DECISION_STREAM_BASE, 4)
+        assert other_chunk.tolist() != base
+        assert other_round.tolist() != base
+        # for_round preserves seed/chunk identity.
+        again = PhiloxDraws(SEED, round_index=1).uniforms(DECISION_STREAM_BASE, 4)
+        assert other_round.tolist() == again.tolist()
+
+    def test_coordinate_validation(self):
+        with pytest.raises(SimulationError):
+            PhiloxDraws(-1)
+        with pytest.raises(SimulationError):
+            PhiloxDraws(SEED, chunk=2**24)
+        with pytest.raises(SimulationError):
+            PhiloxDraws(SEED, round_index=2**20)
+        with pytest.raises(SimulationError):
+            PhiloxDraws(SEED).uniforms(2**20, 4)
+
+
+class TestSingleDecisionRecompute:
+    """Any receiver×round decision reproduced from coordinates alone."""
+
+    def test_decision_matrix_cells_recompute(self, plan, population):
+        cell = PhiloxDraws(SEED, chunk=2)
+        draws = batch_module.draw_batch_counter(plan, population, 300, cell)
+        columns = draws.decisions.shape[1]
+        for row in (0, 1, 7, 113, 299):
+            for column in range(columns):
+                assert (
+                    cell.uniform_at(DECISION_STREAM_BASE + column, row)
+                    == draws.decisions[row, column]
+                )
+
+    def test_spoof_and_noise_recompute(self, plan, population):
+        cell = PhiloxDraws(SEED, chunk=0)
+        draws = batch_module.draw_batch_counter(plan, population, 200, cell)
+        for row in (0, 5, 42, 199):
+            assert cell.uniform_at(SPOOF_STREAM, row) == draws.spoof_uniforms[row]
+            assert (
+                cell.clipped_normal_at(
+                    NOISE_STREAMS, 0.0, plan.user_noise_std, -0.2, 0.2, row
+                )
+                == draws.noise[row]
+            )
+
+    def test_later_round_decisions_recompute(self, plan, population):
+        cell = PhiloxDraws(SEED, chunk=1)
+        draws = batch_module.draw_batch_counter(plan, population, 150, cell)
+        round_cell = cell.for_round(3)
+        redrawn = batch_module.redraw_decisions_counter(plan, draws.samples, round_cell)
+        # Traits persist across rounds; encounter randomness is re-keyed.
+        assert redrawn.samples is draws.samples
+        for row in (0, 9, 149):
+            assert (
+                round_cell.uniform_at(DECISION_STREAM_BASE, row)
+                == redrawn.decisions[row, 0]
+            )
+        assert redrawn.decisions[0, 0] != draws.decisions[0, 0]
+
+    def test_trait_draws_recompute(self, population):
+        cell = PhiloxDraws(SEED, chunk=4)
+        samples = population.sample_traits_counter(100, cell)
+        trained = cell.uniforms(TRAINED_STREAM, 100) < population.training_fraction
+        assert np.array_equal(samples.trained, trained)
+        # Chunk identity alone determines the traits.
+        again = population.sample_traits_counter(100, PhiloxDraws(SEED, chunk=4))
+        for name, values in samples.traits.items():
+            assert np.array_equal(values, again.traits[name])
+        assert np.array_equal(samples.ages, again.ages)
+
+
+class TestCounterModeEngine:
+    """Engine-level equivalence contracts in counter mode."""
+
+    def test_batch_matches_reference_per_round(self, warning_task, population):
+        simulator = _simulator(rng_mode="counter")
+        batch = simulator.simulate_task(
+            warning_task, population, n_receivers=N, rounds=3, recovery_rate=0.4
+        )
+        reference = simulator.simulate_task(
+            warning_task, population, n_receivers=N, rounds=3, recovery_rate=0.4,
+            mode="reference",
+        )
+        assert batch.tally.summary() == reference.tally.summary()
+        for batch_round, reference_round in zip(
+            batch.round_tallies, reference.round_tallies
+        ):
+            assert batch_round.summary() == reference_round.summary()
+        assert batch.funnel.entered == reference.funnel.entered
+        assert batch.funnel.passed == reference.funnel.passed
+        assert list(batch.records) == list(reference.records)
+
+    def test_counter_and_matrix_modes_draw_different_streams(
+        self, warning_task, population
+    ):
+        matrix = _simulator(rng_mode="matrix").simulate_task(
+            warning_task, population, n_receivers=N
+        )
+        counter = _simulator(rng_mode="counter").simulate_task(
+            warning_task, population, n_receivers=N
+        )
+        assert matrix.rng_mode == "matrix"
+        assert counter.rng_mode == "counter"
+        # Same seed, different sources: outcomes must not be identical.
+        assert matrix.tally.summary() != counter.tally.summary()
+
+    def test_rng_mode_validated(self, warning_task, population):
+        assert RNG_MODES == ("matrix", "counter")
+        with pytest.raises(SimulationError):
+            SimulationConfig(rng_mode="quantum")
+        with pytest.raises(SimulationError):
+            _simulator().simulate_task(
+                warning_task, population, n_receivers=10, rng_mode="quantum"
+            )
+
+    def test_counter_mode_independent_of_batch_size_chunking(self, warning_task, population):
+        # Matrix mode ties draws to chunk geometry; counter mode does too
+        # (chunk is a stream coordinate) — pin that contract explicitly.
+        small = _simulator(rng_mode="counter", batch_size=200).simulate_task(
+            warning_task, population, n_receivers=600
+        )
+        whole = _simulator(rng_mode="counter", batch_size=600).simulate_task(
+            warning_task, population, n_receivers=600
+        )
+        assert small.chunks == 3
+        assert whole.chunks == 1
+        assert small.tally.summary() != whole.tally.summary()
+
+
+class TestChunkWorkerDeterminism:
+    """In-call multicore: partial merges bit-identical to the serial fold."""
+
+    @pytest.mark.parametrize("rng_mode", RNG_MODES)
+    def test_worker_counts_are_bit_identical(self, warning_task, population, rng_mode):
+        simulator = _simulator(rng_mode=rng_mode)
+        serial = simulator.simulate_task(
+            warning_task, population, n_receivers=2_000, rounds=2, recovery_rate=0.3
+        )
+        for workers in (1, 2, 4):
+            parallel = simulator.simulate_task(
+                warning_task, population, n_receivers=2_000, rounds=2,
+                recovery_rate=0.3, chunk_workers=workers,
+            )
+            assert parallel.tally.summary() == serial.tally.summary()
+            assert [tally.summary() for tally in parallel.round_tallies] == [
+                tally.summary() for tally in serial.round_tallies
+            ]
+            assert parallel.funnel.entered == serial.funnel.entered
+            assert parallel.funnel.passed == serial.funnel.passed
+            assert list(parallel.records) == list(serial.records)
+            assert parallel.chunk_workers == workers
+            assert parallel.chunks == serial.chunks == 5
+
+    def test_chunk_workers_validated(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(chunk_workers=0)
+
+    def test_perf_provenance_recorded(self, warning_task, population):
+        result = _simulator().simulate_task(warning_task, population, n_receivers=900)
+        assert result.chunks == 3
+        assert result.elapsed_seconds > 0.0
+        assert result.throughput() == result.receiver_rounds / result.elapsed_seconds
+
+
+class TestLazyRecords:
+    """Deferred record materialization must be observationally a list."""
+
+    def _result(self, warning_task, population, **kwargs):
+        return _simulator().simulate_task(
+            warning_task, population, n_receivers=300, **kwargs
+        )
+
+    def test_engine_returns_lazy_records_for_batch_mode(
+        self, warning_task, population
+    ):
+        result = self._result(warning_task, population)
+        assert isinstance(result.records, batch_module.LazyRecords)
+        assert len(result.records) == 300
+
+    def test_lazy_equals_eager(self, warning_task, population):
+        lazy = self._result(warning_task, population).records
+        eager = list(self._result(warning_task, population).records)
+        assert lazy == eager
+        assert eager == list(lazy)
+
+    def test_pickle_produces_plain_list(self, warning_task, population):
+        records = self._result(warning_task, population).records
+        revived = pickle.loads(pickle.dumps(records))
+        assert type(revived) is list
+        assert revived == list(records)
+
+    def test_absorb_chains_unmaterialized_lists(self, warning_task, population):
+        first = self._result(warning_task, population).records
+        second = self._result(warning_task, population, seed=SEED + 1).records
+        merged = batch_module.LazyRecords()
+        merged.absorb(first)
+        merged.absorb(second)
+        assert len(merged) == 600
+
+    def test_absorb_rejects_materialized_lists(self, warning_task, population):
+        first = self._result(warning_task, population).records
+        len(first)  # forces materialization
+        merged = batch_module.LazyRecords()
+        with pytest.raises(SimulationError):
+            merged.absorb(first)
