@@ -1,9 +1,11 @@
-"""Benchmark floor checks: fail CI when throughput regresses (ISSUEs 4-6).
+"""Benchmark floor checks: fail CI when throughput regresses (ISSUEs 4-7).
 
 Re-runs the exact workloads whose numbers are recorded in
 ``BENCH_engine.json`` (single-shot engine scaling, matrix and counter rng
-modes), ``BENCH_rounds.json`` (multi-round engine), and
-``BENCH_shards.json`` (sharded sweep execution) and fails if the live
+modes), ``BENCH_rounds.json`` (multi-round engine), ``BENCH_shards.json``
+(sharded sweep execution), and ``BENCH_scheduler.json`` (the cluster
+scheduler's worker fleet, run *with* an injected worker kill so crash
+recovery is always exercised) and fails if the live
 throughput drops below **half** of the recorded value — a loose enough
 floor to ride out machine noise, tight enough to catch a hot path
 regressing by an order of magnitude.  Also runs a small-N funnel-metrics
@@ -16,8 +18,9 @@ for bit at any scale).
 
 The floors only engage when the live run is at the recorded scale (the
 recorded numbers are meaningless for smaller N): set ``BENCH_FLOOR_N`` /
-``BENCH_FLOOR_ROUNDS`` / ``BENCH_FLOOR_SHARD_N`` below the recorded
-scale to run everything as a pure smoke check (what CI does).
+``BENCH_FLOOR_ROUNDS`` / ``BENCH_FLOOR_SHARD_N`` /
+``BENCH_FLOOR_SCHEDULER_N`` below the recorded scale to run everything
+as a pure smoke check (what CI does).
 
 Run standalone::
 
@@ -46,6 +49,7 @@ FLOOR_FRACTION = 0.5
 N_RECEIVERS = int(os.environ.get("BENCH_FLOOR_N", "100000"))
 ROUNDS = int(os.environ.get("BENCH_FLOOR_ROUNDS", "10"))
 N_SHARD_RECEIVERS = int(os.environ.get("BENCH_FLOOR_SHARD_N", "20000"))
+N_SCHEDULER_RECEIVERS = int(os.environ.get("BENCH_FLOOR_SCHEDULER_N", "20000"))
 
 # The recorded workloads (constants mirror the recording benchmarks).
 ENGINE_SEED = 20080124
@@ -236,25 +240,17 @@ def test_shard_backend_floor():
     serial run bit for bit.
     """
     from repro.experiments import (
-        WALL_CLOCK_METRICS,
         Experiment,
         ResultSet,
         SerialBackend,
         ShardBackend,
         SweepSpec,
     )
-    from repro.io import resultset_to_dict
 
     def canonical(resultset):
-        """Result-set dict modulo per-row wall-clock telemetry."""
-        payload = resultset_to_dict(resultset)
-        for row in payload["rows"]:
-            row["metrics"] = {
-                name: value
-                for name, value in row["metrics"].items()
-                if name not in WALL_CLOCK_METRICS
-            }
-        return payload
+        """Result-set dict modulo per-row wall-clock telemetry (the one
+        canonical filter: ``ResultSet.canonical_dict``)."""
+        return resultset.canonical_dict()
 
     experiment = Experiment.from_sweep(
         "password-shard-scaling",
@@ -291,6 +287,81 @@ def test_shard_backend_floor():
     )
 
 
+def _recorded_scheduler_rate() -> Optional[Tuple[int, float]]:
+    """(total_receivers, receivers_per_sec) recorded for the fleet run."""
+    path = REPO_ROOT / "BENCH_scheduler.json"
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    return (
+        int(payload.get("total_receivers", 0)),
+        float(payload.get("fleet", {}).get("receivers_per_sec", 0.0)),
+    )
+
+
+def test_scheduler_floor():
+    """Scheduled-fleet throughput must stay above half the recorded rate.
+
+    Doubles as the kill-one-worker smoke: the fleet runs with one worker
+    hard-killed mid-shard by the deterministic fault injector, and the
+    merged set must still be bit-identical (modulo ``WALL_CLOCK_METRICS``)
+    to the serial run at *any* scale.  Only the throughput floor is
+    scale-gated; on single-core runners the recorded multi-core rate is
+    never engaged, so the wall clock is observed, not asserted.
+    """
+    import tempfile as _tempfile
+
+    from repro.cluster import (
+        FaultInjector,
+        LocalProcessFleet,
+        ShardScheduler,
+        read_scheduler_events,
+    )
+    from repro.experiments import Experiment, SerialBackend, SweepSpec
+
+    experiment = Experiment.from_sweep(
+        "password-scheduler-bench",
+        SweepSpec(scenario="passwords", grid=SHARD_GRID),
+        n_receivers=N_SCHEDULER_RECEIVERS,
+        seed=SHARD_SEED,
+        task="recall-passwords",
+    )
+    serial = experiment.run(backend=SerialBackend())  # warm-up + anchor
+
+    start = time.perf_counter()
+    with _tempfile.TemporaryDirectory(prefix="floor-scheduler-") as checkpoint_dir:
+        scheduler = ShardScheduler(
+            experiment,
+            shard_count=4,
+            checkpoint_dir=checkpoint_dir,
+            transport=LocalProcessFleet(max_workers=2),
+            heartbeat_timeout=120.0,
+            poll_interval=0.02,
+            backoff_base=0.05,
+            backoff_cap=0.2,
+            fault_injector=FaultInjector(shards=(1,), kill_after_rows=1),
+        )
+        merged = scheduler.run()
+        seconds = time.perf_counter() - start
+        assert merged.canonical_dict() == serial.canonical_dict()
+        failures = read_scheduler_events(checkpoint_dir, kind="worker-failed")
+        assert len(failures) == 1, "the injected kill must be visible"
+        assert len(read_scheduler_events(checkpoint_dir, kind="requeued")) == 1
+
+    total = len(experiment.variants) * N_SCHEDULER_RECEIVERS
+    rate = total / seconds
+    recorded = _recorded_scheduler_rate()
+    print(f"\n  scheduled fleet: {rate:,.0f} receivers/s (recorded: {recorded})")
+    assert rate > 0
+    if recorded is None or total < recorded[0]:
+        return  # smoke scale — the recorded number does not apply
+    floor = FLOOR_FRACTION * recorded[1]
+    assert rate >= floor, (
+        f"scheduled-fleet throughput {rate:,.0f} receivers/s fell below the "
+        f"floor {floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    )
+
+
 def test_funnel_metrics_smoke():
     """Small-N end-to-end smoke of the per-stage funnel metrics."""
     result = get_scenario(SCENARIO).simulate(
@@ -313,6 +384,7 @@ def main() -> None:
     test_counter_mode_floor()
     test_multi_round_floor()
     test_shard_backend_floor()
+    test_scheduler_floor()
     test_chunk_worker_parallel_smoke()
     test_funnel_metrics_smoke()
     print("floor checks passed")

@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Dict
 
 from repro.experiments import Experiment, ResultSet, SerialBackend, ShardBackend, SweepSpec
-from repro.io import load_checkpoint, resultset_to_dict
+from repro.io import load_checkpoint
 
 SEED = 20260726
 N_RECEIVERS = int(os.environ.get("BENCH_SHARDS_N", "20000"))
@@ -107,7 +107,9 @@ def measure_shards() -> Dict[str, object]:
     merged = ResultSet.merge(*shard_sets)
     merge_seconds = time.perf_counter() - start
 
-    deterministic = resultset_to_dict(merged) == resultset_to_dict(serial)
+    # Bit-identity modulo WALL_CLOCK_METRICS — the canonical filter; the
+    # raw dicts differ in per-row machine-time telemetry by design.
+    deterministic = merged.canonical_dict() == serial.canonical_dict()
     total_receivers = len(experiment.variants) * N_RECEIVERS
     sharded_seconds = sum(report["seconds"] for report in shard_reports)
     return {

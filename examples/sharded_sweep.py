@@ -29,14 +29,13 @@ import tempfile
 from pathlib import Path
 
 from repro.experiments import (
-    WALL_CLOCK_METRICS,
     Experiment,
     ResultSet,
     SerialBackend,
     ShardBackend,
     SweepSpec,
 )
-from repro.io import load_checkpoint, resultset_to_dict, shard_filename
+from repro.io import load_checkpoint, shard_filename
 
 N_HOSTS = 2
 
@@ -46,16 +45,11 @@ def canonical(resultset) -> dict:
 
     Every simulated outcome is bit-identical however the grid was
     sharded; the ``perf:`` timing metrics record machine time and are the
-    one per-row datum two identical runs legitimately disagree on.
+    one per-row datum two identical runs legitimately disagree on —
+    ``ResultSet.canonical_dict`` (keyed on ``WALL_CLOCK_METRICS``) is
+    the one filter every bit-identity check routes through.
     """
-    payload = resultset_to_dict(resultset)
-    for row in payload["rows"]:
-        row["metrics"] = {
-            name: value
-            for name, value in row["metrics"].items()
-            if name not in WALL_CLOCK_METRICS
-        }
-    return payload
+    return resultset.canonical_dict()
 
 
 def build_experiment() -> Experiment:

@@ -1,0 +1,7 @@
+"""``python -m repro.cluster`` — see :mod:`repro.cluster.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,94 @@
+"""The scheduler's structured event log.
+
+Every scheduler state transition becomes one appended JSONL record in
+``scheduler-events.jsonl``, living alongside the shard logs in the
+checkpoint directory (a reserved telemetry name —
+:data:`repro.io.shards.TELEMETRY_PREFIXES` — so checkpoint loading skips
+it).  The log is the observability surface for a sharded sweep: what was
+queued when, which workers made progress, which died, which shards were
+requeued with what backoff, and what the final merge produced.  Like the
+shard logs it is append-only and torn-tail tolerant, so a crashed
+scheduler leaves a readable prefix and a re-invocation keeps appending
+to the same stream (``seq`` stays strictly ordered across invocations).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..io.eventlog import EventLogWriter, read_events
+
+__all__ = [
+    "EVENTS_FILENAME",
+    "EVENT_KINDS",
+    "SchedulerEventLog",
+    "scheduler_events_path",
+    "read_scheduler_events",
+]
+
+#: The scheduler event log's file name inside the checkpoint directory.
+EVENTS_FILENAME = "scheduler-events.jsonl"
+
+#: Every event kind the scheduler emits, in rough lifecycle order.
+EVENT_KINDS = (
+    "queued",        # shard entered the work queue (attempt, ready delay)
+    "started",       # worker launched for a shard attempt
+    "heartbeat",     # scheduler observed fresh progress (rows)
+    "timeout",       # no progress within heartbeat_timeout; worker killed
+    "worker-failed", # worker exited non-zero
+    "requeued",      # shard scheduled for another attempt (backoff delay)
+    "completed",     # worker exited clean; shard's slice fully committed
+    "exhausted",     # shard failed max_attempts times; run aborts
+    "merged",        # all shards done; canonical ResultSet assembled
+)
+
+PathLike = Union[str, Path]
+
+
+def scheduler_events_path(checkpoint_dir: PathLike) -> Path:
+    """Where the scheduler event log lives for one checkpoint directory."""
+    return Path(checkpoint_dir) / EVENTS_FILENAME
+
+
+def read_scheduler_events(
+    checkpoint_dir: PathLike, kind: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Committed scheduler events, in order (optionally one kind only)."""
+    events = read_events(scheduler_events_path(checkpoint_dir))
+    if kind is not None:
+        events = [event for event in events if event.get("event") == kind]
+    return events
+
+
+class SchedulerEventLog:
+    """Typed emitter over the append-only event stream.
+
+    ``clock`` stamps each event (injectable, so the fake-clock scheduler
+    tests produce deterministic timelines); ``seq`` ordering comes from
+    the underlying :class:`~repro.io.eventlog.EventLogWriter`.
+    """
+
+    def __init__(self, checkpoint_dir: PathLike, clock=time.monotonic) -> None:
+        self.path = scheduler_events_path(checkpoint_dir)
+        self._writer = EventLogWriter(self.path)
+        self._clock = clock
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown scheduler event kind {kind!r}; known: {EVENT_KINDS}"
+            )
+        return self._writer.append(
+            {"event": kind, "time": round(float(self._clock()), 6), **fields}
+        )
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "SchedulerEventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,109 @@
+"""Deterministic fault injection for cluster workers.
+
+The scheduler's crash-tolerance claims are only worth something if they
+are *exercised*: the tests (and the CI kill-one-worker smoke) inject
+worker failures at exact, reproducible points instead of hoping for
+flaky timing.  A :class:`FaultInjector` is a frozen, picklable
+description of one failure campaign:
+
+* ``kill_after_rows`` — hard-kill the worker process (``os._exit``, no
+  cleanup) once it has appended N fresh rows to its shard log,
+  optionally leaving a **torn final line** first — the exact on-disk
+  signature of a crash mid-append that the shard-log reader must
+  recover from;
+* ``drop_heartbeats_after`` — suppress heartbeat emission once N fresh
+  rows are committed while the worker keeps computing, so the scheduler
+  must detect the silence and requeue;
+* ``delay_completion_seconds`` — linger after finishing the shard, for
+  exercising the timeout-kills-a-finished-worker path.
+
+``shards`` and ``attempts`` scope the campaign: a fault that strikes
+only on attempt 1 of shard 1 makes "crash, requeue, recover" a
+deterministic script rather than a race.  Everything is decided from the
+worker's own (shard, attempt, rows) coordinates — no randomness, no wall
+clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from pathlib import Path
+from typing import Optional, Tuple
+
+__all__ = ["FAULT_KILL_EXIT_CODE", "FaultInjector"]
+
+#: Exit status of a worker killed by :meth:`FaultInjector.kill_now` — a
+#: recognizable "injected crash" in scheduler event logs and tests.
+FAULT_KILL_EXIT_CODE = 70
+
+#: The unterminated fragment a torn-line kill leaves at the end of the
+#: shard log: valid JSON prefix, no newline — exactly what a process
+#: dying inside ``write()`` leaves behind.
+TORN_FRAGMENT = '{"kind": "row", "row": {"experiment": "torn'
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjector:
+    """A deterministic, picklable worker-failure campaign.
+
+    ``shards`` / ``attempts`` of ``None`` mean "every shard" / "every
+    attempt".  The default ``attempts=(1,)`` strikes only the first
+    attempt, so a requeued shard succeeds — the canonical
+    crash-then-recover script.
+    """
+
+    shards: Optional[Tuple[int, ...]] = None
+    attempts: Optional[Tuple[int, ...]] = (1,)
+    kill_after_rows: Optional[int] = None
+    torn_line: bool = True
+    drop_heartbeats_after: Optional[int] = None
+    delay_completion_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kill_after_rows is not None and self.kill_after_rows < 0:
+            raise ValueError("kill_after_rows must be >= 0")
+        if self.drop_heartbeats_after is not None and self.drop_heartbeats_after < 0:
+            raise ValueError("drop_heartbeats_after must be >= 0")
+        if self.delay_completion_seconds < 0:
+            raise ValueError("delay_completion_seconds must be >= 0")
+
+    def applies_to(self, shard_index: int, attempt: int) -> bool:
+        """Whether this campaign is armed for one (shard, attempt)."""
+        if self.shards is not None and shard_index not in self.shards:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return True
+
+    def should_kill(self, rows_appended: int) -> bool:
+        """Whether an armed worker dies at this fresh-row count."""
+        return (
+            self.kill_after_rows is not None
+            and rows_appended >= self.kill_after_rows
+        )
+
+    def should_drop_heartbeat(self, rows_appended: int) -> bool:
+        """Whether an armed worker suppresses this heartbeat."""
+        return (
+            self.drop_heartbeats_after is not None
+            and rows_appended >= self.drop_heartbeats_after
+        )
+
+    def kill_now(self, shard_log_path: Optional[Path]) -> None:
+        """Die the way a real crash dies: optionally tear the shard log's
+        final line, then exit the process without any cleanup."""
+        if self.torn_line and shard_log_path is not None and shard_log_path.exists():
+            with open(shard_log_path, "a", encoding="utf-8") as handle:
+                handle.write(TORN_FRAGMENT)
+                handle.flush()
+                os.fsync(handle.fileno())
+        os._exit(FAULT_KILL_EXIT_CODE)
+
+    def linger(self) -> None:
+        """Sleep out ``delay_completion_seconds`` in small slices (so a
+        scheduler kill lands promptly)."""
+        deadline = time.monotonic() + self.delay_completion_seconds
+        while time.monotonic() < deadline:
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))

@@ -56,3 +56,12 @@ class SerializationError(ReproError):
 class ProcessError(ReproError):
     """Raised when the human threat identification and mitigation process
     is driven incorrectly (e.g. steps executed out of order)."""
+
+
+class ClusterError(ReproError):
+    """Raised when the cluster scheduler cannot complete a sharded sweep.
+
+    Examples: a shard exhausting its retry budget, a worker transport that
+    cannot launch processes, or a scheduler misconfiguration (zero
+    workers, negative timeouts).
+    """

@@ -49,6 +49,7 @@ from .backends import (
     SerialBackend,
     ShardBackend,
     ShardPlan,
+    ShardProgress,
     resolve_backend,
     resume_experiment,
     shard_plans,
@@ -91,6 +92,7 @@ __all__ = [
     "ProcessBackend",
     "ShardBackend",
     "ShardPlan",
+    "ShardProgress",
     "shard_plans",
     "resolve_backend",
     "resume_experiment",

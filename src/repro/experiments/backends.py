@@ -48,7 +48,7 @@ from typing import (
 
 from ..io.shards import (
     RESUME_FILENAME,
-    append_shard_rows,
+    ShardLogWriter,
     load_checkpoint,
     shard_filename,
 )
@@ -63,6 +63,7 @@ __all__ = [
     "ProcessBackend",
     "ShardBackend",
     "ShardPlan",
+    "ShardProgress",
     "shard_plans",
     "resolve_backend",
     "resume_experiment",
@@ -145,6 +146,10 @@ class ShardPlan:
             "n_variants": self.n_variants,
         }
 
+    def expected_row_keys(self) -> List[Tuple[str, str, str]]:
+        """Every row identity this shard will produce, in emission order."""
+        return [key for run in self.runs for key in _expected_row_keys(run)]
+
 
 def shard_plans(experiment: Experiment, shard_count: int) -> List[ShardPlan]:
     """Deterministically partition an experiment across ``shard_count`` shards.
@@ -180,11 +185,31 @@ def _expected_row_keys(run: VariantRun) -> List[Tuple[str, str, str]]:
     return keys
 
 
+@dataclasses.dataclass(frozen=True)
+class ShardProgress:
+    """One progress observation of a checkpointed run, per work unit.
+
+    Emitted through the ``on_progress`` hook of :class:`ShardBackend`
+    (and :func:`resume_experiment`) once before the first work unit and
+    again after each one completes.  ``rows_committed`` counts every row
+    of this invocation's slice known to be durable (checkpoint-served
+    plus freshly appended) — the monotone signal cluster workers forward
+    as their heartbeat; ``rows_appended`` counts only what *this*
+    invocation wrote, which is what fault-injection row budgets meter.
+    """
+
+    variants_done: int
+    variants_total: int
+    rows_committed: int
+    rows_appended: int
+
+
 def _run_with_checkpoint(
     runs: Sequence[VariantRun],
     completed: Dict[Tuple[str, str, str], ResultRow],
     checkpoint_path: Optional[Path],
     header: Mapping[str, Any],
+    on_progress: Optional[Any] = None,
 ) -> List[ResultRow]:
     """Execute work units, skipping rows already in ``completed``.
 
@@ -192,20 +217,52 @@ def _run_with_checkpoint(
     with any row missing is re-run, and only the rows the checkpoint
     lacks are appended (so a run torn between a variant's analytic and
     simulated appends never duplicates the surviving row).  ``completed``
-    is updated in place.
+    is updated in place.  The shard log is held open across the whole
+    run (:class:`~repro.io.shards.ShardLogWriter`), so the torn-tail
+    recovery scan happens once per invocation and each append is
+    O(rows written) — a scheduler retry costs O(rows), not O(rows²).
+    ``on_progress`` (if given) receives a :class:`ShardProgress` before
+    the first work unit and after each one.
     """
     rows: List[ResultRow] = []
-    for run in runs:
-        keys = _expected_row_keys(run)
-        if all(key in completed for key in keys):
-            rows.extend(completed[key] for key in keys)
-            continue
-        produced = run_variant(run)
-        fresh = [row for row in produced if row.row_key() not in completed]
-        if checkpoint_path is not None and fresh:
-            append_shard_rows(checkpoint_path, fresh, header=header)
-        rows.extend(completed.get(row.row_key(), row) for row in produced)
-        completed.update({row.row_key(): row for row in fresh})
+    appended = 0
+    done = 0
+
+    def notify() -> None:
+        if on_progress is not None:
+            on_progress(
+                ShardProgress(
+                    variants_done=done,
+                    variants_total=len(runs),
+                    rows_committed=len(rows),
+                    rows_appended=appended,
+                )
+            )
+
+    writer = (
+        ShardLogWriter(checkpoint_path, header)
+        if checkpoint_path is not None
+        else None
+    )
+    try:
+        notify()
+        for run in runs:
+            keys = _expected_row_keys(run)
+            if all(key in completed for key in keys):
+                rows.extend(completed[key] for key in keys)
+            else:
+                produced = run_variant(run)
+                fresh = [row for row in produced if row.row_key() not in completed]
+                if writer is not None and fresh:
+                    writer.append(fresh)
+                    appended += len(fresh)
+                rows.extend(completed.get(row.row_key(), row) for row in produced)
+                completed.update({row.row_key(): row for row in fresh})
+            done += 1
+            notify()
+    finally:
+        if writer is not None:
+            writer.close()
     return rows
 
 
@@ -269,11 +326,19 @@ class ShardBackend:
     consulting *every* file in the directory, so rows another invocation
     already recovered (e.g. :meth:`Experiment.resume` writing to
     ``resume.jsonl``) are never recomputed or duplicated.
+
+    ``on_progress`` (excluded from backend identity; not picklable
+    machinery — cluster workers construct it locally) observes a
+    :class:`ShardProgress` after each work unit: the heartbeat hook
+    :mod:`repro.cluster` workers report liveness through.
     """
 
     shard_index: int
     shard_count: int
     checkpoint_dir: Optional[str] = None
+    on_progress: Optional[Any] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:
@@ -299,7 +364,8 @@ class ShardBackend:
             )
             completed = _load_completed(load_checkpoint(directory), experiment)
         rows = _run_with_checkpoint(
-            plan.runs, completed, checkpoint_path, plan.header()
+            plan.runs, completed, checkpoint_path, plan.header(),
+            on_progress=self.on_progress,
         )
         return ResultSet(experiment=experiment.name, rows=rows, seed=experiment.seed)
 

@@ -37,7 +37,16 @@ from ..simulation.metrics import SimulationResult
 from ..systems.scenario import get_scenario
 from ..systems.scenario import variant_hash as compute_variant_hash
 
-__all__ = ["ResultRow", "ResultSet", "reproduce_row"]
+__all__ = ["ResultRow", "ResultSet", "reproduce_row", "WALL_CLOCK_METRICS"]
+
+#: Row metrics that record machine time rather than simulated outcomes —
+#: the one per-row datum legitimately different between two bit-identical
+#: runs.  Determinism checks (shard == serial, batch == reference,
+#: scheduler-merged == serial) compare rows modulo these names — use
+#: :meth:`ResultSet.canonical_dict` rather than re-deriving the filter;
+#: ``perf:chunks`` is NOT listed because the chunk count is a pure
+#: function of (n_receivers, batch_size).
+WALL_CLOCK_METRICS = ("perf:elapsed_seconds", "perf:receiver_rounds_per_second")
 
 
 class ExperimentError(ReproError):
@@ -380,6 +389,25 @@ class ResultSet:
         from ..io.experiments_io import resultset_to_dict
 
         return resultset_to_dict(self)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The JSON form modulo wall-clock telemetry — the bit-identity view.
+
+        Two runs of the same experiment are *bit-identical* when their
+        canonical dicts are equal: everything in :meth:`to_dict` except
+        the :data:`WALL_CLOCK_METRICS` row metrics, which record machine
+        time and legitimately differ between otherwise identical runs.
+        Every equivalence assertion (merged shards == serial, scheduler
+        fleet == serial, resumed == uninterrupted) compares this form.
+        """
+        payload = self.to_dict()
+        for row in payload["rows"]:
+            row["metrics"] = {
+                name: value
+                for name, value in row["metrics"].items()
+                if name not in WALL_CLOCK_METRICS
+            }
+        return payload
 
     def save(self, path: str) -> None:
         """Write the result set (with provenance) as JSON."""

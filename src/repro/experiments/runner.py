@@ -21,22 +21,15 @@ from ..core.analysis import analyze_system
 from ..simulation.metrics import SimulationResult
 from ..systems.scenario import get_scenario
 from .design import Experiment
-from .results import ResultRow, ResultSet
+from .results import WALL_CLOCK_METRICS, ResultRow, ResultSet
 
 __all__ = [
     "VariantRun",
     "plan_runs",
     "run_variant",
     "execute",
-    "WALL_CLOCK_METRICS",
+    "WALL_CLOCK_METRICS",  # canonical home: repro.experiments.results
 ]
-
-#: Row metrics that record machine time rather than simulated outcomes —
-#: the one per-row datum legitimately different between two bit-identical
-#: runs.  Determinism checks (shard == serial, batch == reference) compare
-#: rows modulo these names; ``perf:chunks`` is NOT listed because the
-#: chunk count is a pure function of (n_receivers, batch_size).
-WALL_CLOCK_METRICS = ("perf:elapsed_seconds", "perf:receiver_rounds_per_second")
 
 
 @dataclasses.dataclass(frozen=True)

@@ -36,7 +36,9 @@ from .experiments_io import result_row_from_dict, result_row_to_dict
 __all__ = [
     "SHARD_FORMAT_VERSION",
     "RESUME_FILENAME",
+    "TELEMETRY_PREFIXES",
     "shard_filename",
+    "ShardLogWriter",
     "append_shard_rows",
     "read_shard",
     "load_checkpoint",
@@ -48,6 +50,12 @@ SHARD_FORMAT_VERSION = 1
 #: File that :meth:`Experiment.resume` appends rows it had to recompute to.
 RESUME_FILENAME = "resume.jsonl"
 
+#: JSONL files under these name prefixes are scheduler telemetry (event
+#: logs, heartbeat streams — see :mod:`repro.io.eventlog` and
+#: :mod:`repro.cluster`) living alongside the shard logs; they are never
+#: row checkpoints and :func:`load_checkpoint` skips them.
+TELEMETRY_PREFIXES = ("scheduler-", "heartbeat-")
+
 PathLike = Union[str, Path]
 
 
@@ -56,46 +64,90 @@ def shard_filename(shard_index: int, shard_count: int) -> str:
     return f"shard-{shard_index:04d}-of-{shard_count:04d}.jsonl"
 
 
+class ShardLogWriter:
+    """Append rows to one shard file across a whole run, opening it once.
+
+    The historical :func:`append_shard_rows` re-read the entire file on
+    *every* append to find (and truncate) a torn final line — O(file) per
+    variant, O(rows²) per run, which a scheduler retrying shards pays on
+    every attempt.  The writer does that recovery scan exactly once, when
+    the file is first opened, and every subsequent :meth:`append` is a
+    pure O(rows-written) line append + flush.  Committed records are
+    still never rewritten: the one truncation removes only an
+    unterminated fragment, which was never a committed record.
+
+    The ``header`` mapping is only consulted when the file holds no
+    committed content yet; appends to a populated file trust its recorded
+    header.  The handle is opened lazily on the first append, so a run
+    whose rows are all served from the checkpoint never creates a file.
+    """
+
+    def __init__(self, path: PathLike, header: Mapping[str, Any]) -> None:
+        self.path = Path(path)
+        self._header = dict(header)
+        self._handle = None
+
+    def _open(self) -> None:
+        committed = 0
+        if self.path.exists():
+            content = self.path.read_bytes()
+            committed = content.rfind(b"\n") + 1  # 0 when no full line survives
+            if committed < len(content):
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(committed)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if committed == 0:
+            self._write_line(
+                json.dumps(
+                    {
+                        "kind": "header",
+                        "format_version": SHARD_FORMAT_VERSION,
+                        **self._header,
+                    },
+                    sort_keys=True,
+                )
+            )
+
+    def _write_line(self, line: str) -> None:
+        self._handle.write(line + "\n")
+
+    def append(self, rows: Iterable[Any]) -> None:
+        """Commit rows (one JSON line each), flushed so a crash loses at
+        most the line being written."""
+        if self._handle is None:
+            self._open()
+        for row in rows:
+            self._write_line(
+                json.dumps(
+                    {"kind": "row", "row": result_row_to_dict(row)}, sort_keys=True
+                )
+            )
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ShardLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 def append_shard_rows(
     path: PathLike, rows: Iterable[Any], header: Mapping[str, Any]
 ) -> Path:
     """Append result rows to a shard file, creating it (header first) if new.
 
-    Committed records are never rewritten; each row becomes one JSON
-    line.  A torn final line — the unfinished write of a run killed
-    mid-append — was never a committed record, so it is truncated away
-    before appending (otherwise the fresh line would concatenate onto
-    the fragment and corrupt the file for good).  The ``header`` mapping
-    is only consulted when the file holds no committed content yet;
-    appends to a populated file trust its recorded header.
+    One-shot convenience over :class:`ShardLogWriter` — callers appending
+    repeatedly across a run should hold a writer instead, which amortizes
+    the torn-tail recovery scan to one per run.
     """
     path = Path(path)
-    committed = 0
-    if path.exists():
-        content = path.read_bytes()
-        committed = content.rfind(b"\n") + 1  # 0 when no full line survives
-        if committed < len(content):
-            with open(path, "r+b") as handle:
-                handle.truncate(committed)
-    lines: List[str] = []
-    if committed == 0:
-        lines.append(
-            json.dumps(
-                {
-                    "kind": "header",
-                    "format_version": SHARD_FORMAT_VERSION,
-                    **dict(header),
-                },
-                sort_keys=True,
-            )
-        )
-    lines.extend(
-        json.dumps({"kind": "row", "row": result_row_to_dict(row)}, sort_keys=True)
-        for row in rows
-    )
-    with open(path, "a", encoding="utf-8") as handle:
-        for line in lines:
-            handle.write(line + "\n")
+    with ShardLogWriter(path, header) as writer:
+        writer.append(rows)
     return path
 
 
@@ -169,6 +221,8 @@ def load_checkpoint(
     Files are visited in sorted name order, so reassembly is
     deterministic.  A file whose very first write was torn (see
     :func:`read_shard`) appears with a ``None`` header and no rows.
+    Scheduler telemetry streams sharing the directory — names under
+    :data:`TELEMETRY_PREFIXES` — are not checkpoints and are skipped.
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -177,6 +231,8 @@ def load_checkpoint(
         )
     entries: List[Tuple[Path, Optional[Dict[str, Any]], List[Any]]] = []
     for path in sorted(directory.glob("*.jsonl")):
+        if path.name.startswith(TELEMETRY_PREFIXES):
+            continue
         header, rows = read_shard(path)
         entries.append((path, header, rows))
     return entries

@@ -1,0 +1,102 @@
+"""Tests for deterministic fault injection (ISSUE 7)."""
+
+import pickle
+
+import pytest
+
+from repro.cluster import FAULT_KILL_EXIT_CODE, FaultInjector
+
+
+class TestScoping:
+    def test_defaults_arm_every_shard_on_first_attempt_only(self):
+        fault = FaultInjector(kill_after_rows=1)
+        assert fault.applies_to(0, 1)
+        assert fault.applies_to(7, 1)
+        assert not fault.applies_to(0, 2), "the retry must be allowed to succeed"
+
+    def test_shard_scoping(self):
+        fault = FaultInjector(shards=(1, 3), kill_after_rows=1)
+        assert fault.applies_to(1, 1)
+        assert fault.applies_to(3, 1)
+        assert not fault.applies_to(0, 1)
+        assert not fault.applies_to(2, 1)
+
+    def test_none_means_every_shard_and_attempt(self):
+        fault = FaultInjector(shards=None, attempts=None, kill_after_rows=1)
+        for shard in range(4):
+            for attempt in range(1, 5):
+                assert fault.applies_to(shard, attempt)
+
+
+class TestThresholds:
+    def test_kill_threshold_is_at_least(self):
+        fault = FaultInjector(kill_after_rows=2)
+        assert not fault.should_kill(0)
+        assert not fault.should_kill(1)
+        assert fault.should_kill(2)
+        assert fault.should_kill(3)
+
+    def test_no_kill_configured_never_kills(self):
+        fault = FaultInjector(drop_heartbeats_after=1)
+        assert not fault.should_kill(10**6)
+
+    def test_drop_heartbeat_threshold(self):
+        fault = FaultInjector(drop_heartbeats_after=1)
+        assert not fault.should_drop_heartbeat(0)
+        assert fault.should_drop_heartbeat(1)
+        assert fault.should_drop_heartbeat(5)
+
+    def test_no_drop_configured_never_drops(self):
+        fault = FaultInjector(kill_after_rows=1)
+        assert not fault.should_drop_heartbeat(10**6)
+
+
+class TestValidation:
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="kill_after_rows"):
+            FaultInjector(kill_after_rows=-1)
+        with pytest.raises(ValueError, match="drop_heartbeats_after"):
+            FaultInjector(drop_heartbeats_after=-1)
+        with pytest.raises(ValueError, match="delay_completion_seconds"):
+            FaultInjector(delay_completion_seconds=-0.5)
+
+
+class TestPicklability:
+    def test_round_trips_through_pickle(self):
+        # Assignments carry the injector into worker processes, so it
+        # must survive multiprocessing's pickling.
+        fault = FaultInjector(
+            shards=(1,), kill_after_rows=2, drop_heartbeats_after=3, torn_line=False
+        )
+        assert pickle.loads(pickle.dumps(fault)) == fault
+
+
+class TestKillNow:
+    def test_exit_code_is_pinned(self):
+        # The scheduler smoke tests recognize injected crashes by this
+        # exit status; changing it silently breaks them.
+        assert FAULT_KILL_EXIT_CODE == 70
+
+    def test_kill_tears_the_log_then_exits(self, tmp_path, monkeypatch):
+        exits = []
+        monkeypatch.setattr("os._exit", lambda code: exits.append(code))
+        log = tmp_path / "shard-0000-of-0002.jsonl"
+        log.write_text('{"kind": "header"}\n')
+        FaultInjector(kill_after_rows=1).kill_now(log)
+        assert exits == [FAULT_KILL_EXIT_CODE]
+        assert not log.read_text().endswith("\n"), "must leave a torn final line"
+
+    def test_torn_line_disabled_leaves_log_untouched(self, tmp_path, monkeypatch):
+        exits = []
+        monkeypatch.setattr("os._exit", lambda code: exits.append(code))
+        log = tmp_path / "shard-0000-of-0002.jsonl"
+        log.write_text('{"kind": "header"}\n')
+        FaultInjector(kill_after_rows=1, torn_line=False).kill_now(log)
+        assert exits == [FAULT_KILL_EXIT_CODE]
+        assert log.read_text() == '{"kind": "header"}\n'
+
+    def test_missing_log_still_exits(self, tmp_path, monkeypatch):
+        exits = []
+        monkeypatch.setattr("os._exit", lambda code: exits.append(code))
+        FaultInjector(kill_after_rows=0).kill_now(tmp_path / "absent.jsonl")
+        assert exits == [FAULT_KILL_EXIT_CODE]

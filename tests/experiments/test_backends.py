@@ -20,9 +20,9 @@ from repro.experiments import (
     resolve_backend,
     shard_plans,
 )
-from repro.experiments import WALL_CLOCK_METRICS
+from repro.experiments import ShardProgress
 from repro.experiments import backends as backends_module
-from repro.io import load_checkpoint, resultset_to_dict, shard_filename
+from repro.io import load_checkpoint, shard_filename
 
 SEED = 20260726
 
@@ -30,18 +30,11 @@ SEED = 20260726
 def canonical(resultset):
     """Result-set dict modulo wall-clock telemetry.
 
-    ``perf:`` timing metrics record machine time — the one per-row datum
-    legitimately different between two bit-identical runs — so the
-    determinism assertions compare everything but them.
+    All bit-identity assertions route through the one canonical filter
+    (:meth:`ResultSet.canonical_dict`, built on ``WALL_CLOCK_METRICS``)
+    rather than re-deriving which metrics are machine-time.
     """
-    payload = resultset_to_dict(resultset)
-    for row in payload["rows"]:
-        row["metrics"] = {
-            name: value
-            for name, value in row["metrics"].items()
-            if name not in WALL_CLOCK_METRICS
-        }
-    return payload
+    return resultset.canonical_dict()
 
 
 def _experiment(n_receivers=80, **overrides) -> Experiment:
@@ -395,6 +388,80 @@ class TestCheckpointResume:
         # Resume also tolerates the torn-header file.
         resumed = experiment.resume(str(tmp_path))
         assert canonical(resumed) == canonical(serial)
+
+
+class TestShardProgress:
+    def test_progress_reports_before_first_and_after_each_unit(
+        self, experiment, tmp_path
+    ):
+        seen = []
+        backend = ShardBackend(
+            0, 2, checkpoint_dir=str(tmp_path), on_progress=seen.append
+        )
+        experiment.run(backend=backend)
+        n_units = len(shard_plans(experiment, 2)[0].runs)
+        assert len(seen) == n_units + 1, "one leading report plus one per unit"
+        assert all(isinstance(progress, ShardProgress) for progress in seen)
+        assert [progress.variants_done for progress in seen] == list(
+            range(n_units + 1)
+        )
+        assert all(progress.variants_total == n_units for progress in seen)
+        assert seen[0].rows_committed == 0 and seen[0].rows_appended == 0
+        # Everything was fresh on a cold run: committed == appended.
+        assert seen[-1].rows_committed == seen[-1].rows_appended == 3
+
+    def test_retry_reports_served_rows_as_committed_not_appended(
+        self, experiment, tmp_path
+    ):
+        experiment.run(backend=ShardBackend(0, 2, checkpoint_dir=str(tmp_path)))
+        seen = []
+        backend = ShardBackend(
+            0, 2, checkpoint_dir=str(tmp_path), on_progress=seen.append
+        )
+        experiment.run(backend=backend)
+        # The heartbeat signal (rows_committed) still advances — the
+        # scheduler must see a retried shard as live — but the fault
+        # budget (rows_appended) meters nothing.
+        assert seen[-1].rows_committed == 3
+        assert all(progress.rows_appended == 0 for progress in seen)
+
+    def test_on_progress_does_not_change_results(self, experiment, serial, tmp_path):
+        backend = ShardBackend(
+            0, 2, checkpoint_dir=str(tmp_path), on_progress=lambda progress: None
+        )
+        bare = experiment.run(backend=ShardBackend(0, 2))
+        assert canonical(experiment.run(backend=backend)) == canonical(bare)
+
+
+class TestAppendComplexity:
+    def test_checkpointed_run_scans_the_log_once(
+        self, experiment, tmp_path, monkeypatch
+    ):
+        # The retry path must be O(rows appended), not O(rows²): the
+        # shard log's torn-tail recovery scan (its only full read on the
+        # append path) happens once per execute, no matter how many
+        # variants append.
+        import pathlib
+
+        backend = ShardBackend(0, 1, checkpoint_dir=str(tmp_path))
+        path = tmp_path / shard_filename(0, 1)
+        experiment.run(backend=backend)  # seed the checkpoint
+        # Keep only the header and the first row: the retry recomputes
+        # five variants, each appending to the already-existing file.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+
+        reads = []
+        original = pathlib.Path.read_bytes
+
+        def counting_read_bytes(self):
+            reads.append(str(self))
+            return original(self)
+
+        monkeypatch.setattr(pathlib.Path, "read_bytes", counting_read_bytes)
+        retried = experiment.run(backend=backend)
+        assert reads.count(str(path)) == 1, "one recovery scan per execute"
+        assert len(retried) == 6
 
 
 class TestRowIdentity:

@@ -143,3 +143,58 @@ class TestRecommendations:
             recall = get_scenario("passwords").bind(**params).task("recall-passwords").name
             success[label] = recommendations[label].tasks[recall].success_probability
         assert success["sso"] > success["baseline"]
+
+
+class TestCanonicalDict:
+    def test_wall_clock_metrics_are_pinned(self):
+        # The cluster scheduler, the benchmarks, and every bit-identity
+        # test compare result sets modulo exactly these two keys; adding
+        # or renaming one silently weakens all of those comparisons, so
+        # the tuple is pinned here.
+        from repro.experiments import WALL_CLOCK_METRICS
+        from repro.experiments import results as results_module
+        from repro.experiments import runner as runner_module
+
+        assert WALL_CLOCK_METRICS == (
+            "perf:elapsed_seconds",
+            "perf:receiver_rounds_per_second",
+        )
+        # One canonical object, re-exported everywhere it is consumed.
+        assert results_module.WALL_CLOCK_METRICS is WALL_CLOCK_METRICS
+        assert runner_module.WALL_CLOCK_METRICS is WALL_CLOCK_METRICS
+
+    def test_canonical_dict_strips_exactly_the_wall_clock_metrics(self, results):
+        from repro.experiments import WALL_CLOCK_METRICS
+
+        full = resultset_to_dict(results)
+        canonical = results.canonical_dict()
+        for full_row, canonical_row in zip(full["rows"], canonical["rows"]):
+            removed = set(full_row["metrics"]) - set(canonical_row["metrics"])
+            assert removed == set(WALL_CLOCK_METRICS) & set(full_row["metrics"])
+            kept = {
+                name: value
+                for name, value in full_row["metrics"].items()
+                if name not in WALL_CLOCK_METRICS
+            }
+            assert canonical_row["metrics"] == kept
+        # Nothing else differs: stripping metrics is the whole transform.
+        stripped = resultset_to_dict(results)
+        for row in stripped["rows"]:
+            row["metrics"] = {
+                name: value
+                for name, value in row["metrics"].items()
+                if name not in WALL_CLOCK_METRICS
+            }
+        assert canonical == stripped
+
+    def test_canonical_dict_does_not_mutate_the_set(self, results):
+        from repro.experiments import WALL_CLOCK_METRICS
+
+        results.canonical_dict()
+        # Simulated rows still carry their wall-clock telemetry: the
+        # canonical view is a copy, not an in-place strip.
+        assert any(
+            name in row.metrics
+            for row in results.simulated()
+            for name in WALL_CLOCK_METRICS
+        )

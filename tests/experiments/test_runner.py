@@ -10,9 +10,6 @@ from repro.experiments import (
     plan_runs,
     reproduce_row,
 )
-from repro.io import resultset_to_dict
-
-
 def _without_wall_clock(metrics):
     """Row metrics modulo wall-clock telemetry (never deterministic)."""
     return {
@@ -23,10 +20,8 @@ def _without_wall_clock(metrics):
 
 
 def _canonical(resultset):
-    payload = resultset_to_dict(resultset)
-    for row in payload["rows"]:
-        row["metrics"] = _without_wall_clock(row["metrics"])
-    return payload
+    # Bit-identity modulo wall-clock telemetry: one canonical filter.
+    return resultset.canonical_dict()
 
 VARIANTS = (
     VariantSpec("passwords", {}, label="baseline"),

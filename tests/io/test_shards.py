@@ -8,6 +8,8 @@ from repro.core.exceptions import SerializationError
 from repro.experiments import Experiment, SweepSpec
 from repro.io import (
     SHARD_FORMAT_VERSION,
+    TELEMETRY_PREFIXES,
+    ShardLogWriter,
     append_shard_rows,
     load_checkpoint,
     read_shard,
@@ -78,6 +80,70 @@ class TestRoundTrip:
     def test_load_checkpoint_requires_directory(self, tmp_path):
         with pytest.raises(SerializationError):
             load_checkpoint(tmp_path / "missing")
+
+    def test_load_checkpoint_skips_telemetry_streams(self, rows, tmp_path):
+        # Scheduler event logs and heartbeat streams share the directory
+        # (and suffix) but are not checkpoints; loading must skip them
+        # rather than choke on their headerless records.
+        append_shard_rows(tmp_path / shard_filename(0, 2), rows, header=HEADER)
+        (tmp_path / "scheduler-events.jsonl").write_text(
+            json.dumps({"seq": 0, "event": "queued", "shard": 0}) + "\n"
+        )
+        (tmp_path / "heartbeat-0000.jsonl").write_text(
+            json.dumps({"seq": 0, "event": "heartbeat", "rows": 1}) + "\n"
+        )
+        entries = load_checkpoint(tmp_path)
+        assert [path.name for path, _, _ in entries] == [shard_filename(0, 2)]
+
+
+class TestShardLogWriter:
+    def test_open_once_appends_are_o_of_rows(self, rows, tmp_path, monkeypatch):
+        # The writer's torn-tail recovery scan (the only full-file read
+        # on the append path) must happen at most once per run, however
+        # many appends the run makes — O(rows), not O(rows²).
+        import pathlib
+
+        reads = []
+        original = pathlib.Path.read_bytes
+
+        def counting_read_bytes(self):
+            reads.append(str(self))
+            return original(self)
+
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows[:1], header=HEADER)  # pre-existing file
+        monkeypatch.setattr(pathlib.Path, "read_bytes", counting_read_bytes)
+        with ShardLogWriter(path, HEADER) as writer:
+            for row in rows * 3:  # many appends in one run
+                writer.append([row])
+        assert reads.count(str(path)) == 1
+        _, loaded = read_shard(path)
+        assert len(loaded) == 1 + len(rows) * 3
+
+    def test_writer_recovers_torn_tail_once(self, rows, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        append_shard_rows(path, rows[:1], header=HEADER)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "row", "row": {"experi')  # killed mid-append
+        with ShardLogWriter(path, HEADER) as writer:
+            writer.append(rows[1:])
+        header, loaded = read_shard(path)
+        assert header is not None
+        assert len(loaded) == len(rows)
+
+    def test_lazy_open_creates_no_file_without_appends(self, tmp_path):
+        path = tmp_path / shard_filename(0, 2)
+        with ShardLogWriter(path, HEADER):
+            pass
+        assert not path.exists()
+
+
+class TestTelemetryPrefixes:
+    def test_reserved_prefixes_are_pinned(self):
+        # repro.cluster derives its event-log and heartbeat file names
+        # from these prefixes; renaming either side breaks checkpoint
+        # loading silently, so the contract is pinned here.
+        assert TELEMETRY_PREFIXES == ("scheduler-", "heartbeat-")
 
 
 class TestCorruption:
