@@ -44,6 +44,11 @@ from _timing import best_of
 from repro.core.stages import Stage
 from repro.systems import get_scenario
 
+try:
+    import pytest
+except ImportError:  # standalone `python benchmarks/bench_floor_check.py`
+    pytest = None
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FLOOR_FRACTION = 0.5
 N_RECEIVERS = int(os.environ.get("BENCH_FLOOR_N", "100000"))
@@ -64,6 +69,74 @@ SHARD_GRID = {
     "distinct_accounts": [4, 8, 12, 16],
     "single_sign_on": [False, True],
 }
+
+
+# Every check appends one entry here; the module teardown (or main())
+# prints the greppable one-line ``FLOOR_OK``/``FLOOR_FAIL`` summary, the
+# same machine-readable convention as ``repro.devtools lint --format
+# json`` exit gating.
+_SUMMARY: list = []
+
+
+def _check_floor(
+    check: str,
+    rate: float,
+    recorded: Optional[Tuple[int, float]],
+    engaged: bool,
+    unit: str = "receivers/s",
+) -> None:
+    """Record one floor check in the summary, then enforce it.
+
+    ``engaged=False`` marks a smoke-scale run: the rate is recorded for
+    the summary line but no floor applies.
+    """
+    floor = FLOOR_FRACTION * recorded[1] if (engaged and recorded) else None
+    ok = floor is None or rate >= floor
+    _SUMMARY.append(
+        {
+            "check": check,
+            "rate": round(rate, 1),
+            "unit": unit,
+            "floor": round(floor, 1) if floor is not None else None,
+            "engaged": floor is not None,
+            "ok": ok,
+        }
+    )
+    assert rate > 0
+    if floor is not None:
+        assert ok, (
+            f"{check} throughput {rate:,.0f} {unit} fell below the floor "
+            f"{floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+        )
+
+
+def _record_smoke(check: str, ok: bool = True) -> None:
+    """A pass/fail smoke entry with no throughput floor."""
+    _SUMMARY.append(
+        {"check": check, "rate": None, "unit": None, "floor": None,
+         "engaged": False, "ok": ok}
+    )
+
+
+def _print_summary() -> None:
+    ok = all(entry["ok"] for entry in _SUMMARY)
+    token = "FLOOR_OK" if ok else "FLOOR_FAIL"
+    payload = {
+        "tool": "bench_floor_check",
+        "status": "ok" if ok else "fail",
+        "checks": _SUMMARY,
+    }
+    print(f"\n{token} {json.dumps(payload, sort_keys=True)}")
+
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module", autouse=True)
+    def _floor_summary_reporter():
+        """Print the one-line summary after the last check in the module,
+        even when an earlier floor assertion already failed the run."""
+        yield
+        _print_summary()
 
 
 def _recorded_engine_rate() -> Optional[Tuple[int, float]]:
@@ -124,13 +197,9 @@ def test_engine_scaling_floor():
     rate = N_RECEIVERS / seconds
     recorded = _recorded_engine_rate()
     print(f"\n  engine: {rate:,.0f} receivers/s (recorded: {recorded})")
-    assert rate > 0
-    if recorded is None or N_RECEIVERS < recorded[0]:
-        return  # smoke scale — the recorded number does not apply
-    floor = FLOOR_FRACTION * recorded[1]
-    assert rate >= floor, (
-        f"engine throughput {rate:,.0f} receivers/s fell below the floor "
-        f"{floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    _check_floor(
+        "engine", rate, recorded,
+        engaged=recorded is not None and N_RECEIVERS >= recorded[0],
     )
 
 
@@ -149,13 +218,9 @@ def test_counter_mode_floor():
     rate = N_RECEIVERS / seconds
     recorded = _recorded_counter_rate()
     print(f"\n  counter rng: {rate:,.0f} receivers/s (recorded: {recorded})")
-    assert rate > 0
-    if recorded is None or N_RECEIVERS < recorded[0]:
-        return  # smoke scale — the recorded number does not apply
-    floor = FLOOR_FRACTION * recorded[1]
-    assert rate >= floor, (
-        f"counter-mode throughput {rate:,.0f} receivers/s fell below the "
-        f"floor {floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    _check_floor(
+        "counter_rng", rate, recorded,
+        engaged=recorded is not None and N_RECEIVERS >= recorded[0],
     )
 
 
@@ -194,6 +259,7 @@ def test_chunk_worker_parallel_smoke():
     )
     if (os.cpu_count() or 1) < 2:
         print("  single-core runner: wall-clock comparison skipped, not failed")
+        _record_smoke("chunk_worker_parallel")
         return
     # Fan-out pays pickling + process start-up; only a gross regression
     # (worse than 4x serial) indicates the parallel path is broken.
@@ -201,6 +267,7 @@ def test_chunk_worker_parallel_smoke():
         f"chunk_workers=2 took {parallel_seconds:.3f}s vs serial "
         f"{serial_seconds:.3f}s — parallel path regressed grossly"
     )
+    _record_smoke("chunk_worker_parallel")
 
 
 def test_multi_round_floor():
@@ -222,13 +289,10 @@ def test_multi_round_floor():
     rate = receiver_rounds / seconds
     recorded = _recorded_rounds_rate()
     print(f"\n  multi-round: {rate:,.0f} receiver-rounds/s (recorded: {recorded})")
-    assert rate > 0
-    if recorded is None or receiver_rounds < recorded[0]:
-        return  # smoke scale
-    floor = FLOOR_FRACTION * recorded[1]
-    assert rate >= floor, (
-        f"multi-round throughput {rate:,.0f} receiver-rounds/s fell below the "
-        f"floor {floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    _check_floor(
+        "multi_round", rate, recorded,
+        engaged=recorded is not None and receiver_rounds >= recorded[0],
+        unit="receiver-rounds/s",
     )
 
 
@@ -277,13 +341,9 @@ def test_shard_backend_floor():
     rate = total / seconds
     recorded = _recorded_shard_rate()
     print(f"\n  sharded sweep: {rate:,.0f} receivers/s (recorded: {recorded})")
-    assert rate > 0
-    if recorded is None or total < recorded[0]:
-        return  # smoke scale — the recorded number does not apply
-    floor = FLOOR_FRACTION * recorded[1]
-    assert rate >= floor, (
-        f"sharded sweep throughput {rate:,.0f} receivers/s fell below the "
-        f"floor {floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    _check_floor(
+        "sharded_sweep", rate, recorded,
+        engaged=recorded is not None and total >= recorded[0],
     )
 
 
@@ -352,13 +412,9 @@ def test_scheduler_floor():
     rate = total / seconds
     recorded = _recorded_scheduler_rate()
     print(f"\n  scheduled fleet: {rate:,.0f} receivers/s (recorded: {recorded})")
-    assert rate > 0
-    if recorded is None or total < recorded[0]:
-        return  # smoke scale — the recorded number does not apply
-    floor = FLOOR_FRACTION * recorded[1]
-    assert rate >= floor, (
-        f"scheduled-fleet throughput {rate:,.0f} receivers/s fell below the "
-        f"floor {floor:,.0f} (half of recorded {recorded[1]:,.0f})"
+    _check_floor(
+        "scheduled_fleet", rate, recorded,
+        engaged=recorded is not None and total >= recorded[0],
     )
 
 
@@ -377,6 +433,7 @@ def test_funnel_metrics_smoke():
     # The habituation signature: attention survival erodes round over round.
     survival = result.round_funnel_metric(Stage.ATTENTION_SWITCH.value)
     assert survival[-1] < survival[0]
+    _record_smoke("funnel_metrics")
 
 
 def main() -> None:
@@ -387,7 +444,7 @@ def main() -> None:
     test_scheduler_floor()
     test_chunk_worker_parallel_smoke()
     test_funnel_metrics_smoke()
-    print("floor checks passed")
+    _print_summary()
 
 
 if __name__ == "__main__":

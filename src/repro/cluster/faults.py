@@ -104,6 +104,9 @@ class FaultInjector:
     def linger(self) -> None:
         """Sleep out ``delay_completion_seconds`` in small slices (so a
         scheduler kill lands promptly)."""
-        deadline = time.monotonic() + self.delay_completion_seconds
-        while time.monotonic() < deadline:
-            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+        # Injected-fault pacing: these clock reads time the *harness
+        # misbehaviour* (a worker that hangs after finishing) and can never
+        # reach a result row or checkpoint byte.
+        deadline = time.monotonic() + self.delay_completion_seconds  # repro-lint: allow REP002 — fault pacing
+        while time.monotonic() < deadline:  # repro-lint: allow REP002 — fault pacing
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))  # repro-lint: allow REP002 — fault pacing

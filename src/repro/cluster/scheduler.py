@@ -71,6 +71,10 @@ def backoff_delay(
     """
     delay = min(cap, base * (2.0 ** (failures - 1)))
     if jitter > 0.0 and delay > 0.0:
+        # REP001 exemplar: a generator outside simulation/rng.py is sound
+        # exactly because its seed is an explicit SeedSequence over the
+        # (seed, shard, failures) coordinates — every retry's jitter is
+        # replayable with no ambient state.
         rng = np.random.default_rng(
             np.random.SeedSequence([seed, shard_index, failures])
         )

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, Union
 
 import numpy as np
 
@@ -63,7 +63,15 @@ from .stages import (
     StageTrace,
     StageTraceBatch,
 )
+from .receiver import FloatOrArray
 from .task import HumanSecurityTask
+
+#: The kernel is polymorphic in its receiver argument: a scalar
+#: :class:`~repro.core.receiver.HumanReceiver` or a batch receiver view
+#: (any object exposing the same attributes as arrays).  Structural
+#: typing over that family is deliberate — the alias documents intent
+#: without coupling core to the simulation package.
+ReceiverLike = Any
 
 __all__ = [
     "FailureSemantics",
@@ -198,6 +206,24 @@ def decision_columns(plan: "PipelinePlan") -> Dict[str, int]:
     return columns
 
 
+class DecisionSource(Protocol):
+    """Structural type of the kernel's decision suppliers.
+
+    Anything with this ``decide`` shape can drive :meth:`PipelinePlan._traverse`
+    — the pre-drawn matrix, the lazy scalar callback, and the counter-based
+    Philox source all satisfy it.
+    """
+
+    def decide(
+        self,
+        kind: str,
+        stage: Optional[Stage],
+        probability: FloatOrArray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        ...
+
+
 class MatrixDecisions:
     """Decision source backed by a pre-drawn uniform matrix.
 
@@ -211,7 +237,13 @@ class MatrixDecisions:
         self._decisions = decisions
         self._columns = columns
 
-    def decide(self, kind: str, stage: Optional[Stage], probability, mask) -> np.ndarray:
+    def decide(
+        self,
+        kind: str,
+        stage: Optional[Stage],
+        probability: FloatOrArray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
         column = self._columns[f"stage:{stage.value}" if kind == "stage" else kind]
         return self._decisions[:, column] < probability
 
@@ -229,7 +261,13 @@ class CallbackDecisions:
     def __init__(self, decide: DecisionFn) -> None:
         self._decide = decide
 
-    def decide(self, kind: str, stage: Optional[Stage], probability, mask) -> np.ndarray:
+    def decide(
+        self,
+        kind: str,
+        stage: Optional[Stage],
+        probability: FloatOrArray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
         if not bool(np.all(mask)):
             return np.zeros(1, dtype=bool)
         # The modeled probability may arrive as a float or a width-1 array;
@@ -384,7 +422,12 @@ class PipelinePlan:
     # batch receiver view) and in ``noise`` (float or array): the returned
     # probability has the broadcast shape of its inputs.
 
-    def raw_stage_probability(self, stage: Stage, receiver, exposures=None):
+    def raw_stage_probability(
+        self,
+        stage: Stage,
+        receiver: ReceiverLike,
+        exposures: Optional[FloatOrArray] = None,
+    ) -> FloatOrArray:
         """Uncalibrated, noise-free success probability of one stage.
 
         ``exposures`` (float or per-receiver array) overrides the
@@ -415,7 +458,13 @@ class PipelinePlan:
             return probabilities.behavior_success_probability(self.task.task_design, receiver)
         raise ModelError(f"unknown stage {stage!r}")
 
-    def stage_probability(self, stage: Stage, receiver, noise=0.0, exposures=None):
+    def stage_probability(
+        self,
+        stage: Stage,
+        receiver: ReceiverLike,
+        noise: FloatOrArray = 0.0,
+        exposures: Optional[FloatOrArray] = None,
+    ) -> FloatOrArray:
         """Calibrated success probability of one stage, with per-user noise.
 
         The behavior stage models slips and lapses rather than perception,
@@ -430,7 +479,9 @@ class PipelinePlan:
             return raw
         return self.calibration.apply_stage(stage, raw)
 
-    def intention_probability(self, receiver, noise=0.0):
+    def intention_probability(
+        self, receiver: ReceiverLike, noise: FloatOrArray = 0.0
+    ) -> FloatOrArray:
         """Calibrated probability the receiver decides to comply."""
         communication = self.task.communication
         if communication is None:
@@ -442,22 +493,22 @@ class PipelinePlan:
             return raw
         return self.calibration.apply_intention(raw)
 
-    def capability_probability(self, receiver):
+    def capability_probability(self, receiver: ReceiverLike) -> FloatOrArray:
         """Calibrated probability the receiver can perform the action."""
         raw = probabilities.capability_probability(self.task, receiver)
         if self.calibration is None:
             return raw
         return self.calibration.apply_capability(raw)
 
-    def behavior_probability(self, receiver):
+    def behavior_probability(self, receiver: ReceiverLike) -> FloatOrArray:
         """Calibrated probability the action is executed correctly."""
         return self.stage_probability(Stage.BEHAVIOR, receiver)
 
-    def self_initiated_probability(self, receiver):
+    def self_initiated_probability(self, receiver: ReceiverLike) -> FloatOrArray:
         """With no communication, only self-motivated experts act."""
         return probabilities.clamp_probability(0.1 * receiver.personal_variables.expertise)
 
-    def stage_probabilities(self, receiver) -> Dict[Stage, float]:
+    def stage_probabilities(self, receiver: ReceiverLike) -> Dict[Stage, float]:
         """Success probability for every applicable stage (incl. behavior).
 
         With no calibration this reproduces the analytic reading used by
@@ -470,7 +521,7 @@ class PipelinePlan:
         result[Stage.BEHAVIOR] = self.behavior_probability(receiver)
         return result
 
-    def success_probability(self, receiver):
+    def success_probability(self, receiver: ReceiverLike) -> FloatOrArray:
         """End-to-end success probability including both gates."""
         if not self.has_communication:
             return self.self_initiated_probability(receiver)
@@ -524,12 +575,12 @@ class PipelinePlan:
 
     def _traverse(
         self,
-        receivers,
-        source,
+        receivers: ReceiverLike,
+        source: "DecisionSource",
         count: int,
         spoofed: np.ndarray,
-        noise,
-        exposures=None,
+        noise: FloatOrArray,
+        exposures: Optional[FloatOrArray] = None,
         collect_trace: bool = False,
         collect_counts: bool = False,
     ) -> BatchWalk:
@@ -785,12 +836,12 @@ class PipelinePlan:
 
     def walk_batch(
         self,
-        receivers,
+        receivers: ReceiverLike,
         decisions: np.ndarray,
         spoofed: Optional[np.ndarray] = None,
-        noise=0.0,
-        exposures=None,
-        trace=False,
+        noise: FloatOrArray = 0.0,
+        exposures: Optional[FloatOrArray] = None,
+        trace: Union[bool, str] = False,
     ) -> BatchWalk:
         """Advance a whole batch through the pipeline at once (the array walk).
 
@@ -819,7 +870,7 @@ class PipelinePlan:
             collect_counts=trace == "counts",
         )
 
-    def walk(self, receiver, decide: DecisionFn, noise: float = 0.0,
+    def walk(self, receiver: ReceiverLike, decide: DecisionFn, noise: float = 0.0,
              spoofed: bool = False, exposures: Optional[float] = None) -> PipelineWalk:
         """Realize one receiver's pass through the pipeline.
 

@@ -30,7 +30,7 @@ from .behavior import TaskDesign
 from .communication import Communication, CommunicationType
 from .exceptions import ModelError
 from .impediments import Environment
-from .receiver import HumanReceiver
+from .receiver import FloatOrArray, HumanReceiver
 from .stages import STAGE_ORDER, Stage
 from .task import HumanSecurityTask
 
@@ -59,7 +59,7 @@ _FLOOR = 0.02
 _CEILING = 0.98
 
 
-def clamp_probability(value):
+def clamp_probability(value: FloatOrArray) -> FloatOrArray:
     """Clamp a raw score into the [_FLOOR, _CEILING] probability band.
 
     Accepts a float or a numpy array; every stage-probability function in
@@ -69,7 +69,7 @@ def clamp_probability(value):
     return np.minimum(_CEILING, np.maximum(_FLOOR, value))
 
 
-def habituation_factor(exposures, activeness: float):
+def habituation_factor(exposures: FloatOrArray, activeness: float) -> FloatOrArray:
     """Attention multiplier after repeated exposures (Section 2.3.1).
 
     Habituation decays attention exponentially with the number of prior
@@ -110,7 +110,7 @@ def attention_switch_probability(
     communication: Communication,
     environment: Environment,
     receiver: HumanReceiver,
-    exposures=None,
+    exposures: Optional[FloatOrArray] = None,
 ) -> float:
     """Probability the receiver notices the communication at all.
 

@@ -23,13 +23,20 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .exceptions import ModelError
 
+#: The width-polymorphic value type of the quantitative model: every
+#: composite-score formula (and every stage-probability function built on
+#: them) accepts floats or numpy arrays and returns the same width, so one
+#: set of source lines serves the analytic path and the vectorized engine.
+FloatOrArray = Union[float, np.ndarray]
+
 __all__ = [
+    "FloatOrArray",
     "EducationLevel",
     "Demographics",
     "KnowledgeExperience",
@@ -55,7 +62,7 @@ def _check_unit(name: str, value: float) -> None:
         raise ModelError(f"{name} must be in [0, 1], got {value}")
 
 
-def _clip_unit(value):
+def _clip_unit(value: FloatOrArray) -> FloatOrArray:
     """Clip a score to [0, 1]; accepts floats or numpy arrays."""
     return np.minimum(1.0, np.maximum(0.0, value))
 
@@ -71,7 +78,11 @@ def _clip_unit(value):
 # ---------------------------------------------------------------------------
 
 
-def expertise_score(security_knowledge, domain_knowledge, computer_proficiency):
+def expertise_score(
+    security_knowledge: FloatOrArray,
+    domain_knowledge: FloatOrArray,
+    computer_proficiency: FloatOrArray,
+) -> FloatOrArray:
     """Overall expertise combining the knowledge dimensions."""
     return (
         0.4 * security_knowledge
@@ -81,14 +92,14 @@ def expertise_score(security_knowledge, domain_knowledge, computer_proficiency):
 
 
 def belief_score(
-    trust,
-    perceived_relevance,
-    risk_perception,
-    self_efficacy,
-    response_efficacy,
-    perceived_time_cost,
-    annoyance,
-):
+    trust: FloatOrArray,
+    perceived_relevance: FloatOrArray,
+    risk_perception: FloatOrArray,
+    self_efficacy: FloatOrArray,
+    response_efficacy: FloatOrArray,
+    perceived_time_cost: FloatOrArray,
+    annoyance: FloatOrArray,
+) -> FloatOrArray:
     """Composite belief that the communication deserves action (0-1)."""
     positive = (
         0.30 * trust
@@ -102,13 +113,13 @@ def belief_score(
 
 
 def motivation_score(
-    conflicting_goals,
-    primary_task_pressure,
-    perceived_consequences,
-    incentives,
-    disincentives,
-    convenience_cost,
-):
+    conflicting_goals: FloatOrArray,
+    primary_task_pressure: FloatOrArray,
+    perceived_consequences: FloatOrArray,
+    incentives: FloatOrArray,
+    disincentives: FloatOrArray,
+    convenience_cost: FloatOrArray,
+) -> FloatOrArray:
     """Composite motivation score (0-1)."""
     positive = (
         0.5 * perceived_consequences
@@ -123,19 +134,19 @@ def motivation_score(
     return _clip_unit(0.3 + 0.7 * positive - 0.5 * negative)
 
 
-def intention_score(belief, motivation):
+def intention_score(belief: FloatOrArray, motivation: FloatOrArray) -> FloatOrArray:
     """Probability-like score that the receiver intends to comply."""
     return _clip_unit(0.6 * belief + 0.4 * motivation)
 
 
 def capability_score(
-    knowledge_to_act,
-    cognitive_skill,
-    physical_skill,
-    memory_capacity,
-    has_required_software=True,
-    has_required_device=True,
-):
+    knowledge_to_act: FloatOrArray,
+    cognitive_skill: FloatOrArray,
+    physical_skill: FloatOrArray,
+    memory_capacity: FloatOrArray,
+    has_required_software: bool = True,
+    has_required_device: bool = True,
+) -> FloatOrArray:
     """Composite capability score (0-1).
 
     The software/device flags are treated as population-wide constants, so

@@ -1,0 +1,79 @@
+"""Command-line front end: ``python -m repro.devtools lint [paths]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/parse error — so CI can
+gate on the process status while ``--format json`` keeps the log
+machine-readable (the same greppable-one-line convention as
+``benchmarks/bench_floor_check.py``'s ``FLOOR_OK`` summary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .framework import format_json, format_text, registered_rules, run_lint
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description="Invariant linter for the repro codebase.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    lint = commands.add_parser(
+        "lint", help="check source trees against the invariant rules"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+
+    commands.add_parser("rules", help="list the registered rules")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+
+    if arguments.command == "rules":
+        for rule in registered_rules():
+            print(f"{rule.rule_id}  {rule.title}: {rule.contract}")
+        return 0
+
+    rules = registered_rules()
+    if arguments.rules:
+        wanted = {part.strip() for part in arguments.rules.split(",")}
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            print(f"unknown rule id(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    try:
+        diagnostics = run_lint(arguments.paths, rules=rules)
+    except (FileNotFoundError, SyntaxError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.format == "json":
+        print(format_json(diagnostics))
+    else:
+        print(format_text(diagnostics))
+    return 1 if diagnostics else 0

@@ -1,0 +1,108 @@
+"""REP005 — checkpoint directories are append-only outside repro.io."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .framework import Diagnostic, Project, Rule, SourceFile, dotted_name, register
+
+#: The two modules that own checkpoint-file lifecycles: the shard-log
+#: writer and the event-log writer (both do a one-time ``r+b`` torn-tail
+#: truncation on reopen, which is exactly the recovery this rule keeps
+#: everyone else away from).
+EXEMPT_SUFFIXES = ("io/shards.py", "io/eventlog.py")
+
+#: Modules whose file I/O is checkpoint-directory I/O by construction:
+#: every write-capable handle they open lands in a shared checkpoint
+#: tree that crashed workers, resumers, and mergers all read.
+CHECKPOINT_MODULE_MARKERS = ("/cluster/", "experiments/backends.py")
+
+#: Methods that can rewrite committed bytes in place.
+DESTRUCTIVE_METHODS = frozenset(
+    {"truncate", "seek", "write_text", "write_bytes"}
+)
+
+
+def _write_mode(call: ast.Call) -> Optional[str]:
+    """The mode string of an ``open`` call when it can truncate/overwrite."""
+    mode_node: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        mode = mode_node.value
+        if any(flag in mode for flag in ("w", "+", "x")):
+            return mode
+    return None
+
+
+def _mentions_checkpoint(node: ast.AST) -> bool:
+    try:
+        text = ast.unparse(node)
+    except Exception:
+        return False
+    return "checkpoint" in text.lower()
+
+
+@register
+class AppendOnlyIo(Rule):
+    """Committed checkpoint bytes are immutable.
+
+    Crash recovery, shard merge, and resume all depend on the
+    secure-logging-style guarantee that a checkpoint file only ever grows:
+    torn *final* lines are recoverable precisely because nothing before
+    them can have changed.  Outside ``io/shards.py`` and
+    ``io/eventlog.py`` (the owners of the one sanctioned torn-tail
+    truncation), no module may open a checkpoint path with a
+    write/truncate-capable mode or call ``truncate``/``seek``/
+    ``write_text``/``write_bytes`` near one.  The rule applies to any
+    call mentioning a checkpoint path, and to *all* such calls in the
+    checkpoint-handling modules (``cluster/*``, ``experiments/backends``).
+    """
+
+    rule_id = "REP005"
+    title = "append-only-io"
+    contract = (
+        "no open(..., 'w'/'+'/'x'), truncate, or seek on checkpoint-dir "
+        "paths outside io/shards.py and io/eventlog.py"
+    )
+
+    def check_file(
+        self, file: SourceFile, project: Project
+    ) -> Iterator[Diagnostic]:
+        if file.matches(*EXEMPT_SUFFIXES):
+            return
+        in_checkpoint_module = any(
+            marker in file.rel for marker in CHECKPOINT_MODULE_MARKERS
+        )
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name == "open" or (name is not None and name.endswith(".open")):
+                mode = _write_mode(node)
+                if mode is not None and (
+                    in_checkpoint_module or _mentions_checkpoint(node)
+                ):
+                    yield self.diagnostic(
+                        file,
+                        node,
+                        f"open(..., {mode!r}) can rewrite committed "
+                        "checkpoint bytes; append ('a') through "
+                        "io.shards/io.eventlog writers instead",
+                    )
+            elif isinstance(node.func, ast.Attribute) and (
+                node.func.attr in DESTRUCTIVE_METHODS
+            ):
+                if in_checkpoint_module or _mentions_checkpoint(node):
+                    yield self.diagnostic(
+                        file,
+                        node,
+                        f".{node.func.attr}() on a checkpoint-adjacent "
+                        "handle violates the append-only log contract; "
+                        "only io/shards.py and io/eventlog.py may heal or "
+                        "reposition log files",
+                    )

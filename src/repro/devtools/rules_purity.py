@@ -1,0 +1,133 @@
+"""REP006 kernel purity and REP007 mutable default arguments."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Diagnostic, Project, Rule, SourceFile, dotted_name, register
+
+#: The traversal kernel and the batch layer it drives: the code every
+#: execution path (batch / reference / chunked / parallel / counter)
+#: funnels through, where a single side effect or environment read would
+#: desynchronize paths that must stay bit-identical.
+KERNEL_SUFFIXES = ("core/pipeline.py", "simulation/batch.py")
+
+#: Modules whose import into a kernel is an immediate red flag.
+FORBIDDEN_KERNEL_IMPORTS = frozenset(
+    {"time", "datetime", "logging", "socket", "subprocess", "threading"}
+)
+
+#: Calls with I/O or console side effects.
+FORBIDDEN_KERNEL_CALLS = frozenset({"print", "open", "input", "breakpoint"})
+
+
+@register
+class KernelPurity(Rule):
+    """The traversal kernel computes; it never observes the world.
+
+    ``core/pipeline.py`` and ``simulation/batch.py`` are executed
+    identically by every mode, chunking, and worker count — the
+    bit-identity contracts hold only because the kernel's output is a
+    pure function of (plan, draws, exposures).  No I/O, no prints, no
+    clock or datetime, no logging: anything observability-shaped belongs
+    in the engine/telemetry layers above.
+    """
+
+    rule_id = "REP006"
+    title = "kernel-purity"
+    contract = (
+        "no I/O, prints, logging, or time/datetime in core/pipeline.py "
+        "and simulation/batch.py"
+    )
+
+    def check_file(
+        self, file: SourceFile, project: Project
+    ) -> Iterator[Diagnostic]:
+        if not file.matches(*KERNEL_SUFFIXES):
+            return
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in FORBIDDEN_KERNEL_IMPORTS:
+                        yield self.diagnostic(
+                            file,
+                            node,
+                            f"kernel module imports {alias.name!r}; the "
+                            "traversal kernel must stay a pure function "
+                            "of (plan, draws, exposures)",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                if root in FORBIDDEN_KERNEL_IMPORTS:
+                    yield self.diagnostic(
+                        file,
+                        node,
+                        f"kernel module imports from {node.module!r}; the "
+                        "traversal kernel must stay pure",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in FORBIDDEN_KERNEL_CALLS:
+                    yield self.diagnostic(
+                        file,
+                        node,
+                        f"{name}() in a kernel module: side effects in "
+                        "the traversal kernel break path bit-identity "
+                        "and O(batch) memory guarantees",
+                    )
+                elif name is not None and name.startswith(
+                    ("sys.stdout", "sys.stderr", "logging.")
+                ):
+                    yield self.diagnostic(
+                        file,
+                        node,
+                        f"{name} used in a kernel module; route "
+                        "observability through the engine layer",
+                    )
+
+
+@register
+class NoMutableDefaults(Rule):
+    """Default argument values must not be shared mutable state.
+
+    A ``def f(x, cache={})`` default is evaluated once and shared across
+    every call — state that leaks between simulations is exactly the
+    kind of hidden coupling the reproducibility contracts forbid.  Use
+    ``None`` plus an in-body default, or a frozen/tuple value.
+    """
+
+    rule_id = "REP007"
+    title = "no-mutable-default"
+    contract = "no list/dict/set (literal or constructor) default arguments"
+
+    def check_file(
+        self, file: SourceFile, project: Project
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(
+                    default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in {"list", "dict", "set", "bytearray"}
+                )
+                if mutable:
+                    yield self.diagnostic(
+                        file,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "shared call-to-call state undermines "
+                        "reproducibility — default to None and build "
+                        "inside the function",
+                    )

@@ -1,0 +1,176 @@
+"""REP002 — wall-clock reads only where registered as telemetry."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from .framework import (
+    Diagnostic,
+    Project,
+    Rule,
+    SourceFile,
+    import_bindings,
+    register,
+    resolve_call_name,
+)
+
+#: Canonical dotted names whose *calls* read the machine clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _telemetry_prefixes(project: Project) -> Tuple[str, ...]:
+    """``TELEMETRY_PREFIXES`` read from the lint tree, else from repro.
+
+    The allow-list is the code: the same tuple ``load_checkpoint`` uses
+    to skip telemetry streams decides which modules may read the clock.
+    """
+    found = project.find_constant("TELEMETRY_PREFIXES")
+    if found is not None and isinstance(found[1], (tuple, list)):
+        return tuple(str(prefix) for prefix in found[1])
+    try:
+        from repro.io.shards import TELEMETRY_PREFIXES
+
+        return tuple(TELEMETRY_PREFIXES)
+    except Exception:
+        return ()
+
+
+def _telemetry_field_names(project: Project) -> FrozenSet[str]:
+    """Field stems of ``WALL_CLOCK_METRICS`` (``perf:elapsed_seconds`` ->
+    ``elapsed_seconds``), read from the lint tree else from repro."""
+    found = project.find_constant("WALL_CLOCK_METRICS")
+    metrics: Sequence[object]
+    if found is not None and isinstance(found[1], (tuple, list)):
+        metrics = found[1]
+    else:
+        try:
+            from repro.experiments import WALL_CLOCK_METRICS
+
+            metrics = tuple(WALL_CLOCK_METRICS)
+        except Exception:
+            metrics = ()
+    return frozenset(str(metric).rpartition(":")[2] for metric in metrics)
+
+
+def _is_telemetry_module(
+    file: SourceFile, prefixes: Tuple[str, ...]
+) -> bool:
+    """A module that writes streams named by ``TELEMETRY_PREFIXES``.
+
+    Detected by the presence of a string literal starting with one of
+    the registered prefixes (covers plain strings and the constant parts
+    of f-strings): a module whose file names are telemetry streams is a
+    telemetry writer, and its clock reads land in those streams.
+    """
+    if not prefixes:
+        return False
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value.startswith(prefixes):
+                return True
+    return False
+
+
+def _assigns_telemetry_field(
+    scope: ast.AST, field_names: FrozenSet[str]
+) -> bool:
+    """Whether a scope assigns to a registered wall-clock metric field.
+
+    A function that computes ``result.elapsed_seconds = perf_counter() -
+    started`` is a telemetry producer: every clock read in it (including
+    the ``started`` anchor) feeds a field bit-identity comparisons are
+    pinned to ignore.
+    """
+    if not field_names:
+        return False
+    for node in ast.walk(scope):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr in field_names:
+                return True
+            if isinstance(target, ast.Name) and target.id in field_names:
+                return True
+    return False
+
+
+@register
+class NoWallClockInIdentity(Rule):
+    """The machine clock may feed telemetry, never result identity.
+
+    ``ResultSet.canonical_dict()`` strips exactly the metrics named in
+    ``experiments.WALL_CLOCK_METRICS``; checkpoint loading skips exactly
+    the streams named in ``io.shards.TELEMETRY_PREFIXES``.  A clock read
+    anywhere else can leak wall time into results that are supposed to be
+    bit-identical across runs, hosts, and backends — so this rule allows
+    ``time.*`` / ``datetime.now`` calls only in modules that write
+    registered telemetry streams, in functions that assign to registered
+    wall-clock metric fields, or under an explicit ``allow`` annotation.
+    Injectable-clock *references* (``clock=time.monotonic`` defaults) are
+    deliberately not flagged: parameterizing the clock is the pattern
+    this rule pushes call sites toward.
+    """
+
+    rule_id = "REP002"
+    title = "no-wallclock-in-identity"
+    contract = (
+        "time.time/perf_counter/monotonic/datetime.now calls only in "
+        "registered telemetry modules or wall-clock-metric producers"
+    )
+
+    def check_file(
+        self, file: SourceFile, project: Project
+    ) -> Iterator[Diagnostic]:
+        bindings = import_bindings(file.tree)
+        clock_calls = [
+            (node, resolve_call_name(node.func, bindings))
+            for node in ast.walk(file.tree)
+            if isinstance(node, ast.Call)
+        ]
+        clock_calls = [
+            (node, name)
+            for node, name in clock_calls
+            if name in WALL_CLOCK_CALLS
+        ]
+        if not clock_calls:
+            return
+        prefixes = _telemetry_prefixes(project)
+        if _is_telemetry_module(file, prefixes):
+            return
+        field_names = _telemetry_field_names(project)
+        allowed_spans = [
+            (node.lineno, max(getattr(node, "end_lineno", node.lineno) or node.lineno, node.lineno))
+            for node in ast.walk(file.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and _assigns_telemetry_field(node, field_names)
+        ]
+        for node, name in clock_calls:
+            if any(low <= node.lineno <= high for low, high in allowed_spans):
+                continue
+            yield self.diagnostic(
+                file,
+                node,
+                f"{name} read outside registered telemetry: the module "
+                "writes no TELEMETRY_PREFIXES stream and the enclosing "
+                "function assigns no WALL_CLOCK_METRICS field; inject a "
+                "clock, register the field, or annotate the exemption",
+            )

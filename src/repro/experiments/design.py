@@ -28,13 +28,16 @@ from __future__ import annotations
 import collections
 import dataclasses
 import itertools
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..simulation.engine import SIMULATION_MODES
 from ..systems.parameters import format_params, variant_label
 from ..systems.scenario import get_scenario
+
+if TYPE_CHECKING:  # deferred: backends imports this module
+    from .backends import ExecutionBackend
 from .results import ExperimentError, ResultSet
 
 __all__ = ["VariantSpec", "SweepSpec", "Experiment", "EXPERIMENT_PATHS", "SEED_STRATEGIES"]
@@ -230,9 +233,16 @@ class Experiment:
         """The seed of the ``index``-th variant under the seed strategy."""
         if self.seed_strategy == "shared":
             return self.seed
+        # REP001 exemplar: per-variant streams derive from an explicit
+        # SeedSequence over (experiment seed, variant declaration index),
+        # so seeds never depend on execution order or ambient state.
         return int(np.random.SeedSequence([self.seed, index]).generate_state(1)[0])
 
-    def run(self, backend=None, max_workers: Optional[int] = None) -> ResultSet:
+    def run(
+        self,
+        backend: Optional["ExecutionBackend"] = None,
+        max_workers: Optional[int] = None,
+    ) -> ResultSet:
         """Run every variant and collect a :class:`ResultSet`.
 
         ``backend`` selects the execution strategy — any

@@ -37,7 +37,13 @@ from ..simulation.metrics import SimulationResult
 from ..systems.scenario import get_scenario
 from ..systems.scenario import variant_hash as compute_variant_hash
 
-__all__ = ["ResultRow", "ResultSet", "reproduce_row", "WALL_CLOCK_METRICS"]
+__all__ = [
+    "ResultRow",
+    "ResultSet",
+    "reproduce_row",
+    "WALL_CLOCK_METRICS",
+    "TELEMETRY_ROW_FIELDS",
+]
 
 #: Row metrics that record machine time rather than simulated outcomes —
 #: the one per-row datum legitimately different between two bit-identical
@@ -47,6 +53,14 @@ __all__ = ["ResultRow", "ResultSet", "reproduce_row", "WALL_CLOCK_METRICS"]
 #: ``perf:chunks`` is NOT listed because the chunk count is a pure
 #: function of (n_receivers, batch_size).
 WALL_CLOCK_METRICS = ("perf:elapsed_seconds", "perf:receiver_rounds_per_second")
+
+#: :class:`ResultRow` provenance fields recorded as execution telemetry
+#: only — how a run was executed, never what it computed —  and therefore
+#: deliberately not consumed by :func:`reproduce_row`.  Machine-checked by
+#: ``repro.devtools`` rule REP003: every engine knob recorded on a row
+#: must either be consumed by :func:`reproduce_row` (reproduction
+#: identity) or be declared here (telemetry), never neither.
+TELEMETRY_ROW_FIELDS = ("chunk_workers",)
 
 
 class ExperimentError(ReproError):

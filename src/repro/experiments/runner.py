@@ -15,13 +15,16 @@ point, now a thin wrapper over the backend layer.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core.analysis import analyze_system
 from ..simulation.metrics import SimulationResult
 from ..systems.scenario import get_scenario
 from .design import Experiment
 from .results import WALL_CLOCK_METRICS, ResultRow, ResultSet
+
+if TYPE_CHECKING:  # deferred: backends imports this module
+    from .backends import ExecutionBackend
 
 __all__ = [
     "VariantRun",
@@ -180,7 +183,7 @@ def run_variant(run: VariantRun) -> List[ResultRow]:
 def execute(
     experiment: Experiment,
     max_workers: Optional[int] = None,
-    backend=None,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> ResultSet:
     """Run an experiment's variants through an execution backend.
 

@@ -18,9 +18,12 @@ import-light); parsing imports the experiment classes lazily to keep
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict
 
 from ..core.exceptions import SerializationError
+
+if TYPE_CHECKING:  # lazy at runtime: keeps repro.io import-cycle-free
+    from ..experiments.results import ResultRow, ResultSet
 
 __all__ = [
     "result_row_to_dict",
@@ -34,7 +37,7 @@ __all__ = [
 ]
 
 
-def result_row_to_dict(row) -> Dict[str, Any]:
+def result_row_to_dict(row: Any) -> Dict[str, Any]:
     """Serialize one result row, provenance included."""
     return {
         "experiment": row.experiment,
@@ -60,7 +63,7 @@ def result_row_to_dict(row) -> Dict[str, Any]:
     }
 
 
-def result_row_from_dict(payload: Dict[str, Any]):
+def result_row_from_dict(payload: Dict[str, Any]) -> "ResultRow":
     """Parse one result row from its dictionary form."""
     from ..experiments.results import ResultRow
 
@@ -98,7 +101,7 @@ def result_row_from_dict(payload: Dict[str, Any]):
     return row
 
 
-def resultset_to_dict(resultset) -> Dict[str, Any]:
+def resultset_to_dict(resultset: Any) -> Dict[str, Any]:
     """Serialize a result set to a JSON-compatible dictionary."""
     return {
         "experiment": resultset.experiment,
@@ -107,7 +110,7 @@ def resultset_to_dict(resultset) -> Dict[str, Any]:
     }
 
 
-def resultset_from_dict(payload: Dict[str, Any]):
+def resultset_from_dict(payload: Dict[str, Any]) -> "ResultSet":
     """Parse a result set from its dictionary form."""
     from ..experiments.results import ResultSet
 
@@ -121,12 +124,12 @@ def resultset_from_dict(payload: Dict[str, Any]):
         raise SerializationError(f"invalid result-set payload: {error}") from error
 
 
-def dumps_resultset(resultset, indent: int = 2) -> str:
+def dumps_resultset(resultset: Any, indent: int = 2) -> str:
     """Serialize a result set to a JSON string."""
     return json.dumps(resultset_to_dict(resultset), indent=indent, sort_keys=True)
 
 
-def loads_resultset(payload: str):
+def loads_resultset(payload: str) -> "ResultSet":
     """Parse a result set from a JSON string."""
     try:
         data = json.loads(payload)
@@ -135,13 +138,13 @@ def loads_resultset(payload: str):
     return resultset_from_dict(data)
 
 
-def save_resultset(resultset, path: str) -> None:
+def save_resultset(resultset: Any, path: str) -> None:
     """Write a result set to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(dumps_resultset(resultset))
 
 
-def load_resultset(path: str):
+def load_resultset(path: str) -> "ResultSet":
     """Read a result set from a JSON file."""
     with open(path, "r", encoding="utf-8") as handle:
         return loads_resultset(handle.read())

@@ -106,10 +106,21 @@ __all__ = [
     "HumanLoopSimulator",
     "SIMULATION_MODES",
     "RNG_MODES",
+    "NON_PROVENANCE_CONFIG_FIELDS",
 ]
 
 #: Supported execution modes (see module docstring).
 SIMULATION_MODES = ("batch", "reference")
+
+#: :class:`SimulationConfig` fields excluded from serialized result
+#: provenance, machine-checked by ``repro.devtools`` rule REP003: the
+#: ``attacker`` is structural input rebuilt from the task/scenario
+#: declaration the provenance already names, and ``record_limit`` only
+#: bounds which derived per-receiver records are retained in memory —
+#: records are never serialized, and the streaming aggregates do not
+#: depend on it.  Every other config field must appear in
+#: :func:`repro.io.json_io.simulation_result_to_dict`'s provenance block.
+NON_PROVENANCE_CONFIG_FIELDS = ("attacker", "record_limit")
 
 #: Supported decision-stream sources.  ``"matrix"`` — the sequential
 #: :class:`~repro.simulation.rng.SimulationRng` draw layout (the legacy

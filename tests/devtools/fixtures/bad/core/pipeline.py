@@ -1,0 +1,11 @@
+"""REP006 known-bad: a kernel module with side effects."""
+
+import logging
+
+
+def walk_batch(plan, draws):
+    print("walking", len(plan))
+    with open("trace.log") as handle:
+        handle.read()
+    logging.info("walked %d stages", len(plan))
+    return sum(draws)

@@ -1,0 +1,14 @@
+"""REP007 known-bad: shared mutable default arguments."""
+
+
+def merge(rows, seen=[]):
+    seen.extend(rows)
+    return seen
+
+
+def tally(counts={}, *, labels=set()):
+    return len(counts) + len(labels)
+
+
+def build(factory=list()):
+    return factory

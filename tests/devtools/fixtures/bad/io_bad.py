@@ -1,0 +1,13 @@
+"""REP005 known-bad: rewriting committed checkpoint bytes in place."""
+
+
+def clobber(checkpoint_path, payload):
+    with open(checkpoint_path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def heal_tail(checkpoint_path, offset):
+    checkpoint_handle = open(checkpoint_path, "r+b")
+    checkpoint_handle.seek(offset)
+    checkpoint_handle.truncate()
+    return checkpoint_handle

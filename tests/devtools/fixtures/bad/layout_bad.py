@@ -1,0 +1,15 @@
+"""REP004 known-bad: a renumbered stream id and a reordered column tail."""
+
+AGE_STREAMS = (42, 43)
+TRAINED_STREAM = 52
+SPOOF_STREAM = 45
+
+
+def decision_columns(stages):
+    columns = {}
+    offset = len(stages)
+    columns["intention"] = offset
+    columns["override"] = offset + 1
+    columns["capability"] = offset + 2
+    columns["behavior"] = offset + 3
+    return columns

@@ -1,0 +1,13 @@
+"""REP001 known-bad: ambient global-generator randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def ambient_draws(count):
+    values = np.random.random(count)
+    rng = np.random.default_rng()
+    noise = default_rng()
+    return values, rng, noise, random.randint(0, count)

@@ -1,0 +1,10 @@
+"""REP002 known-bad: a clock read that leaks into result identity."""
+
+import datetime
+import time
+
+
+def stamp_row(row):
+    row.created_at = time.time()
+    row.day = datetime.date.today()
+    return row

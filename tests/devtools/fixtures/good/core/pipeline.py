@@ -1,0 +1,14 @@
+"""REP006 known-good: a pure traversal kernel — no I/O, clocks, or logging."""
+
+import math
+
+
+def stage_probability(base, habituation):
+    return base * habituation
+
+
+def walk_batch(plan, draws):
+    total = 0.0
+    for stage, draw in zip(plan, draws):
+        total += stage_probability(stage, math.exp(-draw))
+    return total

@@ -1,0 +1,10 @@
+"""REP007 known-good: defaults are None or immutable."""
+
+
+def merge(rows, seen=None):
+    seen = set() if seen is None else seen
+    return [row for row in rows if row not in seen]
+
+
+def tally(counts=(), base=0, label=""):
+    return base + len(counts) + len(label)

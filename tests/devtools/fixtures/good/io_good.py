@@ -1,0 +1,17 @@
+"""REP005 known-good: checkpoint files only ever grow."""
+
+
+def append_row(checkpoint_path, line):
+    with open(checkpoint_path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def read_rows(checkpoint_path):
+    with open(checkpoint_path, "r", encoding="utf-8") as handle:
+        return handle.read().splitlines()
+
+
+def rewrite_scratch(scratch_path, payload):
+    # Write modes are fine on non-checkpoint paths.
+    with open(scratch_path, "w", encoding="utf-8") as handle:
+        handle.write(payload)

@@ -1,0 +1,26 @@
+"""REP004 known-good: stream ids and decision columns match the snapshot.
+
+Appending *new* entries after the frozen block (``EXTRA_STREAM``, the
+``"escalation"`` column) is always allowed.
+"""
+
+AGE_STREAMS = (42, 43)
+TRAINED_STREAM = 44
+SPOOF_STREAM = 45
+NOISE_STREAMS = (46, 47)
+DECISION_STREAM_BASE = 48
+
+EXTRA_STREAM = 99
+
+
+def decision_columns(stages):
+    columns = {}
+    offset = len(stages)
+    columns["override"] = offset
+    columns["intention"] = offset + 1
+    columns["capability"] = offset + 2
+    columns["behavior"] = offset + 3
+    columns["escalation"] = offset + 4
+    if not stages:
+        return {"self_initiated": 0, "behavior": 1}
+    return columns

@@ -1,0 +1,19 @@
+"""REP001 known-good: every generator derives from an explicit SeedSequence."""
+
+import numpy as np
+
+
+def make_stream(seed, index):
+    sequence = np.random.SeedSequence([seed, index])
+    return np.random.default_rng(sequence)
+
+
+def make_philox(seed):
+    return np.random.Generator(np.random.Philox(np.random.SeedSequence(seed)))
+
+
+def spawn_children(parent_sequence, count):
+    return [
+        np.random.default_rng(child_sequence)
+        for child_sequence in parent_sequence.spawn(count)
+    ]

@@ -1,0 +1,17 @@
+"""REP002 known-good: a registered telemetry-stream writer.
+
+The module writes streams named by ``TELEMETRY_PREFIXES``, so its clock
+reads land in telemetry files that checkpoint loading skips by name.
+"""
+
+import time
+
+TELEMETRY_PREFIXES = ("scheduler-", "heartbeat-")
+
+
+def heartbeat_name(worker_id):
+    return f"heartbeat-{worker_id}.jsonl"
+
+
+def emit_heartbeat(append_line, worker_id):
+    append_line(heartbeat_name(worker_id), {"at": time.monotonic()})

@@ -1,0 +1,19 @@
+"""REP002 known-good: clock reads only where telemetry is registered.
+
+``timed_run`` assigns a ``WALL_CLOCK_METRICS`` field, so its clock reads
+feed declared telemetry; ``default_clock`` only *references* a clock
+callable (the injectable-clock pattern), which is never flagged.
+"""
+
+import time
+
+
+def timed_run(result, work):
+    started = time.perf_counter()
+    work()
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def default_clock(clock=time.monotonic):
+    return clock
