@@ -1,4 +1,4 @@
-"""Benchmark floor checks: fail CI when throughput regresses (ISSUEs 4-7).
+"""Benchmark floor checks: fail CI when throughput regresses (ISSUEs 4-9).
 
 Re-runs the exact workloads whose numbers are recorded in
 ``BENCH_engine.json`` (single-shot engine scaling, matrix and counter rng
@@ -15,6 +15,17 @@ serial run bit for bit at any scale; the wall-clock comparison is
 skipped, not failed, on single-core runners).  The shard floor doubles
 as a two-shard merge smoke (merged shards must equal the serial run bit
 for bit at any scale).
+
+Two checks validate the *committed recordings* rather than a live run
+(deterministic file reads, engaged at every scale): the
+``counter_vs_matrix_ratio`` recorded in ``BENCH_engine.json`` must stay
+>= 1.0 — the justification for ``rng_mode="counter"`` being the engine
+default (PR 9) — and the ``BENCH_rng.json`` acceptance block (raw fill
+ratio, O(1) point-addressing growth) must have passed when recorded.  A
+counter-mode zero-copy smoke additionally pins that ``chunk_workers=2``
+reassembles the serial run bit for bit *including per-receiver records*,
+which in counter mode never cross the process boundary (workers return
+tallies; records regenerate from coordinates at home).
 
 The floors only engage when the live run is at the recorded scale (the
 recorded numbers are meaningless for smaller N): set ``BENCH_FLOOR_N`` /
@@ -51,6 +62,9 @@ except ImportError:  # standalone `python benchmarks/bench_floor_check.py`
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FLOOR_FRACTION = 0.5
+#: The committed BENCH_engine.json must show counter >= matrix: the
+#: recorded head-to-head is what justified the counter default.
+RNG_RATIO_FLOOR = 1.0
 N_RECEIVERS = int(os.environ.get("BENCH_FLOOR_N", "100000"))
 ROUNDS = int(os.environ.get("BENCH_FLOOR_ROUNDS", "10"))
 N_SHARD_RECEIVERS = int(os.environ.get("BENCH_FLOOR_SHARD_N", "20000"))
@@ -222,6 +236,125 @@ def test_counter_mode_floor():
         "counter_rng", rate, recorded,
         engaged=recorded is not None and N_RECEIVERS >= recorded[0],
     )
+
+
+def _recorded_matrix_rate() -> Optional[Tuple[int, float]]:
+    """(n_receivers, receivers_per_sec) recorded for matrix-mode rng."""
+    path = REPO_ROOT / "BENCH_engine.json"
+    if not path.exists():
+        return None
+    matrix = json.loads(path.read_text()).get("matrix_mode")
+    if not matrix:
+        return None
+    return int(matrix["n_receivers"]), float(matrix["receivers_per_sec"])
+
+
+def test_matrix_mode_floor():
+    """The legacy matrix source must stay replayable at speed.
+
+    ``rng_mode="matrix"`` is no longer the default, but every row
+    archived before the counter flip reproduces through it
+    (``reproduce_row`` pins it for modeless legacy payloads), so its
+    throughput keeps a floor too.
+    """
+    scenario = get_scenario(SCENARIO)
+    scenario.simulate(
+        1_000, seed=ENGINE_SEED, task=ENGINE_TASK, rng_mode="matrix"
+    )  # warm-up
+    seconds, result = best_of(
+        lambda: scenario.simulate(
+            N_RECEIVERS, seed=ENGINE_SEED, task=ENGINE_TASK, rng_mode="matrix"
+        )
+    )
+    assert result.rng_mode == "matrix"
+    rate = N_RECEIVERS / seconds
+    recorded = _recorded_matrix_rate()
+    print(f"\n  matrix rng: {rate:,.0f} receivers/s (recorded: {recorded})")
+    _check_floor(
+        "matrix_rng", rate, recorded,
+        engaged=recorded is not None and N_RECEIVERS >= recorded[0],
+    )
+
+
+def test_recorded_counter_vs_matrix_ratio():
+    """The committed head-to-head must justify the counter default.
+
+    A deterministic file check (no live timing): the
+    ``counter_vs_matrix_ratio`` recorded in ``BENCH_engine.json`` was
+    measured interleaved at full scale by ``bench_engine_scaling`` and
+    must be >= 1.0 — regenerate the recording on a quiet machine if a
+    source change moves the balance.
+    """
+    path = REPO_ROOT / "BENCH_engine.json"
+    if not path.exists():
+        _record_smoke("recorded_rng_ratio")
+        return
+    payload = json.loads(path.read_text())
+    ratio = payload.get("counter_vs_matrix_ratio")
+    if ratio is None:  # recording predates the PR-9 head-to-head rows
+        _record_smoke("recorded_rng_ratio")
+        return
+    ok = float(ratio) >= RNG_RATIO_FLOOR
+    _SUMMARY.append(
+        {"check": "recorded_rng_ratio", "rate": round(float(ratio), 4),
+         "unit": "counter/matrix", "floor": RNG_RATIO_FLOOR,
+         "engaged": True, "ok": ok}
+    )
+    assert ok, (
+        f"BENCH_engine.json records counter at {ratio}x the matrix rate, "
+        f"below the {RNG_RATIO_FLOOR} floor that justifies the counter "
+        "default — re-measure, or revisit the default"
+    )
+
+
+def test_recorded_rng_streams_acceptance():
+    """The committed BENCH_rng.json must have passed its own acceptance
+    (raw fill ratio in class, point addressing O(1)) when recorded."""
+    path = REPO_ROOT / "BENCH_rng.json"
+    if not path.exists():
+        _record_smoke("recorded_rng_streams")
+        return
+    acceptance = json.loads(path.read_text()).get("acceptance", {})
+    ok = bool(acceptance.get("passed"))
+    _record_smoke("recorded_rng_streams", ok=ok)
+    assert ok, f"BENCH_rng.json was recorded failing its acceptance: {acceptance}"
+
+
+def test_counter_zero_copy_smoke():
+    """Counter-mode ``chunk_workers=2``: records bit-identical, zero-copy.
+
+    Forces multiple chunks at smoke scale and asserts the parallel run
+    reassembles the serial one bit for bit *including the per-receiver
+    records*, which in counter mode are regenerated locally from (seed,
+    chunk, round) coordinates — workers ship tallies only.  Bit-identity
+    is asserted at every scale and on every core count; there is no
+    wall-clock assertion here at all (single-core runners cannot win
+    from fan-out, and the parallel wall clock is covered by
+    ``test_chunk_worker_parallel_smoke``).
+    """
+    scenario = get_scenario(SCENARIO)
+    n = min(N_RECEIVERS, 8_000)  # keep n*rounds under the record limit
+    run = lambda workers: scenario.simulate(
+        n,
+        seed=ENGINE_SEED,
+        task=ENGINE_TASK,
+        batch_size=n // 4,
+        rng_mode="counter",
+        chunk_workers=workers,
+    )
+    serial = run(1)
+    parallel = run(2)
+    assert parallel.chunks == serial.chunks >= 4
+    assert parallel.chunk_workers == 2
+    assert parallel.tally.summary() == serial.tally.summary()
+    assert parallel.funnel.entered == serial.funnel.entered
+    assert parallel.funnel.passed == serial.funnel.passed
+    assert list(parallel.records) == list(serial.records)
+    print(
+        f"\n  counter zero-copy: {parallel.chunks} chunks, 2 workers, "
+        f"{n:,} receivers bit-identical ({os.cpu_count()} cores)"
+    )
+    _record_smoke("counter_zero_copy")
 
 
 def test_chunk_worker_parallel_smoke():
@@ -439,10 +572,14 @@ def test_funnel_metrics_smoke():
 def main() -> None:
     test_engine_scaling_floor()
     test_counter_mode_floor()
+    test_matrix_mode_floor()
+    test_recorded_counter_vs_matrix_ratio()
+    test_recorded_rng_streams_acceptance()
     test_multi_round_floor()
     test_shard_backend_floor()
     test_scheduler_floor()
     test_chunk_worker_parallel_smoke()
+    test_counter_zero_copy_smoke()
     test_funnel_metrics_smoke()
     _print_summary()
 

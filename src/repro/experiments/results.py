@@ -176,6 +176,11 @@ def reproduce_row(row: ResultRow) -> SimulationResult:
         value = getattr(row, name)
         if value is not None:
             overrides[name] = value
+    # Rows persisted before rng_mode existed were drawn by the matrix
+    # source (the only source at the time, and the default until the
+    # counter flip) — pin it so re-running them under today's counter
+    # default still replays the recorded bits.
+    overrides.setdefault("rng_mode", "matrix")
     return variant.simulate(
         row.n_receivers, seed=row.seed, task=row.task, mode=row.mode, **overrides
     )

@@ -24,7 +24,7 @@ equivalence regression test exact rather than statistical.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from .rng import (
     DECISION_STREAM_BASE,
     NOISE_STREAMS,
     SPOOF_STREAM,
-    PhiloxDraws,
+    CounterDraws,
     SimulationRng,
 )
 
@@ -295,39 +295,72 @@ def draw_batch_counter(
     plan: PipelinePlan,
     population: PopulationSpec,
     count: int,
-    draws: PhiloxDraws,
+    draws: CounterDraws,
+    reuse_buffers: bool = False,
 ) -> DrawBatch:
-    """Counter-mode :func:`draw_batch`: traits and decisions from Philox streams.
+    """Counter-mode :func:`draw_batch`: traits and decisions from keyed streams.
 
     Produces the same :class:`DrawBatch` structure the matrix path does
     (so batch evaluation, reference-mode row slicing, and record
     materialization are shared verbatim), but every array is the prefix of
     a dedicated counter stream — any single value is recomputable in O(1)
-    through the same :class:`~repro.simulation.rng.PhiloxDraws` cell.
+    through the same :class:`~repro.simulation.rng.CounterDraws` cell.
     Traits always come from the chunk's round-0 cell (they are drawn once
     per chunk, like the matrix path's chunk stream).
+
+    ``reuse_buffers`` recycles the trait-block and decision-matrix
+    backing memory of the previous same-shape call — several megabytes
+    per chunk that otherwise get freed and page-faulted back in on every
+    chunk.  Only the engine may pass it, and only when the previous
+    chunk's draws are provably dead (records not kept); values are
+    identical either way.
     """
     samples = population.sample_traits_counter(
-        count, draws if draws.round_index == 0 else draws.for_round(0)
+        count,
+        draws if draws.round_index == 0 else draws.for_round(0),
+        reuse_block=reuse_buffers,
     )
-    return redraw_decisions_counter(plan, samples, draws)
+    return redraw_decisions_counter(plan, samples, draws, reuse_buffers=reuse_buffers)
+
+
+#: Reused F-order decision matrices keyed by shape — the
+#: ``reuse_buffers`` counterpart of the rng module's trait-block cache.
+_DECISIONS: Dict[Tuple[int, int], np.ndarray] = {}
+_DECISIONS_LIMIT = 8
+
+
+def _decisions_matrix(count: int, columns: int, reuse: bool) -> np.ndarray:
+    if not reuse:
+        return np.empty((count, columns), order="F")
+    key = (count, columns)
+    matrix = _DECISIONS.get(key)
+    if matrix is None:
+        if len(_DECISIONS) >= _DECISIONS_LIMIT:
+            _DECISIONS.clear()
+        matrix = np.empty((count, columns), order="F")
+        _DECISIONS[key] = matrix
+    return matrix
 
 
 def redraw_decisions_counter(
     plan: PipelinePlan,
     samples: TraitSamples,
-    draws: PhiloxDraws,
+    draws: CounterDraws,
+    reuse_buffers: bool = False,
 ) -> DrawBatch:
     """Counter-mode :func:`redraw_decisions` for one (seed, chunk, round) cell.
 
     Spoof uniforms, perception noise, and each decision column read their
     own streams, so a round's encounter randomness never depends on
-    earlier rounds or on sibling chunks.
+    earlier rounds or on sibling chunks.  The decision matrix is laid out
+    column-major: each column is one stream's contiguous prefix, filled in
+    place, and the traversal kernel's per-stage column reads
+    (``decisions[:, column]``) stay contiguous too.
     """
     count = samples.count
     if not plan.has_communication:
-        decisions = np.empty((count, 1))
-        decisions[:, 0] = draws.uniforms(DECISION_STREAM_BASE, count)
+        decisions = _decisions_matrix(count, 1, reuse_buffers)
+        draws.fill_uniforms(DECISION_STREAM_BASE, decisions[:, 0])
         return DrawBatch(
             samples=samples,
             spoof_uniforms=None,
@@ -335,11 +368,14 @@ def redraw_decisions_counter(
             decisions=decisions,
         )
     spoof_uniforms = draws.uniforms(SPOOF_STREAM, count)
-    noise = draws.clipped_normals(NOISE_STREAMS, 0.0, plan.user_noise_std, -0.2, 0.2, count)
+    noise = draws.clipped_normals(
+        NOISE_STREAMS, 0.0, plan.user_noise_std, -0.2, 0.2, count,
+        reuse_block=reuse_buffers,
+    )
     columns = len(plan.stages) + 4
-    decisions = np.empty((count, columns))
+    decisions = _decisions_matrix(count, columns, reuse_buffers)
     for column in range(columns):
-        decisions[:, column] = draws.uniforms(DECISION_STREAM_BASE + column, count)
+        draws.fill_uniforms(DECISION_STREAM_BASE + column, decisions[:, column])
     return DrawBatch(
         samples=samples, spoof_uniforms=spoof_uniforms, noise=noise, decisions=decisions
     )
@@ -443,7 +479,7 @@ class LazyRecords(list):
 
     def __init__(self) -> None:
         super().__init__()
-        self._pending: List[Tuple[BatchOutcomes, DrawBatch, int, int]] = []
+        self._pending: List[Tuple[Any, ...]] = []
 
     def defer(
         self,
@@ -455,12 +491,29 @@ class LazyRecords(list):
         """Park one batch's outcome arrays for later materialization."""
         self._pending.append((outcomes, draws, start_index, round_index))
 
+    def defer_chunk(
+        self, producer: Callable[[Any], List[ReceiverRecord]], spec: Any
+    ) -> None:
+        """Park a record *regeneration* instead of outcome arrays.
+
+        The engine's zero-copy parallel path uses this: a worker chunk
+        returns only its tallies, and the records — recomputable from the
+        chunk's (seed, chunk, round) coordinates alone — are produced
+        locally by ``producer(spec)`` on first read.
+        """
+        self._pending.append((producer, spec))
+
     def materialize(self) -> None:
         """Convert every parked batch into records (idempotent)."""
         if not self._pending:
             return
         pending, self._pending = self._pending, []
-        for outcomes, draws, start_index, round_index in pending:
+        for entry in pending:
+            if len(entry) == 2:
+                producer, spec = entry
+                super().extend(producer(spec))
+                continue
+            outcomes, draws, start_index, round_index = entry
             super().extend(
                 records_from_batch(
                     outcomes, draws, start_index=start_index, round_index=round_index

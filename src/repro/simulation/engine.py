@@ -75,6 +75,7 @@ Outcome semantics mirror the case studies:
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import dataclasses
 import time
@@ -122,13 +123,16 @@ SIMULATION_MODES = ("batch", "reference")
 #: :func:`repro.io.json_io.simulation_result_to_dict`'s provenance block.
 NON_PROVENANCE_CONFIG_FIELDS = ("attacker", "record_limit")
 
-#: Supported decision-stream sources.  ``"matrix"`` — the sequential
-#: :class:`~repro.simulation.rng.SimulationRng` draw layout (the legacy
-#: default); ``"counter"`` — counter-based Philox streams
-#: (:class:`~repro.simulation.rng.PhiloxDraws`), where every draw is
-#: O(1)-addressable by (seed, chunk, round, stream, receiver).  The two
-#: sources draw different floats for the same seed, so the mode is part of
-#: a run's reproducibility provenance; within either mode, batch and
+#: Supported decision-stream sources.  ``"counter"`` — keyed counter
+#: streams (:class:`~repro.simulation.rng.CounterDraws`), where every
+#: draw is O(1)-addressable by (seed, chunk, round, stream, receiver);
+#: the engine default since it overtook the matrix path
+#: (``BENCH_engine.json``).  ``"matrix"`` — the sequential
+#: :class:`~repro.simulation.rng.SimulationRng` draw layout, kept fully
+#: runnable so persisted results recorded under it stay replayable
+#: (``reproduce_row`` pins the mode from provenance).  The two sources
+#: draw different floats for the same seed, so the mode is part of a
+#: run's reproducibility provenance; within either mode, batch and
 #: reference execution stay bit-identical.
 RNG_MODES = ("matrix", "counter")
 
@@ -170,7 +174,7 @@ class SimulationConfig:
     dismiss_weight: float = 1.0
     heed_weight: float = 1.0
     trace: bool = True
-    rng_mode: str = "matrix"
+    rng_mode: str = "counter"
     chunk_workers: int = 1
 
     def __post_init__(self) -> None:
@@ -257,7 +261,13 @@ def _simulate_chunk(spec: _ChunkSpec) -> _ChunkPartial:
     )
     if spec.rng_mode == "counter":
         cell = PhiloxDraws(spec.base_seed, spec.chunk_index)
-        draws = batch_module.draw_batch_counter(plan, spec.population, spec.size, cell)
+        # Batch chunks whose records die with the chunk may recycle the
+        # multi-megabyte draw buffers of the previous chunk; kept records
+        # hold views of those buffers, so they force fresh allocations.
+        reuse_buffers = spec.mode == "batch" and not spec.keep_records
+        draws = batch_module.draw_batch_counter(
+            plan, spec.population, spec.size, cell, reuse_buffers=reuse_buffers
+        )
     else:
         chunk_rng = SimulationRng(spec.base_seed).spawn(spec.chunk_index)
         draws = batch_module.draw_batch(plan, spec.population, spec.size, chunk_rng)
@@ -277,7 +287,10 @@ def _simulate_chunk(spec: _ChunkSpec) -> _ChunkPartial:
             # layout exactly).
             if spec.rng_mode == "counter":
                 draws = batch_module.redraw_decisions_counter(
-                    plan, draws.samples, cell.for_round(round_index)
+                    plan,
+                    draws.samples,
+                    cell.for_round(round_index),
+                    reuse_buffers=reuse_buffers,
                 )
             else:
                 draws = batch_module.redraw_decisions(
@@ -353,6 +366,81 @@ def _simulate_chunk(spec: _ChunkSpec) -> _ChunkPartial:
                 heed_weight=spec.heed_weight,
             )
     return partial
+
+
+def _regenerate_chunk_records(spec: _ChunkSpec) -> List[ReceiverRecord]:
+    """Recompute one chunk's records from its coordinates alone.
+
+    The zero-copy parallel path sends workers record-free specs (tallies
+    are integers; records would be megabytes of pickled dataclasses) and
+    parks this regeneration per chunk instead: both rng modes derive the
+    chunk's randomness from ``(base_seed, chunk_index)``, so re-running
+    the chunk locally yields records bit-identical to the ones the worker
+    skipped building.
+    """
+    partial = _simulate_chunk(dataclasses.replace(spec, keep_records=True))
+    return list(partial.records)
+
+
+# One process pool per interpreter, reused across simulate calls so
+# small-N parallel runs stop paying executor spin-up (~100ms on spawn
+# platforms) per call.  The pool is keyed to the exact concurrency of
+# the last call — sweeps run thousands of calls at one fixed
+# ``chunk_workers`` and hit the cached pool every time; changing the
+# worker count pays a single respin.  (An oversized shared pool would be
+# reusable too, but ``pool.map`` would then run more chunks concurrently
+# than the caller's ``chunk_workers`` cap allows.)
+_POOL: Optional[concurrent.futures.ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _chunk_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS != workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def _discard_pool() -> None:
+    """Drop the persistent pool (crashed worker, or test isolation)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+def _shutdown_pool_at_exit() -> None:
+    """Join pool workers before interpreter teardown dismantles modules."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+atexit.register(_shutdown_pool_at_exit)
+
+
+def _run_chunks_parallel(
+    specs: List[_ChunkSpec], workers: int
+) -> List[_ChunkPartial]:
+    """Fan chunk specs across the persistent pool, in spec order.
+
+    A worker process killed mid-call breaks the shared executor; the one
+    retry rebuilds the pool and recomputes every chunk (chunks are pure
+    functions of their spec, so the retry cannot change results).
+    """
+    pool = _chunk_pool(workers)
+    try:
+        return list(pool.map(_simulate_chunk, specs))
+    except concurrent.futures.process.BrokenProcessPool:
+        _discard_pool()
+        pool = _chunk_pool(workers)
+        return list(pool.map(_simulate_chunk, specs))
 
 
 def _merged_records(partials: List[_ChunkPartial]) -> List[ReceiverRecord]:
@@ -503,13 +591,30 @@ class HumanLoopSimulator:
 
         if chunk_workers > 1 and len(specs) > 1:
             # Each chunk is self-contained (randomness keyed by (seed,
-            # chunk index) alone), so fan the specs across processes and
-            # fold the partials back in chunk order — bit-identical to
-            # the serial path for any worker count.
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(chunk_workers, len(specs))
-            ) as pool:
-                partials = list(pool.map(_simulate_chunk, specs))
+            # chunk index) alone), so fan the specs across the persistent
+            # pool and fold the partials back in chunk order —
+            # bit-identical to the serial path for any worker count.
+            #
+            # Counter mode dispatches zero-copy: workers get record-free
+            # specs (their partials carry only integer tallies — no draw
+            # matrices or record lists cross the process boundary) and
+            # each chunk's records are parked as a local regeneration
+            # from the same coordinates, paid only if the records are
+            # actually read.
+            defer_records = keep_records and mode == "batch" and rng_mode == "counter"
+            worker_specs = (
+                [dataclasses.replace(spec, keep_records=False) for spec in specs]
+                if defer_records
+                else specs
+            )
+            partials = _run_chunks_parallel(
+                worker_specs, min(chunk_workers, len(specs))
+            )
+            if defer_records:
+                for spec, partial in zip(specs, partials):
+                    lazy = batch_module.LazyRecords()
+                    lazy.defer_chunk(_regenerate_chunk_records, spec)
+                    partial.records = lazy
         else:
             partials = [_simulate_chunk(spec) for spec in specs]
 

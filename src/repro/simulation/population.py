@@ -41,7 +41,7 @@ from ..core.receiver import (
 from .rng import (
     AGE_STREAMS,
     TRAINED_STREAM,
-    PhiloxDraws,
+    CounterDraws,
     SimulationRng,
     trait_streams,
 )
@@ -263,31 +263,40 @@ class PopulationSpec:
             population_name=self.name, traits=traits, ages=ages, trained=trained
         )
 
-    def sample_traits_counter(self, count: int, draws: PhiloxDraws) -> TraitSamples:
-        """Draw ``count`` receivers from counter-based (Philox) streams.
+    def sample_traits_counter(
+        self, count: int, draws: CounterDraws, reuse_block: bool = False
+    ) -> TraitSamples:
+        """Draw ``count`` receivers from counter-based keyed streams.
 
         The ``rng_mode="counter"`` counterpart of :meth:`sample_traits`:
         trait ``k`` of :data:`TRAIT_NAMES` reads its own Box-Muller stream
         pair, ages and training uniforms theirs, so no draw's address
         depends on any other category and any single receiver's traits are
-        recomputable in O(1) (:meth:`PhiloxDraws.clipped_normal_at`).
+        recomputable in O(1) (:meth:`CounterDraws.clipped_normal_at`).
+        All trait rows and the age row fill through one
+        :meth:`CounterDraws.clipped_normal_block` call, so the
+        Box-Muller transcendentals run as a single vectorized pass over
+        the whole trait block rather than once per trait.
+        ``reuse_block`` recycles the backing buffer of the previous
+        same-shape call (see :meth:`CounterDraws.clipped_normal_block`);
+        only pass it when the prior samples are no longer referenced.
         """
         if count < 0:
             raise SimulationError("count must be non-negative")
-        traits = {}
-        for trait_index, trait in enumerate(TRAIT_NAMES):
-            distribution = self.distribution(trait)
-            traits[trait] = draws.clipped_normals(
-                trait_streams(trait_index),
-                distribution.mean,
-                distribution.std,
-                distribution.low,
-                distribution.high,
-                count,
-            )
-        ages = np.rint(
-            draws.clipped_normals(AGE_STREAMS, self.mean_age, self.age_spread, 18, 90, count)
-        ).astype(int)
+        distributions = [self.distribution(trait) for trait in TRAIT_NAMES]
+        pairs = [trait_streams(index) for index in range(len(TRAIT_NAMES))]
+        pairs.append(AGE_STREAMS)
+        block = draws.clipped_normal_block(
+            pairs,
+            [d.mean for d in distributions] + [self.mean_age],
+            [d.std for d in distributions] + [self.age_spread],
+            [d.low for d in distributions] + [18],
+            [d.high for d in distributions] + [90],
+            count,
+            reuse_block=reuse_block,
+        )
+        traits = {trait: block[index] for index, trait in enumerate(TRAIT_NAMES)}
+        ages = np.rint(block[len(TRAIT_NAMES)]).astype(int)
         trained = draws.uniforms(TRAINED_STREAM, count) < self.training_fraction
         return TraitSamples(
             population_name=self.name, traits=traits, ages=ages, trained=trained

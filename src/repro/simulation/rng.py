@@ -9,20 +9,33 @@ benchmark harness is exactly reproducible:
   simulation needs (Bernoulli trials, truncated normals, independent
   child streams).  Draw *order* matters: the k-th value depends on the
   k-1 draws before it, which is why the engine pins a fixed draw layout.
-* :class:`PhiloxDraws` — the counter-based source (``rng_mode="counter"``),
-  following the Philox/"Parallel random numbers: as easy as 1, 2, 3"
-  design.  Every draw category of a (seed, chunk, round) cell owns a
-  dedicated Philox key, so the i-th value of any stream is addressable in
-  O(1) (:meth:`PhiloxDraws.uniform_at`) without generating its
-  predecessors, and no category's draws depend on how many draws another
-  category consumed.  Truncated normals come from a fixed two-uniform
-  Box–Muller transform (:func:`clipped_normals_from_uniforms`) instead of
-  numpy's variable-consumption ziggurat, keeping them addressable too.
+* :class:`CounterDraws` — the counter-based source (``rng_mode="counter"``,
+  the engine default), following the "Parallel random numbers: as easy as
+  1, 2, 3" design of keyed counter streams.  Every draw category of a
+  (seed, chunk, round) cell owns a dedicated keyed stream, so the i-th
+  value of any stream is addressable in O(1)
+  (:meth:`CounterDraws.uniform_at`) without generating its predecessors,
+  and no category's draws depend on how many draws another category
+  consumed.  Truncated normals come from a fixed-consumption dual-output
+  Box–Muller transform instead of numpy's variable-consumption ziggurat,
+  keeping them addressable too.
+
+The counter source keys one :class:`numpy.random.PCG64` state per stream
+(the state words are a splitmix64 hash of the (seed, chunk, round,
+stream) coordinates, so keying costs microseconds and never touches
+:class:`numpy.random.SeedSequence` in the hot path).  PCG64 consumes
+exactly one underlying step per double and supports O(1) ``advance``,
+which is what makes element ``i`` of any stream reachable without
+generating elements ``0..i-1``.  Each cell constructs a *single* bit
+generator and repositions it per stream by assigning a cached state
+template — bulk fills, redraws and point queries all share it
+(:attr:`CounterDraws.bit_generator_constructions` counts the
+constructions so the regression suite can pin the cache).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,8 +43,8 @@ from ..core.exceptions import SimulationError
 
 __all__ = [
     "SimulationRng",
+    "CounterDraws",
     "PhiloxDraws",
-    "clipped_normals_from_uniforms",
     "trait_streams",
     "AGE_STREAMS",
     "TRAINED_STREAM",
@@ -43,7 +56,7 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # Counter-based stream layout
 #
-# Each draw category of a chunk-round cell owns its own Philox sub-stream.
+# Each draw category of a chunk-round cell owns its own keyed sub-stream.
 # Trait k consumes the Box-Muller pair (2k, 2k+1); the remaining categories
 # start above the trait block (21 traits -> streams 0..41).
 # ---------------------------------------------------------------------------
@@ -69,19 +82,86 @@ def trait_streams(trait_index: int) -> Tuple[int, int]:
     return (2 * trait_index, 2 * trait_index + 1)
 
 
-def clipped_normals_from_uniforms(u1, u2, mean: float, std: float,
-                                  low: float, high: float) -> np.ndarray:
-    """Box-Muller normals from two uniform arrays, clipped to [low, high].
+_TWO_PI = 2.0 * np.pi
+_MASK64 = (1 << 64) - 1
 
-    A fixed two-uniform transform (rather than numpy's ziggurat, whose
-    per-value consumption varies) so counter-mode normals stay O(1)
-    addressable.  Clipping matches :meth:`SimulationRng.truncated_normal`:
-    the traits being sampled are bounded behavioural scores and the exact
-    tail shape is immaterial.  ``log1p(-u1)`` keeps the argument away from
-    ``log(0)`` (uniforms live on [0, 1)).
+#: Reused Box-Muller scratch buffers keyed by shape.  The transform needs
+#: three temporaries (the cosine, the unit sine, and the sine-sign
+#: carrier); allocating them fresh every call pays page-fault cost on
+#: each chunk, and chunk sizes repeat, so a tiny per-process cache
+#: amortizes it to zero.
+_SCRATCH: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+_SCRATCH_LIMIT = 8
+
+
+def _scratch(rows: int, half: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    key = (rows, half)
+    buffers = _SCRATCH.get(key)
+    if buffers is None:
+        if len(_SCRATCH) >= _SCRATCH_LIMIT:
+            _SCRATCH.clear()
+        buffers = (
+            np.empty((rows, half)),
+            np.empty((rows, half)),
+            np.empty((rows, half)),
+        )
+        _SCRATCH[key] = buffers
+    return buffers
+
+
+#: Reused *output* blocks for :meth:`CounterDraws.clipped_normal_block`,
+#: keyed by shape.  Unlike the scratch temporaries these escape to the
+#: caller, so reuse is opt-in (``reuse_block=True``): the caller promises
+#: the previous same-shape block is no longer referenced.  The engine
+#: makes that promise exactly when a chunk's draws die with the chunk
+#: (records not kept) — which is what keeps the multi-megabyte trait
+#: block from being freed and page-faulted back in on every chunk.
+_BLOCKS: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _output_block(rows: int, width: int, reuse: bool) -> np.ndarray:
+    if not reuse:
+        return np.empty((rows, width))
+    key = (rows, width)
+    block = _BLOCKS.get(key)
+    if block is None:
+        if len(_BLOCKS) >= _SCRATCH_LIMIT:
+            _BLOCKS.clear()
+        block = np.empty((rows, width))
+        _BLOCKS[key] = block
+    return block
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 step: a cheap, well-mixed 64-bit hash permutation."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _stream_state(seed: int, packed: int) -> dict:
+    """The frozen PCG64 state template of one (seed, packed-coords) stream.
+
+    Four splitmix64 words derived from the coordinates become the 128-bit
+    LCG state and the (forced-odd) 128-bit increment.  Direct state
+    assignment costs ~1 microsecond where a ``SeedSequence``-seeded
+    construction costs ~70 — the difference is the whole construction
+    budget of a 100k-receiver counter run.  The derivation is pure
+    arithmetic on the coordinates, so persisted counter-mode draws replay
+    independently of numpy's seeding helpers.
     """
-    z = np.sqrt(-2.0 * np.log1p(-u1)) * np.cos((2.0 * np.pi) * u2)
-    return np.clip(mean + std * z, low, high)
+    mixed = _splitmix64(_splitmix64(seed) ^ packed)
+    word0 = _splitmix64(mixed)
+    word1 = _splitmix64(word0)
+    word2 = _splitmix64(word1)
+    word3 = _splitmix64(word2)
+    return {
+        "bit_generator": "PCG64",
+        "state": {"state": (word0 << 64) | word1, "inc": ((word2 << 64) | word3) | 1},
+        "has_uint32": 0,
+        "uinteger": 0,
+    }
 
 
 class SimulationRng:
@@ -196,31 +276,46 @@ class SimulationRng:
         return options[int(index)]
 
 
-class PhiloxDraws:
+class CounterDraws:
     """Counter-addressable draw streams for one (seed, chunk, round) cell.
 
     The counter-based decision source behind ``rng_mode="counter"``: every
-    stream of the cell maps to its own Philox key ``[seed,
-    chunk << 40 | round << 20 | stream]``, so
+    stream of the cell maps to its own keyed PCG64 state (derived by
+    :func:`_stream_state` from ``seed`` and the packed ``chunk << 40 |
+    round << 20 | stream`` coordinates), so
 
     * streams are independent by construction — chunk randomness does not
       depend on the order chunks run in (what makes in-call multicore
       bit-identical to serial), and round ``r`` redraws do not depend on
       rounds ``< r``;
-    * any single value is recomputable in O(1): Philox counters advance
-      in blocks of four doubles, so element ``i`` of a stream is reached
-      by ``advance(i // 4)`` plus at most three generated values
+    * any single value is recomputable in O(1): PCG64 consumes one
+      underlying step per double and jumps in O(1), so element ``i`` of a
+      stream is ``advance(i)`` plus one generated value
       (:meth:`uniform_at`), with no need to materialize the matrix it
       came from.
 
-    Bulk generation (:meth:`uniforms`) and point addressing are bitwise
-    identical by the Philox counter semantics; the equivalence suite in
-    ``tests/simulation/test_counter_rng.py`` pins both.
+    The cell lazily constructs **one** bit generator and one
+    :class:`numpy.random.Generator` and repositions them per stream by
+    assigning a cached state template (state assignment is bit-identical
+    to a fresh construction, ~70x cheaper); bulk fills and point queries
+    share them, and :attr:`bit_generator_constructions` exposes the count
+    for the cache regression test.
+
+    Normals use a dual-output Box–Muller transform: pair ``j`` reads
+    ``u1 = stream_a[j]``, ``u2 = stream_b[j]`` and yields **both**
+    ``r·cos θ`` and ``r·sin θ`` (one uniform per normal, half the
+    transcendentals of the single-output transform), laid out as the cos
+    block followed by the sin block — see :meth:`clipped_normal_block`.
+    Bulk generation and point addressing are bitwise identical; the
+    equivalence suite in ``tests/simulation/test_counter_rng.py`` pins
+    both.
     """
 
     def __init__(self, seed: int, chunk: int = 0, round_index: int = 0) -> None:
         if seed < 0:
             raise SimulationError("seed must be non-negative")
+        if seed >= (1 << 64):
+            raise SimulationError("seed must fit in 64 bits")
         if not 0 <= chunk < (1 << _CHUNK_BITS):
             raise SimulationError(f"chunk must be in [0, 2**{_CHUNK_BITS})")
         if not 0 <= round_index < (1 << _ROUND_BITS):
@@ -228,20 +323,42 @@ class PhiloxDraws:
         self.seed = seed
         self.chunk = chunk
         self.round_index = round_index
+        #: Constructions of the underlying bit generator — stays at 1 per
+        #: cell however many streams, fills, or point queries it serves.
+        self.bit_generator_constructions = 0
+        self._bit_gen: Optional[np.random.PCG64] = None
+        self._generator: Optional[np.random.Generator] = None
+        self._state_templates: Dict[int, dict] = {}
 
-    def for_round(self, round_index: int) -> "PhiloxDraws":
+    def for_round(self, round_index: int) -> "CounterDraws":
         """The same chunk cell at another hazard-encounter round."""
-        return PhiloxDraws(self.seed, self.chunk, round_index)
+        return CounterDraws(self.seed, self.chunk, round_index)
 
-    def _bit_generator(self, stream: int) -> np.random.Philox:
-        if not 0 <= stream < (1 << _STREAM_BITS):
-            raise SimulationError(f"stream must be in [0, 2**{_STREAM_BITS})")
-        packed = (
-            (self.chunk << (_ROUND_BITS + _STREAM_BITS))
-            | (self.round_index << _STREAM_BITS)
-            | stream
-        )
-        return np.random.Philox(key=[self.seed, packed])
+    def _template(self, stream: int) -> dict:
+        template = self._state_templates.get(stream)
+        if template is None:
+            if not 0 <= stream < (1 << _STREAM_BITS):
+                raise SimulationError(f"stream must be in [0, 2**{_STREAM_BITS})")
+            packed = (
+                (self.chunk << (_ROUND_BITS + _STREAM_BITS))
+                | (self.round_index << _STREAM_BITS)
+                | stream
+            )
+            template = _stream_state(self.seed, packed)
+            self._state_templates[stream] = template
+        return template
+
+    def _position(self, stream: int, index: int = 0) -> np.random.Generator:
+        """The cell generator, rewound to element ``index`` of ``stream``."""
+        template = self._template(stream)
+        if self._generator is None:
+            self._bit_gen = np.random.PCG64(np.random.SeedSequence(0))
+            self._generator = np.random.Generator(self._bit_gen)
+            self.bit_generator_constructions += 1
+        self._bit_gen.state = template
+        if index:
+            self._bit_gen.advance(index)
+        return self._generator
 
     # -- uniforms ---------------------------------------------------------------
 
@@ -249,25 +366,132 @@ class PhiloxDraws:
         """The first ``size`` uniform [0, 1) values of one stream."""
         if size < 0:
             raise SimulationError("size must be non-negative")
-        return np.random.Generator(self._bit_generator(stream)).random(size)
+        return self._position(stream).random(size)
+
+    def fill_uniforms(self, stream: int, out: np.ndarray) -> None:
+        """Fill a contiguous array with the stream prefix, allocation-free."""
+        self._position(stream).random(out=out)
 
     def uniform_at(self, stream: int, index: int) -> float:
         """Element ``index`` of a stream in O(1), bit-identical to bulk.
 
-        ``advance(q)`` positions the Philox double stream at bulk element
-        ``4 * q`` (each 4x64 counter block yields four doubles), so the
-        target is at most three generated values past the advanced
-        counter.
+        PCG64 yields exactly one double per underlying step, so
+        ``advance(index)`` lands immediately before the target element.
         """
         if index < 0:
             raise SimulationError("index must be non-negative")
-        quotient, remainder = divmod(index, 4)
-        bit_generator = self._bit_generator(stream)
-        if quotient:
-            bit_generator.advance(quotient)
-        return float(np.random.Generator(bit_generator).random(remainder + 1)[-1])
+        return float(self._position(stream, index).random(1)[0])
 
     # -- clipped normals --------------------------------------------------------
+    #
+    # Pair j of a (stream_a, stream_b) Box-Muller pair produces TWO
+    # normals — r_j*cos(theta_j) and r_j*sin(theta_j) with
+    # r_j = sqrt(-2*log(1-u1_j)), theta_j = 2*pi*u2_j — so a width-n
+    # vector consumes ceil(n/2) uniforms per stream instead of n.  The
+    # sine leg is recovered from the cosine as sign(sin) * sqrt(1-c^2)
+    # (sin is negative iff u2 > 0.5), trading a transcendental for a
+    # square root.  Layout: elements [0, half) are the cos outputs of
+    # pairs 0..half-1, elements [half, n) the sin outputs of pairs
+    # 0..n-half-1 — which makes the address of one element depend on the
+    # cell's draw width (the chunk size), hence the ``count`` argument on
+    # the point query.
+
+    def clipped_normal_block(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        means: Sequence[float],
+        stds: Sequence[float],
+        lows: Sequence[float],
+        highs: Sequence[float],
+        count: int,
+        reuse_block: bool = False,
+    ) -> np.ndarray:
+        """A (len(pairs), count) matrix of clipped Box-Muller normals.
+
+        One vectorized transcendental pass covers every row, which is
+        what lets counter-mode trait sampling outrun the matrix path's
+        per-trait ziggurat fills.  Rows with zero std are constant and
+        consume no stream values, mirroring
+        :meth:`SimulationRng.truncated_normal_array`.
+
+        With ``reuse_block=True`` the returned matrix is a view of a
+        per-process buffer shared by every same-shape call: the caller
+        asserts the previous same-shape result is dead (values are
+        unchanged either way — only the backing memory is recycled).
+        """
+        if count < 0:
+            raise SimulationError("count must be non-negative")
+        rows = len(pairs)
+        for std, low, high, mean in zip(stds, lows, highs, means):
+            if std < 0:
+                raise SimulationError("std must be non-negative")
+            if high < low:
+                raise SimulationError("high must be >= low")
+        half = (count + 1) // 2
+        block = _output_block(rows, 2 * half, reuse_block)
+        active = [row for row in range(rows) if stds[row] > 0]
+        if active and count:
+            u1 = block[:, :half]
+            u2 = block[:, half:]
+            for row in active:
+                stream_a, stream_b = pairs[row]
+                self.fill_uniforms(stream_a, u1[row])
+                self.fill_uniforms(stream_b, u2[row])
+            sub1 = u1[active] if len(active) < rows else u1
+            sub2 = u2[active] if len(active) < rows else u2
+            # sub = copies when some rows are inactive; write results back.
+            cosine, unit_sine, sine_sign = _scratch(len(active), half)
+            radius = sub1
+            # log(1 - u) over log1p(-u): numpy vectorizes log but not
+            # log1p, and the argument only loses precision where the
+            # radius is already ~0 (u -> 0), which the clip bounds hide;
+            # at the large-radius tail (u -> 1) the subtraction is exact.
+            np.subtract(1.0, radius, out=radius)
+            np.log(radius, out=radius)
+            radius *= -2.0
+            np.sqrt(radius, out=radius)
+            # Both legs of a pair share one radius and one row std, so
+            # the std scaling rides the half-width radius array instead
+            # of a second full-width pass over the assembled block.
+            radius *= np.array([stds[row] for row in active])[:, None]
+            # Quarter-wave cosine: numpy's vectorized cos is ~4x faster
+            # below pi/4 than across [0, 2*pi), so fold u into
+            # x = quarter-phase in [0, 1/4] plus two sign carriers and
+            # recover cos(2*pi*u) = sign * (2*cos^2(pi*x) - 1) via the
+            # half-angle identity (argument pi*x stays inside the fast
+            # path).  cos is negative iff |u - 0.5| < 0.25 (carrier t);
+            # sin is negative iff u > 0.5 (carrier 0.5 - u).
+            np.subtract(0.5, sub2, out=sine_sign)
+            np.abs(sine_sign, out=sub2)
+            np.subtract(sub2, 0.25, out=sub2)
+            np.abs(sub2, out=cosine)
+            np.subtract(0.25, cosine, out=cosine)
+            cosine *= np.pi
+            np.cos(cosine, out=cosine)
+            np.square(cosine, out=cosine)
+            cosine *= 2.0
+            cosine -= 1.0
+            np.copysign(cosine, sub2, out=cosine)
+            # Sine leg as sign * sqrt(1 - cos^2): a square root plus a
+            # single copysign pass instead of a second transcendental.
+            np.square(cosine, out=unit_sine)
+            np.subtract(1.0, unit_sine, out=unit_sine)
+            np.sqrt(unit_sine, out=unit_sine)
+            unit_sine *= radius
+            np.copysign(unit_sine, sine_sign, out=sub2)
+            np.multiply(cosine, radius, out=sub1)
+            if len(active) < rows:
+                u1[active] = sub1
+                u2[active] = sub2
+        result = block[:, :count]
+        for row in range(rows):
+            values = result[row]
+            if stds[row] == 0:
+                values[:] = float(min(highs[row], max(lows[row], means[row])))
+                continue
+            values += means[row]
+            np.clip(values, lows[row], highs[row], out=values)
+        return result
 
     def clipped_normals(
         self,
@@ -277,22 +501,17 @@ class PhiloxDraws:
         low: float,
         high: float,
         size: int,
+        reuse_block: bool = False,
     ) -> np.ndarray:
-        """``size`` Box-Muller normals clipped to [low, high].
+        """``size`` dual-output Box-Muller normals clipped to [low, high].
 
         A zero ``std`` returns a constant vector, mirroring
         :meth:`SimulationRng.truncated_normal_array` (the streams stay
         untouched — counter streams have no draw-order state to preserve).
         """
-        if std < 0:
-            raise SimulationError("std must be non-negative")
-        if high < low:
-            raise SimulationError("high must be >= low")
-        if std == 0:
-            return np.full(size, float(min(high, max(low, mean))))
-        u1 = self.uniforms(streams[0], size)
-        u2 = self.uniforms(streams[1], size)
-        return clipped_normals_from_uniforms(u1, u2, mean, std, low, high)
+        return self.clipped_normal_block(
+            [streams], [mean], [std], [low], [high], size, reuse_block=reuse_block
+        )[0]
 
     def clipped_normal_at(
         self,
@@ -302,14 +521,50 @@ class PhiloxDraws:
         low: float,
         high: float,
         index: int,
+        count: int,
     ) -> float:
-        """Element ``index`` of a clipped-normal stream pair in O(1)."""
+        """Element ``index`` of a width-``count`` clipped-normal vector in O(1).
+
+        ``count`` is the draw width of the vector the element belongs to
+        (the chunk size): the dual-output layout places the cos outputs
+        at [0, ceil(count/2)) and the sin outputs after them, so the
+        pair index of an element depends on where that boundary falls.
+        """
         if std < 0:
             raise SimulationError("std must be non-negative")
+        if high < low:
+            raise SimulationError("high must be >= low")
+        if not 0 <= index < count:
+            raise SimulationError("index must be in [0, count)")
         if std == 0:
             return float(min(high, max(low, mean)))
-        u1 = np.array([self.uniform_at(streams[0], index)])
-        u2 = np.array([self.uniform_at(streams[1], index)])
-        return float(
-            clipped_normals_from_uniforms(u1, u2, mean, std, low, high)[0]
-        )
+        half = (count + 1) // 2
+        sine_leg = index >= half
+        pair = index - half if sine_leg else index
+        u1 = np.array([self.uniform_at(streams[0], pair)])
+        u2 = np.array([self.uniform_at(streams[1], pair)])
+        radius = np.sqrt(np.log(1.0 - u1) * -2.0)
+        radius *= std
+        # Same op sequence as the bulk quarter-wave transform, on
+        # one-element arrays, so point and bulk values agree bit for bit.
+        cos_sign = np.abs(0.5 - u2) - 0.25
+        quarter = 0.25 - np.abs(cos_sign)
+        quarter *= np.pi
+        cosine = np.cos(quarter)
+        np.square(cosine, out=cosine)
+        cosine *= 2.0
+        cosine -= 1.0
+        np.copysign(cosine, cos_sign, out=cosine)
+        if sine_leg:
+            leg = np.sqrt(1.0 - np.square(cosine))
+            leg *= radius
+            value = float(np.copysign(leg, 0.5 - u2)[0])
+        else:
+            value = float((cosine * radius)[0])
+        return float(min(high, max(low, value + mean)))
+
+
+#: Backwards-compatible alias: the counter cell kept its public shape when
+#: the backing engine moved from per-call Philox construction to cached
+#: keyed PCG64 streams (PR 9).
+PhiloxDraws = CounterDraws

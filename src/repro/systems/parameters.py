@@ -362,8 +362,9 @@ def common_parameter_space() -> ParameterSpace:
                 choices=("matrix", "counter"),
                 allow_none=True,
                 description=(
-                    "Decision-stream source: 'matrix' (sequential draw layout) "
-                    "or 'counter' (O(1)-addressable Philox streams)."
+                    "Decision-stream source: 'counter' (O(1)-addressable keyed "
+                    "streams, the engine default) or 'matrix' (the sequential "
+                    "legacy layout, kept replayable for archived rows)."
                 ),
             ),
             Parameter(

@@ -198,3 +198,95 @@ class TestCanonicalDict:
             for row in results.simulated()
             for name in WALL_CLOCK_METRICS
         )
+
+
+class TestLegacyRngModeCompat:
+    """Rows serialized before the counter default flip replay matrix bits.
+
+    PR 9 changed ``SimulationConfig``'s default ``rng_mode`` to
+    ``"counter"``.  Archived result sets must not silently change meaning:
+    a PR-8-era row that recorded ``rng_mode="matrix"`` — and an even older
+    row from before the field existed at all — must both reproduce the
+    exact bits they were drawn with.
+    """
+
+    EXPECTED_KWARGS = dict(seed=17, mode="batch", rng_mode="matrix")
+
+    def _matrix_expected(self):
+        from repro.systems import get_scenario
+
+        return get_scenario("antiphishing").bind().simulate(
+            120, **self.EXPECTED_KWARGS
+        )
+
+    def _era_payload(self, expected, **tweaks):
+        payload = {
+            "experiment": "archived",
+            "scenario": "antiphishing",
+            "variant": "baseline",
+            "params": {},
+            "mode": "batch",
+            "metrics": {"protection_rate": expected.protection_rate()},
+            "seed": 17,
+            "n_receivers": 120,
+            "batch_size": expected.batch_size,
+            "task": expected.task_name,
+            "population": expected.population_name,
+            "calibration_label": expected.calibration_label,
+            "rounds": expected.rounds,
+            "recovery_rate": expected.recovery_rate,
+            "dismiss_weight": expected.dismiss_weight,
+            "heed_weight": expected.heed_weight,
+            "rng_mode": "matrix",
+            "chunk_workers": 1,
+            "variant_index": 0,
+        }
+        payload.update(tweaks)
+        return {key: value for key, value in payload.items() if value is not ...}
+
+    def _assert_bit_identical(self, rerun, expected):
+        from repro.io import simulation_result_to_dict
+
+        rerun_payload = simulation_result_to_dict(rerun)
+        expected_payload = simulation_result_to_dict(expected)
+        rerun_payload["provenance"].pop("elapsed_seconds")
+        expected_payload["provenance"].pop("elapsed_seconds")
+        assert rerun_payload == expected_payload
+
+    def test_pr8_row_with_recorded_matrix_mode_reproduces(self):
+        from repro.io import result_row_from_dict
+
+        expected = self._matrix_expected()
+        row = result_row_from_dict(self._era_payload(expected))
+        rerun = reproduce_row(row)
+        assert rerun.rng_mode == "matrix"
+        self._assert_bit_identical(rerun, expected)
+
+    def test_pre_rng_mode_row_pins_matrix(self):
+        """A row with NO rng_mode key predates the field: it was drawn by
+        the matrix source (the only one at the time), and reproduce_row
+        must pin that rather than inherit today's counter default."""
+        from repro.io import result_row_from_dict
+
+        expected = self._matrix_expected()
+        payload = self._era_payload(
+            expected, rng_mode=..., chunk_workers=..., variant_index=...
+        )
+        assert "rng_mode" not in payload
+        row = result_row_from_dict(payload)
+        assert row.rng_mode is None
+        rerun = reproduce_row(row)
+        assert rerun.rng_mode == "matrix"
+        self._assert_bit_identical(rerun, expected)
+
+    def test_counter_row_reproduces_counter_bits(self):
+        from repro.io import result_row_from_dict
+        from repro.systems import get_scenario
+
+        expected = get_scenario("antiphishing").bind().simulate(
+            120, seed=17, mode="batch", rng_mode="counter"
+        )
+        payload = self._era_payload(expected, rng_mode="counter")
+        rerun = reproduce_row(result_row_from_dict(payload))
+        assert rerun.rng_mode == "counter"
+        self._assert_bit_identical(rerun, expected)

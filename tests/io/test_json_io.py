@@ -149,7 +149,7 @@ class TestSimulationResultProvenance:
             "dismiss_weight": 1.0,
             "heed_weight": 1.0,
             "trace": True,
-            "rng_mode": "matrix",
+            "rng_mode": "counter",
             "chunk_workers": 1,
             "chunks": 2,
         }

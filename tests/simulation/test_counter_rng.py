@@ -15,6 +15,7 @@ import pytest
 
 from repro.core.exceptions import SimulationError
 from repro.simulation import batch as batch_module
+from repro.simulation import engine as engine_module
 from repro.simulation.engine import (
     RNG_MODES,
     HumanLoopSimulator,
@@ -64,9 +65,11 @@ class TestPointAddressing:
     def test_clipped_normal_at_matches_bulk(self):
         draws = PhiloxDraws(SEED, chunk=1)
         bulk = draws.clipped_normals(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 1_000)
-        for index in (0, 3, 4, 250, 999):
+        # Indices straddle the dual-output layout boundary (cos block
+        # [0, 500), sin block [500, 1000)).
+        for index in (0, 3, 4, 250, 499, 500, 501, 999):
             assert (
-                draws.clipped_normal_at(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, index)
+                draws.clipped_normal_at(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, index, 1_000)
                 == bulk[index]
             )
 
@@ -74,7 +77,7 @@ class TestPointAddressing:
         draws = PhiloxDraws(SEED)
         values = draws.clipped_normals(NOISE_STREAMS, 0.4, 0.0, 0.0, 1.0, 10)
         assert np.all(values == 0.4)
-        assert draws.clipped_normal_at(NOISE_STREAMS, 0.4, 0.0, 0.0, 1.0, 7) == 0.4
+        assert draws.clipped_normal_at(NOISE_STREAMS, 0.4, 0.0, 0.0, 1.0, 7, 10) == 0.4
 
     def test_streams_are_distinct(self):
         draws = PhiloxDraws(SEED)
@@ -127,7 +130,7 @@ class TestSingleDecisionRecompute:
             assert cell.uniform_at(SPOOF_STREAM, row) == draws.spoof_uniforms[row]
             assert (
                 cell.clipped_normal_at(
-                    NOISE_STREAMS, 0.0, plan.user_noise_std, -0.2, 0.2, row
+                    NOISE_STREAMS, 0.0, plan.user_noise_std, -0.2, 0.2, row, 200
                 )
                 == draws.noise[row]
             )
@@ -292,3 +295,167 @@ class TestLazyRecords:
         merged = batch_module.LazyRecords()
         with pytest.raises(SimulationError):
             merged.absorb(first)
+
+
+class TestGeneratorCaching:
+    """One bit generator per cell; the state-template cache is bit-exact."""
+
+    def test_bit_generator_constructed_once_per_cell(self):
+        draws = PhiloxDraws(SEED, chunk=1, round_index=0)
+        assert draws.bit_generator_constructions == 0
+        draws.uniforms(0, 500)
+        out = np.empty(300)
+        draws.fill_uniforms(SPOOF_STREAM, out)
+        for index in (0, 7, 299):
+            draws.uniform_at(DECISION_STREAM_BASE, index)
+        draws.clipped_normals(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 250)
+        draws.clipped_normal_at(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 13, 250)
+        # Every stream, fill, and point query above shared ONE generator.
+        assert draws.bit_generator_constructions == 1
+
+    def test_sibling_cells_do_not_share_constructions(self):
+        base = PhiloxDraws(SEED, chunk=0, round_index=0)
+        base.uniforms(0, 10)
+        successor = base.for_round(1)
+        successor.uniforms(0, 10)
+        assert base.bit_generator_constructions == 1
+        assert successor.bit_generator_constructions == 1
+
+    def test_cached_cell_equals_fresh_cell(self):
+        """State-template reuse must be invisible: a long-lived cell that
+        has served many interleaved queries answers every query exactly
+        like a brand-new cell constructed for that one query."""
+        warm = PhiloxDraws(SEED, chunk=2, round_index=1)
+        streams = (0, SPOOF_STREAM, TRAINED_STREAM, DECISION_STREAM_BASE + 3)
+        # Warm the cache with interleaved bulk and point traffic.
+        for stream in streams:
+            warm.uniforms(stream, 400)
+            warm.uniform_at(stream, 57)
+        warm.clipped_normals(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 200)
+        for stream in streams:
+            fresh_bulk = PhiloxDraws(SEED, chunk=2, round_index=1)
+            np.testing.assert_array_equal(
+                warm.uniforms(stream, 400), fresh_bulk.uniforms(stream, 400)
+            )
+            for index in (0, 1, 123, 399):
+                fresh_point = PhiloxDraws(SEED, chunk=2, round_index=1)
+                assert warm.uniform_at(stream, index) == fresh_point.uniform_at(
+                    stream, index
+                )
+        fresh_normals = PhiloxDraws(SEED, chunk=2, round_index=1)
+        np.testing.assert_array_equal(
+            warm.clipped_normals(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 200),
+            fresh_normals.clipped_normals(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 200),
+        )
+
+
+class TestDefaultRngMode:
+    """PR 9 flips the engine default to the counter source."""
+
+    def test_config_defaults_to_counter(self):
+        assert SimulationConfig().rng_mode == "counter"
+
+    def test_matrix_mode_still_selectable(self, warning_task, population):
+        result = _simulator(rng_mode="matrix").simulate_task(
+            warning_task, population, n_receivers=200
+        )
+        assert result.rng_mode == "matrix"
+
+
+class TestZeroCopyDispatch:
+    """Counter-mode parallel workers must not ship record payloads."""
+
+    def test_workers_receive_no_record_buffers(
+        self, warning_task, population, monkeypatch
+    ):
+        captured = {}
+        real = engine_module._run_chunks_parallel
+
+        def spy(specs, workers):
+            captured["keep_records"] = [spec.keep_records for spec in specs]
+            return real(specs, workers)
+
+        monkeypatch.setattr(engine_module, "_run_chunks_parallel", spy)
+        result = _simulator(rng_mode="counter").simulate_task(
+            warning_task, population, n_receivers=1_200, chunk_workers=2
+        )
+        # Workers got coordinates only; records regenerate lazily at home.
+        assert captured["keep_records"] == [False, False, False]
+        assert isinstance(result.records, batch_module.LazyRecords)
+        serial = _simulator(rng_mode="counter").simulate_task(
+            warning_task, population, n_receivers=1_200
+        )
+        assert list(result.records) == list(serial.records)
+
+    def test_matrix_mode_parallel_keeps_worker_records(
+        self, warning_task, population, monkeypatch
+    ):
+        captured = {}
+        real = engine_module._run_chunks_parallel
+
+        def spy(specs, workers):
+            captured["keep_records"] = [spec.keep_records for spec in specs]
+            return real(specs, workers)
+
+        monkeypatch.setattr(engine_module, "_run_chunks_parallel", spy)
+        _simulator(rng_mode="matrix").simulate_task(
+            warning_task, population, n_receivers=1_200, chunk_workers=2
+        )
+        # Matrix draws are sequential per chunk; records cannot be
+        # regenerated from coordinates without redoing the whole chunk
+        # draw, so they still ride back from the workers.
+        assert captured["keep_records"] == [True, True, True]
+
+
+class TestBufferReuse:
+    """Opt-in draw-buffer recycling: same values, shared backing memory."""
+
+    def test_reused_block_shares_memory_and_values(self):
+        fresh = PhiloxDraws(SEED, chunk=1).clipped_normal_block(
+            [trait_streams(0), trait_streams(1)],
+            [0.4, 0.6], [0.1, 0.2], [0.0, 0.0], [1.0, 1.0], 501,
+        )
+        first = PhiloxDraws(SEED, chunk=1).clipped_normal_block(
+            [trait_streams(0), trait_streams(1)],
+            [0.4, 0.6], [0.1, 0.2], [0.0, 0.0], [1.0, 1.0], 501,
+            reuse_block=True,
+        )
+        np.testing.assert_array_equal(first, fresh)
+        first_base = first.base
+        second = PhiloxDraws(SEED, chunk=1).clipped_normal_block(
+            [trait_streams(0), trait_streams(1)],
+            [0.4, 0.6], [0.1, 0.2], [0.0, 0.0], [1.0, 1.0], 501,
+            reuse_block=True,
+        )
+        assert second.base is first_base
+        np.testing.assert_array_equal(second, fresh)
+
+    def test_fresh_blocks_stay_distinct_by_default(self):
+        cell = PhiloxDraws(SEED, chunk=1)
+        first = cell.clipped_normals(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 400)
+        second = cell.clipped_normals(NOISE_STREAMS, 0.0, 0.1, -0.2, 0.2, 400)
+        assert first.base is not second.base
+
+    def test_record_dropping_runs_stay_deterministic(self, warning_task, population):
+        # Above the record limit the engine recycles draw buffers chunk
+        # to chunk; two full runs must still agree to the last bit.
+        simulator = _simulator(rng_mode="counter", record_limit=100)
+        first = simulator.simulate_task(warning_task, population, n_receivers=N)
+        second = simulator.simulate_task(warning_task, population, n_receivers=N)
+        assert not list(first.records)
+        assert first.tally == second.tally
+        assert first.protection_rate() == second.protection_rate()
+
+    def test_kept_records_never_share_reused_buffers(self, warning_task, population):
+        # Below the record limit reuse must stay off: each chunk's
+        # records own their values even after later chunks draw.
+        simulator = _simulator(rng_mode="counter")
+        result = simulator.simulate_task(warning_task, population, n_receivers=N)
+        records = list(result.records)
+        assert len(records) == N
+        again = list(
+            _simulator(rng_mode="counter")
+            .simulate_task(warning_task, population, n_receivers=N)
+            .records
+        )
+        assert records == again
