@@ -5,8 +5,9 @@ Re-runs the exact workloads whose numbers are recorded in
 modes), ``BENCH_rounds.json`` (multi-round engine), ``BENCH_shards.json``
 (sharded sweep execution), and ``BENCH_scheduler.json`` (the cluster
 scheduler's worker fleet, run *with* an injected worker kill so crash
-recovery is always exercised) and fails if the live
-throughput drops below **half** of the recorded value — a loose enough
+recovery is always exercised), and ``BENCH_service.json`` (cache-served
+small-simulate requests through a real loopback HTTP server) and fails
+if the live throughput drops below **half** of the recorded value — a loose enough
 floor to ride out machine noise, tight enough to catch a hot path
 regressing by an order of magnitude.  Also runs a small-N funnel-metrics
 smoke so the trace layer stays wired end to end, and a two-worker
@@ -30,8 +31,9 @@ tallies; records regenerate from coordinates at home).
 The floors only engage when the live run is at the recorded scale (the
 recorded numbers are meaningless for smaller N): set ``BENCH_FLOOR_N`` /
 ``BENCH_FLOOR_ROUNDS`` / ``BENCH_FLOOR_SHARD_N`` /
-``BENCH_FLOOR_SCHEDULER_N`` below the recorded scale to run everything
-as a pure smoke check (what CI does).
+``BENCH_FLOOR_SCHEDULER_N`` / ``BENCH_FLOOR_SERVICE_REQUESTS`` below
+the recorded scale to run everything as a pure smoke check (what CI
+does).
 
 Run standalone::
 
@@ -69,6 +71,7 @@ N_RECEIVERS = int(os.environ.get("BENCH_FLOOR_N", "100000"))
 ROUNDS = int(os.environ.get("BENCH_FLOOR_ROUNDS", "10"))
 N_SHARD_RECEIVERS = int(os.environ.get("BENCH_FLOOR_SHARD_N", "20000"))
 N_SCHEDULER_RECEIVERS = int(os.environ.get("BENCH_FLOOR_SCHEDULER_N", "20000"))
+N_SERVICE_REQUESTS = int(os.environ.get("BENCH_FLOOR_SERVICE_REQUESTS", "50"))
 
 # The recorded workloads (constants mirror the recording benchmarks).
 ENGINE_SEED = 20080124
@@ -551,6 +554,64 @@ def test_scheduler_floor():
     )
 
 
+def _recorded_service_rate() -> Optional[Tuple[int, float]]:
+    """(requests, cached-simulate requests_per_sec) recorded for the service."""
+    path = REPO_ROOT / "BENCH_service.json"
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    return (
+        int(payload.get("requests_per_measurement", 0)),
+        float(payload.get("simulate", {}).get("cached", {}).get(
+            "requests_per_sec", 0.0
+        )),
+    )
+
+
+def test_service_cached_floor():
+    """Cache-served HTTP throughput must stay above half the recorded rate.
+
+    Re-runs the ``BENCH_service.json`` cached-simulate workload: a real
+    loopback WSGI server, one identical small-simulate request repeated,
+    every response after the first served byte-for-byte from the result
+    cache.  Bit-identity of the served responses is asserted at every
+    scale; the req/s floor engages only at the recorded request count.
+    """
+    from bench_service import N_RECEIVERS as SERVICE_N
+    from bench_service import SCENARIO as SERVICE_SCENARIO
+    from bench_service import SEED as SERVICE_SEED
+    from bench_service import TASK as SERVICE_TASK
+    from bench_service import _request, _Server
+
+    body = {
+        "scenario": SERVICE_SCENARIO,
+        "n_receivers": SERVICE_N,
+        "seed": SERVICE_SEED,
+        "task": SERVICE_TASK,
+    }
+    with _Server() as base:
+        _request(base, "GET", "/health")  # warm-up: first accept + imports
+        status, first = _request(base, "POST", "/simulate", dict(body))
+        assert status == 200 and first["cache"]["computed"] == 1
+        start = time.perf_counter()
+        for _ in range(N_SERVICE_REQUESTS):
+            status, served = _request(base, "POST", "/simulate", dict(body))
+            assert status == 200
+            assert served["cache"] == {"served": 1, "computed": 0}
+        seconds = time.perf_counter() - start
+        # The exact bytes of the first computation, every time.
+        assert served["resultset"] == first["resultset"]
+
+    rate = N_SERVICE_REQUESTS / seconds
+    recorded = _recorded_service_rate()
+    print(f"\n  service cached: {rate:,.1f} req/s (recorded: {recorded})")
+    _check_floor(
+        "service_cached", rate, recorded,
+        engaged=recorded is not None and N_SERVICE_REQUESTS >= recorded[0],
+        unit="req/s",
+    )
+
+
 def test_funnel_metrics_smoke():
     """Small-N end-to-end smoke of the per-stage funnel metrics."""
     result = get_scenario(SCENARIO).simulate(
@@ -578,6 +639,7 @@ def main() -> None:
     test_multi_round_floor()
     test_shard_backend_floor()
     test_scheduler_floor()
+    test_service_cached_floor()
     test_chunk_worker_parallel_smoke()
     test_counter_zero_copy_smoke()
     test_funnel_metrics_smoke()

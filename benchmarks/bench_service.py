@@ -1,0 +1,248 @@
+"""Benchmark: HTTP service throughput, cached vs. uncached (ISSUE 10).
+
+Starts a real loopback :mod:`repro.service` server (stdlib threading
+WSGI, port 0) and measures request/s through it four ways:
+
+* **analyze, uncached** — every request is a distinct variant
+  (``distinct_accounts`` sweeps one value per request), so each one
+  runs the analytic walk;
+* **analyze, cached** — the same request repeated: after the first,
+  every response is the stored bytes of the first computation;
+* **simulate, uncached** — a small batch simulation per request, each
+  under a fresh seed (distinct cache key, same variant);
+* **simulate, cached** — the same simulate request repeated.
+
+The report goes to ``BENCH_service.json`` at the repository root; the
+cached small-simulate rate is the number ``bench_floor_check`` guards.
+Bit-identity is asserted at every scale: the cached responses must be
+byte-for-byte the first computation's payload, and the health endpoint
+must account every hit.  Wall-clock *ratios* are recorded, not
+asserted — on a noisy runner the analytic walk is cheaper than the
+HTTP round trip itself, so only the simulate path is expected to show
+a cache speedup, and only at real scale.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+
+``BENCH_SERVICE_REQUESTS`` (requests per measurement, default 50) and
+``BENCH_SERVICE_N`` (receivers per simulate request, default 2000)
+shrink the run for CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.service import ServiceConfig, create_app
+from repro.service.cli import build_server
+
+REQUESTS = int(os.environ.get("BENCH_SERVICE_REQUESTS", "50"))
+N_RECEIVERS = int(os.environ.get("BENCH_SERVICE_N", "2000"))
+SEED = 20080124
+SCENARIO = "passwords"
+TASK = "recall-passwords"
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _request(
+    base: str, method: str, path: str, body: Optional[Dict[str, Any]] = None
+) -> Tuple[int, Dict[str, Any]]:
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(req) as response:
+        return response.status, json.loads(response.read())
+
+
+class _Server:
+    """A loopback service over a temporary data directory."""
+
+    def __enter__(self) -> str:
+        self._data_dir = tempfile.mkdtemp(prefix="bench-service-")
+        self._app = create_app(ServiceConfig(data_dir=self._data_dir))
+        self._server = build_server(self._app, "127.0.0.1", 0)
+        threading.Thread(target=self._server.serve_forever, daemon=True).start()
+        return f"http://127.0.0.1:{self._server.server_port}"
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._app.state.close()
+        shutil.rmtree(self._data_dir, ignore_errors=True)
+
+
+def _drive(
+    base: str, bodies: Iterator[Tuple[str, Dict[str, Any]]], count: int
+) -> Tuple[float, Dict[str, Any]]:
+    """Time ``count`` sequential round trips; return (seconds, last payload)."""
+    last: Dict[str, Any] = {}
+    start = time.perf_counter()
+    for _ in range(count):
+        path, body = next(bodies)
+        status, last = _request(base, "POST", path, body)
+        assert status == 200, last
+    return time.perf_counter() - start, last
+
+
+def _rate(count: int, seconds: float) -> float:
+    return count / seconds if seconds > 0 else 0.0
+
+
+def measure_service() -> Dict[str, object]:
+    report: Dict[str, object]
+    with _Server() as base:
+
+        def analyze_uncached() -> Iterator[Tuple[str, Dict[str, Any]]]:
+            accounts = 0
+            while True:
+                accounts += 1  # distinct variant per request: always a miss
+                yield "/analyze", {
+                    "scenario": SCENARIO,
+                    "params": {"distinct_accounts": accounts},
+                }
+
+        def analyze_cached() -> Iterator[Tuple[str, Dict[str, Any]]]:
+            while True:
+                yield "/analyze", {"scenario": SCENARIO}
+
+        def simulate_uncached() -> Iterator[Tuple[str, Dict[str, Any]]]:
+            seed = SEED
+            while True:
+                seed += 1  # fresh seed per request: distinct cache key
+                yield "/simulate", {
+                    "scenario": SCENARIO,
+                    "n_receivers": N_RECEIVERS,
+                    "seed": seed,
+                    "task": TASK,
+                }
+
+        def simulate_cached() -> Iterator[Tuple[str, Dict[str, Any]]]:
+            while True:
+                yield "/simulate", {
+                    "scenario": SCENARIO,
+                    "n_receivers": N_RECEIVERS,
+                    "seed": SEED,
+                    "task": TASK,
+                }
+
+        # Warm-up: first import of the engine, first socket accept.
+        _request(base, "GET", "/health")
+        _request(base, "POST", "/analyze", {"scenario": SCENARIO})
+
+        analyze_miss_seconds, _ = _drive(base, analyze_uncached(), REQUESTS)
+
+        # Prime the cached-analyze point, then every timed request hits.
+        _, first_analyze = _drive(base, analyze_cached(), 1)
+        analyze_hit_seconds, last_analyze = _drive(base, analyze_cached(), REQUESTS)
+        assert last_analyze["row"] == first_analyze["row"]
+        assert last_analyze["cache"] == {"served": 1, "computed": 0}
+
+        simulate_miss_seconds, _ = _drive(base, simulate_uncached(), REQUESTS)
+
+        _, first_simulate = _drive(base, simulate_cached(), 1)
+        simulate_hit_seconds, last_simulate = _drive(base, simulate_cached(), REQUESTS)
+        # Bit-identity over HTTP: the exact bytes of the first computation.
+        assert last_simulate["resultset"] == first_simulate["resultset"]
+        assert last_simulate["cache"] == {"served": 1, "computed": 0}
+
+        _, health = _request(base, "GET", "/health")
+        cache_stats = health["cache"]
+        assert cache_stats["hits"] >= 2 * REQUESTS
+
+        report = {
+            "benchmark": "service_http",
+            "scenario": SCENARIO,
+            "task": TASK,
+            "requests_per_measurement": REQUESTS,
+            "n_receivers_per_simulate": N_RECEIVERS,
+            "seed": SEED,
+            "cpu_count": os.cpu_count(),
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "analyze": {
+                "uncached": {
+                    "seconds": round(analyze_miss_seconds, 6),
+                    "requests_per_sec": round(
+                        _rate(REQUESTS, analyze_miss_seconds), 1
+                    ),
+                },
+                "cached": {
+                    "seconds": round(analyze_hit_seconds, 6),
+                    "requests_per_sec": round(
+                        _rate(REQUESTS, analyze_hit_seconds), 1
+                    ),
+                },
+                "cached_speedup": round(
+                    analyze_miss_seconds / analyze_hit_seconds, 3
+                ),
+            },
+            "simulate": {
+                "uncached": {
+                    "seconds": round(simulate_miss_seconds, 6),
+                    "requests_per_sec": round(
+                        _rate(REQUESTS, simulate_miss_seconds), 1
+                    ),
+                },
+                "cached": {
+                    "seconds": round(simulate_hit_seconds, 6),
+                    "requests_per_sec": round(
+                        _rate(REQUESTS, simulate_hit_seconds), 1
+                    ),
+                },
+                "cached_speedup": round(
+                    simulate_miss_seconds / simulate_hit_seconds, 3
+                ),
+            },
+            "cache_stats": cache_stats,
+            "bit_identical_cached_responses": True,  # asserted above
+        }
+    return report
+
+
+def write_report(report: Dict[str, object]) -> Path:
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return OUTPUT
+
+
+def test_service_writes_report():
+    """Loopback throughput measured; cached responses bit-identical."""
+    report = measure_service()
+    path = write_report(report)
+    assert path.exists()
+    assert report["bit_identical_cached_responses"]
+    simulate = report["simulate"]
+    assert simulate["cached"]["requests_per_sec"] > 0
+    assert simulate["uncached"]["requests_per_sec"] > 0
+
+
+def main() -> None:
+    report = measure_service()
+    path = write_report(report)
+    print(f"wrote {path}")
+    print(
+        f"  {report['requests_per_measurement']} requests per measurement, "
+        f"{report['n_receivers_per_simulate']:,} receivers per simulate"
+    )
+    for endpoint in ("analyze", "simulate"):
+        block = report[endpoint]
+        print(
+            f"  {endpoint:>8}: uncached "
+            f"{block['uncached']['requests_per_sec']:>8,.1f} req/s, cached "
+            f"{block['cached']['requests_per_sec']:>8,.1f} req/s "
+            f"({block['cached_speedup']:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,8 +15,11 @@ EXEMPT_SUFFIXES = ("io/shards.py", "io/eventlog.py")
 
 #: Modules whose file I/O is checkpoint-directory I/O by construction:
 #: every write-capable handle they open lands in a shared checkpoint
-#: tree that crashed workers, resumers, and mergers all read.
-CHECKPOINT_MODULE_MARKERS = ("/cluster/", "experiments/backends.py")
+#: tree that crashed workers, resumers, and mergers all read.  The
+#: service tree is included wholesale: its cache streams and job ledgers
+#: share directories with shard checkpoints, so every service write must
+#: go through the io.shards/io.eventlog writers.
+CHECKPOINT_MODULE_MARKERS = ("/cluster/", "experiments/backends.py", "/service/")
 
 #: Methods that can rewrite committed bytes in place.
 DESTRUCTIVE_METHODS = frozenset(

@@ -50,11 +50,12 @@ SHARD_FORMAT_VERSION = 1
 #: File that :meth:`Experiment.resume` appends rows it had to recompute to.
 RESUME_FILENAME = "resume.jsonl"
 
-#: JSONL files under these name prefixes are scheduler telemetry (event
-#: logs, heartbeat streams — see :mod:`repro.io.eventlog` and
-#: :mod:`repro.cluster`) living alongside the shard logs; they are never
+#: JSONL files under these name prefixes are telemetry (scheduler event
+#: logs, heartbeat streams, service job ledgers and cache streams — see
+#: :mod:`repro.io.eventlog`, :mod:`repro.cluster`, and
+#: :mod:`repro.service`) living alongside the shard logs; they are never
 #: row checkpoints and :func:`load_checkpoint` skips them.
-TELEMETRY_PREFIXES = ("scheduler-", "heartbeat-")
+TELEMETRY_PREFIXES = ("scheduler-", "heartbeat-", "service-")
 
 PathLike = Union[str, Path]
 

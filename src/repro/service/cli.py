@@ -1,0 +1,91 @@
+"""``python -m repro.service serve`` — the stdlib WSGI server front door.
+
+Serving uses :class:`wsgiref.simple_server.WSGIServer` with a threading
+mix-in (one thread per connection; job execution stays on the service's
+own worker thread), so the whole service runs on the standard library
+alone.  ``--data-dir`` locates the durable state: the result-cache
+stream and the job ledgers, both of which a restarted server replays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socketserver
+from typing import List, Optional
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from .app import ServiceApp, create_app
+from .state import ServiceConfig
+
+__all__ = ["main", "build_server"]
+
+
+class ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+    """One handler thread per connection; daemonic so shutdown is prompt."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Per-request logging off by default; the job ledger is the record."""
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+
+def build_server(
+    app: ServiceApp, host: str, port: int
+) -> "WSGIServer":
+    """A ready-to-serve threading WSGI server bound to ``host:port``.
+
+    Split from :func:`main` so the quickstart example and the benchmark
+    can run a real loopback server in-process (port 0 picks a free one).
+    """
+    return make_server(
+        host,
+        port,
+        app,
+        server_class=ThreadingWSGIServer,
+        handler_class=_QuietHandler,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Simulation-as-a-service over the scenario registry.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    serve = subparsers.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750)
+    serve.add_argument(
+        "--data-dir",
+        default="service-data",
+        help="directory for the cache stream and job ledgers",
+    )
+    serve.add_argument(
+        "--inline-threshold",
+        type=int,
+        default=100_000,
+        help="receiver-round budget above which runs become async jobs",
+    )
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig(
+        data_dir=args.data_dir, inline_threshold=args.inline_threshold
+    )
+    app = create_app(config)
+    server = build_server(app, args.host, args.port)
+    print(
+        f"repro.service listening on http://{args.host}:{server.server_port} "
+        f"(data: {args.data_dir})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        app.state.close()
+    return 0

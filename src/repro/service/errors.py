@@ -1,0 +1,71 @@
+"""Structured API errors for the service layer.
+
+Every error a handler raises maps to one JSON error body with a stable
+``error`` kind, an HTTP status, and optional structured detail fields —
+most importantly ``parameter``, which validation errors use to *name*
+the offending scenario parameter (the 422 contract of the service).
+These classes live in their own module so the routing core, the request
+builders, and the routers can all raise them without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "ApiError",
+    "BadRequestError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "ValidationFailure",
+]
+
+
+class ApiError(Exception):
+    """An error with a structured JSON body and an HTTP status."""
+
+    status: int = 500
+    kind: str = "internal"
+
+    def __init__(self, message: str, **details: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details: Dict[str, Any] = dict(details)
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON error body served for this error."""
+        body: Dict[str, Any] = {"error": self.kind, "message": self.message}
+        body.update(self.details)
+        return body
+
+
+class BadRequestError(ApiError):
+    """Malformed request: bad JSON, missing field, inconsistent spec."""
+
+    status = 400
+    kind = "bad_request"
+
+
+class NotFoundError(ApiError):
+    """Unknown route, job id, or result row."""
+
+    status = 404
+    kind = "not_found"
+
+
+class MethodNotAllowedError(ApiError):
+    """The path exists but not under this HTTP method."""
+
+    status = 405
+    kind = "method_not_allowed"
+
+
+class ValidationFailure(ApiError):
+    """A request value failed scenario/parameter validation (HTTP 422).
+
+    When the failure is attributable to one parameter, the ``parameter``
+    detail names it — the structured contract the test suite pins.
+    """
+
+    status = 422
+    kind = "validation"

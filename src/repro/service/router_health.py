@@ -1,0 +1,27 @@
+"""``/health`` — liveness, version, and cache/job-store statistics."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .. import __version__
+from ..systems.scenario import available_scenarios
+from .app import Request, Router
+from .state import ServiceState
+
+__all__ = ["router"]
+
+router = Router()
+
+
+@router.get("/health")
+def health(state: ServiceState, request: Request) -> Dict[str, Any]:
+    """Service liveness with the numbers an operator polls."""
+    return {
+        "status": "ok",
+        "version": __version__,
+        "scenarios": len(available_scenarios()),
+        "inline_threshold": state.config.inline_threshold,
+        "cache": state.cache.stats(),
+        "jobs": state.jobs.stats(),
+    }

@@ -1,0 +1,69 @@
+"""``/scenarios`` — registry listing, parameter-space description, validation."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.exceptions import ModelError
+from ..systems.scenario import all_scenarios, get_scenario, variant_hash
+from ..systems.parameters import variant_label
+from .app import Request, Router
+from .errors import NotFoundError
+from .requests import require_body, validate_params
+from .state import ServiceState
+
+__all__ = ["router"]
+
+router = Router()
+
+
+@router.get("/scenarios")
+def list_scenarios(state: ServiceState, request: Request) -> Dict[str, Any]:
+    """Every registered scenario, with its unbound identity hash."""
+    return {
+        "scenarios": [
+            {
+                "name": name,
+                "description": scenario.description,
+                "variant_hash": variant_hash(name, {}),
+            }
+            for name, scenario in sorted(all_scenarios().items())
+        ]
+    }
+
+
+@router.get("/scenarios/{name}")
+def describe_scenario(state: ServiceState, request: Request) -> Dict[str, Any]:
+    """One scenario's parameter space, parameter by parameter."""
+    name = request.path_params["name"]
+    try:
+        scenario = get_scenario(name)
+    except ModelError as error:
+        raise NotFoundError(str(error), scenario=name) from error
+    return {
+        "name": name,
+        "description": scenario.description,
+        "parameters": list(scenario.parameter_space().describe()),
+    }
+
+
+@router.post("/scenarios/{name}/validate")
+def validate_scenario_params(
+    state: ServiceState, request: Request
+) -> Dict[str, Any]:
+    """Validate overrides without running anything.
+
+    Returns the validated values, the canonical variant label, and the
+    content hash the rows of this point would carry; failures are the
+    same structured 422s the run endpoints produce.
+    """
+    name = request.path_params["name"]
+    body = require_body(request.body)
+    params = body.get("params", {})
+    validated = validate_params(name, params)
+    return {
+        "scenario": name,
+        "params": validated,
+        "label": variant_label(name, validated),
+        "variant_hash": variant_hash(name, validated),
+    }

@@ -141,9 +141,10 @@ class TestShardLogWriter:
 class TestTelemetryPrefixes:
     def test_reserved_prefixes_are_pinned(self):
         # repro.cluster derives its event-log and heartbeat file names
-        # from these prefixes; renaming either side breaks checkpoint
-        # loading silently, so the contract is pinned here.
-        assert TELEMETRY_PREFIXES == ("scheduler-", "heartbeat-")
+        # from these prefixes, and repro.service its cache stream and job
+        # ledgers; renaming either side breaks checkpoint loading
+        # silently, so the contract is pinned here.
+        assert TELEMETRY_PREFIXES == ("scheduler-", "heartbeat-", "service-")
 
 
 class TestCorruption:

@@ -1,0 +1,89 @@
+"""Routing-core tests: dispatch, error mapping, WSGI behavior."""
+
+from __future__ import annotations
+
+from repro.service import create_app
+
+from .conftest import wsgi_call
+
+
+class TestRouting:
+    def test_unknown_route_is_404(self, app):
+        status, payload = app.handle("GET", "/nope")
+        assert status == 404
+        assert payload["error"] == "not_found"
+
+    def test_wrong_method_is_405_with_allowed(self, app):
+        status, payload = app.handle("GET", "/analyze")
+        assert status == 405
+        assert payload["error"] == "method_not_allowed"
+        assert payload["allowed"] == ["POST"]
+
+    def test_path_params_capture(self, app):
+        status, payload = app.handle("GET", "/scenarios/passwords")
+        assert status == 200
+        assert payload["name"] == "passwords"
+
+    def test_trailing_slash_matches_same_route(self, app):
+        assert app.handle("GET", "/health/")[0] == 200
+
+    def test_missing_body_is_400(self, app):
+        status, payload = app.handle("POST", "/analyze")
+        assert status == 400
+        assert "JSON object body" in payload["message"]
+
+    def test_unexpected_handler_error_is_500_not_unwind(self, app, monkeypatch):
+        def boom():
+            raise RuntimeError("stats exploded")
+
+        monkeypatch.setattr(app.state.cache, "stats", boom)
+        status, payload = app.handle("GET", "/health")
+        assert status == 500
+        assert payload["error"] == "internal"
+        assert "RuntimeError" in payload["message"]
+
+
+class TestWsgi:
+    def test_health_over_wsgi_environ(self, app):
+        status, payload = wsgi_call(app, "GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["scenarios"] > 0
+
+    def test_malformed_json_body_is_400(self, app):
+        status, payload = wsgi_call(
+            app, "POST", "/analyze", raw_body=b"{not json"
+        )
+        assert status == 400
+        assert payload["error"] == "bad_request"
+
+    def test_non_object_json_body_is_400(self, app):
+        status, payload = wsgi_call(app, "POST", "/analyze", raw_body=b"[1, 2]")
+        assert status == 400
+        assert "JSON object" in payload["message"]
+
+    def test_post_analyze_over_wsgi(self, app):
+        status, payload = wsgi_call(
+            app, "POST", "/analyze", body={"scenario": "passwords"}
+        )
+        assert status == 200
+        assert payload["row"]["mode"] == "analytic"
+
+
+class TestCreateApp:
+    def test_create_app_requires_config_or_state(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            create_app()
+
+    def test_create_app_from_config_builds_state(self, tmp_path):
+        from repro.service import ServiceConfig
+
+        app = create_app(
+            ServiceConfig(data_dir=str(tmp_path / "svc"), threaded_worker=False)
+        )
+        try:
+            assert app.handle("GET", "/health")[0] == 200
+        finally:
+            app.state.close()

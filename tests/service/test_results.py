@@ -1,0 +1,208 @@
+"""Results endpoints: content addressing, merge, bit-exact reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import _simulation_metrics
+from repro.systems.scenario import get_scenario, variant_hash
+
+SWEEP = {
+    "scenario": "passwords",
+    "grid": {"rounds": [1, 2]},
+    "n_receivers": 25,
+    "seed": 6,
+    "name": "results-sweep",
+    "detach": True,
+}
+
+
+@pytest.fixture
+def done_job(app, service_state):
+    status, payload = app.handle("POST", "/sweep", body=dict(SWEEP))
+    assert status == 202
+    service_state.run_pending_jobs()
+    return payload["job"]["job_id"]
+
+
+class TestJobResults:
+    def test_job_resultset_is_canonical(self, app, done_job):
+        status, payload = app.handle("GET", f"/results/{done_job}")
+        assert status == 200
+        rows = payload["resultset"]["rows"]
+        assert [row["params"]["rounds"] for row in rows] == [1, 2]
+        assert payload["resultset"]["seed"] == 6
+
+    def test_job_row_by_hash(self, app, done_job):
+        point = variant_hash("passwords", {"rounds": 2})
+        status, payload = app.handle(
+            "GET", f"/results/{done_job}/rows/{point}"
+        )
+        assert status == 200
+        assert payload["row"]["variant_hash"] == point
+
+    def test_job_row_unknown_hash_is_404(self, app, done_job):
+        status, _ = app.handle(
+            "GET", f"/results/{done_job}/rows/{'0' * 16}"
+        )
+        assert status == 404
+
+    def test_cached_rows_by_hash(self, app, done_job):
+        point = variant_hash("passwords", {"rounds": 1})
+        status, payload = app.handle("GET", f"/results/by-hash/{point}")
+        assert status == 200
+        assert [row["variant_hash"] for row in payload["rows"]] == [point]
+
+    def test_by_hash_miss_is_404(self, app):
+        assert app.handle("GET", f"/results/by-hash/{'f' * 16}")[0] == 404
+
+
+class TestMerge:
+    def test_merge_reassembles_shards_canonically(self, app, done_job):
+        full = app.handle("GET", f"/results/{done_job}")[1]["resultset"]
+        shard_a = dict(full, rows=[full["rows"][1]])
+        shard_b = dict(full, rows=[full["rows"][0]])
+        status, payload = app.handle(
+            "POST", "/results/merge", body={"resultsets": [shard_a, shard_b]}
+        )
+        assert status == 200
+        assert payload["resultset"] == full
+
+    def test_merge_rejects_overlapping_sets(self, app, done_job):
+        full = app.handle("GET", f"/results/{done_job}")[1]["resultset"]
+        status, payload = app.handle(
+            "POST", "/results/merge", body={"resultsets": [full, full]}
+        )
+        assert status == 400
+        assert "overlapping" in payload["message"]
+
+    def test_merge_requires_a_list(self, app):
+        assert (
+            app.handle("POST", "/results/merge", body={"resultsets": {}})[0]
+            == 400
+        )
+
+
+class TestImport:
+    def test_imported_rows_become_cache_entries(self, app, service_state):
+        # Archive a sweep, wipe the service, import the archive: the rows
+        # are addressable by hash again without any engine work.
+        inline = app.handle(
+            "POST",
+            "/sweep",
+            body={**SWEEP, "detach": False},
+        )[1]
+        archived = inline["resultset"]
+        status, payload = app.handle(
+            "POST", "/results/import", body={"resultset": archived}
+        )
+        assert status == 200
+        assert payload["rows"] == 2
+        assert payload["inserted"] == 0  # already cached from the inline run
+
+    def test_tampered_archive_is_rejected(self, app, done_job):
+        full = app.handle("GET", f"/results/{done_job}")[1]["resultset"]
+        doctored = dict(full)
+        doctored["rows"] = [dict(full["rows"][0])]
+        doctored["rows"][0]["params"] = {"rounds": 7}  # hash no longer matches
+        status, payload = app.handle(
+            "POST", "/results/import", body={"resultset": doctored}
+        )
+        assert status == 400
+        assert "altered" in payload["message"]
+
+
+class TestReproduce:
+    def test_reproduce_cached_row_by_hash_matches(self, app, done_job):
+        point = variant_hash("passwords", {"rounds": 2})
+        status, payload = app.handle(
+            "POST", "/results/reproduce", body={"variant_hash": point}
+        )
+        assert status == 200
+        assert payload["match"] is True
+        assert payload["rng_mode"] == "counter"
+
+    def test_reproduce_inline_row_matches(self, app, done_job):
+        row = app.handle("GET", f"/results/{done_job}")[1]["resultset"]["rows"][0]
+        status, payload = app.handle(
+            "POST", "/results/reproduce", body={"row": row}
+        )
+        assert status == 200
+        assert payload["match"] is True
+
+    def test_reproduce_analytic_row_is_a_clean_400(self, app):
+        analytic = app.handle(
+            "POST", "/analyze", body={"scenario": "passwords"}
+        )[1]["row"]
+        status, payload = app.handle(
+            "POST", "/results/reproduce", body={"row": analytic}
+        )
+        assert status == 400
+        assert "analytic" in payload["message"]
+
+
+class TestLegacyRngModePin:
+    """The PR-9 legacy pin, honored over HTTP.
+
+    Rows archived before ``rng_mode`` existed were drawn by the matrix
+    source; ``reproduce_row`` pins ``rng_mode="matrix"`` when the field
+    is absent, and the reproduce endpoint must inherit that — otherwise
+    every archived row would re-run under today's counter default and
+    silently mismatch.
+    """
+
+    @pytest.fixture
+    def archived_row(self):
+        # Emulate a PR-8-era archive: a matrix-mode run whose row payload
+        # predates the rng_mode field entirely.
+        scenario = get_scenario("passwords")
+        result = scenario.simulate(40, seed=7, mode="batch", rng_mode="matrix")
+        return {
+            "experiment": "archive-pr8",
+            "scenario": "passwords",
+            "variant": "passwords",
+            "params": {},
+            "mode": "batch",
+            "metrics": _simulation_metrics(result),
+            "seed": 7,
+            "n_receivers": 40,
+            "batch_size": result.batch_size,
+            "task": result.task_name,
+            "population": result.population_name,
+            "calibration_label": result.calibration_label,
+            "rounds": result.rounds,
+            "recovery_rate": result.recovery_rate,
+            "dismiss_weight": result.dismiss_weight,
+            "heed_weight": result.heed_weight,
+            "variant_hash": variant_hash("passwords", {}),
+            # deliberately no "rng_mode": the field did not exist yet
+        }
+
+    def test_archived_row_reproduces_bit_identically_over_http(
+        self, app, archived_row
+    ):
+        status, payload = app.handle(
+            "POST", "/results/reproduce", body={"row": archived_row}
+        )
+        assert status == 200
+        assert payload["rng_mode"] == "matrix"  # the pin, not today's default
+        assert payload["match"] is True
+
+    def test_counter_default_would_not_match(self, archived_row):
+        # The pin is load-bearing: the same row re-run under the counter
+        # default produces different bits.
+        from repro.experiments.results import WALL_CLOCK_METRICS
+
+        scenario = get_scenario("passwords")
+        fresh = scenario.simulate(40, seed=7, mode="batch", rng_mode="counter")
+        fresh_metrics = {
+            name: value
+            for name, value in _simulation_metrics(fresh).items()
+            if name not in WALL_CLOCK_METRICS
+        }
+        recorded = {
+            name: value
+            for name, value in archived_row["metrics"].items()
+            if name not in WALL_CLOCK_METRICS
+        }
+        assert fresh_metrics != recorded

@@ -1,0 +1,73 @@
+"""Scenario endpoints: listing, description, structured 422 validation."""
+
+from __future__ import annotations
+
+from repro.systems.scenario import available_scenarios, variant_hash
+
+
+class TestListing:
+    def test_lists_every_registered_scenario(self, app):
+        status, payload = app.handle("GET", "/scenarios")
+        assert status == 200
+        names = [entry["name"] for entry in payload["scenarios"]]
+        assert names == available_scenarios()
+
+    def test_describe_returns_parameter_space(self, app):
+        status, payload = app.handle("GET", "/scenarios/passwords")
+        assert status == 200
+        names = [parameter["name"] for parameter in payload["parameters"]]
+        assert "rounds" in names and "rng_mode" in names
+
+    def test_describe_unknown_scenario_is_404(self, app):
+        status, payload = app.handle("GET", "/scenarios/no-such-thing")
+        assert status == 404
+        assert payload["scenario"] == "no-such-thing"
+
+
+class TestValidation:
+    def test_valid_overrides_echo_hash_and_label(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/scenarios/passwords/validate",
+            body={"params": {"rounds": 3}},
+        )
+        assert status == 200
+        assert payload["label"] == "passwords[rounds=3]"
+        assert payload["variant_hash"] == variant_hash(
+            "passwords", {"rounds": 3}
+        )
+
+    def test_out_of_bounds_value_names_the_parameter(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/scenarios/passwords/validate",
+            body={"params": {"user_noise_std": 9.0}},
+        )
+        assert status == 422
+        assert payload["error"] == "validation"
+        assert payload["parameter"] == "user_noise_std"
+
+    def test_unknown_parameter_names_itself(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/scenarios/passwords/validate",
+            body={"params": {"bogus_knob": 1}},
+        )
+        assert status == 422
+        assert payload["parameter"] == "bogus_knob"
+
+    def test_unknown_scenario_is_422_naming_scenario(self, app):
+        status, payload = app.handle(
+            "POST", "/scenarios/missing/validate", body={"params": {}}
+        )
+        assert status == 422
+        assert payload["parameter"] == "scenario"
+
+    def test_multi_knob_failure_blames_the_bad_one(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/scenarios/passwords/validate",
+            body={"params": {"rounds": 2, "recovery_rate": 7.5}},
+        )
+        assert status == 422
+        assert payload["parameter"] == "recovery_rate"

@@ -1,0 +1,180 @@
+"""Simulate/sweep endpoints: dispatch threshold, cache bit-identity."""
+
+from __future__ import annotations
+
+import repro.service.requests as service_requests
+
+
+class TestDispatchThreshold:
+    def test_small_request_runs_inline(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/simulate",
+            body={"scenario": "passwords", "n_receivers": 30, "seed": 3},
+        )
+        assert status == 200
+        assert payload["status"] == "completed"
+        assert payload["cost"] == 30
+        assert len(payload["resultset"]["rows"]) == 1
+
+    def test_cost_above_threshold_becomes_job(self, app, service_state):
+        # inline_threshold is 500 in the fixture; 80 receivers x 10 rounds
+        # x 1 variant = 800 receiver-rounds.
+        status, payload = app.handle(
+            "POST",
+            "/simulate",
+            body={
+                "scenario": "passwords",
+                "params": {"rounds": 10},
+                "n_receivers": 80,
+            },
+        )
+        assert status == 202
+        assert payload["status"] == "submitted"
+        assert payload["cost"] == 800
+        assert payload["job"]["status"] == "submitted"
+        assert service_state.run_pending_jobs() == 1
+        job_id = payload["job"]["job_id"]
+        assert app.handle("GET", f"/jobs/{job_id}")[1]["job"]["status"] == "done"
+
+    def test_detach_forces_async_even_when_small(self, app, service_state):
+        status, payload = app.handle(
+            "POST",
+            "/simulate",
+            body={"scenario": "passwords", "n_receivers": 10, "detach": True},
+        )
+        assert status == 202
+        assert service_state.run_pending_jobs() == 1
+
+    def test_rounds_param_scales_cost(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/sweep",
+            body={
+                "scenario": "passwords",
+                "grid": {"rounds": [1, 2]},
+                "n_receivers": 50,
+            },
+        )
+        assert status == 200
+        assert payload["cost"] == 50 * (1 + 2)
+
+
+class TestValidationAndFields:
+    def test_unknown_body_field_is_400(self, app):
+        # Engine knobs must travel inside params, never as body fields —
+        # that is what keeps them inside the variant hash.
+        status, payload = app.handle(
+            "POST",
+            "/simulate",
+            body={"scenario": "passwords", "rounds": 5},
+        )
+        assert status == 400
+        assert "rounds" in payload["message"]
+
+    def test_bad_parameter_is_422_naming_it(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/simulate",
+            body={"scenario": "passwords", "params": {"rounds": 0}},
+        )
+        assert status == 422
+        assert payload["parameter"] == "rounds"
+
+    def test_unknown_scenario_is_422(self, app):
+        status, payload = app.handle(
+            "POST", "/simulate", body={"scenario": "nowhere"}
+        )
+        assert status == 422
+        assert payload["parameter"] == "scenario"
+
+    def test_params_and_grid_are_mutually_exclusive(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/sweep",
+            body={
+                "scenario": "passwords",
+                "params": {"rounds": 2},
+                "grid": {"rounds": [1]},
+            },
+        )
+        assert status == 400
+
+
+class TestCacheBitIdentity:
+    def test_second_identical_sweep_served_from_cache_without_engine_work(
+        self, app, service_state, monkeypatch
+    ):
+        body = {
+            "scenario": "passwords",
+            "grid": {"rounds": [1, 2]},
+            "n_receivers": 30,
+            "seed": 11,
+            "name": "sweep-twice",
+        }
+        status, first = app.handle("POST", "/sweep", body=dict(body))
+        assert status == 200
+        assert first["cache"] == {"served": 0, "computed": 2}
+        hits_before = service_state.cache.stats()["hits"]
+
+        def forbidden(run):
+            raise AssertionError("engine work on a fully-cached sweep")
+
+        monkeypatch.setattr(service_requests, "run_variant", forbidden)
+        status, second = app.handle("POST", "/sweep", body=dict(body))
+        assert status == 200
+        assert second["cache"] == {"served": 2, "computed": 0}
+        # Bit-identical: the exact bytes of the first computation.
+        assert second["resultset"] == first["resultset"]
+        assert service_state.cache.stats()["hits"] == hits_before + 2
+
+    def test_simulate_and_sweep_share_the_content_cache(self, app):
+        # A sweep point and a single-point simulate at the same identity
+        # are the same computation; the second query is a pure hit.
+        common = {"scenario": "passwords", "n_receivers": 25, "seed": 4}
+        status, swept = app.handle(
+            "POST",
+            "/sweep",
+            body={**common, "grid": {"rounds": [1]}, "seed_strategy": "shared"},
+        )
+        assert status == 200 and swept["cache"]["computed"] == 1
+        status, single = app.handle(
+            "POST", "/simulate", body={**common, "params": {"rounds": 1}}
+        )
+        assert status == 200
+        assert single["cache"] == {"served": 1, "computed": 0}
+
+    def test_different_task_never_collides(self, app):
+        # The task rides in the cache key: same scenario/params/seed with
+        # a different task must be a distinct computation, never a hit.
+        base = {"scenario": "passwords", "n_receivers": 20, "seed": 9}
+        status, first = app.handle(
+            "POST", "/simulate", body={**base, "task": "recall"}
+        )
+        assert status == 200
+        status, second = app.handle(
+            "POST", "/simulate", body={**base, "task": "create"}
+        )
+        assert status == 200
+        assert second["cache"] == {"served": 0, "computed": 1}
+        row_first = first["resultset"]["rows"][0]
+        row_second = second["resultset"]["rows"][0]
+        assert row_first["variant_hash"] == row_second["variant_hash"]
+        assert row_first["task"] != row_second["task"]
+
+
+class TestAnalyze:
+    def test_analyze_is_cached_and_inline(self, app):
+        body = {"scenario": "antiphishing"}
+        status, first = app.handle("POST", "/analyze", body=dict(body))
+        assert status == 200
+        assert first["cache"] == {"served": 0, "computed": 1}
+        status, second = app.handle("POST", "/analyze", body=dict(body))
+        assert second["cache"] == {"served": 1, "computed": 0}
+        assert second["row"] == first["row"]
+
+    def test_analyze_rejects_simulation_fields(self, app):
+        status, payload = app.handle(
+            "POST", "/analyze", body={"scenario": "passwords", "n_receivers": 5}
+        )
+        assert status == 400
